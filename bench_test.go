@@ -1,0 +1,189 @@
+// Benchmarks regenerating the paper's evaluation (§VII) as testing.B
+// targets — one per figure panel — plus ablation benches for the design
+// choices called out in DESIGN.md. Parallel benches run at GOMAXPROCS
+// workers; use -cpu to sweep thread counts the way the figures do, e.g.
+//
+//	go test -bench 'Fig6' -cpu 1,2,4,8 -benchmem
+//
+// Each bench reports ns/op (inverse throughput), abort%, and ops/ms (the
+// paper's throughput unit). cmd/compose-bench produces the full
+// figure-shaped sweeps.
+package oestm_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"oestm/internal/coarse"
+	"oestm/internal/core"
+	"oestm/internal/harness"
+	"oestm/internal/seqset"
+	"oestm/internal/stm"
+	"oestm/internal/workload"
+)
+
+// benchEngines is the paper's line-up for the figure benches.
+var benchEngines = []string{"oestm", "lsa", "tl2", "swisstm"}
+
+// benchSTM drives the §VII-A workload through one engine with one worker
+// per GOMAXPROCS.
+func benchSTM(b *testing.B, eng harness.Engine, structure string, cfg workload.Config) {
+	b.Helper()
+	tm := eng.New()
+	set := harness.NewStructure(structure, cfg)
+	filler := stm.NewThread(tm)
+	workload.Fill(filler, set, cfg)
+
+	var mu sync.Mutex
+	var total stm.Stats
+	var tidx atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		th := stm.NewThread(tm)
+		gen := workload.NewGen(cfg, int(tidx.Add(1)))
+		for pb.Next() {
+			workload.Apply(th, set, gen.Next())
+		}
+		mu.Lock()
+		total.Add(th.Stats)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	b.ReportMetric(total.AbortRate(), "abort%")
+	if ms := b.Elapsed().Seconds() * 1000; ms > 0 {
+		b.ReportMetric(float64(b.N)/ms, "ops/ms")
+	}
+}
+
+// benchSeq is the bare sequential baseline of the figures.
+func benchSeq(b *testing.B, structure string, cfg workload.Config) {
+	b.Helper()
+	set := harness.NewSeqStructure(structure, cfg)
+	workload.FillSeq(set, cfg)
+	gen := workload.NewGen(cfg, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.ApplySeq(set, gen.Next())
+	}
+	b.StopTimer()
+	if ms := b.Elapsed().Seconds() * 1000; ms > 0 {
+		b.ReportMetric(float64(b.N)/ms, "ops/ms")
+	}
+}
+
+// benchFigure runs one paper figure: both bulk mixes, sequential baseline
+// plus all four engines.
+func benchFigure(b *testing.B, structure string) {
+	for _, bulk := range []int{5, 15} {
+		cfg := workload.Default(bulk)
+		b.Run(fmt.Sprintf("bulk=%d", bulk), func(b *testing.B) {
+			b.Run("sequential", func(b *testing.B) { benchSeq(b, structure, cfg) })
+			for _, name := range benchEngines {
+				eng, ok := harness.EngineByName(name)
+				if !ok {
+					b.Fatalf("unknown engine %q", name)
+				}
+				b.Run(name, func(b *testing.B) { benchSTM(b, eng, structure, cfg) })
+			}
+		})
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6: LinkedListSet throughput/aborts.
+func BenchmarkFig6(b *testing.B) { benchFigure(b, "linkedlist") }
+
+// BenchmarkFig7 regenerates Fig. 7: SkipListSet throughput/aborts.
+func BenchmarkFig7(b *testing.B) { benchFigure(b, "skiplist") }
+
+// BenchmarkFig8 regenerates Fig. 8: HashSet (load factor 512)
+// throughput/aborts.
+func BenchmarkFig8(b *testing.B) { benchFigure(b, "hashset") }
+
+// BenchmarkAblationElasticity isolates the elastic model's contribution:
+// OE-STM with elastic search operations versus the same engine forcing
+// Regular transactions, on the structure where elasticity matters most.
+func BenchmarkAblationElasticity(b *testing.B) {
+	cfg := workload.Default(5)
+	b.Run("elastic", func(b *testing.B) {
+		benchSTM(b, harness.Engine{Name: "oestm", New: func() stm.TM { return core.New() }}, "linkedlist", cfg)
+	})
+	b.Run("regular-only", func(b *testing.B) {
+		benchSTM(b, harness.Engine{Name: "oestm-regular", New: func() stm.TM { return core.NewRegularOnly() }}, "linkedlist", cfg)
+	})
+}
+
+// BenchmarkAblationOutheritanceOverhead measures what outherit() costs on
+// a workload without bulk operations (no compositions): OE-STM versus
+// E-STM should be indistinguishable.
+func BenchmarkAblationOutheritanceOverhead(b *testing.B) {
+	cfg := workload.Default(0) // singles only
+	b.Run("outherit", func(b *testing.B) {
+		benchSTM(b, harness.Engine{Name: "oestm", New: func() stm.TM { return core.New() }}, "skiplist", cfg)
+	})
+	b.Run("no-outherit", func(b *testing.B) {
+		benchSTM(b, harness.Engine{Name: "estm", New: func() stm.TM { return core.NewWithoutOutheritance() }}, "skiplist", cfg)
+	})
+}
+
+// BenchmarkAblationCoarseLock compares composed operations under OE-STM
+// against the coarse-grained lock alternative of §I (a global RWMutex
+// around the sequential structure).
+func BenchmarkAblationCoarseLock(b *testing.B) {
+	cfg := workload.Default(15)
+	b.Run("oestm", func(b *testing.B) {
+		benchSTM(b, harness.Engine{Name: "oestm", New: func() stm.TM { return core.New() }}, "linkedlist", cfg)
+	})
+	b.Run("coarse-lock", func(b *testing.B) {
+		set := coarse.Wrap(seqset.NewLinkedListSet())
+		for _, k := range cfg.FillKeys() {
+			set.Add(k)
+		}
+		var tidx atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			gen := workload.NewGen(cfg, int(tidx.Add(1)))
+			for pb.Next() {
+				op := gen.Next()
+				switch op.Kind {
+				case workload.Contains:
+					set.Contains(op.Key)
+				case workload.Add:
+					set.Add(op.Key)
+				case workload.Remove:
+					set.Remove(op.Key)
+				case workload.AddAll:
+					set.AddAll(op.Pair[:])
+				case workload.RemoveAll:
+					set.RemoveAll(op.Pair[:])
+				}
+			}
+		})
+		b.StopTimer()
+		if ms := b.Elapsed().Seconds() * 1000; ms > 0 {
+			b.ReportMetric(float64(b.N)/ms, "ops/ms")
+		}
+	})
+}
+
+// BenchmarkComposedAddAll measures the bulk operation itself (the unit of
+// composition) across engines: one AddAll+RemoveAll pair per iteration.
+func BenchmarkComposedAddAll(b *testing.B) {
+	for _, name := range benchEngines {
+		eng, _ := harness.EngineByName(name)
+		b.Run(name, func(b *testing.B) {
+			cfg := workload.Default(5)
+			tm := eng.New()
+			set := harness.NewStructure("hashset", cfg)
+			th := stm.NewThread(tm)
+			workload.Fill(th, set, cfg)
+			keys := []int{8191, 4096, 1} // odd keys: absent in the fill
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				set.AddAll(th, keys)
+				set.RemoveAll(th, keys)
+			}
+		})
+	}
+}

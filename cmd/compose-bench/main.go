@@ -1,0 +1,124 @@
+// Command compose-bench regenerates the paper's evaluation (§VII):
+// Figures 6, 7 and 8 — throughput and abort ratio of bare sequential
+// code, OE-STM, LSA, TL2 and SwissTM on the LinkedListSet, SkipListSet
+// and HashSet of the e.e.c package, at 5% and 15% bulk operations across
+// a thread sweep.
+//
+// Defaults are sized to finish in a couple of minutes; use -duration,
+// -runs and -threads to approach the paper's 10-second, 10-run protocol:
+//
+//	compose-bench -figure all -bulk 5,15 -duration 10s -runs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"oestm/internal/harness"
+	"oestm/internal/workload"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "figure to regenerate: 6 (linked list), 7 (skip list), 8 (hash set), or all")
+		bulks    = flag.String("bulk", "5,15", "comma-separated bulk-operation percentages (paper: 5 and 15)")
+		threads  = flag.String("threads", "1,2,4,8,16,32,64", "comma-separated thread counts")
+		duration = flag.Duration("duration", 1*time.Second, "measured duration per point (paper: 10s)")
+		warmup   = flag.Duration("warmup", 200*time.Millisecond, "warmup before measuring")
+		runs     = flag.Int("runs", 1, "runs per point, averaged (paper: 10)")
+		engines  = flag.String("engines", "oestm,lsa,tl2,swisstm", "engines to compare (also: estm)")
+		scale    = flag.Int("scale", 1, "divide structure size and key range by this factor for quick runs")
+		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
+	)
+	flag.Parse()
+
+	structures := map[string]string{"6": "linkedlist", "7": "skiplist", "8": "hashset"}
+	var figs []string
+	if *figure == "all" {
+		figs = []string{"6", "7", "8"}
+	} else {
+		if _, ok := structures[*figure]; !ok {
+			fmt.Fprintf(os.Stderr, "compose-bench: unknown figure %q\n", *figure)
+			os.Exit(2)
+		}
+		figs = []string{*figure}
+	}
+
+	var engs []harness.Engine
+	for _, name := range splitList(*engines) {
+		e, ok := harness.EngineByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "compose-bench: unknown engine %q\n", name)
+			os.Exit(2)
+		}
+		engs = append(engs, e)
+	}
+	threadList, err := parseInts(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compose-bench: -threads:", err)
+		os.Exit(2)
+	}
+	bulkList, err := parseInts(*bulks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compose-bench: -bulk:", err)
+		os.Exit(2)
+	}
+
+	var allResults []harness.Result
+	for _, fig := range figs {
+		structure := structures[fig]
+		for _, bulk := range bulkList {
+			cfg := workload.Default(bulk)
+			if *scale > 1 {
+				cfg = workload.Scaled(bulk, *scale)
+			}
+			results := harness.Sweep(harness.SweepConfig{
+				Structure:  structure,
+				BulkPct:    bulk,
+				Threads:    threadList,
+				Duration:   *duration,
+				Warmup:     *warmup,
+				Runs:       *runs,
+				Engines:    engs,
+				Sequential: true,
+				Workload:   cfg,
+			})
+			fmt.Println(harness.Format(results, structure, bulk))
+			allResults = append(allResults, results...)
+		}
+	}
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(harness.CSV(allResults)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "compose-bench: write csv:", err)
+			os.Exit(1)
+		}
+		fmt.Println("csv written to", *csvPath)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

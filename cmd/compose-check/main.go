@@ -1,0 +1,121 @@
+// Command compose-check machine-verifies the paper's formal development:
+// the §II-B relax-serial-but-not-serializable example, Fig. 3 /
+// Theorem 4.2 (outheritance does not give strong composition),
+// Theorem 4.3 (outheritance is necessary for weak composition), and —
+// on a live, instrumented OE-STM execution — Definition 4.1 and
+// Theorem 4.4 (outheritance is sufficient).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"oestm/internal/check"
+	"oestm/internal/core"
+	"oestm/internal/history"
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+var failed bool
+
+func verdict(name string, got, want bool) {
+	status := "ok"
+	if got != want {
+		status = "FAIL"
+		failed = true
+	}
+	fmt.Printf("  %-58s %-5v (want %-5v) %s\n", name, got, want, status)
+}
+
+func main() {
+	fmt.Println("== §II-B example: relax-serializability is weaker than serializability ==")
+	h := check.SectionIIBHistory()
+	specs := check.SectionIIBSpecs()
+	verdict("history is relax-serial", check.RelaxSerial(h), true)
+	verdict("history is well-formed", check.WellFormed(h), true)
+	verdict("history is serializable", check.Serializable(h, specs), false)
+	verdict("history is relax-serializable", check.RelaxSerializable(h, specs), true)
+
+	fmt.Println("\n== Fig. 3 / Theorem 4.2: outheritance does not imply strong composition ==")
+	h = check.Fig3History()
+	specs = check.Fig3Specs()
+	c := check.Fig3Composition()
+	verdict("C = {t1,t3} is a composition of p1", check.IsComposition(h, c), true)
+	verdict("history satisfies outheritance w.r.t. C", check.Outheritance(h, c), true)
+	verdict("history is strongly composable w.r.t. C", check.StronglyComposable(h, c, specs), false)
+	verdict("history is weakly composable w.r.t. C (Thm 4.4)", check.WeaklyComposable(h, c, specs), true)
+
+	fmt.Println("\n== Theorem 4.3: outheritance is necessary for weak composition ==")
+	h = check.Theorem43History()
+	specs = check.Theorem43Specs()
+	c = check.Theorem43Composition()
+	verdict("construction is relax-serial", check.RelaxSerial(h), true)
+	verdict("early release breaks outheritance", check.Outheritance(h, c), false)
+	verdict("construction is weakly composable", check.WeaklyComposable(h, c, specs), false)
+
+	fmt.Println("\n== Live OE-STM execution (instrumented): Def. 4.1 and Thm 4.4 ==")
+	hh, comps := runInstrumented(core.New())
+	verdict("recorded history is well-formed", check.WellFormed(hh), true)
+	verdict("recorded history is relax-serial", check.RelaxSerial(hh), true)
+	allOK := len(comps) > 0
+	for _, cc := range comps {
+		if !check.Outheritance(hh, cc) {
+			allOK = false
+		}
+	}
+	verdict("every recorded composition satisfies outheritance", allOK, true)
+
+	fmt.Println("\n== Live E-STM execution (outheritance disabled): Def. 4.1 violated ==")
+	hh, comps = runInstrumented(core.NewWithoutOutheritance())
+	anyViolated := false
+	for _, cc := range comps {
+		if !check.Outheritance(hh, cc) {
+			anyViolated = true
+		}
+	}
+	verdict("some recorded composition violates outheritance", anyViolated, true)
+
+	if failed {
+		fmt.Println("\nRESULT: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("\nRESULT: all checks passed")
+}
+
+// runInstrumented executes the paper's insertIfAbsent composition with an
+// adversarial interleaving under the given engine and returns the
+// recorded history and compositions.
+func runInstrumented(tm *core.TM) (history.History, [][]string) {
+	rec := history.NewRecorder()
+	tm.SetTracer(rec)
+	xv, yv := mvar.New(false), mvar.New(false)
+	rec.Label(xv, "x")
+	rec.Label(yv, "y")
+	th := stm.NewThread(tm)
+	attempt := 0
+	_ = th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+		attempt++
+		absent := false
+		_ = th.Atomic(stm.Elastic, func(ctx stm.Tx) error {
+			absent = !ctx.Read(yv).(bool)
+			return nil
+		})
+		if attempt == 1 {
+			adv := stm.NewThread(tm)
+			_ = adv.Atomic(stm.Regular, func(atx stm.Tx) error {
+				atx.Write(yv, true)
+				return nil
+			})
+		}
+		return th.Atomic(stm.Elastic, func(ctx stm.Tx) error {
+			if absent {
+				ctx.Write(xv, true)
+			} else {
+				_ = ctx.Read(xv)
+			}
+			return nil
+		})
+	})
+	return rec.History(), rec.Compositions()
+}

@@ -1,0 +1,82 @@
+// atomicsize: the java.util.concurrent motivation from §I — the JDK's
+// ConcurrentSkipListMap.size() is famously not atomic, and its bulk
+// addAll/removeAll "are not guaranteed to be performed atomically"
+// (§VI). Here, mutators atomically add or remove a whole block of keys
+// while observers take Size() snapshots; because Size is one transaction
+// and the bulk operations compose atomically, every observed size is a
+// multiple of the block length.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"oestm"
+)
+
+const (
+	blockLen   = 8
+	nBlocks    = 6
+	nObservers = 3
+	iterations = 300
+)
+
+func main() {
+	tm := oestm.NewOESTM()
+	set := oestm.NewSkipListSet()
+
+	blocks := make([][]int, nBlocks)
+	for b := range blocks {
+		blocks[b] = make([]int, blockLen)
+		for i := range blocks[b] {
+			blocks[b][i] = b*blockLen + i
+		}
+	}
+
+	var stop atomic.Bool
+	var mutators, observers sync.WaitGroup
+	var torn atomic.Int64
+
+	// Mutators: each toggles its own block in and out, always as one
+	// atomic bulk operation.
+	for b := 0; b < nBlocks; b++ {
+		mutators.Add(1)
+		go func(block []int) {
+			defer mutators.Done()
+			th := oestm.NewThread(tm)
+			for i := 0; i < iterations; i++ {
+				set.AddAll(th, block)
+				set.RemoveAll(th, block)
+			}
+		}(blocks[b])
+	}
+
+	// Observers: atomic Size snapshots must always be whole blocks.
+	for o := 0; o < nObservers; o++ {
+		observers.Add(1)
+		go func() {
+			defer observers.Done()
+			th := oestm.NewThread(tm)
+			for !stop.Load() {
+				if set.Size(th)%blockLen != 0 {
+					torn.Add(1)
+				}
+			}
+		}()
+	}
+
+	mutators.Wait()
+	stop.Store(true)
+	observers.Wait()
+
+	th := oestm.NewThread(tm)
+	fmt.Printf("%d mutators toggling %d-key blocks, %d observers\n", nBlocks, blockLen, nObservers)
+	fmt.Printf("torn size observations: %d\n", torn.Load())
+	fmt.Printf("final size: %d\n", set.Size(th))
+	if torn.Load() == 0 && set.Size(th) == 0 {
+		fmt.Println("OK: Size() and bulk operations are atomic")
+	} else {
+		fmt.Println("FAILURE: atomicity violated")
+	}
+}

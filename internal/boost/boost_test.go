@@ -1,0 +1,320 @@
+package boost_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"oestm/internal/boost"
+	"oestm/internal/check"
+	"oestm/internal/history"
+)
+
+func TestNames(t *testing.T) {
+	if boost.New(true).Name() != "boost-outherit" || !boost.New(true).Outherits() {
+		t.Fatal("outheriting domain misconfigured")
+	}
+	if boost.New(false).Name() != "boost" || boost.New(false).Outherits() {
+		t.Fatal("plain domain misconfigured")
+	}
+}
+
+func TestBasicSetOps(t *testing.T) {
+	for _, outherit := range []bool{true, false} {
+		tm := boost.New(outherit)
+		th := tm.NewThread()
+		s := boost.NewSet(tm)
+		if s.Contains(th, 1) {
+			t.Fatal("empty set contains 1")
+		}
+		if !s.Add(th, 1) || s.Add(th, 1) {
+			t.Fatal("Add semantics broken")
+		}
+		if !s.Contains(th, 1) {
+			t.Fatal("added key missing")
+		}
+		if !s.Remove(th, 1) || s.Remove(th, 1) {
+			t.Fatal("Remove semantics broken")
+		}
+	}
+}
+
+// TestCompensationOnUserAbort: eager effects must be undone when the
+// transaction aborts with a user error.
+func TestCompensationOnUserAbort(t *testing.T) {
+	tm := boost.New(true)
+	th := tm.NewThread()
+	s := boost.NewSet(tm)
+	s.Add(th, 5)
+	sentinel := errors.New("boom")
+	err := th.Atomic(func(tx *boost.Tx) error {
+		s.Add(th, 6)    // composed child, applied eagerly
+		s.Remove(th, 5) // another child
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Contains(th, 6) {
+		t.Fatal("aborted add not compensated")
+	}
+	if !s.Contains(th, 5) {
+		t.Fatal("aborted remove not compensated")
+	}
+}
+
+// TestNestedUserAbortCompensatesWholeNest: an error from an inner region
+// unwinds and compensates everything, including the parent's earlier
+// children.
+func TestNestedUserAbortCompensatesWholeNest(t *testing.T) {
+	tm := boost.New(true)
+	th := tm.NewThread()
+	s := boost.NewSet(tm)
+	sentinel := errors.New("inner")
+	err := th.Atomic(func(*boost.Tx) error {
+		s.Add(th, 1)
+		return th.Atomic(func(*boost.Tx) error {
+			s.Add(th, 2)
+			return sentinel
+		})
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Contains(th, 1) || s.Contains(th, 2) {
+		t.Fatal("nested abort leaked effects")
+	}
+}
+
+// TestCommutingOpsDontConflict: boosted operations on distinct keys
+// proceed fully in parallel (no retries), because abstract locks are
+// per-key.
+func TestCommutingOpsDontConflict(t *testing.T) {
+	tm := boost.New(true)
+	var wg sync.WaitGroup
+	s := boost.NewSet(tm)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			th := tm.NewThread()
+			th.MaxRetries = 1 // any conflict would fail the test
+			for i := 0; i < 200; i++ {
+				k := base*1000 + i
+				if err := th.Atomic(func(tx *boost.Tx) error {
+					s.Add(th, k)
+					return nil
+				}); err != nil {
+					t.Errorf("commuting op conflicted: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPerKeyBalanceUnderContention: concurrent add/remove on a small key
+// range must preserve the per-key balance invariant.
+func TestPerKeyBalanceUnderContention(t *testing.T) {
+	tm := boost.New(true)
+	s := boost.NewSet(tm)
+	const keys = 8
+	var adds, removes [keys]int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			th := tm.NewThread()
+			for i := 0; i < 200; i++ {
+				k := (seed + i*13) % keys
+				if i%2 == 0 {
+					if s.Add(th, k) {
+						mu.Lock()
+						adds[k]++
+						mu.Unlock()
+					}
+				} else {
+					if s.Remove(th, k) {
+						mu.Lock()
+						removes[k]++
+						mu.Unlock()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	th := tm.NewThread()
+	for k := 0; k < keys; k++ {
+		balance := adds[k] - removes[k]
+		if balance != 0 && balance != 1 {
+			t.Fatalf("key %d: impossible balance %d", k, balance)
+		}
+		if s.Contains(th, k) != (balance == 1) {
+			t.Fatalf("key %d: membership disagrees with balance %d", k, balance)
+		}
+	}
+}
+
+// stagedInsertIfAbsent reproduces Fig. 1 over boosted operations: the
+// adversary inserts y between the composition's contains(y) and its
+// commit.
+func stagedInsertIfAbsent(t *testing.T, tm *boost.TM) (violated bool, attempts int) {
+	t.Helper()
+	th := tm.NewThread()
+	s := boost.NewSet(tm)
+	const x, y = 1, 2
+	_ = th.Atomic(func(*boost.Tx) error {
+		attempts++
+		absent := !s.Contains(th, y)
+		if attempts == 1 {
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				adv := tm.NewThread()
+				adv.MaxRetries = 64 // blocked by outherited lock: give up
+				s.Add(adv, y)
+			}()
+			<-done
+		}
+		if absent {
+			s.Add(th, x)
+		}
+		return nil
+	})
+	return s.Contains(th, x) && s.Contains(th, y), attempts
+}
+
+// TestBoostingComposesWithOutheritance: with lock passing, the adversary
+// cannot slip between the children (it blocks on the outherited abstract
+// lock and gives up), so the composition stays atomic — §VIII's remark
+// realised.
+func TestBoostingComposesWithOutheritance(t *testing.T) {
+	violated, _ := stagedInsertIfAbsent(t, boost.New(true))
+	if violated {
+		t.Fatal("outheriting boosting violated insertIfAbsent atomicity")
+	}
+}
+
+// TestBoostingViolatesWithoutOutheritance: with locks released at child
+// commit, the adversary's insert lands mid-composition and the composed
+// operation commits a stale decision.
+func TestBoostingViolatesWithoutOutheritance(t *testing.T) {
+	violated, attempts := stagedInsertIfAbsent(t, boost.New(false))
+	if !violated {
+		t.Fatal("expected the Fig. 1 violation without lock passing")
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (the violation commits silently)", attempts)
+	}
+}
+
+// TestTracedBoostingSatisfiesDef41: record an outheriting boosted
+// composition and machine-check Definition 4.1 — the cross-model reuse
+// of outheritance promised by §IX.
+func TestTracedBoostingSatisfiesDef41(t *testing.T) {
+	tm := boost.New(true)
+	rec := history.NewRecorder()
+	tm.SetTracer(rec)
+	th := tm.NewThread()
+	s := boost.NewSet(tm)
+	_ = th.Atomic(func(*boost.Tx) error {
+		s.Contains(th, 2)
+		s.Add(th, 1)
+		return nil
+	})
+	h := rec.History()
+	comps := rec.Compositions()
+	if len(comps) != 1 {
+		t.Fatalf("compositions = %v", comps)
+	}
+	if !check.RelaxSerial(h) {
+		t.Fatalf("traced boosted history not relax-serial:\n%s", h)
+	}
+	if !check.IsComposition(h, comps[0]) {
+		t.Fatalf("children %v not a composition in:\n%s", comps[0], h)
+	}
+	if !check.Outheritance(h, comps[0]) {
+		t.Fatalf("boosted composition violates Def. 4.1:\n%s", h)
+	}
+}
+
+// TestTracedBoostingViolatesDef41WithoutPassing is the negative control.
+func TestTracedBoostingViolatesDef41WithoutPassing(t *testing.T) {
+	tm := boost.New(false)
+	rec := history.NewRecorder()
+	tm.SetTracer(rec)
+	th := tm.NewThread()
+	s := boost.NewSet(tm)
+	_ = th.Atomic(func(*boost.Tx) error {
+		s.Contains(th, 2)
+		s.Add(th, 1)
+		return nil
+	})
+	h := rec.History()
+	comps := rec.Compositions()
+	if len(comps) != 1 {
+		t.Fatalf("compositions = %v", comps)
+	}
+	if check.Outheritance(h, comps[0]) {
+		t.Fatalf("non-passing boosting should violate Def. 4.1:\n%s", h)
+	}
+}
+
+// TestReentrantAcquire: the same nest may touch a key twice without
+// deadlocking on its own abstract lock.
+func TestReentrantAcquire(t *testing.T) {
+	tm := boost.New(true)
+	th := tm.NewThread()
+	s := boost.NewSet(tm)
+	err := th.Atomic(func(*boost.Tx) error {
+		s.Add(th, 1)
+		s.Remove(th, 1)
+		s.Add(th, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(th, 1) {
+		t.Fatal("final state wrong")
+	}
+}
+
+// TestBulkComposition: AddAll/RemoveAll compose and stay atomic under an
+// observing thread (coarse check via membership pairs).
+func TestBulkComposition(t *testing.T) {
+	tm := boost.New(true)
+	th := tm.NewThread()
+	s := boost.NewSet(tm)
+	if !s.AddAll(th, []int{1, 2, 3}) {
+		t.Fatal("AddAll reported no change")
+	}
+	if s.AddAll(th, []int{1, 2}) {
+		t.Fatal("AddAll of present keys reported change")
+	}
+	if !s.RemoveAll(th, []int{2, 9}) {
+		t.Fatal("RemoveAll reported no change")
+	}
+	if s.Contains(th, 2) || !s.Contains(th, 1) || !s.Contains(th, 3) {
+		t.Fatal("bulk results wrong")
+	}
+}
+
+// TestInsertIfAbsentSemantics: the composed operation behaves per spec
+// single-threaded.
+func TestInsertIfAbsentSemantics(t *testing.T) {
+	tm := boost.New(true)
+	th := tm.NewThread()
+	s := boost.NewSet(tm)
+	if !s.InsertIfAbsent(th, 10, 20) || !s.Contains(th, 10) {
+		t.Fatal("insert with y absent failed")
+	}
+	s.Add(th, 20)
+	if s.InsertIfAbsent(th, 30, 20) || s.Contains(th, 30) {
+		t.Fatal("insert with y present happened")
+	}
+}

@@ -1,0 +1,151 @@
+package boost
+
+import (
+	"sync"
+
+	"oestm/internal/seqset"
+)
+
+// Set is a boosted integer set: a linearizable base set (a sequential
+// structure behind a mutex) whose operations are made transactional by
+// abstract per-key locks and compensating operations. Unlike the
+// STM-based e.e.c structures, reads and writes here never touch
+// transactional memory words — conflict detection is entirely at the
+// abstraction level, which is what lets boosted operations of commuting
+// keys run without any conflict at all.
+type Set struct {
+	tm    *TM
+	mu    sync.Mutex
+	inner seqset.Set
+	locks sync.Map // key int -> *Lock
+}
+
+// NewSet returns an empty boosted set in the given domain.
+func NewSet(tm *TM) *Set {
+	return &Set{tm: tm, inner: seqset.NewSkipListSet()}
+}
+
+// lockOf returns the abstract lock of a key.
+func (s *Set) lockOf(key int) *Lock {
+	if l, ok := s.locks.Load(key); ok {
+		return l.(*Lock)
+	}
+	l, _ := s.locks.LoadOrStore(key, &Lock{})
+	return l.(*Lock)
+}
+
+// Contains reports membership; it may be called directly (running its
+// own transaction) or inside an Atomic region (composing).
+func (s *Set) Contains(th *Thread, key int) bool {
+	var res bool
+	_ = th.Atomic(func(tx *Tx) error {
+		res = s.contains(tx, key)
+		return nil
+	})
+	return res
+}
+
+func (s *Set) contains(tx *Tx, key int) bool {
+	tx.Acquire(s.lockOf(key))
+	s.mu.Lock()
+	res := s.inner.Contains(key)
+	s.mu.Unlock()
+	tx.Op(s.lockOf(key), "contains", res)
+	return res
+}
+
+// Add inserts key; it reports whether the set changed.
+func (s *Set) Add(th *Thread, key int) bool {
+	var res bool
+	_ = th.Atomic(func(tx *Tx) error {
+		res = s.add(tx, key)
+		return nil
+	})
+	return res
+}
+
+func (s *Set) add(tx *Tx, key int) bool {
+	tx.Acquire(s.lockOf(key))
+	s.mu.Lock()
+	changed := s.inner.Add(key)
+	s.mu.Unlock()
+	tx.Op(s.lockOf(key), "add", changed)
+	if changed {
+		tx.Defer(func() {
+			s.mu.Lock()
+			s.inner.Remove(key)
+			s.mu.Unlock()
+		})
+	}
+	return changed
+}
+
+// Remove deletes key; it reports whether the set changed.
+func (s *Set) Remove(th *Thread, key int) bool {
+	var res bool
+	_ = th.Atomic(func(tx *Tx) error {
+		res = s.remove(tx, key)
+		return nil
+	})
+	return res
+}
+
+func (s *Set) remove(tx *Tx, key int) bool {
+	tx.Acquire(s.lockOf(key))
+	s.mu.Lock()
+	changed := s.inner.Remove(key)
+	s.mu.Unlock()
+	tx.Op(s.lockOf(key), "remove", changed)
+	if changed {
+		tx.Defer(func() {
+			s.mu.Lock()
+			s.inner.Add(key)
+			s.mu.Unlock()
+		})
+	}
+	return changed
+}
+
+// AddAll inserts every key atomically (a composition of Add).
+func (s *Set) AddAll(th *Thread, keys []int) bool {
+	changed := false
+	_ = th.Atomic(func(*Tx) error {
+		changed = false
+		for _, k := range keys {
+			if s.Add(th, k) {
+				changed = true
+			}
+		}
+		return nil
+	})
+	return changed
+}
+
+// RemoveAll deletes every key atomically (a composition of Remove).
+func (s *Set) RemoveAll(th *Thread, keys []int) bool {
+	changed := false
+	_ = th.Atomic(func(*Tx) error {
+		changed = false
+		for _, k := range keys {
+			if s.Remove(th, k) {
+				changed = true
+			}
+		}
+		return nil
+	})
+	return changed
+}
+
+// InsertIfAbsent atomically inserts x only if y is absent — the paper's
+// Fig. 1 composition, here over boosted operations.
+func (s *Set) InsertIfAbsent(th *Thread, x, y int) bool {
+	inserted := false
+	_ = th.Atomic(func(*Tx) error {
+		inserted = false
+		if !s.Contains(th, y) {
+			inserted = s.Add(th, x)
+		}
+		return nil
+	})
+	return inserted
+}

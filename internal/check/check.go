@@ -1,0 +1,238 @@
+// Package check implements machine-checkable versions of the paper's
+// definitions: relax-seriality, legality, (relax-)serializability (§II),
+// strong and weak composability (§III, Defs. 3.1/3.2) and outheritance
+// (§IV, Def. 4.1). The theorem examples of the paper — the §II-B history,
+// Fig. 3's construction for Theorem 4.2, and Theorem 4.3's extension —
+// are verified in this package's tests, and instrumented OE-STM runs are
+// checked against Def. 4.1 end to end.
+//
+// Interpretation notes (the paper's formalism leaves two points open; we
+// fix them as follows and the paper's own examples confirm the reading):
+//
+//  1. Witness equivalence. A witness history S for relax-serializability
+//     or composability preserves each process's full event subsequence
+//     (operations and acquire/release brackets and begin/commit order):
+//     S is an interleaving of the per-process sequences of H. This is
+//     what makes Theorem 4.2's proof go through — the commit of t2 is
+//     pinned between the two protected sections of t3 by the element
+//     bracket structure.
+//
+//  2. Transaction order in S|o (Def. 3.2). t precedes t' in S|o iff some
+//     operation of t on o precedes some operation of t' on o; sup(C) is
+//     positioned by its commit event when it has no operation on o later
+//     than the candidate's.
+//
+// All searches are exhaustive over interleavings and therefore
+// exponential; they are meant for the small histories of the paper's
+// proofs and for spot-checking instrumented executions, not for bulk
+// verification.
+package check
+
+import (
+	"oestm/internal/history"
+)
+
+// RelaxSerial reports whether h is relax-serial (§II-B): for every
+// protection element, the acquire/release events form matching
+// non-interleaved pairs starting with an acquire — at most one process
+// holds an element at any time, and only the holder releases it.
+func RelaxSerial(h history.History) bool {
+	holder := map[string]string{}
+	for _, e := range h {
+		switch e.Type {
+		case history.AcquireEvent:
+			if holder[e.Obj] != "" {
+				return false
+			}
+			holder[e.Obj] = e.Proc
+		case history.ReleaseEvent:
+			if holder[e.Obj] != e.Proc {
+				return false
+			}
+			holder[e.Obj] = ""
+		}
+	}
+	return true
+}
+
+// WellFormed checks the bracket discipline of §II-A on h: every
+// operation's invocation and response lie between an acquisition of the
+// object's protection element by the operation's process and the next
+// matching release, and no acquire/release occurs between a transaction's
+// last response and its commit... the latter is relaxed here to permit
+// outheritance-style late releases, which the paper introduces exactly
+// for that purpose.
+func WellFormed(h history.History) bool {
+	held := map[string]map[string]bool{} // proc -> element set
+	for _, e := range h {
+		switch e.Type {
+		case history.AcquireEvent:
+			if held[e.Proc] == nil {
+				held[e.Proc] = map[string]bool{}
+			}
+			if held[e.Proc][e.Obj] {
+				return false // re-acquire while held
+			}
+			held[e.Proc][e.Obj] = true
+		case history.ReleaseEvent:
+			if !held[e.Proc][e.Obj] {
+				return false
+			}
+			delete(held[e.Proc], e.Obj)
+		case history.InvokeEvent, history.ResponseEvent:
+			if !held[e.Proc][e.Obj] {
+				return false // operation outside a protected section
+			}
+		}
+	}
+	return true
+}
+
+// Legal reports whether the operations of h, taken object by object in
+// history order, satisfy the objects' serial specifications. h must
+// represent one candidate sequential order (e.g. a witness produced by
+// the searches below, or a serial concatenation).
+func Legal(h history.History, specs map[string]history.Spec) bool {
+	sims := map[string]history.Sim{}
+	pending := newArgPairer()
+	for _, e := range h {
+		switch e.Type {
+		case history.InvokeEvent:
+			pending.invoke(e)
+		case history.ResponseEvent:
+			arg := pending.respond(e)
+			sim, ok := sims[e.Obj]
+			if !ok {
+				spec, have := specs[e.Obj]
+				if !have {
+					continue // unspecified objects accept anything
+				}
+				sim = spec.New()
+				sims[e.Obj] = sim
+			}
+			if !sim.Apply(e.Op, arg, e.Val) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// argPairer matches response events to the arguments of their invocation
+// events positionally (FIFO per transaction/object/operation), which is
+// how the model pairs them; matching by value would conflate identical
+// operations (e.g. two writes returning "ok").
+type argPairer struct {
+	queues map[string][]any
+}
+
+func newArgPairer() *argPairer { return &argPairer{queues: map[string][]any{}} }
+
+func pairKey(e history.Event) string { return e.Tx + "\x00" + e.Obj + "\x00" + e.Op }
+
+// invoke records the argument of an invocation event.
+func (p *argPairer) invoke(e history.Event) {
+	k := pairKey(e)
+	p.queues[k] = append(p.queues[k], e.Val)
+}
+
+// respond pops the argument for a response event (nil if unmatched).
+func (p *argPairer) respond(e history.Event) any {
+	k := pairKey(e)
+	q := p.queues[k]
+	if len(q) == 0 {
+		return nil
+	}
+	arg := q[0]
+	p.queues[k] = q[1:]
+	return arg
+}
+
+// precedencePairs returns <H over committed transactions: t <H u iff
+// commit(t) precedes begin(u).
+func precedencePairs(h history.History) map[string][]string {
+	committed := h.Committed()
+	out := map[string][]string{}
+	for t := range committed {
+		for u := range committed {
+			if t != u && h.Precedes(t, u) {
+				out[u] = append(out[u], t)
+			}
+		}
+	}
+	return out
+}
+
+// Serializable reports whether h is (strictly) serializable: there is a
+// legal serial order of its committed transactions that respects <H.
+func Serializable(h history.History, specs map[string]history.Spec) bool {
+	h = h.RemoveAborted()
+	committed := h.Committed()
+	var txs []string
+	for _, t := range h.Transactions() {
+		if committed[t] {
+			txs = append(txs, t)
+		}
+	}
+	pre := precedencePairs(h)
+	ops := map[string][]history.OpCall{}
+	for _, t := range txs {
+		ops[t] = h.OpsOf(t)
+	}
+	used := make(map[string]bool, len(txs))
+	sims := map[string]history.Sim{}
+	var dfs func(placed int) bool
+	dfs = func(placed int) bool {
+		if placed == len(txs) {
+			return true
+		}
+		for _, t := range txs {
+			if used[t] {
+				continue
+			}
+			ok := true
+			for _, before := range pre[t] {
+				if !used[before] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Apply t's ops tentatively.
+			saved := map[string]history.Sim{}
+			legal := true
+			for _, c := range ops[t] {
+				spec, have := specs[c.Obj]
+				if !have {
+					continue
+				}
+				sim, exists := sims[c.Obj]
+				if !exists {
+					sim = spec.New()
+					sims[c.Obj] = sim
+				}
+				if _, savedAlready := saved[c.Obj]; !savedAlready {
+					saved[c.Obj] = sim.Clone()
+				}
+				if !sims[c.Obj].Apply(c.Op, c.Arg, c.Ret) {
+					legal = false
+					break
+				}
+			}
+			if legal {
+				used[t] = true
+				if dfs(placed + 1) {
+					return true
+				}
+				used[t] = false
+			}
+			for obj, sim := range saved {
+				sims[obj] = sim
+			}
+		}
+		return false
+	}
+	return dfs(0)
+}

@@ -1,0 +1,119 @@
+package check
+
+import "oestm/internal/history"
+
+// This file encodes, as library values, the histories the paper uses in
+// its formal development, so that both the test suite and the
+// compose-check command can verify them.
+
+// SectionIIBHistory returns the example of §II-B: a history that is
+// relax-serial but not serializable. Objects o1, o2, o3 are registers
+// (initially 0); the values force t1 before t2 on o1 and t2 before t1 on
+// o3, which forbids any serial order.
+func SectionIIBHistory() history.History {
+	return history.NewBuilder().
+		Begin("t1", "p1").
+		Begin("t2", "p2").
+		Acq("t1", "o1").
+		Op("t1", "o1", "read", nil, 0).
+		Acq("t1", "o2").
+		Op("t1", "o2", "read", nil, 0).
+		RelTx("t1", "o1").
+		Acq("t2", "o1").
+		Op("t2", "o1", "write", 1, "ok").
+		Acq("t2", "o3").
+		Op("t2", "o3", "read", nil, 0).
+		RelTx("t2", "o1").
+		RelTx("t2", "o3").
+		Acq("t1", "o3").
+		Op("t1", "o3", "write", 1, "ok").
+		Commit("t2").
+		Commit("t1").
+		RelTx("t1", "o2").
+		RelTx("t1", "o3").
+		History()
+}
+
+// SectionIIBSpecs returns the serial specifications for
+// SectionIIBHistory.
+func SectionIIBSpecs() map[string]history.Spec {
+	return map[string]history.Spec{
+		"o1": history.RegisterSpec{Init: 0},
+		"o2": history.RegisterSpec{Init: 0},
+		"o3": history.RegisterSpec{Init: 0},
+	}
+}
+
+// Fig3History returns the literal history of Theorem 4.2's proof
+// (Fig. 3): x is a register, c a counter; composition C = {t1, t3}
+// executed by p1; t1's protected set is outherited until after t3
+// commits, yet t2's increment is pinned between t3's two protected
+// sections, so no strongly composable witness exists.
+func Fig3History() history.History {
+	return history.NewBuilder().
+		Begin("t1", "p1").
+		Acq("t1", "x").
+		Op("t1", "x", "write", 2, "ok").
+		Commit("t1").
+		Begin("t3", "p1").
+		Acq("t3", "c").
+		Op("t3", "c", "inc", nil, 1).
+		RelTx("t3", "c").
+		Begin("t2", "p2").
+		Acq("t2", "c").
+		Op("t2", "c", "inc", nil, 2).
+		Commit("t2").
+		RelTx("t2", "c").
+		Acq("t3", "c").
+		Op("t3", "c", "inc", nil, 3).
+		RelTx("t3", "c").
+		Op("t3", "x", "read", nil, 2).
+		Commit("t3").
+		RelTx("t1", "x").
+		History()
+}
+
+// Fig3Specs returns the serial specifications for Fig3History.
+func Fig3Specs() map[string]history.Spec {
+	return map[string]history.Spec{
+		"x": history.RegisterSpec{Init: 0},
+		"c": history.CounterSpec{},
+	}
+}
+
+// Fig3Composition returns the composition C = {t1, t3} of Fig. 3.
+func Fig3Composition() []string { return []string{"t1", "t3"} }
+
+// Theorem43History realises the constructive proof of Theorem 4.3 on a
+// counter: C = {t1, t2} with t2 = Sup(C) still live when l(c) — which is
+// in Pmin(t1) — is released early (the event that breaks outheritance).
+// The outsider t3 then slips its increment between the members, and the
+// fixed return values (1, 2, 3) pin every witness to that order, so the
+// history is not weakly composable.
+func Theorem43History() history.History {
+	return history.NewBuilder().
+		Begin("t1", "p1").
+		Acq("t1", "c").
+		Op("t1", "c", "inc", nil, 1).
+		Commit("t1").
+		Begin("t2", "p1").
+		Rel("p1", "c"). // the early release: outheritance violated
+		Begin("t3", "p2").
+		Acq("t3", "c").
+		Op("t3", "c", "inc", nil, 2).
+		Commit("t3").
+		RelTx("t3", "c").
+		Acq("t2", "c").
+		Op("t2", "c", "inc", nil, 3).
+		Commit("t2").
+		RelTx("t2", "c").
+		History()
+}
+
+// Theorem43Specs returns the serial specifications for Theorem43History.
+func Theorem43Specs() map[string]history.Spec {
+	return map[string]history.Spec{"c": history.CounterSpec{}}
+}
+
+// Theorem43Composition returns the composition C = {t1, t2}.
+func Theorem43Composition() []string { return []string{"t1", "t2"} }

@@ -1,0 +1,163 @@
+// Integration tests: run the real OE-STM engine with the history
+// recorder installed and machine-check the produced histories against the
+// paper's predicates — outheritance holds on every composition under
+// OE-STM, is violated under E-STM mode, and Theorem 4.4's implication
+// (outheritance ∧ relax-serializable ⇒ weakly composable) holds on the
+// recorded executions.
+package check_test
+
+import (
+	"testing"
+
+	"oestm/internal/check"
+	"oestm/internal/core"
+	"oestm/internal/history"
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// runComposedScenario executes the paper's insertIfAbsent(x, y)
+// composition on two boolean vars under the given engine, with an
+// adversarial insert(y) interleaved between the two children on the
+// first attempt, and returns the recorded history and compositions.
+func runComposedScenario(t *testing.T, tm *core.TM) (history.History, [][]string) {
+	t.Helper()
+	rec := history.NewRecorder()
+	tm.SetTracer(rec)
+	xv, yv := mvar.New(false), mvar.New(false)
+	rec.Label(xv, "x")
+	rec.Label(yv, "y")
+
+	th := stm.NewThread(tm)
+	attempt := 0
+	err := th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+		attempt++
+		absent := false
+		if err := th.Atomic(stm.Elastic, func(ctx stm.Tx) error {
+			absent = !ctx.Read(yv).(bool)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if attempt == 1 {
+			adv := stm.NewThread(tm)
+			if err := adv.Atomic(stm.Regular, func(atx stm.Tx) error {
+				atx.Write(yv, true)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		// Second child: insert(x) if y was absent, else a benign re-check
+		// (so the composition always has two children).
+		return th.Atomic(stm.Elastic, func(ctx stm.Tx) error {
+			if absent {
+				ctx.Write(xv, true)
+			} else {
+				_ = ctx.Read(xv)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.History(), rec.Compositions()
+}
+
+func TestRecordedOESTMSatisfiesOutheritance(t *testing.T) {
+	h, comps := runComposedScenario(t, core.New())
+	if !check.WellFormed(h) {
+		t.Fatalf("recorded history ill-formed:\n%s", h)
+	}
+	if !check.RelaxSerial(h) {
+		t.Fatalf("recorded history not relax-serial:\n%s", h)
+	}
+	if len(comps) == 0 {
+		t.Fatal("no compositions recorded")
+	}
+	for _, c := range comps {
+		if !check.IsComposition(h, c) {
+			t.Fatalf("recorded children %v do not form a composition in:\n%s", c, h)
+		}
+		if !check.Outheritance(h, c) {
+			t.Fatalf("OE-STM execution violates outheritance for %v:\n%s", c, h)
+		}
+	}
+}
+
+func TestRecordedESTMViolatesOutheritance(t *testing.T) {
+	h, comps := runComposedScenario(t, core.NewWithoutOutheritance())
+	if len(comps) == 0 {
+		t.Fatal("no compositions recorded")
+	}
+	violated := false
+	for _, c := range comps {
+		if !check.Outheritance(h, c) {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatalf("E-STM composition unexpectedly satisfies outheritance:\n%s", h)
+	}
+}
+
+// TestTheorem44OnRecordedExecution checks the sufficiency theorem on the
+// real engine's output: the recorded OE-STM history satisfies
+// outheritance and is relax-serializable, therefore it must be weakly
+// composable with respect to every recorded composition.
+func TestTheorem44OnRecordedExecution(t *testing.T) {
+	h, comps := runComposedScenario(t, core.New())
+	specs := map[string]history.Spec{
+		"x": history.RegisterSpec{Init: false},
+		"y": history.RegisterSpec{Init: false},
+	}
+	if !check.RelaxSerializable(h, specs) {
+		t.Fatalf("recorded history not relax-serializable:\n%s", h)
+	}
+	for _, c := range comps {
+		if !check.Outheritance(h, c) {
+			t.Fatalf("outheritance broken for %v", c)
+		}
+		if !check.WeaklyComposable(h, c, specs) {
+			t.Fatalf("Theorem 4.4 violated on recorded execution for %v:\n%s", c, h)
+		}
+	}
+}
+
+// TestRecorderBalancesHolds: every acquire in a recorded history has a
+// matching release (the engine releases everything at commit), so no
+// element remains held at the end.
+func TestRecorderBalancesHolds(t *testing.T) {
+	for _, mk := range []func() *core.TM{core.New, core.NewWithoutOutheritance} {
+		h, _ := runComposedScenario(t, mk())
+		held := map[string]int{}
+		for _, e := range h {
+			switch e.Type {
+			case history.AcquireEvent:
+				held[e.Proc+"/"+e.Obj]++
+			case history.ReleaseEvent:
+				held[e.Proc+"/"+e.Obj]--
+			}
+		}
+		for k, n := range held {
+			if n != 0 {
+				t.Fatalf("unbalanced hold %s: %d in\n%s", k, n, h)
+			}
+		}
+	}
+}
+
+// TestRecorderCompositionShape: children are recorded in execution order
+// and the composition's Sup is the last child.
+func TestRecorderCompositionShape(t *testing.T) {
+	h, comps := runComposedScenario(t, core.New())
+	for _, c := range comps {
+		if len(c) != 2 {
+			t.Fatalf("composition %v, want 2 children", c)
+		}
+		if h.CommitIndex(c[0]) > h.CommitIndex(c[1]) {
+			t.Fatalf("children out of commit order: %v", c)
+		}
+	}
+}

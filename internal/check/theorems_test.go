@@ -1,0 +1,258 @@
+// Theorem and example tests: every history the paper uses in its formal
+// development is encoded literally and checked against the definitions.
+package check_test
+
+import (
+	"testing"
+
+	"oestm/internal/check"
+	"oestm/internal/history"
+)
+
+// The example histories live in examples.go so the compose-check command
+// can verify them too; the tests below exercise those library values.
+func sectionIIBHistory() history.History     { return check.SectionIIBHistory() }
+func registerSpecs() map[string]history.Spec { return check.SectionIIBSpecs() }
+
+func TestSectionIIBExample(t *testing.T) {
+	h := sectionIIBHistory()
+	specs := registerSpecs()
+	if !check.RelaxSerial(h) {
+		t.Fatal("the §II-B history must be relax-serial")
+	}
+	if !check.WellFormed(h) {
+		t.Fatal("the §II-B history must be well-formed")
+	}
+	if check.Serializable(h, specs) {
+		t.Fatal("the §II-B history must NOT be serializable")
+	}
+	if !check.RelaxSerializable(h, specs) {
+		t.Fatal("the §II-B history must be relax-serializable")
+	}
+}
+
+func fig3History() history.History       { return check.Fig3History() }
+func fig3Specs() map[string]history.Spec { return check.Fig3Specs() }
+
+// TestTheorem42 verifies the paper's Theorem 4.2 on its own construction:
+// Fig. 3's history satisfies outheritance with respect to C = {t1, t3}
+// yet is not strongly composable — and, per Theorem 4.4, it is weakly
+// composable.
+func TestTheorem42(t *testing.T) {
+	h := fig3History()
+	specs := fig3Specs()
+	c := []string{"t1", "t3"}
+
+	if !check.WellFormed(h) {
+		t.Fatal("Fig. 3 history must be well-formed")
+	}
+	if !check.RelaxSerial(h) {
+		t.Fatal("Fig. 3 history must be relax-serial")
+	}
+	if !check.IsComposition(h, c) {
+		t.Fatal("C = {t1, t3} must be a composition of p1")
+	}
+	if !check.Outheritance(h, c) {
+		t.Fatal("Fig. 3 history must satisfy outheritance w.r.t. C")
+	}
+	if check.Serializable(h, specs) {
+		t.Fatal("Fig. 3 history must not be serializable (t2 interleaves t3's sections)")
+	}
+	if !check.RelaxSerializable(h, specs) {
+		t.Fatal("Fig. 3 history must be relax-serializable")
+	}
+	if check.StronglyComposable(h, c, specs) {
+		t.Fatal("Theorem 4.2: Fig. 3 history must NOT be strongly composable")
+	}
+	if !check.WeaklyComposable(h, c, specs) {
+		t.Fatal("Theorem 4.4: Fig. 3 history must be weakly composable")
+	}
+}
+
+// TestFig3Kernels pins the protected-set computations behind Theorem 4.2:
+// Pmin(t1) = {x} (outherited), Pmin(t3) = ∅ (elastic-style transient
+// sections).
+func TestFig3Kernels(t *testing.T) {
+	h := fig3History()
+	if p := h.Pmin("t1"); !p["x"] || len(p) != 1 {
+		t.Fatalf("Pmin(t1) = %v, want {x}", p)
+	}
+	if p := h.Pmin("t3"); len(p) != 0 {
+		t.Fatalf("Pmin(t3) = %v, want empty", p)
+	}
+	// In the paper's Fig. 3 the release <r(2), p2> follows <commit(t2),
+	// p2>, so l(c) is still protected when t2 commits.
+	if p := h.Pmin("t2"); !p["c"] || len(p) != 1 {
+		t.Fatalf("Pmin(t2) = %v, want {c}", p)
+	}
+}
+
+func theorem43History() history.History { return check.Theorem43History() }
+
+// TestTheorem43 verifies necessity: breaking outheritance by one early
+// release yields a history that is not weakly composable.
+func TestTheorem43(t *testing.T) {
+	h := theorem43History()
+	specs := check.Theorem43Specs()
+	c := check.Theorem43Composition()
+
+	if !check.RelaxSerial(h) {
+		t.Fatal("the construction must be relax-serial")
+	}
+	if !check.IsComposition(h, c) {
+		t.Fatal("C = {t1, t2} must be a composition of p1")
+	}
+	if check.Outheritance(h, c) {
+		t.Fatal("the early release must break outheritance")
+	}
+	if !check.RelaxSerializable(h, specs) {
+		t.Fatal("the construction must still be relax-serializable")
+	}
+	if check.WeaklyComposable(h, c, specs) {
+		t.Fatal("Theorem 4.3: the construction must NOT be weakly composable")
+	}
+}
+
+// TestTheorem44OnOutheritingVariant rebuilds the Theorem 4.3 scenario
+// WITH outheritance (no early release; t3's increment happens after the
+// composition ends) and checks weak composability — the sufficiency
+// direction on a concrete history.
+func TestTheorem44OnOutheritingVariant(t *testing.T) {
+	h := history.NewBuilder().
+		Begin("t1", "p1").
+		Acq("t1", "c").
+		Op("t1", "c", "inc", nil, 1).
+		Commit("t1").
+		Begin("t2", "p1").
+		Acq("t2", "x").
+		Op("t2", "x", "write", 9, "ok").
+		Commit("t2").
+		Rel("p1", "c"). // released only after Sup(C) committed
+		RelTx("t2", "x").
+		Begin("t3", "p2").
+		Acq("t3", "c").
+		Op("t3", "c", "inc", nil, 2).
+		Commit("t3").
+		RelTx("t3", "c").
+		History()
+	specs := map[string]history.Spec{"c": history.CounterSpec{}, "x": history.RegisterSpec{Init: 0}}
+	c := []string{"t1", "t2"}
+
+	if !check.RelaxSerial(h) || !check.IsComposition(h, c) {
+		t.Fatal("setup broken")
+	}
+	if !check.Outheritance(h, c) {
+		t.Fatal("this variant must satisfy outheritance")
+	}
+	if !check.RelaxSerializable(h, specs) {
+		t.Fatal("variant must be relax-serializable")
+	}
+	if !check.WeaklyComposable(h, c, specs) {
+		t.Fatal("Theorem 4.4: outheritance + relax-serializability must give weak composability")
+	}
+}
+
+func TestRelaxSerialRejectsInterleavedSections(t *testing.T) {
+	h := history.NewBuilder().
+		Begin("t1", "p1").
+		Begin("t2", "p2").
+		Acq("t1", "x").
+		Acq("t2", "x"). // acquire while held: not relax-serial
+		History()
+	if check.RelaxSerial(h) {
+		t.Fatal("interleaved sections must not be relax-serial")
+	}
+}
+
+func TestRelaxSerialRejectsForeignRelease(t *testing.T) {
+	h := history.NewBuilder().
+		Begin("t1", "p1").
+		Begin("t2", "p2").
+		Acq("t1", "x").
+		RelTx("t2", "x"). // release by non-holder
+		History()
+	if check.RelaxSerial(h) {
+		t.Fatal("release by a non-holder must not be relax-serial")
+	}
+}
+
+func TestWellFormedRejectsNakedOp(t *testing.T) {
+	h := history.NewBuilder().
+		Begin("t1", "p1").
+		Op("t1", "x", "read", nil, 0). // no acquire
+		History()
+	if check.WellFormed(h) {
+		t.Fatal("operation outside a protected section must be ill-formed")
+	}
+}
+
+func TestSerializableSimpleCases(t *testing.T) {
+	specs := map[string]history.Spec{"x": history.RegisterSpec{Init: 0}}
+	// Sequential write-then-read: serializable.
+	h := history.NewBuilder().
+		Begin("t1", "p1").
+		Acq("t1", "x").
+		Op("t1", "x", "write", 1, "ok").
+		Commit("t1").
+		RelTx("t1", "x").
+		Begin("t2", "p1").
+		Acq("t2", "x").
+		Op("t2", "x", "read", nil, 1).
+		Commit("t2").
+		RelTx("t2", "x").
+		History()
+	if !check.Serializable(h, specs) {
+		t.Fatal("sequential history must be serializable")
+	}
+	// A read that matches no serial order: not serializable.
+	bad := history.NewBuilder().
+		Begin("t1", "p1").
+		Acq("t1", "x").
+		Op("t1", "x", "read", nil, 42). // 42 was never written
+		Commit("t1").
+		RelTx("t1", "x").
+		History()
+	if check.Serializable(bad, specs) {
+		t.Fatal("impossible read must not be serializable")
+	}
+	if check.RelaxSerializable(bad, specs) {
+		t.Fatal("impossible read must not be relax-serializable either")
+	}
+}
+
+func TestPrecedenceRespectedInWitness(t *testing.T) {
+	specs := map[string]history.Spec{"x": history.RegisterSpec{Init: 0}}
+	// t1 (p1) commits before t2 (p2) begins; t2 reads 0 although t1 wrote
+	// 1 — <H forbids reordering, so nothing is serializable here.
+	h := history.NewBuilder().
+		Begin("t1", "p1").
+		Acq("t1", "x").
+		Op("t1", "x", "write", 1, "ok").
+		Commit("t1").
+		RelTx("t1", "x").
+		Begin("t2", "p2").
+		Acq("t2", "x").
+		Op("t2", "x", "read", nil, 0).
+		Commit("t2").
+		RelTx("t2", "x").
+		History()
+	if check.Serializable(h, specs) {
+		t.Fatal("<H must forbid reordering t2 before t1")
+	}
+	if check.RelaxSerializable(h, specs) {
+		t.Fatal("<H must forbid the relax-serial witness too")
+	}
+}
+
+func TestIsComposition(t *testing.T) {
+	h := fig3History()
+	if check.IsComposition(h, []string{"t1"}) {
+		t.Fatal("singleton compositions are excluded (|C| >= 2)")
+	}
+	if check.IsComposition(h, []string{"t1", "t2"}) {
+		t.Fatal("members of different processes are not a composition")
+	}
+	if !check.IsComposition(h, []string{"t1", "t3"}) {
+		t.Fatal("{t1, t3} is a composition of p1")
+	}
+}

@@ -1,0 +1,314 @@
+package check
+
+import (
+	"oestm/internal/history"
+)
+
+// witnessSearch enumerates relax-serial witnesses of h: interleavings of
+// the per-process event sequences that are relax-serial, legal, and
+// respect <H. For each complete witness, accept is consulted; the search
+// succeeds when accept returns true (accept == nil accepts the first
+// witness). It returns whether a witness was accepted.
+func witnessSearch(h history.History, specs map[string]history.Spec, accept func(history.History) bool) bool {
+	h = h.RemoveAborted()
+	procs := h.Procs()
+	seqs := make([]history.History, len(procs))
+	total := 0
+	for i, p := range procs {
+		seqs[i] = h.ByProc(p)
+		total += len(seqs[i])
+	}
+	// Pre-pair each response event with its invocation argument
+	// positionally (transactions run on one process, so pairing within
+	// the per-process sequences is exact).
+	args := make([][]any, len(procs))
+	for i := range seqs {
+		pairer := newArgPairer()
+		args[i] = make([]any, len(seqs[i]))
+		for j, e := range seqs[i] {
+			switch e.Type {
+			case history.InvokeEvent:
+				pairer.invoke(e)
+			case history.ResponseEvent:
+				args[i][j] = pairer.respond(e)
+			}
+		}
+	}
+	pre := precedencePairs(h)
+
+	pos := make([]int, len(procs))
+	holder := map[string]string{}
+	sims := map[string]history.Sim{}
+	done := map[string]bool{}
+	schedule := make(history.History, 0, total)
+
+	var dfs func(placed int) bool
+	dfs = func(placed int) bool {
+		if placed == total {
+			return accept == nil || accept(schedule)
+		}
+		for i := range procs {
+			if pos[i] >= len(seqs[i]) {
+				continue
+			}
+			e := seqs[i][pos[i]]
+			// Feasibility of scheduling e next.
+			switch e.Type {
+			case history.BeginEvent:
+				blocked := false
+				for _, t := range pre[e.Tx] {
+					if !done[t] {
+						blocked = true
+						break
+					}
+				}
+				if blocked {
+					continue
+				}
+			case history.AcquireEvent:
+				if holder[e.Obj] != "" {
+					continue
+				}
+			case history.ReleaseEvent:
+				if holder[e.Obj] != e.Proc {
+					continue
+				}
+			case history.ResponseEvent:
+				if spec, have := specs[e.Obj]; have {
+					sim, exists := sims[e.Obj]
+					if !exists {
+						sim = spec.New()
+					}
+					probe := sim.Clone()
+					if !probe.Apply(e.Op, args[i][pos[i]], e.Val) {
+						continue
+					}
+				}
+			}
+			// Apply e.
+			var savedSim history.Sim
+			var hadSim bool
+			switch e.Type {
+			case history.AcquireEvent:
+				holder[e.Obj] = e.Proc
+			case history.ReleaseEvent:
+				holder[e.Obj] = ""
+			case history.CommitEvent:
+				done[e.Tx] = true
+			case history.ResponseEvent:
+				if spec, have := specs[e.Obj]; have {
+					sim, exists := sims[e.Obj]
+					if !exists {
+						sim = spec.New()
+					}
+					savedSim, hadSim = sims[e.Obj], exists
+					next := sim.Clone()
+					next.Apply(e.Op, args[i][pos[i]], e.Val)
+					sims[e.Obj] = next
+				}
+			}
+			pos[i]++
+			schedule = append(schedule, e)
+			if dfs(placed + 1) {
+				return true
+			}
+			// Undo e.
+			schedule = schedule[:len(schedule)-1]
+			pos[i]--
+			switch e.Type {
+			case history.AcquireEvent:
+				holder[e.Obj] = ""
+			case history.ReleaseEvent:
+				holder[e.Obj] = e.Proc
+			case history.CommitEvent:
+				delete(done, e.Tx)
+			case history.ResponseEvent:
+				if hadSim {
+					sims[e.Obj] = savedSim
+				} else if savedSim == nil {
+					delete(sims, e.Obj)
+				}
+			}
+		}
+		return false
+	}
+	return dfs(0)
+}
+
+// RelaxSerializable reports whether h admits a legal relax-serial witness
+// equivalent to it with <H ⊆ <S (§II-B).
+func RelaxSerializable(h history.History, specs map[string]history.Spec) bool {
+	return witnessSearch(h, specs, nil)
+}
+
+// supOf returns Sup(C): the member committing last in h.
+func supOf(h history.History, c []string) string {
+	sup, best := "", -1
+	for _, t := range c {
+		if ci := h.CommitIndex(t); ci > best {
+			best, sup = ci, t
+		}
+	}
+	return sup
+}
+
+// isMember reports membership of t in c.
+func isMember(c []string, t string) bool {
+	for _, m := range c {
+		if m == t {
+			return true
+		}
+	}
+	return false
+}
+
+// StronglyComposable reports Def. 3.1: h admits a relax-serial witness S
+// in which no non-member transaction commits between the commits of two
+// members of C.
+func StronglyComposable(h history.History, c []string, specs map[string]history.Spec) bool {
+	return witnessSearch(h, specs, func(s history.History) bool {
+		return commitsConsecutive(s, c)
+	})
+}
+
+// commitsConsecutive checks Def. 3.1's third condition on a complete
+// witness: between any two member commits there is no outsider commit.
+func commitsConsecutive(s history.History, c []string) bool {
+	var order []string
+	for _, e := range s {
+		if e.Type == history.CommitEvent {
+			order = append(order, e.Tx)
+		}
+	}
+	first, last := -1, -1
+	for i, t := range order {
+		if isMember(c, t) {
+			if first == -1 {
+				first = i
+			}
+			last = i
+		}
+	}
+	for i := first; i >= 0 && i <= last; i++ {
+		if !isMember(c, order[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// WeaklyComposable reports Def. 3.2: h admits a relax-serial witness S in
+// which, for every member t and every object o in ker(t), no non-member
+// transaction operates on o between t's operations on o and Sup(C).
+// Kernels are computed on h (they are properties of the protected sets of
+// the original execution).
+func WeaklyComposable(h history.History, c []string, specs map[string]history.Spec) bool {
+	kers := map[string]map[string]bool{}
+	clean := h.RemoveAborted()
+	for _, t := range c {
+		kers[t] = clean.Ker(t)
+	}
+	sup := supOf(clean, c)
+	return witnessSearch(h, specs, func(s history.History) bool {
+		return weakCondition(s, c, kers, sup)
+	})
+}
+
+// weakCondition checks Def. 3.2's third condition on a complete witness.
+func weakCondition(s history.History, c []string, kers map[string]map[string]bool, sup string) bool {
+	supCommit := s.CommitIndex(sup)
+	for _, t := range c {
+		for o := range kers[t] {
+			// Last operation of t on o in s.
+			lastT := -1
+			for i, e := range s {
+				if e.Type == history.ResponseEvent && e.Tx == t && e.Obj == o {
+					lastT = i
+				}
+			}
+			if lastT == -1 {
+				continue
+			}
+			// Sup's boundary on o: its last operation on o, or its commit.
+			bound := supCommit
+			for i, e := range s {
+				if e.Type == history.ResponseEvent && e.Tx == sup && e.Obj == o && i > bound {
+					bound = i
+				}
+			}
+			for i := lastT + 1; i < bound; i++ {
+				e := s[i]
+				if e.Type == history.ResponseEvent && e.Obj == o && !isMember(c, e.Tx) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Outheritance reports Def. 4.1: for every t in C and every element in
+// Pmin(t), no release of that element by t's process occurs between
+// commit(t) and commit(Sup(C)) in h.
+func Outheritance(h history.History, c []string) bool {
+	h = h.RemoveAborted()
+	sup := supOf(h, c)
+	supCommit := h.CommitIndex(sup)
+	if supCommit < 0 {
+		return false
+	}
+	for _, t := range c {
+		p := h.ProcOf(t)
+		ct := h.CommitIndex(t)
+		if ct < 0 {
+			return false
+		}
+		for o := range h.Pmin(t) {
+			for i := ct + 1; i < supCommit; i++ {
+				e := h[i]
+				if e.Type == history.ReleaseEvent && e.Proc == p && e.Obj == o {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsComposition reports whether c satisfies the structural definition of
+// a composition of process p over h (§III): at least two committed
+// transactions, all executed by one process, consecutive in that
+// process's committed-transaction order, ending with Sup(C).
+func IsComposition(h history.History, c []string) bool {
+	if len(c) < 2 {
+		return false
+	}
+	h = h.RemoveAborted()
+	p := h.ProcOf(c[0])
+	for _, t := range c {
+		if h.ProcOf(t) != p || h.CommitIndex(t) < 0 {
+			return false
+		}
+	}
+	// Committed transactions of p in commit order.
+	var order []string
+	for _, e := range h {
+		if e.Type == history.CommitEvent && e.Proc == p {
+			order = append(order, e.Tx)
+		}
+	}
+	// c must appear as a contiguous block in that order.
+	for i := 0; i+len(c) <= len(order); i++ {
+		match := true
+		for j := range c {
+			if order[i+j] != c[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

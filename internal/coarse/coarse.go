@@ -1,0 +1,77 @@
+// Package coarse wraps the sequential structures behind a single
+// read-write mutex: the "explicitly lock existing sequential data
+// structures in a coarse-grained manner" alternative the paper's
+// introduction mentions as the price of non-composable concurrent
+// libraries (§I). It serves as an ablation baseline: composed operations
+// are trivially atomic here, at the cost of all concurrency.
+package coarse
+
+import (
+	"sync"
+
+	"oestm/internal/seqset"
+)
+
+// Set is a thread-safe integer set built from one global lock around a
+// sequential structure. All operations — including the bulk ones — are
+// atomic.
+type Set struct {
+	mu    sync.RWMutex
+	inner seqset.Set
+}
+
+// Wrap places a coarse lock around a sequential set. The caller must not
+// retain direct access to inner.
+func Wrap(inner seqset.Set) *Set { return &Set{inner: inner} }
+
+// Name identifies the implementation.
+func (s *Set) Name() string { return "coarse-" + s.inner.Name() }
+
+// Contains reports membership under the read lock.
+func (s *Set) Contains(key int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Contains(key)
+}
+
+// Add inserts key under the write lock.
+func (s *Set) Add(key int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Add(key)
+}
+
+// Remove deletes key under the write lock.
+func (s *Set) Remove(key int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Remove(key)
+}
+
+// AddAll inserts all keys atomically under the write lock.
+func (s *Set) AddAll(keys []int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.AddAll(keys)
+}
+
+// RemoveAll deletes all keys atomically under the write lock.
+func (s *Set) RemoveAll(keys []int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.RemoveAll(keys)
+}
+
+// Size returns the element count under the read lock.
+func (s *Set) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Size()
+}
+
+// Elements returns a sorted snapshot under the read lock.
+func (s *Set) Elements() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Elements()
+}

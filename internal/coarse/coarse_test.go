@@ -1,0 +1,102 @@
+package coarse
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"oestm/internal/seqset"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := Wrap(seqset.NewLinkedListSet())
+	if s.Name() != "coarse-seq-linkedlist" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if !s.Add(1) || s.Add(1) {
+		t.Fatal("Add semantics broken")
+	}
+	if !s.Contains(1) || s.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+	if s.Size() != 1 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	if !s.AddAll([]int{2, 3}) || s.AddAll([]int{2}) {
+		t.Fatal("AddAll semantics broken")
+	}
+	if got := s.Elements(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("elements = %v", got)
+	}
+	if !s.RemoveAll([]int{1, 3}) || s.RemoveAll([]int{9}) {
+		t.Fatal("RemoveAll semantics broken")
+	}
+	if !s.Remove(2) || s.Remove(2) {
+		t.Fatal("Remove semantics broken")
+	}
+}
+
+// TestConcurrentSafety hammers the wrapper; the single lock must keep the
+// per-key balance invariant (run with -race).
+func TestConcurrentSafety(t *testing.T) {
+	s := Wrap(seqset.NewSkipListSet())
+	const keys = 16
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := (seed*31 + i*7) % keys
+				switch i % 3 {
+				case 0:
+					s.Add(k)
+				case 1:
+					s.Remove(k)
+				default:
+					s.Contains(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Size(); n < 0 || n > keys {
+		t.Fatalf("impossible size %d", n)
+	}
+}
+
+// TestBulkAtomicity: the coarse lock trivially makes bulk operations
+// atomic; snapshots never see half a pair.
+func TestBulkAtomicity(t *testing.T) {
+	s := Wrap(seqset.NewHashSet(4))
+	pair := []int{1, 2}
+	stop := make(chan struct{})
+	var mut, obs sync.WaitGroup
+	mut.Add(1)
+	go func() {
+		defer mut.Done()
+		for i := 0; i < 500; i++ {
+			s.AddAll(pair)
+			s.RemoveAll(pair)
+		}
+	}()
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			els := s.Elements()
+			if len(els) == 1 {
+				t.Errorf("torn bulk visible: %v", els)
+				return
+			}
+		}
+	}()
+	mut.Wait()
+	close(stop)
+	obs.Wait()
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// child is a nested (composed) transaction. It shares the top-level
+// transaction's write buffer and snapshot bound but tracks its own elastic
+// state in its frame. At commit it either outherits its protected set to
+// the parent (OE-STM) or releases it (E-STM mode).
+type child struct {
+	frame
+	top         *txn
+	parentFrame *frame
+}
+
+func (c *child) getFrame() *frame { return &c.frame }
+func (c *child) topTxn() *txn     { return c.top }
+
+// Kind implements stm.Tx.
+func (c *child) Kind() stm.Kind { return c.frame.kind }
+
+// Read implements stm.Tx.
+func (c *child) Read(v *mvar.Var) any { return c.top.readVar(&c.frame, v) }
+
+// Write implements stm.Tx.
+func (c *child) Write(v *mvar.Var, val any) { c.top.writeVar(&c.frame, v, val) }
+
+// Commit implements stm.TxControl for nested transactions: validate the
+// child's protected set at its commit point, then apply the outherit()
+// rule of Fig. 4 — pass read set, last-read entry and write set to the
+// parent — or, in E-STM mode, drop the read protection (reproducing the
+// composition violation of Fig. 1).
+func (c *child) Commit() error {
+	t := c.top
+	if !t.frameValid(&c.frame) {
+		return stm.ErrConflict
+	}
+	t.popFrame(&c.frame)
+	tr := t.tm.tracer
+	if t.tm.outherit {
+		p := c.parentFrame
+		p.reads = append(p.reads, c.frame.reads...)
+		p.reads = append(p.reads, c.frame.win[:c.frame.nwin]...)
+		if c.frame.written {
+			// The parent inherited writes: its own elastic prefix (if
+			// any) ends here, matching a transaction whose write set
+			// just became non-empty.
+			p.markWritten()
+		}
+	}
+	if tr != nil {
+		tr.TxCommit(t.th.ID, c.frame.id)
+		if !t.tm.outherit {
+			// E-STM: the protected set is released as soon as the child
+			// commits — the early releases that break composition
+			// (emitted after the commit event, as the model places them).
+			for _, r := range c.frame.reads {
+				tr.Release(t.th.ID, c.frame.id, r.v)
+			}
+			for i := 0; i < c.frame.nwin; i++ {
+				tr.Release(t.th.ID, c.frame.id, c.frame.win[i].v)
+			}
+		}
+	}
+	return nil
+}
+
+// Rollback implements stm.TxControl; it is only invoked when the child is
+// the innermost transaction (user-error aborts), so its frame is on top of
+// the stack.
+func (c *child) Rollback() {
+	c.top.popFrame(&c.frame)
+	if tr := c.top.tm.tracer; tr != nil {
+		tr.TxAbort(c.top.th.ID, c.frame.id)
+	}
+}
+
+// popFrame removes f from the live-frame stack. Conflict unwinds skip the
+// children's Rollback (the whole nest retries), so the frame may already
+// have been discarded with the stack by the top-level Rollback.
+func (t *txn) popFrame(f *frame) {
+	if n := len(t.frames); n > 0 && t.frames[n-1] == f {
+		t.frames = t.frames[:n-1]
+	}
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"testing"
+
+	"oestm/internal/core"
+	"oestm/internal/stm"
+	"oestm/internal/stmtest"
+)
+
+func TestConformanceOESTM(t *testing.T) {
+	stmtest.Run(t, func() stm.TM { return core.New() })
+}
+
+// E-STM mode must still pass the conformance suite: outheritance only
+// matters for composition correctness under adversarial interleavings,
+// which the directed tests below target; the generic suite's nested
+// workloads are conflict-free at the composition boundary.
+func TestConformanceESTMNonComposed(t *testing.T) {
+	stmtest.Run(t, func() stm.TM { return core.NewWithoutOutheritance() })
+}
+
+// The regular-only ablation engine is a full classic STM and must pass
+// the same contract.
+func TestConformanceRegularOnly(t *testing.T) {
+	stmtest.Run(t, func() stm.TM { return core.NewRegularOnly() })
+}
+
+func TestProperties(t *testing.T) {
+	tm := core.New()
+	if tm.Name() != "oestm" {
+		t.Fatalf("name = %q", tm.Name())
+	}
+	if !tm.SupportsElastic() {
+		t.Fatal("oestm must support elastic transactions")
+	}
+	if !tm.Outherits() {
+		t.Fatal("New() must enable outheritance")
+	}
+	etm := core.NewWithoutOutheritance()
+	if etm.Name() != "estm" {
+		t.Fatalf("name = %q", etm.Name())
+	}
+	if etm.Outherits() {
+		t.Fatal("NewWithoutOutheritance() must disable outheritance")
+	}
+}

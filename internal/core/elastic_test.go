@@ -1,0 +1,364 @@
+package core_test
+
+import (
+	"testing"
+
+	"oestm/internal/core"
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// write commits a single-location update on its own thread, simulating a
+// concurrent transaction that interleaves at a chosen point.
+func write(t *testing.T, tm stm.TM, v *mvar.Var, val any) {
+	t.Helper()
+	th := stm.NewThread(tm)
+	if err := th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		tx.Write(v, val)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestElasticPrefixIgnoresConflicts is the elastic model's defining
+// behaviour (§II-A): a conflict on the read-only prefix — here v1, already
+// outside the two-entry sliding window when the interleaved write lands —
+// does not abort the transaction.
+func TestElasticPrefixIgnoresConflicts(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	v1, v2, v3, v4 := mvar.New(1), mvar.New(2), mvar.New(3), mvar.New(4)
+	attempts := 0
+	err := th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+		attempts++
+		_ = tx.Read(v1)
+		_ = tx.Read(v2)
+		_ = tx.Read(v3) // window slides: v1's protection element released
+		if attempts == 1 {
+			write(t, tm, v1, 100) // prefix conflict: must be ignored
+		}
+		tx.Write(v4, 40)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (prefix conflict must not abort an elastic transaction)", attempts)
+	}
+}
+
+// TestRegularValidatesWholeReadSet is the classic-transaction counterpart:
+// the same interleaving aborts a Regular transaction because v1 stays in
+// its read set.
+func TestRegularValidatesWholeReadSet(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	v1, v2, v3 := mvar.New(1), mvar.New(2), mvar.New(3)
+	attempts := 0
+	err := th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		attempts++
+		_ = tx.Read(v1)
+		_ = tx.Read(v2)
+		if attempts == 1 {
+			write(t, tm, v1, 100)
+		}
+		tx.Write(v3, 30)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (regular transaction must abort on read-set conflict)", attempts)
+	}
+}
+
+// TestElasticCutViolationAborts: a write to the immediate past read (the
+// one protection element an elastic prefix holds) must abort.
+func TestElasticCutViolationAborts(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	v1, v2, v3 := mvar.New(1), mvar.New(2), mvar.New(3)
+	attempts := 0
+	err := th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+		attempts++
+		_ = tx.Read(v1) // window = {v1}
+		if attempts == 1 {
+			write(t, tm, v1, 100) // hits the window entry
+		}
+		_ = tx.Read(v2) // cut check must fail on first attempt
+		tx.Write(v3, 30)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (cut violation must abort)", attempts)
+	}
+}
+
+// TestElasticWritePromotesWindow: after the first write, reads become
+// permanently protected, so a later conflict on them aborts.
+func TestElasticWritePromotesWindow(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	v1, v2, v3 := mvar.New(1), mvar.New(2), mvar.New(3)
+	attempts := 0
+	err := th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+		attempts++
+		_ = tx.Read(v1)
+		tx.Write(v2, 20) // v1 (immediate past read) joins the read set
+		if attempts == 1 {
+			write(t, tm, v1, 100) // post-write conflict: must abort at commit
+		}
+		tx.Write(v3, 30)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (promoted read must be validated)", attempts)
+	}
+}
+
+// TestSnapshotExtension: reading a location newer than the snapshot bound
+// succeeds when the read set still validates (lazy extension).
+func TestSnapshotExtension(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	v1, v2 := mvar.New(1), mvar.New(2)
+	attempts := 0
+	err := th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		attempts++
+		_ = tx.Read(v1)
+		if attempts == 1 {
+			write(t, tm, v2, 200) // advances the clock beyond the tx's bound
+		}
+		if got := tx.Read(v2); attempts > 1 || got != 200 {
+			if attempts == 1 {
+				t.Errorf("read v2 = %v, want 200", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (extension must succeed)", attempts)
+	}
+}
+
+// TestSnapshotExtensionFailure: extension aborts when an already-read
+// location changed.
+func TestSnapshotExtensionFailure(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	v1, v2 := mvar.New(1), mvar.New(2)
+	attempts := 0
+	err := th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		attempts++
+		_ = tx.Read(v1)
+		if attempts == 1 {
+			write(t, tm, v1, 100)
+			write(t, tm, v2, 200)
+		}
+		_ = tx.Read(v2) // newer than bound; extension revalidates v1 and fails
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (extension over a changed read must abort)", attempts)
+	}
+}
+
+// insertIfAbsentScenario reproduces the paper's Fig. 1: insertIfAbsent(x,y)
+// composed from an elastic contains(y) and an elastic insert(x), with an
+// adversarial insert(y) interleaved between the two children. It returns
+// whether the composed operation inserted x even though y was present
+// (the atomicity violation) and how many attempts the composition took.
+func insertIfAbsentScenario(t *testing.T, tm stm.TM) (violated bool, attempts int) {
+	t.Helper()
+	th := stm.NewThread(tm)
+	xPresent, yPresent := mvar.New(false), mvar.New(false)
+	err := th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+		attempts++
+		// Child 1: contains(y), an elastic read-only transaction.
+		absent := false
+		if err := th.Atomic(stm.Elastic, func(ctx stm.Tx) error {
+			absent = !ctx.Read(yPresent).(bool)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if attempts == 1 {
+			// Adversary: concurrent insert(y) lands after contains(y)
+			// found it absent but before insert(x) commits.
+			write(t, tm, yPresent, true)
+		}
+		if absent {
+			// Child 2: insert(x), an elastic update transaction.
+			return th.Atomic(stm.Elastic, func(ctx stm.Tx) error {
+				ctx.Write(xPresent, true)
+				return nil
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := stm.NewThread(tm)
+	var x, y bool
+	if err := th2.Atomic(stm.Regular, func(tx stm.Tx) error {
+		x = tx.Read(xPresent).(bool)
+		y = tx.Read(yPresent).(bool)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return x && y, attempts
+}
+
+// TestFig1ViolationUnderESTM: without outheritance the composed
+// insertIfAbsent commits non-atomically — x is inserted although y is
+// present — exactly the execution of the paper's Fig. 1.
+func TestFig1ViolationUnderESTM(t *testing.T) {
+	violated, attempts := insertIfAbsentScenario(t, core.NewWithoutOutheritance())
+	if !violated {
+		t.Fatal("expected the Fig. 1 atomicity violation under E-STM composition")
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (the violation commits silently)", attempts)
+	}
+}
+
+// TestFig1PreventedUnderOESTM: with outheritance, the contains(y) read is
+// passed to the parent and validated at its commit, so the composition
+// retries and observes y — no insert of x happens.
+func TestFig1PreventedUnderOESTM(t *testing.T) {
+	violated, attempts := insertIfAbsentScenario(t, core.New())
+	if violated {
+		t.Fatal("outheritance failed to prevent the Fig. 1 violation")
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (first attempt must abort at parent commit)", attempts)
+	}
+}
+
+// TestOutheritPropagatesWrittenState: a child's write ends the parent's
+// elastic prefix, so the parent's subsequent reads are validated at
+// commit.
+func TestOutheritPropagatesWrittenState(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	a, b := mvar.New(1), mvar.New(2)
+	attempts := 0
+	err := th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+		attempts++
+		// Child writes: the parent inherits a non-empty write set.
+		if err := th.Atomic(stm.Elastic, func(ctx stm.Tx) error {
+			ctx.Write(a, 10)
+			return nil
+		}); err != nil {
+			return err
+		}
+		// The parent's own read after the child must now be permanent.
+		_ = tx.Read(b)
+		if attempts == 1 {
+			write(t, tm, b, 200)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (parent read after child write must be validated)", attempts)
+	}
+}
+
+// TestComposedMoveAtomicity: a move composed from remove+add observes
+// all-or-nothing semantics under an adversarial interleaving.
+func TestComposedMoveAtomicity(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	src, dst := mvar.New(true), mvar.New(false)
+	attempts := 0
+	err := th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+		attempts++
+		var present bool
+		if err := th.Atomic(stm.Elastic, func(ctx stm.Tx) error {
+			present = ctx.Read(src).(bool)
+			if present {
+				ctx.Write(src, false)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if attempts == 1 {
+			write(t, tm, dst, false) // touch dst so its version moves
+		}
+		if present {
+			return th.Atomic(stm.Elastic, func(ctx stm.Tx) error {
+				if ctx.Read(dst).(bool) {
+					return nil
+				}
+				ctx.Write(dst, true)
+				return nil
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := stm.NewThread(tm)
+	var s, d bool
+	if err := th2.Atomic(stm.Regular, func(tx stm.Tx) error {
+		s = tx.Read(src).(bool)
+		d = tx.Read(dst).(bool)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s || !d {
+		t.Fatalf("move not atomic: src=%v dst=%v", s, d)
+	}
+}
+
+// TestMixedKindComposition: a Regular parent may compose Elastic children;
+// everything the children read stays protected (flat classic semantics).
+func TestMixedKindComposition(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	a, b := mvar.New(1), mvar.New(2)
+	attempts := 0
+	err := th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		attempts++
+		if err := th.Atomic(stm.Elastic, func(ctx stm.Tx) error {
+			_ = ctx.Read(a)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if attempts == 1 {
+			write(t, tm, a, 100)
+		}
+		tx.Write(b, 20)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (outherited elastic read must be validated by regular parent)", attempts)
+	}
+}

@@ -1,0 +1,140 @@
+// Package core implements OE-STM, the paper's contribution (§V): a
+// software transactional memory providing elastic transactions (Felber,
+// Gramoli, Guerraoui — DISC 2009) that satisfy outheritance and therefore
+// compose (§IV).
+//
+// # Elastic transactions
+//
+// An elastic transaction ignores all conflicts induced by its read-only
+// prefix. Before its first write it protects only a sliding one-entry
+// window — the immediate past read — and every new read verifies that the
+// previous read is unchanged (cut consistency). The first write promotes
+// the window entry into the permanent read set; from then on the
+// transaction behaves like a classic one. Writes are buffered and locked
+// at commit against the shared versioned lock words. A snapshot upper
+// bound is extended lazily (LSA-style) so transactions always observe
+// consistent state (opacity) without a priori read-version aborts.
+//
+// Following §V: the minimal protected set of a read-only elastic
+// transaction is {r_n} (its last read); otherwise it is {r_k, …, r_n}
+// where r_k is the location read immediately before the first write.
+//
+// # Outheritance
+//
+// When a nested (composed) transaction commits, it does not release its
+// protected set; instead it passes its read set, last-read entry and
+// write set to its parent (Fig. 4's outherit()), which holds them until
+// its own commit. The engine can be constructed with outheritance
+// disabled (NewWithoutOutheritance) to obtain the original E-STM
+// behaviour, which releases the child's protected set at child commit and
+// therefore breaks composition exactly as in the paper's Fig. 1 — this
+// mode exists for the demonstration tests and the ablation benchmarks.
+package core
+
+import (
+	"sync/atomic"
+
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// TM is an OE-STM (or, with outheritance disabled, E-STM) engine
+// instance.
+type TM struct {
+	clock     mvar.Clock
+	outherit  bool
+	noElastic bool
+	tracer    stm.Tracer
+	txIDs     atomic.Uint64
+}
+
+// New returns an OE-STM engine: elastic transactions with outheritance.
+func New() *TM { return &TM{outherit: true} }
+
+// NewWithoutOutheritance returns an E-STM engine: elastic transactions
+// that release their protected sets at (nested) commit time. Composition
+// of elastic transactions under this engine can violate atomicity; it is
+// provided to reproduce the paper's Fig. 1 and for ablations.
+func NewWithoutOutheritance() *TM { return &TM{outherit: false} }
+
+// NewRegularOnly returns the engine with the elastic model switched off:
+// every transaction runs as Regular. It isolates, in ablation benchmarks,
+// how much of OE-STM's advantage comes from elasticity rather than from
+// the engine's snapshot machinery.
+func NewRegularOnly() *TM { return &TM{outherit: true, noElastic: true} }
+
+// Name implements stm.TM.
+func (tm *TM) Name() string {
+	switch {
+	case tm.noElastic:
+		return "oestm-regular"
+	case tm.outherit:
+		return "oestm"
+	default:
+		return "estm"
+	}
+}
+
+// Outherits reports whether nested commits pass their protected sets to
+// the parent.
+func (tm *TM) Outherits() bool { return tm.outherit }
+
+// SupportsElastic implements stm.TM.
+func (tm *TM) SupportsElastic() bool { return !tm.noElastic }
+
+// effectiveKind degrades Elastic to Regular when elasticity is switched
+// off.
+func (tm *TM) effectiveKind(k stm.Kind) stm.Kind {
+	if tm.noElastic {
+		return stm.Regular
+	}
+	return k
+}
+
+// SetTracer installs a protection-element tracer. It must be called while
+// no transactions are running; tracing is intended for correctness
+// checking, not production.
+func (tm *TM) SetTracer(tr stm.Tracer) { tm.tracer = tr }
+
+// Begin implements stm.TM.
+func (tm *TM) Begin(th *stm.Thread, k stm.Kind) stm.TxControl {
+	k = tm.effectiveKind(k)
+	t := &txn{
+		tm: tm,
+		th: th,
+		ub: tm.clock.Now(),
+	}
+	t.frame.init(tm.txIDs.Add(1), k)
+	t.frames = append(t.framesBuf[:0], &t.frame)
+	if tr := tm.tracer; tr != nil {
+		tr.TxBegin(th.ID, t.frame.id, 0, k)
+	}
+	return t
+}
+
+// BeginNested implements stm.TM: a real (closed-nested) child that will
+// outherit (or, in E-STM mode, release) its protected set at commit.
+func (tm *TM) BeginNested(th *stm.Thread, parent stm.TxControl, k stm.Kind) stm.TxControl {
+	p, ok := parent.(txNode)
+	if !ok {
+		// A foreign parent cannot occur in practice: the driver only
+		// nests transactions from the same engine.
+		panic("core: nested under a transaction of a different engine")
+	}
+	c := &child{top: p.topTxn(), parentFrame: p.getFrame()}
+	c.frame.init(tm.txIDs.Add(1), tm.effectiveKind(k))
+	c.top.frames = append(c.top.frames, &c.frame)
+	if tr := tm.tracer; tr != nil {
+		tr.TxBegin(th.ID, c.frame.id, p.getFrame().id, k)
+	}
+	return c
+}
+
+// txNode is implemented by both top-level and child transactions so the
+// engine can walk from any transaction to its frame and its top-level
+// owner.
+type txNode interface {
+	stm.TxControl
+	getFrame() *frame
+	topTxn() *txn
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// EarlyRelease removes v from the current transaction's protected set —
+// the early-release mechanism of DSTM, which §II-A models as releasing
+// the protection element when the release operation is invoked. After
+// the call, conflicts on v no longer abort the transaction.
+//
+// Early release is an expert relaxation: it trades safety for
+// concurrency, and — exactly as Theorem 4.3 predicts — using it inside a
+// composition destroys weak composability, because the released element
+// leaves the minimal protected set that outheritance would have passed
+// to the parent. The instrumentation reflects this: the release event is
+// emitted at the call, and the checkers in internal/check will flag the
+// resulting histories.
+//
+// It reports whether anything was actually released (false when v was
+// not in the protected set, was already written, or tx does not belong
+// to this engine).
+func EarlyRelease(tx stm.Tx, v *mvar.Var) bool {
+	node, ok := tx.(txNode)
+	if !ok {
+		return false
+	}
+	t := node.topTxn()
+	if _, written := t.windex[v]; written {
+		// Write intents cannot be released: the commit protocol owns them.
+		return false
+	}
+	f := node.getFrame()
+	released := false
+	// Drop from the permanent read set.
+	kept := f.reads[:0]
+	for _, r := range f.reads {
+		if r.v == v {
+			released = true
+			continue
+		}
+		kept = append(kept, r)
+	}
+	f.reads = kept
+	// Drop from the elastic window.
+	for i := 0; i < f.nwin; {
+		if f.win[i].v == v {
+			copy(f.win[i:], f.win[i+1:f.nwin])
+			f.nwin--
+			released = true
+			continue
+		}
+		i++
+	}
+	if released {
+		t.traceRelease(f, v)
+	}
+	return released
+}

@@ -1,0 +1,154 @@
+package core_test
+
+import (
+	"testing"
+
+	"oestm/internal/check"
+	"oestm/internal/core"
+	"oestm/internal/history"
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// TestEarlyReleaseIgnoresConflict: after releasing a read, a conflicting
+// external write no longer aborts the transaction (DSTM early release).
+func TestEarlyReleaseIgnoresConflict(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	v1, v2 := mvar.New(1), mvar.New(2)
+	attempts := 0
+	err := th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		attempts++
+		_ = tx.Read(v1)
+		if !core.EarlyRelease(tx, v1) {
+			t.Error("EarlyRelease found nothing to release")
+		}
+		if attempts == 1 {
+			write(t, tm, v1, 100)
+		}
+		tx.Write(v2, 20)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (released read must not be validated)", attempts)
+	}
+}
+
+// TestWithoutEarlyReleaseConflicts is the control: the same interleaving
+// without the release aborts.
+func TestWithoutEarlyReleaseConflicts(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	v1, v2 := mvar.New(1), mvar.New(2)
+	attempts := 0
+	err := th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		attempts++
+		_ = tx.Read(v1)
+		if attempts == 1 {
+			write(t, tm, v1, 100)
+		}
+		tx.Write(v2, 20)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+}
+
+// TestEarlyReleaseFromElasticWindow: releasing the window entry of an
+// elastic prefix also works.
+func TestEarlyReleaseFromElasticWindow(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	v1, v2 := mvar.New(1), mvar.New(2)
+	attempts := 0
+	err := th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+		attempts++
+		_ = tx.Read(v1) // window = {v1}
+		if !core.EarlyRelease(tx, v1) {
+			t.Error("window entry not released")
+		}
+		if attempts == 1 {
+			write(t, tm, v1, 100)
+		}
+		_ = tx.Read(v2) // cut check must now pass (window empty)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+}
+
+// TestEarlyReleaseRefusesWrites: write intents stay protected.
+func TestEarlyReleaseRefusesWrites(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	v := mvar.New(1)
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		tx.Write(v, 2)
+		if core.EarlyRelease(tx, v) {
+			t.Error("released a write intent")
+		}
+		return nil
+	})
+}
+
+// TestEarlyReleaseForeignTx: transactions of other engines are rejected
+// gracefully.
+func TestEarlyReleaseForeignTx(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	v := mvar.New(1)
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		if core.EarlyRelease(fakeTx{tx}, v) {
+			t.Error("accepted a foreign transaction")
+		}
+		return nil
+	})
+}
+
+type fakeTx struct{ stm.Tx }
+
+// TestEarlyReleaseShrinksPmin ties the API to the model: with a recorder
+// installed, an early-released element is released before commit, so it
+// leaves Pmin — and a composition using it inside a child violates
+// outheritance (Theorem 4.3's premise made executable).
+func TestEarlyReleaseShrinksPmin(t *testing.T) {
+	tm := core.New()
+	rec := history.NewRecorder()
+	tm.SetTracer(rec)
+	v1, v2 := mvar.New(1), mvar.New(2)
+	rec.Label(v1, "a")
+	rec.Label(v2, "b")
+	th := stm.NewThread(tm)
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		_ = tx.Read(v1)
+		_ = tx.Read(v2)
+		core.EarlyRelease(tx, v1)
+		return nil
+	})
+	h := rec.History()
+	txs := h.Transactions()
+	if len(txs) != 1 {
+		t.Fatalf("transactions = %v", txs)
+	}
+	pmin := h.Pmin(txs[0])
+	if pmin["a"] {
+		t.Fatal("early-released element must leave Pmin")
+	}
+	if !pmin["b"] {
+		t.Fatal("retained element must stay in Pmin")
+	}
+	if !check.RelaxSerial(h) {
+		t.Fatalf("history not relax-serial:\n%s", h)
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// readEntry records a read of v at version ver; validation requires the
+// version to be unchanged (or the location to be locked by this thread at
+// commit time).
+type readEntry struct {
+	v   *mvar.Var
+	ver uint64
+}
+
+// writeEntry is a deferred update; old holds the pre-lock word during the
+// commit protocol for revert on validation failure.
+type writeEntry struct {
+	v   *mvar.Var
+	val any
+	old uint64
+}
+
+// windowSize is the length of the elastic sliding window: the immediate
+// past reads an elastic transaction keeps protected during its read-only
+// prefix. Two entries realise E-STM's pairwise cut consistency — each new
+// access is checked against the previous two — which is exactly what
+// sorted-structure updates need: the links around a modification point
+// (e.g. prev.next and curr.next of a list removal) stay protected
+// together until the first write promotes them.
+const windowSize = 2
+
+// frame is the per-transaction elastic state: one frame per transaction in
+// a nest. It tracks the transaction's protected reads — the permanent read
+// set plus, for elastic transactions that have not written yet, the
+// sliding window of immediate past reads.
+type frame struct {
+	id      uint64
+	kind    stm.Kind
+	written bool
+	nwin    int
+	win     [windowSize]readEntry
+	reads   []readEntry
+}
+
+func (f *frame) init(id uint64, k stm.Kind) {
+	f.id = id
+	f.kind = k
+	// Regular transactions protect every read permanently from the start.
+	f.written = k != stm.Elastic
+}
+
+// markWritten transitions an elastic frame out of its read-only prefix:
+// the window of immediate past reads joins the permanent read set (§V).
+func (f *frame) markWritten() {
+	if f.written {
+		return
+	}
+	f.written = true
+	f.reads = append(f.reads, f.win[:f.nwin]...)
+	f.nwin = 0
+}
+
+// txn is a top-level OE-STM transaction. It owns the write buffer and the
+// snapshot upper bound shared by the whole nest, plus the stack of live
+// frames (its own and those of currently open children).
+type txn struct {
+	frame
+	tm        *TM
+	th        *stm.Thread
+	ub        uint64
+	writes    []writeEntry
+	windex    map[*mvar.Var]int
+	frames    []*frame
+	framesBuf [4]*frame
+}
+
+func (t *txn) getFrame() *frame { return &t.frame }
+func (t *txn) topTxn() *txn     { return t }
+
+// Kind implements stm.Tx.
+func (t *txn) Kind() stm.Kind { return t.frame.kind }
+
+// Read implements stm.Tx.
+func (t *txn) Read(v *mvar.Var) any { return t.readVar(&t.frame, v) }
+
+// Write implements stm.Tx.
+func (t *txn) Write(v *mvar.Var, val any) { t.writeVar(&t.frame, v, val) }
+
+// readVar performs a transactional read on behalf of frame f (which may
+// belong to a nested child).
+func (t *txn) readVar(f *frame, v *mvar.Var) any {
+	if idx, ok := t.windex[v]; ok {
+		// Read-own-write: the nest shares one write buffer.
+		val := t.writes[idx].val
+		t.traceOp(f, v, "read", val)
+		return val
+	}
+	val, ver, ok := v.ReadConsistent()
+	if !ok {
+		stm.Conflict("oestm: read of locked or changing location")
+	}
+	// A version beyond the snapshot bound triggers a lazy extension. The
+	// extension only validates reads recorded so far, so the in-flight
+	// read must be repeated afterwards: the commit that advanced the
+	// clock may have changed this very location, and accepting the stale
+	// (value, version) pair under the new bound would lose that update.
+	for ver > t.ub {
+		t.extend()
+		val, ver, ok = v.ReadConsistent()
+		if !ok {
+			stm.Conflict("oestm: read of locked or changing location")
+		}
+	}
+	if f.kind == stm.Elastic && !f.written {
+		// Read-only prefix: verify the cut — the immediate past reads must
+		// be unchanged — then slide the window, releasing the oldest
+		// protection element (§II-A: "for elastic transactions, it is
+		// released after a new protection element is acquired").
+		for i := 0; i < f.nwin; i++ {
+			if !t.entryValid(f.win[i]) {
+				stm.Conflict("oestm: elastic cut broken")
+			}
+		}
+		t.traceAcquire(f, v)
+		if f.nwin == windowSize {
+			t.traceRelease(f, f.win[0].v)
+			copy(f.win[:], f.win[1:])
+			f.nwin--
+		}
+		f.win[f.nwin] = readEntry{v, ver}
+		f.nwin++
+	} else {
+		t.traceAcquire(f, v)
+		f.reads = append(f.reads, readEntry{v, ver})
+	}
+	t.traceOp(f, v, "read", val)
+	return val
+}
+
+// writeVar buffers a deferred update on behalf of frame f.
+func (t *txn) writeVar(f *frame, v *mvar.Var, val any) {
+	if !f.written {
+		f.markWritten()
+	}
+	if idx, ok := t.windex[v]; ok {
+		t.traceOp(f, v, "write", val)
+		t.writes[idx].val = val
+		return
+	}
+	// The protection element is acquired at the point the invocation
+	// reaches the transactional memory (§II-A on deferred updates), so
+	// the acquire precedes the operation events.
+	t.traceAcquire(f, v)
+	t.traceOp(f, v, "write", val)
+	if t.windex == nil {
+		t.windex = make(map[*mvar.Var]int, 8)
+	}
+	t.windex[v] = len(t.writes)
+	t.writes = append(t.writes, writeEntry{v: v, val: val})
+}
+
+// extend slides the snapshot upper bound to the present after validating
+// every live frame; failure aborts the transaction.
+func (t *txn) extend() {
+	now := t.tm.clock.Now()
+	if !t.validateFrames() {
+		stm.Conflict("oestm: snapshot extension failed")
+	}
+	t.ub = now
+}
+
+// validateFrames checks every protected read of every live frame.
+func (t *txn) validateFrames() bool {
+	for _, f := range t.frames {
+		if !t.frameValid(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// frameValid checks one frame's protected reads.
+func (t *txn) frameValid(f *frame) bool {
+	for _, r := range f.reads {
+		if !t.entryValid(r) {
+			return false
+		}
+	}
+	for i := 0; i < f.nwin; i++ {
+		if !t.entryValid(f.win[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// entryValid reports whether a read entry still holds: same version and
+// not locked by another thread. During the commit protocol, locations this
+// transaction locked are validated against their pre-lock version — a
+// concurrent commit may have slipped in between our read and our lock.
+func (t *txn) entryValid(r readEntry) bool {
+	m := r.v.Meta()
+	if mvar.Locked(m) {
+		if mvar.Owner(m) != t.th.ID {
+			return false
+		}
+		idx, mine := t.windex[r.v]
+		return mine && mvar.Version(t.writes[idx].old) == r.ver
+	}
+	return mvar.Version(m) == r.ver
+}
+
+// Commit implements stm.TxControl for the top-level transaction: lock the
+// write set, validate the protected reads, publish, release.
+func (t *txn) Commit() error {
+	if len(t.writes) == 0 {
+		// Read-only: elastic cut checks (and snapshot extension for
+		// regular frames) already ensured consistency at every step; the
+		// transaction serialises within its snapshot interval.
+		t.th.Stats.ReadOnly++
+		t.traceFinish(true)
+		return nil
+	}
+	acquired := 0
+	for i := range t.writes {
+		e := &t.writes[i]
+		m := e.v.Meta()
+		if mvar.Locked(m) || !e.v.TryLock(t.th.ID, m) {
+			t.revert(acquired)
+			t.traceFinish(false)
+			return stm.ErrConflict
+		}
+		e.old = m
+		acquired++
+	}
+	wv := t.tm.clock.Tick()
+	if t.ub+1 != wv {
+		if !t.validateFrames() {
+			t.revert(acquired)
+			t.traceFinish(false)
+			return stm.ErrConflict
+		}
+	}
+	for i := range t.writes {
+		e := &t.writes[i]
+		e.v.StoreLocked(e.val)
+		e.v.Unlock(wv)
+	}
+	t.traceFinish(true)
+	return nil
+}
+
+// revert restores the first n acquired write locks.
+func (t *txn) revert(n int) {
+	for i := 0; i < n; i++ {
+		t.writes[i].v.Restore(t.writes[i].old)
+	}
+}
+
+// Rollback implements stm.TxControl. No locks are held outside Commit
+// (which reverts internally), so rollback only discards state.
+func (t *txn) Rollback() {
+	t.traceFinish(false)
+	t.writes = nil
+	t.windex = nil
+	t.reads = nil
+	t.frames = nil
+}
+
+// traceFinish emits the commit/abort event followed by the release events
+// of every element still protected by the nest. Releases are emitted on
+// abort too: the recorder's hold accounting must stay balanced across
+// retries (aborted transactions are removed from histories anyway).
+func (t *txn) traceFinish(committed bool) {
+	tr := t.tm.tracer
+	if tr == nil {
+		return
+	}
+	if committed {
+		tr.TxCommit(t.th.ID, t.frame.id)
+	} else {
+		tr.TxAbort(t.th.ID, t.frame.id)
+	}
+	for _, f := range t.frames {
+		for _, r := range f.reads {
+			tr.Release(t.th.ID, t.frame.id, r.v)
+		}
+		for i := 0; i < f.nwin; i++ {
+			tr.Release(t.th.ID, t.frame.id, f.win[i].v)
+		}
+	}
+	for i := range t.writes {
+		tr.Release(t.th.ID, t.frame.id, t.writes[i].v)
+	}
+}
+
+func (t *txn) traceAcquire(f *frame, v *mvar.Var) {
+	if tr := t.tm.tracer; tr != nil {
+		tr.Acquire(t.th.ID, f.id, v)
+	}
+}
+
+func (t *txn) traceRelease(f *frame, v *mvar.Var) {
+	if tr := t.tm.tracer; tr != nil {
+		tr.Release(t.th.ID, f.id, v)
+	}
+}
+
+func (t *txn) traceOp(f *frame, v *mvar.Var, op string, val any) {
+	if tr := t.tm.tracer; tr != nil {
+		tr.Op(t.th.ID, f.id, v, op, val)
+	}
+}

@@ -1,0 +1,431 @@
+package eec_test
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"oestm/internal/core"
+	"oestm/internal/eec"
+	"oestm/internal/lsa"
+	"oestm/internal/stm"
+	"oestm/internal/swisstm"
+	"oestm/internal/tl2"
+)
+
+func engines() map[string]func() stm.TM {
+	return map[string]func() stm.TM{
+		"oestm":   func() stm.TM { return core.New() },
+		"estm":    func() stm.TM { return core.NewWithoutOutheritance() },
+		"tl2":     func() stm.TM { return tl2.New() },
+		"lsa":     func() stm.TM { return lsa.New() },
+		"swisstm": func() stm.TM { return swisstm.New() },
+	}
+}
+
+// composableEngines excludes estm: without outheritance, concurrent
+// composed operations (Move, AddAll under contention) may violate
+// atomicity — that is the paper's Fig. 1 and is demonstrated
+// deterministically in internal/core's tests. The conservation and bulk
+// atomicity tests below assume a correctly composing engine.
+func composableEngines() map[string]func() stm.TM {
+	es := engines()
+	delete(es, "estm")
+	return es
+}
+
+func structures() map[string]func() eec.Set {
+	return map[string]func() eec.Set{
+		"linkedlist": func() eec.Set { return eec.NewLinkedListSet() },
+		"skiplist":   func() eec.Set { return eec.NewSkipListSet() },
+		"hashset":    func() eec.Set { return eec.NewHashSet(8) },
+	}
+}
+
+// forAll runs f for every (engine, structure) pair.
+func forAll(t *testing.T, f func(t *testing.T, tm stm.TM, s eec.Set)) {
+	for ename, etm := range engines() {
+		for sname, mk := range structures() {
+			t.Run(ename+"/"+sname, func(t *testing.T) {
+				f(t, etm(), mk())
+			})
+		}
+	}
+}
+
+// forAllComposable is forAll restricted to engines that compose correctly.
+func forAllComposable(t *testing.T, f func(t *testing.T, tm stm.TM, s eec.Set)) {
+	for ename, etm := range composableEngines() {
+		for sname, mk := range structures() {
+			t.Run(ename+"/"+sname, func(t *testing.T) {
+				f(t, etm(), mk())
+			})
+		}
+	}
+}
+
+func TestBasicSemantics(t *testing.T) {
+	forAll(t, func(t *testing.T, tm stm.TM, s eec.Set) {
+		th := stm.NewThread(tm)
+		if s.Contains(th, 7) {
+			t.Fatal("empty set contains 7")
+		}
+		if !s.Add(th, 7) {
+			t.Fatal("Add of new key returned false")
+		}
+		if s.Add(th, 7) {
+			t.Fatal("Add of present key returned true")
+		}
+		if !s.Contains(th, 7) {
+			t.Fatal("added key missing")
+		}
+		if s.Size(th) != 1 {
+			t.Fatalf("size = %d, want 1", s.Size(th))
+		}
+		if !s.Remove(th, 7) {
+			t.Fatal("Remove of present key returned false")
+		}
+		if s.Remove(th, 7) {
+			t.Fatal("Remove of absent key returned true")
+		}
+		if s.Size(th) != 0 {
+			t.Fatalf("size = %d, want 0", s.Size(th))
+		}
+	})
+}
+
+func TestBulkSemantics(t *testing.T) {
+	forAll(t, func(t *testing.T, tm stm.TM, s eec.Set) {
+		th := stm.NewThread(tm)
+		if !s.AddAll(th, []int{5, 3, 4}) {
+			t.Fatal("AddAll reported no change")
+		}
+		if got := s.Elements(th); !reflect.DeepEqual(got, []int{3, 4, 5}) {
+			t.Fatalf("elements = %v", got)
+		}
+		if s.AddAll(th, []int{3, 5}) {
+			t.Fatal("AddAll of present keys reported change")
+		}
+		if !s.RemoveAll(th, []int{4, 99}) {
+			t.Fatal("RemoveAll reported no change")
+		}
+		if got := s.Elements(th); !reflect.DeepEqual(got, []int{3, 5}) {
+			t.Fatalf("elements = %v", got)
+		}
+		if s.RemoveAll(th, []int{42}) {
+			t.Fatal("RemoveAll of absent keys reported change")
+		}
+	})
+}
+
+// TestAgainstModel drives random single-threaded operation sequences and
+// compares every result with a map model.
+func TestAgainstModel(t *testing.T) {
+	forAll(t, func(t *testing.T, tm stm.TM, s eec.Set) {
+		th := stm.NewThread(tm)
+		f := func(seed uint64) bool {
+			rng := rand.New(rand.NewPCG(seed, 2))
+			model := map[int]bool{}
+			// fresh structure per sequence
+			var set eec.Set
+			switch s.Name() {
+			case "linkedlist":
+				set = eec.NewLinkedListSet()
+			case "skiplist":
+				set = eec.NewSkipListSet()
+			default:
+				set = eec.NewHashSet(4)
+			}
+			for i := 0; i < 150; i++ {
+				k := int(rng.IntN(30))
+				switch rng.IntN(4) {
+				case 0:
+					if set.Add(th, k) != !model[k] {
+						return false
+					}
+					model[k] = true
+				case 1:
+					if set.Remove(th, k) != model[k] {
+						return false
+					}
+					delete(model, k)
+				case 2:
+					if set.Contains(th, k) != model[k] {
+						return false
+					}
+				default:
+					k2 := int(rng.IntN(30))
+					changed := !model[k] || !model[k2]
+					if set.AddAll(th, []int{k, k2}) != changed {
+						return false
+					}
+					model[k], model[k2] = true, true
+				}
+			}
+			want := make([]int, 0, len(model))
+			for k := range model {
+				want = append(want, k)
+			}
+			sort.Ints(want)
+			got := set.Elements(th)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConcurrentPerKeyInvariant hammers each structure from several
+// goroutines and checks, per key, that successfulAdds - successfulRemoves
+// equals final membership — the fundamental atomicity invariant of a set.
+func TestConcurrentPerKeyInvariant(t *testing.T) {
+	forAll(t, func(t *testing.T, tm stm.TM, s eec.Set) {
+		const keyRange = 32
+		const goroutines = 6
+		const opsPer = 300
+		var adds, removes [keyRange]atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				th := stm.NewThread(tm)
+				rng := rand.New(rand.NewPCG(seed, 11))
+				for i := 0; i < opsPer; i++ {
+					k := int(rng.IntN(keyRange))
+					switch rng.IntN(3) {
+					case 0:
+						if s.Add(th, k) {
+							adds[k].Add(1)
+						}
+					case 1:
+						if s.Remove(th, k) {
+							removes[k].Add(1)
+						}
+					default:
+						s.Contains(th, k)
+					}
+				}
+			}(uint64(g + 1))
+		}
+		wg.Wait()
+		th := stm.NewThread(tm)
+		for k := 0; k < keyRange; k++ {
+			balance := adds[k].Load() - removes[k].Load()
+			present := s.Contains(th, k)
+			if balance != 0 && balance != 1 {
+				t.Fatalf("key %d: impossible balance %d", k, balance)
+			}
+			if present != (balance == 1) {
+				t.Fatalf("key %d: present=%v but balance=%d", k, present, balance)
+			}
+		}
+	})
+}
+
+// TestBulkAtomicityObserved reproduces the §VI j.u.c motivation: with
+// mutators that only AddAll/RemoveAll the pair {1,2}, an atomic snapshot
+// must never contain exactly one of them. (java.util.concurrent's bulk
+// operations explicitly do not guarantee this.)
+func TestBulkAtomicityObserved(t *testing.T) {
+	forAllComposable(t, func(t *testing.T, tm stm.TM, s eec.Set) {
+		pair := []int{1, 2}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := stm.NewThread(tm)
+			for i := 0; i < 200; i++ {
+				s.AddAll(th, pair)
+				s.RemoveAll(th, pair)
+			}
+			close(stop)
+		}()
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := stm.NewThread(tm)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					els := s.Elements(th)
+					has1, has2 := false, false
+					for _, e := range els {
+						if e == 1 {
+							has1 = true
+						}
+						if e == 2 {
+							has2 = true
+						}
+					}
+					if has1 != has2 {
+						t.Errorf("bulk atomicity violated: snapshot %v", els)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+func TestInsertIfAbsent(t *testing.T) {
+	forAll(t, func(t *testing.T, tm stm.TM, s eec.Set) {
+		th := stm.NewThread(tm)
+		if !eec.InsertIfAbsent(th, s, 10, 20) {
+			t.Fatal("InsertIfAbsent with y absent must insert")
+		}
+		if !s.Contains(th, 10) {
+			t.Fatal("x not inserted")
+		}
+		s.Add(th, 20)
+		if eec.InsertIfAbsent(th, s, 30, 20) {
+			t.Fatal("InsertIfAbsent with y present must not insert")
+		}
+		if s.Contains(th, 30) {
+			t.Fatal("x inserted although y present")
+		}
+		// x already present: no change.
+		if eec.InsertIfAbsent(th, s, 10, 99) {
+			t.Fatal("InsertIfAbsent of present x reported insertion")
+		}
+	})
+}
+
+func TestMove(t *testing.T) {
+	for ename, etm := range engines() {
+		t.Run(ename, func(t *testing.T) {
+			tm := etm()
+			th := stm.NewThread(tm)
+			from, to := eec.NewLinkedListSet(), eec.NewHashSet(4)
+			from.Add(th, 1)
+			if !eec.Move(th, from, to, 1) {
+				t.Fatal("Move of present key returned false")
+			}
+			if from.Contains(th, 1) || !to.Contains(th, 1) {
+				t.Fatal("Move did not transfer the key")
+			}
+			if eec.Move(th, from, to, 1) {
+				t.Fatal("Move of absent key returned true")
+			}
+		})
+	}
+}
+
+// TestConcurrentMoveConservation: concurrent moves between two sets must
+// conserve the total element count — the composition equivalent of the
+// bank-transfer invariant, and the deadlock-prone case for locks (§I).
+func TestConcurrentMoveConservation(t *testing.T) {
+	for ename, etm := range composableEngines() {
+		t.Run(ename, func(t *testing.T) {
+			tm := etm()
+			a, b := eec.NewLinkedListSet(), eec.NewLinkedListSet()
+			init := stm.NewThread(tm)
+			const n = 16
+			for k := 0; k < n; k++ {
+				a.Add(init, k)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					th := stm.NewThread(tm)
+					rng := rand.New(rand.NewPCG(seed, 3))
+					for i := 0; i < 150; i++ {
+						k := int(rng.IntN(n))
+						if rng.IntN(2) == 0 {
+							eec.Move(th, a, b, k)
+						} else {
+							eec.Move(th, b, a, k)
+						}
+					}
+				}(uint64(g + 1))
+			}
+			wg.Wait()
+			th := stm.NewThread(tm)
+			total := 0
+			_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				total = 0
+				for k := 0; k < n; k++ {
+					inA, inB := a.Contains(th, k), b.Contains(th, k)
+					if inA && inB {
+						t.Errorf("key %d present in both sets", k)
+					}
+					if inA || inB {
+						total++
+					}
+				}
+				return nil
+			})
+			if total != n {
+				t.Fatalf("conservation broken: %d keys, want %d", total, n)
+			}
+		})
+	}
+}
+
+// TestUserComposition checks that application code can compose e.e.c
+// operations with its own transactional accesses.
+func TestUserComposition(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	s := eec.NewSkipListSet()
+	// Conditional double-insert as one atomic step.
+	err := th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+		if !s.Contains(th, 1) {
+			s.Add(th, 1)
+			s.Add(th, 2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Elements(th); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("elements = %v", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	th := stm.NewThread(core.New())
+	_ = th
+	for want, mk := range structures() {
+		if got := mk().Name(); got != want {
+			t.Fatalf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestHashSetSizingHelpers(t *testing.T) {
+	s := eec.NewHashSetForLoad(4096)
+	th := stm.NewThread(core.New())
+	s.Add(th, 1)
+	if !s.Contains(th, 1) {
+		t.Fatal("NewHashSetForLoad set broken")
+	}
+	// zero buckets clamps to one
+	s2 := eec.NewHashSet(0)
+	s2.Add(th, 5)
+	if !s2.Contains(th, 5) {
+		t.Fatal("single-bucket hashset broken")
+	}
+}

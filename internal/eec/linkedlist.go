@@ -1,0 +1,153 @@
+package eec
+
+import (
+	"math"
+
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// lnode is a sorted-list node. Keys are immutable; only the next pointer
+// is transactional, so conflict detection happens exactly on the links a
+// mutation rewires — the paper's field-granularity instrumentation.
+type lnode struct {
+	key  int
+	next mvar.Var // holds *lnode
+}
+
+// list is a sorted singly linked list with ±∞ sentinels, shared by
+// LinkedListSet and HashSet buckets. All methods take an open transaction.
+type list struct {
+	head *lnode
+}
+
+func newList() list {
+	tail := &lnode{key: math.MaxInt}
+	head := &lnode{key: math.MinInt}
+	head.next.Init(tail)
+	return list{head: head}
+}
+
+// find returns the rightmost node with key < target (prev) and its
+// successor (curr, with curr.key >= target). This is the read-only-prefix
+// traversal elastic transactions accelerate.
+func (l list) find(tx stm.Tx, key int) (prev, curr *lnode) {
+	prev = l.head
+	curr = stm.ReadT[*lnode](tx, &prev.next)
+	for curr.key < key {
+		prev = curr
+		curr = stm.ReadT[*lnode](tx, &curr.next)
+	}
+	return prev, curr
+}
+
+func (l list) contains(tx stm.Tx, key int) bool {
+	_, curr := l.find(tx, key)
+	return curr.key == key
+}
+
+func (l list) add(tx stm.Tx, key int) bool {
+	prev, curr := l.find(tx, key)
+	if curr.key == key {
+		return false
+	}
+	n := &lnode{key: key}
+	n.next.Init(curr)
+	tx.Write(&prev.next, n)
+	return true
+}
+
+func (l list) remove(tx stm.Tx, key int) bool {
+	prev, curr := l.find(tx, key)
+	if curr.key != key {
+		return false
+	}
+	succ := stm.ReadT[*lnode](tx, &curr.next)
+	tx.Write(&prev.next, succ)
+	// Rewrite the removed node's link with the same value: the version
+	// bump makes any concurrent elastic transaction about to insert after
+	// curr (whose protected window holds curr.next) fail validation.
+	// Readers racing past curr still see a well-formed list.
+	tx.Write(&curr.next, succ)
+	return true
+}
+
+func (l list) elements(tx stm.Tx, out []int) []int {
+	curr := stm.ReadT[*lnode](tx, &l.head.next)
+	for curr.key != math.MaxInt {
+		out = append(out, curr.key)
+		curr = stm.ReadT[*lnode](tx, &curr.next)
+	}
+	return out
+}
+
+// LinkedListSet is the sorted linked list set of e.e.c — the structure
+// where elastic transactions shine (Fig. 6): traversals are long and
+// read-only, so classic transactions abort constantly while elastic ones
+// only protect the insertion window.
+type LinkedListSet struct {
+	l list
+}
+
+// NewLinkedListSet returns an empty LinkedListSet.
+func NewLinkedListSet() *LinkedListSet {
+	return &LinkedListSet{l: newList()}
+}
+
+// Name implements Set.
+func (s *LinkedListSet) Name() string { return "linkedlist" }
+
+// Contains implements Set.
+func (s *LinkedListSet) Contains(th *stm.Thread, key int) bool {
+	var res bool
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		res = s.l.contains(tx, key)
+		return nil
+	})
+	return res
+}
+
+// Add implements Set.
+func (s *LinkedListSet) Add(th *stm.Thread, key int) bool {
+	var res bool
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		res = s.l.add(tx, key)
+		return nil
+	})
+	return res
+}
+
+// Remove implements Set.
+func (s *LinkedListSet) Remove(th *stm.Thread, key int) bool {
+	var res bool
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		res = s.l.remove(tx, key)
+		return nil
+	})
+	return res
+}
+
+// AddAll implements Set by composing Add.
+func (s *LinkedListSet) AddAll(th *stm.Thread, keys []int) bool {
+	return addAll(th, s, keys)
+}
+
+// RemoveAll implements Set by composing Remove.
+func (s *LinkedListSet) RemoveAll(th *stm.Thread, keys []int) bool {
+	return removeAll(th, s, keys)
+}
+
+// Size implements Set with a single atomic traversal.
+func (s *LinkedListSet) Size(th *stm.Thread) int {
+	return len(s.Elements(th))
+}
+
+// Elements implements Set.
+func (s *LinkedListSet) Elements(th *stm.Thread) []int {
+	var out []int
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		out = s.l.elements(tx, out[:0])
+		return nil
+	})
+	return out
+}

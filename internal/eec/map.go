@@ -1,0 +1,248 @@
+package eec
+
+import (
+	"math"
+
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// SkipListMap is an ordered integer-keyed map built on the same skiplist
+// substrate as SkipListSet — the e.e.c counterpart of the JDK's
+// ConcurrentSkipListMap, whose size() and bulk views are famously not
+// atomic (§I). Here every operation, including Size, Range and the
+// composed PutIfAbsent/PutAll, is atomic.
+//
+// Keys are immutable ints; values live in a transactional field of the
+// node, so updating a present key conflicts only on that node.
+type SkipListMap struct {
+	head *mnode
+	tail *mnode
+}
+
+// mnode is a skiplist map node: immutable key, transactional value,
+// removal mark and tower links.
+type mnode struct {
+	key    int
+	val    mvar.Var   // holds any
+	marked mvar.Var   // holds bool
+	next   []mvar.Var // each holds *mnode
+}
+
+func newMnode(key, height int, val any) *mnode {
+	n := &mnode{key: key, next: make([]mvar.Var, height)}
+	n.val.Init(val)
+	return n
+}
+
+// NewSkipListMap returns an empty SkipListMap.
+func NewSkipListMap() *SkipListMap {
+	tail := newMnode(math.MaxInt, maxLevel, nil)
+	head := newMnode(math.MinInt, maxLevel, nil)
+	for l := 0; l < maxLevel; l++ {
+		head.next[l].Init(tail)
+	}
+	return &SkipListMap{head: head, tail: tail}
+}
+
+// Name identifies the implementation.
+func (m *SkipListMap) Name() string { return "skiplistmap" }
+
+// find locates, per level, the rightmost node with key < target.
+func (m *SkipListMap) find(tx stm.Tx, key int) *[maxLevel]*mnode {
+	var preds [maxLevel]*mnode
+	curr := m.head
+	for l := maxLevel - 1; l >= 0; l-- {
+		next := stm.ReadT[*mnode](tx, &curr.next[l])
+		for next.key < key {
+			curr = next
+			next = stm.ReadT[*mnode](tx, &curr.next[l])
+		}
+		preds[l] = curr
+	}
+	return &preds
+}
+
+// Get returns the value stored under key and whether it is present.
+func (m *SkipListMap) Get(th *stm.Thread, key int) (any, bool) {
+	var val any
+	var ok bool
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		val, ok = nil, false
+		preds := m.find(tx, key)
+		target := stm.ReadT[*mnode](tx, &preds[0].next[0])
+		if target.key == key {
+			val, ok = tx.Read(&target.val), true
+		}
+		return nil
+	})
+	return val, ok
+}
+
+// ContainsKey reports whether key is present.
+func (m *SkipListMap) ContainsKey(th *stm.Thread, key int) bool {
+	_, ok := m.Get(th, key)
+	return ok
+}
+
+// Put stores val under key, returning the previous value (nil, false if
+// the key was absent).
+func (m *SkipListMap) Put(th *stm.Thread, key int, val any) (any, bool) {
+	height := randomHeight(th)
+	var prev any
+	var had bool
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		prev, had = nil, false
+		preds := m.find(tx, key)
+		target := stm.ReadT[*mnode](tx, &preds[0].next[0])
+		if target.key == key {
+			if stm.ReadT[bool](tx, &target.marked) {
+				stm.Conflict("skiplistmap: node concurrently removed")
+			}
+			prev, had = tx.Read(&target.val), true
+			tx.Write(&target.val, val)
+			return nil
+		}
+		if preds[0].key >= key || target.key < key {
+			stm.Conflict("skiplistmap: insertion window moved")
+		}
+		if stm.ReadT[bool](tx, &preds[0].marked) {
+			stm.Conflict("skiplistmap: predecessor removed")
+		}
+		n := newMnode(key, height, val)
+		succ := target
+		for l := 0; l < height; l++ {
+			if l > 0 {
+				succ = stm.ReadT[*mnode](tx, &preds[l].next[l])
+				if preds[l].key >= key || succ.key <= key {
+					stm.Conflict("skiplistmap: insertion window moved")
+				}
+				if stm.ReadT[bool](tx, &preds[l].marked) {
+					stm.Conflict("skiplistmap: predecessor removed")
+				}
+			}
+			n.next[l].Init(succ)
+			tx.Write(&preds[l].next[l], n)
+		}
+		return nil
+	})
+	return prev, had
+}
+
+// Remove deletes key, returning the removed value (nil, false if absent).
+func (m *SkipListMap) Remove(th *stm.Thread, key int) (any, bool) {
+	var prev any
+	var had bool
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		prev, had = nil, false
+		preds := m.find(tx, key)
+		target := stm.ReadT[*mnode](tx, &preds[0].next[0])
+		if target.key != key {
+			if target.key < key {
+				stm.Conflict("skiplistmap: removal window moved")
+			}
+			return nil
+		}
+		if stm.ReadT[bool](tx, &target.marked) || stm.ReadT[bool](tx, &preds[0].marked) {
+			stm.Conflict("skiplistmap: node concurrently removed")
+		}
+		prev, had = tx.Read(&target.val), true
+		tx.Write(&target.marked, true)
+		for l := len(target.next) - 1; l >= 0; l-- {
+			pred := preds[l]
+			curr := stm.ReadT[*mnode](tx, &pred.next[l])
+			if curr != target {
+				stm.Conflict("skiplistmap: tower link moved")
+			}
+			if l > 0 && stm.ReadT[bool](tx, &pred.marked) {
+				stm.Conflict("skiplistmap: predecessor removed")
+			}
+			succ := stm.ReadT[*mnode](tx, &target.next[l])
+			tx.Write(&pred.next[l], succ)
+		}
+		return nil
+	})
+	return prev, had
+}
+
+// PutIfAbsent stores val only when key is absent — a composition of
+// ContainsKey and Put, atomic thanks to outheritance. It reports whether
+// the value was stored.
+func (m *SkipListMap) PutIfAbsent(th *stm.Thread, key int, val any) bool {
+	stored := false
+	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+		stored = false
+		if !m.ContainsKey(th, key) {
+			m.Put(th, key, val)
+			stored = true
+		}
+		return nil
+	})
+	return stored
+}
+
+// PutAll stores every entry atomically (composed from Put).
+func (m *SkipListMap) PutAll(th *stm.Thread, entries map[int]any) {
+	// Deterministic order so retried compositions behave identically.
+	keys := make([]int, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	insertionSort(keys)
+	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+		for _, k := range keys {
+			m.Put(th, k, entries[k])
+		}
+		return nil
+	})
+}
+
+// Size returns the number of entries, atomically.
+func (m *SkipListMap) Size(th *stm.Thread) int {
+	n := 0
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		n = 0
+		curr := stm.ReadT[*mnode](tx, &m.head.next[0])
+		for curr.key != math.MaxInt {
+			n++
+			curr = stm.ReadT[*mnode](tx, &curr.next[0])
+		}
+		return nil
+	})
+	return n
+}
+
+// Range calls fn for every entry in ascending key order within one
+// atomic snapshot; fn returning false stops the iteration. fn must not
+// start transactions on th.
+func (m *SkipListMap) Range(th *stm.Thread, fn func(key int, val any) bool) {
+	type entry struct {
+		k int
+		v any
+	}
+	var snapshot []entry
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		snapshot = snapshot[:0]
+		curr := stm.ReadT[*mnode](tx, &m.head.next[0])
+		for curr.key != math.MaxInt {
+			snapshot = append(snapshot, entry{curr.key, tx.Read(&curr.val)})
+			curr = stm.ReadT[*mnode](tx, &curr.next[0])
+		}
+		return nil
+	})
+	for _, e := range snapshot {
+		if !fn(e.k, e.v) {
+			return
+		}
+	}
+}
+
+// insertionSort keeps the map free of the sort package dependency for a
+// handful of keys.
+func insertionSort(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package eec_test
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"oestm/internal/core"
+	"oestm/internal/eec"
+	"oestm/internal/stm"
+)
+
+func TestMapBasic(t *testing.T) {
+	for ename, etm := range engines() {
+		t.Run(ename, func(t *testing.T) {
+			tm := etm()
+			th := stm.NewThread(tm)
+			m := eec.NewSkipListMap()
+			if m.Name() != "skiplistmap" {
+				t.Fatalf("name = %q", m.Name())
+			}
+			if _, ok := m.Get(th, 1); ok {
+				t.Fatal("empty map has key 1")
+			}
+			if prev, had := m.Put(th, 1, "a"); had || prev != nil {
+				t.Fatalf("Put on absent key returned %v, %v", prev, had)
+			}
+			if v, ok := m.Get(th, 1); !ok || v != "a" {
+				t.Fatalf("Get = %v, %v", v, ok)
+			}
+			if prev, had := m.Put(th, 1, "b"); !had || prev != "a" {
+				t.Fatalf("overwrite returned %v, %v", prev, had)
+			}
+			if !m.ContainsKey(th, 1) || m.ContainsKey(th, 2) {
+				t.Fatal("ContainsKey wrong")
+			}
+			if m.Size(th) != 1 {
+				t.Fatalf("size = %d", m.Size(th))
+			}
+			if prev, had := m.Remove(th, 1); !had || prev != "b" {
+				t.Fatalf("Remove returned %v, %v", prev, had)
+			}
+			if _, had := m.Remove(th, 1); had {
+				t.Fatal("Remove of absent key reported success")
+			}
+		})
+	}
+}
+
+func TestMapPutIfAbsent(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	m := eec.NewSkipListMap()
+	if !m.PutIfAbsent(th, 5, "x") {
+		t.Fatal("PutIfAbsent on absent key failed")
+	}
+	if m.PutIfAbsent(th, 5, "y") {
+		t.Fatal("PutIfAbsent on present key stored")
+	}
+	if v, _ := m.Get(th, 5); v != "x" {
+		t.Fatalf("value = %v, want x", v)
+	}
+}
+
+func TestMapPutAllAndRange(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	m := eec.NewSkipListMap()
+	m.PutAll(th, map[int]any{3: "c", 1: "a", 2: "b"})
+	var keys []int
+	var vals []any
+	m.Range(th, func(k int, v any) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 2 || keys[2] != 3 {
+		t.Fatalf("range keys = %v", keys)
+	}
+	if vals[0] != "a" || vals[1] != "b" || vals[2] != "c" {
+		t.Fatalf("range vals = %v", vals)
+	}
+	// Early stop.
+	count := 0
+	m.Range(th, func(int, any) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early-stop visited %d entries", count)
+	}
+}
+
+// TestMapAgainstModel drives random operation sequences against a map
+// model.
+func TestMapAgainstModel(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		m := eec.NewSkipListMap()
+		model := map[int]int{}
+		for i := 0; i < 200; i++ {
+			k := int(rng.IntN(25))
+			switch rng.IntN(4) {
+			case 0:
+				v := int(rng.IntN(1000))
+				prev, had := m.Put(th, k, v)
+				mprev, mhad := model[k], false
+				if _, ok := model[k]; ok {
+					mhad = true
+				}
+				if had != mhad || (had && prev != mprev) {
+					return false
+				}
+				model[k] = v
+			case 1:
+				prev, had := m.Remove(th, k)
+				mprev, mhad := model[k], false
+				if _, ok := model[k]; ok {
+					mhad = true
+				}
+				if had != mhad || (had && prev != mprev) {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				v, ok := m.Get(th, k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			default:
+				if m.ContainsKey(th, k) != hasKey(model, k) {
+					return false
+				}
+			}
+		}
+		return m.Size(th) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hasKey(m map[int]int, k int) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// TestMapConcurrentCounters uses map values as per-key counters updated
+// read-modify-write inside one atomic region; totals must be exact.
+func TestMapConcurrentCounters(t *testing.T) {
+	tm := core.New()
+	m := eec.NewSkipListMap()
+	const keys = 8
+	const goroutines = 6
+	const per = 150
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := stm.NewThread(tm)
+			rng := rand.New(rand.NewPCG(seed, 13))
+			for i := 0; i < per; i++ {
+				k := int(rng.IntN(keys))
+				_ = th.Atomic(stm.Elastic, func(stm.Tx) error {
+					v, ok := m.Get(th, k)
+					if !ok {
+						m.Put(th, k, 1)
+					} else {
+						m.Put(th, k, v.(int)+1)
+					}
+					return nil
+				})
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	th := stm.NewThread(tm)
+	total := 0
+	m.Range(th, func(_ int, v any) bool {
+		total += v.(int)
+		return true
+	})
+	if total != goroutines*per {
+		t.Fatalf("total = %d, want %d", total, goroutines*per)
+	}
+}
+
+// TestMapAtomicSizeUnderBulk: PutAll blocks are atomic, so Size is always
+// a multiple of the block length.
+func TestMapAtomicSizeUnderBulk(t *testing.T) {
+	tm := core.New()
+	m := eec.NewSkipListMap()
+	block := map[int]any{10: "a", 11: "b", 12: "c", 13: "d"}
+	stop := make(chan struct{})
+	var workers, observers sync.WaitGroup
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		th := stm.NewThread(tm)
+		for i := 0; i < 200; i++ {
+			m.PutAll(th, block)
+			_ = th.Atomic(stm.Elastic, func(stm.Tx) error {
+				for k := range block {
+					m.Remove(th, k)
+				}
+				return nil
+			})
+		}
+	}()
+	observers.Add(1)
+	go func() {
+		defer observers.Done()
+		th := stm.NewThread(tm)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := m.Size(th); n != 0 && n != len(block) {
+				t.Errorf("torn bulk observed: size %d", n)
+				return
+			}
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	observers.Wait()
+}

@@ -1,0 +1,143 @@
+package eec
+
+import (
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// Queue is a transactional FIFO queue — the e.e.c counterpart of
+// java.util.concurrent's ConcurrentLinkedQueue, whose iterator is only
+// "weakly consistent" (§VI). Here Enqueue/Dequeue are atomic, Snapshot is
+// a consistent iteration, and the bulk operations (EnqueueAll, DrainTo)
+// are compositions of the elementary ones.
+//
+// The queue is a singly linked list with a dummy head: head points at the
+// node before the first element, tail at the last node. Enqueue writes
+// tail.next and tail; Dequeue writes head. Enqueues and dequeues of a
+// non-empty queue touch disjoint locations and do not conflict.
+type Queue struct {
+	head mvar.Var // holds *qnode
+	tail mvar.Var // holds *qnode
+}
+
+type qnode struct {
+	val  any
+	next mvar.Var // holds *qnode
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue {
+	dummy := &qnode{}
+	q := &Queue{}
+	q.head.Init(dummy)
+	q.tail.Init(dummy)
+	return q
+}
+
+// Name identifies the implementation.
+func (q *Queue) Name() string { return "queue" }
+
+// Enqueue appends val.
+func (q *Queue) Enqueue(th *stm.Thread, val any) {
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		n := &qnode{val: val}
+		tail := stm.ReadT[*qnode](tx, &q.tail)
+		tx.Write(&tail.next, n)
+		tx.Write(&q.tail, n)
+		return nil
+	})
+}
+
+// Dequeue removes and returns the first element; ok is false when the
+// queue is empty.
+func (q *Queue) Dequeue(th *stm.Thread) (val any, ok bool) {
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		val, ok = nil, false
+		head := stm.ReadT[*qnode](tx, &q.head)
+		first := stm.ReadT[*qnode](tx, &head.next)
+		if first == nil {
+			return nil
+		}
+		val, ok = first.val, true
+		// The dequeued node becomes the new dummy. Its payload field is
+		// immutable (set before publication), so it must not be cleared
+		// here: the transaction may retry, and concurrent snapshots may
+		// still read it. The reference is dropped at the next dequeue.
+		tx.Write(&q.head, first)
+		return nil
+	})
+	return val, ok
+}
+
+// Peek returns the first element without removing it.
+func (q *Queue) Peek(th *stm.Thread) (val any, ok bool) {
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		val, ok = nil, false
+		head := stm.ReadT[*qnode](tx, &q.head)
+		first := stm.ReadT[*qnode](tx, &head.next)
+		if first != nil {
+			val, ok = first.val, true
+		}
+		return nil
+	})
+	return val, ok
+}
+
+// Len returns the number of elements, atomically.
+func (q *Queue) Len(th *stm.Thread) int {
+	n := 0
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		n = 0
+		head := stm.ReadT[*qnode](tx, &q.head)
+		for curr := stm.ReadT[*qnode](tx, &head.next); curr != nil; curr = stm.ReadT[*qnode](tx, &curr.next) {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// Snapshot returns a consistent copy of the queue contents in FIFO order
+// — the atomic iterator java.util.concurrent cannot provide.
+func (q *Queue) Snapshot(th *stm.Thread) []any {
+	var out []any
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		out = out[:0]
+		head := stm.ReadT[*qnode](tx, &q.head)
+		for curr := stm.ReadT[*qnode](tx, &head.next); curr != nil; curr = stm.ReadT[*qnode](tx, &curr.next) {
+			out = append(out, curr.val)
+		}
+		return nil
+	})
+	return out
+}
+
+// EnqueueAll appends every value as one atomic step (composed from
+// Enqueue).
+func (q *Queue) EnqueueAll(th *stm.Thread, vals []any) {
+	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+		for _, v := range vals {
+			q.Enqueue(th, v)
+		}
+		return nil
+	})
+}
+
+// DrainTo atomically moves up to max elements into dst (composed from
+// Dequeue and Enqueue across two queues); it returns how many moved.
+func (q *Queue) DrainTo(th *stm.Thread, dst *Queue, max int) int {
+	moved := 0
+	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+		moved = 0
+		for moved < max {
+			v, ok := q.Dequeue(th)
+			if !ok {
+				break
+			}
+			dst.Enqueue(th, v)
+			moved++
+		}
+		return nil
+	})
+	return moved
+}

@@ -1,0 +1,165 @@
+package eec_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"oestm/internal/core"
+	"oestm/internal/eec"
+	"oestm/internal/stm"
+)
+
+func TestQueueBasic(t *testing.T) {
+	for ename, etm := range engines() {
+		t.Run(ename, func(t *testing.T) {
+			tm := etm()
+			th := stm.NewThread(tm)
+			q := eec.NewQueue()
+			if q.Name() != "queue" {
+				t.Fatalf("name = %q", q.Name())
+			}
+			if _, ok := q.Dequeue(th); ok {
+				t.Fatal("dequeue from empty queue succeeded")
+			}
+			q.Enqueue(th, 1)
+			q.Enqueue(th, 2)
+			q.Enqueue(th, 3)
+			if q.Len(th) != 3 {
+				t.Fatalf("len = %d", q.Len(th))
+			}
+			if v, ok := q.Peek(th); !ok || v != 1 {
+				t.Fatalf("peek = %v, %v", v, ok)
+			}
+			for want := 1; want <= 3; want++ {
+				v, ok := q.Dequeue(th)
+				if !ok || v != want {
+					t.Fatalf("dequeue = %v, %v; want %d", v, ok, want)
+				}
+			}
+			if q.Len(th) != 0 {
+				t.Fatalf("len after drain = %d", q.Len(th))
+			}
+		})
+	}
+}
+
+func TestQueueSnapshot(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	q := eec.NewQueue()
+	q.EnqueueAll(th, []any{"a", "b", "c"})
+	if got := q.Snapshot(th); !reflect.DeepEqual(got, []any{"a", "b", "c"}) {
+		t.Fatalf("snapshot = %v", got)
+	}
+	q.Dequeue(th)
+	if got := q.Snapshot(th); !reflect.DeepEqual(got, []any{"b", "c"}) {
+		t.Fatalf("snapshot after dequeue = %v", got)
+	}
+}
+
+func TestQueueDrainTo(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	src, dst := eec.NewQueue(), eec.NewQueue()
+	src.EnqueueAll(th, []any{1, 2, 3, 4})
+	if moved := src.DrainTo(th, dst, 3); moved != 3 {
+		t.Fatalf("moved = %d, want 3", moved)
+	}
+	if got := dst.Snapshot(th); !reflect.DeepEqual(got, []any{1, 2, 3}) {
+		t.Fatalf("dst = %v", got)
+	}
+	if got := src.Snapshot(th); !reflect.DeepEqual(got, []any{4}) {
+		t.Fatalf("src = %v", got)
+	}
+	// Draining more than available stops at empty.
+	if moved := src.DrainTo(th, dst, 10); moved != 1 {
+		t.Fatalf("moved = %d, want 1", moved)
+	}
+}
+
+// TestQueueFIFOUnderConcurrency: one producer, one consumer; the consumer
+// must observe values in order without loss or duplication.
+func TestQueueFIFOUnderConcurrency(t *testing.T) {
+	tm := core.New()
+	q := eec.NewQueue()
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		th := stm.NewThread(tm)
+		for i := 0; i < n; i++ {
+			q.Enqueue(th, i)
+		}
+	}()
+	var got []int
+	go func() {
+		defer wg.Done()
+		th := stm.NewThread(tm)
+		for len(got) < n {
+			if v, ok := q.Dequeue(th); ok {
+				got = append(got, v.(int))
+			}
+		}
+	}()
+	wg.Wait()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
+
+// TestQueueConservationManyWorkers: concurrent producers and consumers
+// over two queues via DrainTo; total element count is conserved and no
+// value duplicated.
+func TestQueueConservationManyWorkers(t *testing.T) {
+	tm := core.New()
+	a, b := eec.NewQueue(), eec.NewQueue()
+	init := stm.NewThread(tm)
+	const n = 60
+	for i := 0; i < n; i++ {
+		a.Enqueue(init, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(back bool) {
+			defer wg.Done()
+			th := stm.NewThread(tm)
+			for i := 0; i < 80; i++ {
+				if back {
+					b.DrainTo(th, a, 2)
+				} else {
+					a.DrainTo(th, b, 2)
+				}
+			}
+		}(w%2 == 0)
+	}
+	wg.Wait()
+	th := stm.NewThread(tm)
+	seen := map[int]int{}
+	total := 0
+	_ = th.Atomic(stm.Regular, func(stm.Tx) error {
+		seen = map[int]int{}
+		total = 0
+		for _, v := range a.Snapshot(th) {
+			seen[v.(int)]++
+			total++
+		}
+		for _, v := range b.Snapshot(th) {
+			seen[v.(int)]++
+			total++
+		}
+		return nil
+	})
+	if total != n {
+		t.Fatalf("total = %d, want %d", total, n)
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("value %d appears %d times", v, c)
+		}
+	}
+}

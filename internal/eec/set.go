@@ -1,0 +1,119 @@
+// Package eec is the Go rendition of the paper's edu.epfl.compositional
+// (e.e.c) package (§VI): a composable alternative to java.util.concurrent.
+// It provides integer set abstractions — LinkedListSet, SkipListSet,
+// HashSet — whose elementary operations (Contains, Add, Remove) run as
+// elastic transactions, and whose bulk operations (AddAll, RemoveAll) and
+// cross-structure operations (Move, InsertIfAbsent) are obtained by
+// composition: they simply invoke the elementary operations inside an
+// enclosing transaction, without modifying their code — the paper's Fig. 5
+// pattern.
+//
+// The structures are engine-agnostic: they are built from mvar.Var words,
+// so the same set instance can be driven by OE-STM, TL2, LSA or SwissTM
+// (the engine is carried by the stm.Thread). Under engines that support
+// the elastic model the elementary operations request Kind Elastic;
+// classic engines execute them as Regular.
+package eec
+
+import "oestm/internal/stm"
+
+// Set is an integer set driven by transactional threads. All operations
+// are atomic; bulk operations are atomic as a whole (unlike their
+// java.util.concurrent counterparts, §VI). Operations may be invoked
+// inside an open transaction on th, in which case they become nested
+// children of it — that is composition.
+type Set interface {
+	// Name identifies the implementation ("linkedlist", "skiplist",
+	// "hashset").
+	Name() string
+	// Contains reports whether key is in the set.
+	Contains(th *stm.Thread, key int) bool
+	// Add inserts key; it reports whether the set changed.
+	Add(th *stm.Thread, key int) bool
+	// Remove deletes key; it reports whether the set changed.
+	Remove(th *stm.Thread, key int) bool
+	// AddAll inserts every key atomically; it reports whether the set
+	// changed.
+	AddAll(th *stm.Thread, keys []int) bool
+	// RemoveAll deletes every key atomically; it reports whether the set
+	// changed.
+	RemoveAll(th *stm.Thread, keys []int) bool
+	// Size returns the number of elements, atomically (the operation the
+	// JDK's ConcurrentSkipListMap famously cannot provide, §I).
+	Size(th *stm.Thread) int
+	// Elements returns a consistent snapshot of the elements in
+	// ascending order.
+	Elements(th *stm.Thread) []int
+}
+
+// opKind selects the transaction kind for elementary operations: elastic
+// where the engine supports it (OE-STM), regular otherwise.
+func opKind(th *stm.Thread) stm.Kind {
+	if th.TM.SupportsElastic() {
+		return stm.Elastic
+	}
+	return stm.Regular
+}
+
+// addAll composes Add over keys inside one enclosing transaction. The
+// result flag is reset at the top of the closure because the whole
+// composition re-executes on conflict.
+func addAll(th *stm.Thread, s Set, keys []int) bool {
+	changed := false
+	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+		changed = false
+		for _, k := range keys {
+			if s.Add(th, k) {
+				changed = true
+			}
+		}
+		return nil
+	})
+	return changed
+}
+
+// removeAll composes Remove over keys inside one enclosing transaction.
+func removeAll(th *stm.Thread, s Set, keys []int) bool {
+	changed := false
+	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+		changed = false
+		for _, k := range keys {
+			if s.Remove(th, k) {
+				changed = true
+			}
+		}
+		return nil
+	})
+	return changed
+}
+
+// InsertIfAbsent atomically inserts x into s only if y is absent — the
+// paper's introductory composition example (Fig. 1). It reports whether x
+// was inserted.
+func InsertIfAbsent(th *stm.Thread, s Set, x, y int) bool {
+	inserted := false
+	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+		inserted = false
+		if !s.Contains(th, y) {
+			inserted = s.Add(th, x)
+		}
+		return nil
+	})
+	return inserted
+}
+
+// Move atomically transfers key from one set to another — the operation
+// that is impossible to build from lock-free remove/put (§I). It reports
+// whether the key moved.
+func Move(th *stm.Thread, from, to Set, key int) bool {
+	moved := false
+	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+		moved = false
+		if from.Remove(th, key) {
+			to.Add(th, key)
+			moved = true
+		}
+		return nil
+	})
+	return moved
+}

@@ -1,0 +1,197 @@
+package eec
+
+import (
+	"math"
+
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// maxLevel bounds skiplist towers; with p = 1/2 this comfortably covers
+// the paper's 2^12..2^13 element counts.
+const maxLevel = 16
+
+// snode is a skiplist node: an immutable key, one transactional link per
+// level of its tower, and a transactional removal mark. The mark is what
+// lets concurrent updates detect that a predecessor they located during
+// an elastic traversal has since left the structure: every update reads
+// the marks of the nodes it writes through, so a removal (which sets the
+// mark) invalidates those readers at commit time.
+type snode struct {
+	key    int
+	marked mvar.Var   // holds bool; zero value reads as false
+	next   []mvar.Var // each holds *snode
+}
+
+func newSnode(key, height int) *snode {
+	return &snode{key: key, next: make([]mvar.Var, height)}
+}
+
+// SkipListSet is the skip list set of e.e.c (Fig. 5 / Fig. 7). Updates
+// touch O(log n) links, so — as the paper observes — relaxation buys less
+// here than on the linked list: every engine contends on the towers.
+type SkipListSet struct {
+	head *snode
+	tail *snode
+}
+
+// NewSkipListSet returns an empty SkipListSet.
+func NewSkipListSet() *SkipListSet {
+	tail := newSnode(math.MaxInt, maxLevel)
+	head := newSnode(math.MinInt, maxLevel)
+	for l := 0; l < maxLevel; l++ {
+		head.next[l].Init(tail)
+	}
+	return &SkipListSet{head: head, tail: tail}
+}
+
+// Name implements Set.
+func (s *SkipListSet) Name() string { return "skiplist" }
+
+// randomHeight draws a tower height with geometric distribution p = 1/2.
+// It is drawn outside the transaction body so retries reuse it.
+func randomHeight(th *stm.Thread) int {
+	h := 1
+	for h < maxLevel && th.Rand.Uint64()&1 == 1 {
+		h++
+	}
+	return h
+}
+
+// find locates, per level, the rightmost node with key < target and its
+// successor. Only the traversal reads are performed; callers re-read the
+// links they are about to modify (see add) so that the positions they
+// rely on are protected even under elastic semantics.
+func (s *SkipListSet) find(tx stm.Tx, key int) (preds, succs *[maxLevel]*snode) {
+	var p, q [maxLevel]*snode
+	curr := s.head
+	for l := maxLevel - 1; l >= 0; l-- {
+		next := stm.ReadT[*snode](tx, &curr.next[l])
+		for next.key < key {
+			curr = next
+			next = stm.ReadT[*snode](tx, &curr.next[l])
+		}
+		p[l], q[l] = curr, next
+	}
+	return &p, &q
+}
+
+// Contains implements Set.
+func (s *SkipListSet) Contains(th *stm.Thread, key int) bool {
+	var res bool
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		_, succs := s.find(tx, key)
+		res = succs[0].key == key
+		return nil
+	})
+	return res
+}
+
+// Add implements Set.
+func (s *SkipListSet) Add(th *stm.Thread, key int) bool {
+	height := randomHeight(th)
+	var res bool
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		res = false
+		preds, _ := s.find(tx, key)
+		// Re-read the level-0 link: under elastic semantics the traversal
+		// reads above may no longer be protected, so the links to be
+		// rewired are re-read transactionally just before writing — the
+		// re-reads join the protected set and are validated at commit.
+		succ := stm.ReadT[*snode](tx, &preds[0].next[0])
+		if succ.key == key {
+			return nil // already present
+		}
+		if preds[0].key >= key || succ.key < key {
+			stm.Conflict("skiplist: insertion window moved")
+		}
+		if stm.ReadT[bool](tx, &preds[0].marked) {
+			stm.Conflict("skiplist: predecessor removed")
+		}
+		n := newSnode(key, height)
+		for l := 0; l < height; l++ {
+			if l > 0 {
+				succ = stm.ReadT[*snode](tx, &preds[l].next[l])
+				if preds[l].key >= key || succ.key <= key {
+					stm.Conflict("skiplist: insertion window moved")
+				}
+				if stm.ReadT[bool](tx, &preds[l].marked) {
+					stm.Conflict("skiplist: predecessor removed")
+				}
+			}
+			n.next[l].Init(succ)
+			tx.Write(&preds[l].next[l], n)
+		}
+		res = true
+		return nil
+	})
+	return res
+}
+
+// Remove implements Set.
+func (s *SkipListSet) Remove(th *stm.Thread, key int) bool {
+	var res bool
+	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+		res = false
+		preds, _ := s.find(tx, key)
+		target := stm.ReadT[*snode](tx, &preds[0].next[0])
+		if target.key != key {
+			if target.key < key {
+				stm.Conflict("skiplist: removal window moved")
+			}
+			return nil // absent
+		}
+		if stm.ReadT[bool](tx, &target.marked) || stm.ReadT[bool](tx, &preds[0].marked) {
+			stm.Conflict("skiplist: node concurrently removed")
+		}
+		// Setting the mark is the linchpin: every concurrent update that
+		// located target (or uses it as a predecessor) has target.marked
+		// in its protected set and fails validation once we commit.
+		tx.Write(&target.marked, true)
+		for l := len(target.next) - 1; l >= 0; l-- {
+			pred := preds[l]
+			curr := stm.ReadT[*snode](tx, &pred.next[l])
+			if curr != target {
+				stm.Conflict("skiplist: tower link moved")
+			}
+			if l > 0 && stm.ReadT[bool](tx, &pred.marked) {
+				stm.Conflict("skiplist: predecessor removed")
+			}
+			succ := stm.ReadT[*snode](tx, &target.next[l])
+			tx.Write(&pred.next[l], succ)
+		}
+		res = true
+		return nil
+	})
+	return res
+}
+
+// AddAll implements Set by composing Add.
+func (s *SkipListSet) AddAll(th *stm.Thread, keys []int) bool {
+	return addAll(th, s, keys)
+}
+
+// RemoveAll implements Set by composing Remove.
+func (s *SkipListSet) RemoveAll(th *stm.Thread, keys []int) bool {
+	return removeAll(th, s, keys)
+}
+
+// Size implements Set with a single atomic traversal of level 0.
+func (s *SkipListSet) Size(th *stm.Thread) int {
+	return len(s.Elements(th))
+}
+
+// Elements implements Set.
+func (s *SkipListSet) Elements(th *stm.Thread) []int {
+	var out []int
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		out = out[:0]
+		curr := stm.ReadT[*snode](tx, &s.head.next[0])
+		for curr.key != math.MaxInt {
+			out = append(out, curr.key)
+			curr = stm.ReadT[*snode](tx, &curr.next[0])
+		}
+		return nil
+	})
+	return out
+}

@@ -1,0 +1,225 @@
+// Package harness runs the paper's evaluation (§VII): duration-based
+// mixed workloads against the e.e.c structures over every engine, with
+// thread-count sweeps, throughput (operations per millisecond) and abort
+// ratio reporting — the two axes of Figs. 6, 7 and 8.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oestm/internal/core"
+	"oestm/internal/eec"
+	"oestm/internal/lsa"
+	"oestm/internal/seqset"
+	"oestm/internal/stm"
+	"oestm/internal/swisstm"
+	"oestm/internal/tl2"
+	"oestm/internal/workload"
+)
+
+// Engine couples a display name with an engine factory. A fresh engine is
+// created per run so clocks and contention state never leak across runs.
+type Engine struct {
+	Name string
+	New  func() stm.TM
+}
+
+// Engines returns the paper's engine line-up: OE-STM and the three
+// classic baselines. The "estm" ablation engine is available through
+// AllEngines.
+func Engines() []Engine {
+	return []Engine{
+		{Name: "oestm", New: func() stm.TM { return core.New() }},
+		{Name: "lsa", New: func() stm.TM { return lsa.New() }},
+		{Name: "tl2", New: func() stm.TM { return tl2.New() }},
+		{Name: "swisstm", New: func() stm.TM { return swisstm.New() }},
+	}
+}
+
+// AllEngines returns Engines plus the non-outheriting E-STM ablation.
+func AllEngines() []Engine {
+	return append(Engines(), Engine{Name: "estm", New: func() stm.TM { return core.NewWithoutOutheritance() }})
+}
+
+// EngineByName resolves one engine factory; ok is false for unknown
+// names.
+func EngineByName(name string) (Engine, bool) {
+	for _, e := range AllEngines() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Engine{}, false
+}
+
+// Structures returns the three benchmark structures of §VII. The hash set
+// is sized for the paper's load factor of 512.
+func Structures() []string { return []string{"linkedlist", "skiplist", "hashset"} }
+
+// NewStructure builds a fresh transactional structure by name.
+func NewStructure(name string, cfg workload.Config) eec.Set {
+	switch name {
+	case "linkedlist":
+		return eec.NewLinkedListSet()
+	case "skiplist":
+		return eec.NewSkipListSet()
+	case "hashset":
+		return eec.NewHashSetForLoad(cfg.InitialSize)
+	default:
+		panic(fmt.Sprintf("harness: unknown structure %q", name))
+	}
+}
+
+// NewSeqStructure builds the bare sequential counterpart.
+func NewSeqStructure(name string, cfg workload.Config) seqset.Set {
+	switch name {
+	case "linkedlist":
+		return seqset.NewLinkedListSet()
+	case "skiplist":
+		return seqset.NewSkipListSet()
+	case "hashset":
+		return seqset.NewHashSet(cfg.InitialSize / eec.DefaultLoadFactor)
+	default:
+		panic(fmt.Sprintf("harness: unknown structure %q", name))
+	}
+}
+
+// RunConfig describes one measurement.
+type RunConfig struct {
+	Structure string
+	Threads   int
+	Duration  time.Duration
+	Warmup    time.Duration
+	Workload  workload.Config
+}
+
+// Result is one measured point: the coordinates of Figs. 6-8.
+type Result struct {
+	Engine    string
+	Structure string
+	BulkPct   int
+	Threads   int
+	OpsPerMs  float64
+	AbortRate float64
+	Ops       uint64
+	Commits   uint64
+	Aborts    uint64
+	Elapsed   time.Duration
+}
+
+// RunSTM measures one engine on one configuration: fill the structure,
+// spin up cfg.Threads workers each drawing its own operation stream, run
+// for warmup+duration, and count operations completed during the
+// measured window.
+func RunSTM(eng Engine, cfg RunConfig) Result {
+	tm := eng.New()
+	set := NewStructure(cfg.Structure, cfg.Workload)
+	filler := stm.NewThread(tm)
+	workload.Fill(filler, set, cfg.Workload)
+
+	var (
+		stop      atomic.Bool
+		measuring atomic.Bool
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		totalOps  uint64
+		totals    stm.Stats
+	)
+	for i := 0; i < cfg.Threads; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			th := stm.NewThread(tm)
+			gen := workload.NewGen(cfg.Workload, idx)
+			var ops uint64
+			var base stm.Stats
+			baseTaken := false
+			for !stop.Load() {
+				if !baseTaken && measuring.Load() {
+					base = th.Stats
+					ops = 0
+					baseTaken = true
+				}
+				workload.Apply(th, set, gen.Next())
+				ops++
+			}
+			if !baseTaken {
+				base = stm.Stats{}
+			}
+			delta := th.Stats
+			delta.Commits -= base.Commits
+			delta.Aborts -= base.Aborts
+			delta.NestedBegins -= base.NestedBegins
+			delta.ReadOnly -= base.ReadOnly
+			mu.Lock()
+			totalOps += ops
+			totals.Add(delta)
+			mu.Unlock()
+		}(i)
+	}
+
+	time.Sleep(cfg.Warmup)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	elapsed := time.Since(start)
+	wg.Wait()
+
+	return Result{
+		Engine:    eng.Name,
+		Structure: cfg.Structure,
+		BulkPct:   cfg.Workload.BulkPct,
+		Threads:   cfg.Threads,
+		OpsPerMs:  float64(totalOps) / float64(elapsed.Milliseconds()+1),
+		AbortRate: totals.AbortRate(),
+		Ops:       totalOps,
+		Commits:   totals.Commits,
+		Aborts:    totals.Aborts,
+		Elapsed:   elapsed,
+	}
+}
+
+// RunSequential measures the bare sequential baseline: one goroutine on
+// the uninstrumented structure, whatever cfg.Threads says (the paper
+// plots it as a flat reference line).
+func RunSequential(cfg RunConfig) Result {
+	set := NewSeqStructure(cfg.Structure, cfg.Workload)
+	workload.FillSeq(set, cfg.Workload)
+	gen := workload.NewGen(cfg.Workload, 0)
+
+	var stop, measuring atomic.Bool
+	counted := make(chan uint64, 1)
+	go func() {
+		var ops uint64
+		baseTaken := false
+		for !stop.Load() {
+			if !baseTaken && measuring.Load() {
+				ops = 0
+				baseTaken = true
+			}
+			workload.ApplySeq(set, gen.Next())
+			ops++
+		}
+		counted <- ops
+	}()
+	time.Sleep(cfg.Warmup)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	measured := <-counted
+	elapsed := time.Since(start)
+	return Result{
+		Engine:    "sequential",
+		Structure: cfg.Structure,
+		BulkPct:   cfg.Workload.BulkPct,
+		Threads:   1,
+		OpsPerMs:  float64(measured) / float64(elapsed.Milliseconds()+1),
+		Ops:       measured,
+		Elapsed:   elapsed,
+	}
+}

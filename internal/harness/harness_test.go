@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"oestm/internal/workload"
+)
+
+func quickWorkload() workload.Config { return workload.Scaled(5, 32) } // 128 elems
+
+func TestEngineRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range AllEngines() {
+		if names[e.Name] {
+			t.Fatalf("duplicate engine %q", e.Name)
+		}
+		names[e.Name] = true
+		tm := e.New()
+		if tm.Name() != e.Name {
+			t.Fatalf("factory for %q builds %q", e.Name, tm.Name())
+		}
+	}
+	for _, want := range []string{"oestm", "lsa", "tl2", "swisstm", "estm"} {
+		if !names[want] {
+			t.Fatalf("missing engine %q", want)
+		}
+	}
+	if _, ok := EngineByName("oestm"); !ok {
+		t.Fatal("EngineByName failed for oestm")
+	}
+	if _, ok := EngineByName("nope"); ok {
+		t.Fatal("EngineByName accepted unknown name")
+	}
+}
+
+func TestStructureFactories(t *testing.T) {
+	cfg := quickWorkload()
+	for _, s := range Structures() {
+		if NewStructure(s, cfg) == nil {
+			t.Fatalf("nil structure %q", s)
+		}
+		if NewSeqStructure(s, cfg) == nil {
+			t.Fatalf("nil sequential structure %q", s)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown structure must panic")
+		}
+	}()
+	NewStructure("bogus", cfg)
+}
+
+func TestRunSTMProducesWork(t *testing.T) {
+	eng, _ := EngineByName("oestm")
+	r := RunSTM(eng, RunConfig{
+		Structure: "hashset",
+		Threads:   2,
+		Duration:  50 * time.Millisecond,
+		Warmup:    10 * time.Millisecond,
+		Workload:  quickWorkload(),
+	})
+	if r.Ops == 0 || r.OpsPerMs <= 0 {
+		t.Fatalf("no work measured: %+v", r)
+	}
+	if r.Engine != "oestm" || r.Threads != 2 || r.Structure != "hashset" {
+		t.Fatalf("metadata wrong: %+v", r)
+	}
+	if r.AbortRate < 0 || r.AbortRate > 100 {
+		t.Fatalf("abort rate out of range: %+v", r)
+	}
+}
+
+func TestRunSequentialProducesWork(t *testing.T) {
+	r := RunSequential(RunConfig{
+		Structure: "linkedlist",
+		Duration:  30 * time.Millisecond,
+		Warmup:    5 * time.Millisecond,
+		Workload:  quickWorkload(),
+	})
+	if r.Ops == 0 || r.OpsPerMs <= 0 {
+		t.Fatalf("no sequential work measured: %+v", r)
+	}
+	if r.Engine != "sequential" {
+		t.Fatalf("engine = %q", r.Engine)
+	}
+}
+
+func TestSweepAndFormat(t *testing.T) {
+	eng, _ := EngineByName("tl2")
+	results := Sweep(SweepConfig{
+		Structure:  "hashset",
+		BulkPct:    5,
+		Threads:    []int{1, 2},
+		Duration:   25 * time.Millisecond,
+		Warmup:     5 * time.Millisecond,
+		Runs:       2,
+		Engines:    []Engine{eng},
+		Sequential: true,
+		Workload:   quickWorkload(),
+	})
+	// sequential + 2 thread points
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	text := Format(results, "hashset", 5)
+	for _, want := range []string{"Fig. 8", "threads", "tl2", "sequential", "addAll/removeAll"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, text)
+		}
+	}
+	csv := CSV(results)
+	if !strings.HasPrefix(csv, "structure,bulk_pct,engine,threads") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != 4 {
+		t.Fatalf("csv rows = %d, want 4 (header + 3)", got)
+	}
+}
+
+func TestFigureTitles(t *testing.T) {
+	cases := map[string]string{
+		"linkedlist": "Fig. 6", "skiplist": "Fig. 7", "hashset": "Fig. 8", "other": "other",
+	}
+	for s, want := range cases {
+		if got := FigureTitle(s); !strings.Contains(got, want) {
+			t.Fatalf("title for %s = %q", s, got)
+		}
+	}
+}

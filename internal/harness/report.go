@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"oestm/internal/stats"
+	"oestm/internal/workload"
+)
+
+// SweepConfig describes a whole figure: one structure, one bulk
+// percentage, a list of thread counts, and the engines to compare.
+type SweepConfig struct {
+	Structure  string
+	BulkPct    int
+	Threads    []int
+	Duration   time.Duration
+	Warmup     time.Duration
+	Runs       int // per point; results are averaged
+	Engines    []Engine
+	Sequential bool // include the bare sequential baseline
+	Workload   workload.Config
+}
+
+// DefaultThreads is the paper's thread sweep.
+var DefaultThreads = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Sweep measures every (engine, threads) point of the figure and returns
+// the averaged results, sequential baseline first.
+func Sweep(cfg SweepConfig) []Result {
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	var out []Result
+	if cfg.Sequential {
+		rs := make([]Result, cfg.Runs)
+		for i := range rs {
+			rs[i] = RunSequential(RunConfig{
+				Structure: cfg.Structure,
+				Threads:   1,
+				Duration:  cfg.Duration,
+				Warmup:    cfg.Warmup,
+				Workload:  cfg.Workload,
+			})
+		}
+		out = append(out, average(rs))
+	}
+	for _, eng := range cfg.Engines {
+		for _, n := range cfg.Threads {
+			rs := make([]Result, cfg.Runs)
+			for i := range rs {
+				rs[i] = RunSTM(eng, RunConfig{
+					Structure: cfg.Structure,
+					Threads:   n,
+					Duration:  cfg.Duration,
+					Warmup:    cfg.Warmup,
+					Workload:  cfg.Workload,
+				})
+			}
+			out = append(out, average(rs))
+		}
+	}
+	return out
+}
+
+// average folds repeated runs of one point into one result.
+func average(rs []Result) Result {
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	out := rs[0]
+	tp := make([]float64, len(rs))
+	ab := make([]float64, len(rs))
+	for i, r := range rs {
+		tp[i] = r.OpsPerMs
+		ab[i] = r.AbortRate
+		if i > 0 {
+			out.Ops += r.Ops
+			out.Commits += r.Commits
+			out.Aborts += r.Aborts
+		}
+	}
+	out.OpsPerMs = stats.Mean(tp)
+	out.AbortRate = stats.Mean(ab)
+	return out
+}
+
+// FigureTitle names the paper figure for a structure, as in §VII-B.
+func FigureTitle(structure string) string {
+	switch structure {
+	case "linkedlist":
+		return "Fig. 6: LinkedListSet"
+	case "skiplist":
+		return "Fig. 7: SkipListSet"
+	case "hashset":
+		return "Fig. 8: HashSet"
+	default:
+		return structure
+	}
+}
+
+// Format renders a figure's results as an aligned table: one row per
+// thread count, throughput and abort-rate columns per engine — the text
+// rendition of the paper's plots.
+func Format(results []Result, structure string, bulkPct int) string {
+	var engines []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		if !seen[r.Engine] {
+			seen[r.Engine] = true
+			engines = append(engines, r.Engine)
+		}
+	}
+	threadSet := map[int]bool{}
+	for _, r := range results {
+		if r.Engine != "sequential" {
+			threadSet[r.Threads] = true
+		}
+	}
+	var threads []int
+	for n := range threadSet {
+		threads = append(threads, n)
+	}
+	sort.Ints(threads)
+
+	point := map[string]map[int]Result{}
+	for _, r := range results {
+		if point[r.Engine] == nil {
+			point[r.Engine] = map[int]Result{}
+		}
+		point[r.Engine][r.Threads] = r
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %d%% addAll/removeAll (throughput ops/ms | abort %%)\n",
+		FigureTitle(structure), bulkPct)
+	fmt.Fprintf(&b, "%-8s", "threads")
+	for _, e := range engines {
+		if e == "sequential" {
+			fmt.Fprintf(&b, " %12s", e)
+			continue
+		}
+		fmt.Fprintf(&b, " %12s %7s", e, "ab%")
+	}
+	b.WriteByte('\n')
+	for _, n := range threads {
+		fmt.Fprintf(&b, "%-8d", n)
+		for _, e := range engines {
+			if e == "sequential" {
+				r := point[e][1]
+				fmt.Fprintf(&b, " %12.1f", r.OpsPerMs)
+				continue
+			}
+			r, ok := point[e][n]
+			if !ok {
+				fmt.Fprintf(&b, " %12s %7s", "-", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %12.1f %7.2f", r.OpsPerMs, r.AbortRate)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders results as comma-separated rows with a header, for
+// plotting.
+func CSV(results []Result) string {
+	var b strings.Builder
+	b.WriteString("structure,bulk_pct,engine,threads,ops_per_ms,abort_rate,ops,commits,aborts\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s,%d,%s,%d,%.2f,%.3f,%d,%d,%d\n",
+			r.Structure, r.BulkPct, r.Engine, r.Threads, r.OpsPerMs, r.AbortRate, r.Ops, r.Commits, r.Aborts)
+	}
+	return b.String()
+}

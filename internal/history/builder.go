@@ -1,0 +1,81 @@
+package history
+
+// Builder assembles histories in a notation close to the paper's, keeping
+// track of which process executes each transaction so events need not
+// repeat it.
+//
+//	h := history.NewBuilder().
+//		Begin("t1", "p1").
+//		Acq("t1", "x").
+//		Op("t1", "x", "write", 2, "ok").
+//		Commit("t1").
+//		Rel("p1", "x").
+//		History()
+type Builder struct {
+	h      History
+	procOf map[string]string
+}
+
+// NewBuilder returns an empty history builder.
+func NewBuilder() *Builder {
+	return &Builder{procOf: map[string]string{}}
+}
+
+// Begin appends <begin(t), p>.
+func (b *Builder) Begin(tx, proc string) *Builder {
+	b.procOf[tx] = proc
+	b.h = append(b.h, Event{Type: BeginEvent, Proc: proc, Tx: tx})
+	return b
+}
+
+// Commit appends <commit(t), p> using t's registered process.
+func (b *Builder) Commit(tx string) *Builder {
+	b.h = append(b.h, Event{Type: CommitEvent, Proc: b.procOf[tx], Tx: tx})
+	return b
+}
+
+// Abort appends <abort(t), p>.
+func (b *Builder) Abort(tx string) *Builder {
+	b.h = append(b.h, Event{Type: AbortEvent, Proc: b.procOf[tx], Tx: tx})
+	return b
+}
+
+// Invoke appends <op(arg), o, t>.
+func (b *Builder) Invoke(tx, obj, op string, arg any) *Builder {
+	b.h = append(b.h, Event{Type: InvokeEvent, Proc: b.procOf[tx], Tx: tx, Obj: obj, Op: op, Val: arg})
+	return b
+}
+
+// Resp appends <v, o, t>.
+func (b *Builder) Resp(tx, obj, op string, ret any) *Builder {
+	b.h = append(b.h, Event{Type: ResponseEvent, Proc: b.procOf[tx], Tx: tx, Obj: obj, Op: op, Val: ret})
+	return b
+}
+
+// Op appends an adjacent invocation/response pair.
+func (b *Builder) Op(tx, obj, op string, arg, ret any) *Builder {
+	return b.Invoke(tx, obj, op, arg).Resp(tx, obj, op, ret)
+}
+
+// Acq appends <a(l(o)), p> on behalf of tx.
+func (b *Builder) Acq(tx, obj string) *Builder {
+	b.h = append(b.h, Event{Type: AcquireEvent, Proc: b.procOf[tx], Tx: tx, Obj: obj})
+	return b
+}
+
+// Rel appends <r(l(o)), p>; proc is explicit because releases may occur
+// after the acquiring transaction committed (outheritance) or be issued
+// by the process on behalf of a composition.
+func (b *Builder) Rel(proc, obj string) *Builder {
+	b.h = append(b.h, Event{Type: ReleaseEvent, Proc: proc, Obj: obj})
+	return b
+}
+
+// RelTx appends <r(l(o)), p> attributed to tx (purely informative).
+func (b *Builder) RelTx(tx, obj string) *Builder {
+	b.h = append(b.h, Event{Type: ReleaseEvent, Proc: b.procOf[tx], Tx: tx, Obj: obj})
+	return b
+}
+
+// History returns the built history.
+func (b *Builder) History() History { return b.h }

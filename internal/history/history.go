@@ -1,0 +1,365 @@
+// Package history implements the paper's system model (§II): histories of
+// events over processes, objects and transactions, extended with the
+// acquisition and release of protection elements (§II-A). It provides the
+// vocabulary the checkers in internal/check use to state and verify the
+// paper's definitions and theorems, plus a Recorder that converts
+// instrumented OE-STM executions into histories.
+//
+// Conventions: transactions, processes and objects are identified by
+// strings. Each object o carries exactly one protection element, written
+// l(o) in the paper; we name the element after its object. Operation
+// invocation and response events are recorded adjacently, so the
+// sequential order of operations on an object is the order of their
+// response events.
+package history
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventType enumerates the event kinds of §II.
+type EventType uint8
+
+const (
+	// BeginEvent is <begin(t), p>.
+	BeginEvent EventType = iota
+	// InvokeEvent is <op, o, t>.
+	InvokeEvent
+	// ResponseEvent is <v, o, t>.
+	ResponseEvent
+	// CommitEvent is <commit(t), p>.
+	CommitEvent
+	// AbortEvent is <abort(t), p>.
+	AbortEvent
+	// AcquireEvent is <a(l(o)), p>: process p acquires the protection
+	// element of object o.
+	AcquireEvent
+	// ReleaseEvent is <r(l(o)), p>.
+	ReleaseEvent
+)
+
+// String returns a compact mnemonic for the event type.
+func (t EventType) String() string {
+	switch t {
+	case BeginEvent:
+		return "begin"
+	case InvokeEvent:
+		return "inv"
+	case ResponseEvent:
+		return "resp"
+	case CommitEvent:
+		return "commit"
+	case AbortEvent:
+		return "abort"
+	case AcquireEvent:
+		return "acq"
+	case ReleaseEvent:
+		return "rel"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(t))
+	}
+}
+
+// Event is one history event. Fields are used according to Type:
+//
+//	Begin/Commit/Abort: Proc, Tx
+//	Invoke:             Proc, Tx, Obj, Op, Val (argument; may be nil)
+//	Response:           Proc, Tx, Obj, Op, Val (return value)
+//	Acquire/Release:    Proc, Obj (the element's object), Tx (informative)
+type Event struct {
+	Type EventType
+	Proc string
+	Tx   string
+	Obj  string
+	Op   string
+	Val  any
+}
+
+// String renders the event in a notation close to the paper's.
+func (e Event) String() string {
+	switch e.Type {
+	case BeginEvent, CommitEvent, AbortEvent:
+		return fmt.Sprintf("<%s(%s),%s>", e.Type, e.Tx, e.Proc)
+	case InvokeEvent:
+		return fmt.Sprintf("<%s(%v),%s,%s>", e.Op, e.Val, e.Obj, e.Tx)
+	case ResponseEvent:
+		return fmt.Sprintf("<%v,%s,%s>", e.Val, e.Obj, e.Tx)
+	case AcquireEvent:
+		return fmt.Sprintf("<a(l(%s)),%s>", e.Obj, e.Proc)
+	case ReleaseEvent:
+		return fmt.Sprintf("<r(l(%s)),%s>", e.Obj, e.Proc)
+	default:
+		return "<?>"
+	}
+}
+
+// History is a finite sequence of events (§II).
+type History []Event
+
+// String renders the history one event per line.
+func (h History) String() string {
+	var b strings.Builder
+	for i, e := range h {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// Procs returns the processes appearing in h, in order of first
+// appearance.
+func (h History) Procs() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, e := range h {
+		if e.Proc != "" && !seen[e.Proc] {
+			seen[e.Proc] = true
+			out = append(out, e.Proc)
+		}
+	}
+	return out
+}
+
+// Objects returns the objects appearing in h, in order of first
+// appearance.
+func (h History) Objects() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, e := range h {
+		if e.Obj != "" && !seen[e.Obj] {
+			seen[e.Obj] = true
+			out = append(out, e.Obj)
+		}
+	}
+	return out
+}
+
+// ByProc returns H|p: the subsequence of events involving process p.
+func (h History) ByProc(p string) History {
+	var out History
+	for _, e := range h {
+		if e.Proc == p {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByObj returns H|o for invocation/response events on object o.
+func (h History) ByObj(o string) History {
+	var out History
+	for _, e := range h {
+		if (e.Type == InvokeEvent || e.Type == ResponseEvent) && e.Obj == o {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByElement returns H|l(o): the acquire/release events of o's protection
+// element.
+func (h History) ByElement(o string) History {
+	var out History
+	for _, e := range h {
+		if (e.Type == AcquireEvent || e.Type == ReleaseEvent) && e.Obj == o {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Transactions returns transactions(H) in order of their begin events;
+// transactions lacking a begin event are appended in order of first
+// appearance.
+func (h History) Transactions() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, e := range h {
+		if e.Type == BeginEvent && !seen[e.Tx] {
+			seen[e.Tx] = true
+			out = append(out, e.Tx)
+		}
+	}
+	for _, e := range h {
+		if e.Tx != "" && !seen[e.Tx] {
+			seen[e.Tx] = true
+			out = append(out, e.Tx)
+		}
+	}
+	return out
+}
+
+// Committed returns committed(H) as a set.
+func (h History) Committed() map[string]bool {
+	out := map[string]bool{}
+	for _, e := range h {
+		if e.Type == CommitEvent {
+			out[e.Tx] = true
+		}
+	}
+	return out
+}
+
+// Aborted returns aborted(H) as a set.
+func (h History) Aborted() map[string]bool {
+	out := map[string]bool{}
+	for _, e := range h {
+		if e.Type == AbortEvent {
+			out[e.Tx] = true
+		}
+	}
+	return out
+}
+
+// Live returns live(H) = transactions(H) \ (committed ∪ aborted).
+func (h History) Live() map[string]bool {
+	committed, aborted := h.Committed(), h.Aborted()
+	out := map[string]bool{}
+	for _, t := range h.Transactions() {
+		if !committed[t] && !aborted[t] {
+			out[t] = true
+		}
+	}
+	return out
+}
+
+// RemoveAborted drops every event involving an aborted transaction, as the
+// model does before reasoning about correctness (§II).
+func (h History) RemoveAborted() History {
+	aborted := h.Aborted()
+	var out History
+	for _, e := range h {
+		if e.Tx != "" && aborted[e.Tx] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ProcOf returns the process executing transaction t (from its begin
+// event, falling back to any event of t).
+func (h History) ProcOf(t string) string {
+	for _, e := range h {
+		if e.Type == BeginEvent && e.Tx == t {
+			return e.Proc
+		}
+	}
+	for _, e := range h {
+		if e.Tx == t && e.Proc != "" {
+			return e.Proc
+		}
+	}
+	return ""
+}
+
+// IndexOf returns the position of the first event satisfying pred, or -1.
+func (h History) IndexOf(pred func(Event) bool) int {
+	for i, e := range h {
+		if pred(e) {
+			return i
+		}
+	}
+	return -1
+}
+
+// CommitIndex returns the position of t's commit event, or -1.
+func (h History) CommitIndex(t string) int {
+	return h.IndexOf(func(e Event) bool { return e.Type == CommitEvent && e.Tx == t })
+}
+
+// BeginIndex returns the position of t's begin event, or -1.
+func (h History) BeginIndex(t string) int {
+	return h.IndexOf(func(e Event) bool { return e.Type == BeginEvent && e.Tx == t })
+}
+
+// Precedes reports t <H t': commit(t) precedes begin(t') in h.
+func (h History) Precedes(t, u string) bool {
+	ct, bu := h.CommitIndex(t), h.BeginIndex(u)
+	return ct >= 0 && bu >= 0 && ct < bu
+}
+
+// OpCall is one completed operation: [op, v] with its object.
+type OpCall struct {
+	Obj string
+	Op  string
+	Arg any
+	Ret any
+}
+
+// OpsOf returns the completed operations of transaction t, in history
+// order (pairing each invocation with its following response on the same
+// object and transaction).
+func (h History) OpsOf(t string) []OpCall {
+	var out []OpCall
+	for i, e := range h {
+		if e.Type != InvokeEvent || e.Tx != t {
+			continue
+		}
+		for j := i + 1; j < len(h); j++ {
+			r := h[j]
+			if r.Type == ResponseEvent && r.Tx == t && r.Obj == e.Obj {
+				out = append(out, OpCall{Obj: e.Obj, Op: e.Op, Arg: e.Val, Ret: r.Val})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Concurrent reports whether transactions t and u overlap in h
+// (begin(t) ≺ begin(u) ≺ commit(t), in either orientation).
+func (h History) Concurrent(t, u string) bool {
+	bt, bu := h.BeginIndex(t), h.BeginIndex(u)
+	ct, cu := h.CommitIndex(t), h.CommitIndex(u)
+	if bt < 0 || bu < 0 {
+		return false
+	}
+	if ct < 0 {
+		ct = len(h)
+	}
+	if cu < 0 {
+		cu = len(h)
+	}
+	return (bt < bu && bu < ct) || (bu < bt && bt < cu)
+}
+
+// Pmin computes the minimal protected set of committed transaction t
+// (§II-A): the elements acquired by t's process between begin(t) and
+// commit(t) whose matching release falls after commit(t). The returned
+// set maps object names to true.
+func (h History) Pmin(t string) map[string]bool {
+	out := map[string]bool{}
+	p := h.ProcOf(t)
+	bt, ct := h.BeginIndex(t), h.CommitIndex(t)
+	if p == "" || bt < 0 || ct < 0 {
+		return out
+	}
+	for i := bt + 1; i < ct; i++ {
+		e := h[i]
+		if e.Type != AcquireEvent || e.Proc != p {
+			continue
+		}
+		// Find the matching release: the next release of the same element
+		// by the same process.
+		released := -1
+		for j := i + 1; j < len(h); j++ {
+			r := h[j]
+			if r.Type == ReleaseEvent && r.Proc == p && r.Obj == e.Obj {
+				released = j
+				break
+			}
+		}
+		if released == -1 || released > ct {
+			out[e.Obj] = true
+		}
+	}
+	return out
+}
+
+// Ker returns ker(t): the objects whose protection elements are in
+// Pmin(t).
+func (h History) Ker(t string) map[string]bool { return h.Pmin(t) }

@@ -1,0 +1,250 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample builds a small two-process history with protection elements.
+func sample() History {
+	return NewBuilder().
+		Begin("t1", "p1").
+		Acq("t1", "x").
+		Op("t1", "x", "write", 5, "ok").
+		Commit("t1").
+		RelTx("t1", "x").
+		Begin("t2", "p2").
+		Acq("t2", "x").
+		Op("t2", "x", "read", nil, 5).
+		Commit("t2").
+		RelTx("t2", "x").
+		History()
+}
+
+func TestBuilderShape(t *testing.T) {
+	h := sample()
+	if len(h) != 12 {
+		t.Fatalf("events = %d, want 12", len(h))
+	}
+	if got := h.Procs(); len(got) != 2 || got[0] != "p1" || got[1] != "p2" {
+		t.Fatalf("procs = %v", got)
+	}
+	if got := h.Objects(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("objects = %v", got)
+	}
+	if got := h.Transactions(); len(got) != 2 {
+		t.Fatalf("transactions = %v", got)
+	}
+}
+
+func TestSubsequences(t *testing.T) {
+	h := sample()
+	if got := h.ByProc("p1"); len(got) != 6 {
+		t.Fatalf("H|p1 = %d events", len(got))
+	}
+	if got := h.ByObj("x"); len(got) != 4 {
+		t.Fatalf("H|x = %d events (want invoke+response pairs)", len(got))
+	}
+	if got := h.ByElement("x"); len(got) != 4 {
+		t.Fatalf("H|l(x) = %d events", len(got))
+	}
+}
+
+func TestCommittedAbortedLive(t *testing.T) {
+	h := NewBuilder().
+		Begin("t1", "p1").Commit("t1").
+		Begin("t2", "p1").Abort("t2").
+		Begin("t3", "p1").
+		History()
+	if !h.Committed()["t1"] || h.Committed()["t2"] {
+		t.Fatal("committed set wrong")
+	}
+	if !h.Aborted()["t2"] {
+		t.Fatal("aborted set wrong")
+	}
+	if !h.Live()["t3"] || h.Live()["t1"] {
+		t.Fatal("live set wrong")
+	}
+	clean := h.RemoveAborted()
+	for _, e := range clean {
+		if e.Tx == "t2" {
+			t.Fatal("aborted events not removed")
+		}
+	}
+}
+
+func TestPrecedes(t *testing.T) {
+	h := sample()
+	if !h.Precedes("t1", "t2") {
+		t.Fatal("t1 <H t2 must hold")
+	}
+	if h.Precedes("t2", "t1") {
+		t.Fatal("t2 <H t1 must not hold")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	h := NewBuilder().
+		Begin("t1", "p1").
+		Begin("t2", "p2").
+		Commit("t1").
+		Commit("t2").
+		History()
+	if !h.Concurrent("t1", "t2") || !h.Concurrent("t2", "t1") {
+		t.Fatal("overlapping transactions must be concurrent")
+	}
+	if !sampleNotConcurrent() {
+		t.Fatal("sequential transactions must not be concurrent")
+	}
+}
+
+func sampleNotConcurrent() bool {
+	h := sample()
+	return !h.Concurrent("t1", "t2")
+}
+
+func TestOpsOf(t *testing.T) {
+	h := sample()
+	ops := h.OpsOf("t1")
+	if len(ops) != 1 || ops[0].Op != "write" || ops[0].Arg != 5 || ops[0].Ret != "ok" {
+		t.Fatalf("ops of t1 = %+v", ops)
+	}
+}
+
+func TestPmin(t *testing.T) {
+	// t1 holds x beyond its commit (outheritance); t2 releases before its
+	// commit-following release... t2's release is after commit, so x is
+	// in Pmin(t2) as well; build a variant with an early release.
+	h := NewBuilder().
+		Begin("t1", "p1").
+		Acq("t1", "x").
+		Op("t1", "x", "write", 1, "ok").
+		Acq("t1", "y").
+		Op("t1", "y", "read", nil, 0).
+		RelTx("t1", "y"). // released before commit: not in Pmin
+		Commit("t1").
+		RelTx("t1", "x"). // released after commit: in Pmin
+		History()
+	pmin := h.Pmin("t1")
+	if !pmin["x"] || pmin["y"] {
+		t.Fatalf("Pmin = %v, want {x}", pmin)
+	}
+	if ker := h.Ker("t1"); !ker["x"] || len(ker) != 1 {
+		t.Fatalf("ker = %v", ker)
+	}
+}
+
+func TestPminUnreleasedElement(t *testing.T) {
+	// An element never released still belongs to Pmin.
+	h := NewBuilder().
+		Begin("t1", "p1").
+		Acq("t1", "x").
+		Op("t1", "x", "write", 1, "ok").
+		Commit("t1").
+		History()
+	if !h.Pmin("t1")["x"] {
+		t.Fatal("unreleased element must be in Pmin")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	h := sample()
+	s := h.String()
+	for _, want := range []string{"<begin(t1),p1>", "<a(l(x)),p1>", "<commit(t2),p2>", "<r(l(x)),p2>"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q in:\n%s", want, s)
+		}
+	}
+	for _, tt := range []struct {
+		et   EventType
+		want string
+	}{
+		{BeginEvent, "begin"}, {InvokeEvent, "inv"}, {ResponseEvent, "resp"},
+		{CommitEvent, "commit"}, {AbortEvent, "abort"}, {AcquireEvent, "acq"}, {ReleaseEvent, "rel"},
+	} {
+		if tt.et.String() != tt.want {
+			t.Fatalf("EventType(%d) = %q", tt.et, tt.et.String())
+		}
+	}
+}
+
+func TestRegisterSpec(t *testing.T) {
+	sim := RegisterSpec{Init: 0}.New()
+	if !sim.Apply("read", nil, 0) {
+		t.Fatal("initial read of 0 must be legal")
+	}
+	if !sim.Apply("write", 7, "ok") || !sim.Apply("read", nil, 7) {
+		t.Fatal("write/read sequence must be legal")
+	}
+	if sim.Apply("read", nil, 3) {
+		t.Fatal("stale read must be illegal")
+	}
+	if sim.Apply("bogus", nil, nil) {
+		t.Fatal("unknown op must be illegal")
+	}
+	cl := sim.Clone()
+	if cl.Key() != sim.Key() {
+		t.Fatal("clone must preserve state key")
+	}
+}
+
+func TestCounterSpec(t *testing.T) {
+	sim := CounterSpec{}.New()
+	if !sim.Apply("inc", nil, 1) || !sim.Apply("inc", nil, 2) {
+		t.Fatal("inc sequence must be legal")
+	}
+	if sim.Apply("inc", nil, 5) {
+		t.Fatal("skipping counter values must be illegal")
+	}
+	if !sim.Apply("read", nil, 3) {
+		t.Fatal("read after the illegal attempt consumed an inc") // inc to 3 happened
+	}
+}
+
+func TestCounterSpecRejectsWrongRead(t *testing.T) {
+	sim := CounterSpec{}.New()
+	sim.Apply("inc", nil, 1)
+	if sim.Apply("read", nil, 9) {
+		t.Fatal("wrong counter read must be illegal")
+	}
+}
+
+func TestSetSpec(t *testing.T) {
+	sim := SetSpec{Init: []int{3}}.New()
+	if !sim.Apply("contains", 3, true) || !sim.Apply("contains", 4, false) {
+		t.Fatal("seeded membership wrong")
+	}
+	if !sim.Apply("add", 4, true) || !sim.Apply("add", 4, false) {
+		t.Fatal("add semantics wrong")
+	}
+	if !sim.Apply("remove", 3, true) || !sim.Apply("remove", 3, false) {
+		t.Fatal("remove semantics wrong")
+	}
+	if sim.Apply("add", "not-an-int", true) {
+		t.Fatal("non-int key must be illegal")
+	}
+	cl := sim.Clone()
+	if cl.Key() != sim.Key() {
+		t.Fatal("clone key mismatch")
+	}
+	cl.Apply("add", 9, true)
+	if cl.Key() == sim.Key() {
+		t.Fatal("clone must be independent")
+	}
+}
+
+func TestTriviallyCommutative(t *testing.T) {
+	// Counter incs with fixed return values do not commute.
+	w1 := []OpCall{{Obj: "c", Op: "inc", Ret: 2}}
+	w2 := []OpCall{{Obj: "c", Op: "inc", Ret: 3}}
+	prefix := []OpCall{{Obj: "c", Op: "inc", Ret: 1}}
+	if TriviallyCommutative(CounterSpec{}, prefix, w1, w2) {
+		t.Fatal("value-returning incs must not commute")
+	}
+	// Two contains calls commute.
+	r1 := []OpCall{{Obj: "s", Op: "contains", Arg: 1, Ret: false}}
+	r2 := []OpCall{{Obj: "s", Op: "contains", Arg: 2, Ret: false}}
+	if !TriviallyCommutative(SetSpec{}, nil, r1, r2) {
+		t.Fatal("reads must commute")
+	}
+}

@@ -1,0 +1,248 @@
+package history
+
+import (
+	"fmt"
+	"sync"
+
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// Recorder converts an instrumented engine execution into a History. It
+// implements stm.Tracer; install it with the engine's SetTracer before
+// running transactions.
+//
+// Mapping conventions:
+//   - Each mvar.Var is an object; Label gives it a name, otherwise one is
+//     generated ("v1", "v2", ... in order of first appearance).
+//   - Each thread is a process ("p<ID>").
+//   - Each transaction is "t<N>" by engine-assigned id.
+//   - Nested executions: the children of a parent transaction are
+//     recorded as ordinary transactions; the parent's own begin/commit
+//     events are elided so that H|p remains a sequence of transactions
+//     (the model has no nesting). The composition C is the ordered list
+//     of children; Sup(C) is the last child. Releases performed at the
+//     parent's commit are therefore positioned after commit(Sup(C)),
+//     which is exactly what Definition 4.1 requires.
+//
+// Recording serialises all events through one mutex; it is meant for
+// correctness checking on small runs, not for benchmarking.
+type Recorder struct {
+	mu       sync.Mutex
+	events   History
+	labels   map[*mvar.Var]string
+	nextVar  int
+	parents  map[uint64]uint64   // child tx id -> parent tx id
+	children map[uint64][]uint64 // parent tx id -> ordered children
+	nested   map[uint64]bool     // tx ids that are parents of >=1 child
+	held     map[string]map[string]int
+}
+
+var _ stm.Tracer = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		labels:   map[*mvar.Var]string{},
+		parents:  map[uint64]uint64{},
+		children: map[uint64][]uint64{},
+		nested:   map[uint64]bool{},
+		held:     map[string]map[string]int{},
+	}
+}
+
+// Label names a Var so histories read like the paper's examples. Must be
+// called before the Var first appears in an event.
+func (r *Recorder) Label(v *mvar.Var, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.labels[v] = name
+}
+
+func (r *Recorder) nameOf(v *mvar.Var) string {
+	if n, ok := r.labels[v]; ok {
+		return n
+	}
+	r.nextVar++
+	n := fmt.Sprintf("v%d", r.nextVar)
+	r.labels[v] = n
+	return n
+}
+
+func txName(id uint64) string { return fmt.Sprintf("t%d", id) }
+func procName(id int) string  { return fmt.Sprintf("p%d", id) }
+
+// TxBegin implements stm.Tracer.
+func (r *Recorder) TxBegin(proc int, tx uint64, parent uint64, _ stm.Kind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if parent != 0 {
+		r.parents[tx] = parent
+		r.children[parent] = append(r.children[parent], tx)
+		r.nested[parent] = true
+	}
+	r.events = append(r.events, Event{Type: BeginEvent, Proc: procName(proc), Tx: txName(tx)})
+}
+
+// TxCommit implements stm.Tracer.
+func (r *Recorder) TxCommit(proc int, tx uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{Type: CommitEvent, Proc: procName(proc), Tx: txName(tx)})
+}
+
+// TxAbort implements stm.Tracer.
+func (r *Recorder) TxAbort(proc int, tx uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{Type: AbortEvent, Proc: procName(proc), Tx: txName(tx)})
+}
+
+// Acquire implements stm.Tracer. The engine re-acquires an element each
+// time it records a read of the same location; the model has a single
+// acquire/release section per hold, so the recorder keeps a hold count
+// per (process, element) and emits only the transitions 0→1 (acquire)
+// and 1→0 (release).
+func (r *Recorder) Acquire(proc int, tx uint64, v *mvar.Var) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, obj := procName(proc), r.nameOf(v)
+	if r.held[p] == nil {
+		r.held[p] = map[string]int{}
+	}
+	r.held[p][obj]++
+	if r.held[p][obj] == 1 {
+		r.events = append(r.events, Event{Type: AcquireEvent, Proc: p, Tx: txName(tx), Obj: obj})
+	}
+}
+
+// Release implements stm.Tracer; see Acquire for the hold-count rule.
+func (r *Recorder) Release(proc int, tx uint64, v *mvar.Var) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, obj := procName(proc), r.nameOf(v)
+	if r.held[p] == nil || r.held[p][obj] == 0 {
+		return // spurious release; nothing held at model level
+	}
+	r.held[p][obj]--
+	if r.held[p][obj] == 0 {
+		r.events = append(r.events, Event{Type: ReleaseEvent, Proc: p, Tx: txName(tx), Obj: obj})
+	}
+}
+
+// Op implements stm.Tracer.
+func (r *Recorder) Op(proc int, tx uint64, v *mvar.Var, op string, val any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	obj := r.nameOf(v)
+	p, t := procName(proc), txName(tx)
+	switch op {
+	case "read":
+		r.events = append(r.events,
+			Event{Type: InvokeEvent, Proc: p, Tx: t, Obj: obj, Op: "read"},
+			Event{Type: ResponseEvent, Proc: p, Tx: t, Obj: obj, Op: "read", Val: val})
+	case "write":
+		r.events = append(r.events,
+			Event{Type: InvokeEvent, Proc: p, Tx: t, Obj: obj, Op: "write", Val: val},
+			Event{Type: ResponseEvent, Proc: p, Tx: t, Obj: obj, Op: "write", Val: "ok"})
+	default:
+		r.events = append(r.events,
+			Event{Type: InvokeEvent, Proc: p, Tx: t, Obj: obj, Op: op, Val: val},
+			Event{Type: ResponseEvent, Proc: p, Tx: t, Obj: obj, Op: op, Val: val})
+	}
+}
+
+// History returns the recorded history with aborted transactions removed
+// (as the model prescribes, including the children of aborted parents —
+// their effects never reached memory) and the begin/commit events of
+// composition parents elided, so that every process's subsequence is a
+// flat sequence of transactions.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// A transaction is dead if it aborted or any ancestor aborted.
+	aborted := map[uint64]bool{}
+	for _, e := range r.events {
+		if e.Type == AbortEvent {
+			if id, ok := parseTx(e.Tx); ok {
+				aborted[id] = true
+			}
+		}
+	}
+	dead := func(id uint64) bool {
+		for {
+			if aborted[id] {
+				return true
+			}
+			parent, ok := r.parents[id]
+			if !ok {
+				return false
+			}
+			id = parent
+		}
+	}
+	var out History
+	for _, e := range r.events {
+		if e.Tx != "" {
+			if id, ok := parseTx(e.Tx); ok {
+				if dead(id) {
+					continue
+				}
+				if r.nested[id] && (e.Type == BeginEvent || e.Type == CommitEvent) {
+					continue
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Raw returns the full recorded event sequence, including aborted
+// transactions and parent begin/commit events.
+func (r *Recorder) Raw() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(History, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Compositions returns, for every parent transaction with at least two
+// committed children, the ordered list of child transaction names. Per
+// Definition 3.x compositions of fewer than two transactions are not
+// returned.
+func (r *Recorder) Compositions() [][]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	committed := map[uint64]bool{}
+	for _, e := range r.events {
+		if e.Type == CommitEvent {
+			if id, ok := parseTx(e.Tx); ok {
+				committed[id] = true
+			}
+		}
+	}
+	var out [][]string
+	for parent, kids := range r.children {
+		if !committed[parent] {
+			continue
+		}
+		var names []string
+		for _, k := range kids {
+			if committed[k] {
+				names = append(names, txName(k))
+			}
+		}
+		if len(names) >= 2 {
+			out = append(out, names)
+		}
+	}
+	return out
+}
+
+func parseTx(name string) (uint64, bool) {
+	var id uint64
+	_, err := fmt.Sscanf(name, "t%d", &id)
+	return id, err == nil
+}

@@ -1,0 +1,172 @@
+package history
+
+import (
+	"testing"
+
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// drive feeds the recorder directly (no engine) to unit-test its
+// translation rules.
+func TestRecorderLabelsAndGeneratedNames(t *testing.T) {
+	r := NewRecorder()
+	a, b := mvar.New(0), mvar.New(0)
+	r.Label(a, "x")
+	r.TxBegin(1, 1, 0, stm.Regular)
+	r.Acquire(1, 1, a)
+	r.Acquire(1, 1, b) // unlabelled: becomes v1
+	r.Op(1, 1, a, "read", 5)
+	r.TxCommit(1, 1)
+	r.Release(1, 1, a)
+	r.Release(1, 1, b)
+	h := r.History()
+	if got := h.Objects(); len(got) != 2 || got[0] != "x" || got[1] != "v1" {
+		t.Fatalf("objects = %v", got)
+	}
+}
+
+func TestRecorderHoldCounting(t *testing.T) {
+	r := NewRecorder()
+	v := mvar.New(0)
+	r.TxBegin(1, 1, 0, stm.Regular)
+	r.Acquire(1, 1, v)
+	r.Acquire(1, 1, v) // re-acquire: no event
+	r.Release(1, 1, v) // count 2 -> 1: no event
+	r.Release(1, 1, v) // count 1 -> 0: event
+	r.Release(1, 1, v) // spurious: ignored
+	r.TxCommit(1, 1)
+	h := r.Raw()
+	acq, rel := 0, 0
+	for _, e := range h {
+		switch e.Type {
+		case AcquireEvent:
+			acq++
+		case ReleaseEvent:
+			rel++
+		}
+	}
+	if acq != 1 || rel != 1 {
+		t.Fatalf("acquires=%d releases=%d, want 1/1", acq, rel)
+	}
+}
+
+func TestRecorderHoldsPerProcess(t *testing.T) {
+	r := NewRecorder()
+	v := mvar.New(0)
+	r.Acquire(1, 1, v)
+	r.Acquire(2, 2, v) // different process: its own section event
+	h := r.Raw()
+	if len(h) != 2 {
+		t.Fatalf("events = %d, want 2 (independent per-process holds)", len(h))
+	}
+}
+
+func TestRecorderOpEvents(t *testing.T) {
+	r := NewRecorder()
+	v := mvar.New(0)
+	r.Label(v, "x")
+	r.TxBegin(3, 9, 0, stm.Elastic)
+	r.Acquire(3, 9, v)
+	r.Op(3, 9, v, "read", 7)
+	r.Op(3, 9, v, "write", 8)
+	r.Op(3, 9, v, "cas", true)
+	r.TxCommit(3, 9)
+	r.Release(3, 9, v)
+	h := r.History()
+	ops := h.OpsOf("t9")
+	if len(ops) != 3 {
+		t.Fatalf("ops = %d, want 3", len(ops))
+	}
+	if ops[0].Op != "read" || ops[0].Ret != 7 {
+		t.Fatalf("read op = %+v", ops[0])
+	}
+	if ops[1].Op != "write" || ops[1].Arg != 8 || ops[1].Ret != "ok" {
+		t.Fatalf("write op = %+v", ops[1])
+	}
+	if ops[2].Op != "cas" || ops[2].Ret != true {
+		t.Fatalf("generic op = %+v", ops[2])
+	}
+	if h.ProcOf("t9") != "p3" {
+		t.Fatalf("proc = %q", h.ProcOf("t9"))
+	}
+}
+
+func TestRecorderElidesParentsAndDropsDead(t *testing.T) {
+	r := NewRecorder()
+	v := mvar.New(0)
+	// Parent t1 with children t2, t3 — committed nest.
+	r.TxBegin(1, 1, 0, stm.Elastic)
+	r.TxBegin(1, 2, 1, stm.Elastic)
+	r.Acquire(1, 2, v)
+	r.Op(1, 2, v, "read", 0)
+	r.TxCommit(1, 2)
+	r.TxBegin(1, 3, 1, stm.Elastic)
+	r.Op(1, 3, v, "write", 1)
+	r.TxCommit(1, 3)
+	r.TxCommit(1, 1)
+	r.Release(1, 1, v)
+	// Aborted parent t4 with committed child t5: both must vanish.
+	r.TxBegin(1, 4, 0, stm.Elastic)
+	r.TxBegin(1, 5, 4, stm.Elastic)
+	r.Acquire(1, 5, v)
+	r.TxCommit(1, 5)
+	r.TxAbort(1, 4)
+	r.Release(1, 4, v)
+
+	h := r.History()
+	for _, e := range h {
+		if e.Tx == "t1" && (e.Type == BeginEvent || e.Type == CommitEvent) {
+			t.Fatalf("parent begin/commit not elided: %v", e)
+		}
+		if e.Tx == "t4" || e.Tx == "t5" {
+			t.Fatalf("dead transaction event survived: %v", e)
+		}
+	}
+	comps := r.Compositions()
+	if len(comps) != 1 || len(comps[0]) != 2 || comps[0][0] != "t2" || comps[0][1] != "t3" {
+		t.Fatalf("compositions = %v", comps)
+	}
+}
+
+func TestRecorderSingleChildNotComposition(t *testing.T) {
+	r := NewRecorder()
+	r.TxBegin(1, 1, 0, stm.Elastic)
+	r.TxBegin(1, 2, 1, stm.Elastic)
+	r.TxCommit(1, 2)
+	r.TxCommit(1, 1)
+	if comps := r.Compositions(); len(comps) != 0 {
+		t.Fatalf("|C| >= 2 required, got %v", comps)
+	}
+}
+
+func TestRecorderAbortedChildExcludedFromComposition(t *testing.T) {
+	r := NewRecorder()
+	r.TxBegin(1, 1, 0, stm.Elastic)
+	r.TxBegin(1, 2, 1, stm.Elastic)
+	r.TxCommit(1, 2)
+	r.TxBegin(1, 3, 1, stm.Elastic)
+	r.TxAbort(1, 3) // aborted child
+	r.TxBegin(1, 4, 1, stm.Elastic)
+	r.TxCommit(1, 4)
+	r.TxCommit(1, 1)
+	comps := r.Compositions()
+	if len(comps) != 1 {
+		t.Fatalf("compositions = %v", comps)
+	}
+	if got := comps[0]; len(got) != 2 || got[0] != "t2" || got[1] != "t4" {
+		t.Fatalf("composition = %v, want [t2 t4]", got)
+	}
+}
+
+func TestRecorderRawKeepsEverything(t *testing.T) {
+	r := NewRecorder()
+	r.TxBegin(1, 1, 0, stm.Regular)
+	r.TxAbort(1, 1)
+	if len(r.Raw()) != 2 {
+		t.Fatalf("raw events = %d, want 2", len(r.Raw()))
+	}
+	if len(r.History()) != 0 {
+		t.Fatalf("history must drop the aborted transaction")
+	}
+}

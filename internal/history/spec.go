@@ -1,0 +1,157 @@
+package history
+
+import "fmt"
+
+// Spec is the serial specification o.seq of an object (§II), rendered as
+// a state-machine factory: a sequence of [op, v] pairs is acceptable iff
+// the machine accepts each pair in turn.
+type Spec interface {
+	// New returns a fresh simulator in the object's initial state.
+	New() Sim
+}
+
+// Sim is a serial-specification state machine.
+type Sim interface {
+	// Apply transitions on one completed operation, reporting whether the
+	// (op, arg, ret) triple is acceptable in the current state.
+	Apply(op string, arg, ret any) bool
+	// Clone returns an independent copy (for search backtracking).
+	Clone() Sim
+	// Key returns a canonical encoding of the state (for memoisation).
+	Key() string
+}
+
+// ---------------------------------------------------------------------
+// Register: read/write register, the model of a memory location.
+
+// RegisterSpec specifies a read/write register with the given initial
+// value. Operations: "write" (arg = new value, ret ignored), "read"
+// (ret = current value).
+type RegisterSpec struct{ Init any }
+
+// New implements Spec.
+func (s RegisterSpec) New() Sim { return &registerSim{val: s.Init} }
+
+type registerSim struct{ val any }
+
+func (r *registerSim) Apply(op string, arg, ret any) bool {
+	switch op {
+	case "write":
+		r.val = arg
+		return true
+	case "read":
+		return ret == r.val
+	default:
+		return false
+	}
+}
+
+func (r *registerSim) Clone() Sim  { return &registerSim{val: r.val} }
+func (r *registerSim) Key() string { return fmt.Sprintf("reg(%v)", r.val) }
+
+// ---------------------------------------------------------------------
+// Counter: the object of the paper's Fig. 3.
+
+// CounterSpec specifies a counter starting at 0. Operations: "inc"
+// (ret = new value), "read" (ret = current value).
+type CounterSpec struct{}
+
+// New implements Spec.
+func (CounterSpec) New() Sim { return &counterSim{} }
+
+type counterSim struct{ n int }
+
+func (c *counterSim) Apply(op string, arg, ret any) bool {
+	switch op {
+	case "inc":
+		c.n++
+		return ret == c.n
+	case "read":
+		return ret == c.n
+	default:
+		return false
+	}
+}
+
+func (c *counterSim) Clone() Sim  { return &counterSim{n: c.n} }
+func (c *counterSim) Key() string { return fmt.Sprintf("ctr(%d)", c.n) }
+
+// ---------------------------------------------------------------------
+// Set: the abstraction of §VI.
+
+// SetSpec specifies an integer set, initially empty (or seeded with
+// Init). Operations: "add"/"remove" (arg = key, ret = changed bool),
+// "contains" (arg = key, ret = bool).
+type SetSpec struct{ Init []int }
+
+// New implements Spec.
+func (s SetSpec) New() Sim {
+	sim := &setSim{els: map[int]bool{}}
+	for _, k := range s.Init {
+		sim.els[k] = true
+	}
+	return sim
+}
+
+type setSim struct{ els map[int]bool }
+
+func (s *setSim) Apply(op string, arg, ret any) bool {
+	k, ok := arg.(int)
+	if !ok {
+		return false
+	}
+	switch op {
+	case "add":
+		changed := !s.els[k]
+		s.els[k] = true
+		return ret == changed
+	case "remove":
+		changed := s.els[k]
+		delete(s.els, k)
+		return ret == changed
+	case "contains":
+		return ret == s.els[k]
+	default:
+		return false
+	}
+}
+
+func (s *setSim) Clone() Sim {
+	cp := &setSim{els: make(map[int]bool, len(s.els))}
+	for k, v := range s.els {
+		cp.els[k] = v
+	}
+	return cp
+}
+
+func (s *setSim) Key() string {
+	// Small sets only; canonical order by probing ascending keys.
+	out := "set("
+	for k := -64; k <= 64; k++ {
+		if s.els[k] {
+			out += fmt.Sprintf("%d,", k)
+		}
+	}
+	return out + ")"
+}
+
+// TriviallyCommutative reports whether a sequence extension pair always
+// commutes after prefix: ω·ω′·ω″ ∈ o.seq iff ω·ω″·ω′ ∈ o.seq (§II's
+// non-triviality condition), checked for one concrete (ω′, ω″) pair.
+func TriviallyCommutative(spec Spec, prefix, w1, w2 []OpCall) bool {
+	ok12 := acceptsSeq(spec, prefix, w1, w2)
+	ok21 := acceptsSeq(spec, prefix, w2, w1)
+	return ok12 == ok21
+}
+
+func acceptsSeq(spec Spec, seqs ...[]OpCall) bool {
+	sim := spec.New()
+	for _, seq := range seqs {
+		for _, c := range seq {
+			if !sim.Apply(c.Op, c.Arg, c.Ret) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+// Package lsa implements the Lazy Snapshot Algorithm of Riegel, Felber and
+// Fetzer (DISC 2006), the second classic-transaction baseline of the
+// paper's evaluation (§VII-B). As in the paper's Java version, LSA uses
+// eager lock acquirement on writes and extends the snapshot validity
+// interval on reads as far as possible to increase concurrency.
+//
+// LSA provides only Regular transactions; Kind Elastic is honoured as
+// Regular. Nesting is flat.
+package lsa
+
+import (
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// TM is an LSA engine instance.
+type TM struct {
+	clock mvar.Clock
+}
+
+// New returns a fresh LSA engine.
+func New() *TM { return &TM{} }
+
+// Name implements stm.TM.
+func (tm *TM) Name() string { return "lsa" }
+
+// SupportsElastic implements stm.TM; LSA is a classic STM.
+func (tm *TM) SupportsElastic() bool { return false }
+
+// Begin implements stm.TM.
+func (tm *TM) Begin(th *stm.Thread, _ stm.Kind) stm.TxControl {
+	return &txn{tm: tm, th: th, ub: tm.clock.Now()}
+}
+
+// BeginNested implements stm.TM with flat nesting.
+func (tm *TM) BeginNested(_ *stm.Thread, parent stm.TxControl, _ stm.Kind) stm.TxControl {
+	return stm.FlatChild(parent)
+}
+
+type readEntry struct {
+	v   *mvar.Var
+	ver uint64
+}
+
+type writeEntry struct {
+	v   *mvar.Var
+	val any
+	old uint64 // pre-lock meta, for revert
+}
+
+type txn struct {
+	tm     *TM
+	th     *stm.Thread
+	ub     uint64 // upper bound of the snapshot validity interval
+	reads  []readEntry
+	writes []writeEntry // every entry's lock is held (eager acquirement)
+	windex map[*mvar.Var]int
+}
+
+// Kind implements stm.Tx.
+func (t *txn) Kind() stm.Kind { return stm.Regular }
+
+// Read implements stm.Tx. Reads of locations newer than the current
+// validity interval attempt a lazy snapshot extension: revalidate the read
+// set at the current clock and, if it still holds, slide the upper bound.
+func (t *txn) Read(v *mvar.Var) any {
+	if idx, ok := t.windex[v]; ok {
+		return t.writes[idx].val
+	}
+	val, ver, ok := v.ReadConsistent()
+	if !ok {
+		stm.Conflict("lsa: read of locked or changing location")
+	}
+	// The extension validates only the reads recorded so far; the read
+	// that triggered it must be repeated under the new bound, because the
+	// commit that advanced the clock may have changed this location.
+	for ver > t.ub {
+		t.extend()
+		val, ver, ok = v.ReadConsistent()
+		if !ok {
+			stm.Conflict("lsa: read of locked or changing location")
+		}
+	}
+	t.reads = append(t.reads, readEntry{v, ver})
+	return val
+}
+
+// extend tries to move the snapshot upper bound to the present; failing
+// validation aborts the transaction.
+func (t *txn) extend() {
+	now := t.tm.clock.Now()
+	if !t.validate() {
+		stm.Conflict("lsa: snapshot extension failed")
+	}
+	t.ub = now
+}
+
+// Write implements stm.Tx with eager lock acquirement and a buffered
+// (write-back) value.
+func (t *txn) Write(v *mvar.Var, val any) {
+	if idx, ok := t.windex[v]; ok {
+		t.writes[idx].val = val
+		return
+	}
+	m := v.Meta()
+	if mvar.Locked(m) || !v.TryLock(t.th.ID, m) {
+		stm.Conflict("lsa: write lock unavailable")
+	}
+	if t.windex == nil {
+		t.windex = make(map[*mvar.Var]int, 8)
+	}
+	t.windex[v] = len(t.writes)
+	t.writes = append(t.writes, writeEntry{v: v, val: val, old: m})
+}
+
+// Commit implements stm.TxControl. Write locks are already held; pick a
+// commit version, validate the read set if anything committed since the
+// interval's upper bound, publish and unlock.
+func (t *txn) Commit() error {
+	if len(t.writes) == 0 {
+		t.th.Stats.ReadOnly++
+		return nil // the maintained snapshot interval is consistent
+	}
+	wv := t.tm.clock.Tick()
+	if t.ub+1 != wv {
+		if !t.validate() {
+			t.releaseLocks()
+			return stm.ErrConflict
+		}
+	}
+	for i := range t.writes {
+		e := &t.writes[i]
+		e.v.StoreLocked(e.val)
+		e.v.Unlock(wv)
+	}
+	t.writes = nil
+	return nil
+}
+
+// validate checks that every read entry still carries the version it was
+// read at. Entries this transaction write-locked are validated against
+// their pre-lock version: another transaction may have committed between
+// our read and our eager lock acquisition.
+func (t *txn) validate() bool {
+	for _, r := range t.reads {
+		m := r.v.Meta()
+		if mvar.Locked(m) {
+			if mvar.Owner(m) != t.th.ID {
+				return false
+			}
+			idx, mine := t.windex[r.v]
+			if !mine || mvar.Version(t.writes[idx].old) != r.ver {
+				return false
+			}
+			continue
+		}
+		if mvar.Version(m) != r.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseLocks reverts every eagerly acquired write lock.
+func (t *txn) releaseLocks() {
+	for i := range t.writes {
+		e := &t.writes[i]
+		e.v.Restore(e.old)
+	}
+	t.writes = nil
+}
+
+// Rollback implements stm.TxControl; it must release eagerly held locks
+// because conflicts can unwind mid-execution.
+func (t *txn) Rollback() {
+	t.releaseLocks()
+	t.reads = nil
+	t.windex = nil
+}

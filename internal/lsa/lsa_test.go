@@ -1,0 +1,23 @@
+package lsa_test
+
+import (
+	"testing"
+
+	"oestm/internal/lsa"
+	"oestm/internal/stm"
+	"oestm/internal/stmtest"
+)
+
+func TestConformance(t *testing.T) {
+	stmtest.Run(t, func() stm.TM { return lsa.New() })
+}
+
+func TestProperties(t *testing.T) {
+	tm := lsa.New()
+	if tm.Name() != "lsa" {
+		t.Fatalf("name = %q", tm.Name())
+	}
+	if tm.SupportsElastic() {
+		t.Fatal("lsa must not claim elastic support")
+	}
+}

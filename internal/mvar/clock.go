@@ -1,0 +1,20 @@
+package mvar
+
+import "sync/atomic"
+
+// Clock is the global version clock shared by the transactions of one TM
+// instance. Commit timestamps are obtained with Tick; read snapshots with
+// Now. It is padded on both sides so the hot counter does not share a
+// cache line with neighbouring state.
+type Clock struct {
+	_ [64]byte
+	c atomic.Uint64
+	_ [56]byte
+}
+
+// Now returns the current clock value without advancing it.
+func (c *Clock) Now() uint64 { return c.c.Load() }
+
+// Tick advances the clock and returns the new value, to be used as a
+// commit version.
+func (c *Clock) Tick() uint64 { return c.c.Add(1) }

@@ -1,0 +1,117 @@
+// Package mvar provides the transactional memory substrate shared by every
+// STM engine in this repository: versioned-lock memory words (Var), the
+// global version clock, and the lock-word encoding helpers.
+//
+// A Var plays the role of one "object field" in the paper's terminology:
+// all engines detect conflicts at Var granularity, mirroring the paper's
+// setup where "all STMs protect memory locations at the granularity level
+// of object fields" (§VII-B). A Var is also the concrete carrier of a
+// protection element: acquiring the protection element of a location maps
+// to either write-locking the Var or recording its version in a read set
+// that will be revalidated.
+//
+// Lock-word layout (64 bits):
+//
+//	bit 0      write-lock flag
+//	bits 1..63 commit version while unlocked, owner thread slot while locked
+//
+// Versions are drawn from a single global Clock, so they are totally
+// ordered across all Vars.
+package mvar
+
+import "sync/atomic"
+
+const lockFlag uint64 = 1
+
+// box wraps a value so the current committed value of a Var can be loaded
+// and stored with a single atomic pointer operation. Readers never observe
+// a torn value: writers install a fresh box while holding the write lock.
+type box struct{ v any }
+
+// Var is a single transactional memory word. The zero value is an unlocked
+// word at version 0 holding nil; New initialises the payload. Vars are
+// padded to a cache line so that hot words in concurrent data structures
+// do not false-share.
+type Var struct {
+	meta atomic.Uint64
+	val  atomic.Pointer[box]
+	_    [48]byte
+}
+
+// New returns a Var initialised to value v at version 0.
+func New(v any) *Var {
+	x := new(Var)
+	x.val.Store(&box{v})
+	return x
+}
+
+// Init (re)initialises the payload of a Var before it is shared. It must
+// not be called on a Var that concurrent transactions may already access.
+func (x *Var) Init(v any) { x.val.Store(&box{v}) }
+
+// Meta returns the current lock word.
+func (x *Var) Meta() uint64 { return x.meta.Load() }
+
+// Load returns the current committed value. Callers must implement a
+// consistency protocol around it (see ReadConsistent) unless they hold the
+// write lock.
+func (x *Var) Load() any {
+	b := x.val.Load()
+	if b == nil {
+		return nil
+	}
+	return b.v
+}
+
+// ReadConsistent performs the standard optimistic read: sample the lock
+// word, load the value, re-sample. It reports ok=false when the word was
+// locked or changed underneath, in which case the value must be discarded.
+// On success it returns the value and the version it was read at.
+func (x *Var) ReadConsistent() (v any, version uint64, ok bool) {
+	m1 := x.meta.Load()
+	if Locked(m1) {
+		return nil, 0, false
+	}
+	v = x.Load()
+	m2 := x.meta.Load()
+	if m1 != m2 {
+		return nil, 0, false
+	}
+	return v, Version(m1), true
+}
+
+// TryLock attempts to acquire the write lock by CASing the expected
+// (unlocked) lock word to a locked word owned by the given thread slot.
+func (x *Var) TryLock(owner int, expect uint64) bool {
+	if Locked(expect) {
+		return false
+	}
+	return x.meta.CompareAndSwap(expect, lockWord(owner))
+}
+
+// Unlock releases the write lock, publishing the given commit version.
+// The caller must hold the lock.
+func (x *Var) Unlock(version uint64) { x.meta.Store(version << 1) }
+
+// Restore reverts the lock word to a previously sampled (unlocked) value.
+// Used when a transaction aborts after acquiring write locks.
+func (x *Var) Restore(oldMeta uint64) { x.meta.Store(oldMeta) }
+
+// StoreLocked installs a new value. The caller must hold the write lock
+// (or be the only goroutine able to reach the Var).
+func (x *Var) StoreLocked(v any) { x.val.Store(&box{v}) }
+
+// Locked reports whether a lock word is write-locked.
+func Locked(meta uint64) bool { return meta&lockFlag != 0 }
+
+// Version extracts the commit version from an unlocked lock word.
+func Version(meta uint64) uint64 { return meta >> 1 }
+
+// Owner extracts the owner thread slot from a locked lock word.
+func Owner(meta uint64) int { return int(meta >> 1) }
+
+// lockWord builds a locked lock word owned by the given thread slot.
+func lockWord(owner int) uint64 { return lockFlag | uint64(owner)<<1 }
+
+// VersionWord builds an unlocked lock word carrying the given version.
+func VersionWord(version uint64) uint64 { return version << 1 }

@@ -1,0 +1,198 @@
+package mvar
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLockWordEncoding(t *testing.T) {
+	f := func(version uint64) bool {
+		version >>= 1 // keep within the 63-bit version space
+		w := VersionWord(version)
+		return !Locked(w) && Version(w) == version
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerEncoding(t *testing.T) {
+	f := func(owner uint16) bool {
+		w := lockWord(int(owner))
+		return Locked(w) && Owner(w) == int(owner)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewAndLoad(t *testing.T) {
+	v := New(42)
+	if got := v.Load(); got != 42 {
+		t.Fatalf("Load = %v, want 42", got)
+	}
+	if Locked(v.Meta()) {
+		t.Fatal("fresh Var must be unlocked")
+	}
+	if Version(v.Meta()) != 0 {
+		t.Fatalf("fresh Var version = %d, want 0", Version(v.Meta()))
+	}
+}
+
+func TestZeroVarLoadsNil(t *testing.T) {
+	var v Var
+	if got := v.Load(); got != nil {
+		t.Fatalf("zero Var Load = %v, want nil", got)
+	}
+	if _, _, ok := v.ReadConsistent(); !ok {
+		// zero Var is unlocked at version 0; consistent read must succeed
+		t.Fatal("consistent read of zero Var failed")
+	}
+}
+
+func TestTryLockUnlock(t *testing.T) {
+	v := New("a")
+	m := v.Meta()
+	if !v.TryLock(7, m) {
+		t.Fatal("TryLock on unlocked Var failed")
+	}
+	if !Locked(v.Meta()) || Owner(v.Meta()) != 7 {
+		t.Fatalf("lock word = %#x, want locked by 7", v.Meta())
+	}
+	// second lock attempt must fail
+	if v.TryLock(8, v.Meta()) {
+		t.Fatal("TryLock succeeded on a locked Var")
+	}
+	v.StoreLocked("b")
+	v.Unlock(5)
+	if Locked(v.Meta()) {
+		t.Fatal("Var still locked after Unlock")
+	}
+	if Version(v.Meta()) != 5 {
+		t.Fatalf("version = %d, want 5", Version(v.Meta()))
+	}
+	if got := v.Load(); got != "b" {
+		t.Fatalf("Load = %v, want b", got)
+	}
+}
+
+func TestTryLockRejectsStaleExpect(t *testing.T) {
+	v := New(1)
+	stale := v.Meta()
+	v.Unlock(9) // version moves on
+	if v.TryLock(3, stale) {
+		t.Fatal("TryLock with stale expected word succeeded")
+	}
+}
+
+func TestRestore(t *testing.T) {
+	v := New(1)
+	v.Unlock(11)
+	old := v.Meta()
+	if !v.TryLock(2, old) {
+		t.Fatal("lock failed")
+	}
+	v.Restore(old)
+	if v.Meta() != old {
+		t.Fatalf("meta = %#x, want %#x", v.Meta(), old)
+	}
+}
+
+func TestReadConsistentRejectsLocked(t *testing.T) {
+	v := New(1)
+	if !v.TryLock(1, v.Meta()) {
+		t.Fatal("lock failed")
+	}
+	if _, _, ok := v.ReadConsistent(); ok {
+		t.Fatal("consistent read succeeded on locked Var")
+	}
+}
+
+// TestReadConsistentUnderWriters hammers a Var with locked writers and
+// checks that consistent readers only ever observe (value, version) pairs
+// that were actually committed together.
+func TestReadConsistentUnderWriters(t *testing.T) {
+	v := New(uint64(0))
+	var clock Clock
+	const writers = 4
+	const iters = 2000
+	stop := make(chan struct{})
+	var writerWG, readerWG sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(slot int) {
+			defer writerWG.Done()
+			for i := 0; i < iters; i++ {
+				m := v.Meta()
+				if Locked(m) || !v.TryLock(slot, m) {
+					continue
+				}
+				ver := clock.Tick()
+				v.StoreLocked(ver) // value equals its commit version
+				v.Unlock(ver)
+			}
+		}(w + 1)
+	}
+
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if val, ver, ok := v.ReadConsistent(); ok && ver != 0 {
+				if val.(uint64) != ver {
+					t.Errorf("torn read: value %v at version %d", val, ver)
+					return
+				}
+			}
+		}
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		n := c.Tick()
+		if n <= prev {
+			t.Fatalf("clock not monotonic: %d after %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestClockConcurrentUnique(t *testing.T) {
+	var c Clock
+	const goroutines = 8
+	const per = 1000
+	out := make(chan uint64, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out <- c.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[uint64]bool, goroutines*per)
+	for ts := range out {
+		if seen[ts] {
+			t.Fatalf("duplicate commit timestamp %d", ts)
+		}
+		seen[ts] = true
+	}
+}

@@ -1,0 +1,303 @@
+// Package seqset provides bare sequential (uninstrumented) counterparts
+// of the e.e.c structures: the "Sequential" series of the paper's
+// Figs. 6-8 and the reference model for correctness tests. These
+// structures are not safe for concurrent use.
+package seqset
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Set is a single-threaded integer set.
+type Set interface {
+	// Name identifies the implementation.
+	Name() string
+	// Contains reports whether key is in the set.
+	Contains(key int) bool
+	// Add inserts key; it reports whether the set changed.
+	Add(key int) bool
+	// Remove deletes key; it reports whether the set changed.
+	Remove(key int) bool
+	// AddAll inserts every key; it reports whether the set changed.
+	AddAll(keys []int) bool
+	// RemoveAll deletes every key; it reports whether the set changed.
+	RemoveAll(keys []int) bool
+	// Size returns the number of elements.
+	Size() int
+	// Elements returns the elements in ascending order.
+	Elements() []int
+}
+
+// ---------------------------------------------------------------- list --
+
+type lnode struct {
+	key  int
+	next *lnode
+}
+
+// LinkedListSet is a sorted singly linked list with ±∞ sentinels,
+// structurally identical to eec.LinkedListSet minus instrumentation.
+type LinkedListSet struct {
+	head *lnode
+	n    int
+}
+
+// NewLinkedListSet returns an empty LinkedListSet.
+func NewLinkedListSet() *LinkedListSet {
+	tail := &lnode{key: math.MaxInt}
+	return &LinkedListSet{head: &lnode{key: math.MinInt, next: tail}}
+}
+
+// Name implements Set.
+func (s *LinkedListSet) Name() string { return "seq-linkedlist" }
+
+func (s *LinkedListSet) find(key int) (prev, curr *lnode) {
+	prev = s.head
+	curr = prev.next
+	for curr.key < key {
+		prev = curr
+		curr = curr.next
+	}
+	return prev, curr
+}
+
+// Contains implements Set.
+func (s *LinkedListSet) Contains(key int) bool {
+	_, curr := s.find(key)
+	return curr.key == key
+}
+
+// Add implements Set.
+func (s *LinkedListSet) Add(key int) bool {
+	prev, curr := s.find(key)
+	if curr.key == key {
+		return false
+	}
+	prev.next = &lnode{key: key, next: curr}
+	s.n++
+	return true
+}
+
+// Remove implements Set.
+func (s *LinkedListSet) Remove(key int) bool {
+	prev, curr := s.find(key)
+	if curr.key != key {
+		return false
+	}
+	prev.next = curr.next
+	s.n--
+	return true
+}
+
+// AddAll implements Set.
+func (s *LinkedListSet) AddAll(keys []int) bool { return addAll(s, keys) }
+
+// RemoveAll implements Set.
+func (s *LinkedListSet) RemoveAll(keys []int) bool { return removeAll(s, keys) }
+
+// Size implements Set.
+func (s *LinkedListSet) Size() int { return s.n }
+
+// Elements implements Set.
+func (s *LinkedListSet) Elements() []int {
+	var out []int
+	for curr := s.head.next; curr.key != math.MaxInt; curr = curr.next {
+		out = append(out, curr.key)
+	}
+	return out
+}
+
+// ------------------------------------------------------------ skiplist --
+
+const maxLevel = 16
+
+type snode struct {
+	key  int
+	next []*snode
+}
+
+// SkipListSet is a sequential skip list with tower heights drawn from a
+// private PRNG.
+type SkipListSet struct {
+	head *snode
+	rng  *rand.Rand
+	n    int
+}
+
+// NewSkipListSet returns an empty SkipListSet.
+func NewSkipListSet() *SkipListSet {
+	tail := &snode{key: math.MaxInt, next: make([]*snode, maxLevel)}
+	head := &snode{key: math.MinInt, next: make([]*snode, maxLevel)}
+	for l := range head.next {
+		head.next[l] = tail
+	}
+	return &SkipListSet{
+		head: head,
+		rng:  rand.New(rand.NewPCG(42, 7)),
+	}
+}
+
+// Name implements Set.
+func (s *SkipListSet) Name() string { return "seq-skiplist" }
+
+func (s *SkipListSet) find(key int) (preds [maxLevel]*snode) {
+	curr := s.head
+	for l := maxLevel - 1; l >= 0; l-- {
+		for curr.next[l].key < key {
+			curr = curr.next[l]
+		}
+		preds[l] = curr
+	}
+	return preds
+}
+
+// Contains implements Set.
+func (s *SkipListSet) Contains(key int) bool {
+	preds := s.find(key)
+	return preds[0].next[0].key == key
+}
+
+// Add implements Set.
+func (s *SkipListSet) Add(key int) bool {
+	preds := s.find(key)
+	if preds[0].next[0].key == key {
+		return false
+	}
+	h := 1
+	for h < maxLevel && s.rng.Uint64()&1 == 1 {
+		h++
+	}
+	n := &snode{key: key, next: make([]*snode, h)}
+	for l := 0; l < h; l++ {
+		n.next[l] = preds[l].next[l]
+		preds[l].next[l] = n
+	}
+	s.n++
+	return true
+}
+
+// Remove implements Set.
+func (s *SkipListSet) Remove(key int) bool {
+	preds := s.find(key)
+	target := preds[0].next[0]
+	if target.key != key {
+		return false
+	}
+	for l := 0; l < len(target.next); l++ {
+		preds[l].next[l] = target.next[l]
+	}
+	s.n--
+	return true
+}
+
+// AddAll implements Set.
+func (s *SkipListSet) AddAll(keys []int) bool { return addAll(s, keys) }
+
+// RemoveAll implements Set.
+func (s *SkipListSet) RemoveAll(keys []int) bool { return removeAll(s, keys) }
+
+// Size implements Set.
+func (s *SkipListSet) Size() int { return s.n }
+
+// Elements implements Set.
+func (s *SkipListSet) Elements() []int {
+	var out []int
+	for curr := s.head.next[0]; curr.key != math.MaxInt; curr = curr.next[0] {
+		out = append(out, curr.key)
+	}
+	return out
+}
+
+// ------------------------------------------------------------- hashset --
+
+// HashSet is a sequential hash table of sorted list buckets, mirroring
+// eec.HashSet's layout (including the paper's extreme load factor).
+type HashSet struct {
+	buckets []*LinkedListSet
+	n       int
+}
+
+// NewHashSet returns an empty HashSet with the given bucket count
+// (minimum 1).
+func NewHashSet(buckets int) *HashSet {
+	if buckets < 1 {
+		buckets = 1
+	}
+	bs := make([]*LinkedListSet, buckets)
+	for i := range bs {
+		bs[i] = NewLinkedListSet()
+	}
+	return &HashSet{buckets: bs}
+}
+
+// Name implements Set.
+func (s *HashSet) Name() string { return "seq-hashset" }
+
+func (s *HashSet) bucket(key int) *LinkedListSet {
+	h := uint64(key) * 0x9e3779b97f4a7c15
+	return s.buckets[h%uint64(len(s.buckets))]
+}
+
+// Contains implements Set.
+func (s *HashSet) Contains(key int) bool { return s.bucket(key).Contains(key) }
+
+// Add implements Set.
+func (s *HashSet) Add(key int) bool {
+	if s.bucket(key).Add(key) {
+		s.n++
+		return true
+	}
+	return false
+}
+
+// Remove implements Set.
+func (s *HashSet) Remove(key int) bool {
+	if s.bucket(key).Remove(key) {
+		s.n--
+		return true
+	}
+	return false
+}
+
+// AddAll implements Set.
+func (s *HashSet) AddAll(keys []int) bool { return addAll(s, keys) }
+
+// RemoveAll implements Set.
+func (s *HashSet) RemoveAll(keys []int) bool { return removeAll(s, keys) }
+
+// Size implements Set.
+func (s *HashSet) Size() int { return s.n }
+
+// Elements implements Set.
+func (s *HashSet) Elements() []int {
+	var out []int
+	for _, b := range s.buckets {
+		out = append(out, b.Elements()...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ------------------------------------------------------------- helpers --
+
+func addAll(s Set, keys []int) bool {
+	changed := false
+	for _, k := range keys {
+		if s.Add(k) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func removeAll(s Set, keys []int) bool {
+	changed := false
+	for _, k := range keys {
+		if s.Remove(k) {
+			changed = true
+		}
+	}
+	return changed
+}

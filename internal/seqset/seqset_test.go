@@ -1,0 +1,140 @@
+package seqset
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func factories() map[string]func() Set {
+	return map[string]func() Set{
+		"linkedlist": func() Set { return NewLinkedListSet() },
+		"skiplist":   func() Set { return NewSkipListSet() },
+		"hashset":    func() Set { return NewHashSet(8) },
+		"hashset1":   func() Set { return NewHashSet(0) }, // clamps to 1 bucket
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if s.Contains(5) {
+				t.Fatal("empty set contains 5")
+			}
+			if !s.Add(5) || s.Add(5) {
+				t.Fatal("Add semantics broken")
+			}
+			if !s.Contains(5) {
+				t.Fatal("added key missing")
+			}
+			if s.Size() != 1 {
+				t.Fatalf("size = %d, want 1", s.Size())
+			}
+			if !s.Remove(5) || s.Remove(5) {
+				t.Fatal("Remove semantics broken")
+			}
+			if s.Size() != 0 {
+				t.Fatalf("size = %d, want 0", s.Size())
+			}
+		})
+	}
+}
+
+func TestBulkOps(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if !s.AddAll([]int{3, 1, 2, 1}) {
+				t.Fatal("AddAll reported no change")
+			}
+			if got := s.Elements(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+				t.Fatalf("elements = %v", got)
+			}
+			if s.AddAll([]int{1, 2}) {
+				t.Fatal("AddAll of present keys reported change")
+			}
+			if !s.RemoveAll([]int{2, 9}) {
+				t.Fatal("RemoveAll reported no change")
+			}
+			if got := s.Elements(); !reflect.DeepEqual(got, []int{1, 3}) {
+				t.Fatalf("elements = %v", got)
+			}
+			if s.RemoveAll([]int{42}) {
+				t.Fatal("RemoveAll of absent key reported change")
+			}
+		})
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, mk := range []func() Set{
+		func() Set { return NewLinkedListSet() },
+		func() Set { return NewSkipListSet() },
+		func() Set { return NewHashSet(4) },
+	} {
+		n := mk().Name()
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestAgainstMapModel drives random operation sequences against a
+// map-based model; every implementation must agree on results, size and
+// element listings.
+func TestAgainstMapModel(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64) bool {
+				rng := rand.New(rand.NewPCG(seed, 1))
+				s := mk()
+				model := map[int]bool{}
+				for i := 0; i < 300; i++ {
+					k := int(rng.IntN(40))
+					switch rng.IntN(3) {
+					case 0:
+						if s.Add(k) != !model[k] {
+							return false
+						}
+						model[k] = true
+					case 1:
+						if s.Remove(k) != model[k] {
+							return false
+						}
+						delete(model, k)
+					default:
+						if s.Contains(k) != model[k] {
+							return false
+						}
+					}
+				}
+				if s.Size() != len(model) {
+					return false
+				}
+				want := make([]int, 0, len(model))
+				for k := range model {
+					want = append(want, k)
+				}
+				sort.Ints(want)
+				got := s.Elements()
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

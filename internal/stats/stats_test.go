@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty must be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("stddev of singleton must be 0")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty min/max must be 0")
+	}
+}
+
+func TestOrderingInvariant(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Clamp into a range where summation cannot overflow.
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			xs[i] = math.Mod(x, 1e9)
+		}
+		return Min(xs) <= Mean(xs) && Mean(xs) <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package stm
+
+import (
+	"errors"
+	"time"
+
+	"oestm/internal/mvar"
+)
+
+// Atomic executes fn inside a transaction of the given kind and commits
+// it, retrying on conflicts with randomised exponential backoff.
+//
+// If a transaction is already open on th, Atomic starts a nested (child)
+// transaction instead: this is concurrent composition in the paper's
+// sense. A conflict inside a child unwinds and retries the whole outermost
+// transaction (closed nesting with flat retry). If fn returns a non-nil
+// error the transaction (the whole nest, if nested) is rolled back and the
+// error is returned to the outermost caller without retrying.
+func (th *Thread) Atomic(k Kind, fn func(tx Tx) error) error {
+	if th.cur != nil {
+		return th.runNested(k, fn)
+	}
+	for attempt := 0; ; attempt++ {
+		tx := th.TM.Begin(th, k)
+		th.cur = tx
+		th.depth = 1
+		err, retry := th.runTop(tx, fn)
+		th.cur = nil
+		th.depth = 0
+		if !retry {
+			if err == nil {
+				th.Stats.Commits++
+			}
+			return err
+		}
+		th.Stats.Aborts++
+		if th.MaxRetries > 0 && attempt+1 >= th.MaxRetries {
+			return ErrConflict
+		}
+		th.backoff(attempt)
+	}
+}
+
+// runTop executes fn and commit for one top-level attempt, translating the
+// private panic signals into (err, retry).
+func (th *Thread) runTop(tx TxControl, fn func(tx Tx) error) (err error, retry bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch s := r.(type) {
+			case conflictSignal:
+				tx.Rollback()
+				err, retry = nil, true
+			case userAbort:
+				tx.Rollback()
+				err, retry = s.err, false
+			default:
+				// Foreign panic from user code: roll back and restore the
+				// thread state before letting it propagate.
+				tx.Rollback()
+				th.cur = nil
+				th.depth = 0
+				panic(r)
+			}
+		}
+	}()
+	if e := fn(tx); e != nil {
+		tx.Rollback()
+		return e, false
+	}
+	if e := tx.Commit(); e != nil {
+		if errors.Is(e, ErrConflict) {
+			return nil, true
+		}
+		tx.Rollback()
+		return e, false
+	}
+	return nil, false
+}
+
+// runNested runs fn as a child transaction of th.cur. Conflicts propagate
+// (by panic) to the outermost Atomic; user errors abort the whole nest.
+func (th *Thread) runNested(k Kind, fn func(tx Tx) error) error {
+	parent := th.cur
+	child := th.TM.BeginNested(th, parent, k)
+	th.Stats.NestedBegins++
+	th.cur = child
+	th.depth++
+	defer func() {
+		th.cur = parent
+		th.depth--
+	}()
+	if err := fn(child); err != nil {
+		child.Rollback()
+		// Unwind the entire nest; the outermost runTop returns err.
+		panic(userAbort{err})
+	}
+	if err := child.Commit(); err != nil {
+		if errors.Is(err, ErrConflict) {
+			Conflict("nested commit validation failed")
+		}
+		child.Rollback()
+		panic(userAbort{err})
+	}
+	return nil
+}
+
+// backoff sleeps for a randomised, exponentially growing duration. The
+// first few attempts spin-yield only, which is the common case for short
+// STM transactions.
+func (th *Thread) backoff(attempt int) {
+	if attempt < 3 {
+		return // immediate retry: cheapest for short transactions
+	}
+	shift := attempt - 3
+	if shift > 10 {
+		shift = 10
+	}
+	maxNs := int64(1024) << shift // 1us .. ~1ms
+	d := time.Duration(th.Rand.Int64N(maxNs) + 1)
+	time.Sleep(d)
+}
+
+// ReadT reads v inside tx and type-asserts the result to T. A nil stored
+// value yields the zero T. It keeps data-structure code free of assertion
+// noise.
+func ReadT[T any](tx Tx, v *mvar.Var) T {
+	x := tx.Read(v)
+	if x == nil {
+		var zero T
+		return zero
+	}
+	return x.(T)
+}

@@ -1,0 +1,119 @@
+// Package stm defines the engine-agnostic transactional programming layer:
+// the TM and Tx interfaces every engine implements, per-goroutine Thread
+// contexts, and the Atomic driver that runs transactions with conflict
+// retry and nesting.
+//
+// The paper's programming model ("begin[relaxed] ... end" regions, §VI) is
+// rendered in Go as
+//
+//	th := stm.NewThread(tm)
+//	th.Atomic(stm.Elastic, func(tx stm.Tx) error { ... })
+//
+// Calling Atomic while a transaction is already open on the thread starts
+// a nested (child) transaction — this is exactly the paper's notion of
+// composition: the child passes or drops its conflict information at its
+// commit depending on the engine (outheritance or not).
+package stm
+
+import (
+	"errors"
+	"fmt"
+
+	"oestm/internal/mvar"
+)
+
+// Kind selects the transactional model for one transaction, mirroring the
+// paper's begin[relaxed] region marker. Engines without a relaxed mode
+// treat every kind as Regular.
+type Kind uint8
+
+const (
+	// Regular requests classic (serializable) transactional semantics.
+	Regular Kind = iota
+	// Elastic requests the elastic model of Felber et al.: conflicts on
+	// the transaction's read-only prefix are ignored.
+	Elastic
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Regular:
+		return "regular"
+	case Elastic:
+		return "elastic"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Tx is the operation interface transactions expose to user code. Read and
+// Write never return errors: conflicts abort the transaction by panicking
+// with a private signal that the outermost Atomic recovers, so data
+// structure code reads like its sequential counterpart (the paper's Fig. 5
+// point).
+type Tx interface {
+	// Read returns the value of v as observed by this transaction.
+	Read(v *mvar.Var) any
+	// Write buffers (or applies, engine-dependent) a new value for v.
+	Write(v *mvar.Var, val any)
+	// Kind reports the transactional model this transaction runs under.
+	Kind() Kind
+}
+
+// TxControl extends Tx with the lifecycle methods the Atomic driver uses.
+// User code never calls these directly.
+type TxControl interface {
+	Tx
+	// Commit attempts to commit. It returns nil on success, ErrConflict
+	// if the transaction must be retried, or another error.
+	Commit() error
+	// Rollback discards the transaction. It must be safe to call after a
+	// conflict was raised part-way through execution or commit.
+	Rollback()
+}
+
+// TM is a transactional memory engine.
+type TM interface {
+	// Name identifies the engine ("oestm", "tl2", ...).
+	Name() string
+	// SupportsElastic reports whether the engine honours Kind Elastic.
+	SupportsElastic() bool
+	// Begin starts a top-level transaction on the given thread.
+	Begin(th *Thread, k Kind) TxControl
+	// BeginNested starts a child transaction of parent. Engines with flat
+	// nesting may return FlatChild(parent).
+	BeginNested(th *Thread, parent TxControl, k Kind) TxControl
+}
+
+// ErrConflict is returned by TxControl.Commit when the transaction lost a
+// conflict and must be re-executed. The Atomic driver retries on it.
+var ErrConflict = errors.New("stm: transaction conflict")
+
+// conflictSignal is the private panic payload used to unwind user code
+// when a conflict is detected during execution. Only Atomic recovers it.
+type conflictSignal struct{ reason string }
+
+// userAbort is the private panic payload used to unwind an entire nesting
+// of transactions when user code returns an error from a nested region.
+type userAbort struct{ err error }
+
+// Conflict aborts the current transaction attempt and unwinds to the
+// outermost Atomic, which rolls back and retries. Engines call it from
+// Read/Write when validation fails; user code may also call it to force a
+// retry.
+func Conflict(reason string) {
+	panic(conflictSignal{reason})
+}
+
+// FlatChild wraps a parent transaction as a flat-nested child: operations
+// delegate to the parent, child commit is a no-op (the parent keeps all
+// conflict information until its own commit — the classic-transaction
+// instantiation of outheritance, §I), and child rollback defers to the
+// enclosing retry machinery.
+func FlatChild(parent TxControl) TxControl { return flatChild{parent} }
+
+type flatChild struct{ TxControl }
+
+func (flatChild) Commit() error { return nil }
+func (flatChild) Rollback()     {}

@@ -1,0 +1,84 @@
+package stm
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// threadIDs allocates globally unique thread slots. Slot numbers appear in
+// lock words, so they must be small non-negative integers.
+var threadIDs atomic.Int64
+
+// Stats accumulates per-thread transaction counters. Threads are owned by
+// a single goroutine, so the fields are plain integers; aggregate across
+// threads only after the owning goroutines have stopped (or accept tearing
+// in progress displays).
+type Stats struct {
+	Commits      uint64 // committed top-level transactions
+	Aborts       uint64 // aborted attempts (each retry counts one)
+	NestedBegins uint64 // child transactions started
+	ReadOnly     uint64 // committed read-only top-level transactions
+}
+
+// AbortRate returns aborts/(commits+aborts) as a percentage, the metric
+// the paper plots on the right-hand axes of Figs. 6-8.
+func (s Stats) AbortRate() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Aborts) / float64(total)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Commits += other.Commits
+	s.Aborts += other.Aborts
+	s.NestedBegins += other.NestedBegins
+	s.ReadOnly += other.ReadOnly
+}
+
+// Thread is the per-goroutine transactional context: it tracks the current
+// transaction (enabling nesting/composition), carries a deterministic PRNG
+// for backoff and workload decisions, and accumulates statistics.
+//
+// A Thread must only be used from one goroutine at a time.
+type Thread struct {
+	// ID is the thread slot recorded in lock words while this thread
+	// holds write locks.
+	ID int
+	// TM is the engine this thread runs transactions on.
+	TM TM
+	// Stats accumulates commit/abort counters.
+	Stats Stats
+	// Rand is a per-thread PRNG (used for backoff jitter; workloads and
+	// data structures may share it).
+	Rand *rand.Rand
+	// MaxRetries, when non-zero, bounds the attempts of one Atomic call;
+	// exceeding it returns ErrConflict instead of retrying forever.
+	// Intended for tests; production configurations leave it 0.
+	MaxRetries int
+
+	cur   TxControl
+	depth int
+}
+
+// NewThread creates a thread context for tm with a unique slot and a
+// PRNG seeded from the slot (deterministic given creation order).
+func NewThread(tm TM) *Thread {
+	id := int(threadIDs.Add(1))
+	return &Thread{
+		ID:   id,
+		TM:   tm,
+		Rand: rand.New(rand.NewPCG(uint64(id), 0x9e3779b97f4a7c15)),
+	}
+}
+
+// InTx reports whether a transaction is currently open on this thread.
+func (th *Thread) InTx() bool { return th.cur != nil }
+
+// Current returns the innermost open transaction, or nil.
+func (th *Thread) Current() TxControl { return th.cur }
+
+// Depth returns the current nesting depth (0 outside any transaction).
+func (th *Thread) Depth() int { return th.depth }

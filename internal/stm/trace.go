@@ -1,0 +1,30 @@
+package stm
+
+import "oestm/internal/mvar"
+
+// Tracer receives the protection-element events of the paper's model
+// (§II-A) from an instrumented engine. Begin/Commit/Abort delimit
+// transactions; Acquire/Release bracket protection elements; Op records an
+// operation invocation+response pair on a location.
+//
+// Tracing exists to machine-check executions against Definition 4.1
+// (outheritance) and Definitions 3.1/3.2 (composability); engines only
+// call a Tracer when one is installed, so the fast path carries a single
+// nil check.
+type Tracer interface {
+	// TxBegin records <begin(t), p>. parent is 0 for top-level
+	// transactions and the parent's id for nested ones.
+	TxBegin(proc int, tx uint64, parent uint64, kind Kind)
+	// TxCommit records <commit(t), p>.
+	TxCommit(proc int, tx uint64)
+	// TxAbort records <abort(t), p>.
+	TxAbort(proc int, tx uint64)
+	// Acquire records <a(l(o)), p> for the protection element of v.
+	Acquire(proc int, tx uint64, v *mvar.Var)
+	// Release records <r(l(o)), p>. tx is the transaction on whose behalf
+	// the element was held; the release may occur after its commit (that
+	// is the whole point of outheritance).
+	Release(proc int, tx uint64, v *mvar.Var)
+	// Op records the invocation and response of an operation on v by tx.
+	Op(proc int, tx uint64, v *mvar.Var, op string, val any)
+}

@@ -1,0 +1,20 @@
+package swisstm
+
+import "sync"
+
+// sync_MapIntInt is a small typed wrapper over sync.Map used to assign
+// per-engine descriptor slots to thread IDs. Reads vastly outnumber
+// writes (one write per thread per engine), the sync.Map sweet spot.
+type sync_MapIntInt struct{ m sync.Map }
+
+// Load returns the slot for thread id k, if assigned.
+func (s *sync_MapIntInt) Load(k int) (int, bool) {
+	v, ok := s.m.Load(k)
+	if !ok {
+		return 0, false
+	}
+	return v.(int), true
+}
+
+// Store records the slot for thread id k.
+func (s *sync_MapIntInt) Store(k, v int) { s.m.Store(k, v) }

@@ -1,0 +1,276 @@
+// Package swisstm implements SwissTM (Dragojević, Felber, Gramoli,
+// Guerraoui — "Why STM can be more than a research toy", CACM 2011), the
+// third classic-transaction baseline of the paper's evaluation (§VII-B).
+//
+// SwissTM mixes eager and lazy conflict detection: write/write conflicts
+// are detected eagerly at encounter time (so doomed transactions abort as
+// soon as possible), read/write conflicts lazily via time-based validation
+// with snapshot extension, and a greedy contention manager arbitrates
+// write/write conflicts by age — the older transaction dooms the younger
+// one and waits briefly for the lock.
+//
+// SwissTM provides only Regular transactions; Kind Elastic is honoured as
+// Regular. Nesting is flat.
+package swisstm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// Transaction status values stored in descriptors. A transaction observes
+// Doomed at its next operation or commit and aborts itself.
+const (
+	statusActive uint32 = iota + 1
+	statusDoomed
+	statusCommitted
+	statusAborted
+)
+
+// maxSlots bounds the per-engine descriptor table. Lock words store the
+// per-engine slot of the owner so that conflicting transactions can find
+// the owner's descriptor.
+const maxSlots = 8192
+
+// spinBudget bounds how long an older transaction waits for a doomed
+// younger owner to release a lock before giving up and aborting itself;
+// this keeps the engine deadlock-free.
+const spinBudget = 1 << 14
+
+// desc is a transaction descriptor: the unit of contention management.
+type desc struct {
+	status atomic.Uint32
+	ts     uint64 // start timestamp; smaller = older = higher priority
+}
+
+// TM is a SwissTM engine instance.
+type TM struct {
+	clock    mvar.Clock
+	nextSlot atomic.Int64
+	descs    []atomic.Pointer[desc]
+	slotByTh sync_MapIntInt
+}
+
+// New returns a fresh SwissTM engine.
+func New() *TM {
+	return &TM{descs: make([]atomic.Pointer[desc], maxSlots)}
+}
+
+// Name implements stm.TM.
+func (tm *TM) Name() string { return "swisstm" }
+
+// SupportsElastic implements stm.TM; SwissTM is a classic STM.
+func (tm *TM) SupportsElastic() bool { return false }
+
+// slotOf returns (allocating on first use) the per-engine slot of th.
+func (tm *TM) slotOf(th *stm.Thread) int {
+	if s, ok := tm.slotByTh.Load(th.ID); ok {
+		return s
+	}
+	s := int(tm.nextSlot.Add(1))
+	if s >= maxSlots {
+		panic(fmt.Sprintf("swisstm: more than %d threads on one engine", maxSlots))
+	}
+	tm.slotByTh.Store(th.ID, s)
+	return s
+}
+
+// Begin implements stm.TM.
+func (tm *TM) Begin(th *stm.Thread, _ stm.Kind) stm.TxControl {
+	slot := tm.slotOf(th)
+	d := &desc{ts: tm.clock.Now()}
+	d.status.Store(statusActive)
+	tm.descs[slot].Store(d)
+	return &txn{tm: tm, th: th, slot: slot, desc: d, ub: d.ts}
+}
+
+// BeginNested implements stm.TM with flat nesting.
+func (tm *TM) BeginNested(_ *stm.Thread, parent stm.TxControl, _ stm.Kind) stm.TxControl {
+	return stm.FlatChild(parent)
+}
+
+type readEntry struct {
+	v   *mvar.Var
+	ver uint64
+}
+
+type writeEntry struct {
+	v   *mvar.Var
+	val any
+	old uint64
+}
+
+type txn struct {
+	tm     *TM
+	th     *stm.Thread
+	slot   int
+	desc   *desc
+	ub     uint64
+	reads  []readEntry
+	writes []writeEntry // locks held eagerly
+	windex map[*mvar.Var]int
+}
+
+// Kind implements stm.Tx.
+func (t *txn) Kind() stm.Kind { return stm.Regular }
+
+// checkDoomed aborts the transaction if the contention manager doomed it.
+func (t *txn) checkDoomed() {
+	if t.desc.status.Load() == statusDoomed {
+		stm.Conflict("swisstm: doomed by contention manager")
+	}
+}
+
+// Read implements stm.Tx: invisible read with time-based validation and
+// snapshot extension, as in LSA.
+func (t *txn) Read(v *mvar.Var) any {
+	t.checkDoomed()
+	if idx, ok := t.windex[v]; ok {
+		return t.writes[idx].val
+	}
+	val, ver, ok := v.ReadConsistent()
+	if !ok {
+		stm.Conflict("swisstm: read of locked or changing location")
+	}
+	// The extension validates only the reads recorded so far; the read
+	// that triggered it must be repeated under the new bound, because the
+	// commit that advanced the clock may have changed this location.
+	for ver > t.ub {
+		t.extend()
+		val, ver, ok = v.ReadConsistent()
+		if !ok {
+			stm.Conflict("swisstm: read of locked or changing location")
+		}
+	}
+	t.reads = append(t.reads, readEntry{v, ver})
+	return val
+}
+
+func (t *txn) extend() {
+	now := t.tm.clock.Now()
+	if !t.validate() {
+		stm.Conflict("swisstm: snapshot extension failed")
+	}
+	t.ub = now
+}
+
+// Write implements stm.Tx: eager write/write conflict detection through
+// the greedy contention manager.
+func (t *txn) Write(v *mvar.Var, val any) {
+	t.checkDoomed()
+	if idx, ok := t.windex[v]; ok {
+		t.writes[idx].val = val
+		return
+	}
+	old := t.acquire(v)
+	if t.windex == nil {
+		t.windex = make(map[*mvar.Var]int, 8)
+	}
+	t.windex[v] = len(t.writes)
+	t.writes = append(t.writes, writeEntry{v: v, val: val, old: old})
+}
+
+// acquire obtains the write lock of v, arbitrating conflicts greedily:
+// the older transaction dooms the younger owner and waits (bounded) for
+// the lock; a younger transaction aborts itself immediately.
+func (t *txn) acquire(v *mvar.Var) (oldMeta uint64) {
+	for spin := 0; ; spin++ {
+		if spin >= spinBudget {
+			stm.Conflict("swisstm: lock wait budget exhausted")
+		}
+		t.checkDoomed()
+		m := v.Meta()
+		if !mvar.Locked(m) {
+			if v.TryLock(t.slot, m) {
+				return m
+			}
+			continue
+		}
+		owner := t.tm.descs[mvar.Owner(m)].Load()
+		if owner == nil || owner == t.desc {
+			// Stale or impossible owner: retry the meta read.
+			continue
+		}
+		if owner.status.Load() != statusActive {
+			continue // owner is finishing; its locks release imminently
+		}
+		if t.desc.ts < owner.ts {
+			// We are older: doom the owner and keep spinning for release.
+			owner.status.CompareAndSwap(statusActive, statusDoomed)
+			continue
+		}
+		// We are younger: yield to the older writer.
+		stm.Conflict("swisstm: write/write conflict lost")
+	}
+}
+
+// Commit implements stm.TxControl.
+func (t *txn) Commit() error {
+	t.checkDoomed()
+	if len(t.writes) == 0 {
+		t.desc.status.Store(statusCommitted)
+		t.th.Stats.ReadOnly++
+		return nil
+	}
+	wv := t.tm.clock.Tick()
+	if t.ub+1 != wv {
+		if !t.validate() {
+			t.releaseLocks()
+			t.desc.status.Store(statusAborted)
+			return stm.ErrConflict
+		}
+	}
+	for i := range t.writes {
+		e := &t.writes[i]
+		e.v.StoreLocked(e.val)
+		e.v.Unlock(wv)
+	}
+	t.writes = nil
+	t.desc.status.Store(statusCommitted)
+	return nil
+}
+
+// validate checks that every read entry still carries the version it was
+// read at. Entries this transaction write-locked are validated against
+// their pre-lock version: another transaction may have committed between
+// our read and our eager lock acquisition.
+func (t *txn) validate() bool {
+	for _, r := range t.reads {
+		m := r.v.Meta()
+		if mvar.Locked(m) {
+			if mvar.Owner(m) != t.slot {
+				return false
+			}
+			idx, mine := t.windex[r.v]
+			if !mine || mvar.Version(t.writes[idx].old) != r.ver {
+				return false
+			}
+			continue
+		}
+		if mvar.Version(m) != r.ver {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *txn) releaseLocks() {
+	for i := range t.writes {
+		e := &t.writes[i]
+		e.v.Restore(e.old)
+	}
+	t.writes = nil
+}
+
+// Rollback implements stm.TxControl; releases eagerly held locks and marks
+// the descriptor aborted so waiting transactions stop treating it as an
+// active owner.
+func (t *txn) Rollback() {
+	t.releaseLocks()
+	t.desc.status.Store(statusAborted)
+	t.reads = nil
+	t.windex = nil
+}

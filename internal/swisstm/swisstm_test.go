@@ -1,0 +1,23 @@
+package swisstm_test
+
+import (
+	"testing"
+
+	"oestm/internal/stm"
+	"oestm/internal/stmtest"
+	"oestm/internal/swisstm"
+)
+
+func TestConformance(t *testing.T) {
+	stmtest.Run(t, func() stm.TM { return swisstm.New() })
+}
+
+func TestProperties(t *testing.T) {
+	tm := swisstm.New()
+	if tm.Name() != "swisstm" {
+		t.Fatalf("name = %q", tm.Name())
+	}
+	if tm.SupportsElastic() {
+		t.Fatal("swisstm must not claim elastic support")
+	}
+}

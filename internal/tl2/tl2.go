@@ -1,0 +1,170 @@
+// Package tl2 implements the Transactional Locking II algorithm of Dice,
+// Shalev and Shavit (DISC 2006), one of the three classic-transaction
+// baselines of the paper's evaluation (§VII-B): invisible reads validated
+// against a read-version timestamp, deferred (buffered) writes, and
+// commit-time locking with a global version clock.
+//
+// TL2 provides only Regular transactions; Kind Elastic is honoured as
+// Regular. Nesting is flat, which — as the paper notes in §I — is the
+// classic-transaction instantiation of outheritance: a child's accesses
+// simply remain in the parent's read and write sets until the parent
+// commits.
+package tl2
+
+import (
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// TM is a TL2 engine instance. Transactions from different TM instances
+// must not share Vars (they would use different clocks).
+type TM struct {
+	clock mvar.Clock
+}
+
+// New returns a fresh TL2 engine.
+func New() *TM { return &TM{} }
+
+// Name implements stm.TM.
+func (tm *TM) Name() string { return "tl2" }
+
+// SupportsElastic implements stm.TM; TL2 is a classic STM.
+func (tm *TM) SupportsElastic() bool { return false }
+
+// Begin implements stm.TM.
+func (tm *TM) Begin(th *stm.Thread, _ stm.Kind) stm.TxControl {
+	return &txn{
+		tm: tm,
+		th: th,
+		rv: tm.clock.Now(),
+	}
+}
+
+// BeginNested implements stm.TM with flat nesting.
+func (tm *TM) BeginNested(_ *stm.Thread, parent stm.TxControl, _ stm.Kind) stm.TxControl {
+	return stm.FlatChild(parent)
+}
+
+type readEntry struct {
+	v   *mvar.Var
+	ver uint64
+}
+
+type writeEntry struct {
+	v   *mvar.Var
+	val any
+	old uint64 // pre-lock meta, for revert on abort
+}
+
+type txn struct {
+	tm     *TM
+	th     *stm.Thread
+	rv     uint64
+	reads  []readEntry
+	writes []writeEntry
+	windex map[*mvar.Var]int
+}
+
+// Kind implements stm.Tx.
+func (t *txn) Kind() stm.Kind { return stm.Regular }
+
+// Read implements stm.Tx: post-validated invisible read. A read observing
+// a version newer than the transaction's read version aborts (TL2 does not
+// extend snapshots).
+func (t *txn) Read(v *mvar.Var) any {
+	if idx, ok := t.windex[v]; ok {
+		return t.writes[idx].val
+	}
+	val, ver, ok := v.ReadConsistent()
+	if !ok {
+		stm.Conflict("tl2: read of locked or changing location")
+	}
+	if ver > t.rv {
+		stm.Conflict("tl2: location newer than read version")
+	}
+	t.reads = append(t.reads, readEntry{v, ver})
+	return val
+}
+
+// Write implements stm.Tx with deferred update.
+func (t *txn) Write(v *mvar.Var, val any) {
+	if idx, ok := t.windex[v]; ok {
+		t.writes[idx].val = val
+		return
+	}
+	if t.windex == nil {
+		t.windex = make(map[*mvar.Var]int, 8)
+	}
+	t.windex[v] = len(t.writes)
+	t.writes = append(t.writes, writeEntry{v: v, val: val})
+}
+
+// Commit implements stm.TxControl: lock the write set, pick a commit
+// version, validate the read set, publish, unlock.
+func (t *txn) Commit() error {
+	if len(t.writes) == 0 {
+		t.th.Stats.ReadOnly++
+		return nil // read-only: snapshot at rv is consistent by construction
+	}
+	acquired := 0
+	for i := range t.writes {
+		e := &t.writes[i]
+		m := e.v.Meta()
+		if mvar.Locked(m) || !e.v.TryLock(t.th.ID, m) {
+			t.revert(acquired)
+			return stm.ErrConflict
+		}
+		e.old = m
+		acquired++
+	}
+	wv := t.tm.clock.Tick()
+	if t.rv+1 != wv { // optimisation from the TL2 paper: rv+1==wv needs no validation
+		if !t.validate() {
+			t.revert(acquired)
+			return stm.ErrConflict
+		}
+	}
+	for i := range t.writes {
+		e := &t.writes[i]
+		e.v.StoreLocked(e.val)
+		e.v.Unlock(wv)
+	}
+	return nil
+}
+
+// validate re-checks every read entry: not newer than rv. Locations this
+// transaction write-locked are validated against their pre-lock version
+// (they may have been committed to between our read and our lock).
+func (t *txn) validate() bool {
+	for _, r := range t.reads {
+		m := r.v.Meta()
+		if mvar.Locked(m) {
+			idx, mine := t.windex[r.v]
+			if !mine || mvar.Version(t.writes[idx].old) > t.rv {
+				return false
+			}
+			continue
+		}
+		if mvar.Version(m) > t.rv {
+			return false
+		}
+	}
+	return true
+}
+
+// revert releases the first n acquired write locks, restoring their
+// pre-lock words.
+func (t *txn) revert(n int) {
+	for i := 0; i < n; i++ {
+		e := &t.writes[i]
+		e.v.Restore(e.old)
+	}
+}
+
+// Rollback implements stm.TxControl. TL2 holds no locks outside Commit
+// (which reverts internally on failure), so rollback only drops state.
+func (t *txn) Rollback() {
+	t.reads = nil
+	t.writes = nil
+	t.windex = nil
+}

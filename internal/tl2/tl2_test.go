@@ -1,0 +1,23 @@
+package tl2_test
+
+import (
+	"testing"
+
+	"oestm/internal/stm"
+	"oestm/internal/stmtest"
+	"oestm/internal/tl2"
+)
+
+func TestConformance(t *testing.T) {
+	stmtest.Run(t, func() stm.TM { return tl2.New() })
+}
+
+func TestProperties(t *testing.T) {
+	tm := tl2.New()
+	if tm.Name() != "tl2" {
+		t.Fatalf("name = %q", tm.Name())
+	}
+	if tm.SupportsElastic() {
+		t.Fatal("tl2 must not claim elastic support")
+	}
+}

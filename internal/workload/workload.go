@@ -1,0 +1,191 @@
+// Package workload generates the paper's benchmark workload (§VII-A):
+// mixes of contains / add / remove / addAll / removeAll operations over a
+// key range of 2^13 against structures pre-filled with 2^12 elements, so
+// that add and remove succeed with probability ~1/2. Bulk operations act
+// on {v, closest integer to v/2}.
+package workload
+
+import (
+	"math/rand/v2"
+
+	"oestm/internal/eec"
+	"oestm/internal/seqset"
+	"oestm/internal/stm"
+)
+
+// Kind enumerates the operations of the workload.
+type Kind uint8
+
+const (
+	// Contains is a membership query (80% of the mix).
+	Contains Kind = iota
+	// Add inserts one key.
+	Add
+	// Remove deletes one key.
+	Remove
+	// AddAll atomically inserts {v, round(v/2)}.
+	AddAll
+	// RemoveAll atomically deletes {v, round(v/2)}.
+	RemoveAll
+)
+
+// String names the operation kind.
+func (k Kind) String() string {
+	switch k {
+	case Contains:
+		return "contains"
+	case Add:
+		return "add"
+	case Remove:
+		return "remove"
+	case AddAll:
+		return "addAll"
+	case RemoveAll:
+		return "removeAll"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind Kind
+	Key  int
+	Pair [2]int // for AddAll / RemoveAll
+}
+
+// Config parameterises the generator. The zero value is not useful; use
+// Default.
+type Config struct {
+	// InitialSize is the number of pre-filled elements (paper: 2^12).
+	InitialSize int
+	// KeyRange is the size of the key universe (paper: 2^13).
+	KeyRange int
+	// UpdatePct is the percentage of attempted updates (paper: 20).
+	UpdatePct int
+	// BulkPct is the percentage of all operations that are bulk
+	// (addAll/removeAll); the paper evaluates 5 and 15.
+	BulkPct int
+	// Seed randomises the per-thread generators deterministically.
+	Seed uint64
+}
+
+// Default returns the paper's §VII-A configuration with the given bulk
+// percentage.
+func Default(bulkPct int) Config {
+	return Config{
+		InitialSize: 1 << 12,
+		KeyRange:    1 << 13,
+		UpdatePct:   20,
+		BulkPct:     bulkPct,
+		Seed:        0x0e57d,
+	}
+}
+
+// Scaled returns Default shrunk by factor (for quick tests): sizes and
+// range divide by factor, percentages unchanged.
+func Scaled(bulkPct, factor int) Config {
+	cfg := Default(bulkPct)
+	if factor > 1 {
+		cfg.InitialSize /= factor
+		cfg.KeyRange /= factor
+	}
+	return cfg
+}
+
+// Gen deterministically generates the operation stream of one thread.
+type Gen struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewGen returns the generator for the given thread index.
+func NewGen(cfg Config, thread int) *Gen {
+	return &Gen{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, uint64(thread)+1)),
+	}
+}
+
+// Next draws the next operation: UpdatePct% attempted updates, of which
+// BulkPct points of the total are bulk operations, the rest split evenly
+// between add and remove; everything else is contains.
+func (g *Gen) Next() Op {
+	r := g.rng.IntN(100)
+	switch {
+	case r >= g.cfg.UpdatePct:
+		return Op{Kind: Contains, Key: g.key()}
+	case r < g.cfg.BulkPct:
+		v := g.key()
+		pair := [2]int{v, (v + 1) / 2}
+		if g.rng.IntN(2) == 0 {
+			return Op{Kind: AddAll, Pair: pair}
+		}
+		return Op{Kind: RemoveAll, Pair: pair}
+	default:
+		if g.rng.IntN(2) == 0 {
+			return Op{Kind: Add, Key: g.key()}
+		}
+		return Op{Kind: Remove, Key: g.key()}
+	}
+}
+
+func (g *Gen) key() int { return g.rng.IntN(g.cfg.KeyRange) }
+
+// FillKeys returns the deterministic initial content: every even key of
+// the range, which is exactly InitialSize elements when KeyRange =
+// 2*InitialSize (the paper's ratio) and gives add/remove the paper's
+// ~1/2 success rate.
+func (cfg Config) FillKeys() []int {
+	keys := make([]int, 0, cfg.InitialSize)
+	for k := 0; k < cfg.KeyRange && len(keys) < cfg.InitialSize; k += 2 {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Fill populates a transactional set with the initial content.
+func Fill(th *stm.Thread, s eec.Set, cfg Config) {
+	for _, k := range cfg.FillKeys() {
+		s.Add(th, k)
+	}
+}
+
+// FillSeq populates a sequential set with the initial content.
+func FillSeq(s seqset.Set, cfg Config) {
+	for _, k := range cfg.FillKeys() {
+		s.Add(k)
+	}
+}
+
+// Apply executes op against a transactional set.
+func Apply(th *stm.Thread, s eec.Set, op Op) {
+	switch op.Kind {
+	case Contains:
+		s.Contains(th, op.Key)
+	case Add:
+		s.Add(th, op.Key)
+	case Remove:
+		s.Remove(th, op.Key)
+	case AddAll:
+		s.AddAll(th, op.Pair[:])
+	case RemoveAll:
+		s.RemoveAll(th, op.Pair[:])
+	}
+}
+
+// ApplySeq executes op against a sequential set.
+func ApplySeq(s seqset.Set, op Op) {
+	switch op.Kind {
+	case Contains:
+		s.Contains(op.Key)
+	case Add:
+		s.Add(op.Key)
+	case Remove:
+		s.Remove(op.Key)
+	case AddAll:
+		s.AddAll(op.Pair[:])
+	case RemoveAll:
+		s.RemoveAll(op.Pair[:])
+	}
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"oestm/internal/core"
+	"oestm/internal/eec"
+	"oestm/internal/seqset"
+	"oestm/internal/stm"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := Default(5)
+	if cfg.InitialSize != 4096 || cfg.KeyRange != 8192 {
+		t.Fatalf("paper sizes wrong: %+v", cfg)
+	}
+	if cfg.UpdatePct != 20 || cfg.BulkPct != 5 {
+		t.Fatalf("paper percentages wrong: %+v", cfg)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	cfg := Scaled(15, 16)
+	if cfg.InitialSize != 256 || cfg.KeyRange != 512 {
+		t.Fatalf("scaling wrong: %+v", cfg)
+	}
+	if cfg.BulkPct != 15 {
+		t.Fatalf("bulk pct lost: %+v", cfg)
+	}
+	if same := Scaled(5, 1); same.InitialSize != 4096 {
+		t.Fatalf("factor 1 must not scale: %+v", same)
+	}
+}
+
+func TestFillKeys(t *testing.T) {
+	cfg := Default(5)
+	keys := cfg.FillKeys()
+	if len(keys) != cfg.InitialSize {
+		t.Fatalf("fill size = %d, want %d", len(keys), cfg.InitialSize)
+	}
+	for _, k := range keys {
+		if k%2 != 0 || k < 0 || k >= cfg.KeyRange {
+			t.Fatalf("unexpected fill key %d", k)
+		}
+	}
+}
+
+// TestMixProportions draws a large sample and checks the op mix matches
+// §VII-A within tolerance.
+func TestMixProportions(t *testing.T) {
+	cfg := Default(15)
+	g := NewGen(cfg, 0)
+	const n = 200000
+	counts := map[Kind]int{}
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	pct := func(k Kind) float64 { return 100 * float64(counts[k]) / n }
+	if got := pct(Contains); got < 78 || got > 82 {
+		t.Fatalf("contains %% = %.2f, want ~80", got)
+	}
+	bulk := pct(AddAll) + pct(RemoveAll)
+	if bulk < 13.5 || bulk > 16.5 {
+		t.Fatalf("bulk %% = %.2f, want ~15", bulk)
+	}
+	single := pct(Add) + pct(Remove)
+	if single < 3.5 || single > 6.5 {
+		t.Fatalf("add+remove %% = %.2f, want ~5", single)
+	}
+}
+
+// TestBulkPairRule checks the paper's bulk argument rule: the second key
+// is the closest integer to v/2.
+func TestBulkPairRule(t *testing.T) {
+	cfg := Default(100) // all ops bulk
+	cfg.UpdatePct = 100
+	g := NewGen(cfg, 3)
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind != AddAll && op.Kind != RemoveAll {
+			t.Fatalf("expected only bulk ops, got %v", op.Kind)
+		}
+		v, half := op.Pair[0], op.Pair[1]
+		if half != (v+1)/2 {
+			t.Fatalf("pair = %v, second must be round(v/2)", op.Pair)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	f := func(seed uint64, thread uint8) bool {
+		cfg := Default(5)
+		cfg.Seed = seed
+		a, b := NewGen(cfg, int(thread)), NewGen(cfg, int(thread))
+		for i := 0; i < 50; i++ {
+			if a.Next() != b.Next() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadStreamsDiffer(t *testing.T) {
+	cfg := Default(5)
+	a, b := NewGen(cfg, 0), NewGen(cfg, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("streams of different threads overlap too much: %d/100", same)
+	}
+}
+
+// TestApplyAgreesWithSeq runs the same stream against a transactional
+// set and its sequential twin and compares the final contents.
+func TestApplyAgreesWithSeq(t *testing.T) {
+	cfg := Scaled(15, 64) // 64 elements, range 128: quick
+	tm := core.New()
+	th := stm.NewThread(tm)
+	tset := eec.NewLinkedListSet()
+	sset := seqset.NewLinkedListSet()
+	Fill(th, tset, cfg)
+	FillSeq(sset, cfg)
+	g1, g2 := NewGen(cfg, 7), NewGen(cfg, 7)
+	for i := 0; i < 500; i++ {
+		Apply(th, tset, g1.Next())
+		ApplySeq(sset, g2.Next())
+	}
+	got := tset.Elements(th)
+	want := sset.Elements()
+	if len(got) != len(want) {
+		t.Fatalf("sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("contents differ at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		Contains: "contains", Add: "add", Remove: "remove",
+		AddAll: "addAll", RemoveAll: "removeAll", Kind(99): "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package oestm is the public facade of this repository: a Go
+// implementation of "Composing Relaxed Transactions" (Gramoli, Guerraoui,
+// Letia — IEEE IPDPS 2013).
+//
+// It exposes:
+//
+//   - OE-STM, a software transactional memory providing elastic (relaxed)
+//     transactions that satisfy outheritance and therefore compose
+//     (engines: NewOESTM; ablations: NewESTM, NewRegularOnlySTM);
+//   - the classic-transaction baselines used by the paper's evaluation
+//     (NewTL2, NewLSA, NewSwissTM), all driving the same transactional
+//     memory words;
+//   - the e.e.c composable collections (NewLinkedListSet, NewSkipListSet,
+//     NewHashSet) whose bulk operations are obtained by composition;
+//   - the transactional programming surface: per-goroutine Threads,
+//     Atomic regions, Kinds, and raw transactional variables (Var) for
+//     building new data structures.
+//
+// Quick start:
+//
+//	tm := oestm.NewOESTM()
+//	th := oestm.NewThread(tm)
+//	set := oestm.NewLinkedListSet()
+//	set.Add(th, 1)
+//	set.AddAll(th, []int{2, 3}) // atomic, composed from Add
+//
+// Composition: call any set operation — or open your own Atomic region —
+// while a transaction is already open on the Thread, and it becomes a
+// nested (composed) transaction whose conflict information is outherited
+// to the parent:
+//
+//	th.Atomic(oestm.Elastic, func(oestm.Tx) error {
+//		if !set.Contains(th, y) {
+//			set.Add(th, x)
+//		}
+//		return nil // atomic insert-if-absent
+//	})
+package oestm
+
+import (
+	"oestm/internal/core"
+	"oestm/internal/eec"
+	"oestm/internal/lsa"
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+	"oestm/internal/swisstm"
+	"oestm/internal/tl2"
+)
+
+// Kind selects the transactional model of a region.
+type Kind = stm.Kind
+
+const (
+	// Regular requests classic (serializable) transactional semantics.
+	Regular = stm.Regular
+	// Elastic requests the elastic model: conflicts on the transaction's
+	// read-only prefix are ignored.
+	Elastic = stm.Elastic
+)
+
+// TM is a transactional memory engine.
+type TM = stm.TM
+
+// Tx is the in-transaction operation interface.
+type Tx = stm.Tx
+
+// Thread is the per-goroutine transactional context. Threads must not be
+// shared between goroutines.
+type Thread = stm.Thread
+
+// Var is one transactional memory word.
+type Var = mvar.Var
+
+// Set is the composable integer-set abstraction of the e.e.c package.
+type Set = eec.Set
+
+// ErrConflict is returned when a bounded-retry transaction gives up.
+var ErrConflict = stm.ErrConflict
+
+// NewOESTM returns the paper's engine: elastic transactions with
+// outheritance.
+func NewOESTM() *core.TM { return core.New() }
+
+// NewESTM returns the elastic engine without outheritance (E-STM); its
+// compositions can violate atomicity — provided for demonstrations and
+// ablations.
+func NewESTM() *core.TM { return core.NewWithoutOutheritance() }
+
+// NewRegularOnlySTM returns OE-STM with elasticity disabled (ablation).
+func NewRegularOnlySTM() *core.TM { return core.NewRegularOnly() }
+
+// NewTL2 returns the TL2 baseline engine.
+func NewTL2() *tl2.TM { return tl2.New() }
+
+// NewLSA returns the LSA baseline engine.
+func NewLSA() *lsa.TM { return lsa.New() }
+
+// NewSwissTM returns the SwissTM baseline engine.
+func NewSwissTM() *swisstm.TM { return swisstm.New() }
+
+// NewThread creates a transactional context bound to tm for the calling
+// goroutine.
+func NewThread(tm TM) *Thread { return stm.NewThread(tm) }
+
+// NewVar returns a transactional variable holding v.
+func NewVar(v any) *Var { return mvar.New(v) }
+
+// Read reads v inside tx with a typed result.
+func Read[T any](tx Tx, v *Var) T { return stm.ReadT[T](tx, v) }
+
+// Conflict aborts the current transaction attempt and retries it; for
+// use inside Atomic regions.
+func Conflict(reason string) { stm.Conflict(reason) }
+
+// NewLinkedListSet returns the sorted linked-list set of e.e.c.
+func NewLinkedListSet() *eec.LinkedListSet { return eec.NewLinkedListSet() }
+
+// NewSkipListSet returns the skip-list set of e.e.c.
+func NewSkipListSet() *eec.SkipListSet { return eec.NewSkipListSet() }
+
+// NewHashSet returns the hash set of e.e.c with the given bucket count.
+func NewHashSet(buckets int) *eec.HashSet { return eec.NewHashSet(buckets) }
+
+// NewHashSetForLoad returns a hash set sized for the paper's load factor.
+func NewHashSetForLoad(expectedElems int) *eec.HashSet {
+	return eec.NewHashSetForLoad(expectedElems)
+}
+
+// NewSkipListMap returns the ordered transactional map of e.e.c (the
+// composable counterpart of ConcurrentSkipListMap).
+func NewSkipListMap() *eec.SkipListMap { return eec.NewSkipListMap() }
+
+// NewQueue returns the transactional FIFO queue of e.e.c (the composable
+// counterpart of ConcurrentLinkedQueue).
+func NewQueue() *eec.Queue { return eec.NewQueue() }
+
+// InsertIfAbsent atomically inserts x into s only if y is absent (the
+// paper's Fig. 1 composition).
+func InsertIfAbsent(th *Thread, s Set, x, y int) bool {
+	return eec.InsertIfAbsent(th, s, x, y)
+}
+
+// Move atomically transfers key between two sets.
+func Move(th *Thread, from, to Set, key int) bool {
+	return eec.Move(th, from, to, key)
+}
+
+// EarlyRelease removes v from the protected set of a running OE-STM
+// transaction (DSTM-style early release, modelled in §II-A of the
+// paper). It reports whether anything was released; transactions of the
+// classic engines are rejected. Expert use only: releasing inside a
+// composition forfeits weak composability (Theorem 4.3).
+func EarlyRelease(tx Tx, v *Var) bool { return core.EarlyRelease(tx, v) }
