@@ -1,0 +1,201 @@
+// Allocation-regression tests for the typed transactional substrate: the
+// hot paths of every engine — read-only elastic (or regular) operations
+// and single-write commits over typed variables — must not allocate once
+// the per-thread pooled transaction frames have warmed up. These lock in
+// the de-boxing refactor: a regression that reintroduces payload boxing,
+// per-Begin transaction allocation, or per-write map/entry allocation
+// fails here long before it shows up in a benchmark.
+package oestm_test
+
+import (
+	"testing"
+
+	"oestm/internal/core"
+	"oestm/internal/eec"
+	"oestm/internal/lsa"
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+	"oestm/internal/swisstm"
+	"oestm/internal/tl2"
+)
+
+// allocEngines is every STM engine in the repository, including the
+// non-outheriting E-STM ablation.
+func allocEngines() []struct {
+	name string
+	newi func() stm.TM
+} {
+	return []struct {
+		name string
+		newi func() stm.TM
+	}{
+		{"oestm", func() stm.TM { return core.New() }},
+		{"estm", func() stm.TM { return core.NewWithoutOutheritance() }},
+		{"tl2", func() stm.TM { return tl2.New() }},
+		{"lsa", func() stm.TM { return lsa.New() }},
+		{"swisstm", func() stm.TM { return swisstm.New() }},
+	}
+}
+
+// payload is the pointee of the typed variables under test.
+type payload struct{ n int }
+
+// opKindFor requests Elastic where supported so the oestm/estm engines
+// exercise the sliding-window read path, not just the regular one.
+func opKindFor(tm stm.TM) stm.Kind {
+	if tm.SupportsElastic() {
+		return stm.Elastic
+	}
+	return stm.Regular
+}
+
+// TestNoAllocReadOnly locks in zero allocations for a committed read-only
+// transaction over typed variables: Begin (pooled), consistent reads of a
+// small chain, and the read-only commit must all run allocation-free.
+func TestNoAllocReadOnly(t *testing.T) {
+	for _, eng := range allocEngines() {
+		t.Run(eng.name, func(t *testing.T) {
+			tm := eng.newi()
+			th := stm.NewThread(tm)
+			k := opKindFor(tm)
+			vars := [3]*mvar.Var[payload]{
+				mvar.NewVar(&payload{1}),
+				mvar.NewVar(&payload{2}),
+				mvar.NewVar(&payload{3}),
+			}
+			body := func(tx stm.Tx) error {
+				for _, v := range vars {
+					_ = stm.ReadPtr(tx, v)
+				}
+				return nil
+			}
+			if err := th.Atomic(k, body); err != nil { // warm the pooled frames
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				if err := th.Atomic(k, body); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("read-only transaction allocated %.1f times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestNoAllocSingleWriteCommit locks in zero allocations for a committed
+// single-write transaction over a typed variable: the write-set entry,
+// commit-time locking, and the typed payload install must all reuse
+// pooled storage.
+func TestNoAllocSingleWriteCommit(t *testing.T) {
+	a, b := &payload{1}, &payload{2}
+	for _, eng := range allocEngines() {
+		t.Run(eng.name, func(t *testing.T) {
+			tm := eng.newi()
+			th := stm.NewThread(tm)
+			k := opKindFor(tm)
+			v := mvar.NewVar(a)
+			body := func(tx stm.Tx) error {
+				if stm.ReadPtr(tx, v) == a {
+					stm.WritePtr(tx, v, b)
+				} else {
+					stm.WritePtr(tx, v, a)
+				}
+				return nil
+			}
+			if err := th.Atomic(k, body); err != nil { // warm the pooled frames
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				if err := th.Atomic(k, body); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("single-write transaction allocated %.1f times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestNoAllocFlagAndRetry covers the two remaining hot-path shapes: typed
+// flag writes (scalar cell, no boxing) and the conflict-retry path, which
+// must reuse the pooled transaction instead of allocating per attempt.
+func TestNoAllocFlagAndRetry(t *testing.T) {
+	for _, eng := range allocEngines() {
+		t.Run(eng.name, func(t *testing.T) {
+			tm := eng.newi()
+			th := stm.NewThread(tm)
+			k := opKindFor(tm)
+			var fl mvar.Flag
+			flip := func(tx stm.Tx) error {
+				stm.WriteFlag(tx, &fl, !stm.ReadFlag(tx, &fl))
+				return nil
+			}
+			if err := th.Atomic(k, flip); err != nil {
+				t.Fatal(err)
+			}
+			if allocs := testing.AllocsPerRun(100, func() {
+				if err := th.Atomic(k, flip); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("flag write allocated %.1f times per run, want 0", allocs)
+			}
+
+			// Forced retries: the first two attempts of every Atomic call
+			// conflict, so each run exercises two rollback+re-begin cycles
+			// on the pooled frame.
+			attempts := 0
+			retrying := func(tx stm.Tx) error {
+				attempts++
+				stm.WriteFlag(tx, &fl, !stm.ReadFlag(tx, &fl))
+				if attempts%3 != 0 {
+					stm.Conflict("forced")
+				}
+				return nil
+			}
+			if err := th.Atomic(k, retrying); err != nil {
+				t.Fatal(err)
+			}
+			if allocs := testing.AllocsPerRun(100, func() {
+				if err := th.Atomic(k, retrying); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("retry path allocated %.1f times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestNoAllocElasticListSearch pins the Fig. 6 hot path end to end: an
+// elementary Contains on the linked-list set — per-thread operation
+// frame, elastic traversal, read-only commit — runs allocation-free.
+func TestNoAllocElasticListSearch(t *testing.T) {
+	for _, eng := range allocEngines() {
+		t.Run(eng.name, func(t *testing.T) {
+			tm := eng.newi()
+			th := stm.NewThread(tm)
+			set := newWarmSet(th)
+			allocs := testing.AllocsPerRun(100, func() {
+				set.Contains(th, 7)
+				set.Contains(th, 8)
+			})
+			if allocs != 0 {
+				t.Errorf("Contains allocated %.1f times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// newWarmSet builds a small linked-list set and warms the thread's pooled
+// frames against it.
+func newWarmSet(th *stm.Thread) *eec.LinkedListSet {
+	set := eec.NewLinkedListSet()
+	for k := 0; k < 16; k++ {
+		set.Add(th, k)
+	}
+	return set
+}

@@ -39,6 +39,7 @@ func benchSTM(b *testing.B, eng harness.Engine, structure string, cfg workload.C
 	var mu sync.Mutex
 	var total stm.Stats
 	var tidx atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		th := stm.NewThread(tm)
@@ -63,6 +64,7 @@ func benchSeq(b *testing.B, structure string, cfg workload.Config) {
 	set := harness.NewSeqStructure(structure, cfg)
 	workload.FillSeq(set, cfg)
 	gen := workload.NewGen(cfg, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		workload.ApplySeq(set, gen.Next())
@@ -141,6 +143,7 @@ func BenchmarkAblationCoarseLock(b *testing.B) {
 			set.Add(k)
 		}
 		var tidx atomic.Int64
+		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			gen := workload.NewGen(cfg, int(tidx.Add(1)))
@@ -179,6 +182,7 @@ func BenchmarkComposedAddAll(b *testing.B) {
 			th := stm.NewThread(tm)
 			workload.Fill(th, set, cfg)
 			keys := []int{8191, 4096, 1} // odd keys: absent in the fill
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				set.AddAll(th, keys)

@@ -1,0 +1,3 @@
+module oestm
+
+go 1.24

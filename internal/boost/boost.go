@@ -43,7 +43,7 @@ type TM struct {
 	tracer   stm.Tracer
 	txIDs    atomic.Uint64
 	thIDs    atomic.Int64
-	elems    sync.Map // *Lock -> *mvar.Var (protection-element proxy)
+	elems    sync.Map // *Lock -> *mvar.Word (protection-element proxy)
 }
 
 // New returns a boosting domain. With outherit true, nested commits pass
@@ -68,12 +68,12 @@ func (tm *TM) Outherits() bool { return tm.outherit }
 func (tm *TM) SetTracer(tr stm.Tracer) { tm.tracer = tr }
 
 // elemOf returns the protection-element proxy of an abstract lock.
-func (tm *TM) elemOf(l *Lock) *mvar.Var {
+func (tm *TM) elemOf(l *Lock) *mvar.Word {
 	if v, ok := tm.elems.Load(l); ok {
-		return v.(*mvar.Var)
+		return v.(*mvar.Word)
 	}
-	v, _ := tm.elems.LoadOrStore(l, mvar.New(nil))
-	return v.(*mvar.Var)
+	v, _ := tm.elems.LoadOrStore(l, new(mvar.Word))
+	return v.(*mvar.Word)
 }
 
 // Lock is one abstract lock: the unit of conflict detection of a boosted

@@ -8,7 +8,10 @@ import (
 // child is a nested (composed) transaction. It shares the top-level
 // transaction's write buffer and snapshot bound but tracks its own elastic
 // state in its frame. At commit it either outherits its protected set to
-// the parent (OE-STM) or releases it (E-STM mode).
+// the parent (OE-STM) or releases it (E-STM mode). Children are pooled on
+// the top-level transaction's free-list: a composition that retries (or a
+// thread that composes repeatedly) reuses the same child frames and their
+// warmed read-set storage.
 type child struct {
 	frame
 	top         *txn
@@ -21,11 +24,17 @@ func (c *child) topTxn() *txn     { return c.top }
 // Kind implements stm.Tx.
 func (c *child) Kind() stm.Kind { return c.frame.kind }
 
-// Read implements stm.Tx.
-func (c *child) Read(v *mvar.Var) any { return c.top.readVar(&c.frame, v) }
+// Read implements stm.Tx (untyped surface).
+func (c *child) Read(v *mvar.AnyVar) any { return readAny(c.top, &c.frame, v) }
 
-// Write implements stm.Tx.
-func (c *child) Write(v *mvar.Var, val any) { c.top.writeVar(&c.frame, v, val) }
+// Write implements stm.Tx (untyped surface).
+func (c *child) Write(v *mvar.AnyVar, val any) { writeAny(c.top, &c.frame, v, val) }
+
+// ReadWord implements stm.Tx (typed hot path).
+func (c *child) ReadWord(w *mvar.Word) mvar.Raw { return readWordTraced(c.top, &c.frame, w) }
+
+// WriteWord implements stm.Tx (typed hot path).
+func (c *child) WriteWord(w *mvar.Word, r mvar.Raw) { writeWordTraced(c.top, &c.frame, w, r) }
 
 // Commit implements stm.TxControl for nested transactions: validate the
 // child's protected set at its commit point, then apply the outherit()
@@ -57,10 +66,10 @@ func (c *child) Commit() error {
 			// commits — the early releases that break composition
 			// (emitted after the commit event, as the model places them).
 			for _, r := range c.frame.reads {
-				tr.Release(t.th.ID, c.frame.id, r.v)
+				tr.Release(t.th.ID, c.frame.id, r.W)
 			}
 			for i := 0; i < c.frame.nwin; i++ {
-				tr.Release(t.th.ID, c.frame.id, c.frame.win[i].v)
+				tr.Release(t.th.ID, c.frame.id, c.frame.win[i].W)
 			}
 		}
 	}

@@ -10,7 +10,7 @@ import (
 
 // write commits a single-location update on its own thread, simulating a
 // concurrent transaction that interleaves at a chosen point.
-func write(t *testing.T, tm stm.TM, v *mvar.Var, val any) {
+func write(t *testing.T, tm stm.TM, v *mvar.AnyVar, val any) {
 	t.Helper()
 	th := stm.NewThread(tm)
 	if err := th.Atomic(stm.Regular, func(tx stm.Tx) error {

@@ -38,6 +38,11 @@ import (
 	"oestm/internal/stm"
 )
 
+// engine.go also owns the per-thread transaction pooling: Begin reuses the
+// thread's cached txn (stm.Thread.EngineScratch) and BeginNested reuses
+// the nest's child free-list, so starting a transaction — including every
+// attempt of the conflict-retry path — does not allocate.
+
 // TM is an OE-STM (or, with outheritance disabled, E-STM) engine
 // instance.
 type TM struct {
@@ -96,16 +101,17 @@ func (tm *TM) effectiveKind(k stm.Kind) stm.Kind {
 // checking, not production.
 func (tm *TM) SetTracer(tr stm.Tracer) { tm.tracer = tr }
 
-// Begin implements stm.TM.
+// Begin implements stm.TM. A thread is bound to one engine, so its cached
+// txn (if any) belongs to this TM; the guard tolerates threads that were
+// (incorrectly but harmlessly) rebound across engine instances.
 func (tm *TM) Begin(th *stm.Thread, k stm.Kind) stm.TxControl {
 	k = tm.effectiveKind(k)
-	t := &txn{
-		tm: tm,
-		th: th,
-		ub: tm.clock.Now(),
+	t, _ := th.EngineScratch.(*txn)
+	if t == nil || t.tm != tm {
+		t = &txn{}
+		th.EngineScratch = t
 	}
-	t.frame.init(tm.txIDs.Add(1), k)
-	t.frames = append(t.framesBuf[:0], &t.frame)
+	t.reset(tm, th, k, tm.txIDs.Add(1))
 	if tr := tm.tracer; tr != nil {
 		tr.TxBegin(th.ID, t.frame.id, 0, k)
 	}
@@ -121,9 +127,19 @@ func (tm *TM) BeginNested(th *stm.Thread, parent stm.TxControl, k stm.Kind) stm.
 		// nests transactions from the same engine.
 		panic("core: nested under a transaction of a different engine")
 	}
-	c := &child{top: p.topTxn(), parentFrame: p.getFrame()}
+	t := p.topTxn()
+	var c *child
+	if t.nchild < len(t.children) {
+		c = t.children[t.nchild]
+	} else {
+		c = &child{}
+		t.children = append(t.children, c)
+	}
+	t.nchild++
+	c.top = t
+	c.parentFrame = p.getFrame()
 	c.frame.init(tm.txIDs.Add(1), tm.effectiveKind(k))
-	c.top.frames = append(c.top.frames, &c.frame)
+	t.frames = append(t.frames, &c.frame)
 	if tr := tm.tracer; tr != nil {
 		tr.TxBegin(th.ID, c.frame.id, p.getFrame().id, k)
 	}

@@ -21,13 +21,17 @@ import (
 // It reports whether anything was actually released (false when v was
 // not in the protected set, was already written, or tx does not belong
 // to this engine).
-func EarlyRelease(tx stm.Tx, v *mvar.Var) bool {
+func EarlyRelease(tx stm.Tx, v *mvar.AnyVar) bool { return EarlyReleaseWord(tx, v.Word()) }
+
+// EarlyReleaseWord is EarlyRelease for an arbitrary transactional
+// variable, identified by its memory word.
+func EarlyReleaseWord(tx stm.Tx, w *mvar.Word) bool {
 	node, ok := tx.(txNode)
 	if !ok {
 		return false
 	}
 	t := node.topTxn()
-	if _, written := t.windex[v]; written {
+	if t.writes.Find(w) >= 0 {
 		// Write intents cannot be released: the commit protocol owns them.
 		return false
 	}
@@ -36,7 +40,7 @@ func EarlyRelease(tx stm.Tx, v *mvar.Var) bool {
 	// Drop from the permanent read set.
 	kept := f.reads[:0]
 	for _, r := range f.reads {
-		if r.v == v {
+		if r.W == w {
 			released = true
 			continue
 		}
@@ -45,7 +49,7 @@ func EarlyRelease(tx stm.Tx, v *mvar.Var) bool {
 	f.reads = kept
 	// Drop from the elastic window.
 	for i := 0; i < f.nwin; {
-		if f.win[i].v == v {
+		if f.win[i].W == w {
 			copy(f.win[i:], f.win[i+1:f.nwin])
 			f.nwin--
 			released = true
@@ -54,7 +58,7 @@ func EarlyRelease(tx stm.Tx, v *mvar.Var) bool {
 		i++
 	}
 	if released {
-		t.traceRelease(f, v)
+		t.traceRelease(f, w)
 	}
 	return released
 }

@@ -3,23 +3,8 @@ package core
 import (
 	"oestm/internal/mvar"
 	"oestm/internal/stm"
+	"oestm/internal/txset"
 )
-
-// readEntry records a read of v at version ver; validation requires the
-// version to be unchanged (or the location to be locked by this thread at
-// commit time).
-type readEntry struct {
-	v   *mvar.Var
-	ver uint64
-}
-
-// writeEntry is a deferred update; old holds the pre-lock word during the
-// commit protocol for revert on validation failure.
-type writeEntry struct {
-	v   *mvar.Var
-	val any
-	old uint64
-}
 
 // windowSize is the length of the elastic sliding window: the immediate
 // past reads an elastic transaction keeps protected during its read-only
@@ -33,14 +18,16 @@ const windowSize = 2
 // frame is the per-transaction elastic state: one frame per transaction in
 // a nest. It tracks the transaction's protected reads — the permanent read
 // set plus, for elastic transactions that have not written yet, the
-// sliding window of immediate past reads.
+// sliding window of immediate past reads. Frames are pooled with their
+// owning transaction: init truncates rather than reallocates, so the
+// retry path records reads into warmed storage.
 type frame struct {
 	id      uint64
 	kind    stm.Kind
 	written bool
 	nwin    int
-	win     [windowSize]readEntry
-	reads   []readEntry
+	win     [windowSize]txset.Read
+	reads   []txset.Read
 }
 
 func (f *frame) init(id uint64, k stm.Kind) {
@@ -48,6 +35,8 @@ func (f *frame) init(id uint64, k stm.Kind) {
 	f.kind = k
 	// Regular transactions protect every read permanently from the start.
 	f.written = k != stm.Elastic
+	f.nwin = 0
+	f.reads = f.reads[:0]
 }
 
 // markWritten transitions an elastic frame out of its read-only prefix:
@@ -64,15 +53,39 @@ func (f *frame) markWritten() {
 // txn is a top-level OE-STM transaction. It owns the write buffer and the
 // snapshot upper bound shared by the whole nest, plus the stack of live
 // frames (its own and those of currently open children).
+//
+// txn values are pooled per thread (via stm.Thread.EngineScratch) and per
+// nest (the children free-list), so a Begin — including every Begin of the
+// conflict-retry path — reuses warmed read/write-set storage instead of
+// allocating. The pooled storage may retain stale pointers to previously
+// written nodes between transactions; they are overwritten by the next
+// transaction's entries and never dereferenced in between.
 type txn struct {
 	frame
 	tm        *TM
 	th        *stm.Thread
 	ub        uint64
-	writes    []writeEntry
-	windex    map[*mvar.Var]int
+	writes    txset.WriteSet
 	frames    []*frame
 	framesBuf [4]*frame
+	children  []*child
+	nchild    int
+}
+
+// reset prepares a pooled txn for a fresh top-level attempt.
+func (t *txn) reset(tm *TM, th *stm.Thread, k stm.Kind, id uint64) {
+	t.tm = tm
+	t.th = th
+	t.ub = tm.clock.Now()
+	t.writes.Reset()
+	t.nchild = 0
+	t.frame.init(id, k)
+	if t.frames == nil {
+		t.frames = t.framesBuf[:0]
+	} else {
+		t.frames = t.frames[:0]
+	}
+	t.frames = append(t.frames, &t.frame)
 }
 
 func (t *txn) getFrame() *frame { return &t.frame }
@@ -81,22 +94,65 @@ func (t *txn) topTxn() *txn     { return t }
 // Kind implements stm.Tx.
 func (t *txn) Kind() stm.Kind { return t.frame.kind }
 
-// Read implements stm.Tx.
-func (t *txn) Read(v *mvar.Var) any { return t.readVar(&t.frame, v) }
+// Read implements stm.Tx (untyped surface).
+func (t *txn) Read(v *mvar.AnyVar) any { return readAny(t, &t.frame, v) }
 
-// Write implements stm.Tx.
-func (t *txn) Write(v *mvar.Var, val any) { t.writeVar(&t.frame, v, val) }
+// Write implements stm.Tx (untyped surface).
+func (t *txn) Write(v *mvar.AnyVar, val any) { writeAny(t, &t.frame, v, val) }
 
-// readVar performs a transactional read on behalf of frame f (which may
-// belong to a nested child).
-func (t *txn) readVar(f *frame, v *mvar.Var) any {
-	if idx, ok := t.windex[v]; ok {
-		// Read-own-write: the nest shares one write buffer.
-		val := t.writes[idx].val
-		t.traceOp(f, v, "read", val)
-		return val
+// ReadWord implements stm.Tx (typed hot path).
+func (t *txn) ReadWord(w *mvar.Word) mvar.Raw { return readWordTraced(t, &t.frame, w) }
+
+// WriteWord implements stm.Tx (typed hot path).
+func (t *txn) WriteWord(w *mvar.Word, r mvar.Raw) { writeWordTraced(t, &t.frame, w, r) }
+
+// readAny performs an untyped read on behalf of frame f, tracing the
+// decoded value (value-level traces are what the history checkers compare
+// against serial specifications).
+func readAny(t *txn, f *frame, v *mvar.AnyVar) any {
+	raw := t.readWord(f, v.Word())
+	val := mvar.AnyValue(raw)
+	if tr := t.tm.tracer; tr != nil {
+		tr.Op(t.th.ID, f.id, v.Word(), "read", val)
 	}
-	val, ver, ok := v.ReadConsistent()
+	return val
+}
+
+// writeAny performs an untyped write on behalf of frame f.
+func writeAny(t *txn, f *frame, v *mvar.AnyVar, val any) {
+	t.writeWord(f, v.Word(), mvar.AnyRaw(val))
+	if tr := t.tm.tracer; tr != nil {
+		tr.Op(t.th.ID, f.id, v.Word(), "write", val)
+	}
+}
+
+// readWordTraced wraps the raw read with an op trace. The boxing of the
+// Raw payload into the trace's any parameter happens only under the nil
+// check, keeping the untraced fast path allocation-free.
+func readWordTraced(t *txn, f *frame, w *mvar.Word) mvar.Raw {
+	raw := t.readWord(f, w)
+	if tr := t.tm.tracer; tr != nil {
+		tr.Op(t.th.ID, f.id, w, "read", raw)
+	}
+	return raw
+}
+
+// writeWordTraced wraps the raw write with an op trace.
+func writeWordTraced(t *txn, f *frame, w *mvar.Word, r mvar.Raw) {
+	t.writeWord(f, w, r)
+	if tr := t.tm.tracer; tr != nil {
+		tr.Op(t.th.ID, f.id, w, "write", r)
+	}
+}
+
+// readWord performs a transactional read on behalf of frame f (which may
+// belong to a nested child).
+func (t *txn) readWord(f *frame, w *mvar.Word) mvar.Raw {
+	if i := t.writes.Find(w); i >= 0 {
+		// Read-own-write: the nest shares one write buffer.
+		return t.writes.At(i).Val
+	}
+	raw, ver, ok := w.ReadConsistent()
 	if !ok {
 		stm.Conflict("oestm: read of locked or changing location")
 	}
@@ -107,7 +163,7 @@ func (t *txn) readVar(f *frame, v *mvar.Var) any {
 	// (value, version) pair under the new bound would lose that update.
 	for ver > t.ub {
 		t.extend()
-		val, ver, ok = v.ReadConsistent()
+		raw, ver, ok = w.ReadConsistent()
 		if !ok {
 			stm.Conflict("oestm: read of locked or changing location")
 		}
@@ -122,42 +178,35 @@ func (t *txn) readVar(f *frame, v *mvar.Var) any {
 				stm.Conflict("oestm: elastic cut broken")
 			}
 		}
-		t.traceAcquire(f, v)
+		t.traceAcquire(f, w)
 		if f.nwin == windowSize {
-			t.traceRelease(f, f.win[0].v)
+			t.traceRelease(f, f.win[0].W)
 			copy(f.win[:], f.win[1:])
 			f.nwin--
 		}
-		f.win[f.nwin] = readEntry{v, ver}
+		f.win[f.nwin] = txset.Read{W: w, Ver: ver}
 		f.nwin++
 	} else {
-		t.traceAcquire(f, v)
-		f.reads = append(f.reads, readEntry{v, ver})
+		t.traceAcquire(f, w)
+		f.reads = append(f.reads, txset.Read{W: w, Ver: ver})
 	}
-	t.traceOp(f, v, "read", val)
-	return val
+	return raw
 }
 
-// writeVar buffers a deferred update on behalf of frame f.
-func (t *txn) writeVar(f *frame, v *mvar.Var, val any) {
+// writeWord buffers a deferred update on behalf of frame f.
+func (t *txn) writeWord(f *frame, w *mvar.Word, r mvar.Raw) {
 	if !f.written {
 		f.markWritten()
 	}
-	if idx, ok := t.windex[v]; ok {
-		t.traceOp(f, v, "write", val)
-		t.writes[idx].val = val
+	if i := t.writes.Find(w); i >= 0 {
+		t.writes.At(i).Val = r
 		return
 	}
 	// The protection element is acquired at the point the invocation
 	// reaches the transactional memory (§II-A on deferred updates), so
 	// the acquire precedes the operation events.
-	t.traceAcquire(f, v)
-	t.traceOp(f, v, "write", val)
-	if t.windex == nil {
-		t.windex = make(map[*mvar.Var]int, 8)
-	}
-	t.windex[v] = len(t.writes)
-	t.writes = append(t.writes, writeEntry{v: v, val: val})
+	t.traceAcquire(f, w)
+	t.writes.Append(txset.Write{W: w, Val: r})
 }
 
 // extend slides the snapshot upper bound to the present after validating
@@ -199,22 +248,22 @@ func (t *txn) frameValid(f *frame) bool {
 // not locked by another thread. During the commit protocol, locations this
 // transaction locked are validated against their pre-lock version — a
 // concurrent commit may have slipped in between our read and our lock.
-func (t *txn) entryValid(r readEntry) bool {
-	m := r.v.Meta()
+func (t *txn) entryValid(r txset.Read) bool {
+	m := r.W.Meta()
 	if mvar.Locked(m) {
 		if mvar.Owner(m) != t.th.ID {
 			return false
 		}
-		idx, mine := t.windex[r.v]
-		return mine && mvar.Version(t.writes[idx].old) == r.ver
+		i := t.writes.Find(r.W)
+		return i >= 0 && mvar.Version(t.writes.At(i).Old) == r.Ver
 	}
-	return mvar.Version(m) == r.ver
+	return mvar.Version(m) == r.Ver
 }
 
 // Commit implements stm.TxControl for the top-level transaction: lock the
 // write set, validate the protected reads, publish, release.
 func (t *txn) Commit() error {
-	if len(t.writes) == 0 {
+	if t.writes.Len() == 0 {
 		// Read-only: elastic cut checks (and snapshot extension for
 		// regular frames) already ensured consistency at every step; the
 		// transaction serialises within its snapshot interval.
@@ -222,16 +271,17 @@ func (t *txn) Commit() error {
 		t.traceFinish(true)
 		return nil
 	}
+	entries := t.writes.Entries()
 	acquired := 0
-	for i := range t.writes {
-		e := &t.writes[i]
-		m := e.v.Meta()
-		if mvar.Locked(m) || !e.v.TryLock(t.th.ID, m) {
+	for i := range entries {
+		e := &entries[i]
+		m := e.W.Meta()
+		if mvar.Locked(m) || !e.W.TryLock(t.th.ID, m) {
 			t.revert(acquired)
 			t.traceFinish(false)
 			return stm.ErrConflict
 		}
-		e.old = m
+		e.Old = m
 		acquired++
 	}
 	wv := t.tm.clock.Tick()
@@ -242,10 +292,10 @@ func (t *txn) Commit() error {
 			return stm.ErrConflict
 		}
 	}
-	for i := range t.writes {
-		e := &t.writes[i]
-		e.v.StoreLocked(e.val)
-		e.v.Unlock(wv)
+	for i := range entries {
+		e := &entries[i]
+		e.W.StoreLockedRaw(e.Val)
+		e.W.Unlock(wv)
 	}
 	t.traceFinish(true)
 	return nil
@@ -253,19 +303,18 @@ func (t *txn) Commit() error {
 
 // revert restores the first n acquired write locks.
 func (t *txn) revert(n int) {
+	entries := t.writes.Entries()
 	for i := 0; i < n; i++ {
-		t.writes[i].v.Restore(t.writes[i].old)
+		entries[i].W.Restore(entries[i].Old)
 	}
 }
 
 // Rollback implements stm.TxControl. No locks are held outside Commit
-// (which reverts internally), so rollback only discards state.
+// (which reverts internally), so rollback only discards state — and with
+// pooled frames "discarding" is deferred to the next reset, which
+// truncates the warmed storage in place.
 func (t *txn) Rollback() {
 	t.traceFinish(false)
-	t.writes = nil
-	t.windex = nil
-	t.reads = nil
-	t.frames = nil
 }
 
 // traceFinish emits the commit/abort event followed by the release events
@@ -284,31 +333,26 @@ func (t *txn) traceFinish(committed bool) {
 	}
 	for _, f := range t.frames {
 		for _, r := range f.reads {
-			tr.Release(t.th.ID, t.frame.id, r.v)
+			tr.Release(t.th.ID, t.frame.id, r.W)
 		}
 		for i := 0; i < f.nwin; i++ {
-			tr.Release(t.th.ID, t.frame.id, f.win[i].v)
+			tr.Release(t.th.ID, t.frame.id, f.win[i].W)
 		}
 	}
-	for i := range t.writes {
-		tr.Release(t.th.ID, t.frame.id, t.writes[i].v)
+	entries := t.writes.Entries()
+	for i := range entries {
+		tr.Release(t.th.ID, t.frame.id, entries[i].W)
 	}
 }
 
-func (t *txn) traceAcquire(f *frame, v *mvar.Var) {
+func (t *txn) traceAcquire(f *frame, w *mvar.Word) {
 	if tr := t.tm.tracer; tr != nil {
-		tr.Acquire(t.th.ID, f.id, v)
+		tr.Acquire(t.th.ID, f.id, w)
 	}
 }
 
-func (t *txn) traceRelease(f *frame, v *mvar.Var) {
+func (t *txn) traceRelease(f *frame, w *mvar.Word) {
 	if tr := t.tm.tracer; tr != nil {
-		tr.Release(t.th.ID, f.id, v)
-	}
-}
-
-func (t *txn) traceOp(f *frame, v *mvar.Var, op string, val any) {
-	if tr := t.tm.tracer; tr != nil {
-		tr.Op(t.th.ID, f.id, v, op, val)
+		tr.Release(t.th.ID, f.id, w)
 	}
 }

@@ -49,32 +49,17 @@ func (s *HashSet) bucket(key int) list {
 
 // Contains implements Set.
 func (s *HashSet) Contains(th *stm.Thread, key int) bool {
-	var res bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		res = s.bucket(key).contains(tx, key)
-		return nil
-	})
-	return res
+	return frameOf(th).listOp(opContains, s.bucket(key), key)
 }
 
 // Add implements Set.
 func (s *HashSet) Add(th *stm.Thread, key int) bool {
-	var res bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		res = s.bucket(key).add(tx, key)
-		return nil
-	})
-	return res
+	return frameOf(th).listOp(opAdd, s.bucket(key), key)
 }
 
 // Remove implements Set.
 func (s *HashSet) Remove(th *stm.Thread, key int) bool {
-	var res bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		res = s.bucket(key).remove(tx, key)
-		return nil
-	})
-	return res
+	return frameOf(th).listOp(opRemove, s.bucket(key), key)
 }
 
 // AddAll implements Set by composing Add.

@@ -9,10 +9,12 @@ import (
 
 // lnode is a sorted-list node. Keys are immutable; only the next pointer
 // is transactional, so conflict detection happens exactly on the links a
-// mutation rewires — the paper's field-granularity instrumentation.
+// mutation rewires — the paper's field-granularity instrumentation. The
+// link is a typed variable: traversals and updates move raw pointers, not
+// boxed interfaces.
 type lnode struct {
 	key  int
-	next mvar.Var // holds *lnode
+	next mvar.Var[lnode] // holds *lnode
 }
 
 // list is a sorted singly linked list with ±∞ sentinels, shared by
@@ -33,10 +35,10 @@ func newList() list {
 // traversal elastic transactions accelerate.
 func (l list) find(tx stm.Tx, key int) (prev, curr *lnode) {
 	prev = l.head
-	curr = stm.ReadT[*lnode](tx, &prev.next)
+	curr = stm.ReadPtr(tx, &prev.next)
 	for curr.key < key {
 		prev = curr
-		curr = stm.ReadT[*lnode](tx, &curr.next)
+		curr = stm.ReadPtr(tx, &curr.next)
 	}
 	return prev, curr
 }
@@ -53,7 +55,7 @@ func (l list) add(tx stm.Tx, key int) bool {
 	}
 	n := &lnode{key: key}
 	n.next.Init(curr)
-	tx.Write(&prev.next, n)
+	stm.WritePtr(tx, &prev.next, n)
 	return true
 }
 
@@ -62,21 +64,21 @@ func (l list) remove(tx stm.Tx, key int) bool {
 	if curr.key != key {
 		return false
 	}
-	succ := stm.ReadT[*lnode](tx, &curr.next)
-	tx.Write(&prev.next, succ)
+	succ := stm.ReadPtr(tx, &curr.next)
+	stm.WritePtr(tx, &prev.next, succ)
 	// Rewrite the removed node's link with the same value: the version
 	// bump makes any concurrent elastic transaction about to insert after
 	// curr (whose protected window holds curr.next) fail validation.
 	// Readers racing past curr still see a well-formed list.
-	tx.Write(&curr.next, succ)
+	stm.WritePtr(tx, &curr.next, succ)
 	return true
 }
 
 func (l list) elements(tx stm.Tx, out []int) []int {
-	curr := stm.ReadT[*lnode](tx, &l.head.next)
+	curr := stm.ReadPtr(tx, &l.head.next)
 	for curr.key != math.MaxInt {
 		out = append(out, curr.key)
-		curr = stm.ReadT[*lnode](tx, &curr.next)
+		curr = stm.ReadPtr(tx, &curr.next)
 	}
 	return out
 }
@@ -99,32 +101,17 @@ func (s *LinkedListSet) Name() string { return "linkedlist" }
 
 // Contains implements Set.
 func (s *LinkedListSet) Contains(th *stm.Thread, key int) bool {
-	var res bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		res = s.l.contains(tx, key)
-		return nil
-	})
-	return res
+	return frameOf(th).listOp(opContains, s.l, key)
 }
 
 // Add implements Set.
 func (s *LinkedListSet) Add(th *stm.Thread, key int) bool {
-	var res bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		res = s.l.add(tx, key)
-		return nil
-	})
-	return res
+	return frameOf(th).listOp(opAdd, s.l, key)
 }
 
 // Remove implements Set.
 func (s *LinkedListSet) Remove(th *stm.Thread, key int) bool {
-	var res bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		res = s.l.remove(tx, key)
-		return nil
-	})
-	return res
+	return frameOf(th).listOp(opRemove, s.l, key)
 }
 
 // AddAll implements Set by composing Add.

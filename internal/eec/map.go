@@ -21,16 +21,18 @@ type SkipListMap struct {
 }
 
 // mnode is a skiplist map node: immutable key, transactional value,
-// removal mark and tower links.
+// removal mark and tower links. The links and mark are typed (no boxing);
+// the value cell holds an arbitrary user value and therefore boxes on
+// update.
 type mnode struct {
 	key    int
-	val    mvar.Var   // holds any
-	marked mvar.Var   // holds bool
-	next   []mvar.Var // each holds *mnode
+	val    mvar.AnyVar       // holds any
+	marked mvar.Flag         // holds bool
+	next   []mvar.Var[mnode] // each holds *mnode
 }
 
 func newMnode(key, height int, val any) *mnode {
-	n := &mnode{key: key, next: make([]mvar.Var, height)}
+	n := &mnode{key: key, next: make([]mvar.Var[mnode], height)}
 	n.val.Init(val)
 	return n
 }
@@ -53,10 +55,10 @@ func (m *SkipListMap) find(tx stm.Tx, key int) *[maxLevel]*mnode {
 	var preds [maxLevel]*mnode
 	curr := m.head
 	for l := maxLevel - 1; l >= 0; l-- {
-		next := stm.ReadT[*mnode](tx, &curr.next[l])
+		next := stm.ReadPtr(tx, &curr.next[l])
 		for next.key < key {
 			curr = next
-			next = stm.ReadT[*mnode](tx, &curr.next[l])
+			next = stm.ReadPtr(tx, &curr.next[l])
 		}
 		preds[l] = curr
 	}
@@ -70,7 +72,7 @@ func (m *SkipListMap) Get(th *stm.Thread, key int) (any, bool) {
 	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
 		val, ok = nil, false
 		preds := m.find(tx, key)
-		target := stm.ReadT[*mnode](tx, &preds[0].next[0])
+		target := stm.ReadPtr(tx, &preds[0].next[0])
 		if target.key == key {
 			val, ok = tx.Read(&target.val), true
 		}
@@ -94,9 +96,9 @@ func (m *SkipListMap) Put(th *stm.Thread, key int, val any) (any, bool) {
 	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
 		prev, had = nil, false
 		preds := m.find(tx, key)
-		target := stm.ReadT[*mnode](tx, &preds[0].next[0])
+		target := stm.ReadPtr(tx, &preds[0].next[0])
 		if target.key == key {
-			if stm.ReadT[bool](tx, &target.marked) {
+			if stm.ReadFlag(tx, &target.marked) {
 				stm.Conflict("skiplistmap: node concurrently removed")
 			}
 			prev, had = tx.Read(&target.val), true
@@ -106,23 +108,23 @@ func (m *SkipListMap) Put(th *stm.Thread, key int, val any) (any, bool) {
 		if preds[0].key >= key || target.key < key {
 			stm.Conflict("skiplistmap: insertion window moved")
 		}
-		if stm.ReadT[bool](tx, &preds[0].marked) {
+		if stm.ReadFlag(tx, &preds[0].marked) {
 			stm.Conflict("skiplistmap: predecessor removed")
 		}
 		n := newMnode(key, height, val)
 		succ := target
 		for l := 0; l < height; l++ {
 			if l > 0 {
-				succ = stm.ReadT[*mnode](tx, &preds[l].next[l])
+				succ = stm.ReadPtr(tx, &preds[l].next[l])
 				if preds[l].key >= key || succ.key <= key {
 					stm.Conflict("skiplistmap: insertion window moved")
 				}
-				if stm.ReadT[bool](tx, &preds[l].marked) {
+				if stm.ReadFlag(tx, &preds[l].marked) {
 					stm.Conflict("skiplistmap: predecessor removed")
 				}
 			}
 			n.next[l].Init(succ)
-			tx.Write(&preds[l].next[l], n)
+			stm.WritePtr(tx, &preds[l].next[l], n)
 		}
 		return nil
 	})
@@ -136,29 +138,29 @@ func (m *SkipListMap) Remove(th *stm.Thread, key int) (any, bool) {
 	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
 		prev, had = nil, false
 		preds := m.find(tx, key)
-		target := stm.ReadT[*mnode](tx, &preds[0].next[0])
+		target := stm.ReadPtr(tx, &preds[0].next[0])
 		if target.key != key {
 			if target.key < key {
 				stm.Conflict("skiplistmap: removal window moved")
 			}
 			return nil
 		}
-		if stm.ReadT[bool](tx, &target.marked) || stm.ReadT[bool](tx, &preds[0].marked) {
+		if stm.ReadFlag(tx, &target.marked) || stm.ReadFlag(tx, &preds[0].marked) {
 			stm.Conflict("skiplistmap: node concurrently removed")
 		}
 		prev, had = tx.Read(&target.val), true
-		tx.Write(&target.marked, true)
+		stm.WriteFlag(tx, &target.marked, true)
 		for l := len(target.next) - 1; l >= 0; l-- {
 			pred := preds[l]
-			curr := stm.ReadT[*mnode](tx, &pred.next[l])
+			curr := stm.ReadPtr(tx, &pred.next[l])
 			if curr != target {
 				stm.Conflict("skiplistmap: tower link moved")
 			}
-			if l > 0 && stm.ReadT[bool](tx, &pred.marked) {
+			if l > 0 && stm.ReadFlag(tx, &pred.marked) {
 				stm.Conflict("skiplistmap: predecessor removed")
 			}
-			succ := stm.ReadT[*mnode](tx, &target.next[l])
-			tx.Write(&pred.next[l], succ)
+			succ := stm.ReadPtr(tx, &target.next[l])
+			stm.WritePtr(tx, &pred.next[l], succ)
 		}
 		return nil
 	})
@@ -202,10 +204,10 @@ func (m *SkipListMap) Size(th *stm.Thread) int {
 	n := 0
 	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
 		n = 0
-		curr := stm.ReadT[*mnode](tx, &m.head.next[0])
+		curr := stm.ReadPtr(tx, &m.head.next[0])
 		for curr.key != math.MaxInt {
 			n++
-			curr = stm.ReadT[*mnode](tx, &curr.next[0])
+			curr = stm.ReadPtr(tx, &curr.next[0])
 		}
 		return nil
 	})
@@ -223,10 +225,10 @@ func (m *SkipListMap) Range(th *stm.Thread, fn func(key int, val any) bool) {
 	var snapshot []entry
 	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
 		snapshot = snapshot[:0]
-		curr := stm.ReadT[*mnode](tx, &m.head.next[0])
+		curr := stm.ReadPtr(tx, &m.head.next[0])
 		for curr.key != math.MaxInt {
 			snapshot = append(snapshot, entry{curr.key, tx.Read(&curr.val)})
-			curr = stm.ReadT[*mnode](tx, &curr.next[0])
+			curr = stm.ReadPtr(tx, &curr.next[0])
 		}
 		return nil
 	})

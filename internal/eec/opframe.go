@@ -1,0 +1,78 @@
+package eec
+
+import "oestm/internal/stm"
+
+// opCode selects one elementary set operation.
+type opCode uint8
+
+const (
+	opContains opCode = iota
+	opAdd
+	opRemove
+	numOps
+)
+
+// opFrame is per-thread scratch for the elementary operations of the
+// e.e.c structures. The transaction closures are bound to the frame once,
+// at first use, and parameterised through its fields, so running an
+// elementary operation allocates nothing: no closure capture, no escaping
+// result variable, and (for the skip list) no escaping predecessor/
+// successor arrays.
+//
+// Elementary operations never invoke other elementary operations from
+// inside their own transaction closure, and a thread runs one operation
+// at a time, so the single frame per thread is safe even under
+// composition: a bulk operation's children run strictly one after
+// another, each setting the fields, running, and consuming the result
+// before the next starts. Whole-nest retries re-execute the enclosing
+// composition closure, which re-parameterises the frame on the way down.
+type opFrame struct {
+	th *stm.Thread
+
+	// Parameters and result of the operation in flight.
+	l   list
+	sl  *SkipListSet
+	key int
+	res bool
+
+	// Skip-list scratch: tower height for the pending add, and the
+	// per-level predecessor/successor arrays of the current traversal.
+	height int
+	preds  [maxLevel]*snode
+	succs  [maxLevel]*snode
+
+	listFns [numOps]func(stm.Tx) error
+	slFns   [numOps]func(stm.Tx) error
+}
+
+// frameOf returns the thread's operation frame, creating and binding it
+// on first use.
+func frameOf(th *stm.Thread) *opFrame {
+	if f, ok := th.OpScratch.(*opFrame); ok {
+		return f
+	}
+	f := &opFrame{th: th}
+	f.listFns[opContains] = func(tx stm.Tx) error { f.res = f.l.contains(tx, f.key); return nil }
+	f.listFns[opAdd] = func(tx stm.Tx) error { f.res = f.l.add(tx, f.key); return nil }
+	f.listFns[opRemove] = func(tx stm.Tx) error { f.res = f.l.remove(tx, f.key); return nil }
+	f.slFns[opContains] = func(tx stm.Tx) error { f.res = f.sl.contains(tx, f); return nil }
+	f.slFns[opAdd] = func(tx stm.Tx) error { f.res = f.sl.add(tx, f); return nil }
+	f.slFns[opRemove] = func(tx stm.Tx) error { f.res = f.sl.remove(tx, f); return nil }
+	th.OpScratch = f
+	return f
+}
+
+// listOp runs one elementary operation against a sorted list (the
+// LinkedListSet, or one HashSet bucket).
+func (f *opFrame) listOp(code opCode, l list, key int) bool {
+	f.l, f.key = l, key
+	_ = f.th.Atomic(opKind(f.th), f.listFns[code])
+	return f.res
+}
+
+// skipOp runs one elementary operation against a skip list set.
+func (f *opFrame) skipOp(code opCode, s *SkipListSet, key int) bool {
+	f.sl, f.key = s, key
+	_ = f.th.Atomic(opKind(f.th), f.slFns[code])
+	return f.res
+}

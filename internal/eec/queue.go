@@ -16,13 +16,13 @@ import (
 // tail.next and tail; Dequeue writes head. Enqueues and dequeues of a
 // non-empty queue touch disjoint locations and do not conflict.
 type Queue struct {
-	head mvar.Var // holds *qnode
-	tail mvar.Var // holds *qnode
+	head mvar.Var[qnode] // holds *qnode
+	tail mvar.Var[qnode] // holds *qnode
 }
 
 type qnode struct {
 	val  any
-	next mvar.Var // holds *qnode
+	next mvar.Var[qnode] // holds *qnode
 }
 
 // NewQueue returns an empty queue.
@@ -41,9 +41,9 @@ func (q *Queue) Name() string { return "queue" }
 func (q *Queue) Enqueue(th *stm.Thread, val any) {
 	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
 		n := &qnode{val: val}
-		tail := stm.ReadT[*qnode](tx, &q.tail)
-		tx.Write(&tail.next, n)
-		tx.Write(&q.tail, n)
+		tail := stm.ReadPtr(tx, &q.tail)
+		stm.WritePtr(tx, &tail.next, n)
+		stm.WritePtr(tx, &q.tail, n)
 		return nil
 	})
 }
@@ -53,8 +53,8 @@ func (q *Queue) Enqueue(th *stm.Thread, val any) {
 func (q *Queue) Dequeue(th *stm.Thread) (val any, ok bool) {
 	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
 		val, ok = nil, false
-		head := stm.ReadT[*qnode](tx, &q.head)
-		first := stm.ReadT[*qnode](tx, &head.next)
+		head := stm.ReadPtr(tx, &q.head)
+		first := stm.ReadPtr(tx, &head.next)
 		if first == nil {
 			return nil
 		}
@@ -63,7 +63,7 @@ func (q *Queue) Dequeue(th *stm.Thread) (val any, ok bool) {
 		// immutable (set before publication), so it must not be cleared
 		// here: the transaction may retry, and concurrent snapshots may
 		// still read it. The reference is dropped at the next dequeue.
-		tx.Write(&q.head, first)
+		stm.WritePtr(tx, &q.head, first)
 		return nil
 	})
 	return val, ok
@@ -73,8 +73,8 @@ func (q *Queue) Dequeue(th *stm.Thread) (val any, ok bool) {
 func (q *Queue) Peek(th *stm.Thread) (val any, ok bool) {
 	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
 		val, ok = nil, false
-		head := stm.ReadT[*qnode](tx, &q.head)
-		first := stm.ReadT[*qnode](tx, &head.next)
+		head := stm.ReadPtr(tx, &q.head)
+		first := stm.ReadPtr(tx, &head.next)
 		if first != nil {
 			val, ok = first.val, true
 		}
@@ -88,8 +88,8 @@ func (q *Queue) Len(th *stm.Thread) int {
 	n := 0
 	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
 		n = 0
-		head := stm.ReadT[*qnode](tx, &q.head)
-		for curr := stm.ReadT[*qnode](tx, &head.next); curr != nil; curr = stm.ReadT[*qnode](tx, &curr.next) {
+		head := stm.ReadPtr(tx, &q.head)
+		for curr := stm.ReadPtr(tx, &head.next); curr != nil; curr = stm.ReadPtr(tx, &curr.next) {
 			n++
 		}
 		return nil
@@ -103,8 +103,8 @@ func (q *Queue) Snapshot(th *stm.Thread) []any {
 	var out []any
 	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
 		out = out[:0]
-		head := stm.ReadT[*qnode](tx, &q.head)
-		for curr := stm.ReadT[*qnode](tx, &head.next); curr != nil; curr = stm.ReadT[*qnode](tx, &curr.next) {
+		head := stm.ReadPtr(tx, &q.head)
+		for curr := stm.ReadPtr(tx, &head.next); curr != nil; curr = stm.ReadPtr(tx, &curr.next) {
 			out = append(out, curr.val)
 		}
 		return nil

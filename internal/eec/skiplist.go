@@ -16,15 +16,16 @@ const maxLevel = 16
 // lets concurrent updates detect that a predecessor they located during
 // an elastic traversal has since left the structure: every update reads
 // the marks of the nodes it writes through, so a removal (which sets the
-// mark) invalidates those readers at commit time.
+// mark) invalidates those readers at commit time. Links are typed
+// variables and the mark a typed flag, so traversals never box.
 type snode struct {
 	key    int
-	marked mvar.Var   // holds bool; zero value reads as false
-	next   []mvar.Var // each holds *snode
+	marked mvar.Flag        // zero value reads as false
+	next   []mvar.Var[snode] // each holds *snode
 }
 
 func newSnode(key, height int) *snode {
-	return &snode{key: key, next: make([]mvar.Var, height)}
+	return &snode{key: key, next: make([]mvar.Var[snode], height)}
 }
 
 // SkipListSet is the skip list set of e.e.c (Fig. 5 / Fig. 7). Updates
@@ -58,112 +59,114 @@ func randomHeight(th *stm.Thread) int {
 	return h
 }
 
-// find locates, per level, the rightmost node with key < target and its
-// successor. Only the traversal reads are performed; callers re-read the
+// find locates, per level, the rightmost node with key < f.key and its
+// successor, filling the frame's scratch arrays (which keeps them off the
+// heap). Only the traversal reads are performed; callers re-read the
 // links they are about to modify (see add) so that the positions they
 // rely on are protected even under elastic semantics.
-func (s *SkipListSet) find(tx stm.Tx, key int) (preds, succs *[maxLevel]*snode) {
-	var p, q [maxLevel]*snode
+func (s *SkipListSet) find(tx stm.Tx, f *opFrame) {
+	key := f.key
 	curr := s.head
 	for l := maxLevel - 1; l >= 0; l-- {
-		next := stm.ReadT[*snode](tx, &curr.next[l])
+		next := stm.ReadPtr(tx, &curr.next[l])
 		for next.key < key {
 			curr = next
-			next = stm.ReadT[*snode](tx, &curr.next[l])
+			next = stm.ReadPtr(tx, &curr.next[l])
 		}
-		p[l], q[l] = curr, next
+		f.preds[l], f.succs[l] = curr, next
 	}
-	return &p, &q
+}
+
+// contains is the transactional body of Contains.
+func (s *SkipListSet) contains(tx stm.Tx, f *opFrame) bool {
+	s.find(tx, f)
+	return f.succs[0].key == f.key
+}
+
+// add is the transactional body of Add; f.height carries the tower height
+// drawn outside the transaction.
+func (s *SkipListSet) add(tx stm.Tx, f *opFrame) bool {
+	key := f.key
+	s.find(tx, f)
+	// Re-read the level-0 link: under elastic semantics the traversal
+	// reads above may no longer be protected, so the links to be
+	// rewired are re-read transactionally just before writing — the
+	// re-reads join the protected set and are validated at commit.
+	succ := stm.ReadPtr(tx, &f.preds[0].next[0])
+	if succ.key == key {
+		return false // already present
+	}
+	if f.preds[0].key >= key || succ.key < key {
+		stm.Conflict("skiplist: insertion window moved")
+	}
+	if stm.ReadFlag(tx, &f.preds[0].marked) {
+		stm.Conflict("skiplist: predecessor removed")
+	}
+	n := newSnode(key, f.height)
+	for l := 0; l < f.height; l++ {
+		if l > 0 {
+			succ = stm.ReadPtr(tx, &f.preds[l].next[l])
+			if f.preds[l].key >= key || succ.key <= key {
+				stm.Conflict("skiplist: insertion window moved")
+			}
+			if stm.ReadFlag(tx, &f.preds[l].marked) {
+				stm.Conflict("skiplist: predecessor removed")
+			}
+		}
+		n.next[l].Init(succ)
+		stm.WritePtr(tx, &f.preds[l].next[l], n)
+	}
+	return true
+}
+
+// remove is the transactional body of Remove.
+func (s *SkipListSet) remove(tx stm.Tx, f *opFrame) bool {
+	key := f.key
+	s.find(tx, f)
+	target := stm.ReadPtr(tx, &f.preds[0].next[0])
+	if target.key != key {
+		if target.key < key {
+			stm.Conflict("skiplist: removal window moved")
+		}
+		return false // absent
+	}
+	if stm.ReadFlag(tx, &target.marked) || stm.ReadFlag(tx, &f.preds[0].marked) {
+		stm.Conflict("skiplist: node concurrently removed")
+	}
+	// Setting the mark is the linchpin: every concurrent update that
+	// located target (or uses it as a predecessor) has target.marked
+	// in its protected set and fails validation once we commit.
+	stm.WriteFlag(tx, &target.marked, true)
+	for l := len(target.next) - 1; l >= 0; l-- {
+		pred := f.preds[l]
+		curr := stm.ReadPtr(tx, &pred.next[l])
+		if curr != target {
+			stm.Conflict("skiplist: tower link moved")
+		}
+		if l > 0 && stm.ReadFlag(tx, &pred.marked) {
+			stm.Conflict("skiplist: predecessor removed")
+		}
+		succ := stm.ReadPtr(tx, &target.next[l])
+		stm.WritePtr(tx, &pred.next[l], succ)
+	}
+	return true
 }
 
 // Contains implements Set.
 func (s *SkipListSet) Contains(th *stm.Thread, key int) bool {
-	var res bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		_, succs := s.find(tx, key)
-		res = succs[0].key == key
-		return nil
-	})
-	return res
+	return frameOf(th).skipOp(opContains, s, key)
 }
 
 // Add implements Set.
 func (s *SkipListSet) Add(th *stm.Thread, key int) bool {
-	height := randomHeight(th)
-	var res bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		res = false
-		preds, _ := s.find(tx, key)
-		// Re-read the level-0 link: under elastic semantics the traversal
-		// reads above may no longer be protected, so the links to be
-		// rewired are re-read transactionally just before writing — the
-		// re-reads join the protected set and are validated at commit.
-		succ := stm.ReadT[*snode](tx, &preds[0].next[0])
-		if succ.key == key {
-			return nil // already present
-		}
-		if preds[0].key >= key || succ.key < key {
-			stm.Conflict("skiplist: insertion window moved")
-		}
-		if stm.ReadT[bool](tx, &preds[0].marked) {
-			stm.Conflict("skiplist: predecessor removed")
-		}
-		n := newSnode(key, height)
-		for l := 0; l < height; l++ {
-			if l > 0 {
-				succ = stm.ReadT[*snode](tx, &preds[l].next[l])
-				if preds[l].key >= key || succ.key <= key {
-					stm.Conflict("skiplist: insertion window moved")
-				}
-				if stm.ReadT[bool](tx, &preds[l].marked) {
-					stm.Conflict("skiplist: predecessor removed")
-				}
-			}
-			n.next[l].Init(succ)
-			tx.Write(&preds[l].next[l], n)
-		}
-		res = true
-		return nil
-	})
-	return res
+	f := frameOf(th)
+	f.height = randomHeight(th)
+	return f.skipOp(opAdd, s, key)
 }
 
 // Remove implements Set.
 func (s *SkipListSet) Remove(th *stm.Thread, key int) bool {
-	var res bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		res = false
-		preds, _ := s.find(tx, key)
-		target := stm.ReadT[*snode](tx, &preds[0].next[0])
-		if target.key != key {
-			if target.key < key {
-				stm.Conflict("skiplist: removal window moved")
-			}
-			return nil // absent
-		}
-		if stm.ReadT[bool](tx, &target.marked) || stm.ReadT[bool](tx, &preds[0].marked) {
-			stm.Conflict("skiplist: node concurrently removed")
-		}
-		// Setting the mark is the linchpin: every concurrent update that
-		// located target (or uses it as a predecessor) has target.marked
-		// in its protected set and fails validation once we commit.
-		tx.Write(&target.marked, true)
-		for l := len(target.next) - 1; l >= 0; l-- {
-			pred := preds[l]
-			curr := stm.ReadT[*snode](tx, &pred.next[l])
-			if curr != target {
-				stm.Conflict("skiplist: tower link moved")
-			}
-			if l > 0 && stm.ReadT[bool](tx, &pred.marked) {
-				stm.Conflict("skiplist: predecessor removed")
-			}
-			succ := stm.ReadT[*snode](tx, &target.next[l])
-			tx.Write(&pred.next[l], succ)
-		}
-		res = true
-		return nil
-	})
-	return res
+	return frameOf(th).skipOp(opRemove, s, key)
 }
 
 // AddAll implements Set by composing Add.
@@ -186,10 +189,10 @@ func (s *SkipListSet) Elements(th *stm.Thread) []int {
 	var out []int
 	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
 		out = out[:0]
-		curr := stm.ReadT[*snode](tx, &s.head.next[0])
+		curr := stm.ReadPtr(tx, &s.head.next[0])
 		for curr.key != math.MaxInt {
 			out = append(out, curr.key)
-			curr = stm.ReadT[*snode](tx, &curr.next[0])
+			curr = stm.ReadPtr(tx, &curr.next[0])
 		}
 		return nil
 	})

@@ -6,6 +6,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,18 +97,28 @@ type RunConfig struct {
 	Workload  workload.Config
 }
 
-// Result is one measured point: the coordinates of Figs. 6-8.
+// Result is one measured point: the coordinates of Figs. 6-8, plus the
+// process-wide heap allocation rate over the measured window (the
+// -benchmem axis of the testing benches).
 type Result struct {
-	Engine    string
-	Structure string
-	BulkPct   int
-	Threads   int
-	OpsPerMs  float64
-	AbortRate float64
-	Ops       uint64
-	Commits   uint64
-	Aborts    uint64
-	Elapsed   time.Duration
+	Engine      string
+	Structure   string
+	BulkPct     int
+	Threads     int
+	OpsPerMs    float64
+	AbortRate   float64
+	AllocsPerOp float64
+	Ops         uint64
+	Commits     uint64
+	Aborts      uint64
+	Elapsed     time.Duration
+}
+
+// mallocs samples the cumulative process-wide allocation count.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
 }
 
 // RunSTM measures one engine on one configuration: fill the structure,
@@ -162,24 +173,31 @@ func RunSTM(eng Engine, cfg RunConfig) Result {
 	}
 
 	time.Sleep(cfg.Warmup)
+	m0 := mallocs()
 	measuring.Store(true)
 	start := time.Now()
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	elapsed := time.Since(start)
+	m1 := mallocs()
 	wg.Wait()
 
+	allocsPerOp := 0.0
+	if totalOps > 0 {
+		allocsPerOp = float64(m1-m0) / float64(totalOps)
+	}
 	return Result{
-		Engine:    eng.Name,
-		Structure: cfg.Structure,
-		BulkPct:   cfg.Workload.BulkPct,
-		Threads:   cfg.Threads,
-		OpsPerMs:  float64(totalOps) / float64(elapsed.Milliseconds()+1),
-		AbortRate: totals.AbortRate(),
-		Ops:       totalOps,
-		Commits:   totals.Commits,
-		Aborts:    totals.Aborts,
-		Elapsed:   elapsed,
+		Engine:      eng.Name,
+		Structure:   cfg.Structure,
+		BulkPct:     cfg.Workload.BulkPct,
+		Threads:     cfg.Threads,
+		OpsPerMs:    float64(totalOps) / float64(elapsed.Milliseconds()+1),
+		AbortRate:   totals.AbortRate(),
+		AllocsPerOp: allocsPerOp,
+		Ops:         totalOps,
+		Commits:     totals.Commits,
+		Aborts:      totals.Aborts,
+		Elapsed:     elapsed,
 	}
 }
 
@@ -207,19 +225,26 @@ func RunSequential(cfg RunConfig) Result {
 		counted <- ops
 	}()
 	time.Sleep(cfg.Warmup)
+	m0 := mallocs()
 	measuring.Store(true)
 	start := time.Now()
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	measured := <-counted
 	elapsed := time.Since(start)
+	m1 := mallocs()
+	allocsPerOp := 0.0
+	if measured > 0 {
+		allocsPerOp = float64(m1-m0) / float64(measured)
+	}
 	return Result{
-		Engine:    "sequential",
-		Structure: cfg.Structure,
-		BulkPct:   cfg.Workload.BulkPct,
-		Threads:   1,
-		OpsPerMs:  float64(measured) / float64(elapsed.Milliseconds()+1),
-		Ops:       measured,
-		Elapsed:   elapsed,
+		Engine:      "sequential",
+		Structure:   cfg.Structure,
+		BulkPct:     cfg.Workload.BulkPct,
+		Threads:     1,
+		OpsPerMs:    float64(measured) / float64(elapsed.Milliseconds()+1),
+		AllocsPerOp: allocsPerOp,
+		Ops:         measured,
+		Elapsed:     elapsed,
 	}
 }

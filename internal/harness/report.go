@@ -73,9 +73,11 @@ func average(rs []Result) Result {
 	out := rs[0]
 	tp := make([]float64, len(rs))
 	ab := make([]float64, len(rs))
+	al := make([]float64, len(rs))
 	for i, r := range rs {
 		tp[i] = r.OpsPerMs
 		ab[i] = r.AbortRate
+		al[i] = r.AllocsPerOp
 		if i > 0 {
 			out.Ops += r.Ops
 			out.Commits += r.Commits
@@ -84,6 +86,7 @@ func average(rs []Result) Result {
 	}
 	out.OpsPerMs = stats.Mean(tp)
 	out.AbortRate = stats.Mean(ab)
+	out.AllocsPerOp = stats.Mean(al)
 	return out
 }
 
@@ -134,7 +137,7 @@ func Format(results []Result, structure string, bulkPct int) string {
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %d%% addAll/removeAll (throughput ops/ms | abort %%)\n",
+	fmt.Fprintf(&b, "%s — %d%% addAll/removeAll (throughput ops/ms | abort %% | allocs/op)\n",
 		FigureTitle(structure), bulkPct)
 	fmt.Fprintf(&b, "%-8s", "threads")
 	for _, e := range engines {
@@ -142,7 +145,7 @@ func Format(results []Result, structure string, bulkPct int) string {
 			fmt.Fprintf(&b, " %12s", e)
 			continue
 		}
-		fmt.Fprintf(&b, " %12s %7s", e, "ab%")
+		fmt.Fprintf(&b, " %12s %7s %7s", e, "ab%", "allocs")
 	}
 	b.WriteByte('\n')
 	for _, n := range threads {
@@ -155,10 +158,10 @@ func Format(results []Result, structure string, bulkPct int) string {
 			}
 			r, ok := point[e][n]
 			if !ok {
-				fmt.Fprintf(&b, " %12s %7s", "-", "-")
+				fmt.Fprintf(&b, " %12s %7s %7s", "-", "-", "-")
 				continue
 			}
-			fmt.Fprintf(&b, " %12.1f %7.2f", r.OpsPerMs, r.AbortRate)
+			fmt.Fprintf(&b, " %12.1f %7.2f %7.2f", r.OpsPerMs, r.AbortRate, r.AllocsPerOp)
 		}
 		b.WriteByte('\n')
 	}
@@ -169,10 +172,10 @@ func Format(results []Result, structure string, bulkPct int) string {
 // plotting.
 func CSV(results []Result) string {
 	var b strings.Builder
-	b.WriteString("structure,bulk_pct,engine,threads,ops_per_ms,abort_rate,ops,commits,aborts\n")
+	b.WriteString("structure,bulk_pct,engine,threads,ops_per_ms,abort_rate,allocs_per_op,ops,commits,aborts\n")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%d,%s,%d,%.2f,%.3f,%d,%d,%d\n",
-			r.Structure, r.BulkPct, r.Engine, r.Threads, r.OpsPerMs, r.AbortRate, r.Ops, r.Commits, r.Aborts)
+		fmt.Fprintf(&b, "%s,%d,%s,%d,%.2f,%.3f,%.3f,%d,%d,%d\n",
+			r.Structure, r.BulkPct, r.Engine, r.Threads, r.OpsPerMs, r.AbortRate, r.AllocsPerOp, r.Ops, r.Commits, r.Aborts)
 	}
 	return b.String()
 }

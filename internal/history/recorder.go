@@ -13,8 +13,9 @@ import (
 // running transactions.
 //
 // Mapping conventions:
-//   - Each mvar.Var is an object; Label gives it a name, otherwise one is
-//     generated ("v1", "v2", ... in order of first appearance).
+//   - Each transactional memory word is an object; Label gives it a name,
+//     otherwise one is generated ("v1", "v2", ... in order of first
+//     appearance).
 //   - Each thread is a process ("p<ID>").
 //   - Each transaction is "t<N>" by engine-assigned id.
 //   - Nested executions: the children of a parent transaction are
@@ -30,7 +31,7 @@ import (
 type Recorder struct {
 	mu       sync.Mutex
 	events   History
-	labels   map[*mvar.Var]string
+	labels   map[*mvar.Word]string
 	nextVar  int
 	parents  map[uint64]uint64   // child tx id -> parent tx id
 	children map[uint64][]uint64 // parent tx id -> ordered children
@@ -43,7 +44,7 @@ var _ stm.Tracer = (*Recorder)(nil)
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
-		labels:   map[*mvar.Var]string{},
+		labels:   map[*mvar.Word]string{},
 		parents:  map[uint64]uint64{},
 		children: map[uint64][]uint64{},
 		nested:   map[uint64]bool{},
@@ -51,21 +52,22 @@ func NewRecorder() *Recorder {
 	}
 }
 
-// Label names a Var so histories read like the paper's examples. Must be
-// called before the Var first appears in an event.
-func (r *Recorder) Label(v *mvar.Var, name string) {
+// Label names a transactional variable (any typed view over a memory
+// word) so histories read like the paper's examples. Must be called
+// before the variable first appears in an event.
+func (r *Recorder) Label(v mvar.Worder, name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.labels[v] = name
+	r.labels[v.Word()] = name
 }
 
-func (r *Recorder) nameOf(v *mvar.Var) string {
-	if n, ok := r.labels[v]; ok {
+func (r *Recorder) nameOf(w *mvar.Word) string {
+	if n, ok := r.labels[w]; ok {
 		return n
 	}
 	r.nextVar++
 	n := fmt.Sprintf("v%d", r.nextVar)
-	r.labels[v] = n
+	r.labels[w] = n
 	return n
 }
 
@@ -103,7 +105,7 @@ func (r *Recorder) TxAbort(proc int, tx uint64) {
 // acquire/release section per hold, so the recorder keeps a hold count
 // per (process, element) and emits only the transitions 0→1 (acquire)
 // and 1→0 (release).
-func (r *Recorder) Acquire(proc int, tx uint64, v *mvar.Var) {
+func (r *Recorder) Acquire(proc int, tx uint64, v *mvar.Word) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	p, obj := procName(proc), r.nameOf(v)
@@ -117,7 +119,7 @@ func (r *Recorder) Acquire(proc int, tx uint64, v *mvar.Var) {
 }
 
 // Release implements stm.Tracer; see Acquire for the hold-count rule.
-func (r *Recorder) Release(proc int, tx uint64, v *mvar.Var) {
+func (r *Recorder) Release(proc int, tx uint64, v *mvar.Word) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	p, obj := procName(proc), r.nameOf(v)
@@ -131,7 +133,7 @@ func (r *Recorder) Release(proc int, tx uint64, v *mvar.Var) {
 }
 
 // Op implements stm.Tracer.
-func (r *Recorder) Op(proc int, tx uint64, v *mvar.Var, op string, val any) {
+func (r *Recorder) Op(proc int, tx uint64, v *mvar.Word, op string, val any) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	obj := r.nameOf(v)

@@ -14,12 +14,12 @@ func TestRecorderLabelsAndGeneratedNames(t *testing.T) {
 	a, b := mvar.New(0), mvar.New(0)
 	r.Label(a, "x")
 	r.TxBegin(1, 1, 0, stm.Regular)
-	r.Acquire(1, 1, a)
-	r.Acquire(1, 1, b) // unlabelled: becomes v1
-	r.Op(1, 1, a, "read", 5)
+	r.Acquire(1, 1, a.Word())
+	r.Acquire(1, 1, b.Word()) // unlabelled: becomes v1
+	r.Op(1, 1, a.Word(), "read", 5)
 	r.TxCommit(1, 1)
-	r.Release(1, 1, a)
-	r.Release(1, 1, b)
+	r.Release(1, 1, a.Word())
+	r.Release(1, 1, b.Word())
 	h := r.History()
 	if got := h.Objects(); len(got) != 2 || got[0] != "x" || got[1] != "v1" {
 		t.Fatalf("objects = %v", got)
@@ -30,11 +30,11 @@ func TestRecorderHoldCounting(t *testing.T) {
 	r := NewRecorder()
 	v := mvar.New(0)
 	r.TxBegin(1, 1, 0, stm.Regular)
-	r.Acquire(1, 1, v)
-	r.Acquire(1, 1, v) // re-acquire: no event
-	r.Release(1, 1, v) // count 2 -> 1: no event
-	r.Release(1, 1, v) // count 1 -> 0: event
-	r.Release(1, 1, v) // spurious: ignored
+	r.Acquire(1, 1, v.Word())
+	r.Acquire(1, 1, v.Word()) // re-acquire: no event
+	r.Release(1, 1, v.Word()) // count 2 -> 1: no event
+	r.Release(1, 1, v.Word()) // count 1 -> 0: event
+	r.Release(1, 1, v.Word()) // spurious: ignored
 	r.TxCommit(1, 1)
 	h := r.Raw()
 	acq, rel := 0, 0
@@ -54,8 +54,8 @@ func TestRecorderHoldCounting(t *testing.T) {
 func TestRecorderHoldsPerProcess(t *testing.T) {
 	r := NewRecorder()
 	v := mvar.New(0)
-	r.Acquire(1, 1, v)
-	r.Acquire(2, 2, v) // different process: its own section event
+	r.Acquire(1, 1, v.Word())
+	r.Acquire(2, 2, v.Word()) // different process: its own section event
 	h := r.Raw()
 	if len(h) != 2 {
 		t.Fatalf("events = %d, want 2 (independent per-process holds)", len(h))
@@ -67,12 +67,12 @@ func TestRecorderOpEvents(t *testing.T) {
 	v := mvar.New(0)
 	r.Label(v, "x")
 	r.TxBegin(3, 9, 0, stm.Elastic)
-	r.Acquire(3, 9, v)
-	r.Op(3, 9, v, "read", 7)
-	r.Op(3, 9, v, "write", 8)
-	r.Op(3, 9, v, "cas", true)
+	r.Acquire(3, 9, v.Word())
+	r.Op(3, 9, v.Word(), "read", 7)
+	r.Op(3, 9, v.Word(), "write", 8)
+	r.Op(3, 9, v.Word(), "cas", true)
 	r.TxCommit(3, 9)
-	r.Release(3, 9, v)
+	r.Release(3, 9, v.Word())
 	h := r.History()
 	ops := h.OpsOf("t9")
 	if len(ops) != 3 {
@@ -98,21 +98,21 @@ func TestRecorderElidesParentsAndDropsDead(t *testing.T) {
 	// Parent t1 with children t2, t3 — committed nest.
 	r.TxBegin(1, 1, 0, stm.Elastic)
 	r.TxBegin(1, 2, 1, stm.Elastic)
-	r.Acquire(1, 2, v)
-	r.Op(1, 2, v, "read", 0)
+	r.Acquire(1, 2, v.Word())
+	r.Op(1, 2, v.Word(), "read", 0)
 	r.TxCommit(1, 2)
 	r.TxBegin(1, 3, 1, stm.Elastic)
-	r.Op(1, 3, v, "write", 1)
+	r.Op(1, 3, v.Word(), "write", 1)
 	r.TxCommit(1, 3)
 	r.TxCommit(1, 1)
-	r.Release(1, 1, v)
+	r.Release(1, 1, v.Word())
 	// Aborted parent t4 with committed child t5: both must vanish.
 	r.TxBegin(1, 4, 0, stm.Elastic)
 	r.TxBegin(1, 5, 4, stm.Elastic)
-	r.Acquire(1, 5, v)
+	r.Acquire(1, 5, v.Word())
 	r.TxCommit(1, 5)
 	r.TxAbort(1, 4)
-	r.Release(1, 4, v)
+	r.Release(1, 4, v.Word())
 
 	h := r.History()
 	for _, e := range h {

@@ -11,6 +11,7 @@ package lsa
 import (
 	"oestm/internal/mvar"
 	"oestm/internal/stm"
+	"oestm/internal/txset"
 )
 
 // TM is an LSA engine instance.
@@ -27,9 +28,19 @@ func (tm *TM) Name() string { return "lsa" }
 // SupportsElastic implements stm.TM; LSA is a classic STM.
 func (tm *TM) SupportsElastic() bool { return false }
 
-// Begin implements stm.TM.
+// Begin implements stm.TM, reusing the thread's pooled transaction frame.
 func (tm *TM) Begin(th *stm.Thread, _ stm.Kind) stm.TxControl {
-	return &txn{tm: tm, th: th, ub: tm.clock.Now()}
+	t, _ := th.EngineScratch.(*txn)
+	if t == nil || t.tm != tm {
+		t = &txn{}
+		th.EngineScratch = t
+	}
+	t.tm = tm
+	t.th = th
+	t.ub = tm.clock.Now()
+	t.reads = t.reads[:0]
+	t.writes.Reset()
+	return t
 }
 
 // BeginNested implements stm.TM with flat nesting.
@@ -37,37 +48,31 @@ func (tm *TM) BeginNested(_ *stm.Thread, parent stm.TxControl, _ stm.Kind) stm.T
 	return stm.FlatChild(parent)
 }
 
-type readEntry struct {
-	v   *mvar.Var
-	ver uint64
-}
-
-type writeEntry struct {
-	v   *mvar.Var
-	val any
-	old uint64 // pre-lock meta, for revert
-}
-
 type txn struct {
 	tm     *TM
 	th     *stm.Thread
 	ub     uint64 // upper bound of the snapshot validity interval
-	reads  []readEntry
-	writes []writeEntry // every entry's lock is held (eager acquirement)
-	windex map[*mvar.Var]int
+	reads  []txset.Read
+	writes txset.WriteSet // every entry's lock is held (eager acquirement)
 }
 
 // Kind implements stm.Tx.
 func (t *txn) Kind() stm.Kind { return stm.Regular }
 
-// Read implements stm.Tx. Reads of locations newer than the current
+// Read implements stm.Tx (untyped surface).
+func (t *txn) Read(v *mvar.AnyVar) any { return mvar.AnyValue(t.ReadWord(v.Word())) }
+
+// Write implements stm.Tx (untyped surface).
+func (t *txn) Write(v *mvar.AnyVar, val any) { t.WriteWord(v.Word(), mvar.AnyRaw(val)) }
+
+// ReadWord implements stm.Tx. Reads of locations newer than the current
 // validity interval attempt a lazy snapshot extension: revalidate the read
 // set at the current clock and, if it still holds, slide the upper bound.
-func (t *txn) Read(v *mvar.Var) any {
-	if idx, ok := t.windex[v]; ok {
-		return t.writes[idx].val
+func (t *txn) ReadWord(w *mvar.Word) mvar.Raw {
+	if i := t.writes.Find(w); i >= 0 {
+		return t.writes.At(i).Val
 	}
-	val, ver, ok := v.ReadConsistent()
+	raw, ver, ok := w.ReadConsistent()
 	if !ok {
 		stm.Conflict("lsa: read of locked or changing location")
 	}
@@ -76,13 +81,13 @@ func (t *txn) Read(v *mvar.Var) any {
 	// commit that advanced the clock may have changed this location.
 	for ver > t.ub {
 		t.extend()
-		val, ver, ok = v.ReadConsistent()
+		raw, ver, ok = w.ReadConsistent()
 		if !ok {
 			stm.Conflict("lsa: read of locked or changing location")
 		}
 	}
-	t.reads = append(t.reads, readEntry{v, ver})
-	return val
+	t.reads = append(t.reads, txset.Read{W: w, Ver: ver})
+	return raw
 }
 
 // extend tries to move the snapshot upper bound to the present; failing
@@ -95,29 +100,25 @@ func (t *txn) extend() {
 	t.ub = now
 }
 
-// Write implements stm.Tx with eager lock acquirement and a buffered
+// WriteWord implements stm.Tx with eager lock acquirement and a buffered
 // (write-back) value.
-func (t *txn) Write(v *mvar.Var, val any) {
-	if idx, ok := t.windex[v]; ok {
-		t.writes[idx].val = val
+func (t *txn) WriteWord(w *mvar.Word, r mvar.Raw) {
+	if i := t.writes.Find(w); i >= 0 {
+		t.writes.At(i).Val = r
 		return
 	}
-	m := v.Meta()
-	if mvar.Locked(m) || !v.TryLock(t.th.ID, m) {
+	m := w.Meta()
+	if mvar.Locked(m) || !w.TryLock(t.th.ID, m) {
 		stm.Conflict("lsa: write lock unavailable")
 	}
-	if t.windex == nil {
-		t.windex = make(map[*mvar.Var]int, 8)
-	}
-	t.windex[v] = len(t.writes)
-	t.writes = append(t.writes, writeEntry{v: v, val: val, old: m})
+	t.writes.Append(txset.Write{W: w, Val: r, Old: m})
 }
 
 // Commit implements stm.TxControl. Write locks are already held; pick a
 // commit version, validate the read set if anything committed since the
 // interval's upper bound, publish and unlock.
 func (t *txn) Commit() error {
-	if len(t.writes) == 0 {
+	if t.writes.Len() == 0 {
 		t.th.Stats.ReadOnly++
 		return nil // the maintained snapshot interval is consistent
 	}
@@ -128,12 +129,13 @@ func (t *txn) Commit() error {
 			return stm.ErrConflict
 		}
 	}
-	for i := range t.writes {
-		e := &t.writes[i]
-		e.v.StoreLocked(e.val)
-		e.v.Unlock(wv)
+	entries := t.writes.Entries()
+	for i := range entries {
+		e := &entries[i]
+		e.W.StoreLockedRaw(e.Val)
+		e.W.Unlock(wv)
 	}
-	t.writes = nil
+	t.writes.Reset()
 	return nil
 }
 
@@ -143,18 +145,18 @@ func (t *txn) Commit() error {
 // our read and our eager lock acquisition.
 func (t *txn) validate() bool {
 	for _, r := range t.reads {
-		m := r.v.Meta()
+		m := r.W.Meta()
 		if mvar.Locked(m) {
 			if mvar.Owner(m) != t.th.ID {
 				return false
 			}
-			idx, mine := t.windex[r.v]
-			if !mine || mvar.Version(t.writes[idx].old) != r.ver {
+			i := t.writes.Find(r.W)
+			if i < 0 || mvar.Version(t.writes.At(i).Old) != r.Ver {
 				return false
 			}
 			continue
 		}
-		if mvar.Version(m) != r.ver {
+		if mvar.Version(m) != r.Ver {
 			return false
 		}
 	}
@@ -163,17 +165,17 @@ func (t *txn) validate() bool {
 
 // releaseLocks reverts every eagerly acquired write lock.
 func (t *txn) releaseLocks() {
-	for i := range t.writes {
-		e := &t.writes[i]
-		e.v.Restore(e.old)
+	entries := t.writes.Entries()
+	for i := range entries {
+		e := &entries[i]
+		e.W.Restore(e.Old)
 	}
-	t.writes = nil
+	t.writes.Reset()
 }
 
 // Rollback implements stm.TxControl; it must release eagerly held locks
 // because conflicts can unwind mid-execution.
 func (t *txn) Rollback() {
 	t.releaseLocks()
-	t.reads = nil
-	t.windex = nil
+	t.reads = t.reads[:0]
 }

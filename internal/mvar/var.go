@@ -1,105 +1,156 @@
 // Package mvar provides the transactional memory substrate shared by every
-// STM engine in this repository: versioned-lock memory words (Var), the
-// global version clock, and the lock-word encoding helpers.
+// STM engine in this repository: versioned-lock memory words (Word), typed
+// transactional variables layered on top of them (Var[T], Flag, AnyVar),
+// the global version clock, and the lock-word encoding helpers.
 //
-// A Var plays the role of one "object field" in the paper's terminology:
-// all engines detect conflicts at Var granularity, mirroring the paper's
+// A word plays the role of one "object field" in the paper's terminology:
+// all engines detect conflicts at Word granularity, mirroring the paper's
 // setup where "all STMs protect memory locations at the granularity level
-// of object fields" (§VII-B). A Var is also the concrete carrier of a
+// of object fields" (§VII-B). A word is also the concrete carrier of a
 // protection element: acquiring the protection element of a location maps
-// to either write-locking the Var or recording its version in a read set
+// to either write-locking the word or recording its version in a read set
 // that will be revalidated.
 //
-// Lock-word layout (64 bits):
+// # Lock-word encoding and budgets
+//
+// This is the single authoritative description of the lock-word layout;
+// every engine shares it through Locked/Version/Owner/VersionWord.
 //
 //	bit 0      write-lock flag
 //	bits 1..63 commit version while unlocked, owner thread slot while locked
 //
-// Versions are drawn from a single global Clock, so they are totally
-// ordered across all Vars.
+// Both the version and the owner slot therefore have a 63-bit budget
+// (PayloadBits):
+//
+//   - Versions are drawn from a single global Clock per engine, so they
+//     are totally ordered across all words. At one commit per nanosecond a
+//     63-bit version space lasts ~292 years; overflow is not a practical
+//     concern and is not checked on the commit path.
+//   - Owner slots come from thread identifiers (stm.Thread.ID, or the
+//     per-engine descriptor slots of SwissTM). Any non-negative Go int
+//     round-trips losslessly through the encoding (int is at most 63 value
+//     bits); lockWord rejects negative owners, which are the only values
+//     that would alias a version after the shift.
+//
+// # Payload cells and the consistency protocol
+//
+// A Word carries two raw payload cells: a GC-visible pointer cell and a
+// scalar cell. A typed variable (Var[T], Flag, AnyVar) owns exactly one
+// interpretation of those cells and is the only code that encodes or
+// decodes them; engines shuttle payloads around as opaque Raw pairs, so
+// the read/write-set entries of every engine are flat, allocation-free
+// structs rather than boxed interfaces.
+//
+// Writers mutate the cells only while holding the write lock, and readers
+// use the seqlock-style ReadConsistent (sample meta, load cells, re-sample
+// meta), so a consistent read never observes a torn (pointer, bits) pair
+// even though the two cells are loaded separately.
 package mvar
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+)
 
 const lockFlag uint64 = 1
 
-// box wraps a value so the current committed value of a Var can be loaded
-// and stored with a single atomic pointer operation. Readers never observe
-// a torn value: writers install a fresh box while holding the write lock.
-type box struct{ v any }
+// PayloadBits is the width of the version/owner field of a lock word; see
+// the package comment for the budget discussion.
+const PayloadBits = 63
 
-// Var is a single transactional memory word. The zero value is an unlocked
-// word at version 0 holding nil; New initialises the payload. Vars are
-// padded to a cache line so that hot words in concurrent data structures
-// do not false-share.
-type Var struct {
+// MaxVersion is the largest commit version a lock word can carry.
+const MaxVersion uint64 = 1<<PayloadBits - 1
+
+// Word is a single transactional memory word: the versioned lock word plus
+// raw payload storage. The zero value is an unlocked word at version 0
+// holding a zero payload. Words are padded to a cache line so that hot
+// locations in concurrent data structures do not false-share.
+//
+// Engines operate exclusively on *Word and Raw; user code holds one of the
+// typed views (Var[T], Flag, AnyVar) that embed a Word.
+type Word struct {
 	meta atomic.Uint64
-	val  atomic.Pointer[box]
-	_    [48]byte
+	ptr  atomic.Pointer[byte]
+	bits atomic.Uint64
+	_    [40]byte
 }
 
-// New returns a Var initialised to value v at version 0.
-func New(v any) *Var {
-	x := new(Var)
-	x.val.Store(&box{v})
-	return x
+// Raw is the uniform payload currency between typed variables and engines:
+// one GC-visible pointer word plus one scalar word. Only the typed
+// variable that owns a Word knows which cell is meaningful; engines treat
+// Raw as opaque (it is comparable, which is all tracing needs). The zero
+// Raw is the payload of a zero Word.
+type Raw struct {
+	p *byte
+	b uint64
 }
 
-// Init (re)initialises the payload of a Var before it is shared. It must
-// not be called on a Var that concurrent transactions may already access.
-func (x *Var) Init(v any) { x.val.Store(&box{v}) }
+// Worder is satisfied by every typed variable (and by *Word itself); it
+// lets variable-agnostic code such as the history recorder accept any
+// transactional variable.
+type Worder interface{ Word() *Word }
+
+// Word returns the word itself, so *Word satisfies Worder.
+func (w *Word) Word() *Word { return w }
 
 // Meta returns the current lock word.
-func (x *Var) Meta() uint64 { return x.meta.Load() }
+func (w *Word) Meta() uint64 { return w.meta.Load() }
 
-// Load returns the current committed value. Callers must implement a
-// consistency protocol around it (see ReadConsistent) unless they hold the
-// write lock.
-func (x *Var) Load() any {
-	b := x.val.Load()
-	if b == nil {
-		return nil
-	}
-	return b.v
-}
+// LoadRaw returns the current raw payload without any consistency
+// protocol. Callers must hold the write lock, be the only goroutine able
+// to reach the word, or wrap the load in ReadConsistent-style validation.
+func (w *Word) LoadRaw() Raw { return Raw{w.ptr.Load(), w.bits.Load()} }
 
 // ReadConsistent performs the standard optimistic read: sample the lock
-// word, load the value, re-sample. It reports ok=false when the word was
-// locked or changed underneath, in which case the value must be discarded.
-// On success it returns the value and the version it was read at.
-func (x *Var) ReadConsistent() (v any, version uint64, ok bool) {
-	m1 := x.meta.Load()
+// word, load the payload cells, re-sample. It reports ok=false when the
+// word was locked or changed underneath, in which case the payload must be
+// discarded. On success it returns the payload and the version it was read
+// at. Because writers only touch the cells while the lock bit is set, an
+// unchanged unlocked meta brackets an untorn (pointer, bits) pair.
+func (w *Word) ReadConsistent() (r Raw, version uint64, ok bool) {
+	m1 := w.meta.Load()
 	if Locked(m1) {
-		return nil, 0, false
+		return Raw{}, 0, false
 	}
-	v = x.Load()
-	m2 := x.meta.Load()
+	r = w.LoadRaw()
+	m2 := w.meta.Load()
 	if m1 != m2 {
-		return nil, 0, false
+		return Raw{}, 0, false
 	}
-	return v, Version(m1), true
+	return r, Version(m1), true
 }
 
 // TryLock attempts to acquire the write lock by CASing the expected
 // (unlocked) lock word to a locked word owned by the given thread slot.
-func (x *Var) TryLock(owner int, expect uint64) bool {
+func (w *Word) TryLock(owner int, expect uint64) bool {
 	if Locked(expect) {
 		return false
 	}
-	return x.meta.CompareAndSwap(expect, lockWord(owner))
+	return w.meta.CompareAndSwap(expect, lockWord(owner))
 }
 
 // Unlock releases the write lock, publishing the given commit version.
 // The caller must hold the lock.
-func (x *Var) Unlock(version uint64) { x.meta.Store(version << 1) }
+func (w *Word) Unlock(version uint64) { w.meta.Store(version << 1) }
 
 // Restore reverts the lock word to a previously sampled (unlocked) value.
 // Used when a transaction aborts after acquiring write locks.
-func (x *Var) Restore(oldMeta uint64) { x.meta.Store(oldMeta) }
+func (w *Word) Restore(oldMeta uint64) { w.meta.Store(oldMeta) }
 
-// StoreLocked installs a new value. The caller must hold the write lock
-// (or be the only goroutine able to reach the Var).
-func (x *Var) StoreLocked(v any) { x.val.Store(&box{v}) }
+// StoreLockedRaw installs a new raw payload. The caller must hold the
+// write lock (or be the only goroutine able to reach the word).
+func (w *Word) StoreLockedRaw(r Raw) {
+	w.ptr.Store(r.p)
+	w.bits.Store(r.b)
+}
+
+// InitRaw (re)initialises the payload of a word before it is shared. It
+// must not be called on a word that concurrent transactions may already
+// access.
+func (w *Word) InitRaw(r Raw) {
+	w.ptr.Store(r.p)
+	w.bits.Store(r.b)
+}
 
 // Locked reports whether a lock word is write-locked.
 func Locked(meta uint64) bool { return meta&lockFlag != 0 }
@@ -110,8 +161,155 @@ func Version(meta uint64) uint64 { return meta >> 1 }
 // Owner extracts the owner thread slot from a locked lock word.
 func Owner(meta uint64) int { return int(meta >> 1) }
 
-// lockWord builds a locked lock word owned by the given thread slot.
-func lockWord(owner int) uint64 { return lockFlag | uint64(owner)<<1 }
+// lockWord builds a locked lock word owned by the given thread slot. See
+// the package comment: every non-negative int fits the 63-bit owner
+// budget; negative owners are the only values that would alias, so they
+// are rejected here rather than silently encoded.
+func lockWord(owner int) uint64 {
+	if owner < 0 {
+		panic("mvar: negative lock owner slot")
+	}
+	return lockFlag | uint64(owner)<<1
+}
 
 // VersionWord builds an unlocked lock word carrying the given version.
 func VersionWord(version uint64) uint64 { return version << 1 }
+
+// ---------------------------------------------------------------------
+// Raw encodings. These are the only functions that interpret Raw's cells;
+// each typed variable uses exactly one encoding for its whole lifetime,
+// which is what makes the pointer puns below sound.
+
+// RefRaw encodes a *T into the pointer cell.
+func RefRaw[T any](p *T) Raw { return Raw{p: (*byte)(unsafe.Pointer(p))} }
+
+// RefValue decodes a *T from the pointer cell.
+func RefValue[T any](r Raw) *T { return (*T)(unsafe.Pointer(r.p)) }
+
+// FlagRaw encodes a bool into the scalar cell.
+func FlagRaw(v bool) Raw {
+	if v {
+		return Raw{b: 1}
+	}
+	return Raw{}
+}
+
+// FlagValue decodes a bool from the scalar cell.
+func FlagValue(r Raw) bool { return r.b != 0 }
+
+// abox boxes an arbitrary interface value so it can live in the pointer
+// cell. This is the only payload encoding that allocates on write; the
+// typed encodings above are allocation-free.
+type abox struct{ v any }
+
+// AnyRaw encodes an arbitrary value into the pointer cell (boxing it).
+func AnyRaw(v any) Raw {
+	if v == nil {
+		return Raw{}
+	}
+	return Raw{p: (*byte)(unsafe.Pointer(&abox{v}))}
+}
+
+// AnyValue decodes an arbitrary value from the pointer cell.
+func AnyValue(r Raw) any {
+	if r.p == nil {
+		return nil
+	}
+	return (*abox)(unsafe.Pointer(r.p)).v
+}
+
+// ---------------------------------------------------------------------
+// Typed variables.
+
+// Var is a typed transactional variable holding a *T, stored directly in
+// the word's pointer cell: reads and writes never box, so the hot paths of
+// pointer-linked structures (list/skiplist/queue nodes) are
+// allocation-free. The zero value is an unlocked variable at version 0
+// holding nil.
+type Var[T any] struct{ w Word }
+
+// NewVar returns a Var initialised to p at version 0.
+func NewVar[T any](p *T) *Var[T] {
+	v := new(Var[T])
+	v.Init(p)
+	return v
+}
+
+// Word exposes the underlying memory word (for engines and tracers).
+func (v *Var[T]) Word() *Word { return &v.w }
+
+// Init (re)initialises the payload before the variable is shared.
+func (v *Var[T]) Init(p *T) { v.w.InitRaw(RefRaw(p)) }
+
+// Load returns the current committed pointer without a consistency
+// protocol; see Word.LoadRaw for the caller obligations.
+func (v *Var[T]) Load() *T { return RefValue[T](v.w.LoadRaw()) }
+
+// Flag is a typed transactional boolean, stored in the word's scalar cell
+// (no boxing). The zero value is an unlocked false.
+type Flag struct{ w Word }
+
+// Word exposes the underlying memory word.
+func (f *Flag) Word() *Word { return &f.w }
+
+// Init (re)initialises the payload before the flag is shared.
+func (f *Flag) Init(v bool) { f.w.InitRaw(FlagRaw(v)) }
+
+// Load returns the current committed value without a consistency
+// protocol.
+func (f *Flag) Load() bool { return FlagValue(f.w.LoadRaw()) }
+
+// ---------------------------------------------------------------------
+// AnyVar: the untyped compatibility variable.
+
+// AnyVar is a transactional variable holding an arbitrary value. Writes
+// box the value (one allocation) so the current committed value can be
+// installed with a single pointer store; prefer Var[T]/Flag on hot paths.
+// The zero value is an unlocked variable at version 0 holding nil.
+type AnyVar struct{ w Word }
+
+// New returns an AnyVar initialised to value v at version 0.
+func New(v any) *AnyVar {
+	x := new(AnyVar)
+	x.Init(v)
+	return x
+}
+
+// Word exposes the underlying memory word.
+func (x *AnyVar) Word() *Word { return &x.w }
+
+// Init (re)initialises the payload of a variable before it is shared. It
+// must not be called on a variable that concurrent transactions may
+// already access.
+func (x *AnyVar) Init(v any) { x.w.InitRaw(AnyRaw(v)) }
+
+// Meta returns the current lock word.
+func (x *AnyVar) Meta() uint64 { return x.w.Meta() }
+
+// Load returns the current committed value. Callers must implement a
+// consistency protocol around it (see ReadConsistent) unless they hold the
+// write lock.
+func (x *AnyVar) Load() any { return AnyValue(x.w.LoadRaw()) }
+
+// ReadConsistent performs the standard optimistic read on the underlying
+// word, decoding the payload.
+func (x *AnyVar) ReadConsistent() (v any, version uint64, ok bool) {
+	r, version, ok := x.w.ReadConsistent()
+	if !ok {
+		return nil, 0, false
+	}
+	return AnyValue(r), version, true
+}
+
+// TryLock attempts to acquire the write lock; see Word.TryLock.
+func (x *AnyVar) TryLock(owner int, expect uint64) bool { return x.w.TryLock(owner, expect) }
+
+// Unlock releases the write lock, publishing the given commit version.
+func (x *AnyVar) Unlock(version uint64) { x.w.Unlock(version) }
+
+// Restore reverts the lock word to a previously sampled (unlocked) value.
+func (x *AnyVar) Restore(oldMeta uint64) { x.w.Restore(oldMeta) }
+
+// StoreLocked installs a new value. The caller must hold the write lock
+// (or be the only goroutine able to reach the variable).
+func (x *AnyVar) StoreLocked(v any) { x.w.StoreLockedRaw(AnyRaw(v)) }

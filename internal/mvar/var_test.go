@@ -41,7 +41,7 @@ func TestNewAndLoad(t *testing.T) {
 }
 
 func TestZeroVarLoadsNil(t *testing.T) {
-	var v Var
+	var v AnyVar
 	if got := v.Load(); got != nil {
 		t.Fatalf("zero Var Load = %v, want nil", got)
 	}
@@ -194,5 +194,92 @@ func TestClockConcurrentUnique(t *testing.T) {
 			t.Fatalf("duplicate commit timestamp %d", ts)
 		}
 		seen[ts] = true
+	}
+}
+
+func TestTypedVarRoundTrip(t *testing.T) {
+	type node struct{ k int }
+	a, b := &node{1}, &node{2}
+	v := NewVar(a)
+	if v.Load() != a {
+		t.Fatalf("Load = %p, want %p", v.Load(), a)
+	}
+	w := v.Word()
+	m := w.Meta()
+	if !w.TryLock(3, m) {
+		t.Fatal("TryLock failed")
+	}
+	w.StoreLockedRaw(RefRaw(b))
+	w.Unlock(1)
+	if v.Load() != b {
+		t.Fatalf("after typed store Load = %p, want %p", v.Load(), b)
+	}
+	raw, ver, ok := w.ReadConsistent()
+	if !ok || ver != 1 || RefValue[node](raw) != b {
+		t.Fatalf("ReadConsistent = (%v, %d, %v)", raw, ver, ok)
+	}
+	var zero Var[node]
+	if zero.Load() != nil {
+		t.Fatal("zero typed Var must load nil")
+	}
+}
+
+func TestFlagRoundTrip(t *testing.T) {
+	var f Flag
+	if f.Load() {
+		t.Fatal("zero Flag must be false")
+	}
+	f.Init(true)
+	if !f.Load() {
+		t.Fatal("Init(true) not visible")
+	}
+	w := f.Word()
+	if !w.TryLock(1, w.Meta()) {
+		t.Fatal("TryLock failed")
+	}
+	w.StoreLockedRaw(FlagRaw(false))
+	w.Unlock(4)
+	if f.Load() {
+		t.Fatal("flag still true after store")
+	}
+	if FlagValue(FlagRaw(true)) != true || FlagValue(FlagRaw(false)) != false {
+		t.Fatal("FlagRaw/FlagValue do not round-trip")
+	}
+}
+
+func TestAnyRawRoundTrip(t *testing.T) {
+	for _, v := range []any{nil, 0, 42, "s", true, []int{1}} {
+		got := AnyValue(AnyRaw(v))
+		switch want := v.(type) {
+		case []int:
+			if got.([]int)[0] != want[0] {
+				t.Fatalf("AnyValue(AnyRaw(%v)) = %v", v, got)
+			}
+		default:
+			if got != v {
+				t.Fatalf("AnyValue(AnyRaw(%v)) = %v", v, got)
+			}
+		}
+	}
+}
+
+func TestNegativeOwnerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lockWord accepted a negative owner slot")
+		}
+	}()
+	var w Word
+	w.TryLock(-1, w.Meta())
+}
+
+// TestOwnerRoundTripFullBudget checks the documented encoding claim: any
+// non-negative int owner survives the shift into bits 1..63 and back.
+func TestOwnerRoundTripFullBudget(t *testing.T) {
+	for _, owner := range []int{0, 1, 8191, 1 << 30, 1<<62 - 1, 1 << 62} {
+		w := lockWord(owner)
+		if !Locked(w) || Owner(w) != owner {
+			t.Fatalf("owner %d round-tripped to %d", owner, Owner(w))
+		}
 	}
 }

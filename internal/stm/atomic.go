@@ -123,11 +123,33 @@ func (th *Thread) backoff(attempt int) {
 // ReadT reads v inside tx and type-asserts the result to T. A nil stored
 // value yields the zero T. It keeps data-structure code free of assertion
 // noise.
-func ReadT[T any](tx Tx, v *mvar.Var) T {
+func ReadT[T any](tx Tx, v *mvar.AnyVar) T {
 	x := tx.Read(v)
 	if x == nil {
 		var zero T
 		return zero
 	}
 	return x.(T)
+}
+
+// ReadPtr reads the typed variable v inside tx. This is the
+// allocation-free hot path: the payload travels as a raw word, never
+// boxed.
+func ReadPtr[T any](tx Tx, v *mvar.Var[T]) *T {
+	return mvar.RefValue[T](tx.ReadWord(v.Word()))
+}
+
+// WritePtr buffers a new pointer for the typed variable v inside tx.
+func WritePtr[T any](tx Tx, v *mvar.Var[T], p *T) {
+	tx.WriteWord(v.Word(), mvar.RefRaw(p))
+}
+
+// ReadFlag reads the transactional boolean v inside tx.
+func ReadFlag(tx Tx, v *mvar.Flag) bool {
+	return mvar.FlagValue(tx.ReadWord(v.Word()))
+}
+
+// WriteFlag buffers a new value for the transactional boolean v inside tx.
+func WriteFlag(tx Tx, v *mvar.Flag, b bool) {
+	tx.WriteWord(v.Word(), mvar.FlagRaw(b))
 }

@@ -52,11 +52,24 @@ func (k Kind) String() string {
 // with a private signal that the outermost Atomic recovers, so data
 // structure code reads like its sequential counterpart (the paper's Fig. 5
 // point).
+//
+// The word-level methods (ReadWord/WriteWord) are the allocation-free hot
+// path: they move opaque mvar.Raw payloads between typed variables and the
+// engine's flat read/write sets. User code reaches them through the typed
+// helpers (ReadPtr, WritePtr, ReadFlag, WriteFlag) rather than directly.
+// Read/Write are the untyped convenience surface over mvar.AnyVar, which
+// boxes values.
 type Tx interface {
 	// Read returns the value of v as observed by this transaction.
-	Read(v *mvar.Var) any
+	Read(v *mvar.AnyVar) any
 	// Write buffers (or applies, engine-dependent) a new value for v.
-	Write(v *mvar.Var, val any)
+	Write(v *mvar.AnyVar, val any)
+	// ReadWord returns the raw payload of w as observed by this
+	// transaction.
+	ReadWord(w *mvar.Word) mvar.Raw
+	// WriteWord buffers (or applies, engine-dependent) a new raw payload
+	// for w.
+	WriteWord(w *mvar.Word, r mvar.Raw)
 	// Kind reports the transactional model this transaction runs under.
 	Kind() Kind
 }
@@ -91,8 +104,13 @@ type TM interface {
 var ErrConflict = errors.New("stm: transaction conflict")
 
 // conflictSignal is the private panic payload used to unwind user code
-// when a conflict is detected during execution. Only Atomic recovers it.
-type conflictSignal struct{ reason string }
+// when a conflict is detected during execution. Only Atomic recovers it,
+// and only its type is inspected, so a single pre-boxed value serves every
+// conflict: the retry path stays allocation-free.
+type conflictSignal struct{}
+
+// conflictPanic is the pre-boxed conflict payload.
+var conflictPanic any = conflictSignal{}
 
 // userAbort is the private panic payload used to unwind an entire nesting
 // of transactions when user code returns an error from a nested region.
@@ -101,17 +119,26 @@ type userAbort struct{ err error }
 // Conflict aborts the current transaction attempt and unwinds to the
 // outermost Atomic, which rolls back and retries. Engines call it from
 // Read/Write when validation fails; user code may also call it to force a
-// retry.
+// retry. The reason is purely diagnostic (a static description of the
+// conflict class) and is not carried on the unwind.
 func Conflict(reason string) {
-	panic(conflictSignal{reason})
+	_ = reason
+	panic(conflictPanic)
 }
 
 // FlatChild wraps a parent transaction as a flat-nested child: operations
 // delegate to the parent, child commit is a no-op (the parent keeps all
 // conflict information until its own commit — the classic-transaction
 // instantiation of outheritance, §I), and child rollback defers to the
-// enclosing retry machinery.
-func FlatChild(parent TxControl) TxControl { return flatChild{parent} }
+// enclosing retry machinery. Wrapping an already-flat child returns it
+// unchanged: deeper flat nesting is behaviourally identical, and reusing
+// the wrapper keeps arbitrarily deep compositions allocation-free.
+func FlatChild(parent TxControl) TxControl {
+	if f, ok := parent.(flatChild); ok {
+		return f
+	}
+	return flatChild{parent}
+}
 
 type flatChild struct{ TxControl }
 

@@ -30,8 +30,8 @@ func (f *fakeTM) BeginNested(th *Thread, parent TxControl, k Kind) TxControl {
 }
 
 type undo struct {
-	v   *mvar.Var
-	old any
+	w   *mvar.Word
+	old mvar.Raw
 }
 
 type fakeTx struct {
@@ -40,11 +40,16 @@ type fakeTx struct {
 	log  []undo
 }
 
-func (t *fakeTx) Kind() Kind           { return t.kind }
-func (t *fakeTx) Read(v *mvar.Var) any { return v.Load() }
-func (t *fakeTx) Write(v *mvar.Var, val any) {
-	t.log = append(t.log, undo{v, v.Load()})
-	v.StoreLocked(val)
+func (t *fakeTx) Kind() Kind              { return t.kind }
+func (t *fakeTx) Read(v *mvar.AnyVar) any { return mvar.AnyValue(t.ReadWord(v.Word())) }
+func (t *fakeTx) Write(v *mvar.AnyVar, val any) {
+	t.WriteWord(v.Word(), mvar.AnyRaw(val))
+}
+
+func (t *fakeTx) ReadWord(w *mvar.Word) mvar.Raw { return w.LoadRaw() }
+func (t *fakeTx) WriteWord(w *mvar.Word, r mvar.Raw) {
+	t.log = append(t.log, undo{w, w.LoadRaw()})
+	w.StoreLockedRaw(r)
 }
 
 func (t *fakeTx) Commit() error {
@@ -62,7 +67,7 @@ func (t *fakeTx) Commit() error {
 
 func (t *fakeTx) Rollback() {
 	for i := len(t.log) - 1; i >= 0; i-- {
-		t.log[i].v.StoreLocked(t.log[i].old)
+		t.log[i].w.StoreLockedRaw(t.log[i].old)
 	}
 	t.log = nil
 }
@@ -287,7 +292,7 @@ func TestReadT(t *testing.T) {
 	tm := &fakeTM{}
 	th := NewThread(tm)
 	v := mvar.New(7)
-	var zero mvar.Var
+	var zero mvar.AnyVar
 	_ = th.Atomic(Regular, func(tx Tx) error {
 		if got := ReadT[int](tx, v); got != 7 {
 			t.Errorf("ReadT = %d, want 7", got)

@@ -59,6 +59,18 @@ type Thread struct {
 	// Intended for tests; production configurations leave it 0.
 	MaxRetries int
 
+	// EngineScratch is engine-owned per-thread state: engines cache their
+	// pooled top-level transaction frame here so Begin does not allocate.
+	// A thread is bound to one TM, so exactly one engine uses the slot;
+	// only that engine may touch it.
+	EngineScratch any
+
+	// OpScratch is library-owned per-thread state: the e.e.c collections
+	// cache their reusable operation frames (pre-bound transaction
+	// closures) here so elementary operations do not allocate. Only the
+	// collection layer may touch it.
+	OpScratch any
+
 	cur   TxControl
 	depth int
 }

@@ -7,6 +7,11 @@ import "oestm/internal/mvar"
 // transactions; Acquire/Release bracket protection elements; Op records an
 // operation invocation+response pair on a location.
 //
+// Locations are identified by their *mvar.Word, which every typed
+// transactional variable exposes. For operations on untyped variables the
+// traced value is the decoded any; for operations on typed variables it is
+// the opaque (but comparable) mvar.Raw payload.
+//
 // Tracing exists to machine-check executions against Definition 4.1
 // (outheritance) and Definitions 3.1/3.2 (composability); engines only
 // call a Tracer when one is installed, so the fast path carries a single
@@ -19,12 +24,12 @@ type Tracer interface {
 	TxCommit(proc int, tx uint64)
 	// TxAbort records <abort(t), p>.
 	TxAbort(proc int, tx uint64)
-	// Acquire records <a(l(o)), p> for the protection element of v.
-	Acquire(proc int, tx uint64, v *mvar.Var)
+	// Acquire records <a(l(o)), p> for the protection element of w.
+	Acquire(proc int, tx uint64, w *mvar.Word)
 	// Release records <r(l(o)), p>. tx is the transaction on whose behalf
 	// the element was held; the release may occur after its commit (that
 	// is the whole point of outheritance).
-	Release(proc int, tx uint64, v *mvar.Var)
-	// Op records the invocation and response of an operation on v by tx.
-	Op(proc int, tx uint64, v *mvar.Var, op string, val any)
+	Release(proc int, tx uint64, w *mvar.Word)
+	// Op records the invocation and response of an operation on w by tx.
+	Op(proc int, tx uint64, w *mvar.Word, op string, val any)
 }

@@ -218,7 +218,7 @@ func testWriteSkew(t *testing.T, f Factory) {
 	for round := 0; round < 50; round++ {
 		x, y := mvar.New(1), mvar.New(1)
 		var wg sync.WaitGroup
-		run := func(read, write *mvar.Var) {
+		run := func(read, write *mvar.AnyVar) {
 			defer wg.Done()
 			th := stm.NewThread(tm)
 			_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
@@ -247,7 +247,7 @@ func testTransferInvariant(t *testing.T, f Factory) {
 	tm := f()
 	const nAccounts = 8
 	const total = 1000 * nAccounts
-	accounts := make([]*mvar.Var, nAccounts)
+	accounts := make([]*mvar.AnyVar, nAccounts)
 	for i := range accounts {
 		accounts[i] = mvar.New(1000)
 	}
@@ -432,7 +432,7 @@ func testStatsAccounting(t *testing.T, f Factory) {
 func testReadMissing(t *testing.T, f Factory) {
 	tm := f()
 	th := stm.NewThread(tm)
-	var v mvar.Var // zero Var holds nil
+	var v mvar.AnyVar // zero Var holds nil
 	err := th.Atomic(stm.Regular, func(tx stm.Tx) error {
 		if got := tx.Read(&v); got != nil {
 			return fmt.Errorf("zero Var read %v, want nil", got)
@@ -465,7 +465,7 @@ func testBothKinds(t *testing.T, f Factory) {
 }
 
 // readOnce reads a single Var in its own transaction.
-func readOnce(t *testing.T, th *stm.Thread, v *mvar.Var) any {
+func readOnce(t *testing.T, th *stm.Thread, v *mvar.AnyVar) any {
 	t.Helper()
 	var got any
 	if err := th.Atomic(stm.Regular, func(tx stm.Tx) error {

@@ -19,6 +19,7 @@ import (
 
 	"oestm/internal/mvar"
 	"oestm/internal/stm"
+	"oestm/internal/txset"
 )
 
 // Transaction status values stored in descriptors. A transaction observes
@@ -32,7 +33,8 @@ const (
 
 // maxSlots bounds the per-engine descriptor table. Lock words store the
 // per-engine slot of the owner so that conflicting transactions can find
-// the owner's descriptor.
+// the owner's descriptor; slots stay far below the 63-bit owner budget
+// documented in package mvar.
 const maxSlots = 8192
 
 // spinBudget bounds how long an older transaction waits for a doomed
@@ -41,9 +43,17 @@ const maxSlots = 8192
 const spinBudget = 1 << 14
 
 // desc is a transaction descriptor: the unit of contention management.
+// Descriptors are pooled with their thread's transaction frame and
+// republished (same pointer, updated fields) at every Begin; both fields
+// are atomic because a conflicting thread may still hold the pointer from
+// the owner's previous transaction. A stale reader can at worst doom the
+// thread's *new* transaction spuriously — the same benign
+// doom-the-wrong-incarnation race that already exists between a lock-word
+// read and the descriptor-table lookup — and a spurious doom only causes
+// a retry, never a safety violation.
 type desc struct {
 	status atomic.Uint32
-	ts     uint64 // start timestamp; smaller = older = higher priority
+	ts     atomic.Uint64 // start timestamp; smaller = older = higher priority
 }
 
 // TM is a SwissTM engine instance.
@@ -78,29 +88,29 @@ func (tm *TM) slotOf(th *stm.Thread) int {
 	return s
 }
 
-// Begin implements stm.TM.
+// Begin implements stm.TM, reusing the thread's pooled transaction frame
+// and descriptor.
 func (tm *TM) Begin(th *stm.Thread, _ stm.Kind) stm.TxControl {
-	slot := tm.slotOf(th)
-	d := &desc{ts: tm.clock.Now()}
-	d.status.Store(statusActive)
-	tm.descs[slot].Store(d)
-	return &txn{tm: tm, th: th, slot: slot, desc: d, ub: d.ts}
+	t, _ := th.EngineScratch.(*txn)
+	if t == nil || t.tm != tm {
+		t = &txn{desc: &desc{}}
+		t.tm = tm
+		t.slot = tm.slotOf(th)
+	}
+	th.EngineScratch = t
+	t.th = th
+	t.ub = tm.clock.Now()
+	t.desc.ts.Store(t.ub)
+	t.desc.status.Store(statusActive)
+	tm.descs[t.slot].Store(t.desc)
+	t.reads = t.reads[:0]
+	t.writes.Reset()
+	return t
 }
 
 // BeginNested implements stm.TM with flat nesting.
 func (tm *TM) BeginNested(_ *stm.Thread, parent stm.TxControl, _ stm.Kind) stm.TxControl {
 	return stm.FlatChild(parent)
-}
-
-type readEntry struct {
-	v   *mvar.Var
-	ver uint64
-}
-
-type writeEntry struct {
-	v   *mvar.Var
-	val any
-	old uint64
 }
 
 type txn struct {
@@ -109,9 +119,8 @@ type txn struct {
 	slot   int
 	desc   *desc
 	ub     uint64
-	reads  []readEntry
-	writes []writeEntry // locks held eagerly
-	windex map[*mvar.Var]int
+	reads  []txset.Read
+	writes txset.WriteSet // locks held eagerly
 }
 
 // Kind implements stm.Tx.
@@ -124,14 +133,20 @@ func (t *txn) checkDoomed() {
 	}
 }
 
-// Read implements stm.Tx: invisible read with time-based validation and
-// snapshot extension, as in LSA.
-func (t *txn) Read(v *mvar.Var) any {
+// Read implements stm.Tx (untyped surface).
+func (t *txn) Read(v *mvar.AnyVar) any { return mvar.AnyValue(t.ReadWord(v.Word())) }
+
+// Write implements stm.Tx (untyped surface).
+func (t *txn) Write(v *mvar.AnyVar, val any) { t.WriteWord(v.Word(), mvar.AnyRaw(val)) }
+
+// ReadWord implements stm.Tx: invisible read with time-based validation
+// and snapshot extension, as in LSA.
+func (t *txn) ReadWord(w *mvar.Word) mvar.Raw {
 	t.checkDoomed()
-	if idx, ok := t.windex[v]; ok {
-		return t.writes[idx].val
+	if i := t.writes.Find(w); i >= 0 {
+		return t.writes.At(i).Val
 	}
-	val, ver, ok := v.ReadConsistent()
+	raw, ver, ok := w.ReadConsistent()
 	if !ok {
 		stm.Conflict("swisstm: read of locked or changing location")
 	}
@@ -140,13 +155,13 @@ func (t *txn) Read(v *mvar.Var) any {
 	// commit that advanced the clock may have changed this location.
 	for ver > t.ub {
 		t.extend()
-		val, ver, ok = v.ReadConsistent()
+		raw, ver, ok = w.ReadConsistent()
 		if !ok {
 			stm.Conflict("swisstm: read of locked or changing location")
 		}
 	}
-	t.reads = append(t.reads, readEntry{v, ver})
-	return val
+	t.reads = append(t.reads, txset.Read{W: w, Ver: ver})
+	return raw
 }
 
 func (t *txn) extend() {
@@ -157,34 +172,30 @@ func (t *txn) extend() {
 	t.ub = now
 }
 
-// Write implements stm.Tx: eager write/write conflict detection through
-// the greedy contention manager.
-func (t *txn) Write(v *mvar.Var, val any) {
+// WriteWord implements stm.Tx: eager write/write conflict detection
+// through the greedy contention manager.
+func (t *txn) WriteWord(w *mvar.Word, r mvar.Raw) {
 	t.checkDoomed()
-	if idx, ok := t.windex[v]; ok {
-		t.writes[idx].val = val
+	if i := t.writes.Find(w); i >= 0 {
+		t.writes.At(i).Val = r
 		return
 	}
-	old := t.acquire(v)
-	if t.windex == nil {
-		t.windex = make(map[*mvar.Var]int, 8)
-	}
-	t.windex[v] = len(t.writes)
-	t.writes = append(t.writes, writeEntry{v: v, val: val, old: old})
+	old := t.acquire(w)
+	t.writes.Append(txset.Write{W: w, Val: r, Old: old})
 }
 
-// acquire obtains the write lock of v, arbitrating conflicts greedily:
+// acquire obtains the write lock of w, arbitrating conflicts greedily:
 // the older transaction dooms the younger owner and waits (bounded) for
 // the lock; a younger transaction aborts itself immediately.
-func (t *txn) acquire(v *mvar.Var) (oldMeta uint64) {
+func (t *txn) acquire(w *mvar.Word) (oldMeta uint64) {
 	for spin := 0; ; spin++ {
 		if spin >= spinBudget {
 			stm.Conflict("swisstm: lock wait budget exhausted")
 		}
 		t.checkDoomed()
-		m := v.Meta()
+		m := w.Meta()
 		if !mvar.Locked(m) {
-			if v.TryLock(t.slot, m) {
+			if w.TryLock(t.slot, m) {
 				return m
 			}
 			continue
@@ -197,7 +208,7 @@ func (t *txn) acquire(v *mvar.Var) (oldMeta uint64) {
 		if owner.status.Load() != statusActive {
 			continue // owner is finishing; its locks release imminently
 		}
-		if t.desc.ts < owner.ts {
+		if t.desc.ts.Load() < owner.ts.Load() {
 			// We are older: doom the owner and keep spinning for release.
 			owner.status.CompareAndSwap(statusActive, statusDoomed)
 			continue
@@ -210,7 +221,7 @@ func (t *txn) acquire(v *mvar.Var) (oldMeta uint64) {
 // Commit implements stm.TxControl.
 func (t *txn) Commit() error {
 	t.checkDoomed()
-	if len(t.writes) == 0 {
+	if t.writes.Len() == 0 {
 		t.desc.status.Store(statusCommitted)
 		t.th.Stats.ReadOnly++
 		return nil
@@ -223,12 +234,13 @@ func (t *txn) Commit() error {
 			return stm.ErrConflict
 		}
 	}
-	for i := range t.writes {
-		e := &t.writes[i]
-		e.v.StoreLocked(e.val)
-		e.v.Unlock(wv)
+	entries := t.writes.Entries()
+	for i := range entries {
+		e := &entries[i]
+		e.W.StoreLockedRaw(e.Val)
+		e.W.Unlock(wv)
 	}
-	t.writes = nil
+	t.writes.Reset()
 	t.desc.status.Store(statusCommitted)
 	return nil
 }
@@ -239,18 +251,18 @@ func (t *txn) Commit() error {
 // our read and our eager lock acquisition.
 func (t *txn) validate() bool {
 	for _, r := range t.reads {
-		m := r.v.Meta()
+		m := r.W.Meta()
 		if mvar.Locked(m) {
 			if mvar.Owner(m) != t.slot {
 				return false
 			}
-			idx, mine := t.windex[r.v]
-			if !mine || mvar.Version(t.writes[idx].old) != r.ver {
+			i := t.writes.Find(r.W)
+			if i < 0 || mvar.Version(t.writes.At(i).Old) != r.Ver {
 				return false
 			}
 			continue
 		}
-		if mvar.Version(m) != r.ver {
+		if mvar.Version(m) != r.Ver {
 			return false
 		}
 	}
@@ -258,11 +270,12 @@ func (t *txn) validate() bool {
 }
 
 func (t *txn) releaseLocks() {
-	for i := range t.writes {
-		e := &t.writes[i]
-		e.v.Restore(e.old)
+	entries := t.writes.Entries()
+	for i := range entries {
+		e := &entries[i]
+		e.W.Restore(e.Old)
 	}
-	t.writes = nil
+	t.writes.Reset()
 }
 
 // Rollback implements stm.TxControl; releases eagerly held locks and marks
@@ -271,6 +284,5 @@ func (t *txn) releaseLocks() {
 func (t *txn) Rollback() {
 	t.releaseLocks()
 	t.desc.status.Store(statusAborted)
-	t.reads = nil
-	t.windex = nil
+	t.reads = t.reads[:0]
 }

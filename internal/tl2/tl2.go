@@ -14,10 +14,12 @@ package tl2
 import (
 	"oestm/internal/mvar"
 	"oestm/internal/stm"
+	"oestm/internal/txset"
 )
 
 // TM is a TL2 engine instance. Transactions from different TM instances
-// must not share Vars (they would use different clocks).
+// must not share transactional variables (they would use different
+// clocks).
 type TM struct {
 	clock mvar.Clock
 }
@@ -31,13 +33,19 @@ func (tm *TM) Name() string { return "tl2" }
 // SupportsElastic implements stm.TM; TL2 is a classic STM.
 func (tm *TM) SupportsElastic() bool { return false }
 
-// Begin implements stm.TM.
+// Begin implements stm.TM, reusing the thread's pooled transaction frame.
 func (tm *TM) Begin(th *stm.Thread, _ stm.Kind) stm.TxControl {
-	return &txn{
-		tm: tm,
-		th: th,
-		rv: tm.clock.Now(),
+	t, _ := th.EngineScratch.(*txn)
+	if t == nil || t.tm != tm {
+		t = &txn{}
+		th.EngineScratch = t
 	}
+	t.tm = tm
+	t.th = th
+	t.rv = tm.clock.Now()
+	t.reads = t.reads[:0]
+	t.writes.Reset()
+	return t
 }
 
 // BeginNested implements stm.TM with flat nesting.
@@ -45,76 +53,67 @@ func (tm *TM) BeginNested(_ *stm.Thread, parent stm.TxControl, _ stm.Kind) stm.T
 	return stm.FlatChild(parent)
 }
 
-type readEntry struct {
-	v   *mvar.Var
-	ver uint64
-}
-
-type writeEntry struct {
-	v   *mvar.Var
-	val any
-	old uint64 // pre-lock meta, for revert on abort
-}
-
 type txn struct {
 	tm     *TM
 	th     *stm.Thread
 	rv     uint64
-	reads  []readEntry
-	writes []writeEntry
-	windex map[*mvar.Var]int
+	reads  []txset.Read
+	writes txset.WriteSet
 }
 
 // Kind implements stm.Tx.
 func (t *txn) Kind() stm.Kind { return stm.Regular }
 
-// Read implements stm.Tx: post-validated invisible read. A read observing
-// a version newer than the transaction's read version aborts (TL2 does not
-// extend snapshots).
-func (t *txn) Read(v *mvar.Var) any {
-	if idx, ok := t.windex[v]; ok {
-		return t.writes[idx].val
+// Read implements stm.Tx (untyped surface).
+func (t *txn) Read(v *mvar.AnyVar) any { return mvar.AnyValue(t.ReadWord(v.Word())) }
+
+// Write implements stm.Tx (untyped surface).
+func (t *txn) Write(v *mvar.AnyVar, val any) { t.WriteWord(v.Word(), mvar.AnyRaw(val)) }
+
+// ReadWord implements stm.Tx: post-validated invisible read. A read
+// observing a version newer than the transaction's read version aborts
+// (TL2 does not extend snapshots).
+func (t *txn) ReadWord(w *mvar.Word) mvar.Raw {
+	if i := t.writes.Find(w); i >= 0 {
+		return t.writes.At(i).Val
 	}
-	val, ver, ok := v.ReadConsistent()
+	raw, ver, ok := w.ReadConsistent()
 	if !ok {
 		stm.Conflict("tl2: read of locked or changing location")
 	}
 	if ver > t.rv {
 		stm.Conflict("tl2: location newer than read version")
 	}
-	t.reads = append(t.reads, readEntry{v, ver})
-	return val
+	t.reads = append(t.reads, txset.Read{W: w, Ver: ver})
+	return raw
 }
 
-// Write implements stm.Tx with deferred update.
-func (t *txn) Write(v *mvar.Var, val any) {
-	if idx, ok := t.windex[v]; ok {
-		t.writes[idx].val = val
+// WriteWord implements stm.Tx with deferred update.
+func (t *txn) WriteWord(w *mvar.Word, r mvar.Raw) {
+	if i := t.writes.Find(w); i >= 0 {
+		t.writes.At(i).Val = r
 		return
 	}
-	if t.windex == nil {
-		t.windex = make(map[*mvar.Var]int, 8)
-	}
-	t.windex[v] = len(t.writes)
-	t.writes = append(t.writes, writeEntry{v: v, val: val})
+	t.writes.Append(txset.Write{W: w, Val: r})
 }
 
 // Commit implements stm.TxControl: lock the write set, pick a commit
 // version, validate the read set, publish, unlock.
 func (t *txn) Commit() error {
-	if len(t.writes) == 0 {
+	if t.writes.Len() == 0 {
 		t.th.Stats.ReadOnly++
 		return nil // read-only: snapshot at rv is consistent by construction
 	}
+	entries := t.writes.Entries()
 	acquired := 0
-	for i := range t.writes {
-		e := &t.writes[i]
-		m := e.v.Meta()
-		if mvar.Locked(m) || !e.v.TryLock(t.th.ID, m) {
+	for i := range entries {
+		e := &entries[i]
+		m := e.W.Meta()
+		if mvar.Locked(m) || !e.W.TryLock(t.th.ID, m) {
 			t.revert(acquired)
 			return stm.ErrConflict
 		}
-		e.old = m
+		e.Old = m
 		acquired++
 	}
 	wv := t.tm.clock.Tick()
@@ -124,10 +123,10 @@ func (t *txn) Commit() error {
 			return stm.ErrConflict
 		}
 	}
-	for i := range t.writes {
-		e := &t.writes[i]
-		e.v.StoreLocked(e.val)
-		e.v.Unlock(wv)
+	for i := range entries {
+		e := &entries[i]
+		e.W.StoreLockedRaw(e.Val)
+		e.W.Unlock(wv)
 	}
 	return nil
 }
@@ -137,10 +136,10 @@ func (t *txn) Commit() error {
 // (they may have been committed to between our read and our lock).
 func (t *txn) validate() bool {
 	for _, r := range t.reads {
-		m := r.v.Meta()
+		m := r.W.Meta()
 		if mvar.Locked(m) {
-			idx, mine := t.windex[r.v]
-			if !mine || mvar.Version(t.writes[idx].old) > t.rv {
+			i := t.writes.Find(r.W)
+			if i < 0 || mvar.Version(t.writes.At(i).Old) > t.rv {
 				return false
 			}
 			continue
@@ -155,16 +154,16 @@ func (t *txn) validate() bool {
 // revert releases the first n acquired write locks, restoring their
 // pre-lock words.
 func (t *txn) revert(n int) {
+	entries := t.writes.Entries()
 	for i := 0; i < n; i++ {
-		e := &t.writes[i]
-		e.v.Restore(e.old)
+		entries[i].W.Restore(entries[i].Old)
 	}
 }
 
 // Rollback implements stm.TxControl. TL2 holds no locks outside Commit
-// (which reverts internally on failure), so rollback only drops state.
+// (which reverts internally on failure), so rollback only truncates the
+// pooled state (Begin resets it again before reuse).
 func (t *txn) Rollback() {
-	t.reads = nil
-	t.writes = nil
-	t.windex = nil
+	t.reads = t.reads[:0]
+	t.writes.Reset()
 }

@@ -1,0 +1,97 @@
+// Package txset provides the typed read/write-set entry representation
+// shared by every STM engine in this repository (core, tl2, lsa, swisstm).
+//
+// Entries are flat structs over *mvar.Word and mvar.Raw — no interface
+// boxing — so recording a read or buffering a write never allocates once
+// the backing arrays have warmed up. Sets are designed to be embedded in
+// pooled transaction frames and reset (capacity-preserving) between
+// attempts: under contention the retry path reuses the same storage, which
+// is where the bulk of the seed's per-attempt allocations came from.
+package txset
+
+import "oestm/internal/mvar"
+
+// Read records a read of w at version Ver; validation requires the version
+// to be unchanged (or the location to be locked by the reading thread at
+// commit time).
+type Read struct {
+	W   *mvar.Word
+	Ver uint64
+}
+
+// Write is a buffered (or, for eager engines, applied-under-lock) update.
+// Old holds the pre-lock word once the location's write lock has been
+// acquired, for revert on validation failure and for validating reads of
+// self-locked locations.
+type Write struct {
+	W   *mvar.Word
+	Val mvar.Raw
+	Old uint64
+}
+
+// spillAt is the write-set size past which a map index is built. Below it,
+// lookups scan the entry slice linearly — transactional write sets are
+// almost always a handful of entries (a list update writes 1-2 locations,
+// a skiplist tower O(log n)), and a linear scan over a flat slice beats a
+// map both in time and in allocation (the seed allocated a map per
+// writing transaction).
+const spillAt = 16
+
+// WriteSet is an ordered write set with O(1)-ish lookup: linear scan while
+// small, lazily spilling to a map index when it grows. The zero value is
+// ready to use.
+type WriteSet struct {
+	entries []Write
+	index   map[*mvar.Word]int // nil until the set spills
+}
+
+// Len returns the number of buffered writes.
+func (ws *WriteSet) Len() int { return len(ws.entries) }
+
+// Entries exposes the backing slice (in insertion order) for the commit
+// protocol. Callers may mutate entries in place but must not grow it.
+func (ws *WriteSet) Entries() []Write { return ws.entries }
+
+// At returns a pointer to the i-th entry.
+func (ws *WriteSet) At(i int) *Write { return &ws.entries[i] }
+
+// Find returns the index of the entry for w, or -1.
+func (ws *WriteSet) Find(w *mvar.Word) int {
+	if ws.index != nil {
+		if i, ok := ws.index[w]; ok {
+			return i
+		}
+		return -1
+	}
+	for i := range ws.entries {
+		if ws.entries[i].W == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append adds a new entry (the caller has established it is absent) and
+// returns its index.
+func (ws *WriteSet) Append(e Write) int {
+	i := len(ws.entries)
+	ws.entries = append(ws.entries, e)
+	if ws.index != nil {
+		ws.index[e.W] = i
+	} else if len(ws.entries) > spillAt {
+		ws.index = make(map[*mvar.Word]int, 2*spillAt)
+		for j := range ws.entries {
+			ws.index[ws.entries[j].W] = j
+		}
+	}
+	return i
+}
+
+// Reset empties the set, keeping the entry capacity and (cleared) index so
+// the next transaction on this frame does not allocate.
+func (ws *WriteSet) Reset() {
+	ws.entries = ws.entries[:0]
+	if ws.index != nil {
+		clear(ws.index)
+	}
+}

@@ -1,0 +1,76 @@
+package txset
+
+import (
+	"testing"
+
+	"oestm/internal/mvar"
+)
+
+func words(n int) []*mvar.Word {
+	out := make([]*mvar.Word, n)
+	for i := range out {
+		out[i] = new(mvar.Word)
+	}
+	return out
+}
+
+func TestWriteSetLinearAndSpill(t *testing.T) {
+	ws := &WriteSet{}
+	vs := words(40)
+	for i, w := range vs {
+		if ws.Find(w) != -1 {
+			t.Fatalf("found %d before insert", i)
+		}
+		ws.Append(Write{W: w, Val: mvar.FlagRaw(i%2 == 0)})
+		if got := ws.Find(w); got != i {
+			t.Fatalf("Find after insert = %d, want %d", got, i)
+		}
+	}
+	if ws.Len() != len(vs) {
+		t.Fatalf("len = %d", ws.Len())
+	}
+	// Spilled index must agree with the slice for every entry.
+	for i, w := range vs {
+		if got := ws.Find(w); got != i {
+			t.Fatalf("post-spill Find = %d, want %d", got, i)
+		}
+		if ws.At(i).W != w {
+			t.Fatalf("At(%d) wrong word", i)
+		}
+	}
+}
+
+func TestWriteSetResetKeepsCapacityAndClearsIndex(t *testing.T) {
+	ws := &WriteSet{}
+	vs := words(40)
+	for _, w := range vs {
+		ws.Append(Write{W: w})
+	}
+	ws.Reset()
+	if ws.Len() != 0 {
+		t.Fatalf("len after reset = %d", ws.Len())
+	}
+	for _, w := range vs {
+		if ws.Find(w) != -1 {
+			t.Fatal("stale entry visible after reset")
+		}
+	}
+	// Reuse: appends after reset must not resurrect stale indices.
+	ws.Append(Write{W: vs[7]})
+	if got := ws.Find(vs[7]); got != 0 {
+		t.Fatalf("Find after reuse = %d, want 0", got)
+	}
+	if ws.Find(vs[8]) != -1 {
+		t.Fatal("unrelated word found after reuse")
+	}
+}
+
+func TestWriteSetUpdateInPlace(t *testing.T) {
+	ws := &WriteSet{}
+	w := new(mvar.Word)
+	i := ws.Append(Write{W: w, Val: mvar.FlagRaw(false)})
+	ws.At(i).Val = mvar.FlagRaw(true)
+	if !mvar.FlagValue(ws.At(ws.Find(w)).Val) {
+		t.Fatal("in-place update lost")
+	}
+}

@@ -68,8 +68,22 @@ type Tx = stm.Tx
 // shared between goroutines.
 type Thread = stm.Thread
 
-// Var is one transactional memory word.
-type Var = mvar.Var
+// Var is an untyped transactional variable holding an arbitrary value
+// (writes box the value). For allocation-free hot paths prefer the typed
+// Ref and Flag variables.
+type Var = mvar.AnyVar
+
+// Ref is a typed transactional variable holding a *T directly in the
+// memory word's pointer cell: reads and writes never allocate.
+type Ref[T any] = mvar.Var[T]
+
+// Flag is a typed transactional boolean (no boxing).
+type Flag = mvar.Flag
+
+// Word is the engine-facing versioned-lock memory word every
+// transactional variable is built on; the lock-word encoding and its
+// 63-bit version/owner budgets are documented in internal/mvar.
+type Word = mvar.Word
 
 // Set is the composable integer-set abstraction of the e.e.c package.
 type Set = eec.Set
@@ -102,11 +116,28 @@ func NewSwissTM() *swisstm.TM { return swisstm.New() }
 // goroutine.
 func NewThread(tm TM) *Thread { return stm.NewThread(tm) }
 
-// NewVar returns a transactional variable holding v.
+// NewVar returns an untyped transactional variable holding v.
 func NewVar(v any) *Var { return mvar.New(v) }
+
+// NewRef returns a typed transactional variable holding p.
+func NewRef[T any](p *T) *Ref[T] { return mvar.NewVar(p) }
 
 // Read reads v inside tx with a typed result.
 func Read[T any](tx Tx, v *Var) T { return stm.ReadT[T](tx, v) }
+
+// ReadRef reads the typed variable v inside tx (allocation-free).
+func ReadRef[T any](tx Tx, v *Ref[T]) *T { return stm.ReadPtr(tx, v) }
+
+// WriteRef buffers a new pointer for the typed variable v inside tx
+// (allocation-free).
+func WriteRef[T any](tx Tx, v *Ref[T], p *T) { stm.WritePtr(tx, v, p) }
+
+// ReadFlag reads the transactional boolean v inside tx.
+func ReadFlag(tx Tx, v *Flag) bool { return stm.ReadFlag(tx, v) }
+
+// WriteFlag buffers a new value for the transactional boolean v inside
+// tx.
+func WriteFlag(tx Tx, v *Flag, b bool) { stm.WriteFlag(tx, v, b) }
 
 // Conflict aborts the current transaction attempt and retries it; for
 // use inside Atomic regions.
