@@ -1,13 +1,29 @@
-// Command compose-bench regenerates the paper's evaluation (§VII):
-// Figures 6, 7 and 8 — throughput and abort ratio of bare sequential
-// code, OE-STM, LSA, TL2 and SwissTM on the LinkedListSet, SkipListSet
-// and HashSet of the e.e.c package, at 5% and 15% bulk operations across
-// a thread sweep.
+// Command compose-bench is the evaluation harness in executable form.
+//
+// In its default (figure) mode it regenerates the paper's evaluation
+// (§VII): Figures 6, 7 and 8 — throughput and abort ratio of bare
+// sequential code, OE-STM, LSA, TL2 and SwissTM on the LinkedListSet,
+// SkipListSet and HashSet of the e.e.c package, at 5% and 15% bulk
+// operations across a thread sweep.
+//
+// With -scenario it instead runs the composed-transaction scenario suite
+// — workloads made of cross-structure compositions, each with an atomic
+// invariant audit whose violation count is reported per point (always 0
+// on a transactional engine):
+//
+//	move              atomic remove/add across a linked list and a hash set
+//	insert-if-absent  the paper's Fig. 1 composition on a skip list
+//	bank              Get/Put transfers in a SkipListMap, total-balance audits
+//	pipeline          producer/stage/consumer over two Queues, conservation audits
 //
 // Defaults are sized to finish in a couple of minutes; use -duration,
 // -runs and -threads to approach the paper's 10-second, 10-run protocol:
 //
 //	compose-bench -figure all -bulk 5,15 -duration 10s -runs 10
+//	compose-bench -scenario all -engines all -duration 10s -runs 10
+//
+// CSV output (-csv) uses the schema documented in the README ("CSV
+// schema"); the header line is harness.CSVHeader.
 package main
 
 import (
@@ -25,44 +41,69 @@ import (
 func main() {
 	var (
 		figure   = flag.String("figure", "all", "figure to regenerate: 6 (linked list), 7 (skip list), 8 (hash set), or all")
-		bulks    = flag.String("bulk", "5,15", "comma-separated bulk-operation percentages (paper: 5 and 15)")
+		scenario = flag.String("scenario", "", "run composed-transaction scenarios instead of the figures: comma-separated names from "+strings.Join(workload.ScenarioNames(), "|")+", or all")
+		bulks    = flag.String("bulk", "5,15", "comma-separated bulk-operation percentages for figure mode (paper: 5 and 15)")
 		threads  = flag.String("threads", "1,2,4,8,16,32,64", "comma-separated thread counts")
 		duration = flag.Duration("duration", 1*time.Second, "measured duration per point (paper: 10s)")
 		warmup   = flag.Duration("warmup", 200*time.Millisecond, "warmup before measuring")
-		runs     = flag.Int("runs", 1, "runs per point, averaged (paper: 10)")
-		engines  = flag.String("engines", "oestm,lsa,tl2,swisstm", "engines to compare (also: estm)")
-		scale    = flag.Int("scale", 1, "divide structure size and key range by this factor for quick runs")
-		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
+		runs     = flag.Int("runs", 1, "runs per point, averaged (paper: 10); scenario violations are summed")
+		engines  = flag.String("engines", "oestm,lsa,tl2,swisstm", "engines to compare (also: estm), or all for every engine")
+		scale    = flag.Int("scale", 1, "divide structure sizes and key ranges by this factor for quick runs")
+		audit    = flag.Int("audit", 5, "scenario mode: percentage of steps that run the invariant audit")
+		unsound  = flag.Bool("unsound", false, "scenario mode: run each composition as separate transactions (atomicity deliberately broken; expect non-zero violations)")
+		csvPath  = flag.String("csv", "", "also write results as CSV to this file (schema: "+harness.CSVHeader+")")
 	)
 	flag.Parse()
 
-	structures := map[string]string{"6": "linkedlist", "7": "skiplist", "8": "hashset"}
-	var figs []string
-	if *figure == "all" {
-		figs = []string{"6", "7", "8"}
-	} else {
-		if _, ok := structures[*figure]; !ok {
-			fmt.Fprintf(os.Stderr, "compose-bench: unknown figure %q\n", *figure)
-			os.Exit(2)
-		}
-		figs = []string{*figure}
-	}
-
 	var engs []harness.Engine
-	for _, name := range splitList(*engines) {
-		e, ok := harness.EngineByName(name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "compose-bench: unknown engine %q\n", name)
-			os.Exit(2)
+	if *engines == "all" {
+		engs = harness.AllEngines()
+	} else {
+		for _, name := range splitList(*engines) {
+			e, ok := harness.EngineByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "compose-bench: unknown engine %q\n", name)
+				os.Exit(2)
+			}
+			engs = append(engs, e)
 		}
-		engs = append(engs, e)
 	}
 	threadList, err := parseInts(*threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "compose-bench: -threads:", err)
 		os.Exit(2)
 	}
-	bulkList, err := parseInts(*bulks)
+
+	var allResults []harness.Result
+	if *scenario != "" {
+		allResults = runScenarios(*scenario, engs, threadList, *duration, *warmup, *runs, *scale, *audit, *unsound)
+	} else {
+		allResults = runFigures(*figure, *bulks, engs, threadList, *duration, *warmup, *runs, *scale)
+	}
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(harness.CSV(allResults)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "compose-bench: write csv:", err)
+			os.Exit(1)
+		}
+		fmt.Println("csv written to", *csvPath)
+	}
+}
+
+// runFigures reproduces the paper's Figs. 6-8 panels.
+func runFigures(figure, bulks string, engs []harness.Engine, threadList []int, duration, warmup time.Duration, runs, scale int) []harness.Result {
+	structures := map[string]string{"6": "linkedlist", "7": "skiplist", "8": "hashset"}
+	var figs []string
+	if figure == "all" {
+		figs = []string{"6", "7", "8"}
+	} else {
+		if _, ok := structures[figure]; !ok {
+			fmt.Fprintf(os.Stderr, "compose-bench: unknown figure %q\n", figure)
+			os.Exit(2)
+		}
+		figs = []string{figure}
+	}
+	bulkList, err := parseInts(bulks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "compose-bench: -bulk:", err)
 		os.Exit(2)
@@ -73,16 +114,16 @@ func main() {
 		structure := structures[fig]
 		for _, bulk := range bulkList {
 			cfg := workload.Default(bulk)
-			if *scale > 1 {
-				cfg = workload.Scaled(bulk, *scale)
+			if scale > 1 {
+				cfg = workload.Scaled(bulk, scale)
 			}
 			results := harness.Sweep(harness.SweepConfig{
 				Structure:  structure,
 				BulkPct:    bulk,
 				Threads:    threadList,
-				Duration:   *duration,
-				Warmup:     *warmup,
-				Runs:       *runs,
+				Duration:   duration,
+				Warmup:     warmup,
+				Runs:       runs,
 				Engines:    engs,
 				Sequential: true,
 				Workload:   cfg,
@@ -91,14 +132,45 @@ func main() {
 			allResults = append(allResults, results...)
 		}
 	}
+	return allResults
+}
 
-	if *csvPath != "" {
-		if err := os.WriteFile(*csvPath, []byte(harness.CSV(allResults)), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "compose-bench: write csv:", err)
-			os.Exit(1)
-		}
-		fmt.Println("csv written to", *csvPath)
+// runScenarios runs the composed-transaction scenario panels.
+func runScenarios(scenario string, engs []harness.Engine, threadList []int, duration, warmup time.Duration, runs, scale, audit int, unsound bool) []harness.Result {
+	names := splitList(scenario)
+	if scenario == "all" {
+		names = workload.ScenarioNames()
 	}
+	known := map[string]bool{}
+	for _, n := range workload.ScenarioNames() {
+		known[n] = true
+	}
+	for _, n := range names {
+		if !known[n] {
+			fmt.Fprintf(os.Stderr, "compose-bench: unknown scenario %q (have: %s)\n", n, strings.Join(workload.ScenarioNames(), ", "))
+			os.Exit(2)
+		}
+	}
+
+	cfg := workload.DefaultScenarioConfig().Scaled(scale)
+	cfg.AuditPct = audit
+	cfg.Unsound = unsound
+
+	var allResults []harness.Result
+	for _, name := range names {
+		results := harness.ScenarioSweep(harness.ScenarioSweepConfig{
+			Scenario: name,
+			Threads:  threadList,
+			Duration: duration,
+			Warmup:   warmup,
+			Runs:     runs,
+			Engines:  engs,
+			Workload: cfg,
+		})
+		fmt.Println(harness.FormatScenario(results, name))
+		allResults = append(allResults, results...)
+	}
+	return allResults
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,125 @@
+// pipeline: a producer/stage/consumer pipeline over two transactional
+// queues. Producers draw sequence numbers from a transactional counter
+// and enqueue them in the same transaction; the stage moves items between
+// the queues with Queue.MoveTo (a Dequeue/Enqueue composition across two
+// structures); consumers dequeue and count in one transaction. The
+// conservation invariant produced = consumed + in-flight holds at every
+// atomic snapshot — the property the harness's `pipeline` scenario
+// measures across all engines (go run ./cmd/compose-bench -scenario
+// pipeline).
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oestm"
+)
+
+const (
+	producers = 3
+	stages    = 2
+	consumers = 3
+	items     = 2000 // per producer
+)
+
+func main() {
+	tm := oestm.NewOESTM()
+	q1, q2 := oestm.NewQueue(), oestm.NewQueue()
+	var produced, consumed oestm.Int
+
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	var badAudits, audits atomic.Uint64
+
+	// Auditor: one atomic snapshot across both queues and both counters.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := oestm.NewThread(tm)
+		for !stop.Load() {
+			var p, c, inFlight int64
+			_ = th.Atomic(oestm.Regular, func(tx oestm.Tx) error {
+				p = oestm.ReadInt(tx, &produced)
+				c = oestm.ReadInt(tx, &consumed)
+				inFlight = int64(q1.Len(th) + q2.Len(th))
+				return nil
+			})
+			if p != c+inFlight {
+				badAudits.Add(1)
+			}
+			audits.Add(1)
+		}
+	}()
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := oestm.NewThread(tm)
+			for i := 0; i < items; i++ {
+				_ = th.Atomic(oestm.Regular, func(tx oestm.Tx) error {
+					n := oestm.ReadInt(tx, &produced)
+					q1.Enqueue(th, int(n)+1)
+					oestm.WriteInt(tx, &produced, n+1)
+					return nil
+				})
+			}
+		}()
+	}
+	for s := 0; s < stages; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := oestm.NewThread(tm)
+			for !stop.Load() {
+				q1.MoveTo(th, q2)
+			}
+		}()
+	}
+	var consumedCount atomic.Uint64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := oestm.NewThread(tm)
+			for !stop.Load() {
+				var got bool
+				_ = th.Atomic(oestm.Regular, func(tx oestm.Tx) error {
+					got = false
+					if _, ok := q2.Dequeue(th); !ok {
+						return nil
+					}
+					oestm.WriteInt(tx, &consumed, oestm.ReadInt(tx, &consumed)+1)
+					got = true
+					return nil
+				})
+				if got {
+					consumedCount.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Let the pipeline drain, then stop the open-ended workers.
+	for consumedCount.Load() < producers*items {
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	th := oestm.NewThread(tm)
+	p, c := produced.Load(), consumed.Load()
+	left := q1.Len(th) + q2.Len(th)
+	fmt.Printf("%d producers x %d items through a 2-stage pipeline, %d audits\n",
+		producers, items, audits.Load())
+	fmt.Printf("produced=%d consumed=%d in-flight=%d, inconsistent audits: %d\n",
+		p, c, left, badAudits.Load())
+	if badAudits.Load() == 0 && p == c+int64(left) && left == 0 {
+		fmt.Println("OK: every stage was atomic — items conserved at every audit")
+	} else {
+		fmt.Println("FAILURE: conservation violated")
+	}
+}

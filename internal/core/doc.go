@@ -1,0 +1,49 @@
+// Package core implements OE-STM, the paper's contribution (§V): a
+// software transactional memory providing elastic transactions (Felber,
+// Gramoli, Guerraoui — DISC 2009) that satisfy outheritance and therefore
+// compose (§IV).
+//
+// # Elastic transactions
+//
+// An elastic transaction ignores all conflicts induced by its read-only
+// prefix. Before its first write it protects only a sliding one-entry
+// window — the immediate past read — and every new read verifies that the
+// previous read is unchanged (cut consistency). The first write promotes
+// the window entry into the permanent read set; from then on the
+// transaction behaves like a classic one. Writes are buffered and locked
+// at commit against the shared versioned lock words. A snapshot upper
+// bound is extended lazily (LSA-style) so transactions always observe
+// consistent state (opacity) without a priori read-version aborts.
+//
+// Following §V: the minimal protected set of a read-only elastic
+// transaction is {r_n} (its last read); otherwise it is {r_k, …, r_n}
+// where r_k is the location read immediately before the first write.
+//
+// # Outheritance
+//
+// When a nested (composed) transaction commits, it does not release its
+// protected set; instead it passes its read set, last-read entry and
+// write set to its parent (Fig. 4's outherit()), which holds them until
+// its own commit. The engine can be constructed with outheritance
+// disabled (NewWithoutOutheritance) to obtain the original E-STM
+// behaviour, which releases the child's protected set at child commit and
+// therefore breaks composition exactly as in the paper's Fig. 1 — this
+// mode exists for the demonstration tests, the ablation benchmarks, and
+// the harness's composed scenarios, whose invariant audits observe E-STM
+// violating atomicity at workload scale.
+//
+// # Structure cooperation
+//
+// Elastic protection is a contract with the data structures: a removal
+// must bump the versions of the departing node's own links (a same-value
+// rewrite) so that any elastic window — possibly outherited into an
+// enclosing composition — that runs through the removed node fails
+// validation. See eec's list.remove and the skip lists' remove.
+//
+// # Pooling
+//
+// The engine caches its top-level transaction frame per thread
+// (stm.Thread.EngineScratch) and child frames on a per-nest free list, so
+// Begin — including every attempt of the conflict-retry path — does not
+// allocate.
+package core

@@ -11,7 +11,7 @@ import (
 // substrate as SkipListSet — the e.e.c counterpart of the JDK's
 // ConcurrentSkipListMap, whose size() and bulk views are famously not
 // atomic (§I). Here every operation, including Size, Range and the
-// composed PutIfAbsent/PutAll, is atomic.
+// composed PutIfAbsent/PutAll/Transfer, is atomic.
 //
 // Keys are immutable ints; values live in a transactional field of the
 // node, so updating a present key conflicts only on that node.
@@ -50,9 +50,10 @@ func NewSkipListMap() *SkipListMap {
 // Name identifies the implementation.
 func (m *SkipListMap) Name() string { return "skiplistmap" }
 
-// find locates, per level, the rightmost node with key < target.
-func (m *SkipListMap) find(tx stm.Tx, key int) *[maxLevel]*mnode {
-	var preds [maxLevel]*mnode
+// find locates, per level, the rightmost node with key < f.mKey, filling
+// the frame's scratch array (which keeps the predecessors off the heap).
+func (m *SkipListMap) find(tx stm.Tx, f *opFrame) {
+	key := f.mKey
 	curr := m.head
 	for l := maxLevel - 1; l >= 0; l-- {
 		next := stm.ReadPtr(tx, &curr.next[l])
@@ -60,25 +61,96 @@ func (m *SkipListMap) find(tx stm.Tx, key int) *[maxLevel]*mnode {
 			curr = next
 			next = stm.ReadPtr(tx, &curr.next[l])
 		}
-		preds[l] = curr
+		f.mPreds[l] = curr
 	}
-	return &preds
+}
+
+// get is the transactional body of Get.
+func (m *SkipListMap) get(tx stm.Tx, f *opFrame) {
+	f.mRet, f.mOK = nil, false
+	m.find(tx, f)
+	target := stm.ReadPtr(tx, &f.mPreds[0].next[0])
+	if target.key == f.mKey {
+		f.mRet, f.mOK = tx.Read(&target.val), true
+	}
+}
+
+// put is the transactional body of Put; f.height carries the tower height
+// drawn outside the transaction, f.mVal the value to store.
+func (m *SkipListMap) put(tx stm.Tx, f *opFrame) {
+	f.mRet, f.mOK = nil, false
+	key := f.mKey
+	m.find(tx, f)
+	target := stm.ReadPtr(tx, &f.mPreds[0].next[0])
+	if target.key == key {
+		if stm.ReadFlag(tx, &target.marked) {
+			stm.Conflict("skiplistmap: node concurrently removed")
+		}
+		f.mRet, f.mOK = tx.Read(&target.val), true
+		tx.Write(&target.val, f.mVal)
+		return
+	}
+	if f.mPreds[0].key >= key || target.key < key {
+		stm.Conflict("skiplistmap: insertion window moved")
+	}
+	if stm.ReadFlag(tx, &f.mPreds[0].marked) {
+		stm.Conflict("skiplistmap: predecessor removed")
+	}
+	n := newMnode(key, f.height, f.mVal)
+	succ := target
+	for l := 0; l < f.height; l++ {
+		if l > 0 {
+			succ = stm.ReadPtr(tx, &f.mPreds[l].next[l])
+			if f.mPreds[l].key >= key || succ.key <= key {
+				stm.Conflict("skiplistmap: insertion window moved")
+			}
+			if stm.ReadFlag(tx, &f.mPreds[l].marked) {
+				stm.Conflict("skiplistmap: predecessor removed")
+			}
+		}
+		n.next[l].Init(succ)
+		stm.WritePtr(tx, &f.mPreds[l].next[l], n)
+	}
+}
+
+// remove is the transactional body of Remove.
+func (m *SkipListMap) remove(tx stm.Tx, f *opFrame) {
+	f.mRet, f.mOK = nil, false
+	key := f.mKey
+	m.find(tx, f)
+	target := stm.ReadPtr(tx, &f.mPreds[0].next[0])
+	if target.key != key {
+		if target.key < key {
+			stm.Conflict("skiplistmap: removal window moved")
+		}
+		return
+	}
+	if stm.ReadFlag(tx, &target.marked) || stm.ReadFlag(tx, &f.mPreds[0].marked) {
+		stm.Conflict("skiplistmap: node concurrently removed")
+	}
+	f.mRet, f.mOK = tx.Read(&target.val), true
+	stm.WriteFlag(tx, &target.marked, true)
+	for l := len(target.next) - 1; l >= 0; l-- {
+		pred := f.mPreds[l]
+		curr := stm.ReadPtr(tx, &pred.next[l])
+		if curr != target {
+			stm.Conflict("skiplistmap: tower link moved")
+		}
+		if l > 0 && stm.ReadFlag(tx, &pred.marked) {
+			stm.Conflict("skiplistmap: predecessor removed")
+		}
+		succ := stm.ReadPtr(tx, &target.next[l])
+		stm.WritePtr(tx, &pred.next[l], succ)
+		// Same-value rewrite of the departing node's link, as in the
+		// skip list set: bump the version so outherited elastic windows
+		// that run through target fail validation.
+		stm.WritePtr(tx, &target.next[l], succ)
+	}
 }
 
 // Get returns the value stored under key and whether it is present.
 func (m *SkipListMap) Get(th *stm.Thread, key int) (any, bool) {
-	var val any
-	var ok bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		val, ok = nil, false
-		preds := m.find(tx, key)
-		target := stm.ReadPtr(tx, &preds[0].next[0])
-		if target.key == key {
-			val, ok = tx.Read(&target.val), true
-		}
-		return nil
-	})
-	return val, ok
+	return frameOf(th).mapOp(mapGet, m, key, nil)
 }
 
 // ContainsKey reports whether key is present.
@@ -90,81 +162,14 @@ func (m *SkipListMap) ContainsKey(th *stm.Thread, key int) bool {
 // Put stores val under key, returning the previous value (nil, false if
 // the key was absent).
 func (m *SkipListMap) Put(th *stm.Thread, key int, val any) (any, bool) {
-	height := randomHeight(th)
-	var prev any
-	var had bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		prev, had = nil, false
-		preds := m.find(tx, key)
-		target := stm.ReadPtr(tx, &preds[0].next[0])
-		if target.key == key {
-			if stm.ReadFlag(tx, &target.marked) {
-				stm.Conflict("skiplistmap: node concurrently removed")
-			}
-			prev, had = tx.Read(&target.val), true
-			tx.Write(&target.val, val)
-			return nil
-		}
-		if preds[0].key >= key || target.key < key {
-			stm.Conflict("skiplistmap: insertion window moved")
-		}
-		if stm.ReadFlag(tx, &preds[0].marked) {
-			stm.Conflict("skiplistmap: predecessor removed")
-		}
-		n := newMnode(key, height, val)
-		succ := target
-		for l := 0; l < height; l++ {
-			if l > 0 {
-				succ = stm.ReadPtr(tx, &preds[l].next[l])
-				if preds[l].key >= key || succ.key <= key {
-					stm.Conflict("skiplistmap: insertion window moved")
-				}
-				if stm.ReadFlag(tx, &preds[l].marked) {
-					stm.Conflict("skiplistmap: predecessor removed")
-				}
-			}
-			n.next[l].Init(succ)
-			stm.WritePtr(tx, &preds[l].next[l], n)
-		}
-		return nil
-	})
-	return prev, had
+	f := frameOf(th)
+	f.height = randomHeight(th)
+	return f.mapOp(mapPut, m, key, val)
 }
 
 // Remove deletes key, returning the removed value (nil, false if absent).
 func (m *SkipListMap) Remove(th *stm.Thread, key int) (any, bool) {
-	var prev any
-	var had bool
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		prev, had = nil, false
-		preds := m.find(tx, key)
-		target := stm.ReadPtr(tx, &preds[0].next[0])
-		if target.key != key {
-			if target.key < key {
-				stm.Conflict("skiplistmap: removal window moved")
-			}
-			return nil
-		}
-		if stm.ReadFlag(tx, &target.marked) || stm.ReadFlag(tx, &preds[0].marked) {
-			stm.Conflict("skiplistmap: node concurrently removed")
-		}
-		prev, had = tx.Read(&target.val), true
-		stm.WriteFlag(tx, &target.marked, true)
-		for l := len(target.next) - 1; l >= 0; l-- {
-			pred := preds[l]
-			curr := stm.ReadPtr(tx, &pred.next[l])
-			if curr != target {
-				stm.Conflict("skiplistmap: tower link moved")
-			}
-			if l > 0 && stm.ReadFlag(tx, &pred.marked) {
-				stm.Conflict("skiplistmap: predecessor removed")
-			}
-			succ := stm.ReadPtr(tx, &target.next[l])
-			stm.WritePtr(tx, &pred.next[l], succ)
-		}
-		return nil
-	})
-	return prev, had
+	return frameOf(th).mapOp(mapRemove, m, key, nil)
 }
 
 // PutIfAbsent stores val only when key is absent — a composition of
@@ -197,6 +202,43 @@ func (m *SkipListMap) PutAll(th *stm.Thread, entries map[int]any) {
 		}
 		return nil
 	})
+}
+
+// Transfer atomically moves amount from the value under `from` to the
+// value under `to` — the bank-account transfer of the composed-scenario
+// suite, composed from Get and Put through the thread's pre-bound frame
+// (no per-call closure). Both values must be ints. The transfer happens
+// only when both keys are present and the source balance covers amount;
+// it reports whether it happened. from == to and non-positive amounts are
+// rejected (they could not conserve the total).
+func (m *SkipListMap) Transfer(th *stm.Thread, from, to, amount int) bool {
+	if amount <= 0 || from == to {
+		return false
+	}
+	f := frameOf(th)
+	f.cMap, f.cA, f.cB, f.cAmt = m, from, to, amount
+	_ = th.Atomic(opKind(th), f.compFns[compTransfer])
+	f.cMap = nil
+	return f.cOK
+}
+
+// SumInt atomically sums the int-typed values of the map in one
+// transaction — the total-balance audit of the bank scenario. Non-int
+// values count as zero.
+func (m *SkipListMap) SumInt(th *stm.Thread) int {
+	total := 0
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		total = 0
+		curr := stm.ReadPtr(tx, &m.head.next[0])
+		for curr.key != math.MaxInt {
+			if n, ok := tx.Read(&curr.val).(int); ok {
+				total += n
+			}
+			curr = stm.ReadPtr(tx, &curr.next[0])
+		}
+		return nil
+	})
+	return total
 }
 
 // Size returns the number of entries, atomically.

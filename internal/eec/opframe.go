@@ -12,24 +12,63 @@ const (
 	numOps
 )
 
-// opFrame is per-thread scratch for the elementary operations of the
-// e.e.c structures. The transaction closures are bound to the frame once,
-// at first use, and parameterised through its fields, so running an
-// elementary operation allocates nothing: no closure capture, no escaping
-// result variable, and (for the skip list) no escaping predecessor/
-// successor arrays.
+// mapCode selects one elementary SkipListMap operation.
+type mapCode uint8
+
+const (
+	mapGet mapCode = iota
+	mapPut
+	mapRemove
+	numMapOps
+)
+
+// queueCode selects one elementary Queue operation.
+type queueCode uint8
+
+const (
+	queueEnq queueCode = iota
+	queueDeq
+	numQueueOps
+)
+
+// compCode selects one composed (multi-operation) frame closure.
+type compCode uint8
+
+const (
+	compMove compCode = iota
+	compInsertIfAbsent
+	compTransfer
+	compMoveTo
+	numComps
+)
+
+// opFrame is per-thread scratch for the operations of the e.e.c
+// structures. The transaction closures are bound to the frame once, at
+// first use, and parameterised through its fields, so running an
+// operation allocates nothing beyond what the structure itself requires:
+// no closure capture, no escaping result variable, and (for the skip
+// lists) no escaping predecessor/successor arrays.
 //
 // Elementary operations never invoke other elementary operations from
 // inside their own transaction closure, and a thread runs one operation
 // at a time, so the single frame per thread is safe even under
-// composition: a bulk operation's children run strictly one after
+// composition: a composed operation's children run strictly one after
 // another, each setting the fields, running, and consuming the result
 // before the next starts. Whole-nest retries re-execute the enclosing
 // composition closure, which re-parameterises the frame on the way down.
+//
+// The composed closures (compMove, compTransfer, ...) invoke elementary
+// operations, which clobber the elementary parameter fields; the
+// composition therefore keeps its own parameters in the dedicated c*
+// fields, which survive a whole-nest retry re-entering the closure. A
+// composed frame closure must never invoke another composed frame
+// closure — sibling composed calls inside a user transaction are fine
+// (each completes and is consumed before the next is parameterised), but
+// nesting them would clobber the shared c* fields mid-flight.
 type opFrame struct {
 	th *stm.Thread
 
-	// Parameters and result of the operation in flight.
+	// Parameters and result of the elementary set operation in flight.
 	l   list
 	sl  *SkipListSet
 	key int
@@ -41,8 +80,36 @@ type opFrame struct {
 	preds  [maxLevel]*snode
 	succs  [maxLevel]*snode
 
-	listFns [numOps]func(stm.Tx) error
-	slFns   [numOps]func(stm.Tx) error
+	// Parameters and result of the elementary SkipListMap operation in
+	// flight (mVal doubles as the Put argument), plus the traversal
+	// scratch keeping the predecessor array off the heap.
+	m      *SkipListMap
+	mKey   int
+	mVal   any
+	mRet   any
+	mOK    bool
+	mPreds [maxLevel]*mnode
+
+	// Parameters and result of the elementary Queue operation in flight.
+	q    *Queue
+	qVal any
+	qOK  bool
+
+	// Parameters and result of the composed operations. Kept apart from
+	// the elementary fields above because the composed closures call
+	// elementary operations, which overwrite those.
+	cFrom, cTo   Set
+	cMap         *SkipListMap
+	cQFrom, cQTo *Queue
+	cA, cB, cAmt int
+	cRet         any
+	cOK          bool
+
+	listFns  [numOps]func(stm.Tx) error
+	slFns    [numOps]func(stm.Tx) error
+	mapFns   [numMapOps]func(stm.Tx) error
+	queueFns [numQueueOps]func(stm.Tx) error
+	compFns  [numComps]func(stm.Tx) error
 }
 
 // frameOf returns the thread's operation frame, creating and binding it
@@ -58,8 +125,68 @@ func frameOf(th *stm.Thread) *opFrame {
 	f.slFns[opContains] = func(tx stm.Tx) error { f.res = f.sl.contains(tx, f); return nil }
 	f.slFns[opAdd] = func(tx stm.Tx) error { f.res = f.sl.add(tx, f); return nil }
 	f.slFns[opRemove] = func(tx stm.Tx) error { f.res = f.sl.remove(tx, f); return nil }
+	f.mapFns[mapGet] = func(tx stm.Tx) error { f.m.get(tx, f); return nil }
+	f.mapFns[mapPut] = func(tx stm.Tx) error { f.m.put(tx, f); return nil }
+	f.mapFns[mapRemove] = func(tx stm.Tx) error { f.m.remove(tx, f); return nil }
+	f.queueFns[queueEnq] = func(tx stm.Tx) error { f.q.enqueue(tx, f.qVal); return nil }
+	f.queueFns[queueDeq] = func(tx stm.Tx) error { f.qVal, f.qOK = f.q.dequeue(tx); return nil }
+	f.bindComposed()
 	th.OpScratch = f
 	return f
+}
+
+// bindComposed binds the composed-operation closures. They call public
+// elementary operations, which recurse into this frame through the
+// elementary fields — see the frame invariant in the type comment.
+func (f *opFrame) bindComposed() {
+	f.compFns[compMove] = func(stm.Tx) error {
+		f.cOK = false
+		if f.cFrom.Remove(f.th, f.cA) {
+			f.cTo.Add(f.th, f.cA)
+			f.cOK = true
+		}
+		return nil
+	}
+	f.compFns[compInsertIfAbsent] = func(stm.Tx) error {
+		f.cOK = false
+		if !f.cFrom.Contains(f.th, f.cB) {
+			f.cOK = f.cFrom.Add(f.th, f.cA)
+		}
+		return nil
+	}
+	f.compFns[compTransfer] = func(stm.Tx) error {
+		f.cOK = false
+		from, ok := f.cMap.Get(f.th, f.cA)
+		if !ok {
+			return nil
+		}
+		fromBal, isInt := from.(int)
+		if !isInt || fromBal < f.cAmt {
+			return nil
+		}
+		to, ok := f.cMap.Get(f.th, f.cB)
+		if !ok {
+			return nil
+		}
+		toBal, isInt := to.(int)
+		if !isInt {
+			return nil
+		}
+		f.cMap.Put(f.th, f.cA, fromBal-f.cAmt)
+		f.cMap.Put(f.th, f.cB, toBal+f.cAmt)
+		f.cOK = true
+		return nil
+	}
+	f.compFns[compMoveTo] = func(stm.Tx) error {
+		f.cRet, f.cOK = nil, false
+		v, ok := f.cQFrom.Dequeue(f.th)
+		if !ok {
+			return nil
+		}
+		f.cQTo.Enqueue(f.th, v)
+		f.cRet, f.cOK = v, true
+		return nil
+	}
 }
 
 // listOp runs one elementary operation against a sorted list (the
@@ -75,4 +202,25 @@ func (f *opFrame) skipOp(code opCode, s *SkipListSet, key int) bool {
 	f.sl, f.key = s, key
 	_ = f.th.Atomic(opKind(f.th), f.slFns[code])
 	return f.res
+}
+
+// mapOp runs one elementary operation against a skip list map. val is the
+// Put argument (ignored by the other codes); the result value/flag are
+// returned and cleared from the frame so user values are not retained.
+func (f *opFrame) mapOp(code mapCode, m *SkipListMap, key int, val any) (any, bool) {
+	f.m, f.mKey, f.mVal = m, key, val
+	_ = f.th.Atomic(opKind(f.th), f.mapFns[code])
+	ret, ok := f.mRet, f.mOK
+	f.mVal, f.mRet = nil, nil
+	return ret, ok
+}
+
+// queueOp runs one elementary operation against a queue. val is the
+// Enqueue argument; the result value/flag are returned and cleared.
+func (f *opFrame) queueOp(code queueCode, q *Queue, val any) (any, bool) {
+	f.q, f.qVal = q, val
+	_ = f.th.Atomic(opKind(f.th), f.queueFns[code])
+	ret, ok := f.qVal, f.qOK
+	f.qVal = nil
+	return ret, ok
 }

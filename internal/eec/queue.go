@@ -37,35 +37,51 @@ func NewQueue() *Queue {
 // Name identifies the implementation.
 func (q *Queue) Name() string { return "queue" }
 
+// enqueue is the transactional body of Enqueue.
+func (q *Queue) enqueue(tx stm.Tx, val any) {
+	n := &qnode{val: val}
+	tail := stm.ReadPtr(tx, &q.tail)
+	stm.WritePtr(tx, &tail.next, n)
+	stm.WritePtr(tx, &q.tail, n)
+}
+
+// dequeue is the transactional body of Dequeue.
+func (q *Queue) dequeue(tx stm.Tx) (val any, ok bool) {
+	head := stm.ReadPtr(tx, &q.head)
+	first := stm.ReadPtr(tx, &head.next)
+	if first == nil {
+		return nil, false
+	}
+	// The dequeued node becomes the new dummy. Its payload field is
+	// immutable (set before publication), so it must not be cleared
+	// here: the transaction may retry, and concurrent snapshots may
+	// still read it. The reference is dropped at the next dequeue.
+	stm.WritePtr(tx, &q.head, first)
+	return first.val, true
+}
+
 // Enqueue appends val.
 func (q *Queue) Enqueue(th *stm.Thread, val any) {
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		n := &qnode{val: val}
-		tail := stm.ReadPtr(tx, &q.tail)
-		stm.WritePtr(tx, &tail.next, n)
-		stm.WritePtr(tx, &q.tail, n)
-		return nil
-	})
+	frameOf(th).queueOp(queueEnq, q, val)
 }
 
 // Dequeue removes and returns the first element; ok is false when the
 // queue is empty.
 func (q *Queue) Dequeue(th *stm.Thread) (val any, ok bool) {
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
-		val, ok = nil, false
-		head := stm.ReadPtr(tx, &q.head)
-		first := stm.ReadPtr(tx, &head.next)
-		if first == nil {
-			return nil
-		}
-		val, ok = first.val, true
-		// The dequeued node becomes the new dummy. Its payload field is
-		// immutable (set before publication), so it must not be cleared
-		// here: the transaction may retry, and concurrent snapshots may
-		// still read it. The reference is dropped at the next dequeue.
-		stm.WritePtr(tx, &q.head, first)
-		return nil
-	})
+	return frameOf(th).queueOp(queueDeq, q, nil)
+}
+
+// MoveTo atomically transfers one element from q to dst — the pipeline
+// stage of the composed-scenario suite, composed from Dequeue and Enqueue
+// across the two queues through the thread's pre-bound frame (no per-call
+// closure). It returns the moved element, or ok=false when q was empty.
+func (q *Queue) MoveTo(th *stm.Thread, dst *Queue) (val any, ok bool) {
+	f := frameOf(th)
+	f.cQFrom, f.cQTo = q, dst
+	_ = th.Atomic(opKind(th), f.compFns[compMoveTo])
+	f.cQFrom, f.cQTo = nil, nil
+	val, ok = f.cRet, f.cOK
+	f.cRet = nil
 	return val, ok
 }
 

@@ -88,32 +88,25 @@ func removeAll(th *stm.Thread, s Set, keys []int) bool {
 }
 
 // InsertIfAbsent atomically inserts x into s only if y is absent — the
-// paper's introductory composition example (Fig. 1). It reports whether x
-// was inserted.
+// paper's introductory composition example (Fig. 1), run through the
+// thread's pre-bound frame so the composition itself allocates no
+// closure. It reports whether x was inserted.
 func InsertIfAbsent(th *stm.Thread, s Set, x, y int) bool {
-	inserted := false
-	_ = th.Atomic(opKind(th), func(stm.Tx) error {
-		inserted = false
-		if !s.Contains(th, y) {
-			inserted = s.Add(th, x)
-		}
-		return nil
-	})
-	return inserted
+	f := frameOf(th)
+	f.cFrom, f.cA, f.cB = s, x, y
+	_ = th.Atomic(opKind(th), f.compFns[compInsertIfAbsent])
+	f.cFrom = nil
+	return f.cOK
 }
 
 // Move atomically transfers key from one set to another — the operation
-// that is impossible to build from lock-free remove/put (§I). It reports
-// whether the key moved.
+// that is impossible to build from lock-free remove/put (§I) — run
+// through the thread's pre-bound frame so the composition itself
+// allocates no closure. It reports whether the key moved.
 func Move(th *stm.Thread, from, to Set, key int) bool {
-	moved := false
-	_ = th.Atomic(opKind(th), func(stm.Tx) error {
-		moved = false
-		if from.Remove(th, key) {
-			to.Add(th, key)
-			moved = true
-		}
-		return nil
-	})
-	return moved
+	f := frameOf(th)
+	f.cFrom, f.cTo, f.cA = from, to, key
+	_ = th.Atomic(opKind(th), f.compFns[compMove])
+	f.cFrom, f.cTo = nil, nil
+	return f.cOK
 }

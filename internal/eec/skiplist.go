@@ -148,6 +148,14 @@ func (s *SkipListSet) remove(tx stm.Tx, f *opFrame) bool {
 		}
 		succ := stm.ReadPtr(tx, &target.next[l])
 		stm.WritePtr(tx, &pred.next[l], succ)
+		// Rewrite the removed node's link with the same value (cf.
+		// list.remove): the version bump invalidates any concurrent
+		// elastic transaction whose protected window — possibly
+		// outherited into an enclosing composition — is a link of the
+		// departing node. Without it, a composed contains whose last
+		// read went through target would still validate at the parent's
+		// commit and observe a node no longer in the structure.
+		stm.WritePtr(tx, &target.next[l], succ)
 	}
 	return true
 }

@@ -1,0 +1,32 @@
+// Package harness runs the evaluation workloads: duration-based
+// measurement of every engine with thread-count sweeps, reporting
+// throughput (operations per millisecond), abort ratio, and the
+// process-wide allocation rate per operation.
+//
+// It has two runners:
+//
+//   - The mix runner (RunSTM/Sweep) reproduces the paper's §VII
+//     evaluation: the contains/add/remove/addAll/removeAll mixes of
+//     Figs. 6-8 against one e.e.c structure, plus the bare sequential
+//     baseline (RunSequential).
+//   - The scenario runner (RunScenario/ScenarioSweep) drives the
+//     composed-transaction scenario suite of internal/workload — move,
+//     insert-if-absent, bank, pipeline — whose operations compose
+//     elementary operations across structures and whose invariant audits
+//     count atomicity violations per run. The violation count rides in
+//     Result.Violations: always 0 on the composing engines, non-zero on
+//     the E-STM ablation (and in Unsound mode), which is the paper's
+//     Fig. 1 made measurable.
+//
+// Measurement protocol (both runners): build a fresh engine and
+// structures, fill, start one goroutine per configured thread, let the
+// warmup elapse, then count operations and commit/abort deltas over the
+// measured window; scenarios additionally run an end-state invariant
+// check after the workers quiesce. Allocations are sampled process-wide
+// (runtime.MemStats.Mallocs) across the window and divided by completed
+// operations.
+//
+// Results render as aligned text tables (Format, FormatScenario) or CSV
+// (CSV); the CSV schema is the CSVHeader constant, documented column by
+// column there and in the README's "CSV schema" section.
+package harness

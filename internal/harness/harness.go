@@ -1,7 +1,3 @@
-// Package harness runs the paper's evaluation (§VII): duration-based
-// mixed workloads against the e.e.c structures over every engine, with
-// thread-count sweeps, throughput (operations per millisecond) and abort
-// ratio reporting — the two axes of Figs. 6, 7 and 8.
 package harness
 
 import (
@@ -97,17 +93,25 @@ type RunConfig struct {
 	Workload  workload.Config
 }
 
-// Result is one measured point: the coordinates of Figs. 6-8, plus the
-// process-wide heap allocation rate over the measured window (the
-// -benchmem axis of the testing benches).
+// MixScenario is the Scenario label of the classic single-structure
+// contains/add/remove mix of Figs. 6-8.
+const MixScenario = "mix"
+
+// Result is one measured point: the coordinates of Figs. 6-8 (or of one
+// composed scenario), plus the process-wide heap allocation rate over the
+// measured window (the -benchmem axis of the testing benches) and the
+// invariant-violation count of scenario runs (always 0 for the mix, and
+// for every transactional engine).
 type Result struct {
 	Engine      string
+	Scenario    string
 	Structure   string
 	BulkPct     int
 	Threads     int
 	OpsPerMs    float64
 	AbortRate   float64
 	AllocsPerOp float64
+	Violations  uint64
 	Ops         uint64
 	Commits     uint64
 	Aborts      uint64
@@ -121,16 +125,35 @@ func mallocs() uint64 {
 	return ms.Mallocs
 }
 
-// RunSTM measures one engine on one configuration: fill the structure,
-// spin up cfg.Threads workers each drawing its own operation stream, run
-// for warmup+duration, and count operations completed during the
-// measured window.
-func RunSTM(eng Engine, cfg RunConfig) Result {
-	tm := eng.New()
-	set := NewStructure(cfg.Structure, cfg.Workload)
-	filler := stm.NewThread(tm)
-	workload.Fill(filler, set, cfg.Workload)
+// measurement is the raw outcome of one windowed multi-worker run.
+type measurement struct {
+	Ops     uint64
+	Totals  stm.Stats
+	Elapsed time.Duration
+	Mallocs uint64
+}
 
+// AllocsPerOp divides the window's allocation count by its operations.
+func (m measurement) AllocsPerOp() float64 {
+	if m.Ops == 0 {
+		return 0
+	}
+	return float64(m.Mallocs) / float64(m.Ops)
+}
+
+// OpsPerMs is the window's throughput in the paper's unit.
+func (m measurement) OpsPerMs() float64 {
+	return float64(m.Ops) / float64(m.Elapsed.Milliseconds()+1)
+}
+
+// runMeasured is the measurement protocol shared by the mix and scenario
+// runners: spin up `threads` workers — newWorker(idx) builds each one's
+// thread and step function — let them run through the warmup, then count
+// operations, commit/abort deltas and process-wide allocations over the
+// measured window. onMeasure, if non-nil, runs on the coordinating
+// goroutine at the instant the window opens (for snapshotting counters
+// that the workers accumulate from the start, e.g. scenario violations).
+func runMeasured(threads int, warmup, duration time.Duration, newWorker func(idx int) (*stm.Thread, func()), onMeasure func()) measurement {
 	var (
 		stop      atomic.Bool
 		measuring atomic.Bool
@@ -139,12 +162,11 @@ func RunSTM(eng Engine, cfg RunConfig) Result {
 		totalOps  uint64
 		totals    stm.Stats
 	)
-	for i := 0; i < cfg.Threads; i++ {
+	for i := 0; i < threads; i++ {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			th := stm.NewThread(tm)
-			gen := workload.NewGen(cfg.Workload, idx)
+			th, step := newWorker(idx)
 			var ops uint64
 			var base stm.Stats
 			baseTaken := false
@@ -154,7 +176,7 @@ func RunSTM(eng Engine, cfg RunConfig) Result {
 					ops = 0
 					baseTaken = true
 				}
-				workload.Apply(th, set, gen.Next())
+				step()
 				ops++
 			}
 			if !baseTaken {
@@ -172,32 +194,51 @@ func RunSTM(eng Engine, cfg RunConfig) Result {
 		}(i)
 	}
 
-	time.Sleep(cfg.Warmup)
+	time.Sleep(warmup)
+	if onMeasure != nil {
+		onMeasure()
+	}
 	m0 := mallocs()
 	measuring.Store(true)
 	start := time.Now()
-	time.Sleep(cfg.Duration)
+	time.Sleep(duration)
 	stop.Store(true)
 	elapsed := time.Since(start)
 	m1 := mallocs()
 	wg.Wait()
 
-	allocsPerOp := 0.0
-	if totalOps > 0 {
-		allocsPerOp = float64(m1-m0) / float64(totalOps)
-	}
+	return measurement{Ops: totalOps, Totals: totals, Elapsed: elapsed, Mallocs: m1 - m0}
+}
+
+// RunSTM measures one engine on one configuration: fill the structure,
+// spin up cfg.Threads workers each drawing its own operation stream, run
+// for warmup+duration, and count operations completed during the
+// measured window.
+func RunSTM(eng Engine, cfg RunConfig) Result {
+	tm := eng.New()
+	set := NewStructure(cfg.Structure, cfg.Workload)
+	filler := stm.NewThread(tm)
+	workload.Fill(filler, set, cfg.Workload)
+
+	m := runMeasured(cfg.Threads, cfg.Warmup, cfg.Duration, func(idx int) (*stm.Thread, func()) {
+		th := stm.NewThread(tm)
+		gen := workload.NewGen(cfg.Workload, idx)
+		return th, func() { workload.Apply(th, set, gen.Next()) }
+	}, nil)
+
 	return Result{
 		Engine:      eng.Name,
+		Scenario:    MixScenario,
 		Structure:   cfg.Structure,
 		BulkPct:     cfg.Workload.BulkPct,
 		Threads:     cfg.Threads,
-		OpsPerMs:    float64(totalOps) / float64(elapsed.Milliseconds()+1),
-		AbortRate:   totals.AbortRate(),
-		AllocsPerOp: allocsPerOp,
-		Ops:         totalOps,
-		Commits:     totals.Commits,
-		Aborts:      totals.Aborts,
-		Elapsed:     elapsed,
+		OpsPerMs:    m.OpsPerMs(),
+		AbortRate:   m.Totals.AbortRate(),
+		AllocsPerOp: m.AllocsPerOp(),
+		Ops:         m.Ops,
+		Commits:     m.Totals.Commits,
+		Aborts:      m.Totals.Aborts,
+		Elapsed:     m.Elapsed,
 	}
 }
 
@@ -239,6 +280,7 @@ func RunSequential(cfg RunConfig) Result {
 	}
 	return Result{
 		Engine:      "sequential",
+		Scenario:    MixScenario,
 		Structure:   cfg.Structure,
 		BulkPct:     cfg.Workload.BulkPct,
 		Threads:     1,

@@ -112,8 +112,11 @@ func TestSweepAndFormat(t *testing.T) {
 		}
 	}
 	csv := CSV(results)
-	if !strings.HasPrefix(csv, "structure,bulk_pct,engine,threads") {
+	if !strings.HasPrefix(csv, CSVHeader+"\n") {
 		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "mix,hashset,5,tl2,") {
+		t.Fatalf("csv rows missing mix scenario label:\n%s", csv)
 	}
 	if got := strings.Count(csv, "\n"); got != 4 {
 		t.Fatalf("csv rows = %d, want 4 (header + 3)", got)

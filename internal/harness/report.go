@@ -82,6 +82,10 @@ func average(rs []Result) Result {
 			out.Ops += r.Ops
 			out.Commits += r.Commits
 			out.Aborts += r.Aborts
+			// Violations are summed, not averaged: any non-zero count
+			// means the invariant broke, and averaging could round a
+			// single violation out of sight.
+			out.Violations += r.Violations
 		}
 	}
 	out.OpsPerMs = stats.Mean(tp)
@@ -168,14 +172,32 @@ func Format(results []Result, structure string, bulkPct int) string {
 	return b.String()
 }
 
+// CSVHeader is the column line of the harness CSV output. It is the
+// single source of truth for the schema: CSV writes it, compose-bench
+// quotes it in its -csv flag help, and the README documents each column
+// against it. Columns: scenario ("mix" for the Figs. 6-8 workload, else
+// the composed-scenario name), structure (structure label; for composed
+// scenarios the structures the scenario spans), bulk_pct (percentage of
+// bulk operations; 0 for scenarios), engine, threads, ops_per_ms
+// (completed operations per millisecond of measured time, the paper's
+// throughput unit), abort_rate (aborted attempts as a percentage of all
+// attempts), allocs_per_op (process-wide heap allocations per completed
+// operation over the measured window), violations (invariant violations
+// observed by scenario audits during the measured window plus the
+// end-state check; always 0 for the mix and for every transactional
+// engine), ops/commits/aborts (raw counts over the measured window,
+// summed across runs of a point).
+const CSVHeader = "scenario,structure,bulk_pct,engine,threads,ops_per_ms,abort_rate,allocs_per_op,violations,ops,commits,aborts"
+
 // CSV renders results as comma-separated rows with a header, for
-// plotting.
+// plotting. The schema is CSVHeader.
 func CSV(results []Result) string {
 	var b strings.Builder
-	b.WriteString("structure,bulk_pct,engine,threads,ops_per_ms,abort_rate,allocs_per_op,ops,commits,aborts\n")
+	b.WriteString(CSVHeader)
+	b.WriteByte('\n')
 	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%d,%s,%d,%.2f,%.3f,%.3f,%d,%d,%d\n",
-			r.Structure, r.BulkPct, r.Engine, r.Threads, r.OpsPerMs, r.AbortRate, r.AllocsPerOp, r.Ops, r.Commits, r.Aborts)
+		fmt.Fprintf(&b, "%s,%s,%d,%s,%d,%.2f,%.3f,%.3f,%d,%d,%d,%d\n",
+			r.Scenario, r.Structure, r.BulkPct, r.Engine, r.Threads, r.OpsPerMs, r.AbortRate, r.AllocsPerOp, r.Violations, r.Ops, r.Commits, r.Aborts)
 	}
 	return b.String()
 }

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"oestm/internal/stm"
+	"oestm/internal/workload"
+)
+
+// ScenarioRunConfig describes one composed-scenario measurement.
+type ScenarioRunConfig struct {
+	Scenario string
+	Threads  int
+	Duration time.Duration
+	Warmup   time.Duration
+	Workload workload.ScenarioConfig
+}
+
+// RunScenario measures one engine on one composed scenario: build and
+// fill a fresh scenario instance, spin up cfg.Threads workers each
+// stepping its own operation stream (mutations interleaved with invariant
+// audits), run for warmup+duration, then quiesce and run the end-state
+// invariant check. The returned Result carries the scenario's invariant
+// violation count — 0 on every transactional engine — beside the usual
+// throughput/abort/allocs axes. Like those, the count is windowed:
+// audit failures during warmup are excluded, the end-state check is
+// included. It panics on an unknown scenario name (use
+// workload.ScenarioNames for the registry).
+func RunScenario(eng Engine, cfg ScenarioRunConfig) Result {
+	tm := eng.New()
+	scn, ok := workload.NewScenario(cfg.Scenario, cfg.Workload)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown scenario %q", cfg.Scenario))
+	}
+	filler := stm.NewThread(tm)
+	scn.Fill(filler)
+
+	var warmupViolations uint64
+	m := runMeasured(cfg.Threads, cfg.Warmup, cfg.Duration, func(idx int) (*stm.Thread, func()) {
+		th := stm.NewThread(tm)
+		worker := scn.NewWorker(th, idx)
+		return th, worker.Step
+	}, func() { warmupViolations = scn.Violations() })
+
+	checker := stm.NewThread(tm)
+	scn.Check(checker)
+
+	return Result{
+		Engine:      eng.Name,
+		Scenario:    scn.Name(),
+		Structure:   scn.Structures(),
+		Threads:     cfg.Threads,
+		OpsPerMs:    m.OpsPerMs(),
+		AbortRate:   m.Totals.AbortRate(),
+		AllocsPerOp: m.AllocsPerOp(),
+		Violations:  scn.Violations() - warmupViolations,
+		Ops:         m.Ops,
+		Commits:     m.Totals.Commits,
+		Aborts:      m.Totals.Aborts,
+		Elapsed:     m.Elapsed,
+	}
+}
+
+// ScenarioSweepConfig describes a whole scenario panel: one scenario, a
+// thread sweep, and the engines to compare.
+type ScenarioSweepConfig struct {
+	Scenario string
+	Threads  []int
+	Duration time.Duration
+	Warmup   time.Duration
+	Runs     int // per point; results are averaged, violations summed
+	Engines  []Engine
+	Workload workload.ScenarioConfig
+}
+
+// ScenarioSweep measures every (engine, threads) point of the panel.
+func ScenarioSweep(cfg ScenarioSweepConfig) []Result {
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	var out []Result
+	for _, eng := range cfg.Engines {
+		for _, n := range cfg.Threads {
+			rs := make([]Result, cfg.Runs)
+			for i := range rs {
+				rs[i] = RunScenario(eng, ScenarioRunConfig{
+					Scenario: cfg.Scenario,
+					Threads:  n,
+					Duration: cfg.Duration,
+					Warmup:   cfg.Warmup,
+					Workload: cfg.Workload,
+				})
+			}
+			out = append(out, average(rs))
+		}
+	}
+	return out
+}
+
+// FormatScenario renders a scenario panel as an aligned table: one row
+// per thread count; throughput, abort-rate, allocs/op and invariant-
+// violation columns per engine.
+func FormatScenario(results []Result, scenario string) string {
+	var engines []string
+	seen := map[string]bool{}
+	structures := ""
+	for _, r := range results {
+		if !seen[r.Engine] {
+			seen[r.Engine] = true
+			engines = append(engines, r.Engine)
+		}
+		structures = r.Structure
+	}
+	threadSet := map[int]bool{}
+	for _, r := range results {
+		threadSet[r.Threads] = true
+	}
+	var threads []int
+	for n := range threadSet {
+		threads = append(threads, n)
+	}
+	sort.Ints(threads)
+
+	point := map[string]map[int]Result{}
+	for _, r := range results {
+		if point[r.Engine] == nil {
+			point[r.Engine] = map[int]Result{}
+		}
+		point[r.Engine][r.Threads] = r
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s on %s (throughput ops/ms | abort %% | allocs/op | invariant violations)\n",
+		scenario, structures)
+	fmt.Fprintf(&b, "%-8s", "threads")
+	for _, e := range engines {
+		fmt.Fprintf(&b, " %12s %7s %7s %5s", e, "ab%", "allocs", "viol")
+	}
+	b.WriteByte('\n')
+	for _, n := range threads {
+		fmt.Fprintf(&b, "%-8d", n)
+		for _, e := range engines {
+			r, ok := point[e][n]
+			if !ok {
+				fmt.Fprintf(&b, " %12s %7s %7s %5s", "-", "-", "-", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %12.1f %7.2f %7.2f %5d", r.OpsPerMs, r.AbortRate, r.AllocsPerOp, r.Violations)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

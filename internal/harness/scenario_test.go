@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"oestm/internal/workload"
+)
+
+func quickScenarioConfig() workload.ScenarioConfig {
+	cfg := workload.DefaultScenarioConfig().Scaled(16)
+	cfg.AuditPct = 10
+	return cfg
+}
+
+// TestScenariosRunOnAllEngines drives every scenario on every engine.
+// The composing engines — OE-STM through outheritance, and the classic
+// engines through flat nesting — must never violate an invariant. E-STM
+// is the paper's designed counter-example (it releases a child's
+// protected set at child commit, Fig. 1), so the run only has to
+// complete; TestESTMViolatesComposedScenarios pins down that it does
+// in fact violate.
+func TestScenariosRunOnAllEngines(t *testing.T) {
+	for _, eng := range AllEngines() {
+		for _, name := range workload.ScenarioNames() {
+			r := RunScenario(eng, ScenarioRunConfig{
+				Scenario: name,
+				Threads:  4,
+				Duration: 40 * time.Millisecond,
+				Warmup:   10 * time.Millisecond,
+				Workload: quickScenarioConfig(),
+			})
+			if r.Ops == 0 || r.OpsPerMs <= 0 {
+				t.Fatalf("%s/%s: no work measured: %+v", eng.Name, name, r)
+			}
+			if r.Engine != eng.Name || r.Scenario != name || r.Threads != 4 {
+				t.Fatalf("%s/%s: metadata wrong: %+v", eng.Name, name, r)
+			}
+			if eng.Name != "estm" && r.Violations != 0 {
+				t.Errorf("%s/%s: %d invariant violations on a composing engine",
+					eng.Name, name, r.Violations)
+			}
+		}
+	}
+}
+
+// TestESTMViolatesComposedScenarios demonstrates the paper's Fig. 1 at
+// workload scale: without outheritance the bank transfers (Get/Put
+// compositions) lose updates, which the total-balance audits observe.
+// This doubles as evidence that the invariant checkers detect real
+// atomicity violations, not just seeded ones.
+func TestESTMViolatesComposedScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent concurrency test")
+	}
+	eng, _ := EngineByName("estm")
+	for attempt := 0; attempt < 5; attempt++ {
+		r := RunScenario(eng, ScenarioRunConfig{
+			Scenario: "bank",
+			Threads:  4,
+			Duration: time.Duration(50+100*attempt) * time.Millisecond,
+			Warmup:   10 * time.Millisecond,
+			Workload: quickScenarioConfig(),
+		})
+		if r.Violations > 0 {
+			return
+		}
+	}
+	t.Error("estm never violated the bank invariant; the ablation (or the checker) has gone soft")
+}
+
+func TestRunScenarioUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown scenario must panic")
+		}
+	}()
+	eng, _ := EngineByName("oestm")
+	RunScenario(eng, ScenarioRunConfig{Scenario: "bogus", Threads: 1, Duration: time.Millisecond})
+}
+
+func TestScenarioSweepAndFormat(t *testing.T) {
+	eng, _ := EngineByName("tl2")
+	results := ScenarioSweep(ScenarioSweepConfig{
+		Scenario: "move",
+		Threads:  []int{1, 2},
+		Duration: 25 * time.Millisecond,
+		Warmup:   5 * time.Millisecond,
+		Runs:     2,
+		Engines:  []Engine{eng},
+		Workload: quickScenarioConfig(),
+	})
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	text := FormatScenario(results, "move")
+	for _, want := range []string{"scenario move", "linkedlist+hashset", "threads", "tl2", "viol"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, text)
+		}
+	}
+	csv := CSV(results)
+	if !strings.HasPrefix(csv, CSVHeader+"\n") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "move,linkedlist+hashset,0,tl2,") {
+		t.Fatalf("csv rows missing scenario columns:\n%s", csv)
+	}
+}

@@ -1,0 +1,54 @@
+// Package mvar provides the transactional memory substrate shared by every
+// STM engine in this repository: versioned-lock memory words (Word), typed
+// transactional variables layered on top of them (Var[T], Flag, IntVar,
+// AnyVar), the global version clock, and the lock-word encoding helpers.
+//
+// A word plays the role of one "object field" in the paper's terminology:
+// all engines detect conflicts at Word granularity, mirroring the paper's
+// setup where "all STMs protect memory locations at the granularity level
+// of object fields" (§VII-B). A word is also the concrete carrier of a
+// protection element: acquiring the protection element of a location maps
+// to either write-locking the word or recording its version in a read set
+// that will be revalidated.
+//
+// # Lock-word encoding and budgets
+//
+// This is the single authoritative description of the lock-word layout;
+// every engine shares it through Locked/Version/Owner/VersionWord.
+//
+//	bit 0      write-lock flag
+//	bits 1..63 commit version while unlocked, owner thread slot while locked
+//
+// Both the version and the owner slot therefore have a 63-bit budget
+// (PayloadBits):
+//
+//   - Versions are drawn from a single global Clock per engine, so they
+//     are totally ordered across all words. At one commit per nanosecond a
+//     63-bit version space lasts ~292 years; overflow is not a practical
+//     concern and is not checked on the commit path.
+//   - Owner slots come from thread identifiers (stm.Thread.ID, or the
+//     per-engine descriptor slots of SwissTM). Any non-negative Go int
+//     round-trips losslessly through the encoding (int is at most 63 value
+//     bits); lockWord rejects negative owners, which are the only values
+//     that would alias a version after the shift.
+//
+// # Payload cells and the consistency protocol
+//
+// A Word carries two raw payload cells: a GC-visible pointer cell and a
+// scalar cell. A typed variable owns exactly one interpretation of those
+// cells and is the only code that encodes or decodes them; engines shuttle
+// payloads around as opaque Raw pairs, so the read/write-set entries of
+// every engine are flat, allocation-free structs rather than boxed
+// interfaces. The typed variables are:
+//
+//	Var[T]  a *T in the pointer cell    allocation-free
+//	Flag    a bool in the scalar cell   allocation-free
+//	IntVar  an int64 in the scalar cell allocation-free
+//	AnyVar  any value, boxed into the pointer cell (one allocation per
+//	        write) — the compatibility variable for arbitrary payloads
+//
+// Writers mutate the cells only while holding the write lock, and readers
+// use the seqlock-style ReadConsistent (sample meta, load cells, re-sample
+// meta), so a consistent read never observes a torn (pointer, bits) pair
+// even though the two cells are loaded separately.
+package mvar

@@ -1,50 +1,3 @@
-// Package mvar provides the transactional memory substrate shared by every
-// STM engine in this repository: versioned-lock memory words (Word), typed
-// transactional variables layered on top of them (Var[T], Flag, AnyVar),
-// the global version clock, and the lock-word encoding helpers.
-//
-// A word plays the role of one "object field" in the paper's terminology:
-// all engines detect conflicts at Word granularity, mirroring the paper's
-// setup where "all STMs protect memory locations at the granularity level
-// of object fields" (§VII-B). A word is also the concrete carrier of a
-// protection element: acquiring the protection element of a location maps
-// to either write-locking the word or recording its version in a read set
-// that will be revalidated.
-//
-// # Lock-word encoding and budgets
-//
-// This is the single authoritative description of the lock-word layout;
-// every engine shares it through Locked/Version/Owner/VersionWord.
-//
-//	bit 0      write-lock flag
-//	bits 1..63 commit version while unlocked, owner thread slot while locked
-//
-// Both the version and the owner slot therefore have a 63-bit budget
-// (PayloadBits):
-//
-//   - Versions are drawn from a single global Clock per engine, so they
-//     are totally ordered across all words. At one commit per nanosecond a
-//     63-bit version space lasts ~292 years; overflow is not a practical
-//     concern and is not checked on the commit path.
-//   - Owner slots come from thread identifiers (stm.Thread.ID, or the
-//     per-engine descriptor slots of SwissTM). Any non-negative Go int
-//     round-trips losslessly through the encoding (int is at most 63 value
-//     bits); lockWord rejects negative owners, which are the only values
-//     that would alias a version after the shift.
-//
-// # Payload cells and the consistency protocol
-//
-// A Word carries two raw payload cells: a GC-visible pointer cell and a
-// scalar cell. A typed variable (Var[T], Flag, AnyVar) owns exactly one
-// interpretation of those cells and is the only code that encodes or
-// decodes them; engines shuttle payloads around as opaque Raw pairs, so
-// the read/write-set entries of every engine are flat, allocation-free
-// structs rather than boxed interfaces.
-//
-// Writers mutate the cells only while holding the write lock, and readers
-// use the seqlock-style ReadConsistent (sample meta, load cells, re-sample
-// meta), so a consistent read never observes a torn (pointer, bits) pair
-// even though the two cells are loaded separately.
 package mvar
 
 import (
@@ -197,6 +150,12 @@ func FlagRaw(v bool) Raw {
 // FlagValue decodes a bool from the scalar cell.
 func FlagValue(r Raw) bool { return r.b != 0 }
 
+// IntRaw encodes an int64 into the scalar cell.
+func IntRaw(n int64) Raw { return Raw{b: uint64(n)} }
+
+// IntValue decodes an int64 from the scalar cell.
+func IntValue(r Raw) int64 { return int64(r.b) }
+
 // abox boxes an arbitrary interface value so it can live in the pointer
 // cell. This is the only payload encoding that allocates on write; the
 // typed encodings above are allocation-free.
@@ -258,6 +217,21 @@ func (f *Flag) Init(v bool) { f.w.InitRaw(FlagRaw(v)) }
 // Load returns the current committed value without a consistency
 // protocol.
 func (f *Flag) Load() bool { return FlagValue(f.w.LoadRaw()) }
+
+// IntVar is a typed transactional integer, stored in the word's scalar
+// cell (no boxing): transactional counters and sequence numbers read and
+// write it allocation-free. The zero value is an unlocked 0.
+type IntVar struct{ w Word }
+
+// Word exposes the underlying memory word.
+func (v *IntVar) Word() *Word { return &v.w }
+
+// Init (re)initialises the payload before the variable is shared.
+func (v *IntVar) Init(n int64) { v.w.InitRaw(IntRaw(n)) }
+
+// Load returns the current committed value without a consistency
+// protocol.
+func (v *IntVar) Load() int64 { return IntValue(v.w.LoadRaw()) }
 
 // ---------------------------------------------------------------------
 // AnyVar: the untyped compatibility variable.

@@ -1,0 +1,29 @@
+// Package txset provides the typed read/write-set entry representation
+// shared by every STM engine in this repository (core, tl2, lsa, swisstm).
+//
+// Entries are flat structs over *mvar.Word and mvar.Raw — no interface
+// boxing — so recording a read or buffering a write never allocates once
+// the backing arrays have warmed up.
+//
+// # Write-set lookup and the spill behaviour
+//
+// A write set needs lookup (read-your-own-writes, and write-after-write
+// coalescing), but transactional write sets are almost always a handful
+// of entries: a list update writes 1-2 locations, a skiplist tower
+// O(log n). WriteSet therefore starts as a plain slice with linear-scan
+// Find, which beats a map both in time and in allocation (the seed
+// allocated a map per writing transaction). Only when a set grows past
+// spillAt (16) entries — large composed transactions, bulk operations —
+// does Append lazily build a map index over the existing entries; from
+// then on Find is O(1) and the index is maintained incrementally. The
+// entry slice remains the source of truth and keeps insertion order,
+// which the commit protocols rely on.
+//
+// # Pooled reuse
+//
+// Sets are designed to be embedded in pooled transaction frames
+// (stm.Thread.EngineScratch) and Reset between attempts: Reset truncates
+// the entry slice and clears — but keeps — the spilled index, so the
+// retry path under contention reuses the same storage. This is where the
+// bulk of the seed's per-attempt allocations came from.
+package txset

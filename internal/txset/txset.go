@@ -1,12 +1,3 @@
-// Package txset provides the typed read/write-set entry representation
-// shared by every STM engine in this repository (core, tl2, lsa, swisstm).
-//
-// Entries are flat structs over *mvar.Word and mvar.Raw — no interface
-// boxing — so recording a read or buffering a write never allocates once
-// the backing arrays have warmed up. Sets are designed to be embedded in
-// pooled transaction frames and reset (capacity-preserving) between
-// attempts: under contention the retry path reuses the same storage, which
-// is where the bulk of the seed's per-attempt allocations came from.
 package txset
 
 import "oestm/internal/mvar"

@@ -80,6 +80,10 @@ type Ref[T any] = mvar.Var[T]
 // Flag is a typed transactional boolean (no boxing).
 type Flag = mvar.Flag
 
+// Int is a typed transactional integer (no boxing) — transactional
+// counters and sequence numbers for composed workloads.
+type Int = mvar.IntVar
+
 // Word is the engine-facing versioned-lock memory word every
 // transactional variable is built on; the lock-word encoding and its
 // 63-bit version/owner budgets are documented in internal/mvar.
@@ -138,6 +142,13 @@ func ReadFlag(tx Tx, v *Flag) bool { return stm.ReadFlag(tx, v) }
 // WriteFlag buffers a new value for the transactional boolean v inside
 // tx.
 func WriteFlag(tx Tx, v *Flag, b bool) { stm.WriteFlag(tx, v, b) }
+
+// ReadInt reads the transactional integer v inside tx (allocation-free).
+func ReadInt(tx Tx, v *Int) int64 { return stm.ReadInt(tx, v) }
+
+// WriteInt buffers a new value for the transactional integer v inside
+// tx.
+func WriteInt(tx Tx, v *Int, n int64) { stm.WriteInt(tx, v, n) }
 
 // Conflict aborts the current transaction attempt and retries it; for
 // use inside Atomic regions.
