@@ -16,11 +16,19 @@
 //	bank              Get/Put transfers in a SkipListMap, total-balance audits
 //	pipeline          producer/stage/consumer over two Queues, conservation audits
 //
+// Both modes sweep an additional contention-management dimension with
+// -cm: each named policy (passive, aggressive, adaptive — see
+// internal/cm) is installed on every worker thread and measured as its
+// own set of points, so engines can be compared under different retry
+// policies; tables and CSV report the per-cause abort breakdown beside
+// throughput.
+//
 // Defaults are sized to finish in a couple of minutes; use -duration,
 // -runs and -threads to approach the paper's 10-second, 10-run protocol:
 //
 //	compose-bench -figure all -bulk 5,15 -duration 10s -runs 10
 //	compose-bench -scenario all -engines all -duration 10s -runs 10
+//	compose-bench -scenario bank -cm passive,aggressive,adaptive
 //
 // CSV output (-csv) uses the schema documented in the README ("CSV
 // schema"); the header line is harness.CSVHeader.
@@ -34,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"oestm/internal/cm"
 	"oestm/internal/harness"
 	"oestm/internal/workload"
 )
@@ -48,6 +57,7 @@ func main() {
 		warmup   = flag.Duration("warmup", 200*time.Millisecond, "warmup before measuring")
 		runs     = flag.Int("runs", 1, "runs per point, averaged (paper: 10); scenario violations are summed")
 		engines  = flag.String("engines", "oestm,lsa,tl2,swisstm", "engines to compare (also: estm), or all for every engine")
+		cms      = flag.String("cm", cm.DefaultName, "comma-separated contention-management policies to sweep per engine: "+strings.Join(cm.Names(), "|")+", or all")
 		scale    = flag.Int("scale", 1, "divide structure sizes and key ranges by this factor for quick runs")
 		audit    = flag.Int("audit", 5, "scenario mode: percentage of steps that run the invariant audit")
 		unsound  = flag.Bool("unsound", false, "scenario mode: run each composition as separate transactions (atomicity deliberately broken; expect non-zero violations)")
@@ -73,12 +83,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "compose-bench: -threads:", err)
 		os.Exit(2)
 	}
+	var cmList []string
+	if *cms == "all" {
+		cmList = cm.Names()
+	} else {
+		for _, name := range splitList(*cms) {
+			if _, ok := cm.New(name); !ok {
+				fmt.Fprintf(os.Stderr, "compose-bench: unknown contention-management policy %q (have: %s)\n", name, strings.Join(cm.Names(), ", "))
+				os.Exit(2)
+			}
+			cmList = append(cmList, name)
+		}
+	}
 
 	var allResults []harness.Result
 	if *scenario != "" {
-		allResults = runScenarios(*scenario, engs, threadList, *duration, *warmup, *runs, *scale, *audit, *unsound)
+		allResults = runScenarios(*scenario, engs, cmList, threadList, *duration, *warmup, *runs, *scale, *audit, *unsound)
 	} else {
-		allResults = runFigures(*figure, *bulks, engs, threadList, *duration, *warmup, *runs, *scale)
+		allResults = runFigures(*figure, *bulks, engs, cmList, threadList, *duration, *warmup, *runs, *scale)
 	}
 
 	if *csvPath != "" {
@@ -91,7 +113,7 @@ func main() {
 }
 
 // runFigures reproduces the paper's Figs. 6-8 panels.
-func runFigures(figure, bulks string, engs []harness.Engine, threadList []int, duration, warmup time.Duration, runs, scale int) []harness.Result {
+func runFigures(figure, bulks string, engs []harness.Engine, cmList []string, threadList []int, duration, warmup time.Duration, runs, scale int) []harness.Result {
 	structures := map[string]string{"6": "linkedlist", "7": "skiplist", "8": "hashset"}
 	var figs []string
 	if figure == "all" {
@@ -125,6 +147,7 @@ func runFigures(figure, bulks string, engs []harness.Engine, threadList []int, d
 				Warmup:     warmup,
 				Runs:       runs,
 				Engines:    engs,
+				CMs:        cmList,
 				Sequential: true,
 				Workload:   cfg,
 			})
@@ -136,7 +159,7 @@ func runFigures(figure, bulks string, engs []harness.Engine, threadList []int, d
 }
 
 // runScenarios runs the composed-transaction scenario panels.
-func runScenarios(scenario string, engs []harness.Engine, threadList []int, duration, warmup time.Duration, runs, scale, audit int, unsound bool) []harness.Result {
+func runScenarios(scenario string, engs []harness.Engine, cmList []string, threadList []int, duration, warmup time.Duration, runs, scale, audit int, unsound bool) []harness.Result {
 	names := splitList(scenario)
 	if scenario == "all" {
 		names = workload.ScenarioNames()
@@ -165,6 +188,7 @@ func runScenarios(scenario string, engs []harness.Engine, threadList []int, dura
 			Warmup:   warmup,
 			Runs:     runs,
 			Engines:  engs,
+			CMs:      cmList,
 			Workload: cfg,
 		})
 		fmt.Println(harness.FormatScenario(results, name))

@@ -1,0 +1,110 @@
+package cm
+
+import (
+	"fmt"
+	"time"
+
+	"oestm/internal/stm"
+)
+
+// DefaultName is the policy a run uses when none is requested; it matches
+// the behaviour of a Thread with no manager installed.
+const DefaultName = "passive"
+
+// Names lists the registered policy names, default first — the vocabulary
+// of compose-bench's -cm flag.
+func Names() []string { return []string{"passive", "aggressive", "adaptive"} }
+
+// New returns a fresh instance of the named policy; ok is false for
+// unknown names. Instances are per-thread and must not be shared.
+func New(name string) (m stm.ContentionManager, ok bool) {
+	switch name {
+	case "passive":
+		return passive{}, true
+	case "aggressive":
+		return aggressive{}, true
+	case "adaptive":
+		return &adaptive{}, true
+	default:
+		return nil, false
+	}
+}
+
+// MustNew is New for known-good names; it panics on unknown ones.
+func MustNew(name string) stm.ContentionManager {
+	m, ok := New(name)
+	if !ok {
+		panic(fmt.Sprintf("cm: unknown contention-management policy %q", name))
+	}
+	return m
+}
+
+// passive is the default policy: the same randomised exponential backoff
+// schedule the driver applies when no manager is installed (single source:
+// stm.PassiveDecision), made explicit so sweeps can name it.
+type passive struct{}
+
+func (passive) OnAbort(th *stm.Thread, _ stm.ConflictCause, attempt int) stm.Decision {
+	return stm.PassiveDecision(th, attempt)
+}
+
+func (passive) OnCommit(*stm.Thread) {}
+
+// aggressive retries immediately on every abort: the zero Decision.
+type aggressive struct{}
+
+func (aggressive) OnAbort(*stm.Thread, stm.ConflictCause, int) stm.Decision {
+	return stm.Decision{}
+}
+
+func (aggressive) OnCommit(*stm.Thread) {}
+
+// Escalation thresholds of the adaptive policy, in consecutive aborts
+// since the last commit.
+const (
+	adaptiveSpinStreak  = 2  // streaks ≤ this spin (validation conflicts)
+	adaptiveYieldStreak = 6  // streaks ≤ this yield; beyond, sleep
+	adaptiveMaxShift    = 10 // caps the sleep at ~1ms, as in passive
+)
+
+// adaptive escalates spin → yield → sleep as aborts accumulate, keyed on
+// the streak of consecutive aborts since the thread's last commit (a
+// better congestion signal than the per-call attempt counter: a thread
+// whose every Atomic call loses once is contending even though each call
+// only ever reaches attempt 0). The abort's cause picks the starting
+// rung — see the package comment.
+type adaptive struct {
+	streak int
+}
+
+func (a *adaptive) OnAbort(th *stm.Thread, cause stm.ConflictCause, attempt int) stm.Decision {
+	a.streak++
+	s := a.streak
+	lockShaped := cause == stm.CauseLockBusy || cause == stm.CauseDoomed
+	if lockShaped {
+		// The conflicting transaction still holds a lock and needs the
+		// processor to release it: spinning burns exactly the cycles it
+		// needs. Skip the spin rung entirely.
+		if s <= adaptiveYieldStreak {
+			return stm.Decision{Yield: true}
+		}
+	} else {
+		// Validation-shaped conflict: the winning commit has already
+		// happened, the retry can usually proceed at once — spin briefly
+		// to keep cache warmth, yield once spinning stops paying.
+		if s <= adaptiveSpinStreak {
+			return stm.Decision{Spin: 64 << s}
+		}
+		if s <= adaptiveYieldStreak {
+			return stm.Decision{Yield: true}
+		}
+	}
+	shift := s - adaptiveYieldStreak - 1
+	if shift > adaptiveMaxShift {
+		shift = adaptiveMaxShift
+	}
+	maxNs := int64(1024) << shift // 1us .. ~1ms, jittered as in passive
+	return stm.Decision{Sleep: time.Duration(th.Rand.Int64N(maxNs) + 1)}
+}
+
+func (a *adaptive) OnCommit(*stm.Thread) { a.streak = 0 }

@@ -1,0 +1,181 @@
+package cm_test
+
+import (
+	"testing"
+
+	"oestm/internal/cm"
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// fakeTM satisfies stm.TM so tests can mint Threads; policies only touch
+// the thread's PRNG.
+type fakeTM struct{}
+
+func (fakeTM) Name() string                                                   { return "fake" }
+func (fakeTM) SupportsElastic() bool                                          { return false }
+func (fakeTM) Begin(*stm.Thread, stm.Kind) stm.TxControl                      { return nil }
+func (fakeTM) BeginNested(*stm.Thread, stm.TxControl, stm.Kind) stm.TxControl { return nil }
+
+func newThread() *stm.Thread { return stm.NewThread(fakeTM{}) }
+
+func TestRegistry(t *testing.T) {
+	names := cm.Names()
+	if len(names) < 3 {
+		t.Fatalf("Names() = %v, want at least passive, aggressive, adaptive", names)
+	}
+	if names[0] != cm.DefaultName {
+		t.Fatalf("Names()[0] = %q, want the default %q first", names[0], cm.DefaultName)
+	}
+	for _, n := range names {
+		m, ok := cm.New(n)
+		if !ok || m == nil {
+			t.Fatalf("New(%q) failed", n)
+		}
+	}
+	if _, ok := cm.New("nope"); ok {
+		t.Fatal("New must reject unknown names")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic on unknown names")
+		}
+	}()
+	cm.MustNew("nope")
+}
+
+func TestPassiveMatchesBuiltinSchedule(t *testing.T) {
+	// Passive must answer exactly stm.PassiveDecision — the same
+	// schedule a thread with no manager gets — so naming it in a sweep
+	// changes nothing. Sleeps are jittered, so compare shapes, not
+	// durations.
+	m := cm.MustNew("passive")
+	th := newThread()
+	for attempt := 0; attempt < 8; attempt++ {
+		got := m.OnAbort(th, stm.CauseReadValidation, attempt)
+		want := stm.PassiveDecision(th, attempt)
+		if got.Yield != want.Yield || got.Spin != want.Spin || (got.Sleep > 0) != (want.Sleep > 0) {
+			t.Fatalf("attempt %d: passive = %+v, builtin = %+v", attempt, got, want)
+		}
+	}
+}
+
+func TestAggressiveAlwaysImmediate(t *testing.T) {
+	m := cm.MustNew("aggressive")
+	th := newThread()
+	for attempt := 0; attempt < 20; attempt++ {
+		for _, c := range stm.Causes() {
+			if d := m.OnAbort(th, c, attempt); d != (stm.Decision{}) {
+				t.Fatalf("aggressive decided %+v for cause %v attempt %d, want immediate", d, c, attempt)
+			}
+		}
+	}
+}
+
+func TestAdaptiveEscalatesAndResets(t *testing.T) {
+	m := cm.MustNew("adaptive")
+	th := newThread()
+
+	// Validation-shaped causes: spin first, then yield, then sleep.
+	d := m.OnAbort(th, stm.CauseReadValidation, 0)
+	if d.Spin == 0 || d.Yield || d.Sleep != 0 {
+		t.Fatalf("first validation abort: %+v, want spin", d)
+	}
+	var sawYield, sawSleep bool
+	for i := 0; i < 12; i++ {
+		d = m.OnAbort(th, stm.CauseCommitValidation, i)
+		if d.Yield {
+			sawYield = true
+			if sawSleep {
+				t.Fatal("yield after sleep: escalation went backwards")
+			}
+		}
+		if d.Sleep > 0 {
+			sawSleep = true
+		}
+	}
+	if !sawYield || !sawSleep {
+		t.Fatalf("escalation never reached yield (%v) or sleep (%v)", sawYield, sawSleep)
+	}
+
+	// A commit resets the streak: back to spinning.
+	m.OnCommit(th)
+	d = m.OnAbort(th, stm.CauseReadValidation, 0)
+	if d.Spin == 0 || d.Sleep != 0 {
+		t.Fatalf("post-commit abort: %+v, want spin again", d)
+	}
+
+	// Lock-shaped causes skip the spin rung: the holder needs the
+	// processor to release the lock.
+	m2 := cm.MustNew("adaptive")
+	for _, c := range []stm.ConflictCause{stm.CauseLockBusy, stm.CauseDoomed} {
+		m2.OnCommit(th) // reset between cause probes
+		d := m2.OnAbort(th, c, 0)
+		if !d.Yield || d.Spin != 0 {
+			t.Fatalf("first %v abort: %+v, want immediate yield", c, d)
+		}
+	}
+}
+
+func TestAdaptiveSleepStaysBounded(t *testing.T) {
+	m := cm.MustNew("adaptive")
+	th := newThread()
+	const cap = 1 << 20 // 1024 * 2^10 ns ≈ 1ms, the passive cap
+	for i := 0; i < 100; i++ {
+		if d := m.OnAbort(th, stm.CauseReadValidation, i); d.Sleep > cap {
+			t.Fatalf("abort %d: sleep %v exceeds the ~1ms cap", i, d.Sleep)
+		}
+	}
+}
+
+func TestPoliciesDriveRealRetries(t *testing.T) {
+	// Each policy must carry a forced-conflict transaction through the
+	// real Atomic driver: run explicit conflicts on a trivial
+	// always-commits engine with the policy installed and check the
+	// retries complete and are counted.
+	for _, name := range cm.Names() {
+		t.Run(name, func(t *testing.T) {
+			th := stm.NewThread(selfTM{})
+			th.CM = cm.MustNew(name)
+			runs := 0
+			if err := th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				runs++
+				if runs < 4 {
+					stm.Conflict("forced")
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if runs != 4 {
+				t.Fatalf("runs = %d, want 4", runs)
+			}
+			if th.Stats.AbortsByCause[stm.CauseExplicit] != 3 {
+				t.Fatalf("explicit aborts = %d, want 3", th.Stats.AbortsByCause[stm.CauseExplicit])
+			}
+		})
+	}
+}
+
+// selfTM is a no-op engine whose transactions always commit; enough to
+// drive the retry loop with explicit conflicts.
+type selfTM struct{}
+
+func (selfTM) Name() string          { return "self" }
+func (selfTM) SupportsElastic() bool { return false }
+func (selfTM) Begin(*stm.Thread, stm.Kind) stm.TxControl {
+	return selfTx{}
+}
+func (selfTM) BeginNested(_ *stm.Thread, parent stm.TxControl, _ stm.Kind) stm.TxControl {
+	return stm.FlatChild(parent)
+}
+
+type selfTx struct{}
+
+func (selfTx) Read(v *mvar.AnyVar) any        { return v.Load() }
+func (selfTx) Write(*mvar.AnyVar, any)        {}
+func (selfTx) ReadWord(w *mvar.Word) mvar.Raw { return w.LoadRaw() }
+func (selfTx) WriteWord(*mvar.Word, mvar.Raw) {}
+func (selfTx) Kind() stm.Kind                 { return stm.Regular }
+func (selfTx) Commit() error                  { return nil }
+func (selfTx) Rollback()                      {}

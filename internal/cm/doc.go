@@ -1,0 +1,36 @@
+// Package cm provides the pluggable contention-management policies of the
+// retry layer: implementations of stm.ContentionManager selectable by
+// name, so the harness and compose-bench can sweep the contention-policy
+// dimension the same way they sweep engines and thread counts.
+//
+// The mechanism/policy split: internal/stm owns the mechanism — the
+// ContentionManager interface, the Decision vocabulary (spin / yield /
+// sleep), the typed ConflictCause each abort carries, and the driver that
+// applies decisions between attempts. This package owns the policies:
+//
+//   - passive: the default randomised exponential backoff — yield the
+//     processor on the first attempts, then sleep exponentially growing,
+//     jittered durations. Identical to the behaviour of a Thread with no
+//     manager installed (both call stm.PassiveDecision).
+//   - aggressive: retry immediately, always. The cheapest policy when
+//     transactions are short and contention low; prone to wasted work and
+//     livelock-like churn under heavy contention — included as the lower
+//     anchor of the policy axis.
+//   - adaptive: escalate spin → yield → sleep with the thread's streak of
+//     consecutive aborts, and use the abort's ConflictCause to pick the
+//     starting rung: lock-shaped conflicts (lock-busy, doomed) yield
+//     immediately so the lock holder gets the processor, while
+//     validation-shaped conflicts (read/commit validation, snapshot
+//     extension, elastic window) spin first, because the conflicting
+//     commit has typically already finished. A commit resets the streak.
+//
+// Policies are per-thread: New returns a fresh instance each call and
+// instances must not be shared between threads (adaptive keeps mutable
+// state, and all policies draw jitter from the owning thread's PRNG).
+//
+// Install a policy on a thread with:
+//
+//	th.CM = cm.MustNew("adaptive")
+//
+// and sweep policies in compose-bench with -cm=passive,aggressive,adaptive.
+package cm

@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"oestm/internal/core"
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// wantCause asserts that err is a RetryExhaustedError carrying want (and
+// still matches the ErrConflict sentinel).
+func wantCause(t *testing.T, err error, want stm.ConflictCause) {
+	t.Helper()
+	if !errors.Is(err, stm.ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict match", err)
+	}
+	var rex *stm.RetryExhaustedError
+	if !errors.As(err, &rex) {
+		t.Fatalf("err = %v, want *RetryExhaustedError", err)
+	}
+	if rex.Cause != want {
+		t.Fatalf("cause = %v, want %v", rex.Cause, want)
+	}
+}
+
+// TestConflictCauses pins every OE-STM conflict site to its
+// ConflictCause: reads of locked locations (read-validation), broken
+// elastic cuts (elastic-window), failed lazy snapshot extensions
+// (snapshot-extension), commit-time lock acquisition (lock-busy), and
+// commit-time frame validation — top-level and nested — as
+// commit-validation.
+func TestConflictCauses(t *testing.T) {
+	cases := []struct {
+		name string
+		want stm.ConflictCause
+		run  func(t *testing.T) error
+	}{
+		{"read of locked location", stm.CauseReadValidation, func(t *testing.T) error {
+			tm := core.New()
+			th := stm.NewThread(tm)
+			th.MaxRetries = 1
+			v := mvar.New(1)
+			if !v.TryLock(7, v.Meta()) {
+				t.Fatal("could not pre-lock the variable")
+			}
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				_ = tx.Read(v)
+				return nil
+			})
+		}},
+		{"elastic cut broken", stm.CauseElasticWindow, func(t *testing.T) error {
+			tm := core.New()
+			th, other := stm.NewThread(tm), stm.NewThread(tm)
+			th.MaxRetries = 1
+			a, b, c := mvar.New(1), mvar.New(1), mvar.New(1)
+			return th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+				_ = tx.Read(a) // window: [a]
+				_ = tx.Read(b) // window: [a b]
+				if err := other.Atomic(stm.Regular, func(tx2 stm.Tx) error {
+					tx2.Write(a, 2)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				_ = tx.Read(c) // cut check: a moved under the window
+				return nil
+			})
+		}},
+		{"snapshot extension failure", stm.CauseSnapshotExtension, func(t *testing.T) error {
+			tm := core.New()
+			th, other := stm.NewThread(tm), stm.NewThread(tm)
+			th.MaxRetries = 1
+			a, b := mvar.New(1), mvar.New(1)
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				_ = tx.Read(a)
+				if err := other.Atomic(stm.Regular, func(tx2 stm.Tx) error {
+					tx2.Write(a, 2)
+					tx2.Write(b, 2)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				_ = tx.Read(b) // beyond the bound: extension revalidates a
+				return nil
+			})
+		}},
+		{"commit-time write lock unavailable", stm.CauseLockBusy, func(t *testing.T) error {
+			tm := core.New()
+			th := stm.NewThread(tm)
+			th.MaxRetries = 1
+			v := mvar.New(1)
+			if !v.TryLock(7, v.Meta()) {
+				t.Fatal("could not pre-lock the variable")
+			}
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				tx.Write(v, 2) // deferred: the conflict surfaces at commit
+				return nil
+			})
+		}},
+		{"commit-time frame validation failure", stm.CauseCommitValidation, func(t *testing.T) error {
+			tm := core.New()
+			th, other := stm.NewThread(tm), stm.NewThread(tm)
+			th.MaxRetries = 1
+			a, b := mvar.New(1), mvar.New(1)
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				_ = tx.Read(a)
+				if err := other.Atomic(stm.Regular, func(tx2 stm.Tx) error {
+					tx2.Write(a, 2)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				tx.Write(b, 2)
+				return nil
+			})
+		}},
+		{"nested commit validation failure", stm.CauseCommitValidation, func(t *testing.T) error {
+			tm := core.New()
+			th, other := stm.NewThread(tm), stm.NewThread(tm)
+			th.MaxRetries = 1
+			a, y := mvar.New(1), mvar.New(1)
+			return th.Atomic(stm.Elastic, func(tx stm.Tx) error {
+				return th.Atomic(stm.Elastic, func(tx2 stm.Tx) error {
+					_ = tx2.Read(a)
+					tx2.Write(y, 2) // promote the window: a is protected
+					if err := other.Atomic(stm.Regular, func(tx3 stm.Tx) error {
+						tx3.Write(a, 2)
+						return nil
+					}); err != nil {
+						t.Fatal(err)
+					}
+					return nil // the child's commit validation fails
+				})
+			})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCause(t, tc.run(t), tc.want)
+		})
+	}
+}

@@ -44,7 +44,7 @@ func (c *child) WriteWord(w *mvar.Word, r mvar.Raw) { writeWordTraced(c.top, &c.
 func (c *child) Commit() error {
 	t := c.top
 	if !t.frameValid(&c.frame) {
-		return stm.ErrConflict
+		return stm.ConflictOf(stm.CauseCommitValidation)
 	}
 	t.popFrame(&c.frame)
 	tr := t.tm.tracer

@@ -154,7 +154,7 @@ func (t *txn) readWord(f *frame, w *mvar.Word) mvar.Raw {
 	}
 	raw, ver, ok := w.ReadConsistent()
 	if !ok {
-		stm.Conflict("oestm: read of locked or changing location")
+		stm.Abort(stm.CauseReadValidation)
 	}
 	// A version beyond the snapshot bound triggers a lazy extension. The
 	// extension only validates reads recorded so far, so the in-flight
@@ -165,7 +165,7 @@ func (t *txn) readWord(f *frame, w *mvar.Word) mvar.Raw {
 		t.extend()
 		raw, ver, ok = w.ReadConsistent()
 		if !ok {
-			stm.Conflict("oestm: read of locked or changing location")
+			stm.Abort(stm.CauseReadValidation)
 		}
 	}
 	if f.kind == stm.Elastic && !f.written {
@@ -175,7 +175,7 @@ func (t *txn) readWord(f *frame, w *mvar.Word) mvar.Raw {
 		// released after a new protection element is acquired").
 		for i := 0; i < f.nwin; i++ {
 			if !t.entryValid(f.win[i]) {
-				stm.Conflict("oestm: elastic cut broken")
+				stm.Abort(stm.CauseElasticWindow)
 			}
 		}
 		t.traceAcquire(f, w)
@@ -214,7 +214,7 @@ func (t *txn) writeWord(f *frame, w *mvar.Word, r mvar.Raw) {
 func (t *txn) extend() {
 	now := t.tm.clock.Now()
 	if !t.validateFrames() {
-		stm.Conflict("oestm: snapshot extension failed")
+		stm.Abort(stm.CauseSnapshotExtension)
 	}
 	t.ub = now
 }
@@ -279,7 +279,7 @@ func (t *txn) Commit() error {
 		if mvar.Locked(m) || !e.W.TryLock(t.th.ID, m) {
 			t.revert(acquired)
 			t.traceFinish(false)
-			return stm.ErrConflict
+			return stm.ConflictOf(stm.CauseLockBusy)
 		}
 		e.Old = m
 		acquired++
@@ -289,7 +289,7 @@ func (t *txn) Commit() error {
 		if !t.validateFrames() {
 			t.revert(acquired)
 			t.traceFinish(false)
-			return stm.ErrConflict
+			return stm.ConflictOf(stm.CauseCommitValidation)
 		}
 	}
 	for i := range entries {

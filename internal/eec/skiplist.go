@@ -20,7 +20,7 @@ const maxLevel = 16
 // variables and the mark a typed flag, so traversals never box.
 type snode struct {
 	key    int
-	marked mvar.Flag        // zero value reads as false
+	marked mvar.Flag         // zero value reads as false
 	next   []mvar.Var[snode] // each holds *snode
 }
 

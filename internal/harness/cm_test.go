@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"oestm/internal/cm"
+	"oestm/internal/workload"
+)
+
+func TestCMNamesValidation(t *testing.T) {
+	if got := CMNames(nil); len(got) != 1 || got[0] != cm.DefaultName {
+		t.Fatalf("CMNames(nil) = %v, want [%s]", got, cm.DefaultName)
+	}
+	if got := CMNames([]string{"adaptive", "passive"}); len(got) != 2 {
+		t.Fatalf("CMNames = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CMNames must panic on unknown policies")
+		}
+	}()
+	CMNames([]string{"bogus"})
+}
+
+// TestSweepCMDimension checks that the contention-policy axis multiplies
+// the sweep, tags every result, qualifies the table columns and lands in
+// the CSV's cm column.
+func TestSweepCMDimension(t *testing.T) {
+	eng, _ := EngineByName("tl2")
+	results := Sweep(SweepConfig{
+		Structure:  "hashset",
+		BulkPct:    5,
+		Threads:    []int{2},
+		Duration:   20 * time.Millisecond,
+		Warmup:     5 * time.Millisecond,
+		Engines:    []Engine{eng},
+		CMs:        []string{"passive", "aggressive"},
+		Sequential: true,
+		Workload:   quickWorkload(),
+	})
+	// sequential + one point per policy
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[r.CM] = true
+	}
+	for _, want := range []string{"-", "passive", "aggressive"} {
+		if !seen[want] {
+			t.Fatalf("no result tagged cm=%q: %v", want, seen)
+		}
+	}
+	text := Format(results, "hashset", 5)
+	for _, want := range []string{"tl2/passive", "tl2/aggressive"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, text)
+		}
+	}
+	csv := CSV(results)
+	for _, want := range []string{",tl2,passive,2,", ",tl2,aggressive,2,", ",sequential,-,1,"} {
+		if !strings.Contains(csv, want) {
+			t.Fatalf("csv missing %q:\n%s", want, csv)
+		}
+	}
+}
+
+// TestResultCauseColumnsConsistent runs a contended point and checks the
+// per-cause columns of the Result sum exactly to its abort count, and
+// that the CSV emits one aborts_<cause> column per cause.
+func TestResultCauseColumnsConsistent(t *testing.T) {
+	eng, _ := EngineByName("oestm")
+	r := RunSTM(eng, RunConfig{
+		Structure: "linkedlist",
+		Threads:   4,
+		Duration:  40 * time.Millisecond,
+		Warmup:    5 * time.Millisecond,
+		Workload:  quickWorkload(),
+		CM:        "aggressive",
+	})
+	if r.CM != "aggressive" {
+		t.Fatalf("result CM = %q", r.CM)
+	}
+	var sum uint64
+	for _, n := range r.AbortsByCause {
+		sum += n
+	}
+	if sum != r.Aborts {
+		t.Fatalf("cause columns sum to %d, Aborts = %d (%+v)", sum, r.Aborts, r.AbortsByCause)
+	}
+	if !strings.Contains(CSVHeader, ",cm,") || !strings.Contains(CSVHeader, ",aborts_lock_busy") {
+		t.Fatalf("CSVHeader missing cm/cause columns: %s", CSVHeader)
+	}
+	header := strings.Split(CSVHeader, ",")
+	row := strings.Split(strings.Split(CSV([]Result{r}), "\n")[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("csv row has %d fields, header %d", len(row), len(header))
+	}
+}
+
+// TestScenarioSweepCMDimension mirrors TestSweepCMDimension for the
+// composed-scenario runner.
+func TestScenarioSweepCMDimension(t *testing.T) {
+	eng, _ := EngineByName("oestm")
+	cfg := workload.DefaultScenarioConfig().Scaled(16)
+	results := ScenarioSweep(ScenarioSweepConfig{
+		Scenario: "move",
+		Threads:  []int{2},
+		Duration: 20 * time.Millisecond,
+		Warmup:   5 * time.Millisecond,
+		Engines:  []Engine{eng},
+		CMs:      []string{"passive", "adaptive"},
+		Workload: cfg,
+	})
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	text := FormatScenario(results, "move")
+	for _, want := range []string{"oestm/passive", "oestm/adaptive"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scenario table missing %q:\n%s", want, text)
+		}
+	}
+	for _, r := range results {
+		if r.Violations != 0 {
+			t.Fatalf("violations on oestm under cm=%s: %+v", r.CM, r)
+		}
+	}
+}

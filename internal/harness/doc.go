@@ -27,6 +27,6 @@
 // operations.
 //
 // Results render as aligned text tables (Format, FormatScenario) or CSV
-// (CSV); the CSV schema is the CSVHeader constant, documented column by
+// (CSV); the CSV schema is the CSVHeader value, documented column by
 // column there and in the README's "CSV schema" section.
 package harness

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"oestm/internal/cm"
 	"oestm/internal/core"
 	"oestm/internal/eec"
 	"oestm/internal/lsa"
@@ -91,6 +92,36 @@ type RunConfig struct {
 	Duration  time.Duration
 	Warmup    time.Duration
 	Workload  workload.Config
+	// CM names the contention-management policy installed on every
+	// worker thread (see internal/cm); empty means cm.DefaultName.
+	CM string
+}
+
+// CMNames resolves the policy names of a sweep request: nil or empty
+// means just the default policy. Unknown names panic (CLI front-ends
+// validate against cm.Names first).
+func CMNames(names []string) []string {
+	if len(names) == 0 {
+		return []string{cm.DefaultName}
+	}
+	for _, n := range names {
+		if _, ok := cm.New(n); !ok {
+			panic(fmt.Sprintf("harness: unknown contention-management policy %q", n))
+		}
+	}
+	return names
+}
+
+// newWorkerThread builds a worker's transactional context with the
+// requested contention-management policy installed (fresh instance per
+// thread: policies keep per-thread state).
+func newWorkerThread(tm stm.TM, cmName string) *stm.Thread {
+	th := stm.NewThread(tm)
+	if cmName == "" {
+		cmName = cm.DefaultName
+	}
+	th.CM = cm.MustNew(cmName)
+	return th
 }
 
 // MixScenario is the Scenario label of the classic single-structure
@@ -107,6 +138,7 @@ type Result struct {
 	Scenario    string
 	Structure   string
 	BulkPct     int
+	CM          string // contention-management policy ("-" for sequential)
 	Threads     int
 	OpsPerMs    float64
 	AbortRate   float64
@@ -115,7 +147,10 @@ type Result struct {
 	Ops         uint64
 	Commits     uint64
 	Aborts      uint64
-	Elapsed     time.Duration
+	// AbortsByCause breaks Aborts down by stm.ConflictCause (indexed by
+	// cause value, summed across workers and runs of the point).
+	AbortsByCause [stm.NumCauses]uint64
+	Elapsed       time.Duration
 }
 
 // mallocs samples the cumulative process-wide allocation count.
@@ -182,11 +217,7 @@ func runMeasured(threads int, warmup, duration time.Duration, newWorker func(idx
 			if !baseTaken {
 				base = stm.Stats{}
 			}
-			delta := th.Stats
-			delta.Commits -= base.Commits
-			delta.Aborts -= base.Aborts
-			delta.NestedBegins -= base.NestedBegins
-			delta.ReadOnly -= base.ReadOnly
+			delta := th.Stats.Diff(base)
 			mu.Lock()
 			totalOps += ops
 			totals.Add(delta)
@@ -221,24 +252,30 @@ func RunSTM(eng Engine, cfg RunConfig) Result {
 	workload.Fill(filler, set, cfg.Workload)
 
 	m := runMeasured(cfg.Threads, cfg.Warmup, cfg.Duration, func(idx int) (*stm.Thread, func()) {
-		th := stm.NewThread(tm)
+		th := newWorkerThread(tm, cfg.CM)
 		gen := workload.NewGen(cfg.Workload, idx)
 		return th, func() { workload.Apply(th, set, gen.Next()) }
 	}, nil)
 
+	cmName := cfg.CM
+	if cmName == "" {
+		cmName = cm.DefaultName
+	}
 	return Result{
-		Engine:      eng.Name,
-		Scenario:    MixScenario,
-		Structure:   cfg.Structure,
-		BulkPct:     cfg.Workload.BulkPct,
-		Threads:     cfg.Threads,
-		OpsPerMs:    m.OpsPerMs(),
-		AbortRate:   m.Totals.AbortRate(),
-		AllocsPerOp: m.AllocsPerOp(),
-		Ops:         m.Ops,
-		Commits:     m.Totals.Commits,
-		Aborts:      m.Totals.Aborts,
-		Elapsed:     m.Elapsed,
+		Engine:        eng.Name,
+		Scenario:      MixScenario,
+		Structure:     cfg.Structure,
+		BulkPct:       cfg.Workload.BulkPct,
+		CM:            cmName,
+		Threads:       cfg.Threads,
+		OpsPerMs:      m.OpsPerMs(),
+		AbortRate:     m.Totals.AbortRate(),
+		AllocsPerOp:   m.AllocsPerOp(),
+		Ops:           m.Ops,
+		Commits:       m.Totals.Commits,
+		Aborts:        m.Totals.Aborts,
+		AbortsByCause: m.Totals.AbortsByCause,
+		Elapsed:       m.Elapsed,
 	}
 }
 
@@ -283,6 +320,7 @@ func RunSequential(cfg RunConfig) Result {
 		Scenario:    MixScenario,
 		Structure:   cfg.Structure,
 		BulkPct:     cfg.Workload.BulkPct,
+		CM:          "-", // no transactions, no contention management
 		Threads:     1,
 		OpsPerMs:    float64(measured) / float64(elapsed.Milliseconds()+1),
 		AllocsPerOp: allocsPerOp,

@@ -7,11 +7,13 @@ import (
 	"time"
 
 	"oestm/internal/stats"
+	"oestm/internal/stm"
 	"oestm/internal/workload"
 )
 
 // SweepConfig describes a whole figure: one structure, one bulk
-// percentage, a list of thread counts, and the engines to compare.
+// percentage, a list of thread counts, the engines to compare, and the
+// contention-management policies to sweep them under.
 type SweepConfig struct {
 	Structure  string
 	BulkPct    int
@@ -20,7 +22,8 @@ type SweepConfig struct {
 	Warmup     time.Duration
 	Runs       int // per point; results are averaged
 	Engines    []Engine
-	Sequential bool // include the bare sequential baseline
+	CMs        []string // contention policies (internal/cm names); nil = default
+	Sequential bool     // include the bare sequential baseline
 	Workload   workload.Config
 }
 
@@ -47,19 +50,22 @@ func Sweep(cfg SweepConfig) []Result {
 		}
 		out = append(out, average(rs))
 	}
-	for _, eng := range cfg.Engines {
-		for _, n := range cfg.Threads {
-			rs := make([]Result, cfg.Runs)
-			for i := range rs {
-				rs[i] = RunSTM(eng, RunConfig{
-					Structure: cfg.Structure,
-					Threads:   n,
-					Duration:  cfg.Duration,
-					Warmup:    cfg.Warmup,
-					Workload:  cfg.Workload,
-				})
+	for _, cmName := range CMNames(cfg.CMs) {
+		for _, eng := range cfg.Engines {
+			for _, n := range cfg.Threads {
+				rs := make([]Result, cfg.Runs)
+				for i := range rs {
+					rs[i] = RunSTM(eng, RunConfig{
+						Structure: cfg.Structure,
+						Threads:   n,
+						Duration:  cfg.Duration,
+						Warmup:    cfg.Warmup,
+						Workload:  cfg.Workload,
+						CM:        cmName,
+					})
+				}
+				out = append(out, average(rs))
 			}
-			out = append(out, average(rs))
 		}
 	}
 	return out
@@ -82,6 +88,9 @@ func average(rs []Result) Result {
 			out.Ops += r.Ops
 			out.Commits += r.Commits
 			out.Aborts += r.Aborts
+			for c := range out.AbortsByCause {
+				out.AbortsByCause[c] += r.AbortsByCause[c]
+			}
 			// Violations are summed, not averaged: any non-zero count
 			// means the invariant broke, and averaging could round a
 			// single violation out of sight.
@@ -108,16 +117,55 @@ func FigureTitle(structure string) string {
 	}
 }
 
+// columnLabel names a result's table column: the engine, qualified with
+// the contention policy ("engine/cm") when the result set sweeps more
+// than one policy.
+func columnLabel(r Result, multiCM bool) string {
+	if !multiCM || r.Engine == "sequential" {
+		return r.Engine
+	}
+	return r.Engine + "/" + r.CM
+}
+
+// labelWidth sizes the engine column of a table: wide enough for the
+// longest label (engine/policy pairs can exceed the 12-char default,
+// e.g. "swisstm/aggressive") so the ab%/allocs columns stay aligned.
+func labelWidth(labels []string) int {
+	w := 12
+	for _, l := range labels {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	return w
+}
+
+// sweepsCMs reports whether results span more than one contention policy
+// (the sequential baseline's "-" placeholder does not count).
+func sweepsCMs(results []Result) bool {
+	cms := map[string]bool{}
+	for _, r := range results {
+		if r.Engine != "sequential" {
+			cms[r.CM] = true
+		}
+	}
+	return len(cms) > 1
+}
+
 // Format renders a figure's results as an aligned table: one row per
-// thread count, throughput and abort-rate columns per engine — the text
-// rendition of the paper's plots.
+// thread count, throughput and abort-rate columns per engine (per
+// engine/policy pair when sweeping contention managers) — the text
+// rendition of the paper's plots — followed by the per-cause abort
+// breakdown.
 func Format(results []Result, structure string, bulkPct int) string {
-	var engines []string
+	multiCM := sweepsCMs(results)
+	var labels []string
 	seen := map[string]bool{}
 	for _, r := range results {
-		if !seen[r.Engine] {
-			seen[r.Engine] = true
-			engines = append(engines, r.Engine)
+		l := columnLabel(r, multiCM)
+		if !seen[l] {
+			seen[l] = true
+			labels = append(labels, l)
 		}
 	}
 	threadSet := map[int]bool{}
@@ -134,38 +182,102 @@ func Format(results []Result, structure string, bulkPct int) string {
 
 	point := map[string]map[int]Result{}
 	for _, r := range results {
-		if point[r.Engine] == nil {
-			point[r.Engine] = map[int]Result{}
+		l := columnLabel(r, multiCM)
+		if point[l] == nil {
+			point[l] = map[int]Result{}
 		}
-		point[r.Engine][r.Threads] = r
+		point[l][r.Threads] = r
 	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %d%% addAll/removeAll (throughput ops/ms | abort %% | allocs/op)\n",
 		FigureTitle(structure), bulkPct)
+	w := labelWidth(labels)
 	fmt.Fprintf(&b, "%-8s", "threads")
-	for _, e := range engines {
-		if e == "sequential" {
-			fmt.Fprintf(&b, " %12s", e)
+	for _, l := range labels {
+		if l == "sequential" {
+			fmt.Fprintf(&b, " %12s", l)
 			continue
 		}
-		fmt.Fprintf(&b, " %12s %7s %7s", e, "ab%", "allocs")
+		fmt.Fprintf(&b, " %*s %7s %7s", w, l, "ab%", "allocs")
 	}
 	b.WriteByte('\n')
 	for _, n := range threads {
 		fmt.Fprintf(&b, "%-8d", n)
-		for _, e := range engines {
-			if e == "sequential" {
-				r := point[e][1]
+		for _, l := range labels {
+			if l == "sequential" {
+				r := point[l][1]
 				fmt.Fprintf(&b, " %12.1f", r.OpsPerMs)
 				continue
 			}
-			r, ok := point[e][n]
+			r, ok := point[l][n]
 			if !ok {
-				fmt.Fprintf(&b, " %12s %7s %7s", "-", "-", "-")
+				fmt.Fprintf(&b, " %*s %7s %7s", w, "-", "-", "-")
 				continue
 			}
-			fmt.Fprintf(&b, " %12.1f %7.2f %7.2f", r.OpsPerMs, r.AbortRate, r.AllocsPerOp)
+			fmt.Fprintf(&b, " %*.1f %7.2f %7.2f", w, r.OpsPerMs, r.AbortRate, r.AllocsPerOp)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(FormatCauses(results))
+	return b.String()
+}
+
+// displayCauses is the cause order of breakdown tables and CSV columns:
+// the classified causes first, the unknown bucket last.
+func displayCauses() []stm.ConflictCause {
+	out := make([]stm.ConflictCause, 0, stm.NumCauses)
+	for c := 1; c < stm.NumCauses; c++ {
+		out = append(out, stm.ConflictCause(c))
+	}
+	return append(out, stm.CauseUnknown)
+}
+
+// FormatCauses renders the per-cause abort breakdown of a result set: one
+// row per engine (or engine/policy pair), each cause's aborts summed over
+// the thread sweep and runs. Rows and the whole block are omitted when
+// nothing aborted.
+func FormatCauses(results []Result) string {
+	multiCM := sweepsCMs(results)
+	var labels []string
+	totals := map[string]*[stm.NumCauses]uint64{}
+	for _, r := range results {
+		if r.Engine == "sequential" {
+			continue
+		}
+		l := columnLabel(r, multiCM)
+		t, ok := totals[l]
+		if !ok {
+			t = new([stm.NumCauses]uint64)
+			totals[l] = t
+			labels = append(labels, l)
+		}
+		for c := range r.AbortsByCause {
+			t[c] += r.AbortsByCause[c]
+		}
+	}
+	any := false
+	for _, t := range totals {
+		for _, n := range t {
+			if n > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("aborts by cause (summed over sweep)\n")
+	fmt.Fprintf(&b, "%-24s", "")
+	for _, c := range displayCauses() {
+		fmt.Fprintf(&b, " %18s", c)
+	}
+	b.WriteByte('\n')
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%-24s", l)
+		for _, c := range displayCauses() {
+			fmt.Fprintf(&b, " %18d", totals[l][c])
 		}
 		b.WriteByte('\n')
 	}
@@ -178,16 +290,24 @@ func Format(results []Result, structure string, bulkPct int) string {
 // against it. Columns: scenario ("mix" for the Figs. 6-8 workload, else
 // the composed-scenario name), structure (structure label; for composed
 // scenarios the structures the scenario spans), bulk_pct (percentage of
-// bulk operations; 0 for scenarios), engine, threads, ops_per_ms
-// (completed operations per millisecond of measured time, the paper's
-// throughput unit), abort_rate (aborted attempts as a percentage of all
-// attempts), allocs_per_op (process-wide heap allocations per completed
-// operation over the measured window), violations (invariant violations
-// observed by scenario audits during the measured window plus the
-// end-state check; always 0 for the mix and for every transactional
-// engine), ops/commits/aborts (raw counts over the measured window,
-// summed across runs of a point).
-const CSVHeader = "scenario,structure,bulk_pct,engine,threads,ops_per_ms,abort_rate,allocs_per_op,violations,ops,commits,aborts"
+// bulk operations; 0 for scenarios), engine, cm (contention-management
+// policy; "-" for sequential), threads, ops_per_ms (completed operations
+// per millisecond of measured time, the paper's throughput unit),
+// abort_rate (aborted attempts as a percentage of all attempts),
+// allocs_per_op (process-wide heap allocations per completed operation
+// over the measured window), violations (invariant violations observed by
+// scenario audits during the measured window plus the end-state check;
+// always 0 for the mix and for every transactional engine),
+// ops/commits/aborts (raw counts over the measured window, summed across
+// runs of a point), and one aborts_<cause> column per stm.ConflictCause
+// (classified causes first, unknown last; they sum to aborts).
+var CSVHeader = func() string {
+	cols := "scenario,structure,bulk_pct,engine,cm,threads,ops_per_ms,abort_rate,allocs_per_op,violations,ops,commits,aborts"
+	for _, c := range displayCauses() {
+		cols += ",aborts_" + c.Slug()
+	}
+	return cols
+}()
 
 // CSV renders results as comma-separated rows with a header, for
 // plotting. The schema is CSVHeader.
@@ -196,8 +316,12 @@ func CSV(results []Result) string {
 	b.WriteString(CSVHeader)
 	b.WriteByte('\n')
 	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%s,%d,%s,%d,%.2f,%.3f,%.3f,%d,%d,%d,%d\n",
-			r.Scenario, r.Structure, r.BulkPct, r.Engine, r.Threads, r.OpsPerMs, r.AbortRate, r.AllocsPerOp, r.Violations, r.Ops, r.Commits, r.Aborts)
+		fmt.Fprintf(&b, "%s,%s,%d,%s,%s,%d,%.2f,%.3f,%.3f,%d,%d,%d,%d",
+			r.Scenario, r.Structure, r.BulkPct, r.Engine, r.CM, r.Threads, r.OpsPerMs, r.AbortRate, r.AllocsPerOp, r.Violations, r.Ops, r.Commits, r.Aborts)
+		for _, c := range displayCauses() {
+			fmt.Fprintf(&b, ",%d", r.AbortsByCause[c])
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

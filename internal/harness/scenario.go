@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"oestm/internal/cm"
 	"oestm/internal/stm"
 	"oestm/internal/workload"
 )
@@ -17,6 +18,9 @@ type ScenarioRunConfig struct {
 	Duration time.Duration
 	Warmup   time.Duration
 	Workload workload.ScenarioConfig
+	// CM names the contention-management policy installed on every
+	// worker thread (see internal/cm); empty means cm.DefaultName.
+	CM string
 }
 
 // RunScenario measures one engine on one composed scenario: build and
@@ -40,7 +44,7 @@ func RunScenario(eng Engine, cfg ScenarioRunConfig) Result {
 
 	var warmupViolations uint64
 	m := runMeasured(cfg.Threads, cfg.Warmup, cfg.Duration, func(idx int) (*stm.Thread, func()) {
-		th := stm.NewThread(tm)
+		th := newWorkerThread(tm, cfg.CM)
 		worker := scn.NewWorker(th, idx)
 		return th, worker.Step
 	}, func() { warmupViolations = scn.Violations() })
@@ -48,19 +52,25 @@ func RunScenario(eng Engine, cfg ScenarioRunConfig) Result {
 	checker := stm.NewThread(tm)
 	scn.Check(checker)
 
+	cmName := cfg.CM
+	if cmName == "" {
+		cmName = cm.DefaultName
+	}
 	return Result{
-		Engine:      eng.Name,
-		Scenario:    scn.Name(),
-		Structure:   scn.Structures(),
-		Threads:     cfg.Threads,
-		OpsPerMs:    m.OpsPerMs(),
-		AbortRate:   m.Totals.AbortRate(),
-		AllocsPerOp: m.AllocsPerOp(),
-		Violations:  scn.Violations() - warmupViolations,
-		Ops:         m.Ops,
-		Commits:     m.Totals.Commits,
-		Aborts:      m.Totals.Aborts,
-		Elapsed:     m.Elapsed,
+		Engine:        eng.Name,
+		Scenario:      scn.Name(),
+		Structure:     scn.Structures(),
+		CM:            cmName,
+		Threads:       cfg.Threads,
+		OpsPerMs:      m.OpsPerMs(),
+		AbortRate:     m.Totals.AbortRate(),
+		AllocsPerOp:   m.AllocsPerOp(),
+		Violations:    scn.Violations() - warmupViolations,
+		Ops:           m.Ops,
+		Commits:       m.Totals.Commits,
+		Aborts:        m.Totals.Aborts,
+		AbortsByCause: m.Totals.AbortsByCause,
+		Elapsed:       m.Elapsed,
 	}
 }
 
@@ -73,6 +83,7 @@ type ScenarioSweepConfig struct {
 	Warmup   time.Duration
 	Runs     int // per point; results are averaged, violations summed
 	Engines  []Engine
+	CMs      []string // contention policies (internal/cm names); nil = default
 	Workload workload.ScenarioConfig
 }
 
@@ -82,19 +93,22 @@ func ScenarioSweep(cfg ScenarioSweepConfig) []Result {
 		cfg.Runs = 1
 	}
 	var out []Result
-	for _, eng := range cfg.Engines {
-		for _, n := range cfg.Threads {
-			rs := make([]Result, cfg.Runs)
-			for i := range rs {
-				rs[i] = RunScenario(eng, ScenarioRunConfig{
-					Scenario: cfg.Scenario,
-					Threads:  n,
-					Duration: cfg.Duration,
-					Warmup:   cfg.Warmup,
-					Workload: cfg.Workload,
-				})
+	for _, cmName := range CMNames(cfg.CMs) {
+		for _, eng := range cfg.Engines {
+			for _, n := range cfg.Threads {
+				rs := make([]Result, cfg.Runs)
+				for i := range rs {
+					rs[i] = RunScenario(eng, ScenarioRunConfig{
+						Scenario: cfg.Scenario,
+						Threads:  n,
+						Duration: cfg.Duration,
+						Warmup:   cfg.Warmup,
+						Workload: cfg.Workload,
+						CM:       cmName,
+					})
+				}
+				out = append(out, average(rs))
 			}
-			out = append(out, average(rs))
 		}
 	}
 	return out
@@ -102,15 +116,18 @@ func ScenarioSweep(cfg ScenarioSweepConfig) []Result {
 
 // FormatScenario renders a scenario panel as an aligned table: one row
 // per thread count; throughput, abort-rate, allocs/op and invariant-
-// violation columns per engine.
+// violation columns per engine (per engine/policy pair when sweeping
+// contention managers), followed by the per-cause abort breakdown.
 func FormatScenario(results []Result, scenario string) string {
+	multiCM := sweepsCMs(results)
 	var engines []string
 	seen := map[string]bool{}
 	structures := ""
 	for _, r := range results {
-		if !seen[r.Engine] {
-			seen[r.Engine] = true
-			engines = append(engines, r.Engine)
+		l := columnLabel(r, multiCM)
+		if !seen[l] {
+			seen[l] = true
+			engines = append(engines, l)
 		}
 		structures = r.Structure
 	}
@@ -126,18 +143,20 @@ func FormatScenario(results []Result, scenario string) string {
 
 	point := map[string]map[int]Result{}
 	for _, r := range results {
-		if point[r.Engine] == nil {
-			point[r.Engine] = map[int]Result{}
+		l := columnLabel(r, multiCM)
+		if point[l] == nil {
+			point[l] = map[int]Result{}
 		}
-		point[r.Engine][r.Threads] = r
+		point[l][r.Threads] = r
 	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "scenario %s on %s (throughput ops/ms | abort %% | allocs/op | invariant violations)\n",
 		scenario, structures)
+	w := labelWidth(engines)
 	fmt.Fprintf(&b, "%-8s", "threads")
 	for _, e := range engines {
-		fmt.Fprintf(&b, " %12s %7s %7s %5s", e, "ab%", "allocs", "viol")
+		fmt.Fprintf(&b, " %*s %7s %7s %5s", w, e, "ab%", "allocs", "viol")
 	}
 	b.WriteByte('\n')
 	for _, n := range threads {
@@ -145,12 +164,13 @@ func FormatScenario(results []Result, scenario string) string {
 		for _, e := range engines {
 			r, ok := point[e][n]
 			if !ok {
-				fmt.Fprintf(&b, " %12s %7s %7s %5s", "-", "-", "-", "-")
+				fmt.Fprintf(&b, " %*s %7s %7s %5s", w, "-", "-", "-", "-")
 				continue
 			}
-			fmt.Fprintf(&b, " %12.1f %7.2f %7.2f %5d", r.OpsPerMs, r.AbortRate, r.AllocsPerOp, r.Violations)
+			fmt.Fprintf(&b, " %*.1f %7.2f %7.2f %5d", w, r.OpsPerMs, r.AbortRate, r.AllocsPerOp, r.Violations)
 		}
 		b.WriteByte('\n')
 	}
+	b.WriteString(FormatCauses(results))
 	return b.String()
 }

@@ -1,0 +1,109 @@
+package lsa_test
+
+import (
+	"errors"
+	"testing"
+
+	"oestm/internal/lsa"
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+// wantCause asserts that err is a RetryExhaustedError carrying want (and
+// still matches the ErrConflict sentinel).
+func wantCause(t *testing.T, err error, want stm.ConflictCause) {
+	t.Helper()
+	if !errors.Is(err, stm.ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict match", err)
+	}
+	var rex *stm.RetryExhaustedError
+	if !errors.As(err, &rex) {
+		t.Fatalf("err = %v, want *RetryExhaustedError", err)
+	}
+	if rex.Cause != want {
+		t.Fatalf("cause = %v, want %v", rex.Cause, want)
+	}
+}
+
+// TestConflictCauses pins every LSA conflict site to its ConflictCause:
+// reads of locked locations abort as read-validation, eager write-lock
+// acquisition failures as lock-busy, failed lazy snapshot extensions as
+// snapshot-extension, and commit-time read validation as
+// commit-validation.
+func TestConflictCauses(t *testing.T) {
+	cases := []struct {
+		name string
+		want stm.ConflictCause
+		run  func(t *testing.T) error
+	}{
+		{"read of locked location", stm.CauseReadValidation, func(t *testing.T) error {
+			tm := lsa.New()
+			th := stm.NewThread(tm)
+			th.MaxRetries = 1
+			v := mvar.New(1)
+			if !v.TryLock(7, v.Meta()) {
+				t.Fatal("could not pre-lock the variable")
+			}
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				_ = tx.Read(v)
+				return nil
+			})
+		}},
+		{"eager write lock unavailable", stm.CauseLockBusy, func(t *testing.T) error {
+			tm := lsa.New()
+			th := stm.NewThread(tm)
+			th.MaxRetries = 1
+			v := mvar.New(1)
+			if !v.TryLock(7, v.Meta()) {
+				t.Fatal("could not pre-lock the variable")
+			}
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				tx.Write(v, 2) // eager acquirement: the conflict is immediate
+				return nil
+			})
+		}},
+		{"snapshot extension failure", stm.CauseSnapshotExtension, func(t *testing.T) error {
+			tm := lsa.New()
+			th, other := stm.NewThread(tm), stm.NewThread(tm)
+			th.MaxRetries = 1
+			a, b := mvar.New(1), mvar.New(1)
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				_ = tx.Read(a)
+				// Commit to both under the open transaction: the next
+				// read of b is beyond the snapshot bound and triggers an
+				// extension, whose revalidation of a fails.
+				if err := other.Atomic(stm.Regular, func(tx2 stm.Tx) error {
+					tx2.Write(a, 2)
+					tx2.Write(b, 2)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				_ = tx.Read(b)
+				return nil
+			})
+		}},
+		{"commit-time read validation failure", stm.CauseCommitValidation, func(t *testing.T) error {
+			tm := lsa.New()
+			th, other := stm.NewThread(tm), stm.NewThread(tm)
+			th.MaxRetries = 1
+			a, c := mvar.New(1), mvar.New(1)
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				_ = tx.Read(a)
+				tx.Write(c, 2) // eager lock on c, so commit must validate a
+				if err := other.Atomic(stm.Regular, func(tx2 stm.Tx) error {
+					tx2.Write(a, 2)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				return nil
+			})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCause(t, tc.run(t), tc.want)
+		})
+	}
+}

@@ -74,7 +74,7 @@ func (t *txn) ReadWord(w *mvar.Word) mvar.Raw {
 	}
 	raw, ver, ok := w.ReadConsistent()
 	if !ok {
-		stm.Conflict("lsa: read of locked or changing location")
+		stm.Abort(stm.CauseReadValidation)
 	}
 	// The extension validates only the reads recorded so far; the read
 	// that triggered it must be repeated under the new bound, because the
@@ -83,7 +83,7 @@ func (t *txn) ReadWord(w *mvar.Word) mvar.Raw {
 		t.extend()
 		raw, ver, ok = w.ReadConsistent()
 		if !ok {
-			stm.Conflict("lsa: read of locked or changing location")
+			stm.Abort(stm.CauseReadValidation)
 		}
 	}
 	t.reads = append(t.reads, txset.Read{W: w, Ver: ver})
@@ -95,7 +95,7 @@ func (t *txn) ReadWord(w *mvar.Word) mvar.Raw {
 func (t *txn) extend() {
 	now := t.tm.clock.Now()
 	if !t.validate() {
-		stm.Conflict("lsa: snapshot extension failed")
+		stm.Abort(stm.CauseSnapshotExtension)
 	}
 	t.ub = now
 }
@@ -109,7 +109,7 @@ func (t *txn) WriteWord(w *mvar.Word, r mvar.Raw) {
 	}
 	m := w.Meta()
 	if mvar.Locked(m) || !w.TryLock(t.th.ID, m) {
-		stm.Conflict("lsa: write lock unavailable")
+		stm.Abort(stm.CauseLockBusy)
 	}
 	t.writes.Append(txset.Write{W: w, Val: r, Old: m})
 }
@@ -126,7 +126,7 @@ func (t *txn) Commit() error {
 	if t.ub+1 != wv {
 		if !t.validate() {
 			t.releaseLocks()
-			return stm.ErrConflict
+			return stm.ConflictOf(stm.CauseCommitValidation)
 		}
 	}
 	entries := t.writes.Entries()

@@ -2,13 +2,16 @@ package stm
 
 import (
 	"errors"
-	"time"
 
 	"oestm/internal/mvar"
 )
 
 // Atomic executes fn inside a transaction of the given kind and commits
-// it, retrying on conflicts with randomised exponential backoff.
+// it, retrying on conflicts. Between attempts the thread's contention
+// manager (Thread.CM; the built-in passive randomised exponential backoff
+// when nil) decides how long and how to wait, informed by the typed
+// ConflictCause of the abort; every abort is also counted per cause in
+// Thread.Stats.
 //
 // If a transaction is already open on th, Atomic starts a nested (child)
 // transaction instead: this is concurrent composition in the paper's
@@ -24,32 +27,41 @@ func (th *Thread) Atomic(k Kind, fn func(tx Tx) error) error {
 		tx := th.TM.Begin(th, k)
 		th.cur = tx
 		th.depth = 1
-		err, retry := th.runTop(tx, fn)
+		err, retry, cause := th.runTop(tx, fn)
 		th.cur = nil
 		th.depth = 0
 		if !retry {
 			if err == nil {
 				th.Stats.Commits++
+				if th.CM != nil {
+					th.CM.OnCommit(th)
+				}
 			}
 			return err
 		}
 		th.Stats.Aborts++
+		th.Stats.AbortsByCause[cause]++
 		if th.MaxRetries > 0 && attempt+1 >= th.MaxRetries {
-			return ErrConflict
+			return &RetryExhaustedError{Attempts: attempt + 1, Cause: cause}
 		}
-		th.backoff(attempt)
+		if th.CM != nil {
+			th.Wait(th.CM.OnAbort(th, cause, attempt))
+		} else {
+			th.backoff(attempt)
+		}
 	}
 }
 
 // runTop executes fn and commit for one top-level attempt, translating the
-// private panic signals into (err, retry).
-func (th *Thread) runTop(tx TxControl, fn func(tx Tx) error) (err error, retry bool) {
+// private panic signals into (err, retry, cause); cause is only meaningful
+// when retry is true.
+func (th *Thread) runTop(tx TxControl, fn func(tx Tx) error) (err error, retry bool, cause ConflictCause) {
 	defer func() {
 		if r := recover(); r != nil {
 			switch s := r.(type) {
 			case conflictSignal:
 				tx.Rollback()
-				err, retry = nil, true
+				err, retry, cause = nil, true, s.cause
 			case userAbort:
 				tx.Rollback()
 				err, retry = s.err, false
@@ -65,16 +77,16 @@ func (th *Thread) runTop(tx TxControl, fn func(tx Tx) error) (err error, retry b
 	}()
 	if e := fn(tx); e != nil {
 		tx.Rollback()
-		return e, false
+		return e, false, CauseUnknown
 	}
 	if e := tx.Commit(); e != nil {
 		if errors.Is(e, ErrConflict) {
-			return nil, true
+			return nil, true, CauseOf(e)
 		}
 		tx.Rollback()
-		return e, false
+		return e, false, CauseUnknown
 	}
-	return nil, false
+	return nil, false, CauseUnknown
 }
 
 // runNested runs fn as a child transaction of th.cur. Conflicts propagate
@@ -96,28 +108,20 @@ func (th *Thread) runNested(k Kind, fn func(tx Tx) error) error {
 	}
 	if err := child.Commit(); err != nil {
 		if errors.Is(err, ErrConflict) {
-			Conflict("nested commit validation failed")
+			// Re-raise the nested commit failure towards the outermost
+			// Atomic, preserving the engine's cause; engines that return
+			// the bare sentinel surface as commit-validation, which is
+			// what a failed nested commit is.
+			cause := CauseOf(err)
+			if cause == CauseUnknown {
+				cause = CauseCommitValidation
+			}
+			Abort(cause)
 		}
 		child.Rollback()
 		panic(userAbort{err})
 	}
 	return nil
-}
-
-// backoff sleeps for a randomised, exponentially growing duration. The
-// first few attempts spin-yield only, which is the common case for short
-// STM transactions.
-func (th *Thread) backoff(attempt int) {
-	if attempt < 3 {
-		return // immediate retry: cheapest for short transactions
-	}
-	shift := attempt - 3
-	if shift > 10 {
-		shift = 10
-	}
-	maxNs := int64(1024) << shift // 1us .. ~1ms
-	d := time.Duration(th.Rand.Int64N(maxNs) + 1)
-	time.Sleep(d)
 }
 
 // ReadT reads v inside tx and type-asserts the result to T. A nil stored

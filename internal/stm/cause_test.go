@@ -1,0 +1,245 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCauseStrings(t *testing.T) {
+	want := map[ConflictCause]string{
+		CauseUnknown:           "unknown",
+		CauseReadValidation:    "read-validation",
+		CauseLockBusy:          "lock-busy",
+		CauseSnapshotExtension: "snapshot-extension",
+		CauseCommitValidation:  "commit-validation",
+		CauseElasticWindow:     "elastic-window",
+		CauseDoomed:            "doomed",
+		CauseExplicit:          "explicit",
+	}
+	if len(want) != NumCauses {
+		t.Fatalf("test covers %d causes, enum has %d", len(want), NumCauses)
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("cause %d String = %q, want %q", c, c.String(), s)
+		}
+	}
+	if got := ConflictCause(200).String(); got != "cause(200)" {
+		t.Errorf("out-of-range String = %q", got)
+	}
+	if got := CauseReadValidation.Slug(); got != "read_validation" {
+		t.Errorf("Slug = %q, want read_validation", got)
+	}
+}
+
+func TestConflictOfMatchesSentinelAndCarriesCause(t *testing.T) {
+	for _, c := range Causes() {
+		err := ConflictOf(c)
+		if !errors.Is(err, ErrConflict) {
+			t.Errorf("ConflictOf(%v) does not match ErrConflict", c)
+		}
+		if got := CauseOf(err); got != c {
+			t.Errorf("CauseOf(ConflictOf(%v)) = %v", c, got)
+		}
+	}
+	// Pre-allocated: the same cause yields the same error value, so the
+	// commit conflict path never allocates.
+	if ConflictOf(CauseLockBusy) != ConflictOf(CauseLockBusy) {
+		t.Error("ConflictOf must return the shared per-cause instance")
+	}
+	if got := CauseOf(ErrConflict); got != CauseUnknown {
+		t.Errorf("CauseOf(bare sentinel) = %v, want unknown", got)
+	}
+	if got := CauseOf(errors.New("other")); got != CauseUnknown {
+		t.Errorf("CauseOf(foreign error) = %v, want unknown", got)
+	}
+	if got := ConflictOf(ConflictCause(99)); CauseOf(got) != CauseUnknown {
+		t.Errorf("out-of-range ConflictOf cause = %v, want unknown", CauseOf(got))
+	}
+}
+
+func TestAbortCarriesCause(t *testing.T) {
+	tm := &fakeTM{}
+	th := NewThread(tm)
+	th.MaxRetries = 1
+	err := th.Atomic(Regular, func(tx Tx) error {
+		Abort(CauseElasticWindow)
+		return nil
+	})
+	var rex *RetryExhaustedError
+	if !errors.As(err, &rex) {
+		t.Fatalf("err = %v, want RetryExhaustedError", err)
+	}
+	if rex.Cause != CauseElasticWindow || rex.Attempts != 1 {
+		t.Fatalf("rex = %+v", rex)
+	}
+	if th.Stats.AbortsByCause[CauseElasticWindow] != 1 {
+		t.Fatalf("per-cause counter: %+v", th.Stats.AbortsByCause)
+	}
+}
+
+func TestConflictCountsAsExplicit(t *testing.T) {
+	tm := &fakeTM{}
+	th := NewThread(tm)
+	runs := 0
+	if err := th.Atomic(Regular, func(tx Tx) error {
+		runs++
+		if runs < 3 {
+			Conflict("forced")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if th.Stats.AbortsByCause[CauseExplicit] != 2 {
+		t.Fatalf("explicit aborts = %d, want 2", th.Stats.AbortsByCause[CauseExplicit])
+	}
+	var sum uint64
+	for _, n := range th.Stats.AbortsByCause {
+		sum += n
+	}
+	if sum != th.Stats.Aborts {
+		t.Fatalf("cause counters sum to %d, Aborts = %d", sum, th.Stats.Aborts)
+	}
+}
+
+func TestCommitConflictErrorCauseCounted(t *testing.T) {
+	tm := &fakeTM{commitErrs: []error{ConflictOf(CauseCommitValidation), nil}}
+	th := NewThread(tm)
+	if err := th.Atomic(Regular, func(tx Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if th.Stats.AbortsByCause[CauseCommitValidation] != 1 {
+		t.Fatalf("per-cause counters = %+v", th.Stats.AbortsByCause)
+	}
+	// A bare sentinel from an engine lands in the unknown bucket.
+	tm2 := &fakeTM{commitErrs: []error{ErrConflict, nil}}
+	th2 := NewThread(tm2)
+	if err := th2.Atomic(Regular, func(tx Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if th2.Stats.AbortsByCause[CauseUnknown] != 1 {
+		t.Fatalf("per-cause counters = %+v", th2.Stats.AbortsByCause)
+	}
+}
+
+func TestRetryExhaustedErrorShape(t *testing.T) {
+	err := &RetryExhaustedError{Attempts: 4, Cause: CauseLockBusy}
+	if !errors.Is(err, ErrConflict) {
+		t.Error("RetryExhaustedError must match ErrConflict")
+	}
+	if CauseOf(err) != CauseLockBusy {
+		t.Errorf("CauseOf = %v", CauseOf(err))
+	}
+	want := "stm: transaction conflict: retries exhausted after 4 attempts (last cause: lock-busy)"
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+	if !errors.Is(errors.Unwrap(err), ErrConflict) {
+		t.Error("Unwrap must expose the sentinel")
+	}
+}
+
+func TestStatsAddAndDiffCarryCauses(t *testing.T) {
+	var a, b Stats
+	a.Aborts = 3
+	a.AbortsByCause[CauseLockBusy] = 2
+	a.AbortsByCause[CauseExplicit] = 1
+	b.Aborts = 1
+	b.AbortsByCause[CauseLockBusy] = 1
+	a.Add(b)
+	if a.Aborts != 4 || a.AbortsByCause[CauseLockBusy] != 3 {
+		t.Fatalf("after Add: %+v", a)
+	}
+	d := a.Diff(b)
+	if d.Aborts != 3 || d.AbortsByCause[CauseLockBusy] != 2 || d.AbortsByCause[CauseExplicit] != 1 {
+		t.Fatalf("after Diff: %+v", d)
+	}
+}
+
+func TestPassiveDecisionSchedule(t *testing.T) {
+	th := NewThread(&fakeTM{})
+	for attempt := 0; attempt < 3; attempt++ {
+		d := PassiveDecision(th, attempt)
+		if !d.Yield || d.Sleep != 0 || d.Spin != 0 {
+			t.Fatalf("attempt %d: decision = %+v, want pure yield", attempt, d)
+		}
+	}
+	for attempt := 3; attempt < 20; attempt++ {
+		d := PassiveDecision(th, attempt)
+		if d.Sleep <= 0 {
+			t.Fatalf("attempt %d: decision = %+v, want sleep", attempt, d)
+		}
+		if d.Sleep > time.Millisecond+time.Microsecond {
+			t.Fatalf("attempt %d: sleep %v exceeds the ~1ms cap", attempt, d.Sleep)
+		}
+	}
+}
+
+// countingCM records the causes and attempts it sees and answers with
+// immediate retries.
+type countingCM struct {
+	aborts  []ConflictCause
+	commits int
+}
+
+func (c *countingCM) OnAbort(th *Thread, cause ConflictCause, attempt int) Decision {
+	c.aborts = append(c.aborts, cause)
+	return Decision{}
+}
+
+func (c *countingCM) OnCommit(th *Thread) { c.commits++ }
+
+func TestContentionManagerConsulted(t *testing.T) {
+	tm := &fakeTM{}
+	th := NewThread(tm)
+	mgr := &countingCM{}
+	th.CM = mgr
+	runs := 0
+	if err := th.Atomic(Regular, func(tx Tx) error {
+		runs++
+		if runs < 3 {
+			Abort(CauseReadValidation)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(mgr.aborts) != 2 || mgr.aborts[0] != CauseReadValidation || mgr.aborts[1] != CauseReadValidation {
+		t.Fatalf("manager saw aborts %v", mgr.aborts)
+	}
+	if mgr.commits != 1 {
+		t.Fatalf("manager saw %d commits, want 1", mgr.commits)
+	}
+	// The manager is not consulted after the final, exhausted attempt.
+	th2 := NewThread(&fakeTM{})
+	mgr2 := &countingCM{}
+	th2.CM = mgr2
+	th2.MaxRetries = 2
+	err := th2.Atomic(Regular, func(tx Tx) error {
+		Abort(CauseLockBusy)
+		return nil
+	})
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(mgr2.aborts) != 1 {
+		t.Fatalf("manager consulted %d times, want 1 (not after exhaustion)", len(mgr2.aborts))
+	}
+	if mgr2.commits != 0 {
+		t.Fatalf("manager saw %d commits, want 0", mgr2.commits)
+	}
+}
+
+func TestWaitExecutesDecisionComponents(t *testing.T) {
+	th := NewThread(&fakeTM{})
+	// Spin and yield must not block; a sleep must take at least its
+	// duration. (Timing upper bounds are not asserted: CI machines stall.)
+	th.Wait(Decision{Spin: 1000, Yield: true})
+	start := time.Now()
+	th.Wait(Decision{Sleep: 2 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("sleep decision returned after %v, want >= 2ms", elapsed)
+	}
+}

@@ -1,0 +1,94 @@
+// Contention-management mechanism. This file defines the *mechanism* side
+// of the pluggable contention layer: the ContentionManager interface the
+// Atomic retry driver consults between attempts, the Decision vocabulary
+// policies answer in, and the built-in passive (randomised exponential
+// backoff) behaviour used when no manager is installed. The *policies*
+// (passive, aggressive, adaptive) and their by-name registry live in
+// internal/cm, which implements this interface; keeping the interface
+// here lets engines and the driver stay policy-agnostic while policies
+// freely use Thread state (PRNG, stats).
+package stm
+
+import (
+	"runtime"
+	"time"
+)
+
+// Decision is a contention manager's answer to an abort: what the thread
+// should do before re-executing the transaction. The driver applies the
+// three components in order — spin, then yield, then sleep — so a policy
+// can compose them (e.g. spin a little and then yield). The zero Decision
+// means retry immediately.
+type Decision struct {
+	// Spin busy-loops for approximately this many iterations without
+	// giving up the processor. Cheapest when the conflicting transaction
+	// is about to finish on another core.
+	Spin int
+	// Yield runs runtime.Gosched, letting the scheduler run another
+	// goroutine — essential when workers are oversubscribed and the
+	// conflict holder needs this P to make progress.
+	Yield bool
+	// Sleep blocks for this duration (0 = no sleep), deschedules the
+	// thread entirely.
+	Sleep time.Duration
+}
+
+// ContentionManager decides how a thread reacts to transaction aborts.
+// One instance serves one Thread (implementations may keep per-thread
+// adaptive state without synchronisation); install it via Thread.CM.
+//
+// OnAbort is called after attempt `attempt` (0-based) of a top-level
+// transaction aborted with the given cause; the returned Decision is the
+// wait the driver performs before the next attempt. OnCommit is called
+// after every successful top-level commit so adaptive policies can decay
+// or reset their escalation state.
+type ContentionManager interface {
+	OnAbort(th *Thread, cause ConflictCause, attempt int) Decision
+	OnCommit(th *Thread)
+}
+
+// PassiveDecision is the default backoff schedule, shared by the built-in
+// behaviour (Thread.backoff) and the cm.Passive policy so the two cannot
+// drift: the first few attempts yield the processor (a Gosched, so an
+// oversubscribed retry loop cannot livelock against the lock holder —
+// pure spinning here starves the very transaction we are waiting on when
+// workers exceed GOMAXPROCS), later attempts sleep for a randomised,
+// exponentially growing duration (1us .. ~1ms), jittered with the
+// thread's PRNG.
+func PassiveDecision(th *Thread, attempt int) Decision {
+	if attempt < 3 {
+		return Decision{Yield: true}
+	}
+	shift := attempt - 3
+	if shift > 10 {
+		shift = 10
+	}
+	maxNs := int64(1024) << shift // 1us .. ~1ms
+	return Decision{Sleep: time.Duration(th.Rand.Int64N(maxNs) + 1)}
+}
+
+// Wait executes a contention-management decision on the calling thread:
+// spin, then yield, then sleep, skipping zero components.
+func (th *Thread) Wait(d Decision) {
+	for i := 0; i < d.Spin; i++ {
+		spinHint()
+	}
+	if d.Yield {
+		runtime.Gosched()
+	}
+	if d.Sleep > 0 {
+		time.Sleep(d.Sleep)
+	}
+}
+
+//go:noinline
+func spinHint() {
+	// A no-op call the compiler must keep (noinline), giving the spin
+	// loop in Wait a real body without touching shared memory.
+}
+
+// backoff waits between attempts when no ContentionManager is installed:
+// the passive schedule.
+func (th *Thread) backoff(attempt int) {
+	th.Wait(PassiveDecision(th, attempt))
+}

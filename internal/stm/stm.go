@@ -104,26 +104,26 @@ type TM interface {
 var ErrConflict = errors.New("stm: transaction conflict")
 
 // conflictSignal is the private panic payload used to unwind user code
-// when a conflict is detected during execution. Only Atomic recovers it,
-// and only its type is inspected, so a single pre-boxed value serves every
-// conflict: the retry path stays allocation-free.
-type conflictSignal struct{}
-
-// conflictPanic is the pre-boxed conflict payload.
-var conflictPanic any = conflictSignal{}
+// when a conflict is detected during execution. Only Atomic recovers it.
+// It carries the typed ConflictCause of the abort; one value per cause is
+// pre-boxed (see conflictPanics in cause.go), so the retry path stays
+// allocation-free.
+type conflictSignal struct{ cause ConflictCause }
 
 // userAbort is the private panic payload used to unwind an entire nesting
 // of transactions when user code returns an error from a nested region.
 type userAbort struct{ err error }
 
 // Conflict aborts the current transaction attempt and unwinds to the
-// outermost Atomic, which rolls back and retries. Engines call it from
-// Read/Write when validation fails; user code may also call it to force a
-// retry. The reason is purely diagnostic (a static description of the
-// conflict class) and is not carried on the unwind.
+// outermost Atomic, which rolls back and retries. User and library code
+// (e.g. the eec structures, when a traversal window moves) call it to
+// force a retry; the abort is recorded under CauseExplicit. The reason is
+// purely diagnostic (a static description of the conflict class) and is
+// not carried on the unwind. Engine conflict sites use Abort with their
+// specific ConflictCause instead.
 func Conflict(reason string) {
 	_ = reason
-	panic(conflictPanic)
+	Abort(CauseExplicit)
 }
 
 // FlatChild wraps a parent transaction as a flat-nested child: operations

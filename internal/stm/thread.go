@@ -18,6 +18,11 @@ type Stats struct {
 	Aborts       uint64 // aborted attempts (each retry counts one)
 	NestedBegins uint64 // child transactions started
 	ReadOnly     uint64 // committed read-only top-level transactions
+
+	// AbortsByCause breaks Aborts down by ConflictCause (indexed by the
+	// cause value). The driver increments exactly one cause counter per
+	// abort, so the entries always sum to Aborts.
+	AbortsByCause [NumCauses]uint64
 }
 
 // AbortRate returns aborts/(commits+aborts) as a percentage, the metric
@@ -36,6 +41,23 @@ func (s *Stats) Add(other Stats) {
 	s.Aborts += other.Aborts
 	s.NestedBegins += other.NestedBegins
 	s.ReadOnly += other.ReadOnly
+	for i := range s.AbortsByCause {
+		s.AbortsByCause[i] += other.AbortsByCause[i]
+	}
+}
+
+// Diff returns s minus base, counter by counter — the window delta the
+// harness computes between two snapshots of a running thread's stats.
+func (s Stats) Diff(base Stats) Stats {
+	out := s
+	out.Commits -= base.Commits
+	out.Aborts -= base.Aborts
+	out.NestedBegins -= base.NestedBegins
+	out.ReadOnly -= base.ReadOnly
+	for i := range out.AbortsByCause {
+		out.AbortsByCause[i] -= base.AbortsByCause[i]
+	}
+	return out
 }
 
 // Thread is the per-goroutine transactional context: it tracks the current
@@ -55,9 +77,17 @@ type Thread struct {
 	// data structures may share it).
 	Rand *rand.Rand
 	// MaxRetries, when non-zero, bounds the attempts of one Atomic call;
-	// exceeding it returns ErrConflict instead of retrying forever.
-	// Intended for tests; production configurations leave it 0.
+	// exceeding it returns a *RetryExhaustedError (matching ErrConflict)
+	// carrying the attempt count and last conflict cause instead of
+	// retrying forever. Intended for tests; production configurations
+	// leave it 0.
 	MaxRetries int
+
+	// CM is the thread's contention manager, consulted between attempts
+	// of a conflicted transaction. Nil means the built-in passive policy
+	// (randomised exponential backoff). Policies may keep per-thread
+	// state, so a CM instance must not be shared between threads.
+	CM ContentionManager
 
 	// EngineScratch is engine-owned per-thread state: engines cache their
 	// pooled top-level transaction frame here so Begin does not allocate.

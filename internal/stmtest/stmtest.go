@@ -34,6 +34,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("NestedUserAbort", func(t *testing.T) { testNestedUserAbort(t, f) })
 	t.Run("NestedDepth", func(t *testing.T) { testNestedDepth(t, f) })
 	t.Run("StatsAccounting", func(t *testing.T) { testStatsAccounting(t, f) })
+	t.Run("CauseAccounting", func(t *testing.T) { testCauseAccounting(t, f) })
 	t.Run("ReadMissingIsNil", func(t *testing.T) { testReadMissing(t, f) })
 	t.Run("BothKinds", func(t *testing.T) { testBothKinds(t, f) })
 }
@@ -426,6 +427,84 @@ func testStatsAccounting(t *testing.T, f Factory) {
 	}
 	if th.Stats.ReadOnly != before+1 {
 		t.Fatalf("read-only commits = %d, want %d", th.Stats.ReadOnly, before+1)
+	}
+}
+
+// testCauseAccounting hammers a contended mix — short transfers over a
+// few hot variables plus the occasional forced retry — on both kinds and
+// checks the per-cause abort counters: every abort must be classified
+// (the counters sum exactly to Stats.Aborts, per thread and in
+// aggregate), explicit aborts must be counted under CauseExplicit, and
+// cause accounting must survive merging via Stats.Add. Run under -race
+// this also checks the counters are thread-local as documented.
+func testCauseAccounting(t *testing.T, f Factory) {
+	tm := f()
+	const nVars = 4
+	vars := make([]*mvar.AnyVar, nVars)
+	for i := range vars {
+		vars[i] = mvar.New(0)
+	}
+	kinds := []stm.Kind{stm.Regular, stm.Elastic}
+
+	const goroutines = 8
+	const per = 300
+	perThread := make([]stm.Stats, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := stm.NewThread(tm)
+			for i := 0; i < per; i++ {
+				a, b := vars[(g+i)%nVars], vars[(g+i*3+1)%nVars]
+				forced := i%97 == 0
+				err := th.Atomic(kinds[i%2], func(tx stm.Tx) error {
+					n := tx.Read(a).(int)
+					tx.Write(a, n+1)
+					tx.Write(b, tx.Read(b).(int)-1)
+					if forced {
+						forced = false
+						stm.Conflict("stmtest: forced")
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			perThread[g] = th.Stats
+		}(g)
+	}
+	wg.Wait()
+
+	var agg stm.Stats
+	for g, s := range perThread {
+		var sum uint64
+		for _, n := range s.AbortsByCause {
+			sum += n
+		}
+		if sum != s.Aborts {
+			t.Errorf("goroutine %d: per-cause counters sum to %d, want Aborts=%d (%+v)",
+				g, sum, s.Aborts, s.AbortsByCause)
+		}
+		agg.Add(s)
+	}
+	var aggSum uint64
+	for _, n := range agg.AbortsByCause {
+		aggSum += n
+	}
+	if aggSum != agg.Aborts {
+		t.Errorf("aggregate per-cause counters sum to %d, want Aborts=%d", aggSum, agg.Aborts)
+	}
+	// Every goroutine forces ceil(per/97) explicit conflicts; nothing
+	// else in this mix uses Conflict, so the explicit counter is exact.
+	wantExplicit := uint64(goroutines * ((per + 96) / 97))
+	if got := agg.AbortsByCause[stm.CauseExplicit]; got != wantExplicit {
+		t.Errorf("explicit aborts = %d, want %d", got, wantExplicit)
+	}
+	if agg.Aborts < wantExplicit {
+		t.Errorf("total aborts %d below the forced minimum %d", agg.Aborts, wantExplicit)
 	}
 }
 

@@ -1,0 +1,170 @@
+package swisstm_test
+
+import (
+	"errors"
+	"testing"
+
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+	"oestm/internal/swisstm"
+)
+
+// wantCause asserts that err is a RetryExhaustedError carrying want (and
+// still matches the ErrConflict sentinel).
+func wantCause(t *testing.T, err error, want stm.ConflictCause) {
+	t.Helper()
+	if !errors.Is(err, stm.ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict match", err)
+	}
+	var rex *stm.RetryExhaustedError
+	if !errors.As(err, &rex) {
+		t.Fatalf("err = %v, want *RetryExhaustedError", err)
+	}
+	if rex.Cause != want {
+		t.Fatalf("cause = %v, want %v", rex.Cause, want)
+	}
+}
+
+// TestConflictCauses pins every SwissTM conflict site to its
+// ConflictCause: reads of locked locations (read-validation), lost or
+// starved write/write arbitration (lock-busy), failed snapshot
+// extensions (snapshot-extension), commit-time read validation
+// (commit-validation), and transactions doomed by the greedy contention
+// manager (doomed).
+func TestConflictCauses(t *testing.T) {
+	cases := []struct {
+		name string
+		want stm.ConflictCause
+		run  func(t *testing.T) error
+	}{
+		{"read of locked location", stm.CauseReadValidation, func(t *testing.T) error {
+			tm := swisstm.New()
+			th := stm.NewThread(tm)
+			th.MaxRetries = 1
+			v := mvar.New(1)
+			if !v.TryLock(7, v.Meta()) {
+				t.Fatal("could not pre-lock the variable")
+			}
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				_ = tx.Read(v)
+				return nil
+			})
+		}},
+		{"lock wait budget exhausted", stm.CauseLockBusy, func(t *testing.T) error {
+			tm := swisstm.New()
+			th := stm.NewThread(tm)
+			th.MaxRetries = 1
+			v := mvar.New(1)
+			// Lock with an owner slot no descriptor was ever published
+			// for: the acquirer keeps spinning on the stale owner until
+			// its wait budget runs out.
+			if !v.TryLock(7, v.Meta()) {
+				t.Fatal("could not pre-lock the variable")
+			}
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				tx.Write(v, 2)
+				return nil
+			})
+		}},
+		{"write/write conflict lost", stm.CauseLockBusy, func(t *testing.T) error {
+			tm := swisstm.New()
+			holder, loser := stm.NewThread(tm), stm.NewThread(tm)
+			loser.MaxRetries = 1
+			w := mvar.New(1)
+			var lost error
+			sentinel := errors.New("unwind holder")
+			err := holder.Atomic(stm.Regular, func(txH stm.Tx) error {
+				txH.Write(w, 2) // eager: the holder owns w's lock
+				// Same start timestamp, so the second writer is not
+				// older and must yield to the active owner.
+				lost = loser.Atomic(stm.Regular, func(txL stm.Tx) error {
+					txL.Write(w, 3)
+					return nil
+				})
+				return sentinel
+			})
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("holder err = %v, want sentinel", err)
+			}
+			return lost
+		}},
+		{"snapshot extension failure", stm.CauseSnapshotExtension, func(t *testing.T) error {
+			tm := swisstm.New()
+			th, other := stm.NewThread(tm), stm.NewThread(tm)
+			th.MaxRetries = 1
+			a, b := mvar.New(1), mvar.New(1)
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				_ = tx.Read(a)
+				if err := other.Atomic(stm.Regular, func(tx2 stm.Tx) error {
+					tx2.Write(a, 2)
+					tx2.Write(b, 2)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				_ = tx.Read(b)
+				return nil
+			})
+		}},
+		{"commit-time read validation failure", stm.CauseCommitValidation, func(t *testing.T) error {
+			tm := swisstm.New()
+			th, other := stm.NewThread(tm), stm.NewThread(tm)
+			th.MaxRetries = 1
+			a, c := mvar.New(1), mvar.New(1)
+			return th.Atomic(stm.Regular, func(tx stm.Tx) error {
+				_ = tx.Read(a)
+				tx.Write(c, 2)
+				if err := other.Atomic(stm.Regular, func(tx2 stm.Tx) error {
+					tx2.Write(a, 2)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				return nil
+			})
+		}},
+		{"doomed by contention manager", stm.CauseDoomed, func(t *testing.T) error {
+			tm := swisstm.New()
+			older := stm.NewThread(tm)
+			clocker := stm.NewThread(tm)
+			victim := stm.NewThread(tm)
+			victim.MaxRetries = 1
+			w, other := mvar.New(1), mvar.New(1)
+			var doomed error
+			sentinel := errors.New("unwind older")
+			err := older.Atomic(stm.Regular, func(txOld stm.Tx) error {
+				// Tick the clock so the victim begins with a larger
+				// (younger) timestamp than the already-open transaction.
+				if err := clocker.Atomic(stm.Regular, func(tx stm.Tx) error {
+					tx.Write(other, 2)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				doomed = victim.Atomic(stm.Regular, func(txV stm.Tx) error {
+					txV.Write(w, 2) // the victim owns w's lock
+					// The older transaction demands w: it dooms the
+					// victim, then spins out its wait budget against the
+					// still-held lock. Swallow its conflict signal — this
+					// test only cares about the victim's fate.
+					func() {
+						defer func() { _ = recover() }()
+						txOld.Write(w, 3)
+					}()
+					_ = txV.Read(other) // the victim notices it is doomed
+					return nil
+				})
+				return sentinel
+			})
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("older err = %v, want sentinel", err)
+			}
+			return doomed
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCause(t, tc.run(t), tc.want)
+		})
+	}
+}

@@ -129,7 +129,7 @@ func (t *txn) Kind() stm.Kind { return stm.Regular }
 // checkDoomed aborts the transaction if the contention manager doomed it.
 func (t *txn) checkDoomed() {
 	if t.desc.status.Load() == statusDoomed {
-		stm.Conflict("swisstm: doomed by contention manager")
+		stm.Abort(stm.CauseDoomed)
 	}
 }
 
@@ -148,7 +148,7 @@ func (t *txn) ReadWord(w *mvar.Word) mvar.Raw {
 	}
 	raw, ver, ok := w.ReadConsistent()
 	if !ok {
-		stm.Conflict("swisstm: read of locked or changing location")
+		stm.Abort(stm.CauseReadValidation)
 	}
 	// The extension validates only the reads recorded so far; the read
 	// that triggered it must be repeated under the new bound, because the
@@ -157,7 +157,7 @@ func (t *txn) ReadWord(w *mvar.Word) mvar.Raw {
 		t.extend()
 		raw, ver, ok = w.ReadConsistent()
 		if !ok {
-			stm.Conflict("swisstm: read of locked or changing location")
+			stm.Abort(stm.CauseReadValidation)
 		}
 	}
 	t.reads = append(t.reads, txset.Read{W: w, Ver: ver})
@@ -167,7 +167,7 @@ func (t *txn) ReadWord(w *mvar.Word) mvar.Raw {
 func (t *txn) extend() {
 	now := t.tm.clock.Now()
 	if !t.validate() {
-		stm.Conflict("swisstm: snapshot extension failed")
+		stm.Abort(stm.CauseSnapshotExtension)
 	}
 	t.ub = now
 }
@@ -190,7 +190,7 @@ func (t *txn) WriteWord(w *mvar.Word, r mvar.Raw) {
 func (t *txn) acquire(w *mvar.Word) (oldMeta uint64) {
 	for spin := 0; ; spin++ {
 		if spin >= spinBudget {
-			stm.Conflict("swisstm: lock wait budget exhausted")
+			stm.Abort(stm.CauseLockBusy)
 		}
 		t.checkDoomed()
 		m := w.Meta()
@@ -214,7 +214,7 @@ func (t *txn) acquire(w *mvar.Word) (oldMeta uint64) {
 			continue
 		}
 		// We are younger: yield to the older writer.
-		stm.Conflict("swisstm: write/write conflict lost")
+		stm.Abort(stm.CauseLockBusy)
 	}
 }
 
@@ -231,7 +231,7 @@ func (t *txn) Commit() error {
 		if !t.validate() {
 			t.releaseLocks()
 			t.desc.status.Store(statusAborted)
-			return stm.ErrConflict
+			return stm.ConflictOf(stm.CauseCommitValidation)
 		}
 	}
 	entries := t.writes.Entries()

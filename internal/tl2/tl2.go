@@ -79,10 +79,10 @@ func (t *txn) ReadWord(w *mvar.Word) mvar.Raw {
 	}
 	raw, ver, ok := w.ReadConsistent()
 	if !ok {
-		stm.Conflict("tl2: read of locked or changing location")
+		stm.Abort(stm.CauseReadValidation)
 	}
 	if ver > t.rv {
-		stm.Conflict("tl2: location newer than read version")
+		stm.Abort(stm.CauseReadValidation)
 	}
 	t.reads = append(t.reads, txset.Read{W: w, Ver: ver})
 	return raw
@@ -111,7 +111,7 @@ func (t *txn) Commit() error {
 		m := e.W.Meta()
 		if mvar.Locked(m) || !e.W.TryLock(t.th.ID, m) {
 			t.revert(acquired)
-			return stm.ErrConflict
+			return stm.ConflictOf(stm.CauseLockBusy)
 		}
 		e.Old = m
 		acquired++
@@ -120,7 +120,7 @@ func (t *txn) Commit() error {
 	if t.rv+1 != wv { // optimisation from the TL2 paper: rv+1==wv needs no validation
 		if !t.validate() {
 			t.revert(acquired)
-			return stm.ErrConflict
+			return stm.ConflictOf(stm.CauseCommitValidation)
 		}
 	}
 	for i := range entries {

@@ -38,6 +38,7 @@
 package oestm
 
 import (
+	"oestm/internal/cm"
 	"oestm/internal/core"
 	"oestm/internal/eec"
 	"oestm/internal/lsa"
@@ -92,8 +93,46 @@ type Word = mvar.Word
 // Set is the composable integer-set abstraction of the e.e.c package.
 type Set = eec.Set
 
-// ErrConflict is returned when a bounded-retry transaction gives up.
+// ErrConflict is the conflict sentinel every conflict-shaped error
+// matches via errors.Is — including the *RetryExhaustedError a
+// bounded-retry transaction returns when it gives up. Match with
+// errors.Is(err, ErrConflict), not ==.
 var ErrConflict = stm.ErrConflict
+
+// ConflictCause classifies why a transaction attempt aborted; every abort
+// is counted per cause in Thread.Stats.AbortsByCause and reported to the
+// thread's ContentionManager.
+type ConflictCause = stm.ConflictCause
+
+// The conflict causes engines classify their abort sites with.
+const (
+	CauseReadValidation    = stm.CauseReadValidation
+	CauseLockBusy          = stm.CauseLockBusy
+	CauseSnapshotExtension = stm.CauseSnapshotExtension
+	CauseCommitValidation  = stm.CauseCommitValidation
+	CauseElasticWindow     = stm.CauseElasticWindow
+	CauseDoomed            = stm.CauseDoomed
+	CauseExplicit          = stm.CauseExplicit
+)
+
+// RetryExhaustedError is returned by Atomic when Thread.MaxRetries is
+// exceeded; it carries the attempt count and the last conflict's cause
+// and still matches errors.Is(err, ErrConflict).
+type RetryExhaustedError = stm.RetryExhaustedError
+
+// ContentionManager decides how a thread reacts to aborts; install one on
+// Thread.CM. The built-in policies are available by name through
+// NewContentionManager.
+type ContentionManager = stm.ContentionManager
+
+// NewContentionManager returns a fresh instance of the named contention
+// policy ("passive", "aggressive", "adaptive"); ok is false for unknown
+// names. Instances are per-thread and must not be shared.
+func NewContentionManager(name string) (m ContentionManager, ok bool) { return cm.New(name) }
+
+// ContentionManagerNames lists the registered contention policies,
+// default first.
+func ContentionManagerNames() []string { return cm.Names() }
 
 // NewOESTM returns the paper's engine: elastic transactions with
 // outheritance.
