@@ -16,12 +16,20 @@
 //	bank              Get/Put transfers in a SkipListMap, total-balance audits
 //	pipeline          producer/stage/consumer over two Queues, conservation audits
 //
-// Both modes sweep an additional contention-management dimension with
-// -cm: each named policy (passive, aggressive, adaptive — see
-// internal/cm) is installed on every worker thread and measured as its
-// own set of points, so engines can be compared under different retry
-// policies; tables and CSV report the per-cause abort breakdown beside
-// throughput.
+// Both modes sweep two additional dimensions:
+//
+//   - -cm: each named contention-management policy (passive, aggressive,
+//     adaptive — see internal/cm) is installed on every worker thread and
+//     measured as its own set of points, so engines can be compared under
+//     different retry policies; tables and CSV report the per-cause abort
+//     breakdown beside throughput.
+//   - -dist: each named key distribution (uniform, zipfian, hotspot,
+//     shifting-hotspot — see internal/workload's distribution layer)
+//     reshapes which keys the workers touch, from the paper's uniform
+//     setting to production-shaped hot-key skew; -theta, -hot and
+//     -shift-every parameterise them. Every point also reports
+//     per-operation latency percentiles (p50/p99 in tables,
+//     p50/p95/p99/max in CSV) from allocation-free per-worker histograms.
 //
 // Defaults are sized to finish in a couple of minutes; use -duration,
 // -runs and -threads to approach the paper's 10-second, 10-run protocol:
@@ -29,6 +37,8 @@
 //	compose-bench -figure all -bulk 5,15 -duration 10s -runs 10
 //	compose-bench -scenario all -engines all -duration 10s -runs 10
 //	compose-bench -scenario bank -cm passive,aggressive,adaptive
+//	compose-bench -dist uniform,zipfian -theta 0.99
+//	compose-bench -scenario bank -dist hotspot -hot 90/10 -cm all
 //
 // CSV output (-csv) uses the schema documented in the README ("CSV
 // schema"); the header line is harness.CSVHeader.
@@ -58,6 +68,10 @@ func main() {
 		runs     = flag.Int("runs", 1, "runs per point, averaged (paper: 10); scenario violations are summed")
 		engines  = flag.String("engines", "oestm,lsa,tl2,swisstm", "engines to compare (also: estm), or all for every engine")
 		cms      = flag.String("cm", cm.DefaultName, "comma-separated contention-management policies to sweep per engine: "+strings.Join(cm.Names(), "|")+", or all")
+		dists    = flag.String("dist", workload.DistUniform, "comma-separated key distributions to sweep: "+strings.Join(workload.DistNames(), "|")+", or all")
+		theta    = flag.Float64("theta", workload.DefaultTheta, "zipfian skew in (0,1); higher is more skewed")
+		hot      = flag.String("hot", fmt.Sprintf("%d/%d", workload.DefaultHotOpsPct, workload.DefaultHotKeysPct), "hotspot shape as opsPct/keysPct: opsPct% of operations target keysPct% of the keys")
+		shift    = flag.Int("shift-every", workload.DefaultShiftEvery, "shifting-hotspot: per-thread draws between hot-window rotations")
 		scale    = flag.Int("scale", 1, "divide structure sizes and key ranges by this factor for quick runs")
 		audit    = flag.Int("audit", 5, "scenario mode: percentage of steps that run the invariant audit")
 		unsound  = flag.Bool("unsound", false, "scenario mode: run each composition as separate transactions (atomicity deliberately broken; expect non-zero violations)")
@@ -95,12 +109,17 @@ func main() {
 			cmList = append(cmList, name)
 		}
 	}
+	distList, err := parseDists(*dists, *theta, *hot, *shift)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compose-bench:", err)
+		os.Exit(2)
+	}
 
 	var allResults []harness.Result
 	if *scenario != "" {
-		allResults = runScenarios(*scenario, engs, cmList, threadList, *duration, *warmup, *runs, *scale, *audit, *unsound)
+		allResults = runScenarios(*scenario, engs, cmList, distList, threadList, *duration, *warmup, *runs, *scale, *audit, *unsound)
 	} else {
-		allResults = runFigures(*figure, *bulks, engs, cmList, threadList, *duration, *warmup, *runs, *scale)
+		allResults = runFigures(*figure, *bulks, engs, cmList, distList, threadList, *duration, *warmup, *runs, *scale)
 	}
 
 	if *csvPath != "" {
@@ -112,8 +131,64 @@ func main() {
 	}
 }
 
+// parseDists builds the distribution sweep from the -dist/-theta/-hot/
+// -shift-every flags: every named distribution shares the scalar
+// parameters.
+func parseDists(dists string, theta float64, hot string, shiftEvery int) ([]workload.DistConfig, error) {
+	names := splitList(dists)
+	if dists == "all" {
+		names = workload.DistNames()
+	}
+	// Reject out-of-range scalars here: DistConfig treats zero fields as
+	// "use the default", so an explicit 0 would otherwise silently run
+	// the default shape under the default's label.
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("-theta %v out of range (0,1)", theta)
+	}
+	hotOps, hotKeys, err := parseHotSpec(hot)
+	if err != nil {
+		return nil, err
+	}
+	if hotOps < 1 || hotOps > 100 || hotKeys < 1 || hotKeys > 100 {
+		return nil, fmt.Errorf("-hot %d/%d out of range (both parts in [1,100])", hotOps, hotKeys)
+	}
+	if shiftEvery < 1 {
+		return nil, fmt.Errorf("-shift-every %d must be positive", shiftEvery)
+	}
+	var out []workload.DistConfig
+	for _, name := range names {
+		d := workload.DistConfig{
+			Name:       name,
+			Theta:      theta,
+			HotOpsPct:  hotOps,
+			HotKeysPct: hotKeys,
+			ShiftEvery: shiftEvery,
+		}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("-dist: %w (have: %s)", err, strings.Join(workload.DistNames(), ", "))
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// parseHotSpec parses the -hot "opsPct/keysPct" form.
+func parseHotSpec(s string) (opsPct, keysPct int, err error) {
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-hot %q: want opsPct/keysPct, e.g. 90/10", s)
+	}
+	if opsPct, err = strconv.Atoi(strings.TrimSpace(parts[0])); err != nil {
+		return 0, 0, fmt.Errorf("-hot %q: %w", s, err)
+	}
+	if keysPct, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
+		return 0, 0, fmt.Errorf("-hot %q: %w", s, err)
+	}
+	return opsPct, keysPct, nil
+}
+
 // runFigures reproduces the paper's Figs. 6-8 panels.
-func runFigures(figure, bulks string, engs []harness.Engine, cmList []string, threadList []int, duration, warmup time.Duration, runs, scale int) []harness.Result {
+func runFigures(figure, bulks string, engs []harness.Engine, cmList []string, distList []workload.DistConfig, threadList []int, duration, warmup time.Duration, runs, scale int) []harness.Result {
 	structures := map[string]string{"6": "linkedlist", "7": "skiplist", "8": "hashset"}
 	var figs []string
 	if figure == "all" {
@@ -148,6 +223,7 @@ func runFigures(figure, bulks string, engs []harness.Engine, cmList []string, th
 				Runs:       runs,
 				Engines:    engs,
 				CMs:        cmList,
+				Dists:      distList,
 				Sequential: true,
 				Workload:   cfg,
 			})
@@ -159,7 +235,7 @@ func runFigures(figure, bulks string, engs []harness.Engine, cmList []string, th
 }
 
 // runScenarios runs the composed-transaction scenario panels.
-func runScenarios(scenario string, engs []harness.Engine, cmList []string, threadList []int, duration, warmup time.Duration, runs, scale, audit int, unsound bool) []harness.Result {
+func runScenarios(scenario string, engs []harness.Engine, cmList []string, distList []workload.DistConfig, threadList []int, duration, warmup time.Duration, runs, scale, audit int, unsound bool) []harness.Result {
 	names := splitList(scenario)
 	if scenario == "all" {
 		names = workload.ScenarioNames()
@@ -189,6 +265,7 @@ func runScenarios(scenario string, engs []harness.Engine, cmList []string, threa
 			Runs:     runs,
 			Engines:  engs,
 			CMs:      cmList,
+			Dists:    distList,
 			Workload: cfg,
 		})
 		fmt.Println(harness.FormatScenario(results, name))

@@ -60,7 +60,7 @@ func TestSweepCMDimension(t *testing.T) {
 		}
 	}
 	csv := CSV(results)
-	for _, want := range []string{",tl2,passive,2,", ",tl2,aggressive,2,", ",sequential,-,1,"} {
+	for _, want := range []string{",tl2,passive,uniform,0.00,2,", ",tl2,aggressive,uniform,0.00,2,", ",sequential,-,uniform,0.00,1,"} {
 		if !strings.Contains(csv, want) {
 			t.Fatalf("csv missing %q:\n%s", want, csv)
 		}

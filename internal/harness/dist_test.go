@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"oestm/internal/workload"
+)
+
+// TestResultLatencyFields checks the measurement pipeline end to end: a
+// run produces ordered, non-zero latency percentiles and they survive
+// into the CSV columns.
+func TestResultLatencyFields(t *testing.T) {
+	eng, _ := EngineByName("oestm")
+	r := RunSTM(eng, RunConfig{
+		Structure: "hashset",
+		Threads:   2,
+		Duration:  50 * time.Millisecond,
+		Warmup:    10 * time.Millisecond,
+		Workload:  quickWorkload(),
+	})
+	if r.Hist == nil || r.Hist.Count() == 0 {
+		t.Fatal("no latency histogram recorded")
+	}
+	if r.LatP50 <= 0 {
+		t.Fatalf("p50 = %v, want > 0", r.LatP50)
+	}
+	if r.LatP50 > r.LatP95 || r.LatP95 > r.LatP99 || r.LatP99 > r.LatMax {
+		t.Fatalf("percentiles out of order: p50=%v p95=%v p99=%v max=%v",
+			r.LatP50, r.LatP95, r.LatP99, r.LatMax)
+	}
+	if r.Dist != "uniform" || r.Theta != 0 {
+		t.Fatalf("default distribution tag wrong: dist=%q theta=%v", r.Dist, r.Theta)
+	}
+	header := strings.Split(CSVHeader, ",")
+	row := strings.Split(strings.Split(CSV([]Result{r}), "\n")[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("csv row has %d fields, header %d", len(row), len(header))
+	}
+	for _, col := range []string{"dist", "theta", "lat_p50_us", "lat_p95_us", "lat_p99_us", "lat_max_us"} {
+		found := false
+		for _, h := range header {
+			if h == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("CSVHeader missing %q: %s", col, CSVHeader)
+		}
+	}
+}
+
+// TestSequentialLatencyFields mirrors the check for the baseline runner.
+func TestSequentialLatencyFields(t *testing.T) {
+	r := RunSequential(RunConfig{
+		Structure: "hashset",
+		Duration:  30 * time.Millisecond,
+		Warmup:    5 * time.Millisecond,
+		Workload:  quickWorkload(),
+	})
+	if r.LatP50 <= 0 || r.LatP99 < r.LatP50 {
+		t.Fatalf("sequential latency wrong: p50=%v p99=%v", r.LatP50, r.LatP99)
+	}
+}
+
+// TestSweepDistDimension checks the distribution axis multiplies the
+// sweep, tags every result (sequential baseline included, once per
+// distribution), qualifies the table columns and lands in the CSV's
+// dist/theta columns.
+func TestSweepDistDimension(t *testing.T) {
+	eng, _ := EngineByName("oestm")
+	results := Sweep(SweepConfig{
+		Structure:  "hashset",
+		BulkPct:    5,
+		Threads:    []int{2},
+		Duration:   20 * time.Millisecond,
+		Warmup:     5 * time.Millisecond,
+		Engines:    []Engine{eng},
+		Sequential: true,
+		Workload:   quickWorkload(),
+		Dists: []workload.DistConfig{
+			{Name: workload.DistUniform},
+			{Name: workload.DistZipfian, Theta: 0.9},
+		},
+	})
+	// (sequential + one point) per distribution
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[r.Dist] = true
+		if r.Dist == "zipfian:0.90" && r.Theta != 0.9 {
+			t.Fatalf("zipfian theta = %v, want 0.9", r.Theta)
+		}
+	}
+	for _, want := range []string{"uniform", "zipfian:0.90"} {
+		if !seen[want] {
+			t.Fatalf("no result tagged dist=%q: %v", want, seen)
+		}
+	}
+	text := Format(results, "hashset", 5)
+	for _, want := range []string{"oestm@uniform", "oestm@zipfian:0.90", "sequential@uniform", "p99us"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, text)
+		}
+	}
+	csv := CSV(results)
+	for _, want := range []string{",oestm,passive,uniform,0.00,2,", ",oestm,passive,zipfian:0.90,0.90,2,"} {
+		if !strings.Contains(csv, want) {
+			t.Fatalf("csv missing %q:\n%s", want, csv)
+		}
+	}
+}
+
+// TestScenarioSweepDistDimension mirrors the distribution axis for the
+// composed-scenario runner, and checks skew does not break invariants on
+// a composing engine.
+func TestScenarioSweepDistDimension(t *testing.T) {
+	eng, _ := EngineByName("oestm")
+	results := ScenarioSweep(ScenarioSweepConfig{
+		Scenario: "move",
+		Threads:  []int{2},
+		Duration: 20 * time.Millisecond,
+		Warmup:   5 * time.Millisecond,
+		Engines:  []Engine{eng},
+		Workload: quickScenarioConfig(),
+		Dists: []workload.DistConfig{
+			{Name: workload.DistHotspot, HotOpsPct: 90, HotKeysPct: 10},
+			{Name: workload.DistShiftingHotspot, HotOpsPct: 90, HotKeysPct: 10, ShiftEvery: 128},
+		},
+	})
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Violations != 0 {
+			t.Fatalf("violations on oestm under dist=%s: %+v", r.Dist, r)
+		}
+		if r.LatP99 <= 0 {
+			t.Fatalf("no latency measured under dist=%s", r.Dist)
+		}
+	}
+	text := FormatScenario(results, "move")
+	for _, want := range []string{"oestm@hotspot:90/10", "oestm@shifting-hotspot:90/10/128", "p50us"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scenario table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestKeyFreeScenarioCollapsesDistAxis pins that the key-free pipeline
+// scenario is measured once regardless of the distribution sweep, and its
+// rows are tagged uniform — never a skew label that had no effect.
+func TestKeyFreeScenarioCollapsesDistAxis(t *testing.T) {
+	eng, _ := EngineByName("oestm")
+	results := ScenarioSweep(ScenarioSweepConfig{
+		Scenario: "pipeline",
+		Threads:  []int{2},
+		Duration: 15 * time.Millisecond,
+		Warmup:   5 * time.Millisecond,
+		Engines:  []Engine{eng},
+		Workload: quickScenarioConfig(),
+		Dists: []workload.DistConfig{
+			{Name: workload.DistZipfian},
+			{Name: workload.DistHotspot},
+		},
+	})
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want 1 (dist axis must collapse for key-free scenarios)", len(results))
+	}
+	if results[0].Dist != "uniform" {
+		t.Fatalf("pipeline row tagged dist=%q, want uniform", results[0].Dist)
+	}
+}
+
+// TestAverageMergesHistograms checks multi-run points still carry
+// latency: average() merges the runs' histograms and recomputes the
+// percentiles from the merged distribution.
+func TestAverageMergesHistograms(t *testing.T) {
+	eng, _ := EngineByName("tl2")
+	results := Sweep(SweepConfig{
+		Structure: "hashset",
+		BulkPct:   5,
+		Threads:   []int{2},
+		Duration:  15 * time.Millisecond,
+		Warmup:    5 * time.Millisecond,
+		Runs:      2,
+		Engines:   []Engine{eng},
+		Workload:  quickWorkload(),
+	})
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want 1", len(results))
+	}
+	r := results[0]
+	if r.Hist == nil || r.Hist.Count() == 0 {
+		t.Fatal("averaged point lost its histogram")
+	}
+	if r.LatP50 <= 0 || r.LatP99 < r.LatP50 || r.LatMax < r.LatP99 {
+		t.Fatalf("averaged percentiles wrong: p50=%v p99=%v max=%v", r.LatP50, r.LatP99, r.LatMax)
+	}
+}
+
+// TestDistConfigsValidation pins the harness-side panic on invalid sweep
+// entries (CLI front-ends validate first; programmatic misuse must not
+// silently fall back to uniform).
+func TestDistConfigsValidation(t *testing.T) {
+	if got := distConfigs(nil, workload.DistConfig{}); len(got) != 1 || got[0].Label() != "uniform" {
+		t.Fatalf("distConfigs(nil) = %+v, want base uniform", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("distConfigs must panic on an invalid entry")
+		}
+	}()
+	distConfigs([]workload.DistConfig{{Name: "bogus"}}, workload.DistConfig{})
+}

@@ -1,7 +1,8 @@
 // Package harness runs the evaluation workloads: duration-based
 // measurement of every engine with thread-count sweeps, reporting
-// throughput (operations per millisecond), abort ratio, and the
-// process-wide allocation rate per operation.
+// throughput (operations per millisecond), abort ratio, per-operation
+// latency percentiles (p50/p95/p99/max), and the process-wide allocation
+// rate per operation.
 //
 // It has two runners:
 //
@@ -18,13 +19,26 @@
 //     the E-STM ablation (and in Unsound mode), which is the paper's
 //     Fig. 1 made measurable.
 //
+// Both runners sweep two orthogonal axes beside threads: contention
+// policies (SweepConfig.CMs, internal/cm names) and key distributions
+// (SweepConfig.Dists, workload.DistConfig — uniform, zipfian, hotspot,
+// shifting-hotspot), so hot-key regimes and retry policies can be
+// compared cell by cell.
+//
 // Measurement protocol (both runners): build a fresh engine and
 // structures, fill, start one goroutine per configured thread, let the
 // warmup elapse, then count operations and commit/abort deltas over the
 // measured window; scenarios additionally run an end-state invariant
 // check after the workers quiesce. Allocations are sampled process-wide
 // (runtime.MemStats.Mallocs) across the window and divided by completed
-// operations.
+// operations. Latency is recorded per operation into per-worker
+// stats.Histograms allocated before the warmup: one clock read per
+// operation (each operation's end timestamps the next one's start) into
+// fixed log-linear buckets, so the measured window itself adds no heap
+// traffic and the allocs/op axis stays honest. Warmup-time operations
+// are not recorded; the per-worker histograms merge into the point's
+// percentiles (and merge again across -runs, which equals one long run
+// because histogram merge is associative).
 //
 // Results render as aligned text tables (Format, FormatScenario) or CSV
 // (CSV); the CSV schema is the CSVHeader value, documented column by

@@ -12,6 +12,7 @@ import (
 	"oestm/internal/eec"
 	"oestm/internal/lsa"
 	"oestm/internal/seqset"
+	"oestm/internal/stats"
 	"oestm/internal/stm"
 	"oestm/internal/swisstm"
 	"oestm/internal/tl2"
@@ -134,23 +135,48 @@ const MixScenario = "mix"
 // invariant-violation count of scenario runs (always 0 for the mix, and
 // for every transactional engine).
 type Result struct {
-	Engine      string
-	Scenario    string
-	Structure   string
-	BulkPct     int
-	CM          string // contention-management policy ("-" for sequential)
+	Engine    string
+	Scenario  string
+	Structure string
+	BulkPct   int
+	CM        string // contention-management policy ("-" for sequential)
+	// Dist is the key-distribution label (workload.DistConfig.Label:
+	// "uniform", "zipfian:0.99", "hotspot:90/10", ...).
+	Dist string
+	// Theta is the Zipfian skew for zipfian points, 0 otherwise.
+	Theta       float64
 	Threads     int
 	OpsPerMs    float64
 	AbortRate   float64
 	AllocsPerOp float64
-	Violations  uint64
-	Ops         uint64
-	Commits     uint64
-	Aborts      uint64
+	// Per-operation latency over the measured window, from the merged
+	// per-worker log-bucketed histograms (see stats.Histogram for the
+	// resolution bound; LatMax is exact).
+	LatP50, LatP95, LatP99, LatMax time.Duration
+	Violations                     uint64
+	Ops                            uint64
+	Commits                        uint64
+	Aborts                         uint64
 	// AbortsByCause breaks Aborts down by stm.ConflictCause (indexed by
 	// cause value, summed across workers and runs of the point).
 	AbortsByCause [stm.NumCauses]uint64
 	Elapsed       time.Duration
+	// Hist is the merged latency histogram behind the LatP* fields;
+	// average() merges it across runs before recomputing percentiles.
+	// May be nil for hand-built Results.
+	Hist *stats.Histogram
+}
+
+// setLatency installs a measured histogram and its headline percentiles.
+func (r *Result) setLatency(h *stats.Histogram) {
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	r.Hist = h
+	r.LatP50 = h.Quantile(0.50)
+	r.LatP95 = h.Quantile(0.95)
+	r.LatP99 = h.Quantile(0.99)
+	r.LatMax = h.Max()
 }
 
 // mallocs samples the cumulative process-wide allocation count.
@@ -166,6 +192,7 @@ type measurement struct {
 	Totals  stm.Stats
 	Elapsed time.Duration
 	Mallocs uint64
+	Hist    *stats.Histogram // merged per-worker latency histograms
 }
 
 // AllocsPerOp divides the window's allocation count by its operations.
@@ -184,10 +211,16 @@ func (m measurement) OpsPerMs() float64 {
 // runMeasured is the measurement protocol shared by the mix and scenario
 // runners: spin up `threads` workers — newWorker(idx) builds each one's
 // thread and step function — let them run through the warmup, then count
-// operations, commit/abort deltas and process-wide allocations over the
-// measured window. onMeasure, if non-nil, runs on the coordinating
-// goroutine at the instant the window opens (for snapshotting counters
-// that the workers accumulate from the start, e.g. scenario violations).
+// operations, commit/abort deltas, per-operation latency and process-wide
+// allocations over the measured window. onMeasure, if non-nil, runs on
+// the coordinating goroutine at the instant the window opens (for
+// snapshotting counters that the workers accumulate from the start, e.g.
+// scenario violations).
+//
+// Latency is recorded into a per-worker stats.Histogram allocated before
+// the warmup, with one clock read per operation (each operation's end
+// timestamps the next one's start), so the measured window itself stays
+// allocation-free and the allocs/op axis is unaffected.
 func runMeasured(threads int, warmup, duration time.Duration, newWorker func(idx int) (*stm.Thread, func()), onMeasure func()) measurement {
 	var (
 		stop      atomic.Bool
@@ -196,23 +229,32 @@ func runMeasured(threads int, warmup, duration time.Duration, newWorker func(idx
 		mu        sync.Mutex
 		totalOps  uint64
 		totals    stm.Stats
+		totalHist = new(stats.Histogram)
 	)
 	for i := 0; i < threads; i++ {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
 			th, step := newWorker(idx)
+			hist := new(stats.Histogram) // heap traffic before the window opens
 			var ops uint64
 			var base stm.Stats
+			var prev time.Time
 			baseTaken := false
 			for !stop.Load() {
 				if !baseTaken && measuring.Load() {
 					base = th.Stats
 					ops = 0
 					baseTaken = true
+					prev = time.Now()
 				}
 				step()
 				ops++
+				if baseTaken {
+					now := time.Now()
+					hist.Record(now.Sub(prev))
+					prev = now
+				}
 			}
 			if !baseTaken {
 				base = stm.Stats{}
@@ -221,6 +263,7 @@ func runMeasured(threads int, warmup, duration time.Duration, newWorker func(idx
 			mu.Lock()
 			totalOps += ops
 			totals.Add(delta)
+			totalHist.Merge(hist)
 			mu.Unlock()
 		}(i)
 	}
@@ -238,7 +281,7 @@ func runMeasured(threads int, warmup, duration time.Duration, newWorker func(idx
 	m1 := mallocs()
 	wg.Wait()
 
-	return measurement{Ops: totalOps, Totals: totals, Elapsed: elapsed, Mallocs: m1 - m0}
+	return measurement{Ops: totalOps, Totals: totals, Elapsed: elapsed, Mallocs: m1 - m0, Hist: totalHist}
 }
 
 // RunSTM measures one engine on one configuration: fill the structure,
@@ -261,12 +304,14 @@ func RunSTM(eng Engine, cfg RunConfig) Result {
 	if cmName == "" {
 		cmName = cm.DefaultName
 	}
-	return Result{
+	r := Result{
 		Engine:        eng.Name,
 		Scenario:      MixScenario,
 		Structure:     cfg.Structure,
 		BulkPct:       cfg.Workload.BulkPct,
 		CM:            cmName,
+		Dist:          cfg.Workload.Dist.Label(),
+		Theta:         cfg.Workload.Dist.ZipfTheta(),
 		Threads:       cfg.Threads,
 		OpsPerMs:      m.OpsPerMs(),
 		AbortRate:     m.Totals.AbortRate(),
@@ -277,6 +322,8 @@ func RunSTM(eng Engine, cfg RunConfig) Result {
 		AbortsByCause: m.Totals.AbortsByCause,
 		Elapsed:       m.Elapsed,
 	}
+	r.setLatency(m.Hist)
+	return r
 }
 
 // RunSequential measures the bare sequential baseline: one goroutine on
@@ -288,17 +335,25 @@ func RunSequential(cfg RunConfig) Result {
 	gen := workload.NewGen(cfg.Workload, 0)
 
 	var stop, measuring atomic.Bool
+	hist := new(stats.Histogram)
 	counted := make(chan uint64, 1)
 	go func() {
 		var ops uint64
+		var prev time.Time
 		baseTaken := false
 		for !stop.Load() {
 			if !baseTaken && measuring.Load() {
 				ops = 0
 				baseTaken = true
+				prev = time.Now()
 			}
 			workload.ApplySeq(set, gen.Next())
 			ops++
+			if baseTaken {
+				now := time.Now()
+				hist.Record(now.Sub(prev))
+				prev = now
+			}
 		}
 		counted <- ops
 	}()
@@ -315,16 +370,20 @@ func RunSequential(cfg RunConfig) Result {
 	if measured > 0 {
 		allocsPerOp = float64(m1-m0) / float64(measured)
 	}
-	return Result{
+	r := Result{
 		Engine:      "sequential",
 		Scenario:    MixScenario,
 		Structure:   cfg.Structure,
 		BulkPct:     cfg.Workload.BulkPct,
 		CM:          "-", // no transactions, no contention management
+		Dist:        cfg.Workload.Dist.Label(),
+		Theta:       cfg.Workload.Dist.ZipfTheta(),
 		Threads:     1,
 		OpsPerMs:    float64(measured) / float64(elapsed.Milliseconds()+1),
 		AllocsPerOp: allocsPerOp,
 		Ops:         measured,
 		Elapsed:     elapsed,
 	}
+	r.setLatency(hist)
+	return r
 }

@@ -12,8 +12,9 @@ import (
 )
 
 // SweepConfig describes a whole figure: one structure, one bulk
-// percentage, a list of thread counts, the engines to compare, and the
-// contention-management policies to sweep them under.
+// percentage, a list of thread counts, the engines to compare, the
+// contention-management policies to sweep them under, and the key
+// distributions to drive them with.
 type SweepConfig struct {
 	Structure  string
 	BulkPct    int
@@ -25,53 +26,80 @@ type SweepConfig struct {
 	CMs        []string // contention policies (internal/cm names); nil = default
 	Sequential bool     // include the bare sequential baseline
 	Workload   workload.Config
+	// Dists sweeps key distributions: each entry replaces Workload.Dist
+	// for its own set of points (sequential baseline included, once per
+	// distribution). Nil means just Workload.Dist as configured.
+	Dists []workload.DistConfig
+}
+
+// distConfigs resolves a sweep's distribution axis: nil or empty means
+// just the base config. Invalid entries panic (CLI front-ends validate
+// with workload.DistConfig.Validate first).
+func distConfigs(sweep []workload.DistConfig, base workload.DistConfig) []workload.DistConfig {
+	if len(sweep) == 0 {
+		return []workload.DistConfig{base}
+	}
+	for _, d := range sweep {
+		if err := d.Validate(); err != nil {
+			panic(err.Error())
+		}
+	}
+	return sweep
 }
 
 // DefaultThreads is the paper's thread sweep.
 var DefaultThreads = []int{1, 2, 4, 8, 16, 32, 64}
 
-// Sweep measures every (engine, threads) point of the figure and returns
-// the averaged results, sequential baseline first.
+// Sweep measures every (distribution, cm, engine, threads) point of the
+// figure and returns the averaged results, each distribution's sequential
+// baseline first.
 func Sweep(cfg SweepConfig) []Result {
 	if cfg.Runs < 1 {
 		cfg.Runs = 1
 	}
 	var out []Result
-	if cfg.Sequential {
-		rs := make([]Result, cfg.Runs)
-		for i := range rs {
-			rs[i] = RunSequential(RunConfig{
-				Structure: cfg.Structure,
-				Threads:   1,
-				Duration:  cfg.Duration,
-				Warmup:    cfg.Warmup,
-				Workload:  cfg.Workload,
-			})
+	for _, dist := range distConfigs(cfg.Dists, cfg.Workload.Dist) {
+		wl := cfg.Workload
+		wl.Dist = dist
+		if cfg.Sequential {
+			rs := make([]Result, cfg.Runs)
+			for i := range rs {
+				rs[i] = RunSequential(RunConfig{
+					Structure: cfg.Structure,
+					Threads:   1,
+					Duration:  cfg.Duration,
+					Warmup:    cfg.Warmup,
+					Workload:  wl,
+				})
+			}
+			out = append(out, average(rs))
 		}
-		out = append(out, average(rs))
-	}
-	for _, cmName := range CMNames(cfg.CMs) {
-		for _, eng := range cfg.Engines {
-			for _, n := range cfg.Threads {
-				rs := make([]Result, cfg.Runs)
-				for i := range rs {
-					rs[i] = RunSTM(eng, RunConfig{
-						Structure: cfg.Structure,
-						Threads:   n,
-						Duration:  cfg.Duration,
-						Warmup:    cfg.Warmup,
-						Workload:  cfg.Workload,
-						CM:        cmName,
-					})
+		for _, cmName := range CMNames(cfg.CMs) {
+			for _, eng := range cfg.Engines {
+				for _, n := range cfg.Threads {
+					rs := make([]Result, cfg.Runs)
+					for i := range rs {
+						rs[i] = RunSTM(eng, RunConfig{
+							Structure: cfg.Structure,
+							Threads:   n,
+							Duration:  cfg.Duration,
+							Warmup:    cfg.Warmup,
+							Workload:  wl,
+							CM:        cmName,
+						})
+					}
+					out = append(out, average(rs))
 				}
-				out = append(out, average(rs))
 			}
 		}
 	}
 	return out
 }
 
-// average folds repeated runs of one point into one result.
+// average folds repeated runs of one point into one result. Latency is
+// not averaged: the runs' histograms are merged (merge is associative, so
+// this equals one long run) and the percentiles recomputed from the
+// merged distribution.
 func average(rs []Result) Result {
 	if len(rs) == 1 {
 		return rs[0]
@@ -80,10 +108,14 @@ func average(rs []Result) Result {
 	tp := make([]float64, len(rs))
 	ab := make([]float64, len(rs))
 	al := make([]float64, len(rs))
+	merged := new(stats.Histogram)
 	for i, r := range rs {
 		tp[i] = r.OpsPerMs
 		ab[i] = r.AbortRate
 		al[i] = r.AllocsPerOp
+		if r.Hist != nil {
+			merged.Merge(r.Hist)
+		}
 		if i > 0 {
 			out.Ops += r.Ops
 			out.Commits += r.Commits
@@ -100,6 +132,7 @@ func average(rs []Result) Result {
 	out.OpsPerMs = stats.Mean(tp)
 	out.AbortRate = stats.Mean(ab)
 	out.AllocsPerOp = stats.Mean(al)
+	out.setLatency(merged)
 	return out
 }
 
@@ -119,12 +152,17 @@ func FigureTitle(structure string) string {
 
 // columnLabel names a result's table column: the engine, qualified with
 // the contention policy ("engine/cm") when the result set sweeps more
-// than one policy.
-func columnLabel(r Result, multiCM bool) string {
-	if !multiCM || r.Engine == "sequential" {
-		return r.Engine
+// than one policy, and with the key distribution ("engine@dist") when it
+// sweeps more than one distribution — the per-cell dist axis.
+func columnLabel(r Result, multiCM, multiDist bool) string {
+	l := r.Engine
+	if multiCM && r.Engine != "sequential" {
+		l += "/" + r.CM
 	}
-	return r.Engine + "/" + r.CM
+	if multiDist {
+		l += "@" + r.Dist
+	}
+	return l
 }
 
 // labelWidth sizes the engine column of a table: wide enough for the
@@ -152,17 +190,31 @@ func sweepsCMs(results []Result) bool {
 	return len(cms) > 1
 }
 
+// sweepsDists reports whether results span more than one key
+// distribution.
+func sweepsDists(results []Result) bool {
+	dists := map[string]bool{}
+	for _, r := range results {
+		dists[r.Dist] = true
+	}
+	return len(dists) > 1
+}
+
+// usec renders a duration as microseconds for tables and CSV.
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
 // Format renders a figure's results as an aligned table: one row per
-// thread count, throughput and abort-rate columns per engine (per
-// engine/policy pair when sweeping contention managers) — the text
-// rendition of the paper's plots — followed by the per-cause abort
-// breakdown.
+// thread count; throughput, abort-rate, allocs/op and latency (p50/p99
+// µs) columns per engine (per engine/policy pair when sweeping contention
+// managers, per distribution when sweeping those) — the text rendition of
+// the paper's plots — followed by the per-cause abort breakdown.
 func Format(results []Result, structure string, bulkPct int) string {
 	multiCM := sweepsCMs(results)
+	multiDist := sweepsDists(results)
 	var labels []string
 	seen := map[string]bool{}
 	for _, r := range results {
-		l := columnLabel(r, multiCM)
+		l := columnLabel(r, multiCM, multiDist)
 		if !seen[l] {
 			seen[l] = true
 			labels = append(labels, l)
@@ -182,7 +234,7 @@ func Format(results []Result, structure string, bulkPct int) string {
 
 	point := map[string]map[int]Result{}
 	for _, r := range results {
-		l := columnLabel(r, multiCM)
+		l := columnLabel(r, multiCM, multiDist)
 		if point[l] == nil {
 			point[l] = map[int]Result{}
 		}
@@ -190,32 +242,33 @@ func Format(results []Result, structure string, bulkPct int) string {
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %d%% addAll/removeAll (throughput ops/ms | abort %% | allocs/op)\n",
+	fmt.Fprintf(&b, "%s — %d%% addAll/removeAll (throughput ops/ms | abort %% | allocs/op | p50/p99 µs)\n",
 		FigureTitle(structure), bulkPct)
 	w := labelWidth(labels)
 	fmt.Fprintf(&b, "%-8s", "threads")
 	for _, l := range labels {
-		if l == "sequential" {
-			fmt.Fprintf(&b, " %12s", l)
+		if strings.HasPrefix(l, "sequential") {
+			fmt.Fprintf(&b, " %*s %7s", w, l, "p99us")
 			continue
 		}
-		fmt.Fprintf(&b, " %*s %7s %7s", w, l, "ab%", "allocs")
+		fmt.Fprintf(&b, " %*s %7s %7s %7s %7s", w, l, "ab%", "allocs", "p50us", "p99us")
 	}
 	b.WriteByte('\n')
 	for _, n := range threads {
 		fmt.Fprintf(&b, "%-8d", n)
 		for _, l := range labels {
-			if l == "sequential" {
+			if strings.HasPrefix(l, "sequential") {
 				r := point[l][1]
-				fmt.Fprintf(&b, " %12.1f", r.OpsPerMs)
+				fmt.Fprintf(&b, " %*.1f %7.1f", w, r.OpsPerMs, usec(r.LatP99))
 				continue
 			}
 			r, ok := point[l][n]
 			if !ok {
-				fmt.Fprintf(&b, " %*s %7s %7s", w, "-", "-", "-")
+				fmt.Fprintf(&b, " %*s %7s %7s %7s %7s", w, "-", "-", "-", "-", "-")
 				continue
 			}
-			fmt.Fprintf(&b, " %*.1f %7.2f %7.2f", w, r.OpsPerMs, r.AbortRate, r.AllocsPerOp)
+			fmt.Fprintf(&b, " %*.1f %7.2f %7.2f %7.1f %7.1f",
+				w, r.OpsPerMs, r.AbortRate, r.AllocsPerOp, usec(r.LatP50), usec(r.LatP99))
 		}
 		b.WriteByte('\n')
 	}
@@ -239,13 +292,14 @@ func displayCauses() []stm.ConflictCause {
 // nothing aborted.
 func FormatCauses(results []Result) string {
 	multiCM := sweepsCMs(results)
+	multiDist := sweepsDists(results)
 	var labels []string
 	totals := map[string]*[stm.NumCauses]uint64{}
 	for _, r := range results {
 		if r.Engine == "sequential" {
 			continue
 		}
-		l := columnLabel(r, multiCM)
+		l := columnLabel(r, multiCM, multiDist)
 		t, ok := totals[l]
 		if !ok {
 			t = new([stm.NumCauses]uint64)
@@ -291,18 +345,24 @@ func FormatCauses(results []Result) string {
 // the composed-scenario name), structure (structure label; for composed
 // scenarios the structures the scenario spans), bulk_pct (percentage of
 // bulk operations; 0 for scenarios), engine, cm (contention-management
-// policy; "-" for sequential), threads, ops_per_ms (completed operations
-// per millisecond of measured time, the paper's throughput unit),
-// abort_rate (aborted attempts as a percentage of all attempts),
-// allocs_per_op (process-wide heap allocations per completed operation
-// over the measured window), violations (invariant violations observed by
-// scenario audits during the measured window plus the end-state check;
-// always 0 for the mix and for every transactional engine),
-// ops/commits/aborts (raw counts over the measured window, summed across
-// runs of a point), and one aborts_<cause> column per stm.ConflictCause
-// (classified causes first, unknown last; they sum to aborts).
+// policy; "-" for sequential), dist (key-distribution label,
+// workload.DistConfig.Label), theta (Zipfian skew; 0 for non-zipfian
+// points), threads, ops_per_ms (completed operations per millisecond of
+// measured time, the paper's throughput unit), abort_rate (aborted
+// attempts as a percentage of all attempts), allocs_per_op (process-wide
+// heap allocations per completed operation over the measured window),
+// lat_p50_us/lat_p95_us/lat_p99_us/lat_max_us (per-operation latency
+// percentiles and exact maximum over the measured window, microseconds,
+// from the merged per-worker histograms), violations (invariant
+// violations observed by scenario audits during the measured window plus
+// the end-state check; always 0 for the mix and for every transactional
+// engine), ops/commits/aborts (raw counts over the measured window,
+// summed across runs of a point), and one aborts_<cause> column per
+// stm.ConflictCause (classified causes first, unknown last; they sum to
+// aborts).
 var CSVHeader = func() string {
-	cols := "scenario,structure,bulk_pct,engine,cm,threads,ops_per_ms,abort_rate,allocs_per_op,violations,ops,commits,aborts"
+	cols := "scenario,structure,bulk_pct,engine,cm,dist,theta,threads,ops_per_ms,abort_rate,allocs_per_op," +
+		"lat_p50_us,lat_p95_us,lat_p99_us,lat_max_us,violations,ops,commits,aborts"
 	for _, c := range displayCauses() {
 		cols += ",aborts_" + c.Slug()
 	}
@@ -316,8 +376,11 @@ func CSV(results []Result) string {
 	b.WriteString(CSVHeader)
 	b.WriteByte('\n')
 	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%s,%d,%s,%s,%d,%.2f,%.3f,%.3f,%d,%d,%d,%d",
-			r.Scenario, r.Structure, r.BulkPct, r.Engine, r.CM, r.Threads, r.OpsPerMs, r.AbortRate, r.AllocsPerOp, r.Violations, r.Ops, r.Commits, r.Aborts)
+		fmt.Fprintf(&b, "%s,%s,%d,%s,%s,%s,%.2f,%d,%.2f,%.3f,%.3f,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d",
+			r.Scenario, r.Structure, r.BulkPct, r.Engine, r.CM, r.Dist, r.Theta, r.Threads,
+			r.OpsPerMs, r.AbortRate, r.AllocsPerOp,
+			usec(r.LatP50), usec(r.LatP95), usec(r.LatP99), usec(r.LatMax),
+			r.Violations, r.Ops, r.Commits, r.Aborts)
 		for _, c := range displayCauses() {
 			fmt.Fprintf(&b, ",%d", r.AbortsByCause[c])
 		}

@@ -34,6 +34,11 @@ type ScenarioRunConfig struct {
 // included. It panics on an unknown scenario name (use
 // workload.ScenarioNames for the registry).
 func RunScenario(eng Engine, cfg ScenarioRunConfig) Result {
+	if !workload.ScenarioKeyed(cfg.Scenario) {
+		// Key-free scenarios ignore the distribution; tag the result
+		// uniform so no row claims a skew that had no effect.
+		cfg.Workload.Dist = workload.DistConfig{}
+	}
 	tm := eng.New()
 	scn, ok := workload.NewScenario(cfg.Scenario, cfg.Workload)
 	if !ok {
@@ -56,11 +61,13 @@ func RunScenario(eng Engine, cfg ScenarioRunConfig) Result {
 	if cmName == "" {
 		cmName = cm.DefaultName
 	}
-	return Result{
+	r := Result{
 		Engine:        eng.Name,
 		Scenario:      scn.Name(),
 		Structure:     scn.Structures(),
 		CM:            cmName,
+		Dist:          cfg.Workload.Dist.Label(),
+		Theta:         cfg.Workload.Dist.ZipfTheta(),
 		Threads:       cfg.Threads,
 		OpsPerMs:      m.OpsPerMs(),
 		AbortRate:     m.Totals.AbortRate(),
@@ -72,10 +79,13 @@ func RunScenario(eng Engine, cfg ScenarioRunConfig) Result {
 		AbortsByCause: m.Totals.AbortsByCause,
 		Elapsed:       m.Elapsed,
 	}
+	r.setLatency(m.Hist)
+	return r
 }
 
 // ScenarioSweepConfig describes a whole scenario panel: one scenario, a
-// thread sweep, and the engines to compare.
+// thread sweep, the engines to compare, and the contention-policy and
+// key-distribution axes to sweep them under.
 type ScenarioSweepConfig struct {
 	Scenario string
 	Threads  []int
@@ -85,29 +95,43 @@ type ScenarioSweepConfig struct {
 	Engines  []Engine
 	CMs      []string // contention policies (internal/cm names); nil = default
 	Workload workload.ScenarioConfig
+	// Dists sweeps key distributions: each entry replaces Workload.Dist
+	// for its own set of points. Nil means just Workload.Dist.
+	Dists []workload.DistConfig
 }
 
-// ScenarioSweep measures every (engine, threads) point of the panel.
+// ScenarioSweep measures every (distribution, cm, engine, threads) point
+// of the panel.
 func ScenarioSweep(cfg ScenarioSweepConfig) []Result {
 	if cfg.Runs < 1 {
 		cfg.Runs = 1
 	}
+	dists := distConfigs(cfg.Dists, cfg.Workload.Dist)
+	if !workload.ScenarioKeyed(cfg.Scenario) {
+		// Key-free scenario: every distribution yields the same workload,
+		// so measure once (RunScenario tags it uniform).
+		dists = dists[:1]
+	}
 	var out []Result
-	for _, cmName := range CMNames(cfg.CMs) {
-		for _, eng := range cfg.Engines {
-			for _, n := range cfg.Threads {
-				rs := make([]Result, cfg.Runs)
-				for i := range rs {
-					rs[i] = RunScenario(eng, ScenarioRunConfig{
-						Scenario: cfg.Scenario,
-						Threads:  n,
-						Duration: cfg.Duration,
-						Warmup:   cfg.Warmup,
-						Workload: cfg.Workload,
-						CM:       cmName,
-					})
+	for _, dist := range dists {
+		wl := cfg.Workload
+		wl.Dist = dist
+		for _, cmName := range CMNames(cfg.CMs) {
+			for _, eng := range cfg.Engines {
+				for _, n := range cfg.Threads {
+					rs := make([]Result, cfg.Runs)
+					for i := range rs {
+						rs[i] = RunScenario(eng, ScenarioRunConfig{
+							Scenario: cfg.Scenario,
+							Threads:  n,
+							Duration: cfg.Duration,
+							Warmup:   cfg.Warmup,
+							Workload: wl,
+							CM:       cmName,
+						})
+					}
+					out = append(out, average(rs))
 				}
-				out = append(out, average(rs))
 			}
 		}
 	}
@@ -115,16 +139,18 @@ func ScenarioSweep(cfg ScenarioSweepConfig) []Result {
 }
 
 // FormatScenario renders a scenario panel as an aligned table: one row
-// per thread count; throughput, abort-rate, allocs/op and invariant-
-// violation columns per engine (per engine/policy pair when sweeping
-// contention managers), followed by the per-cause abort breakdown.
+// per thread count; throughput, abort-rate, allocs/op, latency (p50/p99
+// µs) and invariant-violation columns per engine (per engine/policy pair
+// when sweeping contention managers, per distribution when sweeping
+// those), followed by the per-cause abort breakdown.
 func FormatScenario(results []Result, scenario string) string {
 	multiCM := sweepsCMs(results)
+	multiDist := sweepsDists(results)
 	var engines []string
 	seen := map[string]bool{}
 	structures := ""
 	for _, r := range results {
-		l := columnLabel(r, multiCM)
+		l := columnLabel(r, multiCM, multiDist)
 		if !seen[l] {
 			seen[l] = true
 			engines = append(engines, l)
@@ -143,7 +169,7 @@ func FormatScenario(results []Result, scenario string) string {
 
 	point := map[string]map[int]Result{}
 	for _, r := range results {
-		l := columnLabel(r, multiCM)
+		l := columnLabel(r, multiCM, multiDist)
 		if point[l] == nil {
 			point[l] = map[int]Result{}
 		}
@@ -151,12 +177,12 @@ func FormatScenario(results []Result, scenario string) string {
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "scenario %s on %s (throughput ops/ms | abort %% | allocs/op | invariant violations)\n",
+	fmt.Fprintf(&b, "scenario %s on %s (throughput ops/ms | abort %% | allocs/op | p50/p99 µs | invariant violations)\n",
 		scenario, structures)
 	w := labelWidth(engines)
 	fmt.Fprintf(&b, "%-8s", "threads")
 	for _, e := range engines {
-		fmt.Fprintf(&b, " %*s %7s %7s %5s", w, e, "ab%", "allocs", "viol")
+		fmt.Fprintf(&b, " %*s %7s %7s %7s %7s %5s", w, e, "ab%", "allocs", "p50us", "p99us", "viol")
 	}
 	b.WriteByte('\n')
 	for _, n := range threads {
@@ -164,10 +190,11 @@ func FormatScenario(results []Result, scenario string) string {
 		for _, e := range engines {
 			r, ok := point[e][n]
 			if !ok {
-				fmt.Fprintf(&b, " %*s %7s %7s %5s", w, "-", "-", "-", "-")
+				fmt.Fprintf(&b, " %*s %7s %7s %7s %7s %5s", w, "-", "-", "-", "-", "-", "-")
 				continue
 			}
-			fmt.Fprintf(&b, " %*.1f %7.2f %7.2f %5d", w, r.OpsPerMs, r.AbortRate, r.AllocsPerOp, r.Violations)
+			fmt.Fprintf(&b, " %*.1f %7.2f %7.2f %7.1f %7.1f %5d",
+				w, r.OpsPerMs, r.AbortRate, r.AllocsPerOp, usec(r.LatP50), usec(r.LatP99), r.Violations)
 		}
 		b.WriteByte('\n')
 	}

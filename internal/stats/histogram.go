@@ -1,0 +1,150 @@
+// histogram.go provides the allocation-free latency histogram the harness
+// records around every measured operation. Values (nanoseconds) land in
+// log-linear buckets: within each power of two the range splits into
+// 2^histSubBits equal sub-buckets, so the relative quantile error is
+// bounded by 2^-histSubBits (12.5%) and typically half that, while the
+// whole histogram stays a fixed-size value type — Record touches only the
+// receiver's arrays, so the harness's per-operation path adds zero heap
+// traffic and the allocs/op axis stays honest.
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"time"
+)
+
+// histSubBits is the log2 of the sub-buckets per power of two.
+const histSubBits = 3
+
+// HistBuckets is the bucket count of a Histogram: 2^histSubBits identity
+// buckets for values < 2^histSubBits, then 2^histSubBits sub-buckets per
+// remaining octave of the 64-bit range (exponents histSubBits..63, so the
+// whole uint64 domain maps in range).
+const HistBuckets = (64 - histSubBits + 1) << histSubBits
+
+// Histogram is a log-bucketed histogram of non-negative int64 samples
+// (the harness records latencies in nanoseconds). The zero value is an
+// empty histogram ready for use. Histogram is a plain value: embed or
+// allocate it once per worker before the measured window; Record, Merge
+// and the quantile accessors never allocate.
+type Histogram struct {
+	counts [HistBuckets]uint64
+	count  uint64
+	max    uint64
+}
+
+// histBucket maps a sample to its bucket index: identity below
+// 2^histSubBits, then (octave, top histSubBits mantissa bits) above.
+func histBucket(v uint64) int {
+	if v < 1<<histSubBits {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // floor(log2 v), >= histSubBits
+	sub := int(v>>(uint(exp)-histSubBits)) & (1<<histSubBits - 1)
+	return (exp-histSubBits+1)<<histSubBits + sub
+}
+
+// histBucketMax is the largest sample that lands in bucket i — the value
+// quantiles report, so quantiles never under-report a recorded sample.
+func histBucketMax(i int) uint64 {
+	if i < 1<<histSubBits {
+		return uint64(i)
+	}
+	exp := uint(i>>histSubBits) + histSubBits - 1
+	sub := uint64(i & (1<<histSubBits - 1))
+	lo := uint64(1)<<exp + sub<<(exp-histSubBits)
+	return lo + 1<<(exp-histSubBits) - 1
+}
+
+// RecordNS adds one sample in nanoseconds.
+func (h *Histogram) RecordNS(ns uint64) {
+	h.counts[histBucket(ns)]++
+	h.count++
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Record adds one duration sample (negative durations clamp to zero).
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.RecordNS(uint64(d))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Max returns the largest recorded sample exactly (0 when empty).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Merge folds o into h. Merging is commutative and associative, so
+// per-worker histograms can be combined in any order.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, n := range o.counts {
+		h.counts[i] += n
+	}
+	h.count += o.count
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset empties the histogram, keeping its storage.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Quantile returns the q-quantile (q in [0,1]) by nearest rank: the upper
+// bound of the bucket holding the sample of rank ceil(q*count), so the
+// true sample is never under-reported and over-reported by at most
+// 2^-histSubBits relative. The maximum is reported exactly. Returns 0 on
+// an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range h.counts {
+		seen += n
+		if seen >= rank {
+			if m := histBucketMax(i); m < h.max {
+				return time.Duration(m)
+			}
+			return h.Max()
+		}
+	}
+	return h.Max()
+}
+
+// Percentile returns the p-th percentile of xs (p in [0,100]) by nearest
+// rank, without mutating xs. Unlike Histogram it is exact: use it for
+// small aggregate series (e.g. one value per benchmark run), the
+// histogram for high-volume per-operation streams.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func histOf(samples ...uint64) *Histogram {
+	h := new(Histogram)
+	for _, s := range samples {
+		h.RecordNS(s)
+	}
+	return h
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram not empty: count=%d max=%v q99=%v", h.Count(), h.Max(), h.Quantile(0.99))
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	// Values below 2^histSubBits land in identity buckets, so quantiles
+	// are exact there.
+	h := histOf(0, 1, 2, 3, 4, 5, 6, 7)
+	// Nearest rank: ceil(0.5*8) = 4th smallest = 3.
+	if got := h.Quantile(0.5); got != 3*time.Nanosecond {
+		t.Fatalf("q50 of 0..7 = %v, want 3ns", got)
+	}
+	if got := h.Max(); got != 7*time.Nanosecond {
+		t.Fatalf("max = %v, want 7ns", got)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+// TestHistogramErrorBound pins the log-bucket resolution contract: a
+// quantile never under-reports its sample and over-reports by at most
+// 2^-histSubBits relative. A larger sentinel sample keeps the exact-max
+// clamp out of the way, and a lone sample checks that clamp: the maximum
+// is reported exactly.
+func TestHistogramErrorBound(t *testing.T) {
+	f := func(v uint64) bool {
+		v %= uint64(1) << 40 // keep within plausible latency range
+		h := new(Histogram)
+		for i := 0; i < 9; i++ {
+			h.RecordNS(v)
+		}
+		h.RecordNS(1 << 41) // sentinel: occupies a higher bucket
+		got := uint64(h.Quantile(0.5))
+		if got < v || got > v+v/8+1 {
+			return false
+		}
+		return uint64(histOf(v).Quantile(0.99)) == v // exact-max clamp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramQuantileMonotone checks quantiles never decrease in q.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(samples []uint32, qa, qb float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		h := new(Histogram)
+		for _, s := range samples {
+			h.RecordNS(uint64(s))
+		}
+		qa = clamp01(qa)
+		qb = clamp01(qb)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp01(q float64) float64 {
+	if q != q || q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// TestHistogramMergeAssociative quick-checks that (a⊕b)⊕c and a⊕(b⊕c)
+// agree on counts, max and every quantile — the property average() relies
+// on when folding per-run histograms in arbitrary order.
+func TestHistogramMergeAssociative(t *testing.T) {
+	f := func(as, bs, cs []uint32) bool {
+		a1, b1, c1 := hist32(as), hist32(bs), hist32(cs)
+		a2, b2, c2 := hist32(as), hist32(bs), hist32(cs)
+
+		a1.Merge(b1) // (a⊕b)⊕c
+		a1.Merge(c1)
+		b2.Merge(c2) // a⊕(b⊕c)
+		a2.Merge(b2)
+
+		if a1.Count() != a2.Count() || a1.Max() != a2.Max() {
+			return false
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if a1.Quantile(q) != a2.Quantile(q) {
+				return false
+			}
+		}
+		return *a1 == *a2 // bucket-for-bucket identical
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hist32(xs []uint32) *Histogram {
+	h := new(Histogram)
+	for _, x := range xs {
+		h.RecordNS(uint64(x))
+	}
+	return h
+}
+
+// TestHistogramMergeEqualsOneRun checks merging per-worker histograms
+// equals recording the union of their samples into one.
+func TestHistogramMergeEqualsOneRun(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	whole := new(Histogram)
+	parts := []*Histogram{new(Histogram), new(Histogram), new(Histogram)}
+	for i := 0; i < 3000; i++ {
+		v := uint64(rng.IntN(1 << 20))
+		whole.RecordNS(v)
+		parts[i%3].RecordNS(v)
+	}
+	merged := new(Histogram)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if *merged != *whole {
+		t.Fatal("merged per-worker histograms differ from one-run histogram")
+	}
+}
+
+// TestHistogramRecordAllocFree pins the tentpole's core constraint: the
+// record path the harness runs once per measured operation must not touch
+// the heap (the allocs/op axis would otherwise count the instrumentation
+// itself).
+func TestHistogramRecordAllocFree(t *testing.T) {
+	h := new(Histogram)
+	rng := rand.New(rand.NewPCG(1, 2))
+	vals := make([]time.Duration, 1024)
+	for i := range vals {
+		vals[i] = time.Duration(rng.IntN(1 << 24))
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(vals[i&1023])
+		i++
+	}); allocs != 0 {
+		t.Errorf("Record allocated %.1f times per run, want 0", allocs)
+	}
+	o := histOf(1, 2, 3)
+	if allocs := testing.AllocsPerRun(100, func() { h.Merge(o) }); allocs != 0 {
+		t.Errorf("Merge allocated %.1f times per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = h.Quantile(0.99) }); allocs != 0 {
+		t.Errorf("Quantile allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestHistogramFullUint64Domain pins that RecordNS accepts the whole
+// uint64 range: the top octave (values >= 2^63) must land in valid
+// buckets, not past the array.
+func TestHistogramFullUint64Domain(t *testing.T) {
+	h := new(Histogram)
+	for _, v := range []uint64{1<<63 - 1, 1 << 63, 1<<64 - 1} {
+		h.RecordNS(v)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if got := uint64(h.Max()); got != 1<<64-1 {
+		t.Fatalf("max = %d, want MaxUint64", got)
+	}
+	if got := uint64(h.Quantile(1)); got != 1<<64-1 {
+		t.Fatalf("q100 = %d, want MaxUint64", got)
+	}
+}
+
+func TestHistogramNegativeClamp(t *testing.T) {
+	h := new(Histogram)
+	h.Record(-5 * time.Nanosecond)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative duration must clamp to 0: count=%d max=%v", h.Count(), h.Max())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := map[float64]float64{0: 15, 30: 20, 40: 20, 50: 35, 100: 50}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+// TestPercentileMonotone quick-checks ordering and bounds: percentiles
+// never decrease in p and always land on an input sample.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, pa, pb float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			if x != x { // drop NaN: unordered
+				x = 0
+			}
+			xs[i] = x
+		}
+		pa, pb = 100*clamp01(pa/100), 100*clamp01(pb/100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		lo, hi := Percentile(xs, pa), Percentile(xs, pb)
+		if lo > hi {
+			return false
+		}
+		found := false
+		for _, x := range xs {
+			if x == hi {
+				found = true
+			}
+		}
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

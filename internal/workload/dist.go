@@ -1,0 +1,271 @@
+// dist.go provides the pluggable key-distribution layer: every key drawn
+// by the mix generator and by the composed scenarios goes through a
+// Sampler, so the same workloads can be run uniform (the paper's §VII-A
+// setting) or under production-shaped skew — Zipfian popularity, a fixed
+// hotspot, or a hotspot whose hot window rotates over time (exercising
+// outheritance under churn: the contended keys keep moving, so no warmed
+// structure region stays hot).
+//
+// Samplers are per-thread: they draw from the thread's deterministic rng
+// and may keep draw counters (shifting-hotspot), so identical seeds and
+// configs reproduce identical key streams per thread. Every Next call is
+// allocation-free — the harness records per-operation latency on the same
+// path and must not add heap traffic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Distribution names accepted by DistConfig.Name. The zero name means
+// DistUniform.
+const (
+	DistUniform         = "uniform"
+	DistZipfian         = "zipfian"
+	DistHotspot         = "hotspot"
+	DistShiftingHotspot = "shifting-hotspot"
+)
+
+// DistNames lists the registered key distributions.
+func DistNames() []string {
+	return []string{DistUniform, DistZipfian, DistHotspot, DistShiftingHotspot}
+}
+
+// DistConfig selects and parameterises a key distribution. The zero value
+// is uniform, so existing workload configs keep their meaning.
+type DistConfig struct {
+	// Name is one of DistNames; empty means DistUniform.
+	Name string
+	// Theta is the Zipfian skew in (0,1): higher is more skewed (YCSB's
+	// default is 0.99, where ~10% of the keys draw roughly 3/4 of the
+	// traffic at the paper's key-range sizes). Zero means DefaultTheta.
+	// Zipfian only.
+	Theta float64
+	// HotOpsPct is the percentage of draws served from the hot window
+	// (hotspot kinds; zero means DefaultHotOpsPct).
+	HotOpsPct int
+	// HotKeysPct is the percentage of the key range forming the hot
+	// window (hotspot kinds; zero means DefaultHotKeysPct).
+	HotKeysPct int
+	// ShiftEvery is the number of draws between hot-window rotations
+	// (shifting-hotspot; zero means DefaultShiftEvery). Each rotation
+	// advances the window by its own width, so the hotspot walks the
+	// whole key range.
+	ShiftEvery int
+}
+
+// Defaults applied by normalize for zero-valued DistConfig fields.
+const (
+	DefaultTheta      = 0.99
+	DefaultHotOpsPct  = 90
+	DefaultHotKeysPct = 10
+	DefaultShiftEvery = 1 << 14
+)
+
+// normalize resolves zero fields to their defaults.
+func (d DistConfig) normalize() DistConfig {
+	if d.Name == "" {
+		d.Name = DistUniform
+	}
+	if d.Theta == 0 {
+		d.Theta = DefaultTheta
+	}
+	if d.HotOpsPct == 0 {
+		d.HotOpsPct = DefaultHotOpsPct
+	}
+	if d.HotKeysPct == 0 {
+		d.HotKeysPct = DefaultHotKeysPct
+	}
+	if d.ShiftEvery == 0 {
+		d.ShiftEvery = DefaultShiftEvery
+	}
+	return d
+}
+
+// Validate reports whether the config names a known distribution with
+// parameters in range. CLI front-ends call it before building samplers;
+// NewSampler panics on invalid configs.
+func (d DistConfig) Validate() error {
+	d = d.normalize()
+	switch d.Name {
+	case DistUniform:
+	case DistZipfian:
+		if d.Theta <= 0 || d.Theta >= 1 {
+			return fmt.Errorf("workload: zipfian theta %v out of range (0,1)", d.Theta)
+		}
+	case DistHotspot, DistShiftingHotspot:
+		if d.HotOpsPct < 1 || d.HotOpsPct > 100 {
+			return fmt.Errorf("workload: hotspot ops%% %d out of range [1,100]", d.HotOpsPct)
+		}
+		if d.HotKeysPct < 1 || d.HotKeysPct > 100 {
+			return fmt.Errorf("workload: hotspot keys%% %d out of range [1,100]", d.HotKeysPct)
+		}
+		if d.Name == DistShiftingHotspot && d.ShiftEvery < 1 {
+			return fmt.Errorf("workload: shift-every %d must be positive", d.ShiftEvery)
+		}
+	default:
+		return fmt.Errorf("workload: unknown distribution %q", d.Name)
+	}
+	return nil
+}
+
+// Label is the self-describing distribution tag used by the harness's
+// tables and the CSV dist column: "uniform", "zipfian:0.99",
+// "hotspot:90/10", "shifting-hotspot:90/10/16384" (the third component
+// is the rotation period — every parameter that shapes a distribution
+// appears in its label, so sweep entries never collide). It is
+// comma-free by construction.
+func (d DistConfig) Label() string {
+	d = d.normalize()
+	switch d.Name {
+	case DistZipfian:
+		return fmt.Sprintf("%s:%.2f", d.Name, d.Theta)
+	case DistHotspot:
+		return fmt.Sprintf("%s:%d/%d", d.Name, d.HotOpsPct, d.HotKeysPct)
+	case DistShiftingHotspot:
+		return fmt.Sprintf("%s:%d/%d/%d", d.Name, d.HotOpsPct, d.HotKeysPct, d.ShiftEvery)
+	default:
+		return d.Name
+	}
+}
+
+// ZipfTheta returns the effective theta for the CSV theta column: the
+// normalized skew for zipfian configs, 0 for every other distribution.
+func (d DistConfig) ZipfTheta() float64 {
+	d = d.normalize()
+	if d.Name == DistZipfian {
+		return d.Theta
+	}
+	return 0
+}
+
+// Sampler draws keys in [0, keyRange) from one distribution. Samplers are
+// per-thread (they advance the thread's rng and may keep draw counters)
+// and allocation-free per draw.
+type Sampler interface {
+	Next(rng *rand.Rand) int
+}
+
+// NewSampler builds the sampler for a distribution over keyRange keys. It
+// panics on invalid configs or a non-positive keyRange (front-ends
+// validate with DistConfig.Validate first).
+func NewSampler(d DistConfig, keyRange int) Sampler {
+	if err := d.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if keyRange < 1 {
+		panic(fmt.Sprintf("workload: key range %d must be positive", keyRange))
+	}
+	d = d.normalize()
+	switch d.Name {
+	case DistUniform:
+		return &uniformSampler{n: keyRange}
+	case DistZipfian:
+		return newZipfSampler(keyRange, d.Theta)
+	case DistHotspot:
+		return newHotspotSampler(keyRange, d, 0)
+	default: // DistShiftingHotspot, by Validate
+		return newHotspotSampler(keyRange, d, d.ShiftEvery)
+	}
+}
+
+// uniformSampler is the paper's §VII-A key choice.
+type uniformSampler struct{ n int }
+
+func (s *uniformSampler) Next(rng *rand.Rand) int { return rng.IntN(s.n) }
+
+// zipfSampler draws a bounded Zipfian over key ranks: key 0 is the
+// hottest, frequencies fall off as rank^-theta. It is the classic YCSB
+// ZipfianGenerator (Gray et al.'s rejection-free inversion) with the
+// harmonic normaliser precomputed at construction.
+type zipfSampler struct {
+	n            int
+	alpha        float64 // 1/(1-theta)
+	zetan        float64 // generalised harmonic number H_{n,theta}
+	eta          float64
+	halfPowTheta float64 // 1 + 0.5^theta
+}
+
+func newZipfSampler(n int, theta float64) *zipfSampler {
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1 + 1/math.Pow(2, theta)
+	return &zipfSampler{
+		n:            n,
+		alpha:        1 / (1 - theta),
+		zetan:        zetan,
+		eta:          (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		halfPowTheta: 1 + math.Pow(0.5, theta),
+	}
+}
+
+func (s *zipfSampler) Next(rng *rand.Rand) int {
+	if s.n == 1 {
+		return 0
+	}
+	u := rng.Float64()
+	uz := u * s.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < s.halfPowTheta {
+		return 1
+	}
+	k := int(float64(s.n) * math.Pow(s.eta*u-s.eta+1, s.alpha))
+	if k >= s.n {
+		k = s.n - 1
+	}
+	return k
+}
+
+// hotspotSampler serves hotOpsPct% of draws from a hot window of
+// hotKeysPct% of the range and the rest uniformly from the cold
+// remainder. With shiftEvery > 0 the window's start advances by the
+// window width every shiftEvery draws, wrapping around the range.
+//
+// The rotation is keyed on a per-sampler draw counter, not wall time or
+// a shared counter: that is what keeps key streams deterministic per
+// thread (the reproducibility contract every distribution honours). The
+// deliberate cost is that concurrent workers' windows drift apart as
+// their op rates diverge, so cross-thread contention is softer than a
+// globally synchronised rotation would produce — the regime exercised is
+// hot-window *churn* (warmed regions going cold and cold ones hot),
+// which per-thread rotation delivers regardless of drift.
+type hotspotSampler struct {
+	n          int
+	hotN       int // window width, >= 1
+	hotOpsPct  int
+	shiftEvery int
+	draws      int
+	start      int // current window start
+}
+
+func newHotspotSampler(n int, d DistConfig, shiftEvery int) *hotspotSampler {
+	hotN := n * d.HotKeysPct / 100
+	if hotN < 1 {
+		hotN = 1
+	}
+	if hotN > n {
+		hotN = n
+	}
+	return &hotspotSampler{n: n, hotN: hotN, hotOpsPct: d.HotOpsPct, shiftEvery: shiftEvery}
+}
+
+func (s *hotspotSampler) Next(rng *rand.Rand) int {
+	if s.shiftEvery > 0 {
+		if s.draws >= s.shiftEvery {
+			s.draws = 0
+			s.start = (s.start + s.hotN) % s.n
+		}
+		s.draws++
+	}
+	if s.hotN == s.n || rng.IntN(100) < s.hotOpsPct {
+		return (s.start + rng.IntN(s.hotN)) % s.n
+	}
+	// Cold draw: uniform over the keys outside the window.
+	return (s.start + s.hotN + rng.IntN(s.n-s.hotN)) % s.n
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 1)) }
+
+// distCases is one valid config per registered distribution, used by the
+// range and determinism tests.
+func distCases() []DistConfig {
+	return []DistConfig{
+		{Name: DistUniform},
+		{Name: DistZipfian, Theta: 0.99},
+		{Name: DistZipfian, Theta: 0.5},
+		{Name: DistHotspot, HotOpsPct: 90, HotKeysPct: 10},
+		{Name: DistShiftingHotspot, HotOpsPct: 90, HotKeysPct: 10, ShiftEvery: 64},
+	}
+}
+
+func TestDistNamesAllValidate(t *testing.T) {
+	for _, name := range DistNames() {
+		if err := (DistConfig{Name: name}).Validate(); err != nil {
+			t.Errorf("default-parameter %s config invalid: %v", name, err)
+		}
+	}
+	if err := (DistConfig{}).Validate(); err != nil {
+		t.Errorf("zero config must be valid uniform: %v", err)
+	}
+}
+
+func TestDistValidateRejects(t *testing.T) {
+	bad := []DistConfig{
+		{Name: "bogus"},
+		{Name: DistZipfian, Theta: 1.5},
+		{Name: DistZipfian, Theta: -0.2},
+		{Name: DistHotspot, HotOpsPct: 101},
+		{Name: DistHotspot, HotOpsPct: 90, HotKeysPct: 200},
+		{Name: DistShiftingHotspot, ShiftEvery: -1},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", d)
+		}
+	}
+}
+
+func TestDistLabels(t *testing.T) {
+	cases := map[string]DistConfig{
+		"uniform":                      {},
+		"zipfian:0.99":                 {Name: DistZipfian},
+		"zipfian:0.50":                 {Name: DistZipfian, Theta: 0.5},
+		"hotspot:90/10":                {Name: DistHotspot},
+		"hotspot:80/20":                {Name: DistHotspot, HotOpsPct: 80, HotKeysPct: 20},
+		"shifting-hotspot:90/10/16384": {Name: DistShiftingHotspot},
+		// The rotation period is part of the label: sweep entries
+		// differing only in ShiftEvery must not collide.
+		"shifting-hotspot:90/10/64": {Name: DistShiftingHotspot, ShiftEvery: 64},
+	}
+	for want, d := range cases {
+		if got := d.Label(); got != want {
+			t.Errorf("Label(%+v) = %q, want %q", d, got, want)
+		}
+		if strings.Contains(d.Label(), ",") {
+			t.Errorf("label %q contains a comma (CSV-unsafe)", d.Label())
+		}
+	}
+	if th := (DistConfig{Name: DistZipfian, Theta: 0.7}).ZipfTheta(); th != 0.7 {
+		t.Errorf("zipf theta = %v, want 0.7", th)
+	}
+	if th := (DistConfig{Name: DistHotspot}).ZipfTheta(); th != 0 {
+		t.Errorf("non-zipf theta = %v, want 0", th)
+	}
+}
+
+// TestSamplersStayInRange draws from every distribution over several
+// range sizes and checks the keys stay in [0, keyRange).
+func TestSamplersStayInRange(t *testing.T) {
+	for _, d := range distCases() {
+		for _, n := range []int{1, 2, 7, 256, 8192} {
+			s := NewSampler(d, n)
+			rng := testRNG(42)
+			for i := 0; i < 2000; i++ {
+				if k := s.Next(rng); k < 0 || k >= n {
+					t.Fatalf("%s over %d keys drew %d", d.Label(), n, k)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfianSkew checks the YCSB inversion's shape: rank 0 is drawn far
+// more often than a deep rank, and higher theta concentrates more mass on
+// the head.
+func TestZipfianSkew(t *testing.T) {
+	const n, draws = 1024, 200000
+	headShare := func(theta float64) float64 {
+		s := NewSampler(DistConfig{Name: DistZipfian, Theta: theta}, n)
+		rng := testRNG(7)
+		head := 0
+		for i := 0; i < draws; i++ {
+			if s.Next(rng) < n/10 {
+				head++
+			}
+		}
+		return float64(head) / draws
+	}
+	low, high := headShare(0.5), headShare(0.99)
+	if high < 0.6 {
+		t.Errorf("theta=0.99: top 10%% of keys drew only %.2f of traffic, want > 0.6", high)
+	}
+	if high <= low {
+		t.Errorf("skew not monotone in theta: share(0.99)=%.2f <= share(0.5)=%.2f", high, low)
+	}
+	if low < 0.2 {
+		t.Errorf("theta=0.5: head share %.2f implausibly low", low)
+	}
+}
+
+// TestHotspotShape checks the 90/10 contract: ~90% of draws land in the
+// first 10% of the range, the rest spread over the cold remainder.
+func TestHotspotShape(t *testing.T) {
+	const n, draws = 1000, 100000
+	s := NewSampler(DistConfig{Name: DistHotspot, HotOpsPct: 90, HotKeysPct: 10}, n)
+	rng := testRNG(9)
+	hot := 0
+	coldSeen := map[int]bool{}
+	for i := 0; i < draws; i++ {
+		k := s.Next(rng)
+		if k < n/10 {
+			hot++
+		} else {
+			coldSeen[k] = true
+		}
+	}
+	share := float64(hot) / draws
+	if share < 0.88 || share > 0.92 {
+		t.Errorf("hot share = %.3f, want ~0.90", share)
+	}
+	if len(coldSeen) < (n-n/10)/2 {
+		t.Errorf("cold draws cover only %d of %d cold keys", len(coldSeen), n-n/10)
+	}
+}
+
+// TestShiftingHotspotRotates checks the hot window actually moves: the
+// hot keys of the first period differ from the hot keys after a rotation,
+// and the window wraps around the range end.
+func TestShiftingHotspotRotates(t *testing.T) {
+	const n = 100
+	d := DistConfig{Name: DistShiftingHotspot, HotOpsPct: 100, HotKeysPct: 10, ShiftEvery: 50}
+	s := NewSampler(d, n)
+	rng := testRNG(3)
+	window := func(draws int) map[int]bool {
+		got := map[int]bool{}
+		for i := 0; i < draws; i++ {
+			got[s.Next(rng)] = true
+		}
+		return got
+	}
+	first := window(50)
+	second := window(50)
+	for k := range first {
+		if k >= 10 {
+			t.Fatalf("first window drew %d outside [0,10)", k)
+		}
+	}
+	for k := range second {
+		if k < 10 || k >= 20 {
+			t.Fatalf("second window drew %d outside [10,20)", k)
+		}
+	}
+	// Nine more rotations wrap the window back to the start.
+	var last map[int]bool
+	for i := 0; i < 9; i++ {
+		last = window(50)
+	}
+	for k := range last {
+		if k >= 10 {
+			t.Fatalf("wrapped window drew %d outside [0,10)", k)
+		}
+	}
+}
+
+// TestSamplerDeterminism pins per-thread reproducibility at the sampler
+// level: the same config and rng seed yield the same key stream.
+func TestSamplerDeterminism(t *testing.T) {
+	for _, d := range distCases() {
+		a, b := NewSampler(d, 512), NewSampler(d, 512)
+		ra, rb := testRNG(11), testRNG(11)
+		for i := 0; i < 1000; i++ {
+			if ka, kb := a.Next(ra), b.Next(rb); ka != kb {
+				t.Fatalf("%s diverged at draw %d: %d vs %d", d.Label(), i, ka, kb)
+			}
+		}
+	}
+}
+
+func TestNewSamplerPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSampler must panic on an unknown distribution")
+		}
+	}()
+	NewSampler(DistConfig{Name: "bogus"}, 10)
+}

@@ -43,6 +43,12 @@ type ScenarioConfig struct {
 	Unsound bool
 	// Seed randomises the per-thread generators deterministically.
 	Seed uint64
+	// Dist selects the key distribution the workers draw their targets
+	// from (see dist.go): move keys, insert-if-absent pair indices, and
+	// bank source accounts. The zero value is uniform. The pipeline
+	// scenario is key-free (queues have no key axis), so Dist does not
+	// apply there.
+	Dist DistConfig
 }
 
 // DefaultScenarioConfig returns the standard scenario sizing: small
@@ -103,6 +109,13 @@ func ScenarioNames() []string {
 	return []string{"move", "insert-if-absent", "bank", "pipeline"}
 }
 
+// ScenarioKeyed reports whether a scenario draws its targets through the
+// key-distribution layer. The pipeline is key-free (queues have no key
+// axis), so sweeping distributions over it would re-measure identical
+// workloads under misleading labels; the harness collapses its dist axis
+// to uniform.
+func ScenarioKeyed(name string) bool { return name != "pipeline" }
+
 // NewScenario builds a fresh scenario instance by name; ok is false for
 // unknown names.
 func NewScenario(name string, cfg ScenarioConfig) (Scenario, bool) {
@@ -123,6 +136,12 @@ func NewScenario(name string, cfg ScenarioConfig) (Scenario, bool) {
 // scenarioRNG seeds one worker's deterministic generator.
 func scenarioRNG(cfg ScenarioConfig, idx int) *rand.Rand {
 	return rand.New(rand.NewPCG(cfg.Seed, uint64(idx)+1))
+}
+
+// scenarioSampler builds one worker's key sampler over a scenario's key
+// universe (samplers are per-thread: shifting-hotspot keeps draw state).
+func scenarioSampler(cfg ScenarioConfig, keyRange int) Sampler {
+	return NewSampler(cfg.Dist, keyRange)
 }
 
 // ------------------------------------------------------------------ move --
@@ -165,12 +184,13 @@ type moveWorker struct {
 	s       *moveScenario
 	th      *stm.Thread
 	rng     *rand.Rand
+	keys    Sampler
 	total   int
 	auditFn func(stm.Tx) error
 }
 
 func (s *moveScenario) NewWorker(th *stm.Thread, idx int) Worker {
-	w := &moveWorker{s: s, th: th, rng: scenarioRNG(s.cfg, idx)}
+	w := &moveWorker{s: s, th: th, rng: scenarioRNG(s.cfg, idx), keys: scenarioSampler(s.cfg, s.cfg.Keys)}
 	w.auditFn = func(stm.Tx) error {
 		w.total = s.a.Size(w.th) + s.b.Size(w.th)
 		return nil
@@ -187,7 +207,7 @@ func (w *moveWorker) Step() {
 		}
 		return
 	}
-	k := w.rng.IntN(s.cfg.Keys)
+	k := w.keys.Next(w.rng)
 	from, to := eec.Set(s.a), eec.Set(s.b)
 	if w.rng.IntN(2) == 1 {
 		from, to = to, from
@@ -256,13 +276,14 @@ func (s *iiaScenario) Fill(th *stm.Thread) {
 }
 
 type iiaWorker struct {
-	s   *iiaScenario
-	th  *stm.Thread
-	rng *rand.Rand
+	s     *iiaScenario
+	th    *stm.Thread
+	rng   *rand.Rand
+	pairs Sampler
 }
 
 func (s *iiaScenario) NewWorker(th *stm.Thread, idx int) Worker {
-	return &iiaWorker{s: s, th: th, rng: scenarioRNG(s.cfg, idx)}
+	return &iiaWorker{s: s, th: th, rng: scenarioRNG(s.cfg, idx), pairs: scenarioSampler(s.cfg, s.pairs)}
 }
 
 func (w *iiaWorker) Step() {
@@ -277,7 +298,7 @@ func (w *iiaWorker) Step() {
 		s.violations.Add(uint64(fullPairs(s.s.Elements(w.th))))
 		return
 	}
-	i := w.rng.IntN(s.pairs)
+	i := w.pairs.Next(w.rng)
 	x, y := 2*i, 2*i+1
 	if w.rng.IntN(2) == 1 {
 		x, y = y, x
@@ -348,13 +369,14 @@ func (s *bankScenario) Fill(th *stm.Thread) {
 }
 
 type bankWorker struct {
-	s   *bankScenario
-	th  *stm.Thread
-	rng *rand.Rand
+	s        *bankScenario
+	th       *stm.Thread
+	rng      *rand.Rand
+	accounts Sampler
 }
 
 func (s *bankScenario) NewWorker(th *stm.Thread, idx int) Worker {
-	return &bankWorker{s: s, th: th, rng: scenarioRNG(s.cfg, idx)}
+	return &bankWorker{s: s, th: th, rng: scenarioRNG(s.cfg, idx), accounts: scenarioSampler(s.cfg, s.cfg.Accounts)}
 }
 
 func (w *bankWorker) Step() {
@@ -365,7 +387,10 @@ func (w *bankWorker) Step() {
 		}
 		return
 	}
-	from := w.rng.IntN(s.cfg.Accounts)
+	// The distribution shapes the *source* account (skew means hot
+	// senders, the contended side of a transfer); the destination stays
+	// uniform over the other accounts.
+	from := w.accounts.Next(w.rng)
 	to := w.rng.IntN(s.cfg.Accounts - 1)
 	if to >= from {
 		to++

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"oestm/internal/eec"
@@ -68,6 +69,9 @@ type Config struct {
 	BulkPct int
 	// Seed randomises the per-thread generators deterministically.
 	Seed uint64
+	// Dist selects the key distribution (see dist.go). The zero value is
+	// uniform — the paper's setting.
+	Dist DistConfig
 }
 
 // Default returns the paper's §VII-A configuration with the given bulk
@@ -95,15 +99,19 @@ func Scaled(bulkPct, factor int) Config {
 
 // Gen deterministically generates the operation stream of one thread.
 type Gen struct {
-	cfg Config
-	rng *rand.Rand
+	cfg  Config
+	rng  *rand.Rand
+	keys Sampler
 }
 
-// NewGen returns the generator for the given thread index.
+// NewGen returns the generator for the given thread index. It panics on
+// an invalid cfg.Dist (CLI front-ends validate with DistConfig.Validate
+// first).
 func NewGen(cfg Config, thread int) *Gen {
 	return &Gen{
-		cfg: cfg,
-		rng: rand.New(rand.NewPCG(cfg.Seed, uint64(thread)+1)),
+		cfg:  cfg,
+		rng:  rand.New(rand.NewPCG(cfg.Seed, uint64(thread)+1)),
+		keys: NewSampler(cfg.Dist, cfg.KeyRange),
 	}
 }
 
@@ -130,13 +138,21 @@ func (g *Gen) Next() Op {
 	}
 }
 
-func (g *Gen) key() int { return g.rng.IntN(g.cfg.KeyRange) }
+func (g *Gen) key() int { return g.keys.Next(g.rng) }
 
 // FillKeys returns the deterministic initial content: every even key of
 // the range, which is exactly InitialSize elements when KeyRange =
 // 2*InitialSize (the paper's ratio) and gives add/remove the paper's
-// ~1/2 success rate.
+// ~1/2 success rate. A range with fewer than InitialSize even keys
+// cannot honour the requested fill, so it panics instead of silently
+// under-filling (which would skew the add/remove success rates every
+// downstream measurement assumes).
 func (cfg Config) FillKeys() []int {
+	if evens := (cfg.KeyRange + 1) / 2; cfg.InitialSize > evens {
+		panic(fmt.Sprintf(
+			"workload: InitialSize %d needs %d even keys but KeyRange %d has only %d; use KeyRange >= 2*InitialSize",
+			cfg.InitialSize, cfg.InitialSize, cfg.KeyRange, evens))
+	}
 	keys := make([]int, 0, cfg.InitialSize)
 	for k := 0; k < cfg.KeyRange && len(keys) < cfg.InitialSize; k += 2 {
 		keys = append(keys, k)

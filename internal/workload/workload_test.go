@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -43,6 +44,38 @@ func TestFillKeys(t *testing.T) {
 		if k%2 != 0 || k < 0 || k >= cfg.KeyRange {
 			t.Fatalf("unexpected fill key %d", k)
 		}
+	}
+}
+
+// TestFillKeysRejectsUnderFill pins the guard against silent under-fill:
+// FillKeys only emits even keys, so a range with fewer than InitialSize
+// even keys must panic instead of returning a short (and skew-breaking)
+// fill.
+func TestFillKeysRejectsUnderFill(t *testing.T) {
+	cfg := Default(5)
+	cfg.InitialSize = cfg.KeyRange/2 + 1 // one more than the even keys available
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("FillKeys must panic when InitialSize > KeyRange/2")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "KeyRange >= 2*InitialSize") {
+			t.Fatalf("panic message unhelpful: %v", r)
+		}
+	}()
+	cfg.FillKeys()
+}
+
+// TestFillKeysBoundary checks the largest fill that still fits: exactly
+// every even key of the range.
+func TestFillKeysBoundary(t *testing.T) {
+	cfg := Config{InitialSize: 8, KeyRange: 16}
+	if got := len(cfg.FillKeys()); got != 8 {
+		t.Fatalf("boundary fill size = %d, want 8", got)
+	}
+	odd := Config{InitialSize: 8, KeyRange: 15}
+	if got := len(odd.FillKeys()); got != 8 {
+		t.Fatalf("odd-range fill size = %d, want 8 (evens 0..14)", got)
 	}
 }
 
@@ -102,6 +135,57 @@ func TestDeterminism(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDeterminismEveryDistribution extends the reproducibility contract
+// across the distribution layer: for every registered distribution,
+// identical Seed + distribution config reproduce identical op streams per
+// thread (shifting-hotspot keeps per-sampler draw state, so this also
+// pins that the state is per-Gen, not shared).
+func TestDeterminismEveryDistribution(t *testing.T) {
+	for _, d := range distCases() {
+		t.Run(d.Label(), func(t *testing.T) {
+			f := func(seed uint64, thread uint8) bool {
+				cfg := Default(5)
+				cfg.Seed = seed
+				cfg.Dist = d
+				a, b := NewGen(cfg, int(thread)), NewGen(cfg, int(thread))
+				for i := 0; i < 200; i++ {
+					if a.Next() != b.Next() {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGenKeysFollowDistribution drives the full generator (not just the
+// sampler) under a hotspot and checks the single-key ops concentrate on
+// the hot window — the distribution really reaches the op stream.
+func TestGenKeysFollowDistribution(t *testing.T) {
+	cfg := Default(0) // no bulk ops: every update carries a single key
+	cfg.Dist = DistConfig{Name: DistHotspot, HotOpsPct: 95, HotKeysPct: 5}
+	g := NewGen(cfg, 1)
+	hotMax := cfg.KeyRange * 5 / 100
+	hot, total := 0, 0
+	for i := 0; i < 100000; i++ {
+		op := g.Next()
+		if op.Kind == AddAll || op.Kind == RemoveAll {
+			continue
+		}
+		total++
+		if op.Key < hotMax {
+			hot++
+		}
+	}
+	if share := float64(hot) / float64(total); share < 0.93 || share > 0.97 {
+		t.Fatalf("hot-key share = %.3f, want ~0.95", share)
 	}
 }
 
