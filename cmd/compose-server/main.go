@@ -1,0 +1,91 @@
+// Command compose-server serves the sharded transactional key-value
+// store over TCP: one engine instance (selectable, like everywhere in
+// the harness), a power-of-two-sharded keyspace of engine-backed
+// eec.SkipListMaps, and the length-prefixed binary protocol of
+// internal/wire with single-key operations (get/put/remove) and
+// composed multi-key operations (mget snapshot, mput, compare-and-move
+// across shards), each executed as one relaxed transaction.
+//
+//	compose-server -addr :7461 -engine oestm -cm adaptive -shards 16
+//
+// Drive it with compose-load (same table/CSV schema as compose-bench)
+// and scrape merged telemetry — per-opcode latency histograms and
+// per-cause abort counters across all connections — with the protocol's
+// stats request. SIGINT/SIGTERM drain gracefully: accepted connections
+// finish the requests they have already sent.
+//
+// -unsound splits every composed operation into separate transactions
+// (the deliberately broken baseline of the cross-shard atomicity
+// checkers); pair it with -max-retries so torn structures cannot wedge a
+// connection.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"oestm/internal/cm"
+	"oestm/internal/harness"
+	"oestm/internal/server"
+	"oestm/internal/store"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7461", "TCP listen address")
+		engine  = flag.String("engine", "oestm", "engine to serve: oestm, lsa, tl2, swisstm, estm")
+		shards  = flag.Int("shards", store.DefaultShards, "shard count (power of two)")
+		cmName  = flag.String("cm", cm.DefaultName, "contention-management policy per connection: "+strings.Join(cm.Names(), "|"))
+		retries = flag.Int("max-retries", 0, "bound composed-request transaction retries (0 = unlimited; exhaustion returns a typed error)")
+		unsound = flag.Bool("unsound", false, "split composed operations into separate transactions (atomicity deliberately broken)")
+		drain   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget before connections are closed hard")
+	)
+	flag.Parse()
+
+	eng, ok := harness.EngineByName(*engine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "compose-server: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	srv, err := server.New(server.Config{
+		Addr:       *addr,
+		Engine:     eng.Name,
+		NewTM:      eng.New,
+		Shards:     *shards,
+		CM:         *cmName,
+		MaxRetries: *retries,
+		Unsound:    *unsound,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compose-server:", err)
+		os.Exit(2)
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "compose-server:", err)
+		os.Exit(1)
+	}
+	mode := ""
+	if *unsound {
+		mode = " (UNSOUND: composed atomicity deliberately broken)"
+	}
+	fmt.Printf("compose-server: engine=%s cm=%s shards=%d listening on %s%s\n",
+		eng.Name, *cmName, *shards, srv.Addr(), mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("compose-server: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "compose-server: drain incomplete:", err)
+		os.Exit(1)
+	}
+	fmt.Println("compose-server: drained")
+}

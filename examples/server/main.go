@@ -1,0 +1,75 @@
+// server: the serving stack end to end in one process — start a
+// compose-server (OE-STM engine, adaptive contention management, 16
+// shards) on a loopback port, drive it with the closed-loop load
+// generator under a 90/10 hotspot (90% of requests target 10% of the
+// keys), print the standard harness table, and drain gracefully.
+//
+// This is the example form of:
+//
+//	compose-server -engine oestm -cm adaptive &
+//	compose-load -addr localhost:7461 -conns 4 -dist hotspot -hot 90/10 -duration 1s
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"oestm/internal/harness"
+	"oestm/internal/server"
+	"oestm/internal/workload"
+)
+
+func main() {
+	eng, _ := harness.EngineByName("oestm")
+	srv, err := server.New(server.Config{
+		Addr:   "127.0.0.1:0",
+		Engine: eng.Name,
+		NewTM:  eng.New,
+		Shards: 16,
+		CM:     "adaptive",
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := srv.Start(); err != nil {
+		fail(err)
+	}
+	fmt.Println("server: engine=oestm cm=adaptive shards=16 on", srv.Addr())
+
+	result, err := harness.RunLoad(harness.LoadConfig{
+		Addr:     srv.Addr().String(),
+		Conns:    4,
+		Duration: 800 * time.Millisecond,
+		Warmup:   150 * time.Millisecond,
+		Keys:     2048,
+		Dist:     workload.DistConfig{Name: workload.DistHotspot, HotOpsPct: 90, HotKeysPct: 10},
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(harness.FormatScenario([]harness.Result{result}, harness.LoadScenario))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fail(fmt.Errorf("drain incomplete: %w", err))
+	}
+
+	switch {
+	case result.Ops == 0 || result.OpsPerMs <= 0:
+		fail(fmt.Errorf("no throughput measured: %+v", result))
+	case result.LatP50 <= 0 || result.LatP99 < result.LatP50:
+		fail(fmt.Errorf("latency columns inconsistent: %+v", result))
+	case result.Engine != "oestm" || result.CM != "adaptive" || result.Violations != 0:
+		fail(fmt.Errorf("identity columns wrong: %+v", result))
+	}
+	fmt.Printf("OK: %s over the wire at %.1f ops/ms, p50 %v, p99 %v, drained cleanly\n",
+		result.Dist, result.OpsPerMs, result.LatP50, result.LatP99)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "server example:", err)
+	os.Exit(1)
+}

@@ -153,6 +153,31 @@ func (m *SkipListMap) Get(th *stm.Thread, key int) (any, bool) {
 	return frameOf(th).mapOp(mapGet, m, key, nil)
 }
 
+// GetTx reads the value under key inside the caller's open transaction
+// tx, without starting a nested child and without touching the thread's
+// operation frame. It is the building block for cross-structure atomic
+// observations (e.g. the sharded store's MGet snapshot, which reads many
+// maps inside one Regular transaction, exactly like SumInt): unlike a
+// composed Get child — whose elastic window only outherits its final
+// read — every link and value read here joins the caller's protected set
+// directly, so the whole multi-map observation validates as one snapshot
+// on every engine. Allocation-free.
+func (m *SkipListMap) GetTx(tx stm.Tx, key int) (any, bool) {
+	curr := m.head
+	for l := maxLevel - 1; l >= 0; l-- {
+		next := stm.ReadPtr(tx, &curr.next[l])
+		for next.key < key {
+			curr = next
+			next = stm.ReadPtr(tx, &curr.next[l])
+		}
+	}
+	target := stm.ReadPtr(tx, &curr.next[0])
+	if target.key == key {
+		return tx.Read(&target.val), true
+	}
+	return nil, false
+}
+
 // ContainsKey reports whether key is present.
 func (m *SkipListMap) ContainsKey(th *stm.Thread, key int) bool {
 	_, ok := m.Get(th, key)
@@ -177,7 +202,7 @@ func (m *SkipListMap) Remove(th *stm.Thread, key int) (any, bool) {
 // the value was stored.
 func (m *SkipListMap) PutIfAbsent(th *stm.Thread, key int, val any) bool {
 	stored := false
-	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+	_ = th.Atomic(OpKind(th), func(stm.Tx) error {
 		stored = false
 		if !m.ContainsKey(th, key) {
 			m.Put(th, key, val)
@@ -196,7 +221,7 @@ func (m *SkipListMap) PutAll(th *stm.Thread, entries map[int]any) {
 		keys = append(keys, k)
 	}
 	insertionSort(keys)
-	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+	_ = th.Atomic(OpKind(th), func(stm.Tx) error {
 		for _, k := range keys {
 			m.Put(th, k, entries[k])
 		}
@@ -217,7 +242,7 @@ func (m *SkipListMap) Transfer(th *stm.Thread, from, to, amount int) bool {
 	}
 	f := frameOf(th)
 	f.cMap, f.cA, f.cB, f.cAmt = m, from, to, amount
-	_ = th.Atomic(opKind(th), f.compFns[compTransfer])
+	_ = th.Atomic(OpKind(th), f.compFns[compTransfer])
 	f.cMap = nil
 	return f.cOK
 }

@@ -229,3 +229,54 @@ func TestMapAtomicSizeUnderBulk(t *testing.T) {
 	close(stop)
 	observers.Wait()
 }
+
+// TestMapGetTx pins the direct-read primitive behind cross-structure
+// snapshots (the store's MGet): values and absences agree with Get, a
+// multi-map observation inside one Regular transaction is atomic, and
+// the read path is allocation-free.
+func TestMapGetTx(t *testing.T) {
+	tm := core.New()
+	th := stm.NewThread(tm)
+	a, b := eec.NewSkipListMap(), eec.NewSkipListMap()
+	for k := 0; k < 32; k++ {
+		if k%2 == 0 {
+			a.Put(th, k, k*10)
+		} else {
+			b.Put(th, k, k*10)
+		}
+	}
+	var gotA, gotB int
+	body := func(tx stm.Tx) error {
+		gotA, gotB = 0, 0
+		for k := 0; k < 32; k++ {
+			if v, ok := a.GetTx(tx, k); ok {
+				gotA += v.(int)
+			}
+			if v, ok := b.GetTx(tx, k); ok {
+				gotB += v.(int)
+			}
+			if _, ok := a.GetTx(tx, k+1000); ok {
+				t.Error("GetTx found an absent key")
+			}
+		}
+		return nil
+	}
+	if err := th.Atomic(stm.Regular, body); err != nil {
+		t.Fatal(err)
+	}
+	wantA, wantB := 0, 0
+	for k := 0; k < 32; k += 2 {
+		wantA += k * 10
+		wantB += (k + 1) * 10
+	}
+	if gotA != wantA || gotB != wantB {
+		t.Fatalf("GetTx sums %d/%d, want %d/%d", gotA, gotB, wantA, wantB)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := th.Atomic(stm.Regular, body); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("GetTx snapshot: %v allocs/op, want 0", allocs)
+	}
+}

@@ -193,14 +193,14 @@ func (f *opFrame) bindComposed() {
 // LinkedListSet, or one HashSet bucket).
 func (f *opFrame) listOp(code opCode, l list, key int) bool {
 	f.l, f.key = l, key
-	_ = f.th.Atomic(opKind(f.th), f.listFns[code])
+	_ = f.th.Atomic(OpKind(f.th), f.listFns[code])
 	return f.res
 }
 
 // skipOp runs one elementary operation against a skip list set.
 func (f *opFrame) skipOp(code opCode, s *SkipListSet, key int) bool {
 	f.sl, f.key = s, key
-	_ = f.th.Atomic(opKind(f.th), f.slFns[code])
+	_ = f.th.Atomic(OpKind(f.th), f.slFns[code])
 	return f.res
 }
 
@@ -209,7 +209,7 @@ func (f *opFrame) skipOp(code opCode, s *SkipListSet, key int) bool {
 // returned and cleared from the frame so user values are not retained.
 func (f *opFrame) mapOp(code mapCode, m *SkipListMap, key int, val any) (any, bool) {
 	f.m, f.mKey, f.mVal = m, key, val
-	_ = f.th.Atomic(opKind(f.th), f.mapFns[code])
+	_ = f.th.Atomic(OpKind(f.th), f.mapFns[code])
 	ret, ok := f.mRet, f.mOK
 	f.mVal, f.mRet = nil, nil
 	return ret, ok
@@ -219,7 +219,7 @@ func (f *opFrame) mapOp(code mapCode, m *SkipListMap, key int, val any) (any, bo
 // Enqueue argument; the result value/flag are returned and cleared.
 func (f *opFrame) queueOp(code queueCode, q *Queue, val any) (any, bool) {
 	f.q, f.qVal = q, val
-	_ = f.th.Atomic(opKind(f.th), f.queueFns[code])
+	_ = f.th.Atomic(OpKind(f.th), f.queueFns[code])
 	ret, ok := f.qVal, f.qOK
 	f.qVal = nil
 	return ret, ok

@@ -78,7 +78,7 @@ func (q *Queue) Dequeue(th *stm.Thread) (val any, ok bool) {
 func (q *Queue) MoveTo(th *stm.Thread, dst *Queue) (val any, ok bool) {
 	f := frameOf(th)
 	f.cQFrom, f.cQTo = q, dst
-	_ = th.Atomic(opKind(th), f.compFns[compMoveTo])
+	_ = th.Atomic(OpKind(th), f.compFns[compMoveTo])
 	f.cQFrom, f.cQTo = nil, nil
 	val, ok = f.cRet, f.cOK
 	f.cRet = nil
@@ -87,7 +87,7 @@ func (q *Queue) MoveTo(th *stm.Thread, dst *Queue) (val any, ok bool) {
 
 // Peek returns the first element without removing it.
 func (q *Queue) Peek(th *stm.Thread) (val any, ok bool) {
-	_ = th.Atomic(opKind(th), func(tx stm.Tx) error {
+	_ = th.Atomic(OpKind(th), func(tx stm.Tx) error {
 		val, ok = nil, false
 		head := stm.ReadPtr(tx, &q.head)
 		first := stm.ReadPtr(tx, &head.next)
@@ -131,7 +131,7 @@ func (q *Queue) Snapshot(th *stm.Thread) []any {
 // EnqueueAll appends every value as one atomic step (composed from
 // Enqueue).
 func (q *Queue) EnqueueAll(th *stm.Thread, vals []any) {
-	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+	_ = th.Atomic(OpKind(th), func(stm.Tx) error {
 		for _, v := range vals {
 			q.Enqueue(th, v)
 		}
@@ -143,7 +143,7 @@ func (q *Queue) EnqueueAll(th *stm.Thread, vals []any) {
 // Dequeue and Enqueue across two queues); it returns how many moved.
 func (q *Queue) DrainTo(th *stm.Thread, dst *Queue, max int) int {
 	moved := 0
-	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+	_ = th.Atomic(OpKind(th), func(stm.Tx) error {
 		moved = 0
 		for moved < max {
 			v, ok := q.Dequeue(th)

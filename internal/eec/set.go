@@ -46,9 +46,11 @@ type Set interface {
 	Elements(th *stm.Thread) []int
 }
 
-// opKind selects the transaction kind for elementary operations: elastic
-// where the engine supports it (OE-STM), regular otherwise.
-func opKind(th *stm.Thread) stm.Kind {
+// OpKind selects the transaction kind the e.e.c operations request:
+// elastic where the engine supports it (OE-STM), regular otherwise.
+// Exported for layers that compose e.e.c operations with the same policy
+// (the sharded store's composed multi-key operations).
+func OpKind(th *stm.Thread) stm.Kind {
 	if th.TM.SupportsElastic() {
 		return stm.Elastic
 	}
@@ -60,7 +62,7 @@ func opKind(th *stm.Thread) stm.Kind {
 // composition re-executes on conflict.
 func addAll(th *stm.Thread, s Set, keys []int) bool {
 	changed := false
-	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+	_ = th.Atomic(OpKind(th), func(stm.Tx) error {
 		changed = false
 		for _, k := range keys {
 			if s.Add(th, k) {
@@ -75,7 +77,7 @@ func addAll(th *stm.Thread, s Set, keys []int) bool {
 // removeAll composes Remove over keys inside one enclosing transaction.
 func removeAll(th *stm.Thread, s Set, keys []int) bool {
 	changed := false
-	_ = th.Atomic(opKind(th), func(stm.Tx) error {
+	_ = th.Atomic(OpKind(th), func(stm.Tx) error {
 		changed = false
 		for _, k := range keys {
 			if s.Remove(th, k) {
@@ -94,7 +96,7 @@ func removeAll(th *stm.Thread, s Set, keys []int) bool {
 func InsertIfAbsent(th *stm.Thread, s Set, x, y int) bool {
 	f := frameOf(th)
 	f.cFrom, f.cA, f.cB = s, x, y
-	_ = th.Atomic(opKind(th), f.compFns[compInsertIfAbsent])
+	_ = th.Atomic(OpKind(th), f.compFns[compInsertIfAbsent])
 	f.cFrom = nil
 	return f.cOK
 }
@@ -106,7 +108,7 @@ func InsertIfAbsent(th *stm.Thread, s Set, x, y int) bool {
 func Move(th *stm.Thread, from, to Set, key int) bool {
 	f := frameOf(th)
 	f.cFrom, f.cTo, f.cA = from, to, key
-	_ = th.Atomic(opKind(th), f.compFns[compMove])
+	_ = th.Atomic(OpKind(th), f.compFns[compMove])
 	f.cFrom, f.cTo = nil, nil
 	return f.cOK
 }

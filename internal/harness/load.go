@@ -1,0 +1,444 @@
+// load.go is the closed-loop load generator of the serving layer: N
+// connections, each a worker that issues one request at a time against a
+// compose-server and times the round trip, drawing keys through the same
+// distribution layer as the in-process workloads and recording latency
+// into the same allocation-free histograms — so a networked measurement
+// lands in the same Result/table/CSV pipeline as Figs. 6-8 and the
+// scenario suite, directly comparable column for column.
+//
+// Identity columns (engine, cm) are not configured here: they are read
+// from the server's stats endpoint, which is also snapshotted at the
+// measured window's edges to attribute commit/abort (and per-cause)
+// deltas to the run. The server is assumed dedicated to this load while
+// the window is open.
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oestm/internal/server"
+	"oestm/internal/stats"
+	"oestm/internal/stm"
+	"oestm/internal/wire"
+	"oestm/internal/workload"
+)
+
+// LoadMix is the request mix of the load generator, in percent of
+// operations (must sum to 100).
+type LoadMix struct {
+	GetPct, PutPct, RemovePct int
+	MGetPct, MPutPct, CamPct  int
+}
+
+// DefaultLoadMix is a read-heavy service mix with a steady composed
+// fraction: 60% get, 20% put, 5% remove, 5% mget, 5% mput, 5% cam.
+func DefaultLoadMix() LoadMix {
+	return LoadMix{GetPct: 60, PutPct: 20, RemovePct: 5, MGetPct: 5, MPutPct: 5, CamPct: 5}
+}
+
+// Validate checks ranges and the sum.
+func (m LoadMix) Validate() error {
+	parts := []int{m.GetPct, m.PutPct, m.RemovePct, m.MGetPct, m.MPutPct, m.CamPct}
+	sum := 0
+	for _, p := range parts {
+		if p < 0 {
+			return fmt.Errorf("harness: negative mix percentage %d", p)
+		}
+		sum += p
+	}
+	if sum != 100 {
+		return fmt.Errorf("harness: load mix sums to %d, want 100", sum)
+	}
+	return nil
+}
+
+// String renders the mix in the form ParseLoadMix accepts.
+func (m LoadMix) String() string {
+	return fmt.Sprintf("get:%d,put:%d,remove:%d,mget:%d,mput:%d,cam:%d",
+		m.GetPct, m.PutPct, m.RemovePct, m.MGetPct, m.MPutPct, m.CamPct)
+}
+
+// ParseLoadMix parses "op:pct,..." (ops: get, put, remove, mget, mput,
+// cam; omitted ops are 0) and validates the result.
+func ParseLoadMix(s string) (LoadMix, error) {
+	var m LoadMix
+	fields := map[string]*int{
+		"get": &m.GetPct, "put": &m.PutPct, "remove": &m.RemovePct,
+		"mget": &m.MGetPct, "mput": &m.MPutPct, "cam": &m.CamPct,
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, pctStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return m, fmt.Errorf("harness: load mix entry %q: want op:pct", part)
+		}
+		p, ok := fields[strings.TrimSpace(name)]
+		if !ok {
+			return m, fmt.Errorf("harness: unknown load mix op %q", name)
+		}
+		var pct int
+		if _, err := fmt.Sscanf(strings.TrimSpace(pctStr), "%d", &pct); err != nil {
+			return m, fmt.Errorf("harness: load mix entry %q: %v", part, err)
+		}
+		*p = pct
+	}
+	return m, m.Validate()
+}
+
+// LoadScenario is the Scenario label of networked load results.
+const LoadScenario = "server"
+
+// LoadConfig describes one closed-loop measurement against a running
+// compose-server.
+type LoadConfig struct {
+	// Addr is the server address.
+	Addr string
+	// Conns is the number of connections (= concurrent closed loops).
+	Conns int
+	// Duration/Warmup frame the measured window, as everywhere else.
+	Duration time.Duration
+	Warmup   time.Duration
+	// Keys is the key universe [0, Keys).
+	Keys int
+	// Span is the batch size of mget/mput requests.
+	Span int
+	// MaxVal bounds generated values: [0, MaxVal).
+	MaxVal int64
+	// Mix is the request mix (zero value = DefaultLoadMix).
+	Mix LoadMix
+	// Dist draws every single-op key and batch base key (see
+	// internal/workload's distribution layer).
+	Dist workload.DistConfig
+	// Seed makes per-worker streams deterministic.
+	Seed uint64
+	// SkipFill leaves the keyspace as found instead of pre-filling every
+	// key (fill happens before the warmup and is excluded from stats
+	// deltas).
+	SkipFill bool
+}
+
+// normalize applies defaults.
+func (cfg LoadConfig) normalize() LoadConfig {
+	if cfg.Conns == 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 1 << 13
+	}
+	if cfg.Span == 0 {
+		cfg.Span = 8
+	}
+	if cfg.Span > cfg.Keys {
+		cfg.Span = cfg.Keys
+	}
+	if cfg.Span > wire.MaxKeys {
+		cfg.Span = wire.MaxKeys // the protocol's per-request key limit
+	}
+	if cfg.MaxVal == 0 {
+		cfg.MaxVal = 1 << 20
+	}
+	if cfg.Mix == (LoadMix{}) {
+		cfg.Mix = DefaultLoadMix()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x10ad
+	}
+	return cfg
+}
+
+// RunLoad drives one measurement: dial, optionally fill, warm up, measure
+// throughput and client-side latency over the window, and attribute the
+// server's commit/abort deltas to it. The Result slots into the standard
+// tables and CSV (Scenario "server"; Structure identifies the store and
+// its shard count; Threads is the connection count; AllocsPerOp is the
+// *client* process's allocation rate — near zero by construction, it
+// pins the loader's own efficiency, not the server's).
+func RunLoad(cfg LoadConfig) (Result, error) {
+	cfg = cfg.normalize()
+	if err := cfg.Mix.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Dist.Validate(); err != nil {
+		return Result{}, err
+	}
+	// normalize only defaults zero values; explicit negatives (or a
+	// negative duration) must fail loudly, not panic in a worker or
+	// silently measure nothing.
+	if cfg.Conns < 1 || cfg.Keys < 1 || cfg.Span < 1 || cfg.Duration < 0 || cfg.Warmup < 0 || cfg.MaxVal < 1 {
+		return Result{}, fmt.Errorf("harness: invalid load shape: conns=%d keys=%d span=%d duration=%v warmup=%v maxval=%d",
+			cfg.Conns, cfg.Keys, cfg.Span, cfg.Duration, cfg.Warmup, cfg.MaxVal)
+	}
+
+	statsClient, err := server.DialTimeout(cfg.Addr, 5*time.Second)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: dial %s: %w", cfg.Addr, err)
+	}
+	defer statsClient.Close()
+	var ident wire.StatsPayload
+	if err := statsClient.Stats(&ident); err != nil {
+		return Result{}, fmt.Errorf("harness: stats: %w", err)
+	}
+
+	if !cfg.SkipFill {
+		if err := fillStore(statsClient, cfg); err != nil {
+			return Result{}, fmt.Errorf("harness: fill: %w", err)
+		}
+	}
+
+	var (
+		stop      atomic.Bool
+		measuring atomic.Bool
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		totalOps  uint64
+		totalHist = new(stats.Histogram)
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			w, err := newLoadWorker(cfg, idx)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer w.cl.Close()
+			hist := new(stats.Histogram)
+			var ops uint64
+			var prev time.Time
+			counting := false
+			for !stop.Load() {
+				if !counting && measuring.Load() {
+					ops = 0
+					counting = true
+					prev = time.Now()
+				}
+				if err := w.step(); err != nil {
+					fail(fmt.Errorf("worker %d: %w", idx, err))
+					return
+				}
+				// Count only inside the window: a worker that never saw
+				// the measuring transition (one long stalled round trip)
+				// must not fold its warmup ops into the measured total.
+				if counting {
+					ops++
+					now := time.Now()
+					hist.Record(now.Sub(prev))
+					prev = now
+				}
+			}
+			mu.Lock()
+			totalOps += ops
+			totalHist.Merge(hist)
+			mu.Unlock()
+		}(i)
+	}
+
+	time.Sleep(cfg.Warmup)
+	var s0 wire.StatsPayload
+	err0 := statsClient.Stats(&s0)
+	m0 := mallocs()
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	elapsed := time.Since(start)
+	m1 := mallocs()
+	wg.Wait()
+	var s1 wire.StatsPayload
+	err1 := statsClient.Stats(&s1)
+
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	if err0 != nil {
+		return Result{}, fmt.Errorf("harness: stats at window open: %w", err0)
+	}
+	if err1 != nil {
+		return Result{}, fmt.Errorf("harness: stats at window close: %w", err1)
+	}
+
+	delta := statsDelta(&s1, &s0)
+	r := Result{
+		Engine:        ident.Engine,
+		Scenario:      LoadScenario,
+		Structure:     fmt.Sprintf("store/%dshards", ident.Shards),
+		CM:            ident.CM,
+		Dist:          cfg.Dist.Label(),
+		Theta:         cfg.Dist.ZipfTheta(),
+		Threads:       cfg.Conns,
+		OpsPerMs:      float64(totalOps) / float64(elapsed.Milliseconds()+1),
+		AbortRate:     delta.AbortRate(),
+		AllocsPerOp:   allocsPerOp(m1-m0, totalOps),
+		Ops:           totalOps,
+		Commits:       delta.Commits,
+		Aborts:        delta.Aborts,
+		AbortsByCause: delta.AbortsByCause,
+		Elapsed:       elapsed,
+	}
+	r.setLatency(totalHist)
+	return r, nil
+}
+
+// allocsPerOp guards the zero-op case.
+func allocsPerOp(mallocs, ops uint64) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(mallocs) / float64(ops)
+}
+
+// statsDelta subtracts two stats payloads' transaction counters,
+// saturating at zero: the server's scrape is atomic per payload, but a
+// defensive floor keeps a misbehaving peer from exploding the columns
+// into wrapped uint64s.
+func statsDelta(s1, s0 *wire.StatsPayload) stm.Stats {
+	d := stm.Stats{
+		Commits: satSub(s1.Commits, s0.Commits),
+		Aborts:  satSub(s1.Aborts, s0.Aborts),
+	}
+	for i := range d.AbortsByCause {
+		d.AbortsByCause[i] = satSub(s1.AbortsByCause[i], s0.AbortsByCause[i])
+	}
+	return d
+}
+
+// satSub is max(a-b, 0) on uint64.
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// fillStore populates every key (value key % MaxVal) in Span-sized MPut
+// batches through cl.
+func fillStore(cl *server.Client, cfg LoadConfig) error {
+	keys := make([]int64, 0, cfg.Span)
+	vals := make([]int64, 0, cfg.Span)
+	flush := func() error {
+		if len(keys) == 0 {
+			return nil
+		}
+		err := cl.MPut(keys, vals)
+		keys, vals = keys[:0], vals[:0]
+		return err
+	}
+	for k := 0; k < cfg.Keys; k++ {
+		keys = append(keys, int64(k))
+		vals = append(vals, int64(k)%cfg.MaxVal)
+		if len(keys) == cfg.Span {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// loadWorker is one connection's closed loop.
+type loadWorker struct {
+	cfg  LoadConfig
+	cl   *server.Client
+	rng  *rand.Rand
+	keys workload.Sampler
+	// thresholds are the cumulative mix buckets in order: get, put,
+	// remove, mget, mput (cam is the remainder).
+	thresholds [5]int
+	batchK     []int64
+	batchV     []int64
+}
+
+func newLoadWorker(cfg LoadConfig, idx int) (*loadWorker, error) {
+	cl, err := server.DialTimeout(cfg.Addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Mix
+	w := &loadWorker{
+		cfg:    cfg,
+		cl:     cl,
+		rng:    rand.New(rand.NewPCG(cfg.Seed, uint64(idx)+1)),
+		keys:   workload.NewSampler(cfg.Dist, cfg.Keys),
+		batchK: make([]int64, cfg.Span),
+		batchV: make([]int64, cfg.Span),
+	}
+	w.thresholds[0] = m.GetPct
+	w.thresholds[1] = w.thresholds[0] + m.PutPct
+	w.thresholds[2] = w.thresholds[1] + m.RemovePct
+	w.thresholds[3] = w.thresholds[2] + m.MGetPct
+	w.thresholds[4] = w.thresholds[3] + m.MPutPct
+	return w, nil
+}
+
+// key draws one key through the distribution layer.
+func (w *loadWorker) key() int64 { return int64(w.keys.Next(w.rng)) }
+
+// val draws one value.
+func (w *loadWorker) val() int64 { return w.rng.Int64N(w.cfg.MaxVal) }
+
+// batch fills the worker's batch buffers: a distribution-drawn base key
+// and its Span successors (wrapping), so batches inherit the skew.
+func (w *loadWorker) batch(withVals bool) {
+	base := w.key()
+	for i := range w.batchK {
+		w.batchK[i] = (base + int64(i)) % int64(w.cfg.Keys)
+		if withVals {
+			w.batchV[i] = w.val()
+		}
+	}
+}
+
+// step issues one request.
+func (w *loadWorker) step() error {
+	r := w.rng.IntN(100)
+	switch {
+	case r < w.thresholds[0]:
+		_, _, err := w.cl.Get(w.key())
+		return err
+	case r < w.thresholds[1]:
+		_, err := w.cl.Put(w.key(), w.val())
+		return err
+	case r < w.thresholds[2]:
+		_, _, err := w.cl.Remove(w.key())
+		return err
+	case r < w.thresholds[3]:
+		w.batch(false)
+		_, _, err := w.cl.MGet(w.batchK)
+		return ignoreExhausted(err)
+	case r < w.thresholds[4]:
+		w.batch(true)
+		return ignoreExhausted(w.cl.MPut(w.batchK, w.batchV))
+	default:
+		from, to := w.key(), w.key()
+		_, err := w.cl.CompareAndMove(from, to, w.val())
+		return ignoreExhausted(err)
+	}
+}
+
+// ignoreExhausted tolerates ErrRetryExhausted on composed requests:
+// bounded-retry servers may give up one operation under contention, and
+// the closed loop just moves on.
+func ignoreExhausted(err error) error {
+	if pe, ok := wire.IsProtocolError(err); ok && pe.Code == wire.ErrRetryExhausted {
+		return nil
+	}
+	return err
+}

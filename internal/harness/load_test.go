@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"oestm/internal/server"
+	"oestm/internal/workload"
+)
+
+func TestLoadMixParseAndValidate(t *testing.T) {
+	if err := DefaultLoadMix().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseLoadMix("get:50,put:30,cam:20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GetPct != 50 || m.PutPct != 30 || m.CamPct != 20 || m.RemovePct != 0 {
+		t.Fatalf("parsed %+v", m)
+	}
+	round, err := ParseLoadMix(DefaultLoadMix().String())
+	if err != nil || round != DefaultLoadMix() {
+		t.Fatalf("String/Parse round trip: %+v, %v", round, err)
+	}
+	for _, bad := range []string{"get:50", "get:blah,put:100", "nope:100", "get"} {
+		if _, err := ParseLoadMix(bad); err == nil {
+			t.Errorf("ParseLoadMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunLoadAllEngines is the loopback acceptance path: every engine
+// serves a short closed-loop run and lands in the standard Result with
+// sane metrics and server-attributed identity.
+func TestRunLoadAllEngines(t *testing.T) {
+	for _, eng := range AllEngines() {
+		t.Run(eng.Name, func(t *testing.T) {
+			srv, err := server.New(server.Config{
+				Addr:       "127.0.0.1:0",
+				Engine:     eng.Name,
+				NewTM:      eng.New,
+				Shards:     8,
+				CM:         "adaptive",
+				MaxRetries: 2000, // liveness guard for the estm ablation
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				if err := srv.Shutdown(ctx); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}()
+
+			r, err := RunLoad(LoadConfig{
+				Addr:     srv.Addr().String(),
+				Conns:    2,
+				Duration: 60 * time.Millisecond,
+				Warmup:   20 * time.Millisecond,
+				Keys:     256,
+				Dist:     workload.DistConfig{Name: workload.DistZipfian, Theta: 0.9},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Engine != eng.Name || r.CM != "adaptive" || r.Scenario != LoadScenario {
+				t.Fatalf("identity: %+v", r)
+			}
+			if r.Structure != "store/8shards" || r.Threads != 2 {
+				t.Fatalf("coordinates: %+v", r)
+			}
+			if r.Dist != "zipfian:0.90" || r.Theta != 0.9 {
+				t.Fatalf("distribution columns: %+v", r)
+			}
+			if r.Ops == 0 || r.OpsPerMs <= 0 {
+				t.Fatalf("no throughput measured: %+v", r)
+			}
+			if r.LatP50 <= 0 || r.LatP99 < r.LatP50 || r.LatMax < r.LatP99 {
+				t.Fatalf("latency columns inconsistent: p50=%v p99=%v max=%v", r.LatP50, r.LatP99, r.LatMax)
+			}
+			if r.Commits == 0 {
+				t.Fatalf("no server commits attributed: %+v", r)
+			}
+			var causes uint64
+			for _, n := range r.AbortsByCause {
+				causes += n
+			}
+			if causes != r.Aborts {
+				t.Fatalf("per-cause aborts %d != aborts %d", causes, r.Aborts)
+			}
+		})
+	}
+}
+
+// TestLoadResultFormats pins that networked results render through the
+// existing table and CSV pipeline.
+func TestLoadResultFormats(t *testing.T) {
+	eng, _ := EngineByName("oestm")
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0", Engine: eng.Name, NewTM: eng.New, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	r, err := RunLoad(LoadConfig{
+		Addr:     srv.Addr().String(),
+		Conns:    2,
+		Duration: 40 * time.Millisecond,
+		Warmup:   10 * time.Millisecond,
+		Keys:     128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := FormatScenario([]Result{r}, LoadScenario)
+	for _, want := range []string{"scenario server", "store/4shards", "oestm", "p99us"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := CSV([]Result{r})
+	if !strings.HasPrefix(csv, CSVHeader+"\n") {
+		t.Fatal("csv header wrong")
+	}
+	if !strings.Contains(csv, "server,store/4shards,0,oestm,passive,uniform,0.00,2,") {
+		t.Fatalf("csv row malformed:\n%s", csv)
+	}
+}
+
+// TestRunLoadRejectsBadConfig covers the validation surface.
+func TestRunLoadRejectsBadConfig(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{Addr: "127.0.0.1:1", Mix: LoadMix{GetPct: 50}}); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+	if _, err := RunLoad(LoadConfig{Addr: "127.0.0.1:1", Dist: workload.DistConfig{Name: "bogus"}}); err == nil {
+		t.Fatal("bad distribution accepted")
+	}
+	if _, err := RunLoad(LoadConfig{Addr: "127.0.0.1:1", Span: -1}); err == nil {
+		t.Fatal("negative span accepted")
+	}
+	if _, err := RunLoad(LoadConfig{Addr: "127.0.0.1:1", Conns: -4}); err == nil {
+		t.Fatal("negative conns accepted")
+	}
+	if _, err := RunLoad(LoadConfig{Addr: "127.0.0.1:1", Duration: time.Millisecond}); err == nil {
+		t.Fatal("dead address accepted")
+	}
+}

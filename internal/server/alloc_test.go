@@ -1,0 +1,50 @@
+// Allocation pins for the full serving path: one request over a real
+// loopback socket — client encode, frame write, server read, decode,
+// transaction, response encode, client decode — allocates nothing in the
+// steady state beyond what the stored values themselves require (the
+// AnyVar box of a write). Client and server run in one process here, so
+// AllocsPerRun sees BOTH sides: these are end-to-end pins, the
+// network-layer extension of the store conformance tests.
+package server
+
+import (
+	"testing"
+
+	"oestm/internal/core"
+	"oestm/internal/stm"
+)
+
+func TestEndToEndAllocs(t *testing.T) {
+	s := startServer(t, Config{Engine: "oestm", NewTM: func() stm.TM { return core.New() }, Shards: 8})
+	c := dial(t, s)
+	keys := []int64{1, 2, 3, 4}
+	if err := c.MPut(keys, []int64{10, 20, 30, 40}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		want float64
+		op   func() error
+	}{
+		{"ping", 0, func() error { return c.Ping() }},
+		{"get-hit", 0, func() error { _, _, err := c.Get(1); return err }},
+		{"get-miss", 0, func() error { _, _, err := c.Get(999); return err }},
+		{"put-overwrite", 1, func() error { _, err := c.Put(1, 99); return err }}, // the AnyVar value box
+		{"remove-miss", 0, func() error { _, _, err := c.Remove(999); return err }},
+		{"cam-refused", 0, func() error { _, err := c.CompareAndMove(1, 2, 12345); return err }},
+		{"mget", 0, func() error { _, _, err := c.MGet(keys); return err }},
+	}
+	for _, tc := range cases {
+		if err := tc.op(); err != nil { // warm every buffer and frame
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := testing.AllocsPerRun(200, func() {
+			if err := tc.op(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got != tc.want {
+			t.Errorf("%s: %v allocs per round trip, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oestm/internal/cm"
+	"oestm/internal/stats"
+	"oestm/internal/stm"
+	"oestm/internal/store"
+	"oestm/internal/wire"
+)
+
+// Config describes one server instance.
+type Config struct {
+	// Addr is the TCP listen address (e.g. ":7461", "127.0.0.1:0").
+	Addr string
+	// Engine names the engine for stats reporting; NewTM builds it. Both
+	// are required (resolve names with harness.EngineByName or construct
+	// directly).
+	Engine string
+	NewTM  func() stm.TM
+	// Shards is the store's shard count (0 = store.DefaultShards).
+	Shards int
+	// CM names the contention policy installed on every connection's
+	// thread (internal/cm; empty = cm.DefaultName).
+	CM string
+	// MaxRetries, when non-zero, bounds the transaction attempts of each
+	// composed request (MGet/MPut/CompareAndMove); exhaustion returns
+	// ErrRetryExhausted to the client instead of retrying forever — a
+	// liveness guard for unsound/ablation setups (store.Frame.SetBudget
+	// explains why elementary requests are never bounded).
+	MaxRetries int
+	// Unsound builds the store in unsound mode (composed operations split
+	// into separate transactions — the checker-validation baseline).
+	Unsound bool
+	// MaxBody caps accepted frame bodies (0 = wire.MaxBody).
+	MaxBody int
+}
+
+// Server is a running instance. Create with New, start with Start.
+type Server struct {
+	cfg    Config
+	cmName string
+	tm     stm.TM
+	st     *store.Store
+	ln     net.Listener
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	draining atomic.Bool
+
+	// retired accumulates the telemetry of closed connections.
+	retired connStats
+
+	wg sync.WaitGroup // accept loop + connection handlers
+}
+
+// New validates cfg and builds the engine and store. The server is not
+// listening yet.
+func New(cfg Config) (*Server, error) {
+	if cfg.NewTM == nil || cfg.Engine == "" {
+		return nil, errors.New("server: Config.Engine and Config.NewTM are required")
+	}
+	cmName := cfg.CM
+	if cmName == "" {
+		cmName = cm.DefaultName
+	}
+	if _, ok := cm.New(cmName); !ok {
+		return nil, fmt.Errorf("server: unknown contention-management policy %q", cmName)
+	}
+	if cfg.MaxBody == 0 {
+		cfg.MaxBody = wire.MaxBody
+	}
+	return &Server{
+		cfg:    cfg,
+		cmName: cmName,
+		tm:     cfg.NewTM(),
+		st:     store.New(store.Config{Shards: cfg.Shards, Unsound: cfg.Unsound}),
+		conns:  map[*conn]struct{}{},
+	}, nil
+}
+
+// Store exposes the server's store (in-process harnesses and tests).
+func (s *Server) Store() *store.Store { return s.st }
+
+// Start begins listening on cfg.Addr and serving connections.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// acceptLoop admits connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown) or fatal
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.handle()
+		}()
+	}
+}
+
+// Shutdown drains the server: stop accepting, let every connection
+// finish the requests it has already received, then close. Connections
+// still open when ctx expires are closed hard. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		// Interrupt the next blocking read; buffered pipelined requests
+		// still drain (bufio serves them without touching the socket).
+		c.nc.SetReadDeadline(time.Unix(1, 0))
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		// A closed socket unblocks any handler doing IO, but it cannot
+		// interrupt one wedged in a CPU-bound transaction retry loop
+		// (possible only under unsound/ablation corruption with an
+		// unbounded retry budget — the situation Config.MaxRetries
+		// exists to prevent). Grant a short grace, then give up rather
+		// than hang past the caller's deadline forever.
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+		}
+		return ctx.Err()
+	}
+}
+
+// connStats is the telemetry one connection publishes: per-opcode counts
+// and server-side latency histograms, plus a snapshot of the thread's
+// transaction counters. Guarded by mu; the handler publishes after each
+// request, the stats endpoint reads from any connection's goroutine.
+type connStats struct {
+	mu     sync.Mutex
+	counts [wire.NumOps]uint64
+	hists  [wire.NumOps]stats.Histogram
+	stm    stm.Stats
+}
+
+// publish records one handled request and refreshes the thread snapshot.
+func (cs *connStats) publish(op wire.Op, d time.Duration, th *stm.Thread) {
+	cs.mu.Lock()
+	cs.counts[op]++
+	cs.hists[op].Record(d)
+	cs.stm = th.Stats
+	cs.mu.Unlock()
+}
+
+// mergeInto folds the stats into a payload under the lock.
+func (cs *connStats) mergeInto(p *wire.StatsPayload) {
+	cs.mu.Lock()
+	for i := range cs.counts {
+		p.Ops[i].Count += cs.counts[i]
+		p.Ops[i].Hist.Merge(&cs.hists[i])
+	}
+	p.Commits += cs.stm.Commits
+	p.Aborts += cs.stm.Aborts
+	for i := range cs.stm.AbortsByCause {
+		p.AbortsByCause[i] += cs.stm.AbortsByCause[i]
+	}
+	cs.mu.Unlock()
+}
+
+// statsPayload merges the telemetry of every connection, live and
+// retired. It holds s.mu across the whole merge so it is atomic with
+// respect to retire: a connection's counters appear exactly once per
+// scrape — live or retired, never neither — which keeps scrape-to-scrape
+// deltas (harness.RunLoad) monotone. Lock order everywhere: s.mu, then
+// a connStats.mu; the request path's publish takes only the latter.
+func (s *Server) statsPayload(p *wire.StatsPayload) {
+	*p = wire.StatsPayload{
+		Engine: s.cfg.Engine,
+		CM:     s.cmName,
+		Shards: s.st.Shards(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.Conns = len(s.conns)
+	s.retired.mergeInto(p)
+	for c := range s.conns {
+		c.stats.mergeInto(p)
+	}
+}
+
+// retire unregisters a closing connection and folds its telemetry into
+// the server-wide accumulator, atomically with respect to statsPayload
+// (both hold s.mu for the whole transfer).
+func (s *Server) retire(c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+	c.stats.mu.Lock()
+	counts := c.stats.counts
+	hists := c.stats.hists
+	snap := c.stats.stm
+	c.stats.mu.Unlock()
+	s.retired.mu.Lock()
+	for i := range counts {
+		s.retired.counts[i] += counts[i]
+		s.retired.hists[i].Merge(&hists[i])
+	}
+	s.retired.stm.Add(snap)
+	s.retired.mu.Unlock()
+}
+
+// conn is one connection's context: its goroutine owns every field
+// except stats (see connStats).
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	th *stm.Thread
+	fr *store.Frame
+
+	req  wire.Request
+	resp wire.Response
+	in   []byte // frame-read buffer
+	out  []byte // response-encode buffer
+
+	// MGet scratch, sized to the largest request seen.
+	vals []int64
+	oks  []bool
+
+	stats connStats
+}
+
+// newConn builds the per-connection context.
+func newConn(s *Server, nc net.Conn) *conn {
+	th := stm.NewThread(s.tm)
+	th.CM = cm.MustNew(s.cmName)
+	fr := s.st.NewFrame(th)
+	fr.SetBudget(s.cfg.MaxRetries)
+	return &conn{
+		srv: s,
+		nc:  nc,
+		br:  bufio.NewReaderSize(nc, 32<<10),
+		bw:  bufio.NewWriterSize(nc, 32<<10),
+		th:  th,
+		fr:  fr,
+	}
+}
+
+// handle is the connection's request loop.
+func (c *conn) handle() {
+	defer func() {
+		c.bw.Flush()
+		c.nc.Close()
+		c.srv.retire(c)
+	}()
+	for {
+		body, err := wire.ReadFrame(c.br, c.in[:0], c.srv.cfg.MaxBody)
+		c.in = body[:cap(body)]
+		if err != nil {
+			if err == io.EOF {
+				return // clean close
+			}
+			if pe, ok := wire.IsProtocolError(err); ok {
+				// Framing is lost (oversized announcement or mid-frame
+				// end of stream): answer with the typed error, then
+				// close — never leave the peer hanging.
+				c.out = wire.AppendError(c.out[:0], pe.Code, pe.Msg)
+				if wire.WriteFrame(c.bw, c.out) == nil {
+					c.bw.Flush()
+				}
+				return
+			}
+			// Read interrupted (drain deadline) or connection error.
+			return
+		}
+		start := time.Now()
+		decoded := true
+		if derr := c.req.Decode(body); derr != nil {
+			// The frame was consumed whole; framing is intact, so report
+			// and keep serving.
+			decoded = false
+			pe, _ := wire.IsProtocolError(derr)
+			c.out = wire.AppendError(wire.BeginFrame(c.out[:0]), pe.Code, pe.Msg)
+		} else {
+			c.out = c.serve(wire.BeginFrame(c.out[:0]))
+		}
+		if wire.FinishFrame(c.out) != nil {
+			// The encoded response outgrew a frame (a stats payload can,
+			// in principle): replace it with a typed error.
+			c.out = wire.AppendError(wire.BeginFrame(c.out[:0]), wire.ErrFrameTooLarge, "response exceeds frame limit")
+			if wire.FinishFrame(c.out) != nil {
+				return
+			}
+		}
+		if _, err := c.bw.Write(c.out); err != nil {
+			return
+		}
+		// Flush once per pipelined burst: only when no complete frame is
+		// already buffered. Completeness matters — a buffered header (or
+		// partial body) whose peer is waiting for this response before
+		// sending the rest must not suppress the flush, or both sides
+		// deadlock.
+		if !c.nextFrameBuffered() {
+			if c.bw.Flush() != nil {
+				return
+			}
+		}
+		if decoded {
+			c.stats.publish(c.req.Op, time.Since(start), c.th)
+		}
+	}
+}
+
+// serve runs one decoded request against the store and appends the
+// response body to dst.
+func (c *conn) serve(dst []byte) []byte {
+	r := &c.resp
+	*r = wire.Response{Present: r.Present[:0], Vals: r.Vals[:0], Stats: r.Stats[:0], Status: wire.StatusOK}
+	switch c.req.Op {
+	case wire.OpGet:
+		if !store.ValidKey(c.req.Key) {
+			return wire.AppendError(dst, wire.ErrKeyRange, "reserved key")
+		}
+		v, ok := c.fr.Get(c.req.Key)
+		if !ok {
+			r.Status = wire.StatusNotFound
+		}
+		r.Val = v
+	case wire.OpPut:
+		if !store.ValidKey(c.req.Key) {
+			return wire.AppendError(dst, wire.ErrKeyRange, "reserved key")
+		}
+		r.Flag = c.fr.Put(c.req.Key, c.req.Val)
+	case wire.OpRemove:
+		if !store.ValidKey(c.req.Key) {
+			return wire.AppendError(dst, wire.ErrKeyRange, "reserved key")
+		}
+		r.Val, r.Flag = c.fr.Remove(c.req.Key)
+	case wire.OpCompareAndMove:
+		if !store.ValidKey(c.req.Key) || !store.ValidKey(c.req.To) {
+			return wire.AppendError(dst, wire.ErrKeyRange, "reserved key")
+		}
+		r.Flag = c.fr.CompareAndMove(c.req.Key, c.req.To, c.req.Val)
+	case wire.OpMGet:
+		for _, k := range c.req.Keys {
+			if !store.ValidKey(k) {
+				return wire.AppendError(dst, wire.ErrKeyRange, "reserved key")
+			}
+		}
+		c.sizeScratch(len(c.req.Keys))
+		if !c.fr.MGet(c.req.Keys, c.vals, c.oks) {
+			return wire.AppendError(dst, wire.ErrRetryExhausted, "mget retry budget exhausted")
+		}
+		r.Vals = append(r.Vals, c.vals[:len(c.req.Keys)]...)
+		r.Present = append(r.Present, c.oks[:len(c.req.Keys)]...)
+	case wire.OpMPut:
+		for _, k := range c.req.Keys {
+			if !store.ValidKey(k) {
+				return wire.AppendError(dst, wire.ErrKeyRange, "reserved key")
+			}
+		}
+		if !c.fr.MPut(c.req.Keys, c.req.Vals) {
+			return wire.AppendError(dst, wire.ErrRetryExhausted, "mput retry budget exhausted")
+		}
+	case wire.OpStats:
+		var p wire.StatsPayload
+		c.srv.statsPayload(&p)
+		r.Stats = wire.AppendStats(r.Stats, &p)
+	case wire.OpPing:
+		if c.srv.draining.Load() {
+			return wire.AppendError(dst, wire.ErrShuttingDown, "draining")
+		}
+	}
+	return wire.AppendResponse(dst, c.req.Op, r)
+}
+
+// nextFrameBuffered reports whether a complete request frame is already
+// in the read buffer (header and full announced body), i.e. the next
+// ReadFrame cannot block on the socket.
+func (c *conn) nextFrameBuffered() bool {
+	if c.br.Buffered() < wire.HeaderSize {
+		return false
+	}
+	hdr, err := c.br.Peek(wire.HeaderSize)
+	if err != nil {
+		return false
+	}
+	n := int(binary.BigEndian.Uint32(hdr))
+	return c.br.Buffered() >= wire.HeaderSize+n
+}
+
+// sizeScratch grows the MGet output buffers to hold n entries.
+func (c *conn) sizeScratch(n int) {
+	if cap(c.vals) < n {
+		c.vals = make([]int64, n)
+		c.oks = make([]bool, n)
+	}
+	c.vals = c.vals[:n]
+	c.oks = c.oks[:n]
+}

@@ -1,0 +1,137 @@
+// binary.go gives Histogram a compact wire encoding so the serving layer
+// can ship per-operation latency histograms through the stats endpoint
+// and merge them client-side (merge is associative, so a merged decode
+// equals a merged record stream). The format is sparse — log-bucketed
+// latency histograms are overwhelmingly zeros — and self-delimiting, so
+// several histograms can be concatenated in one payload.
+package stats
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+)
+
+// Histogram binary format (all integers are uvarints):
+//
+//	max        exact maximum sample (nanoseconds)
+//	nonzero    number of non-empty buckets
+//	nonzero × (index delta, count)
+//
+// Bucket indices are delta-encoded in ascending order (first delta is the
+// absolute index), so decoding can reject duplicates and out-of-range
+// indices. The total count is recomputed from the bucket counts, keeping
+// decoded histograms internally consistent whatever the peer sent.
+
+// errHistogramEncoding is wrapped by every decode failure.
+var errHistogramEncoding = errors.New("stats: malformed histogram encoding")
+
+// AppendBinary appends the histogram's binary encoding to dst and returns
+// the extended slice. It never fails and allocates only when dst needs to
+// grow.
+func (h *Histogram) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, h.max)
+	nonzero := 0
+	for _, n := range h.counts {
+		if n != 0 {
+			nonzero++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(nonzero))
+	prev := -1
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		if prev < 0 {
+			dst = binary.AppendUvarint(dst, uint64(i)) // absolute first index
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(i-prev-1)) // gap to the next
+		}
+		dst = binary.AppendUvarint(dst, n)
+		prev = i
+	}
+	return dst
+}
+
+// DecodeBinary replaces h's contents with the encoding at the front of
+// data and returns the remaining bytes. On error h is left empty. The
+// decoder is total: any input either decodes or returns an error wrapping
+// the malformed-encoding sentinel — it never panics, whatever the bytes.
+func (h *Histogram) DecodeBinary(data []byte) ([]byte, error) {
+	h.Reset()
+	max, data, err := uvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	nonzero, data, err := uvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	if nonzero > HistBuckets {
+		h.Reset()
+		return nil, errHistogramEncoding
+	}
+	idx := -1
+	for i := uint64(0); i < nonzero; i++ {
+		var delta, n uint64
+		if delta, data, err = uvarint(data); err == nil {
+			n, data, err = uvarint(data)
+		}
+		if err != nil {
+			h.Reset()
+			return nil, err
+		}
+		// Bound the delta before any int arithmetic: a huge uvarint would
+		// overflow int64 and index negatively.
+		if delta >= HistBuckets {
+			h.Reset()
+			return nil, errHistogramEncoding
+		}
+		next := idx + 1 + int(delta)
+		if idx == -1 {
+			next = int(delta) // first entry carries the absolute index
+		}
+		if next >= HistBuckets || n == 0 {
+			h.Reset()
+			return nil, errHistogramEncoding
+		}
+		idx = int(next)
+		h.counts[idx] += n
+		h.count += n
+	}
+	// The max is a sample, so it must land in the highest occupied bucket:
+	// a max outside [lowerBound(idx), histBucketMax(idx)] — or a non-zero
+	// max with no samples — cannot come from Record. Reject rather than
+	// let quantiles under- or over-report against a forged bound.
+	if (h.count == 0 && max != 0) ||
+		(idx >= 0 && (max < lowerBound(idx) || max > histBucketMax(idx))) {
+		h.Reset()
+		return nil, errHistogramEncoding
+	}
+	h.max = max
+	return data, nil
+}
+
+// lowerBound is the smallest sample that lands in bucket i.
+func lowerBound(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return histBucketMax(i-1) + 1
+}
+
+// MaxNS returns the exact maximum in nanoseconds (the raw form of Max).
+func (h *Histogram) MaxNS() uint64 { return h.max }
+
+// QuantileNS returns Quantile in raw nanoseconds.
+func (h *Histogram) QuantileNS(q float64) uint64 { return uint64(h.Quantile(q) / time.Nanosecond) }
+
+// uvarint decodes one uvarint from the front of data.
+func uvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, errHistogramEncoding
+	}
+	return v, data[n:], nil
+}

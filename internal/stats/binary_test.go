@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// TestHistogramBinaryRoundTrip pins that decode(encode(h)) reproduces h
+// exactly — counts, total, and max — for empty, tiny, and dense
+// histograms, and that the encoding is self-delimiting (concatenated
+// histograms decode in sequence).
+func TestHistogramBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	hs := make([]Histogram, 4)
+	for i := 0; i < 2000; i++ {
+		hs[1].RecordNS(uint64(rng.Int64N(1 << 20)))
+		hs[2].RecordNS(uint64(rng.Int64N(1 << 62)))
+	}
+	hs[3].RecordNS(0) // all-zero samples: count > 0 with max == 0 is legal
+
+	var buf []byte
+	for i := range hs {
+		buf = hs[i].AppendBinary(buf)
+	}
+	rest := buf
+	for i := range hs {
+		var got Histogram
+		var err error
+		rest, err = got.DecodeBinary(rest)
+		if err != nil {
+			t.Fatalf("histogram %d: decode: %v", i, err)
+		}
+		if got != hs[i] {
+			t.Fatalf("histogram %d: round trip changed contents", i)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("round trip left %d bytes", len(rest))
+	}
+}
+
+// TestHistogramBinaryMergeEquivalence pins the property the stats endpoint
+// relies on: merging decoded histograms equals merging the originals.
+func TestHistogramBinaryMergeEquivalence(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 500; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	var buf []byte
+	buf = a.AppendBinary(buf)
+	buf = b.AppendBinary(buf)
+	var da, db Histogram
+	rest, err := da.DecodeBinary(buf)
+	if err == nil {
+		_, err = db.DecodeBinary(rest)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct, viaWire Histogram
+	direct.Merge(&a)
+	direct.Merge(&b)
+	viaWire.Merge(&da)
+	viaWire.Merge(&db)
+	if direct != viaWire {
+		t.Fatal("merge of decoded histograms differs from merge of originals")
+	}
+}
+
+// TestHistogramBinaryRejectsGarbage pins that the decoder is total: junk
+// either fails cleanly or decodes, and a failed decode leaves the
+// receiver empty.
+func TestHistogramBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0xff},                   // truncated uvarint
+		{0x00},                   // max only, missing bucket count
+		{0x00, 0x01},             // one bucket promised, none present
+		{0x00, 0x01, 0x05, 0x02}, // count 2 at bucket 5 but max 0 < bucket floor
+		{0x05, 0x01, 0x05, 0x00}, // zero-count bucket entry
+		{0x00, 0xff, 0xff, 0x7f}, // bucket count beyond HistBuckets
+		// delta 1<<63 (would overflow int64 index arithmetic), count 5
+		{0x00, 0x01, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01, 0x05},
+		{0x09, 0x01, 0x00, 0x02}, // max 9 above bucket 0's ceiling (0)
+	}
+	for i, data := range cases {
+		var h Histogram
+		h.RecordNS(42) // must be wiped by the failed decode
+		if _, err := h.DecodeBinary(data); err == nil {
+			t.Errorf("case %d: decode accepted garbage", i)
+		}
+		if h.Count() != 0 || h.MaxNS() != 0 {
+			t.Errorf("case %d: failed decode left state behind", i)
+		}
+	}
+	rng := rand.New(rand.NewPCG(3, 5))
+	for i := 0; i < 5000; i++ {
+		junk := make([]byte, rng.IntN(40))
+		for j := range junk {
+			junk[j] = byte(rng.UintN(256))
+		}
+		var h Histogram
+		_, _ = h.DecodeBinary(junk) // must not panic
+	}
+}

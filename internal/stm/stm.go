@@ -140,6 +140,23 @@ func FlatChild(parent TxControl) TxControl {
 	return flatChild{parent}
 }
 
+// FlatChildOn is FlatChild with the boxed wrapper cached on the thread:
+// engines that pool their top-level transaction frames (all of them)
+// hand the same parent value to every composition on a thread, so after
+// the first nested begin the wrapper is reused and flat nesting becomes
+// allocation-free — the nested counterpart of the pooled Begin.
+func FlatChildOn(th *Thread, parent TxControl) TxControl {
+	if f, ok := parent.(flatChild); ok {
+		return f
+	}
+	if th.flatFor == parent {
+		return th.flatChild
+	}
+	c := flatChild{parent}
+	th.flatFor, th.flatChild = parent, c
+	return c
+}
+
 type flatChild struct{ TxControl }
 
 func (flatChild) Commit() error { return nil }

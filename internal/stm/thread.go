@@ -103,6 +103,13 @@ type Thread struct {
 
 	cur   TxControl
 	depth int
+
+	// flatFor/flatChild cache the boxed flat-nesting wrapper of the last
+	// parent seen by FlatChildOn, so composed operations on flat-nesting
+	// engines begin children allocation-free (engines pool their
+	// top-level frames, so the parent value repeats per thread).
+	flatFor   TxControl
+	flatChild TxControl
 }
 
 // NewThread creates a thread context for tm with a unique slot and a

@@ -1,0 +1,33 @@
+// Package store is the sharded transactional keyspace behind the serving
+// layer: a power-of-two array of engine-backed eec.SkipListMap shards
+// under one int64 key space, with single-shard elementary operations
+// (Get, Put, Remove) and composed multi-key operations (MGet, MPut,
+// CompareAndMove) that each execute as one relaxed transaction, whatever
+// mix of shards they touch.
+//
+// The store itself is engine-agnostic, like every e.e.c structure: shards
+// are built from mvar words, and the engine is carried by the stm.Thread
+// driving an operation — one store instance can serve OE-STM and the
+// classic baselines alike (the server binds one engine per store by
+// giving every connection a thread on the same TM).
+//
+// Operations run through a per-connection Frame whose transaction
+// closures are bound once at construction and parameterised through
+// fields, the same discipline as the e.e.c operation frames: the
+// steady-state request path starts no per-call closures and allocates no
+// per-transaction frames (see the AllocsPerRun conformance tests).
+//
+// The composed mutators (MPut, CompareAndMove) follow the paper's Fig. 5
+// pattern — elementary operations invoked inside an enclosing
+// transaction, atomic through outheritance (or flat nesting on the
+// classic engines). MGet is an observation, not a mutation, and uses the
+// audit pattern of the composed-scenario suite instead: one Regular
+// transaction reading every shard directly (SkipListMap.GetTx), because
+// a read-only elastic child outherits only its final read and a
+// composition of such children would not validate as one snapshot.
+//
+// Unsound mode splits every composed operation into separate top-level
+// transactions — the deliberately broken baseline the cross-shard
+// atomicity checkers are required to catch, extending the PR 2 pattern
+// to the store layer.
+package store

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"oestm/internal/eec"
+	"oestm/internal/stm"
+)
+
+// Frame is the per-connection (per-thread) operation context of a Store:
+// it owns the pre-bound transaction closures of the composed operations
+// and the parameter fields they read, so the steady-state request path
+// starts no per-call closures and allocates no per-transaction frames —
+// the store-layer counterpart of the e.e.c operation frame. A Frame must
+// only be used from the one goroutine that owns its thread, one
+// operation at a time.
+//
+// Values travel as int64. Storing a value costs the one box the
+// underlying AnyVar write requires (two for values outside [0, 255],
+// which also box at the interface conversion); everything else on the
+// hit paths is allocation-free (pinned by the conformance tests here and
+// end-to-end in internal/server). Keys use the platform int inside the
+// shards; like the rest of the repository's word-level budgets this
+// assumes 64-bit ints.
+type Frame struct {
+	st *Store
+	th *stm.Thread
+
+	// kind is the enclosing-transaction kind of the composed mutators
+	// (elastic where the engine supports it, like every e.e.c
+	// composition).
+	kind stm.Kind
+
+	// budget, when non-zero, bounds the transaction attempts of each
+	// composed operation (see SetBudget).
+	budget int
+
+	// Parameters and results of the composed operations in flight.
+	keys, vals []int64
+	oks        []bool
+	from, to   int64
+	expect     int64
+	moved      bool
+
+	mgetFn, mputFn, camFn func(stm.Tx) error
+}
+
+// NewFrame binds a frame for th. One frame per connection: the server
+// creates it next to the connection's thread and reuses it for every
+// request.
+func (s *Store) NewFrame(th *stm.Thread) *Frame {
+	f := &Frame{st: s, th: th, kind: eec.OpKind(th)}
+	f.mgetFn = func(tx stm.Tx) error { f.mgetBody(tx); return nil }
+	f.mputFn = func(stm.Tx) error { f.mputBody(); return nil }
+	f.camFn = func(stm.Tx) error { f.camBody(); return nil }
+	return f
+}
+
+// Thread returns the thread the frame is bound to.
+func (f *Frame) Thread() *stm.Thread { return f.th }
+
+// SetBudget bounds the transaction attempts of each composed operation
+// (0 = unbounded, the default): when the budget runs out the operation
+// reports uncommitted instead of retrying forever. It exists as a
+// liveness guard for deliberately broken configurations — under the estm
+// ablation or Unsound mode a torn composition can corrupt a shard's
+// structural invariants, wedging a later composed operation in a
+// permanent conflict loop. Elementary operations are never budgeted:
+// they are individually atomic on every engine, cannot be torn, and
+// their eec surface has no failure channel — bounding them would trade a
+// (corruption-only) wedge for silently wrong answers. (Unsound mode is
+// the exception: there the budget covers the split-out elementary
+// pieces — see Frame.unsound.)
+func (f *Frame) SetBudget(n int) { f.budget = n }
+
+// atomic runs one composed-operation closure under the frame's budget.
+func (f *Frame) atomic(kind stm.Kind, fn func(stm.Tx) error) error {
+	if f.budget > 0 {
+		prev := f.th.MaxRetries
+		f.th.MaxRetries = f.budget
+		err := f.th.Atomic(kind, fn)
+		f.th.MaxRetries = prev
+		return err
+	}
+	return f.th.Atomic(kind, fn)
+}
+
+// unsound runs a composed operation's unsound (split) body under the
+// frame's budget. Here the budget must cover the elementary pieces —
+// they are exactly the transactions a corrupted unsound store can wedge
+// — so an exhausted piece silently degrades (a read observes absence, a
+// write is dropped). That trade is only acceptable because unsound mode
+// exists to break semantics; the sound paths never bound elementary
+// operations (see SetBudget).
+func (f *Frame) unsound(body func()) {
+	if f.budget > 0 {
+		prev := f.th.MaxRetries
+		f.th.MaxRetries = f.budget
+		body()
+		f.th.MaxRetries = prev
+		return
+	}
+	body()
+}
+
+// Get returns the value under key and whether it is present — one
+// single-shard elastic transaction.
+func (f *Frame) Get(key int64) (int64, bool) {
+	v, ok := f.st.shard(key).Get(f.th, int(key))
+	if !ok {
+		return 0, false
+	}
+	n, _ := v.(int64)
+	return n, true
+}
+
+// Put stores val under key, reporting whether the key already existed —
+// one single-shard elastic transaction.
+func (f *Frame) Put(key, val int64) bool {
+	_, existed := f.st.shard(key).Put(f.th, int(key), val)
+	return existed
+}
+
+// Remove deletes key, returning the removed value and whether the key
+// was present — one single-shard elastic transaction.
+func (f *Frame) Remove(key int64) (int64, bool) {
+	v, ok := f.st.shard(key).Remove(f.th, int(key))
+	if !ok {
+		return 0, false
+	}
+	n, _ := v.(int64)
+	return n, true
+}
+
+// MGet fills vals[i], oks[i] with the value and presence of keys[i] for
+// every key, as one atomic snapshot across all shards touched: a single
+// Regular transaction reading the shard maps directly (see the package
+// comment for why it is not a composition of Get children). vals and oks
+// must be at least len(keys) long; they are the caller's reusable
+// buffers. In unsound mode every key is read in its own transaction.
+//
+// The composed operations report whether they committed: false means the
+// frame's retry budget (SetBudget) was exhausted and the outputs must be
+// discarded. With an unbounded budget (the default) they always return
+// true.
+func (f *Frame) MGet(keys []int64, vals []int64, oks []bool) bool {
+	f.keys, f.vals, f.oks = keys, vals, oks
+	var err error
+	if f.st.unsound {
+		f.unsound(func() {
+			for i, k := range keys {
+				vals[i], oks[i] = f.Get(k)
+			}
+		})
+	} else {
+		err = f.atomic(stm.Regular, f.mgetFn)
+	}
+	f.keys, f.vals, f.oks = nil, nil, nil
+	return err == nil
+}
+
+// mgetBody is the transactional body of MGet.
+func (f *Frame) mgetBody(tx stm.Tx) {
+	for i, k := range f.keys {
+		v, ok := f.st.shard(k).GetTx(tx, int(k))
+		n, _ := v.(int64)
+		f.vals[i], f.oks[i] = n, ok
+	}
+}
+
+// MPut stores vals[i] under keys[i] for every key as one transaction —
+// Put compositions across shards, atomic through outheritance (flat
+// nesting on the classic engines). vals must be at least len(keys) long.
+// In unsound mode every entry is stored in its own transaction. It
+// reports whether it committed (see MGet).
+func (f *Frame) MPut(keys, vals []int64) bool {
+	f.keys, f.vals = keys, vals
+	var err error
+	if f.st.unsound {
+		f.unsound(f.mputBody)
+	} else {
+		err = f.atomic(f.kind, f.mputFn)
+	}
+	f.keys, f.vals = nil, nil
+	return err == nil
+}
+
+// mputBody is the (possibly enclosed) body of MPut.
+func (f *Frame) mputBody() {
+	for i, k := range f.keys {
+		f.st.shard(k).Put(f.th, int(k), f.vals[i])
+	}
+}
+
+// CompareAndMove atomically relocates a value between keys — across
+// shards, in the general case: if the value under from equals expect and
+// to is absent, it removes from and stores the value under to, reporting
+// whether the move happened. One composed transaction (Get, Get, Remove,
+// Put children); in unsound mode the four elementary operations run as
+// separate transactions, so audits can observe the value in flight (or
+// duplicated) between them. It reports false both when the move was
+// refused and when the retry budget ran out (see MGet) — either way no
+// move happened.
+func (f *Frame) CompareAndMove(from, to, expect int64) bool {
+	if from == to {
+		return false
+	}
+	f.from, f.to, f.expect = from, to, expect
+	if f.st.unsound {
+		f.unsound(f.camBody)
+	} else if err := f.atomic(f.kind, f.camFn); err != nil {
+		return false
+	}
+	return f.moved
+}
+
+// camBody is the (possibly enclosed) body of CompareAndMove.
+func (f *Frame) camBody() {
+	f.moved = false
+	v, ok := f.Get(f.from)
+	if !ok || v != f.expect {
+		return
+	}
+	if _, occupied := f.Get(f.to); occupied {
+		return
+	}
+	f.Remove(f.from)
+	f.Put(f.to, v)
+	f.moved = true
+}

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"oestm/internal/eec"
+)
+
+// DefaultShards is the shard count used when Config.Shards is zero.
+const DefaultShards = 16
+
+// Config parameterises a Store. The zero value gives DefaultShards sound
+// shards.
+type Config struct {
+	// Shards is the shard count; it must be a power of two (0 means
+	// DefaultShards). More shards shrink the keys that collide on one
+	// skip list, not the atomicity unit: composed operations span shards
+	// freely.
+	Shards int
+	// Unsound splits every composed operation into separate top-level
+	// transactions, deliberately breaking cross-shard atomicity (the
+	// checker-validation baseline; see the package comment).
+	Unsound bool
+}
+
+// Store is a sharded transactional key-value map: int64 keys hashed onto
+// power-of-two shards, int64 values. All operations go through a Frame
+// (one per connection/thread).
+type Store struct {
+	shards  []*eec.SkipListMap
+	shift   uint // key hash >> shift = shard index
+	unsound bool
+}
+
+// shardMix is the Fibonacci hashing multiplier (2^64/φ): sequential keys
+// spread over all shards, so a hot key *range* still fans out.
+const shardMix = 0x9e3779b97f4a7c15
+
+// New builds an empty store. It panics if cfg.Shards is not a power of
+// two.
+func New(cfg Config) *Store {
+	n := cfg.Shards
+	if n == 0 {
+		n = DefaultShards
+	}
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("store: shard count %d is not a power of two", n))
+	}
+	s := &Store{
+		shards:  make([]*eec.SkipListMap, n),
+		shift:   uint(64 - bits.Len(uint(n-1))),
+		unsound: cfg.Unsound,
+	}
+	for i := range s.shards {
+		s.shards[i] = eec.NewSkipListMap()
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Unsound reports whether composed operations are (deliberately) split
+// into separate transactions.
+func (s *Store) Unsound() bool { return s.unsound }
+
+// ShardOf returns the shard index serving key.
+func (s *Store) ShardOf(key int64) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int((uint64(key) * shardMix) >> s.shift)
+}
+
+// shard returns the map serving key.
+func (s *Store) shard(key int64) *eec.SkipListMap {
+	return s.shards[s.ShardOf(key)]
+}
+
+// ValidKey reports whether key can be stored: the two extreme int64
+// values are the skip lists' head/tail sentinels and are rejected at the
+// protocol boundary.
+func ValidKey(key int64) bool {
+	return key != math.MinInt64 && key != math.MaxInt64
+}

@@ -109,8 +109,8 @@ func (tm *TM) Begin(th *stm.Thread, _ stm.Kind) stm.TxControl {
 }
 
 // BeginNested implements stm.TM with flat nesting.
-func (tm *TM) BeginNested(_ *stm.Thread, parent stm.TxControl, _ stm.Kind) stm.TxControl {
-	return stm.FlatChild(parent)
+func (tm *TM) BeginNested(th *stm.Thread, parent stm.TxControl, _ stm.Kind) stm.TxControl {
+	return stm.FlatChildOn(th, parent)
 }
 
 type txn struct {

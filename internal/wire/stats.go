@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"oestm/internal/stats"
+	"oestm/internal/stm"
+)
+
+// statsVersion guards the stats payload layout; bump it when the layout
+// changes so stale clients fail loudly instead of misparsing.
+const statsVersion = 1
+
+// OpTelemetry is one opcode's server-side measurements: how many requests
+// ran and the latency histogram of their service time — measured from
+// "request frame in hand" to "response handed to the socket", so it
+// includes decode, the transaction, encode, the buffered write and any
+// flush backpressure from a slow reader; network transit and waiting for
+// the request to arrive are excluded.
+type OpTelemetry struct {
+	Count uint64
+	Hist  stats.Histogram
+}
+
+// StatsPayload is the server's merged telemetry, returned by OpStats: the
+// store's identity (engine, contention policy, shard count), per-opcode
+// counts and latency histograms, and the transaction counters — commits,
+// aborts, and the per-cause abort breakdown — summed over every
+// connection the server has served (live ones included). Histograms merge
+// associatively, so scraping twice and diffing is sound.
+type StatsPayload struct {
+	Engine        string
+	CM            string
+	Shards        int
+	Conns         int // connections currently open
+	Ops           [NumOps]OpTelemetry
+	Commits       uint64
+	Aborts        uint64
+	AbortsByCause [stm.NumCauses]uint64
+}
+
+// AppendStats appends the encoded payload to dst.
+func AppendStats(dst []byte, p *StatsPayload) []byte {
+	dst = append(dst, statsVersion)
+	dst = appendString(dst, p.Engine)
+	dst = appendString(dst, p.CM)
+	dst = binary.AppendUvarint(dst, uint64(p.Shards))
+	dst = binary.AppendUvarint(dst, uint64(p.Conns))
+	for i := range p.Ops {
+		dst = binary.AppendUvarint(dst, p.Ops[i].Count)
+		dst = p.Ops[i].Hist.AppendBinary(dst)
+	}
+	dst = binary.AppendUvarint(dst, p.Commits)
+	dst = binary.AppendUvarint(dst, p.Aborts)
+	dst = binary.AppendUvarint(dst, uint64(stm.NumCauses))
+	for _, n := range p.AbortsByCause {
+		dst = binary.AppendUvarint(dst, n)
+	}
+	return dst
+}
+
+// Decode parses an encoded payload into p. Every failure is a
+// *ProtocolError (ErrBadBody).
+func (p *StatsPayload) Decode(body []byte) error {
+	*p = StatsPayload{}
+	if len(body) == 0 || body[0] != statsVersion {
+		return perr(ErrBadBody, "stats payload version mismatch")
+	}
+	b := body[1:]
+	var err error
+	if p.Engine, b, err = readString(b); err != nil {
+		return err
+	}
+	if p.CM, b, err = readString(b); err != nil {
+		return err
+	}
+	var u uint64
+	if u, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	p.Shards = int(u)
+	if u, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	p.Conns = int(u)
+	for i := range p.Ops {
+		if p.Ops[i].Count, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		if b, err = p.Ops[i].Hist.DecodeBinary(b); err != nil {
+			return perr(ErrBadBody, "stats histogram: "+err.Error())
+		}
+	}
+	if p.Commits, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if p.Aborts, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if u, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if int(u) != stm.NumCauses {
+		return perr(ErrBadBody, fmt.Sprintf("stats payload has %d abort causes, want %d", u, stm.NumCauses))
+	}
+	for i := range p.AbortsByCause {
+		if p.AbortsByCause[i], b, err = readUvarint(b); err != nil {
+			return err
+		}
+	}
+	if len(b) != 0 {
+		return perr(ErrBadBody, "stats payload trailing bytes")
+	}
+	return nil
+}
+
+// appendString appends a u16-length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	dst = be16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// readString parses a u16-length-prefixed string.
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, perr(ErrBadBody, "stats payload short string")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, perr(ErrBadBody, "stats payload short string")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// readUvarint parses one uvarint.
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, perr(ErrBadBody, "stats payload short varint")
+	}
+	return v, b[n:], nil
+}

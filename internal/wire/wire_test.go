@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"oestm/internal/stm"
+)
+
+// TestFrameRoundTrip pins frame IO: bodies round trip, capacity is
+// reused, clean EOF at a boundary is io.EOF, and both truncation points
+// (header, body) are typed.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{{1}, {2, 3, 4}, make([]byte, 1000), {}}
+	for _, b := range bodies {
+		if err := WriteFrame(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, want := range bodies {
+		var err error
+		scratch, err = ReadFrame(&buf, scratch, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(scratch, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(scratch), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf, scratch, 0); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+
+	truncated := [][]byte{
+		{0x00, 0x00},                   // half a header
+		{0x00, 0x00, 0x00, 0x05, 0xaa}, // header promising 5, body has 1
+	}
+	for i, raw := range truncated {
+		_, err := ReadFrame(bytes.NewReader(raw), nil, 0)
+		pe, ok := IsProtocolError(err)
+		if !ok || pe.Code != ErrTruncated {
+			t.Fatalf("truncated case %d: %v, want ErrTruncated", i, err)
+		}
+	}
+}
+
+// errReader fails every read with a fixed transport error.
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+// TestReadFrameTransportErrorPassthrough pins that non-EOF transport
+// failures (read deadlines during a drain, resets) are NOT reported as
+// protocol errors: only a stream that actually ends mid-frame is
+// "truncated".
+func TestReadFrameTransportErrorPassthrough(t *testing.T) {
+	sentinel := errors.New("deadline exceeded")
+	_, err := ReadFrame(errReader{sentinel}, nil, 0)
+	if err != sentinel {
+		t.Fatalf("header transport error: got %v, want the raw sentinel", err)
+	}
+	if _, ok := IsProtocolError(err); ok {
+		t.Fatal("transport error must not be a ProtocolError")
+	}
+}
+
+// TestFrameSizeLimits pins the oversized-frame rejections on both sides.
+func TestFrameSizeLimits(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxBody+1)); err == nil {
+		t.Fatal("WriteFrame accepted an oversized body")
+	}
+	var hdr bytes.Buffer
+	if err := WriteFrame(&hdr, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFrame(bytes.NewReader(hdr.Bytes()), nil, 16)
+	pe, ok := IsProtocolError(err)
+	if !ok || pe.Code != ErrFrameTooLarge {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	// A huge announced length must be rejected before any allocation.
+	raw := []byte{0xff, 0xff, 0xff, 0xff}
+	_, err = ReadFrame(bytes.NewReader(raw), nil, 0)
+	if pe, ok = IsProtocolError(err); !ok || pe.Code != ErrFrameTooLarge {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestRequestRoundTrip pins every opcode's request encoding.
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, Key: -5},
+		{Op: OpRemove, Key: 1 << 40},
+		{Op: OpPut, Key: 3, Val: -9},
+		{Op: OpCompareAndMove, Key: 1, To: 2, Val: 7},
+		{Op: OpMGet, Keys: []int64{1, -2, 3}},
+		{Op: OpMPut, Keys: []int64{4, 5}, Vals: []int64{-6, 7}},
+		{Op: OpMGet, Keys: []int64{}},
+		{Op: OpStats},
+		{Op: OpPing},
+	}
+	var body []byte
+	var got Request
+	for i, r := range reqs {
+		body = AppendRequest(body[:0], &r)
+		if err := got.Decode(body); err != nil {
+			t.Fatalf("req %d (%s): %v", i, r.Op, err)
+		}
+		if got.Op != r.Op || got.Key != r.Key || got.To != r.To || got.Val != r.Val {
+			t.Fatalf("req %d (%s): scalars changed: %+v vs %+v", i, r.Op, got, r)
+		}
+		if len(got.Keys) != len(r.Keys) || len(got.Vals) != len(r.Vals) {
+			t.Fatalf("req %d (%s): slice lengths changed", i, r.Op)
+		}
+		for j := range r.Keys {
+			if got.Keys[j] != r.Keys[j] {
+				t.Fatalf("req %d: key %d changed", i, j)
+			}
+		}
+		for j := range r.Vals {
+			if got.Vals[j] != r.Vals[j] {
+				t.Fatalf("req %d: val %d changed", i, j)
+			}
+		}
+	}
+}
+
+// TestResponseRoundTrip pins every response shape, including errors.
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []struct {
+		op Op
+		r  Response
+	}{
+		{OpGet, Response{Status: StatusOK, Val: -77}},
+		{OpGet, Response{Status: StatusNotFound}},
+		{OpPut, Response{Status: StatusOK, Flag: true}},
+		{OpCompareAndMove, Response{Status: StatusOK, Flag: false}},
+		{OpRemove, Response{Status: StatusOK, Flag: true, Val: 12}},
+		{OpMGet, Response{Status: StatusOK, Present: []bool{true, false}, Vals: []int64{5, 0}}},
+		{OpMPut, Response{Status: StatusOK}},
+		{OpPing, Response{Status: StatusOK}},
+	}
+	var body []byte
+	var got Response
+	for i, c := range cases {
+		body = AppendResponse(body[:0], c.op, &c.r)
+		if err := got.Decode(c.op, body); err != nil {
+			t.Fatalf("case %d (%s): %v", i, c.op, err)
+		}
+		if got.Status != c.r.Status || got.Flag != c.r.Flag || got.Val != c.r.Val {
+			t.Fatalf("case %d (%s): %+v vs %+v", i, c.op, got, c.r)
+		}
+		if len(got.Vals) != len(c.r.Vals) {
+			t.Fatalf("case %d: vals length changed", i)
+		}
+		for j := range c.r.Vals {
+			if got.Vals[j] != c.r.Vals[j] || got.Present[j] != c.r.Present[j] {
+				t.Fatalf("case %d: entry %d changed", i, j)
+			}
+		}
+	}
+
+	body = AppendError(body[:0], ErrRetryExhausted, "gave up")
+	err := got.Decode(OpPut, body)
+	pe, ok := IsProtocolError(err)
+	if !ok || pe.Code != ErrRetryExhausted || pe.Msg != "gave up" {
+		t.Fatalf("error response: %v", err)
+	}
+	if got.Status != StatusErr || got.Err != ErrRetryExhausted || got.Msg != "gave up" {
+		t.Fatalf("error response fields: %+v", got)
+	}
+}
+
+// TestDecodeRejections pins the typed failure of each malformed-input
+// class.
+func TestDecodeRejections(t *testing.T) {
+	var r Request
+	cases := []struct {
+		body []byte
+		code ErrCode
+	}{
+		{nil, ErrBadBody},                        // empty
+		{[]byte{200}, ErrBadOpcode},              // unknown opcode
+		{[]byte{byte(OpGet), 1, 2}, ErrBadBody},  // short body
+		{[]byte{byte(OpPing), 9}, ErrBadBody},    // trailing bytes
+		{[]byte{byte(OpMGet), 0xff}, ErrBadBody}, // missing count byte
+		{[]byte{byte(OpMGet), 0xff, 0xff}, ErrTooManyKeys},
+		{append([]byte{byte(OpMGet), 0x00, 0x02}, make([]byte, 8)...), ErrBadBody}, // count 2, one key
+		{append([]byte{byte(OpMPut), 0x00, 0x01}, make([]byte, 8)...), ErrBadBody}, // entry missing val
+	}
+	for i, c := range cases {
+		err := r.Decode(c.body)
+		pe, ok := IsProtocolError(err)
+		if !ok || pe.Code != c.code {
+			t.Errorf("case %d: %v, want code %v", i, err, c.code)
+		}
+	}
+}
+
+// TestStatsPayloadRoundTrip pins the telemetry encoding end to end.
+func TestStatsPayloadRoundTrip(t *testing.T) {
+	p := StatsPayload{Engine: "oestm", CM: "adaptive", Shards: 16, Conns: 3}
+	for i := range p.Ops {
+		p.Ops[i].Count = uint64(10 * i)
+		for j := 0; j < i*5; j++ {
+			p.Ops[i].Hist.Record(time.Duration(j) * time.Microsecond)
+		}
+	}
+	p.Commits, p.Aborts = 1000, 42
+	for i := range p.AbortsByCause {
+		p.AbortsByCause[i] = uint64(i)
+	}
+	body := AppendStats(nil, &p)
+	var got StatsPayload
+	if err := got.Decode(body); err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine != p.Engine || got.CM != p.CM || got.Shards != p.Shards || got.Conns != p.Conns {
+		t.Fatalf("identity changed: %+v", got)
+	}
+	if got.Commits != p.Commits || got.Aborts != p.Aborts || got.AbortsByCause != p.AbortsByCause {
+		t.Fatalf("counters changed: %+v", got)
+	}
+	for i := range p.Ops {
+		if got.Ops[i] != p.Ops[i] {
+			t.Fatalf("op %s telemetry changed", Op(i))
+		}
+	}
+
+	if err := got.Decode(body[:len(body)-1]); err == nil {
+		t.Fatal("truncated stats payload accepted")
+	}
+	if err := got.Decode(append(body, 0)); err == nil {
+		t.Fatal("stats payload with trailing bytes accepted")
+	}
+	if err := got.Decode([]byte{99}); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+// TestCauseCountPinned fails when a new ConflictCause is added without
+// bumping the stats payload version: old clients would misassign the
+// per-cause columns.
+func TestCauseCountPinned(t *testing.T) {
+	if stm.NumCauses != 8 {
+		t.Fatalf("stm.NumCauses = %d; the stats payload layout depends on it — bump wire.statsVersion and update this pin", stm.NumCauses)
+	}
+}
+
+// TestErrorStrings covers the diagnostic surfaces.
+func TestErrorStrings(t *testing.T) {
+	if s := perr(ErrFrameTooLarge, "x").Error(); !strings.Contains(s, "frame-too-large") {
+		t.Error(s)
+	}
+	if Op(200).String() != "op(200)" || ErrCode(200).String() != "err(200)" {
+		t.Error("out-of-range names")
+	}
+	var pe *ProtocolError
+	if !errors.As(error(perr(ErrBadBody, "")), &pe) {
+		t.Error("errors.As must match ProtocolError")
+	}
+}

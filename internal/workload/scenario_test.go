@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -152,6 +153,13 @@ func TestPipelineCheckerDetectsUncountedItem(t *testing.T) {
 // returns the observed violation count.
 func runUnsound(t *testing.T, name string, dur time.Duration) uint64 {
 	t.Helper()
+	// On a single P the scheduler switches workers almost exclusively at
+	// retry-backoff yields — never between an unsound composition's two
+	// transactions — so the tear window rarely overlaps anything and the
+	// test flakes. Oversubscribed OS threads restore genuinely
+	// interleaved executions (same rationale as the cross-shard checkers
+	// in internal/store).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
 	cfg := quickScenarioConfig()
 	cfg.Unsound = true
 	scn, _ := NewScenario(name, cfg)
