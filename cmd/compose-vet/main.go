@@ -1,0 +1,267 @@
+// compose-vet statically enforces the repository's STM contracts: raw
+// word access (varaccess), word copies (wordcopy), abort-cause
+// classification (causeclass), per-operation transaction closures
+// (framecapture), and //compose:noalloc escape-analysis verification
+// (noalloc). See ARCHITECTURE.md "Static contracts" for what each
+// analyzer pins and why.
+//
+// Standalone usage (the way CI runs it):
+//
+//	compose-vet [-analyzers varaccess,wordcopy,...] [packages]
+//
+// with the usual go package patterns (default ./...). Any diagnostic
+// makes the exit status 1.
+//
+// The binary also speaks the `go vet -vettool` unit-checker protocol
+// (-V=full / -flags / a single *.cfg argument), so it can replace the
+// standard vet tool in a build:
+//
+//	go vet -vettool=$(which compose-vet) ./...
+//
+// A fixture directory that `go list` cannot see (testdata) can be
+// analyzed directly with -fixture, which is how CI smokes that the suite
+// actually fires on known-bad input.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"oestm/internal/analysis"
+	"oestm/internal/analysis/suite"
+)
+
+// selfHash returns a hex digest of the running executable, used as the
+// tool's build ID in the -V=full probe.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func main() {
+	// The go vet tool protocol: `go vet` first probes the tool's version
+	// and flags, then invokes it once per package with a config file.
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+	for _, arg := range args {
+		if strings.HasPrefix(arg, "-V") {
+			// go vet derives the tool's build ID from this line; the
+			// buildID= field must change whenever the binary does, so
+			// hash the executable itself (the unitchecker convention).
+			fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, selfHash())
+			os.Exit(0)
+		}
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	if n := len(args); n >= 1 && strings.HasSuffix(args[n-1], ".cfg") {
+		jsonOut := false
+		for _, a := range args[:n-1] {
+			if a == "-json" {
+				jsonOut = true
+			}
+		}
+		unitcheck(args[n-1], jsonOut)
+		return
+	}
+
+	var (
+		analyzers = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		fixture   = flag.String("fixture", "", "analyze a single fixture directory (for testdata packages invisible to go list)")
+		list      = flag.Bool("list", false, "list the analyzers of the suite and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] [package patterns]\n", progname)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	selected := suite.All()
+	if *analyzers != "" {
+		var ok bool
+		selected, ok = suite.ByName(strings.Split(*analyzers, ","))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%s: unknown analyzer in -analyzers=%s\n", progname, *analyzers)
+			os.Exit(2)
+		}
+	}
+	if *list {
+		for _, a := range suite.All() {
+			fmt.Printf("%-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	var pkgs []*analysis.Package
+	var err error
+	if *fixture != "" {
+		var pkg *analysis.Package
+		pkg, err = analysis.LoadFixture(*fixture)
+		pkgs = []*analysis.Package{pkg}
+	} else {
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		wd, werr := os.Getwd()
+		if werr != nil {
+			fatal(progname, werr)
+		}
+		pkgs, err = analysis.Load(wd, patterns...)
+	}
+	if err != nil {
+		fatal(progname, err)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, a := range selected {
+			diags, err := pkg.Run(a)
+			if err != nil {
+				fatal(progname, err)
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %d contract violation(s)\n", progname, found)
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func fatal(progname string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+	os.Exit(2)
+}
+
+// vetConfig is the JSON configuration `go vet` hands a -vettool per
+// package (the x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package as directed by a go vet config file.
+func unitcheck(cfgFile string, jsonOut bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal("compose-vet", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal("compose-vet", fmt.Errorf("parsing %s: %v", cfgFile, err))
+	}
+	// compose-vet has no cross-package facts, but go vet requires the
+	// facts file to exist before it will cache the action.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal("compose-vet", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+	// Resolve import paths as written to export data files.
+	exports := map[string]string{}
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for as, canonical := range cfg.ImportMap {
+		if f, ok := cfg.PackageFile[canonical]; ok {
+			exports[as] = f
+		}
+	}
+	pkg, err := analysis.LoadVetPackage(cfg.ImportPath, cfg.Dir, cfg.GoFiles, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal("compose-vet", err)
+	}
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	jsonTree := map[string]map[string][]jsonDiag{cfg.ImportPath: {}}
+	found := 0
+	for _, a := range suite.All() {
+		diags, err := pkg.Run(a)
+		if err != nil {
+			fatal("compose-vet", err)
+		}
+		if jsonOut {
+			out := make([]jsonDiag, 0, len(diags))
+			for _, d := range diags {
+				out = append(out, jsonDiag{Posn: pkg.Fset.Position(d.Pos).String(), Message: d.Message})
+			}
+			if len(out) > 0 {
+				jsonTree[cfg.ImportPath][a.Name] = out
+			}
+			found += len(out)
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+			found++
+		}
+	}
+	if jsonOut {
+		keys := make([]string, 0, len(jsonTree))
+		for k := range jsonTree {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(jsonTree); err != nil {
+			fatal("compose-vet", err)
+		}
+		return
+	}
+	if found > 0 {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,186 @@
+// Package analysis is a self-contained static-analysis framework in the
+// spirit of golang.org/x/tools/go/analysis, built only on the standard
+// library so the repository's analyzers run offline (this module
+// deliberately has no dependencies).
+//
+// The repository's soundness story rests on conventions the Go compiler
+// does not check: shared state is only touched through the stm/mvar
+// accessor API, every abort site carries a typed ConflictCause, and the
+// pinned hot paths stay allocation-free. Each convention is enforced by
+// one analyzer under internal/analysis/...; cmd/compose-vet runs the whole
+// suite and CI requires it to be clean over ./... (see the "Static
+// contracts" section of ARCHITECTURE.md).
+//
+// An Analyzer receives one type-checked package per Pass and reports
+// Diagnostics. Packages are loaded by the driver in driver.go: `go list
+// -deps -export -json` supplies the file lists and the compiled export
+// data of every dependency, the target's own sources are parsed and
+// type-checked with go/types against that export data, so the suite needs
+// neither GOPATH mode nor network access.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Run is invoked once per loaded package
+// and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the compose-vet
+	// command line. It must be a valid Go identifier.
+	Name string
+	// Doc is the help text: first line is a one-line summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// BuildInfo carries the build-system coordinates of the package under
+// analysis, for analyzers (noalloc) that need to re-invoke the compiler.
+type BuildInfo struct {
+	// Dir is the package directory.
+	Dir string
+	// ImportPath is the canonical import path ("oestm/internal/eec").
+	ImportPath string
+	// GoFiles are the absolute paths of the non-test sources, in the
+	// order they were parsed.
+	GoFiles []string
+	// PackageFile maps the import path of every (transitive) dependency
+	// to its compiled export data file, exactly the contents of a
+	// -importcfg file for `go tool compile`.
+	PackageFile map[string]string
+}
+
+// ImportCfg renders PackageFile in the -importcfg syntax understood by
+// the gc compiler.
+func (b *BuildInfo) ImportCfg() string {
+	paths := make([]string, 0, len(b.PackageFile))
+	for p := range b.PackageFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var sb strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&sb, "packagefile %s=%s\n", p, b.PackageFile[p])
+	}
+	return sb.String()
+}
+
+// A Pass is one application of one analyzer to one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Build     *BuildInfo
+
+	diagnostics []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings reported so far, sorted by position.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diagnostics, func(i, j int) bool {
+		return p.diagnostics[i].Pos < p.diagnostics[j].Pos
+	})
+	return p.diagnostics
+}
+
+// TypeOf returns the type of expression e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// WalkStack traverses every file of the pass in depth-first order, calling
+// fn with each node and the stack of its ancestors (stack[0] is the
+// *ast.File, stack[len(stack)-1] is n itself).
+func (p *Pass) WalkStack(fn func(n ast.Node, stack []ast.Node)) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			fn(n, stack)
+			return true
+		})
+	}
+}
+
+// directivePrefix introduces the repository's analysis annotations
+// ("//compose:noalloc", "//compose:hotpath", ...).
+const directivePrefix = "//compose:"
+
+// HasPackageDirective reports whether any comment in the package carries
+// the given //compose: directive (by convention it sits above the package
+// clause of the package's doc file).
+func (p *Pass) HasPackageDirective(name string) bool {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isDirective(c.Text, name) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// FuncDirective reports whether the function's doc comment carries the
+// given //compose: directive.
+func FuncDirective(decl *ast.FuncDecl, name string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if isDirective(c.Text, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDirective reports whether a raw comment line is exactly the named
+// //compose: directive (trailing explanation after a space is allowed).
+func isDirective(text, name string) bool {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	return rest == name || strings.HasPrefix(rest, name+" ")
+}
+
+// NamedFrom reports whether t (after unwrapping aliases) is the named type
+// pkgSuffix.name, where pkgSuffix is matched against the end of the
+// defining package's import path ("internal/mvar" matches both
+// "oestm/internal/mvar" and a test fixture's copy). Generic instantiations
+// match their origin name (mvar.Var[T] is named "Var").
+func NamedFrom(t types.Type, pkgSuffix, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
+}

@@ -1,0 +1,159 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its findings against // want comments, mirroring (a useful subset of)
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of Go files, conventionally
+// testdata/src/<name> next to the analyzer's own test. Every line on
+// which the analyzer must report carries a trailing comment of the form
+//
+//	x = y // want "regexp"
+//
+// with one Go-quoted regular expression per expected diagnostic on that
+// line. The fixture fails the test if a diagnostic has no matching want
+// on its line, or a want goes unmatched — so every fixture pins both its
+// true positives and (by the absence of wants) its tricky negatives.
+//
+// Fixtures live under testdata, so `go build ./...` and `go vet ./...`
+// never see their deliberate contract violations; they are still fully
+// type-checked here, and may import this module's real packages
+// (oestm/internal/mvar, oestm/internal/stm, ...).
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"oestm/internal/analysis"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture directory, applies the analyzer, and compares
+// its diagnostics against the fixtures' // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtureDirs ...string) {
+	t.Helper()
+	for _, dir := range fixtureDirs {
+		t.Run(dir, func(t *testing.T) {
+			t.Helper()
+			runOne(t, a, dir)
+		})
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := analysis.LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := pkg.Run(a)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if w := findWant(wants, pos.Filename, pos.Line, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// findWant returns the first unmatched expectation on (file, line) whose
+// pattern matches msg.
+func findWant(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans every comment of the fixture for // want markers.
+func collectWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitQuoted(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s: malformed want comment: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted parses a sequence of space-separated Go string literals.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected quoted pattern, found %q", s)
+		}
+		// Find the end of the literal by scanning for the closing quote.
+		end := -1
+		if s[0] == '`' {
+			if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+				end = i + 2
+			}
+		} else {
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i + 1
+					break
+				}
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		lit, err := strconv.Unquote(s[:end])
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", s[:end], err)
+		}
+		out = append(out, lit)
+		s = s[end:]
+	}
+}

@@ -1,0 +1,142 @@
+// Package causeclass statically pins the abort-classification contract
+// from the contention-management layer (PR 3): every conflict site names
+// the concrete, typed reason it aborts for.
+//
+// The per-cause telemetry (Stats.AbortsByCause) and the contention
+// managers' policy decisions are only as good as the classification at
+// the abort sites. The engines' 20+ sites are pinned dynamically by
+// per-engine TestConflictCauses table tests; this analyzer makes the same
+// contract a build error for every present and future site:
+//
+//   - stm.Abort(cause) and stm.ConflictOf(cause) must receive a named
+//     stm.ConflictCause constant — not CauseUnknown (the "I didn't
+//     classify this" reserved zero value), not a computed variable, and
+//     not a numeric conversion that bypasses the named constants;
+//   - stm.Conflict(reason) — the user-level explicit abort — must receive
+//     a non-empty constant string: the reason is a static description of
+//     the conflict class, and computed strings would both defeat that and
+//     allocate on the retry hot path.
+//
+// The stm package itself (and the oestm facade, which forwards verbatim)
+// is exempt: the Atomic driver legitimately re-raises recorded causes it
+// receives as values, and the facade's wrappers are checked at their call
+// sites instead.
+package causeclass
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"oestm/internal/analysis"
+)
+
+// Analyzer flags abort sites that fail to classify their conflict cause.
+var Analyzer = &analysis.Analyzer{
+	Name: "causeclass",
+	Doc:  "require a concrete typed ConflictCause (never CauseUnknown or a computed value) at every abort site",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if exemptPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.WalkStack(func(n ast.Node, _ []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 1 {
+			return
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || !stmAPI(fn.Pkg().Path()) {
+			return
+		}
+		switch fn.Name() {
+		case "Abort", "ConflictOf":
+			checkCause(pass, call.Args[0], fn.Name())
+		case "Conflict":
+			checkReason(pass, call.Args[0])
+		}
+	})
+	return nil
+}
+
+// exemptPkg reports whether the package legitimately handles causes as
+// values: the stm driver itself and the re-exporting facade.
+func exemptPkg(path string) bool {
+	return path == "oestm" || path == "internal/stm" || strings.HasSuffix(path, "/internal/stm")
+}
+
+// stmAPI reports whether path is a package whose Abort/ConflictOf/
+// Conflict functions carry the classification contract: the stm package
+// and the oestm facade that forwards to it.
+func stmAPI(path string) bool {
+	return path == "oestm" || path == "internal/stm" || strings.HasSuffix(path, "/internal/stm")
+}
+
+// calleeFunc resolves the called function object, or nil for indirect
+// calls, conversions, and builtins.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkCause validates the ConflictCause argument of Abort/ConflictOf.
+func checkCause(pass *analysis.Pass, arg ast.Expr, callee string) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok {
+		return
+	}
+	if tv.Value == nil {
+		pass.Reportf(arg.Pos(), "%s must be given a named ConflictCause constant, not a computed value; classify the conflict site", callee)
+		return
+	}
+	if v, ok := constant.Uint64Val(tv.Value); ok && v == 0 {
+		pass.Reportf(arg.Pos(), "%s must not be called with CauseUnknown; classify the conflict site with a concrete cause", callee)
+		return
+	}
+	if !namedConstRef(pass, arg) {
+		pass.Reportf(arg.Pos(), "%s argument must refer to a named ConflictCause constant, not a numeric conversion", callee)
+	}
+}
+
+// namedConstRef reports whether arg is (modulo parentheses) a reference
+// to a declared constant.
+func namedConstRef(pass *analysis.Pass, arg ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	_, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	return ok
+}
+
+// checkReason validates the diagnostic string of the user-level Conflict.
+func checkReason(pass *analysis.Pass, arg ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok {
+		return
+	}
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "Conflict reason must be a constant string naming the conflict class (computed reasons allocate on the retry path)")
+		return
+	}
+	if constant.StringVal(tv.Value) == "" {
+		pass.Reportf(arg.Pos(), "Conflict reason must be a non-empty description of the conflict class")
+	}
+}

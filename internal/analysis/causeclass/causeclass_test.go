@@ -1,0 +1,12 @@
+package causeclass_test
+
+import (
+	"testing"
+
+	"oestm/internal/analysis/analysistest"
+	"oestm/internal/analysis/causeclass"
+)
+
+func TestCauseclass(t *testing.T) {
+	analysistest.Run(t, causeclass.Analyzer, "testdata/src/a")
+}

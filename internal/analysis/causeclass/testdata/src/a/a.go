@@ -1,0 +1,33 @@
+// Package a exercises causeclass: every abort site must carry a named,
+// concrete ConflictCause (and explicit Conflict calls a static reason).
+package a
+
+import (
+	"fmt"
+
+	"oestm/internal/stm"
+)
+
+// myCause shows that locally named constants are first-class causes.
+const myCause = stm.CauseElasticWindow
+
+func bad(c stm.ConflictCause, why string) {
+	stm.Abort(stm.CauseUnknown)          // want "must not be called with CauseUnknown"
+	stm.Abort(c)                         // want "not a computed value"
+	stm.Abort(stm.ConflictCause(3))      // want "named ConflictCause constant, not a numeric conversion"
+	_ = stm.ConflictOf(c)                // want "not a computed value"
+	_ = stm.ConflictOf(stm.CauseUnknown) // want "must not be called with CauseUnknown"
+	stm.Conflict(why)                    // want "must be a constant string"
+	stm.Conflict(fmt.Sprintf("%d", 7))   // want "must be a constant string"
+	stm.Conflict("")                     // want "must be a non-empty description"
+}
+
+func good() {
+	stm.Abort(stm.CauseLockBusy)
+	stm.Abort(myCause)
+	stm.Abort((stm.CauseReadValidation)) // parenthesised constants still count
+	_ = stm.ConflictOf(stm.CauseCommitValidation)
+	stm.Conflict("traversal window moved")
+	const staticReason = "exclusion pair present"
+	stm.Conflict(staticReason)
+}

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked analysis target. One Fset is
+// shared by every package of a Load call.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	Build     *BuildInfo
+}
+
+// Run applies one analyzer to the package and returns its findings sorted
+// by position.
+func (p *Package) Run(a *Analyzer) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Types,
+		TypesInfo: p.TypesInfo,
+		Build:     p.Build,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, p.Build.ImportPath, err)
+	}
+	return pass.Diagnostics(), nil
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -deps -export -json` in dir over the given
+// patterns and decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load lists the packages matching patterns (resolved relative to dir, a
+// directory inside the target module), type-checks each matched package
+// from source against the compiled export data of its dependencies, and
+// returns them ready for analysis. Test files are not loaded: the
+// contracts the suite enforces protect the shipped code, and the dynamic
+// checkers remain the authority over test-only code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listPkg
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", t.ImportPath)
+		}
+		pkg, err := typecheck(fset, imp, t.ImportPath, t.Dir, t.GoFiles, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadFixture loads a single directory of Go files (an analysistest
+// fixture under some testdata/src, invisible to `go list ./...`) as one
+// package. Imports are resolved against the enclosing module: the fixture
+// may import both the standard library and this module's packages.
+func LoadFixture(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, abs, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the fixture's imports through the enclosing module.
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path != "unsafe" && path != "C" {
+				imports[path] = true
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		patterns := make([]string, 0, len(imports))
+		for p := range imports {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(abs, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := exportImporter(fset, exports)
+	return typecheckParsed(fset, imp, filepath.Base(abs), abs, goFiles, files, exports)
+}
+
+// exportImporter returns a go/types importer that reads gc export data
+// through the import path -> export file map produced by `go list
+// -export`.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// LoadVetPackage type-checks one package from the coordinates a `go vet
+// -vettool` config supplies: pre-resolved (possibly absolute) file names
+// and an import path -> export data map.
+func LoadVetPackage(importPath, dir string, goFiles []string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	return typecheck(fset, imp, importPath, dir, goFiles, exports)
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string, exports map[string]string) (*Package, error) {
+	files, err := parseFiles(fset, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	return typecheckParsed(fset, imp, importPath, dir, goFiles, files, exports)
+}
+
+func typecheckParsed(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string, files []*ast.File, exports map[string]string) (*Package, error) {
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	abs := make([]string, len(goFiles))
+	for i, n := range goFiles {
+		if filepath.IsAbs(n) {
+			abs[i] = n
+		} else {
+			abs[i] = filepath.Join(dir, n)
+		}
+	}
+	return &Package{
+		Fset:      fset,
+		Files:     files,
+		Types:     pkg,
+		TypesInfo: info,
+		Build: &BuildInfo{
+			Dir:         dir,
+			ImportPath:  importPath,
+			GoFiles:     abs,
+			PackageFile: exports,
+		},
+	}, nil
+}

@@ -1,0 +1,160 @@
+// Package framecapture protects the pre-bound-frame idiom that keeps the
+// repository's hot paths allocation-free (PRs 1 and 5).
+//
+// Every per-operation code path — the eec elementary/composed operations,
+// the store request frames, the server's request loop — binds its
+// transaction closures once, at frame construction, and parameterises
+// them through frame fields; nothing closure-shaped is created per
+// operation. The AllocsPerRun regression tests pin the outcome, but only
+// for the paths they exercise; this analyzer pins the idiom itself at
+// every site, in every package that declares itself hot with a
+// //compose:hotpath directive (by convention in its doc.go).
+//
+// In such packages, for closures whose type is a transaction body (any
+// func type with an stm.Tx parameter), framecapture reports:
+//
+//   - a closure literal created inside a for/range loop and passed
+//     straight into a transaction runner: it is re-allocated every
+//     iteration, exactly what frame binding exists to avoid;
+//   - a closure literal capturing an enclosing loop's control variable:
+//     since Go 1.22 each iteration gets a fresh variable, so the capture
+//     forces a per-iteration heap allocation of variable and closure even
+//     when the literal itself is hoisted or stored.
+//
+// Binding closures once outside any loop — the opFrame constructor
+// pattern, or a one-shot literal like LinkedListSet.Elements — captures
+// ordinary locals and passes clean; the negative fixture pins this.
+package framecapture
+
+import (
+	"go/ast"
+	"go/types"
+
+	"oestm/internal/analysis"
+)
+
+// Analyzer flags per-iteration transaction closures in hot-path packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "framecapture",
+	Doc:  "in //compose:hotpath packages, forbid per-loop transaction closures and loop-variable capture",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.HasPackageDirective("hotpath") {
+		return nil
+	}
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, stack)
+		case *ast.FuncLit:
+			if txnBody(pass.TypeOf(n.Type)) {
+				checkLoopCapture(pass, n, stack)
+			}
+		}
+	})
+	return nil
+}
+
+// txnBody reports whether t is a transaction-body function type: a func
+// with a parameter of the stm.Tx interface type.
+func txnBody(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if analysis.NamedFrom(sig.Params().At(i).Type(), "internal/stm", "Tx") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCall flags closure literals handed to a transaction runner from
+// inside a loop.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok || !txnBody(paramType(sig, i)) {
+			continue
+		}
+		if loop := enclosingLoop(stack); loop != nil {
+			pass.Reportf(lit.Pos(), "transaction closure created inside a loop: it allocates every iteration; bind it once to a per-thread frame and parameterise through fields")
+		}
+	}
+}
+
+// paramType returns the type of the i-th argument's parameter, expanding
+// the variadic tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+	}
+	if i < params.Len() {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+// checkLoopCapture flags a transaction closure that captures a control
+// variable of any loop enclosing it.
+func checkLoopCapture(pass *analysis.Pass, lit *ast.FuncLit, stack []ast.Node) {
+	loopVars := map[types.Object]bool{}
+	for _, n := range stack[:len(stack)-1] {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						loopVars[obj] = true
+					}
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && loopVars[obj] {
+			pass.Reportf(id.Pos(), "transaction closure captures loop variable %s: each iteration heap-allocates the variable and the closure; pass it through a pre-bound frame field instead", id.Name)
+			loopVars[obj] = false // one report per variable per closure
+		}
+		return true
+	})
+}
+
+// enclosingLoop returns the innermost for/range statement on the stack,
+// or nil.
+func enclosingLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package framecapture_test
+
+import (
+	"testing"
+
+	"oestm/internal/analysis/analysistest"
+	"oestm/internal/analysis/framecapture"
+)
+
+func TestFramecapture(t *testing.T) {
+	analysistest.Run(t, framecapture.Analyzer,
+		"testdata/src/hot",
+		"testdata/src/frameidiom",
+		"testdata/src/cold",
+	)
+}

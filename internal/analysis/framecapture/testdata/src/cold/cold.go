@@ -1,0 +1,16 @@
+// Package cold has no //compose:hotpath directive: per-iteration
+// transaction closures are an accepted cost off the hot paths (test
+// harnesses, examples), so framecapture stays silent despite the loop
+// below.
+package cold
+
+import "oestm/internal/stm"
+
+func perIteration(th *stm.Thread, keys []int) {
+	for _, k := range keys {
+		_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+			_ = k
+			return nil
+		})
+	}
+}

@@ -1,0 +1,60 @@
+// Package frameidiom is the canonical negative fixture: the pre-bound
+// frame idiom from the eec collections (PR 1) and the store/server
+// request frames (PR 5). Closures are bound once per thread at frame
+// construction, capture only the frame, and are parameterised through
+// its fields — every operation, including ones issued inside loops,
+// reuses them. framecapture must pass this package clean.
+//
+//compose:hotpath
+package frameidiom
+
+import "oestm/internal/stm"
+
+type opCode int
+
+const (
+	opGet opCode = iota
+	opPut
+	numOps
+)
+
+// frame is a per-thread operation frame: parameters in, results out,
+// transaction closures bound once.
+type frame struct {
+	th  *stm.Thread
+	key int
+	res bool
+
+	fns [numOps]func(stm.Tx) error
+}
+
+// frameOf builds and binds the frame on first use. The closure literals
+// capture f — an ordinary local, bound outside any loop — which is
+// exactly the sanctioned pattern.
+func frameOf(th *stm.Thread) *frame {
+	f := &frame{th: th}
+	f.fns[opGet] = func(tx stm.Tx) error { f.res = f.key%2 == 0; return nil }
+	f.fns[opPut] = func(tx stm.Tx) error { f.res = true; return nil }
+	return f
+}
+
+// op runs one pre-bound operation; note the stored closure (not a
+// literal) passed to Atomic.
+func (f *frame) op(code opCode, key int) bool {
+	f.key = key
+	_ = f.th.Atomic(stm.Elastic, f.fns[code])
+	return f.res
+}
+
+// bulk issues operations in a loop: legal, because the loop passes the
+// frame's pre-bound closure instead of creating one.
+func bulk(th *stm.Thread, keys []int) int {
+	f := frameOf(th)
+	hits := 0
+	for _, k := range keys {
+		if f.op(opGet, k) {
+			hits++
+		}
+	}
+	return hits
+}

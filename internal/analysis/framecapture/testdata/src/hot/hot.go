@@ -1,0 +1,71 @@
+// Package hot exercises framecapture in a hot-path package: transaction
+// closures must not be created per loop iteration or capture loop
+// variables.
+//
+//compose:hotpath
+package hot
+
+import "oestm/internal/stm"
+
+func perIteration(th *stm.Thread, keys []int) {
+	for _, k := range keys {
+		key := k
+		_ = th.Atomic(stm.Elastic, func(tx stm.Tx) error { // want "transaction closure created inside a loop"
+			_ = key
+			return nil
+		})
+	}
+}
+
+func forLoop(th *stm.Thread, n int) {
+	for i := 0; i < n; i++ {
+		_ = th.Atomic(stm.Regular, func(tx stm.Tx) error { // want "transaction closure created inside a loop"
+			_ = i // want "captures loop variable i"
+			return nil
+		})
+	}
+}
+
+func storedCapture(keys []int) []func(stm.Tx) error {
+	var fns []func(stm.Tx) error
+	for _, k := range keys {
+		fns = append(fns, func(tx stm.Tx) error { // want "transaction closure created inside a loop"
+			_ = k // want "captures loop variable k"
+			return nil
+		})
+	}
+	return fns
+}
+
+// oneShot is the tricky negative: a transaction closure built once,
+// outside any loop, may capture ordinary locals (the result variable
+// pattern of LinkedListSet.Elements).
+func oneShot(th *stm.Thread) []int {
+	var out []int
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		out = append(out, 1)
+		return nil
+	})
+	return out
+}
+
+// loopInsideBody is fine the other way around: the loop lives inside the
+// closure, which itself is created once.
+func loopInsideBody(th *stm.Thread, keys []int) {
+	_ = th.Atomic(stm.Regular, func(tx stm.Tx) error {
+		for _, k := range keys {
+			_ = k
+		}
+		return nil
+	})
+}
+
+// nonTxnClosure: closures without an stm.Tx parameter are not transaction
+// bodies; per-iteration creation is the caller's own business.
+func nonTxnClosure(keys []int) []func() int {
+	var fns []func() int
+	for _, k := range keys {
+		fns = append(fns, func() int { return k })
+	}
+	return fns
+}

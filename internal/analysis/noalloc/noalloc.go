@@ -1,0 +1,198 @@
+// Package noalloc verifies //compose:noalloc annotations against the
+// compiler's escape analysis, giving the pinned zero-allocation paths a
+// compile-time counterpart to the AllocsPerRun regression tests.
+//
+// The repository's Figs. 6-8 results depend on the hot paths staying
+// allocation-free: pooled transaction frames, flat typed read/write sets,
+// raw word payloads, pre-bound operation closures. The AllocsPerRun tests
+// catch regressions dynamically, but only on the paths and inputs they
+// run, and only after the code executes. Annotating a function
+//
+//	//compose:noalloc
+//	func (l list) find(tx stm.Tx, key int) (prev, curr *lnode) { ... }
+//
+// asserts that its body contains no heap allocation at all. The analyzer
+// re-compiles the package with `go tool compile -m` (using the same
+// importcfg of compiled export data the package was type-checked
+// against, so no network or go build cache state is needed) and reports
+// every "escapes to heap" / "moved to heap" diagnostic that falls inside
+// an annotated function's body.
+//
+// Two honest limits, which keep the dynamic tests authoritative: the
+// check sees only the annotated body (an allocation inside a callee that
+// the compiler chose not to inline is charged to the callee, which should
+// carry its own annotation), and generic functions cannot be verified at
+// their definition (escape analysis runs per instantiation), so
+// annotating one is itself reported.
+package noalloc
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"oestm/internal/analysis"
+)
+
+// Analyzer verifies //compose:noalloc functions against escape analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "verify that //compose:noalloc functions contain no heap allocations (compiler escape analysis)",
+	Run:  run,
+}
+
+// region is the body extent of one annotated function.
+type region struct {
+	file      *token.File
+	name      string
+	from, to  int // line range, inclusive
+	reportPos token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	var regions []*region
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !analysis.FuncDirective(fd, "noalloc") {
+				continue
+			}
+			if generic(fd) {
+				pass.Reportf(fd.Name.Pos(), "//compose:noalloc on generic function %s cannot be verified: escape analysis runs per instantiation; annotate concrete callers instead", fd.Name.Name)
+				continue
+			}
+			if fd.Body == nil {
+				continue
+			}
+			regions = append(regions, &region{
+				file:      tf,
+				name:      fd.Name.Name,
+				from:      tf.Line(fd.Body.Pos()),
+				to:        tf.Line(fd.Body.End()),
+				reportPos: fd.Name.Pos(),
+			})
+		}
+	}
+	if len(regions) == 0 {
+		return nil
+	}
+	escapes, err := escapeDiagnostics(pass.Build)
+	if err != nil {
+		return err
+	}
+	for _, e := range escapes {
+		for _, r := range regions {
+			if sameFile(r.file.Name(), e.file) && e.line >= r.from && e.line <= r.to {
+				pass.Reportf(posIn(r.file, e.line, e.col), "heap allocation in //compose:noalloc function %s: %s", r.name, e.msg)
+			}
+		}
+	}
+	return nil
+}
+
+// generic reports whether the function or its receiver is parameterised.
+func generic(fd *ast.FuncDecl) bool {
+	if fd.Type.TypeParams != nil && len(fd.Type.TypeParams.List) > 0 {
+		return true
+	}
+	if fd.Recv == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Recv, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.IndexExpr, *ast.IndexListExpr:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapeLine matches one compiler diagnostic: file:line:col: message.
+var escapeLine = regexp.MustCompile(`^(.+?):(\d+):(\d+): (.*)$`)
+
+type escape struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+// escapeDiagnostics compiles the package with -m=1 and returns the heap
+// allocation diagnostics.
+func escapeDiagnostics(build *analysis.BuildInfo) ([]escape, error) {
+	cfg, err := os.CreateTemp("", "compose-vet-importcfg-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(cfg.Name())
+	if _, err := cfg.WriteString(build.ImportCfg()); err != nil {
+		cfg.Close()
+		return nil, err
+	}
+	cfg.Close()
+	obj, err := os.CreateTemp("", "compose-vet-*.o")
+	if err != nil {
+		return nil, err
+	}
+	obj.Close()
+	defer os.Remove(obj.Name())
+
+	args := []string{
+		"tool", "compile",
+		"-p", build.ImportPath,
+		"-importcfg", cfg.Name(),
+		"-m=1",
+		"-o", obj.Name(),
+	}
+	args = append(args, build.GoFiles...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = build.Dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go tool compile -m %s: %v\n%s", build.ImportPath, err, out.String())
+	}
+	var escapes []escape
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		escapes = append(escapes, escape{file: m[1], line: ln, col: col, msg: m[4]})
+	}
+	return escapes, nil
+}
+
+// sameFile compares compiler-reported and fileset paths, tolerating the
+// compiler emitting relative paths.
+func sameFile(fsetPath, compilerPath string) bool {
+	if fsetPath == compilerPath {
+		return true
+	}
+	return filepath.Base(fsetPath) == filepath.Base(compilerPath)
+}
+
+// posIn reconstructs a token.Pos for a (line, col) pair in file.
+func posIn(file *token.File, line, col int) token.Pos {
+	if line < 1 || line > file.LineCount() {
+		return file.Pos(0)
+	}
+	p := file.LineStart(line)
+	return p + token.Pos(col-1)
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"oestm/internal/analysis/analysistest"
+	"oestm/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, "testdata/src/a")
+}

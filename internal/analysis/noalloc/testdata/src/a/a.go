@@ -1,0 +1,59 @@
+// Package a exercises noalloc: //compose:noalloc annotations checked
+// against the compiler's escape analysis.
+package a
+
+// escapes violates its annotation: the local is moved to the heap
+// because its address outlives the frame.
+//
+//compose:noalloc
+func escapes() *int {
+	x := 42 // want "heap allocation in //compose:noalloc function escapes: moved to heap: x"
+	return &x
+}
+
+// sliceAlloc violates its annotation: a non-constant make escapes.
+//
+//compose:noalloc
+func sliceAlloc(n int) []int {
+	buf := make([]int, n) // want "heap allocation in //compose:noalloc function sliceAlloc"
+	return buf
+}
+
+// sum is genuinely alloc-free and must pass.
+//
+//compose:noalloc
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// cleanClosure uses a non-escaping func literal: stack-allocated, so
+// the annotation holds. This is the tricky negative.
+//
+//compose:noalloc
+func cleanClosure(xs []int) int {
+	double := func(x int) int { return 2 * x }
+	s := 0
+	for _, x := range xs {
+		s += double(x)
+	}
+	return s
+}
+
+// unannotated allocates freely; without the directive noalloc must stay
+// silent.
+func unannotated() *[]int {
+	buf := make([]int, 8)
+	return &buf
+}
+
+// identity is generic: escape analysis runs per instantiation, so the
+// annotation cannot be verified on the generic source.
+//
+//compose:noalloc
+func identity[T any](v T) T { // want "cannot be verified"
+	return v
+}

@@ -1,0 +1,42 @@
+// Package suite registers the repository's static STM-contract analyzers
+// in their canonical order. cmd/compose-vet runs exactly this suite, and
+// suite_test.go keeps `go test ./...` failing whenever the suite is not
+// clean over the whole module — the same gate CI applies.
+package suite
+
+import (
+	"oestm/internal/analysis"
+	"oestm/internal/analysis/causeclass"
+	"oestm/internal/analysis/framecapture"
+	"oestm/internal/analysis/noalloc"
+	"oestm/internal/analysis/varaccess"
+	"oestm/internal/analysis/wordcopy"
+)
+
+// All returns every analyzer of the compose-vet suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		varaccess.Analyzer,
+		wordcopy.Analyzer,
+		causeclass.Analyzer,
+		framecapture.Analyzer,
+		noalloc.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers, or false if any name is unknown.
+func ByName(names []string) ([]*analysis.Analyzer, bool) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

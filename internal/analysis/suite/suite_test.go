@@ -1,0 +1,49 @@
+package suite_test
+
+import (
+	"testing"
+
+	"oestm/internal/analysis"
+	"oestm/internal/analysis/suite"
+)
+
+// TestRepoClean runs every analyzer in the suite over the whole module
+// and requires zero diagnostics: the tree must satisfy its own static
+// contracts at all times. This is the in-process twin of the CI
+// compose-vet job.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and re-typechecks the whole module")
+	}
+	pkgs, err := analysis.Load("../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, a := range suite.All() {
+		for _, pkg := range pkgs {
+			diags, err := pkg.Run(a)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.Build.ImportPath, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s: %s", a.Name, pkg.Fset.Position(d.Pos), d.Message)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, ok := suite.ByName([]string{"varaccess", "noalloc"})
+	if !ok {
+		t.Fatal("ByName rejected known analyzer names")
+	}
+	if len(got) != 2 || got[0].Name != "varaccess" || got[1].Name != "noalloc" {
+		t.Fatalf("ByName returned wrong analyzers: %v", got)
+	}
+	if _, ok := suite.ByName([]string{"nope"}); ok {
+		t.Fatal("ByName accepted unknown analyzer name")
+	}
+}

@@ -1,0 +1,58 @@
+// Package a exercises varaccess: true positives (raw value loads/stores
+// of mvar word types) and tricky negatives (address-taking and accessor
+// method calls, which are the sanctioned API).
+package a
+
+import (
+	"oestm/internal/mvar"
+	"oestm/internal/stm"
+)
+
+type node struct {
+	key  int
+	next mvar.Var[node]
+	mark mvar.Flag
+	cnt  mvar.IntVar
+	w    mvar.Word
+}
+
+func sink(mvar.Flag) {}
+
+func bad(n, m *node, nodes []node) {
+	n.next = m.next    // want "raw access to mvar.Var value" "raw access to mvar.Var value"
+	w := n.w           // want "raw access to mvar.Word value"
+	_ = w.Meta()       // (method call on the copy is itself fine; the copy was the bug)
+	n.w = mvar.Word{}  // want "raw access to mvar.Word value"
+	sink(n.mark)       // want "raw access to mvar.Flag value"
+	v := nodes[0].next // want "raw access to mvar.Var value"
+	_ = v.Load()
+}
+
+func badLocal() {
+	var w mvar.Word
+	w2 := w // want "raw access to mvar.Word value"
+	_ = w2.Meta()
+}
+
+func good(n *node, tx stm.Tx) {
+	// The accessor API: &field handed to the stm layer, and the word
+	// types' own (pointer-receiver) methods.
+	p := stm.ReadPtr(tx, &n.next)
+	_ = p
+	stm.WritePtr(tx, &n.next, nil)
+	n.mark.Init(false)
+	_ = n.cnt.Load()
+	_ = n.w.Meta()
+
+	// Slices of typed variables are built in place and used by element
+	// address; neither the make nor the indexed accessor uses copy words.
+	tower := make([]mvar.Var[node], 4)
+	tower[0].Init(nil)
+	_ = &tower[1]
+
+	// A zero word may be declared and initialised in place before being
+	// shared.
+	var fresh mvar.Flag
+	fresh.Init(true)
+	_ = stm.ReadFlag(tx, &fresh)
+}

@@ -1,0 +1,144 @@
+// Package varaccess enforces the repository's most fundamental STM
+// contract: transactional memory words are operated on in place, through
+// the stm/mvar accessor API — they are never moved around as values.
+//
+// A field of type mvar.Word (or one of its typed views Var[T], IntVar,
+// Flag, AnyVar) is a versioned lock word plus payload cells; every
+// consistency argument in the engines assumes reads and writes of that
+// state go through the accessor protocol (stm.ReadPtr/WritePtr inside
+// transactions, the Init/Load methods around them). Code that loads or
+// stores such a field as a raw Go value — `x.next = y.next`, `w := n.word`
+// — bypasses versioning entirely: it can tear payloads, duplicate lock
+// words, and produce exactly the class of silent atomicity bug the PR 2
+// scenario suite caught dynamically in the skip lists.
+//
+// varaccess therefore flags every value-context use of an expression of
+// word type outside internal/mvar itself. The only permitted uses are
+// taking the address (&x.f, to hand the word to the stm API or a
+// constructor) and invoking the type's own methods (x.f.Init(...),
+// v.Load(), f.Word(); all mvar methods have pointer receivers, so these
+// operate in place). Assignments in either direction, copies into
+// locals, arguments passed by value, comparisons and returns are all
+// reported.
+package varaccess
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"oestm/internal/analysis"
+)
+
+// Analyzer flags raw value access to mvar word types outside
+// internal/mvar.
+var Analyzer = &analysis.Analyzer{
+	Name: "varaccess",
+	Doc:  "flag raw loads/stores of mvar.Word and its typed views outside the accessor API",
+	Run:  run,
+}
+
+// wordTypeNames are the named types of internal/mvar whose values carry a
+// versioned lock word.
+var wordTypeNames = []string{"Word", "Var", "IntVar", "Flag", "AnyVar"}
+
+// isWordType reports whether t is one of mvar's word types.
+func isWordType(t types.Type) bool {
+	for _, name := range wordTypeNames {
+		if analysis.NamedFrom(t, "internal/mvar", name) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	// The defining package implements the accessor API itself.
+	if pass.Pkg.Name() == "mvar" || strings.HasSuffix(pass.Pkg.Path(), "internal/mvar") {
+		return nil
+	}
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.CallExpr:
+		default:
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || !tv.IsValue() || !isWordType(tv.Type) {
+			return
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			// Skip the Sel half of a selector (the selector expression
+			// itself is checked) and defining occurrences.
+			if len(stack) >= 2 {
+				if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == id {
+					return
+				}
+			}
+			if pass.TypesInfo.Defs[id] != nil {
+				return
+			}
+		}
+		if allowedContext(pass, e, stack) {
+			return
+		}
+		pass.Reportf(e.Pos(), "raw access to %s value: words may only be used through &-address and the stm/mvar accessor API", typeLabel(tv.Type))
+	})
+	return nil
+}
+
+// allowedContext reports whether the word-typed value expression e is used
+// in one of the sanctioned ways: operand of &, or receiver of one of the
+// word type's own methods.
+func allowedContext(pass *analysis.Pass, e ast.Expr, stack []ast.Node) bool {
+	parent := parentOf(stack)
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.AND && unparen(p.X) == e {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if unparen(p.X) == e {
+			if sel, ok := pass.TypesInfo.Selections[p]; ok && sel.Kind() == types.MethodVal {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unparen strips any parenthesis layers around an expression.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// parentOf returns the nearest ancestor that is not a ParenExpr.
+func parentOf(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// typeLabel renders a word type as mvar.<Name> for diagnostics.
+func typeLabel(t types.Type) string {
+	named, _ := types.Unalias(t).(*types.Named)
+	if named == nil {
+		return t.String()
+	}
+	return "mvar." + named.Obj().Name()
+}

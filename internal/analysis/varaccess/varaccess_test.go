@@ -1,0 +1,15 @@
+package varaccess_test
+
+import (
+	"testing"
+
+	"oestm/internal/analysis/analysistest"
+	"oestm/internal/analysis/varaccess"
+)
+
+func TestVaraccess(t *testing.T) {
+	analysistest.Run(t, varaccess.Analyzer,
+		"testdata/src/a",
+		"testdata/src/mvarexempt",
+	)
+}

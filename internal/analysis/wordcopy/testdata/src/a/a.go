@@ -1,0 +1,88 @@
+// Package a exercises wordcopy: copying any struct that (transitively)
+// contains an mvar.Word forks a versioned lock word, so every by-value
+// path is flagged; pointer sharing and fresh composite construction are
+// the tricky negatives.
+package a
+
+import "oestm/internal/mvar"
+
+type node struct {
+	key  int
+	next mvar.Var[node]
+}
+
+type inner struct{ w mvar.Word }
+
+type nested struct {
+	meta  int
+	inner inner
+}
+
+type tower struct {
+	levels [4]inner
+}
+
+// plain contains no word: freely copyable.
+type plain struct{ a, b int }
+
+func byValueParam(n node) int { // want "parameter copies a value containing mvar.Word"
+	return n.key
+}
+
+func byValueResult() (n nested) { // want "result copies a value containing mvar.Word"
+	return
+}
+
+func (n node) valueReceiver() int { // want "receiver copies a value containing mvar.Word"
+	return n.key
+}
+
+func copies(p *node, ns []nested, ts *tower) {
+	local := *p // want "assignment copies a value containing mvar.Word"
+	_ = local.key
+	second := ns[0] // want "assignment copies a value containing mvar.Word"
+	_ = second.meta
+	level := ts.levels[1] // want "assignment copies a value containing mvar.Word"
+	_ = level.w.Meta()
+	var third nested
+	third = ns[1] // want "assignment copies a value containing mvar.Word"
+	_ = third.meta
+}
+
+func ranges(ns []nested) int {
+	sum := 0
+	for _, n := range ns { // want "range value copies a value containing mvar.Word"
+		sum += n.meta
+	}
+	return sum
+}
+
+func declCopy(p *nested) {
+	var d = *p // want "variable declaration copies a value containing mvar.Word"
+	_ = d.meta
+}
+
+// --- negatives ---
+
+func pointers(p *node, ns []nested) {
+	q := p // pointer copy: the word is shared, not forked
+	_ = q
+	r := &ns[0] // taking the element's address is the sanctioned idiom
+	_ = r
+	for i := range ns { // index-only range over word-carrying elements
+		_ = ns[i].meta
+	}
+}
+
+func fresh() *node {
+	n := node{key: 1} // composite construction is not a copy
+	return &n
+}
+
+func plainCopies(p plain, ps []plain) plain {
+	q := p // no word inside: all copies fine
+	for _, x := range ps {
+		q.a += x.a
+	}
+	return q
+}

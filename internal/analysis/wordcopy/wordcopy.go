@@ -1,0 +1,153 @@
+// Package wordcopy is the copylocks analogue for transactional memory
+// words: it flags operations that copy, by value, any type that
+// (transitively) contains an mvar.Word.
+//
+// A Word is a versioned lock word plus payload cells, identified by its
+// address — engines key read/write sets and lock ownership on *Word.
+// Copying a struct that embeds one (an eec node, a typed Var/Flag/IntVar,
+// a whole Queue header) forks the lock word: the copy carries a version
+// history no engine manages, writes to the original no longer invalidate
+// readers of the copy, and a later &copy.field hands the engines a word
+// that aliases nothing. The race detector cannot see this — the copy is
+// a plain memory read — so the only dynamic symptom is a missed conflict,
+// exactly the failure mode the paper's composition proofs exclude.
+//
+// Flagged, in the spirit of go vet's copylocks: declaring parameters,
+// results, or receivers of word-containing type; assignments and variable
+// initialisations whose right-hand side copies an existing word-carrying
+// value (dereferences, fields, elements); and range clauses whose value
+// variable copies word-carrying elements. Constructing a fresh value from
+// a composite literal is not a copy and stays legal.
+package wordcopy
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"oestm/internal/analysis"
+)
+
+// Analyzer flags by-value copies of types containing mvar.Word.
+var Analyzer = &analysis.Analyzer{
+	Name: "wordcopy",
+	Doc:  "flag by-value copies of structs containing an mvar.Word (copylocks for STM words)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, memo: map[types.Type]bool{}}
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				c.checkFieldList(n.Recv, "receiver")
+			}
+			c.checkFuncType(n.Type)
+		case *ast.FuncLit:
+			c.checkFuncType(n.Type)
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				c.checkCopy(rhs, "assignment")
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				c.checkCopy(v, "variable declaration")
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pass.TypeOf(n.Value); t != nil && c.containsWord(t) {
+					c.report(n.Value.Pos(), "range value", t)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				c.checkCopy(r, "return")
+			}
+		}
+	})
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	memo map[types.Type]bool
+}
+
+func (c *checker) checkFuncType(ft *ast.FuncType) {
+	c.checkFieldList(ft.Params, "parameter")
+	if ft.Results != nil {
+		c.checkFieldList(ft.Results, "result")
+	}
+}
+
+func (c *checker) checkFieldList(fl *ast.FieldList, what string) {
+	for _, f := range fl.List {
+		t := c.pass.TypeOf(f.Type)
+		if t != nil && c.containsWord(t) {
+			c.report(f.Type.Pos(), what, t)
+		}
+	}
+}
+
+// checkCopy flags e when evaluating it copies an existing word-carrying
+// value: a dereference, variable, field, or element. Freshly constructed
+// values (composite literals, conversions of them) and calls are not
+// copies made here — a function *returning* such a type is flagged at its
+// declaration.
+func (c *checker) checkCopy(e ast.Expr, what string) {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	if t := c.pass.TypeOf(e); t != nil {
+		if tv, ok := c.pass.TypesInfo.Types[e]; ok && !tv.IsValue() {
+			return
+		}
+		if c.containsWord(t) {
+			c.report(e.Pos(), what, t)
+		}
+	}
+}
+
+func (c *checker) report(pos token.Pos, what string, t types.Type) {
+	c.pass.Reportf(pos, "%s copies a value containing mvar.Word (%s); share words by pointer", what, types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
+}
+
+// containsWord reports whether a value of type t embeds an mvar.Word
+// (directly or through nested structs/arrays). Pointers, slices, and maps
+// reference words rather than carry them, so they are fine to copy.
+func (c *checker) containsWord(t types.Type) bool {
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	c.memo[t] = false // cut recursion on cyclic types
+	v := c.computeContainsWord(t)
+	c.memo[t] = v
+	return v
+}
+
+func (c *checker) computeContainsWord(t types.Type) bool {
+	if analysis.NamedFrom(t, "internal/mvar", "Word") {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c.containsWord(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return c.containsWord(u.Elem())
+	}
+	return false
+}

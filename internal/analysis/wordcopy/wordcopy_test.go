@@ -1,0 +1,12 @@
+package wordcopy_test
+
+import (
+	"testing"
+
+	"oestm/internal/analysis/analysistest"
+	"oestm/internal/analysis/wordcopy"
+)
+
+func TestWordcopy(t *testing.T) {
+	analysistest.Run(t, wordcopy.Analyzer, "testdata/src/a")
+}

@@ -46,4 +46,6 @@
 // (stm.Thread.EngineScratch) and child frames on a per-nest free list, so
 // Begin — including every attempt of the conflict-retry path — does not
 // allocate.
+//
+//compose:hotpath
 package core

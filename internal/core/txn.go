@@ -147,6 +147,8 @@ func writeWordTraced(t *txn, f *frame, w *mvar.Word, r mvar.Raw) {
 
 // readWord performs a transactional read on behalf of frame f (which may
 // belong to a nested child).
+//
+//compose:noalloc
 func (t *txn) readWord(f *frame, w *mvar.Word) mvar.Raw {
 	if i := t.writes.Find(w); i >= 0 {
 		// Read-own-write: the nest shares one write buffer.
@@ -194,6 +196,8 @@ func (t *txn) readWord(f *frame, w *mvar.Word) mvar.Raw {
 }
 
 // writeWord buffers a deferred update on behalf of frame f.
+//
+//compose:noalloc
 func (t *txn) writeWord(f *frame, w *mvar.Word, r mvar.Raw) {
 	if !f.written {
 		f.markWritten()
@@ -211,6 +215,8 @@ func (t *txn) writeWord(f *frame, w *mvar.Word, r mvar.Raw) {
 
 // extend slides the snapshot upper bound to the present after validating
 // every live frame; failure aborts the transaction.
+//
+//compose:noalloc
 func (t *txn) extend() {
 	now := t.tm.clock.Now()
 	if !t.validateFrames() {
@@ -220,6 +226,8 @@ func (t *txn) extend() {
 }
 
 // validateFrames checks every protected read of every live frame.
+//
+//compose:noalloc
 func (t *txn) validateFrames() bool {
 	for _, f := range t.frames {
 		if !t.frameValid(f) {

@@ -33,6 +33,8 @@ func newList() list {
 // find returns the rightmost node with key < target (prev) and its
 // successor (curr, with curr.key >= target). This is the read-only-prefix
 // traversal elastic transactions accelerate.
+//
+//compose:noalloc
 func (l list) find(tx stm.Tx, key int) (prev, curr *lnode) {
 	prev = l.head
 	curr = stm.ReadPtr(tx, &prev.next)
@@ -43,6 +45,7 @@ func (l list) find(tx stm.Tx, key int) (prev, curr *lnode) {
 	return prev, curr
 }
 
+//compose:noalloc
 func (l list) contains(tx stm.Tx, key int) bool {
 	_, curr := l.find(tx, key)
 	return curr.key == key

@@ -191,6 +191,8 @@ func (f *opFrame) bindComposed() {
 
 // listOp runs one elementary operation against a sorted list (the
 // LinkedListSet, or one HashSet bucket).
+//
+//compose:noalloc
 func (f *opFrame) listOp(code opCode, l list, key int) bool {
 	f.l, f.key = l, key
 	_ = f.th.Atomic(OpKind(f.th), f.listFns[code])
@@ -198,6 +200,8 @@ func (f *opFrame) listOp(code opCode, l list, key int) bool {
 }
 
 // skipOp runs one elementary operation against a skip list set.
+//
+//compose:noalloc
 func (f *opFrame) skipOp(code opCode, s *SkipListSet, key int) bool {
 	f.sl, f.key = s, key
 	_ = f.th.Atomic(OpKind(f.th), f.slFns[code])

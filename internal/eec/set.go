@@ -13,6 +13,8 @@
 // (the engine is carried by the stm.Thread). Under engines that support
 // the elastic model the elementary operations request Kind Elastic;
 // classic engines execute them as Regular.
+//
+//compose:hotpath
 package eec
 
 import "oestm/internal/stm"

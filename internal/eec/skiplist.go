@@ -64,6 +64,8 @@ func randomHeight(th *stm.Thread) int {
 // heap). Only the traversal reads are performed; callers re-read the
 // links they are about to modify (see add) so that the positions they
 // rely on are protected even under elastic semantics.
+//
+//compose:noalloc
 func (s *SkipListSet) find(tx stm.Tx, f *opFrame) {
 	key := f.key
 	curr := s.head
@@ -78,6 +80,8 @@ func (s *SkipListSet) find(tx stm.Tx, f *opFrame) {
 }
 
 // contains is the transactional body of Contains.
+//
+//compose:noalloc
 func (s *SkipListSet) contains(tx stm.Tx, f *opFrame) bool {
 	s.find(tx, f)
 	return f.succs[0].key == f.key

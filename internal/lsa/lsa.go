@@ -6,6 +6,8 @@
 //
 // LSA provides only Regular transactions; Kind Elastic is honoured as
 // Regular. Nesting is flat.
+//
+//compose:hotpath
 package lsa
 
 import (

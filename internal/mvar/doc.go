@@ -51,4 +51,6 @@
 // use the seqlock-style ReadConsistent (sample meta, load cells, re-sample
 // meta), so a consistent read never observes a torn (pointer, bits) pair
 // even though the two cells are loaded separately.
+//
+//compose:hotpath
 package mvar

@@ -47,11 +47,15 @@ type Worder interface{ Word() *Word }
 func (w *Word) Word() *Word { return w }
 
 // Meta returns the current lock word.
+//
+//compose:noalloc
 func (w *Word) Meta() uint64 { return w.meta.Load() }
 
 // LoadRaw returns the current raw payload without any consistency
 // protocol. Callers must hold the write lock, be the only goroutine able
 // to reach the word, or wrap the load in ReadConsistent-style validation.
+//
+//compose:noalloc
 func (w *Word) LoadRaw() Raw { return Raw{w.ptr.Load(), w.bits.Load()} }
 
 // ReadConsistent performs the standard optimistic read: sample the lock
@@ -60,6 +64,8 @@ func (w *Word) LoadRaw() Raw { return Raw{w.ptr.Load(), w.bits.Load()} }
 // discarded. On success it returns the payload and the version it was read
 // at. Because writers only touch the cells while the lock bit is set, an
 // unchanged unlocked meta brackets an untorn (pointer, bits) pair.
+//
+//compose:noalloc
 func (w *Word) ReadConsistent() (r Raw, version uint64, ok bool) {
 	m1 := w.meta.Load()
 	if Locked(m1) {
@@ -75,6 +81,8 @@ func (w *Word) ReadConsistent() (r Raw, version uint64, ok bool) {
 
 // TryLock attempts to acquire the write lock by CASing the expected
 // (unlocked) lock word to a locked word owned by the given thread slot.
+//
+//compose:noalloc
 func (w *Word) TryLock(owner int, expect uint64) bool {
 	if Locked(expect) {
 		return false
@@ -84,14 +92,20 @@ func (w *Word) TryLock(owner int, expect uint64) bool {
 
 // Unlock releases the write lock, publishing the given commit version.
 // The caller must hold the lock.
+//
+//compose:noalloc
 func (w *Word) Unlock(version uint64) { w.meta.Store(version << 1) }
 
 // Restore reverts the lock word to a previously sampled (unlocked) value.
 // Used when a transaction aborts after acquiring write locks.
+//
+//compose:noalloc
 func (w *Word) Restore(oldMeta uint64) { w.meta.Store(oldMeta) }
 
 // StoreLockedRaw installs a new raw payload. The caller must hold the
 // write lock (or be the only goroutine able to reach the word).
+//
+//compose:noalloc
 func (w *Word) StoreLockedRaw(r Raw) {
 	w.ptr.Store(r.p)
 	w.bits.Store(r.b)
@@ -106,13 +120,22 @@ func (w *Word) InitRaw(r Raw) {
 }
 
 // Locked reports whether a lock word is write-locked.
+//
+//compose:noalloc
 func Locked(meta uint64) bool { return meta&lockFlag != 0 }
 
 // Version extracts the commit version from an unlocked lock word.
+//
+//compose:noalloc
 func Version(meta uint64) uint64 { return meta >> 1 }
 
 // Owner extracts the owner thread slot from a locked lock word.
 func Owner(meta uint64) int { return int(meta >> 1) }
+
+// errNegativeOwner is pre-boxed: panicking with a package-level any
+// carries no allocation site, keeping lockWord (and TryLock, which
+// inlines it) verifiable by //compose:noalloc.
+var errNegativeOwner any = "mvar: negative lock owner slot"
 
 // lockWord builds a locked lock word owned by the given thread slot. See
 // the package comment: every non-negative int fits the 63-bit owner
@@ -120,7 +143,7 @@ func Owner(meta uint64) int { return int(meta >> 1) }
 // are rejected here rather than silently encoded.
 func lockWord(owner int) uint64 {
 	if owner < 0 {
-		panic("mvar: negative lock owner slot")
+		panic(errNegativeOwner)
 	}
 	return lockFlag | uint64(owner)<<1
 }
@@ -140,6 +163,8 @@ func RefRaw[T any](p *T) Raw { return Raw{p: (*byte)(unsafe.Pointer(p))} }
 func RefValue[T any](r Raw) *T { return (*T)(unsafe.Pointer(r.p)) }
 
 // FlagRaw encodes a bool into the scalar cell.
+//
+//compose:noalloc
 func FlagRaw(v bool) Raw {
 	if v {
 		return Raw{b: 1}
@@ -148,12 +173,18 @@ func FlagRaw(v bool) Raw {
 }
 
 // FlagValue decodes a bool from the scalar cell.
+//
+//compose:noalloc
 func FlagValue(r Raw) bool { return r.b != 0 }
 
 // IntRaw encodes an int64 into the scalar cell.
+//
+//compose:noalloc
 func IntRaw(n int64) Raw { return Raw{b: uint64(n)} }
 
 // IntValue decodes an int64 from the scalar cell.
+//
+//compose:noalloc
 func IntValue(r Raw) int64 { return int64(r.b) }
 
 // abox boxes an arbitrary interface value so it can live in the pointer
@@ -216,6 +247,8 @@ func (f *Flag) Init(v bool) { f.w.InitRaw(FlagRaw(v)) }
 
 // Load returns the current committed value without a consistency
 // protocol.
+//
+//compose:noalloc
 func (f *Flag) Load() bool { return FlagValue(f.w.LoadRaw()) }
 
 // IntVar is a typed transactional integer, stored in the word's scalar
@@ -231,6 +264,8 @@ func (v *IntVar) Init(n int64) { v.w.InitRaw(IntRaw(n)) }
 
 // Load returns the current committed value without a consistency
 // protocol.
+//
+//compose:noalloc
 func (v *IntVar) Load() int64 { return IntValue(v.w.LoadRaw()) }
 
 // ---------------------------------------------------------------------

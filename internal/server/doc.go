@@ -47,4 +47,6 @@
 // already buffered (pipelined work is completed, responses flushed)
 // and close. Idle connections close immediately. If the context expires
 // first, remaining connections are closed hard.
+//
+//compose:hotpath
 package server

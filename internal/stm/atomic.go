@@ -149,21 +149,29 @@ func WritePtr[T any](tx Tx, v *mvar.Var[T], p *T) {
 }
 
 // ReadFlag reads the transactional boolean v inside tx.
+//
+//compose:noalloc
 func ReadFlag(tx Tx, v *mvar.Flag) bool {
 	return mvar.FlagValue(tx.ReadWord(v.Word()))
 }
 
 // ReadInt reads the transactional integer v inside tx (allocation-free).
+//
+//compose:noalloc
 func ReadInt(tx Tx, v *mvar.IntVar) int64 {
 	return mvar.IntValue(tx.ReadWord(v.Word()))
 }
 
 // WriteInt buffers a new value for the transactional integer v inside tx.
+//
+//compose:noalloc
 func WriteInt(tx Tx, v *mvar.IntVar, n int64) {
 	tx.WriteWord(v.Word(), mvar.IntRaw(n))
 }
 
 // WriteFlag buffers a new value for the transactional boolean v inside tx.
+//
+//compose:noalloc
 func WriteFlag(tx Tx, v *mvar.Flag, b bool) {
 	tx.WriteWord(v.Word(), mvar.FlagRaw(b))
 }

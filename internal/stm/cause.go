@@ -99,6 +99,8 @@ var conflictPanics = func() [NumCauses]any {
 // unwinds to the outermost Atomic, which rolls back, records the cause,
 // consults the contention manager and retries. Engines call it from their
 // conflict sites; user code should prefer Conflict.
+//
+//compose:noalloc
 func Abort(cause ConflictCause) {
 	if int(cause) >= NumCauses {
 		cause = CauseUnknown
@@ -136,6 +138,8 @@ var conflictErrs = func() [NumCauses]*ConflictError {
 
 // ConflictOf returns the shared cause-carrying conflict error for a cause.
 // The result satisfies errors.Is(err, ErrConflict).
+//
+//compose:noalloc
 func ConflictOf(cause ConflictCause) error {
 	if int(cause) >= NumCauses {
 		cause = CauseUnknown

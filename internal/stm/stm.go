@@ -13,6 +13,8 @@
 // a nested (child) transaction — this is exactly the paper's notion of
 // composition: the child passes or drops its conflict information at its
 // commit depending on the engine (outheritance or not).
+//
+//compose:hotpath
 package stm
 
 import (

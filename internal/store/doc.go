@@ -30,4 +30,6 @@
 // transactions — the deliberately broken baseline the cross-shard
 // atomicity checkers are required to catch, extending the PR 2 pattern
 // to the store layer.
+//
+//compose:hotpath
 package store

@@ -11,6 +11,8 @@
 //
 // SwissTM provides only Regular transactions; Kind Elastic is honoured as
 // Regular. Nesting is flat.
+//
+//compose:hotpath
 package swisstm
 
 import (

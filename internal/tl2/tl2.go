@@ -9,6 +9,8 @@
 // classic-transaction instantiation of outheritance: a child's accesses
 // simply remain in the parent's read and write sets until the parent
 // commits.
+//
+//compose:hotpath
 package tl2
 
 import (

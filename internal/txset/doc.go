@@ -26,4 +26,6 @@
 // the entry slice and clears — but keeps — the spilled index, so the
 // retry path under contention reuses the same storage. This is where the
 // bulk of the seed's per-attempt allocations came from.
+//
+//compose:hotpath
 package txset

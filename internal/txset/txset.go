@@ -47,6 +47,8 @@ func (ws *WriteSet) Entries() []Write { return ws.entries }
 func (ws *WriteSet) At(i int) *Write { return &ws.entries[i] }
 
 // Find returns the index of the entry for w, or -1.
+//
+//compose:noalloc
 func (ws *WriteSet) Find(w *mvar.Word) int {
 	if ws.index != nil {
 		if i, ok := ws.index[w]; ok {
@@ -70,16 +72,28 @@ func (ws *WriteSet) Append(e Write) int {
 	if ws.index != nil {
 		ws.index[e.W] = i
 	} else if len(ws.entries) > spillAt {
-		ws.index = make(map[*mvar.Word]int, 2*spillAt)
-		for j := range ws.entries {
-			ws.index[ws.entries[j].W] = j
-		}
+		ws.spill()
 	}
 	return i
 }
 
+// spill builds the map index once the set outgrows linear scanning. It is
+// kept out of Append's inlined body (go:noinline) so the engines'
+// writeWord hot paths carry no allocation site: spilling happens at most
+// once per large transaction.
+//
+//go:noinline
+func (ws *WriteSet) spill() {
+	ws.index = make(map[*mvar.Word]int, 2*spillAt)
+	for j := range ws.entries {
+		ws.index[ws.entries[j].W] = j
+	}
+}
+
 // Reset empties the set, keeping the entry capacity and (cleared) index so
 // the next transaction on this frame does not allocate.
+//
+//compose:noalloc
 func (ws *WriteSet) Reset() {
 	ws.entries = ws.entries[:0]
 	if ws.index != nil {
