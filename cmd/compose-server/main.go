@@ -18,6 +18,14 @@
 // (the deliberately broken baseline of the cross-shard atomicity
 // checkers); pair it with -max-retries so torn structures cannot wedge a
 // connection.
+//
+// -wal-dir makes the store durable: every acknowledged mutation is
+// group-committed to a per-shard write-ahead log (internal/wal) before
+// the response leaves the server, and a restart pointed at the same
+// directory replays the log (and any -snapshot-every checkpoints) back
+// into the shards before accepting connections. -fsync=false trades
+// power-loss durability for throughput while remaining crash-safe
+// against SIGKILL.
 package main
 
 import (
@@ -45,6 +53,9 @@ func main() {
 		retries = flag.Int("max-retries", 0, "bound composed-request transaction retries (0 = unlimited; exhaustion returns a typed error)")
 		unsound = flag.Bool("unsound", false, "split composed operations into separate transactions (atomicity deliberately broken)")
 		drain   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget before connections are closed hard")
+		walDir  = flag.String("wal-dir", "", "write-ahead-log directory: makes the store durable, recovering its contents on start (empty = in-memory only)")
+		fsync   = flag.Bool("fsync", true, "fsync every WAL group commit (with -wal-dir; off, acknowledged writes survive crashes but not power loss)")
+		snap    = flag.Duration("snapshot-every", 0, "periodic WAL snapshot interval (with -wal-dir; 0 = none)")
 	)
 	flag.Parse()
 
@@ -54,17 +65,23 @@ func main() {
 		os.Exit(2)
 	}
 	srv, err := server.New(server.Config{
-		Addr:       *addr,
-		Engine:     eng.Name,
-		NewTM:      eng.New,
-		Shards:     *shards,
-		CM:         *cmName,
-		MaxRetries: *retries,
-		Unsound:    *unsound,
+		Addr:          *addr,
+		Engine:        eng.Name,
+		NewTM:         eng.New,
+		Shards:        *shards,
+		CM:            *cmName,
+		MaxRetries:    *retries,
+		Unsound:       *unsound,
+		WALDir:        *walDir,
+		Fsync:         *fsync,
+		SnapshotEvery: *snap,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "compose-server:", err)
 		os.Exit(2)
+	}
+	if rp := srv.Recovery(); rp != nil {
+		fmt.Println("compose-server:", rp.Summary())
 	}
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "compose-server:", err)

@@ -165,6 +165,16 @@ type Result struct {
 	// average() merges it across runs before recomputing percentiles.
 	// May be nil for hand-built Results.
 	Hist *stats.Histogram
+	// WAL is the durability axis of networked load results: "on" or
+	// "off" for server measurements, "-" (rendered for the empty string)
+	// for in-process runs, which have no serving-layer log. The counters
+	// are the server's WAL deltas over the measured window (records
+	// appended, flush batches, bytes written) — the measured cost of
+	// durability, reported next to the throughput it taxed.
+	WAL        string
+	WALAppends uint64
+	WALSyncs   uint64
+	WALBytes   uint64
 }
 
 // setLatency installs a measured histogram and its headline percentiles.

@@ -276,11 +276,19 @@ func RunLoad(cfg LoadConfig) (Result, error) {
 	}
 
 	delta := statsDelta(&s1, &s0)
+	walLabel := "off"
+	if ident.WALEnabled {
+		walLabel = "on"
+	}
 	r := Result{
 		Engine:        ident.Engine,
 		Scenario:      LoadScenario,
 		Structure:     fmt.Sprintf("store/%dshards", ident.Shards),
 		CM:            ident.CM,
+		WAL:           walLabel,
+		WALAppends:    satSub(s1.WALAppends, s0.WALAppends),
+		WALSyncs:      satSub(s1.WALSyncs, s0.WALSyncs),
+		WALBytes:      satSub(s1.WALBytes, s0.WALBytes),
 		Dist:          cfg.Dist.Label(),
 		Theta:         cfg.Dist.ZipfTheta(),
 		Threads:       cfg.Conns,

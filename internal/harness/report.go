@@ -127,6 +127,9 @@ func average(rs []Result) Result {
 			// means the invariant broke, and averaging could round a
 			// single violation out of sight.
 			out.Violations += r.Violations
+			out.WALAppends += r.WALAppends
+			out.WALSyncs += r.WALSyncs
+			out.WALBytes += r.WALBytes
 		}
 	}
 	out.OpsPerMs = stats.Mean(tp)
@@ -357,16 +360,21 @@ func FormatCauses(results []Result) string {
 // violations observed by scenario audits during the measured window plus
 // the end-state check; always 0 for the mix and for every transactional
 // engine), ops/commits/aborts (raw counts over the measured window,
-// summed across runs of a point), and one aborts_<cause> column per
+// summed across runs of a point), one aborts_<cause> column per
 // stm.ConflictCause (classified causes first, unknown last; they sum to
-// aborts).
+// aborts), and the durability axis: wal ("on"/"off" for server load
+// results, "-" for in-process runs) with
+// wal_appends/wal_syncs/wal_bytes, the server's write-ahead-log deltas
+// over the measured window (records appended, group-commit flush
+// batches, bytes written). The wal columns sit at the end so pre-WAL
+// consumers' positional indexes keep working.
 var CSVHeader = func() string {
 	cols := "scenario,structure,bulk_pct,engine,cm,dist,theta,threads,ops_per_ms,abort_rate,allocs_per_op," +
 		"lat_p50_us,lat_p95_us,lat_p99_us,lat_max_us,violations,ops,commits,aborts"
 	for _, c := range displayCauses() {
 		cols += ",aborts_" + c.Slug()
 	}
-	return cols
+	return cols + ",wal,wal_appends,wal_syncs,wal_bytes"
 }()
 
 // CSV renders results as comma-separated rows with a header, for
@@ -384,6 +392,11 @@ func CSV(results []Result) string {
 		for _, c := range displayCauses() {
 			fmt.Fprintf(&b, ",%d", r.AbortsByCause[c])
 		}
+		walLabel := r.WAL
+		if walLabel == "" {
+			walLabel = "-"
+		}
+		fmt.Fprintf(&b, ",%s,%d,%d,%d", walLabel, r.WALAppends, r.WALSyncs, r.WALBytes)
 		b.WriteByte('\n')
 	}
 	return b.String()

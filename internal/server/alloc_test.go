@@ -48,3 +48,47 @@ func TestEndToEndAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestEndToEndAllocsWAL re-pins the same budgets with durability on:
+// the WAL path — commit-lock handoff, record append into the batch
+// buffer, group-commit flush — must add zero allocations once the
+// buffers have grown. The only per-request costs stay the value boxes
+// of the writes themselves.
+func TestEndToEndAllocsWAL(t *testing.T) {
+	s := startServer(t, Config{
+		Engine: "oestm", NewTM: func() stm.TM { return core.New() },
+		Shards: 8, WALDir: t.TempDir(), Fsync: false,
+	})
+	c := dial(t, s)
+	keys := []int64{1, 2, 3, 4}
+	vals := []int64{10, 20, 30, 40}
+	if err := c.MPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		want float64
+		op   func() error
+	}{
+		{"ping", 0, func() error { return c.Ping() }},
+		{"get-hit", 0, func() error { _, _, err := c.Get(1); return err }},
+		{"put-overwrite", 1, func() error { _, err := c.Put(1, 99); return err }}, // the AnyVar value box
+		{"remove-miss", 0, func() error { _, _, err := c.Remove(999); return err }},
+		{"cam-refused", 0, func() error { _, err := c.CompareAndMove(1, 2, 12345); return err }},
+		{"mget", 0, func() error { _, _, err := c.MGet(keys); return err }},
+		{"mput-overwrite", 4, func() error { return c.MPut(keys, vals) }}, // one box per stored value
+	}
+	for _, tc := range cases {
+		if err := tc.op(); err != nil { // warm buffers, frames and the WAL batch
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := testing.AllocsPerRun(200, func() {
+			if err := tc.op(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got != tc.want {
+			t.Errorf("%s: %v allocs per round trip with WAL, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"oestm/internal/stats"
 	"oestm/internal/stm"
 	"oestm/internal/store"
+	"oestm/internal/wal"
 	"oestm/internal/wire"
 )
 
@@ -44,6 +45,17 @@ type Config struct {
 	Unsound bool
 	// MaxBody caps accepted frame bodies (0 = wire.MaxBody).
 	MaxBody int
+	// WALDir, when non-empty, makes the store durable: a per-shard
+	// write-ahead log in that directory (created if needed), recovered
+	// into the store before the listener opens and flushed on Shutdown.
+	WALDir string
+	// Fsync makes every WAL group commit fsync before acknowledging
+	// (WALDir only). Off, acknowledged writes survive process death but
+	// not power loss.
+	Fsync bool
+	// SnapshotEvery, when positive, writes a snapshot generation at that
+	// period (WALDir only) — a replay accelerator; logs are kept whole.
+	SnapshotEvery time.Duration
 }
 
 // Server is a running instance. Create with New, start with Start.
@@ -53,6 +65,15 @@ type Server struct {
 	tm     stm.TM
 	st     *store.Store
 	ln     net.Listener
+
+	// Durability (nil/zero without Config.WALDir): the log, the recovery
+	// that seeded the store, and the snapshotter's lifecycle.
+	wlog     *wal.Log
+	recovery *wal.Replay
+	snapStop chan struct{}
+	snapDone chan struct{}
+	walClose sync.Once
+	walErr   error
 
 	mu       sync.Mutex
 	conns    map[*conn]struct{}
@@ -80,14 +101,42 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBody == 0 {
 		cfg.MaxBody = wire.MaxBody
 	}
-	return &Server{
-		cfg:    cfg,
-		cmName: cmName,
-		tm:     cfg.NewTM(),
-		st:     store.New(store.Config{Shards: cfg.Shards, Unsound: cfg.Unsound}),
-		conns:  map[*conn]struct{}{},
-	}, nil
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = store.DefaultShards
+	}
+	var (
+		wlog     *wal.Log
+		recovery *wal.Replay
+	)
+	if cfg.WALDir != "" {
+		var err error
+		wlog, recovery, err = wal.Open(cfg.WALDir, wal.Options{Shards: shards, Fsync: cfg.Fsync})
+		if err != nil {
+			return nil, fmt.Errorf("server: open wal: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:      cfg,
+		cmName:   cmName,
+		tm:       cfg.NewTM(),
+		st:       store.New(store.Config{Shards: shards, Unsound: cfg.Unsound, WAL: wlog}),
+		wlog:     wlog,
+		recovery: recovery,
+		conns:    map[*conn]struct{}{},
+	}
+	if recovery != nil {
+		// Replay before the listener opens: the shards are fresh, no
+		// frame is live, and the one recovery thread sees them alone.
+		s.st.Recover(stm.NewThread(s.tm), recovery)
+	}
+	return s, nil
 }
+
+// Recovery returns the WAL replay that seeded the store at New (nil
+// without Config.WALDir): startup logging and the crash-recovery tests
+// read the torn-tail and rollback details from it.
+func (s *Server) Recovery() *wal.Replay { return s.recovery }
 
 // Store exposes the server's store (in-process harnesses and tests).
 func (s *Server) Store() *store.Store { return s.st }
@@ -101,7 +150,42 @@ func (s *Server) Start() error {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if s.wlog != nil && s.cfg.SnapshotEvery > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop()
+	}
 	return nil
+}
+
+// snapshotLoop writes a snapshot generation every SnapshotEvery on its
+// own thread. Errors don't stop the loop (snapshots accelerate replay;
+// the log alone stays sufficient) — the next tick retries.
+func (s *Server) snapshotLoop() {
+	defer close(s.snapDone)
+	th := stm.NewThread(s.tm)
+	ticker := time.NewTicker(s.cfg.SnapshotEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-ticker.C:
+			_ = s.st.Snapshot(th)
+		}
+	}
+}
+
+// closeWAL stops the snapshotter and flushes+closes the log, once.
+func (s *Server) closeWAL() error {
+	s.walClose.Do(func() {
+		if s.snapStop != nil {
+			close(s.snapStop)
+			<-s.snapDone
+		}
+		s.walErr = s.wlog.Close() // nil-receiver safe
+	})
+	return s.walErr
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -155,7 +239,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		// Every handler has returned, so no appends are in flight: the
+		// final flush drains whatever the last group commits buffered.
+		return s.closeWAL()
 	case <-ctx.Done():
 		s.mu.Lock()
 		for c := range s.conns {
@@ -170,7 +256,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// than hang past the caller's deadline forever.
 		select {
 		case <-done:
+			_ = s.closeWAL()
 		case <-time.After(time.Second):
+			// Handlers may still be live; closing the log under them
+			// would turn in-flight appends into spurious I/O errors, so
+			// the log is left to the process exit (its contents are
+			// already written by each acknowledged request's Sync).
 		}
 		return ctx.Err()
 	}
@@ -218,10 +309,15 @@ func (cs *connStats) mergeInto(p *wire.StatsPayload) {
 // deltas (harness.RunLoad) monotone. Lock order everywhere: s.mu, then
 // a connStats.mu; the request path's publish takes only the latter.
 func (s *Server) statsPayload(p *wire.StatsPayload) {
+	ws := s.wlog.Stats() // zero on nil receiver
 	*p = wire.StatsPayload{
-		Engine: s.cfg.Engine,
-		CM:     s.cmName,
-		Shards: s.st.Shards(),
+		Engine:     s.cfg.Engine,
+		CM:         s.cmName,
+		Shards:     s.st.Shards(),
+		WALEnabled: s.wlog.Enabled(),
+		WALAppends: ws.Appends,
+		WALSyncs:   ws.Syncs,
+		WALBytes:   ws.Bytes,
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -415,6 +511,16 @@ func (c *conn) serve(dst []byte) []byte {
 	case wire.OpPing:
 		if c.srv.draining.Load() {
 			return wire.AppendError(dst, wire.ErrShuttingDown, "draining")
+		}
+	}
+	// A WAL I/O error is sticky (the log refuses everything after its
+	// first failure): acknowledged-but-not-durable must never happen, so
+	// mutations report the typed durability error instead of success.
+	// Reads keep serving — the in-memory state is intact.
+	if err := c.fr.WALErr(); err != nil {
+		switch c.req.Op {
+		case wire.OpPut, wire.OpRemove, wire.OpCompareAndMove, wire.OpMPut:
+			return wire.AppendError(dst, wire.ErrDurability, err.Error())
 		}
 	}
 	return wire.AppendResponse(dst, c.req.Op, r)

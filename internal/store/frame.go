@@ -3,6 +3,7 @@ package store
 import (
 	"oestm/internal/eec"
 	"oestm/internal/stm"
+	"oestm/internal/wal"
 )
 
 // Frame is the per-connection (per-thread) operation context of a Store:
@@ -41,6 +42,18 @@ type Frame struct {
 	moved      bool
 
 	mgetFn, mputFn, camFn func(stm.Tx) error
+
+	// WAL scratch (reused across operations so the logging path stays
+	// allocation-free once grown): the sorted unique participant shards
+	// of the composed operation in flight, the per-participant sync
+	// targets, and the composition's effect list.
+	wShards []int
+	wSeqs   []uint64
+	effects []wal.Effect
+	// walErr is the sticky first log I/O error observed by this frame:
+	// once set, mutations this frame acknowledged may not be durable and
+	// the server reports the failure instead of success (see WALErr).
+	walErr error
 }
 
 // NewFrame binds a frame for th. One frame per connection: the server
@@ -113,15 +126,62 @@ func (f *Frame) Get(key int64) (int64, bool) {
 }
 
 // Put stores val under key, reporting whether the key already existed —
-// one single-shard elastic transaction.
+// one single-shard elastic transaction. With a WAL the transaction runs
+// under the shard's commit lock, the put record is appended there (so
+// log order equals commit order), and Put returns only after group
+// commit made the record durable.
 func (f *Frame) Put(key, val int64) bool {
+	w := f.st.wal
+	if w == nil {
+		return f.putRaw(key, val)
+	}
+	sh := f.st.ShardOf(key)
+	w.Lock(sh)
+	existed := f.putRaw(key, val)
+	seq := w.AppendPut(sh, key, val)
+	w.Unlock(sh)
+	if err := w.Sync(sh, seq); err != nil && f.walErr == nil {
+		f.walErr = err
+	}
+	return existed
+}
+
+// putRaw is the unlogged put: the bare transaction, used directly when
+// there is no WAL and inside sound composed bodies (the enclosing
+// composition logs once, as one intent — and already holds the shard's
+// commit lock, so the logging wrapper would self-deadlock).
+func (f *Frame) putRaw(key, val int64) bool {
 	_, existed := f.st.shard(key).Put(f.th, int(key), val)
 	return existed
 }
 
 // Remove deletes key, returning the removed value and whether the key
-// was present — one single-shard elastic transaction.
+// was present — one single-shard elastic transaction, logged and made
+// durable like Put when it removed something (a miss mutates nothing
+// and writes no record).
 func (f *Frame) Remove(key int64) (int64, bool) {
+	w := f.st.wal
+	if w == nil {
+		return f.removeRaw(key)
+	}
+	sh := f.st.ShardOf(key)
+	w.Lock(sh)
+	v, ok := f.removeRaw(key)
+	var seq uint64
+	if ok {
+		seq = w.AppendRemove(sh, key)
+	}
+	w.Unlock(sh)
+	if ok {
+		if err := w.Sync(sh, seq); err != nil && f.walErr == nil {
+			f.walErr = err
+		}
+	}
+	return v, ok
+}
+
+// removeRaw is the unlogged remove (see putRaw).
+func (f *Frame) removeRaw(key int64) (int64, bool) {
 	v, ok := f.st.shard(key).Remove(f.th, int(key))
 	if !ok {
 		return 0, false
@@ -129,6 +189,13 @@ func (f *Frame) Remove(key int64) (int64, bool) {
 	n, _ := v.(int64)
 	return n, true
 }
+
+// WALErr returns the frame's sticky first log I/O error (nil while
+// every acknowledged mutation reached the log). Once set, the store's
+// durability is broken — the log refuses all further appends with the
+// same error — and the server answers mutations with a typed
+// durability error instead of success.
+func (f *Frame) WALErr() error { return f.walErr }
 
 // MGet fills vals[i], oks[i] with the value and presence of keys[i] for
 // every key, as one atomic snapshot across all shards touched: a single
@@ -171,22 +238,60 @@ func (f *Frame) mgetBody(tx stm.Tx) {
 // nesting on the classic engines). vals must be at least len(keys) long.
 // In unsound mode every entry is stored in its own transaction. It
 // reports whether it committed (see MGet).
+//
+// With a WAL the whole composition is logged as one logical record in
+// two phases: the transaction runs under every participant shard's
+// commit lock, then — still under the locks — an intent record carrying
+// the full effect list is appended to each participant and a commit
+// marker to the coordinator (the lowest participant index). Replay
+// applies the effects only when that evidence is complete, so a crash
+// can never surface half an MPut.
 func (f *Frame) MPut(keys, vals []int64) bool {
 	f.keys, f.vals = keys, vals
 	var err error
 	if f.st.unsound {
-		f.unsound(f.mputBody)
-	} else {
+		f.unsound(f.mputUnsound)
+	} else if f.st.wal == nil {
 		err = f.atomic(f.kind, f.mputFn)
+	} else {
+		f.wShards = f.wShards[:0]
+		for _, k := range keys {
+			f.insertShard(f.st.ShardOf(k))
+		}
+		f.lockShards()
+		err = f.atomic(f.kind, f.mputFn)
+		if err == nil {
+			f.effects = f.effects[:0]
+			for i, k := range keys {
+				f.effects = append(f.effects, wal.Effect{Shard: f.st.ShardOf(k), Key: k, Val: vals[i]})
+			}
+			f.logComposed()
+		}
+		f.unlockShards()
+		if err == nil {
+			f.syncShards()
+		}
 	}
 	f.keys, f.vals = nil, nil
 	return err == nil
 }
 
-// mputBody is the (possibly enclosed) body of MPut.
+// mputBody is the transactional body of sound MPut: unlogged puts — the
+// enclosing MPut logs the composition as one intent.
 func (f *Frame) mputBody() {
 	for i, k := range f.keys {
 		f.st.shard(k).Put(f.th, int(k), f.vals[i])
+	}
+}
+
+// mputUnsound is the split body of unsound MPut. The pieces go through
+// the logging Put wrapper, so with a WAL each piece is logged as an
+// independent single-shard record — a crash between pieces leaves the
+// tear on disk, which is exactly what the crashtest ablation asserts
+// the audits catch.
+func (f *Frame) mputUnsound() {
+	for i := range f.keys {
+		f.Put(f.keys[i], f.vals[i])
 	}
 }
 
@@ -205,15 +310,63 @@ func (f *Frame) CompareAndMove(from, to, expect int64) bool {
 	}
 	f.from, f.to, f.expect = from, to, expect
 	if f.st.unsound {
-		f.unsound(f.camBody)
-	} else if err := f.atomic(f.kind, f.camFn); err != nil {
-		return false
+		f.unsound(f.camUnsound)
+	} else if f.st.wal == nil {
+		if err := f.atomic(f.kind, f.camFn); err != nil {
+			return false
+		}
+	} else {
+		// Both shards' commit locks are taken up front — whether the
+		// move happens is only known inside the transaction — but a
+		// refused move mutates nothing and writes no record.
+		f.wShards = f.wShards[:0]
+		f.insertShard(f.st.ShardOf(from))
+		f.insertShard(f.st.ShardOf(to))
+		f.lockShards()
+		err := f.atomic(f.kind, f.camFn)
+		if err == nil && f.moved {
+			// The moved value is expect by construction (the move only
+			// happens when the source holds it), so the redo effects are
+			// concrete blind writes: remove(from), put(to, expect).
+			f.effects = f.effects[:0]
+			f.effects = append(f.effects,
+				wal.Effect{Remove: true, Shard: f.st.ShardOf(from), Key: from},
+				wal.Effect{Shard: f.st.ShardOf(to), Key: to, Val: expect})
+			f.logComposed()
+		}
+		f.unlockShards()
+		if err == nil && f.moved {
+			f.syncShards()
+		}
+		if err != nil {
+			return false
+		}
 	}
 	return f.moved
 }
 
-// camBody is the (possibly enclosed) body of CompareAndMove.
+// camBody is the transactional body of sound CompareAndMove: unlogged
+// elementary pieces — the enclosing operation logs the composition as
+// one intent (and holds the commit locks, so the logging wrappers would
+// self-deadlock here).
 func (f *Frame) camBody() {
+	f.moved = false
+	v, ok := f.Get(f.from)
+	if !ok || v != f.expect {
+		return
+	}
+	if _, occupied := f.Get(f.to); occupied {
+		return
+	}
+	f.removeRaw(f.from)
+	f.putRaw(f.to, v)
+	f.moved = true
+}
+
+// camUnsound is the split body of unsound CompareAndMove: the four
+// elementary pieces run as separate transactions through the logging
+// wrappers, so each logs its own record (see mputUnsound).
+func (f *Frame) camUnsound() {
 	f.moved = false
 	v, ok := f.Get(f.from)
 	if !ok || v != f.expect {
@@ -225,4 +378,63 @@ func (f *Frame) camBody() {
 	f.Remove(f.from)
 	f.Put(f.to, v)
 	f.moved = true
+}
+
+// insertShard adds sh to the frame's sorted unique participant set.
+func (f *Frame) insertShard(sh int) {
+	for i, s := range f.wShards {
+		if s == sh {
+			return
+		}
+		if s > sh {
+			f.wShards = append(f.wShards, 0)
+			copy(f.wShards[i+1:], f.wShards[i:])
+			f.wShards[i] = sh
+			return
+		}
+	}
+	f.wShards = append(f.wShards, sh)
+}
+
+// lockShards takes the participants' commit locks in ascending index
+// order — the one global order every multi-shard lock site uses
+// (Store.Snapshot included), so composed operations cannot deadlock.
+func (f *Frame) lockShards() {
+	for _, sh := range f.wShards {
+		f.st.wal.Lock(sh)
+	}
+}
+
+// unlockShards releases in reverse.
+func (f *Frame) unlockShards() {
+	for i := len(f.wShards) - 1; i >= 0; i-- {
+		f.st.wal.Unlock(f.wShards[i])
+	}
+}
+
+// logComposed appends the committed composition's two-phase record set
+// under the held commit locks: the intent (full effect list, each
+// effect tagged with its shard) on every participant, then the commit
+// marker on the coordinator — the lowest participant index, whose sync
+// target advances to the marker. The per-participant sync targets land
+// in f.wSeqs for syncShards.
+func (f *Frame) logComposed() {
+	w := f.st.wal
+	txid := w.NextTxID()
+	f.wSeqs = f.wSeqs[:0]
+	for _, sh := range f.wShards {
+		f.wSeqs = append(f.wSeqs, w.AppendIntent(sh, txid, f.effects))
+	}
+	f.wSeqs[0] = w.AppendCommit(f.wShards[0], txid)
+}
+
+// syncShards group-commits every participant through its sync target,
+// after the commit locks are released (wal.Log.Sync must not run under
+// them).
+func (f *Frame) syncShards() {
+	for i, sh := range f.wShards {
+		if err := f.st.wal.Sync(sh, f.wSeqs[i]); err != nil && f.walErr == nil {
+			f.walErr = err
+		}
+	}
 }

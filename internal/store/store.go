@@ -6,6 +6,8 @@ import (
 	"math/bits"
 
 	"oestm/internal/eec"
+	"oestm/internal/stm"
+	"oestm/internal/wal"
 )
 
 // DefaultShards is the shard count used when Config.Shards is zero.
@@ -23,6 +25,11 @@ type Config struct {
 	// transactions, deliberately breaking cross-shard atomicity (the
 	// checker-validation baseline; see the package comment).
 	Unsound bool
+	// WAL, when non-nil, makes every committed mutation durable: frames
+	// append to the shard's log under its commit lock and acknowledge
+	// only after group commit (see internal/wal). The log's shard count
+	// must equal the store's.
+	WAL *wal.Log
 }
 
 // Store is a sharded transactional key-value map: int64 keys hashed onto
@@ -32,6 +39,7 @@ type Store struct {
 	shards  []*eec.SkipListMap
 	shift   uint // key hash >> shift = shard index
 	unsound bool
+	wal     *wal.Log // nil = in-memory only
 }
 
 // shardMix is the Fibonacci hashing multiplier (2^64/φ): sequential keys
@@ -48,10 +56,14 @@ func New(cfg Config) *Store {
 	if n < 1 || n&(n-1) != 0 {
 		panic(fmt.Sprintf("store: shard count %d is not a power of two", n))
 	}
+	if cfg.WAL != nil && cfg.WAL.Shards() != n {
+		panic(fmt.Sprintf("store: wal has %d shards, store has %d", cfg.WAL.Shards(), n))
+	}
 	s := &Store{
 		shards:  make([]*eec.SkipListMap, n),
 		shift:   uint(64 - bits.Len(uint(n-1))),
 		unsound: cfg.Unsound,
+		wal:     cfg.WAL,
 	}
 	for i := range s.shards {
 		s.shards[i] = eec.NewSkipListMap()
@@ -84,4 +96,62 @@ func (s *Store) shard(key int64) *eec.SkipListMap {
 // protocol boundary.
 func ValidKey(key int64) bool {
 	return key != math.MinInt64 && key != math.MaxInt64
+}
+
+// WAL returns the store's log (nil for an in-memory store).
+func (s *Store) WAL() *wal.Log { return s.wal }
+
+// Recover replays a recovered log into the store's shards — fresh maps
+// only, before any frame serves requests. Replay order preserves each
+// key's per-shard commit order, and every surviving intent's effects
+// belong to a fully committed composition (wal.Replay.Apply), so the
+// recovered keyspace never shows a torn composition. th drives the
+// replay transactions; it is the caller's (the server boots one thread
+// for this).
+func (s *Store) Recover(th *stm.Thread, rp *wal.Replay) {
+	rp.Apply(
+		func(key, val int64) { s.shard(key).Put(th, int(key), val) },
+		func(key int64) { s.shard(key).Remove(th, int(key)) },
+	)
+}
+
+// Snapshot writes one snapshot generation through the store's log: it
+// takes every shard's commit lock at once (ascending, the same order
+// composed operations use), records each shard's log position, dumps
+// each shard's contents in one atomic read transaction, releases the
+// locks, and hands the cut to wal.Log.WriteSnapshots. Holding all the
+// commit locks means no mutation is mid-append anywhere, so a composed
+// operation is entirely inside or entirely outside the generation —
+// the property recovery's composition accounting relies on. A no-op
+// without a log.
+func (s *Store) Snapshot(th *stm.Thread) error {
+	w := s.wal
+	if w == nil {
+		return nil
+	}
+	n := len(s.shards)
+	seqs := make([]uint64, n)
+	entries := make([][]wal.Entry, n)
+	for i := 0; i < n; i++ {
+		w.Lock(i)
+	}
+	for i := 0; i < n; i++ {
+		seqs[i] = w.SeqOf(i)
+		entries[i] = dumpShard(th, s.shards[i])
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.Unlock(i)
+	}
+	return w.WriteSnapshots(seqs, entries)
+}
+
+// dumpShard reads one shard's full contents in one atomic snapshot.
+func dumpShard(th *stm.Thread, m *eec.SkipListMap) []wal.Entry {
+	var out []wal.Entry
+	m.Range(th, func(key int, val any) bool {
+		n, _ := val.(int64)
+		out = append(out, wal.Entry{Key: int64(key), Val: n})
+		return true
+	})
+	return out
 }

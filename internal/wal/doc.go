@@ -1,0 +1,76 @@
+// Package wal is the per-shard write-ahead log behind internal/store's
+// durability: every committed mutation is appended, at commit time, to
+// the log of the shard it touched, and a restart replays those records
+// into freshly built shards.
+//
+// # Record format
+//
+// Each record is framed as
+//
+//	u32 length | u32 crc32c(payload) | payload
+//
+// with a fixed-width big-endian payload:
+//
+//	kind    offset  fields
+//	put     0       kind u8 | seq u64 | key i64 | val i64
+//	remove  0       kind u8 | seq u64 | key i64
+//	intent  0       kind u8 | seq u64 | txid u64 | count u16 | effects
+//	commit  0       kind u8 | seq u64 | txid u64
+//
+// where each effect is op u8 (0 = put, 1 = remove) | shard u16 |
+// key i64 | val i64 (puts only). The encoding is canonical — every
+// valid byte string decodes to exactly one Record that re-encodes to
+// the same bytes — which is what the codec fuzzer pins.
+//
+// seq is a per-shard sequence number, strictly increasing within a
+// file. It is assigned under the shard's commit lock, which the store
+// holds across the shard's transaction as well, so log order equals
+// commit order per shard.
+//
+// # Group commit
+//
+// Appends go to an in-memory buffer under the shard's commit lock;
+// durability is a separate Sync(shard, seq) call made after the lock is
+// released. The first syncer becomes the flush leader: it swaps the
+// shard's buffer for an empty spare, writes the whole batch with one
+// write(2) (plus one fsync when enabled), and broadcasts the new
+// durable sequence — concurrently committing transactions that arrived
+// while the leader was writing ride the next batch. The steady-state
+// path allocates nothing once the two swap buffers have grown to the
+// batch size.
+//
+// # Cross-shard compositions
+//
+// A composed mutation (store MPut, CompareAndMove) is logged as one
+// logical record in two phases, mirroring tinykv's lock/write
+// column-family split: an intent record carrying the full effect list
+// is appended to every participant shard, then a commit marker is
+// appended to the coordinator (the lowest participant shard index) —
+// all while the store holds every participant's commit lock, so the
+// composition occupies one contiguous position in each participant's
+// log. Replay applies an intent's effects only when the commit marker
+// and every participant's intent survived; otherwise the composition is
+// rolled back by cutting each participant's log at its intent, and the
+// cut is propagated to a fixpoint so that no surviving record depends
+// on a discarded one. Replay therefore never materializes a torn
+// composition.
+//
+// # Snapshots
+//
+// Snapshots are replay accelerators: the store dumps every shard under
+// all commit locks at once (so a composition is entirely inside or
+// entirely outside the snapshot), the log is synced through the
+// snapshot sequences, and each shard's entries land in a snap file via
+// tmp+rename. Logs are never truncated by snapshotting — recovery from
+// snapshot plus log suffix must equal full-log replay, and the
+// recovery tests assert exactly that. Compaction (dropping the prefix a
+// snapshot covers) is future work.
+//
+// # Corruption
+//
+// Scanning stops at the first invalid record — truncated frame, CRC
+// mismatch, malformed payload, or sequence regression — and reports the
+// cut as a typed *CorruptError (shard, byte offset, last valid
+// sequence, reason). Reopening for appends truncates the file there, so
+// a torn tail can never precede live records.
+package wal

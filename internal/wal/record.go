@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind discriminates log records. See the package comment for the
+// payload layout of each kind.
+type Kind uint8
+
+// Record kinds. The zero value is invalid so a zeroed byte never
+// decodes as a record.
+const (
+	KindPut    Kind = 1 // single-shard put
+	KindRemove Kind = 2 // single-shard remove
+	KindIntent Kind = 3 // composed-op intent (full effect list)
+	KindCommit Kind = 4 // composed-op commit marker (coordinator only)
+)
+
+// String names the kind for errors and summaries.
+func (k Kind) String() string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindRemove:
+		return "remove"
+	case KindIntent:
+		return "intent"
+	case KindCommit:
+		return "commit"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Effect is one key mutation of a composed operation, tagged with the
+// shard it lands on so replay can route it without knowing the store's
+// hash function.
+type Effect struct {
+	Remove bool // false = put
+	Shard  int
+	Key    int64
+	Val    int64 // puts only; 0 for removes
+}
+
+// Record is one decoded log record. Key/Val carry KindPut and
+// KindRemove, TxID carries KindIntent and KindCommit, Effects carries
+// KindIntent.
+type Record struct {
+	Kind    Kind
+	Seq     uint64
+	Key     int64
+	Val     int64
+	TxID    uint64
+	Effects []Effect
+}
+
+// Frame and payload limits. MaxEffects comfortably covers the wire
+// protocol's per-request key limit (4096) plus slack.
+const (
+	frameHeaderSize = 8       // u32 length + u32 crc
+	MaxRecordSize   = 1 << 20 // payload bytes
+	MaxEffects      = 8192
+	maxShard        = 1 << 16 // Effect.Shard encodes as u16
+)
+
+// castagnoli is the CRC-32C table used for every checksum in the
+// package (records, meta, snapshots).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum is CRC-32C over b.
+//
+//compose:noalloc
+func checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// FormatError is the typed decode error of the record codec: every
+// malformed payload decodes to one (the fuzzer pins this).
+type FormatError struct {
+	Reason string
+}
+
+func (e *FormatError) Error() string { return "wal: bad record: " + e.Reason }
+
+func ferr(reason string) error { return &FormatError{Reason: reason} }
+
+// effect op bytes.
+const (
+	effPut    = 0
+	effRemove = 1
+)
+
+// AppendPayload appends the canonical encoding of r (frame excluded) to
+// dst. It is the inverse of DecodePayload.
+func AppendPayload(dst []byte, r *Record) []byte {
+	dst = append(dst, byte(r.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	switch r.Kind {
+	case KindPut:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(r.Key))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(r.Val))
+	case KindRemove:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(r.Key))
+	case KindIntent:
+		dst = binary.BigEndian.AppendUint64(dst, r.TxID)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Effects)))
+		for i := range r.Effects {
+			e := &r.Effects[i]
+			if e.Remove {
+				dst = append(dst, effRemove)
+				dst = binary.BigEndian.AppendUint16(dst, uint16(e.Shard))
+				dst = binary.BigEndian.AppendUint64(dst, uint64(e.Key))
+			} else {
+				dst = append(dst, effPut)
+				dst = binary.BigEndian.AppendUint16(dst, uint16(e.Shard))
+				dst = binary.BigEndian.AppendUint64(dst, uint64(e.Key))
+				dst = binary.BigEndian.AppendUint64(dst, uint64(e.Val))
+			}
+		}
+	case KindCommit:
+		dst = binary.BigEndian.AppendUint64(dst, r.TxID)
+	}
+	return dst
+}
+
+// DecodePayload parses one record payload into r, reusing r.Effects.
+// Every failure is a *FormatError; on success AppendPayload(nil, r)
+// reproduces b exactly.
+func DecodePayload(b []byte, r *Record) error {
+	r.Effects = r.Effects[:0]
+	r.Key, r.Val, r.TxID = 0, 0, 0
+	if len(b) < 9 {
+		return ferr("short header")
+	}
+	r.Kind = Kind(b[0])
+	r.Seq = binary.BigEndian.Uint64(b[1:])
+	if r.Seq == 0 {
+		return ferr("zero sequence")
+	}
+	b = b[9:]
+	switch r.Kind {
+	case KindPut:
+		if len(b) != 16 {
+			return ferr("put payload length")
+		}
+		r.Key = int64(binary.BigEndian.Uint64(b))
+		r.Val = int64(binary.BigEndian.Uint64(b[8:]))
+	case KindRemove:
+		if len(b) != 8 {
+			return ferr("remove payload length")
+		}
+		r.Key = int64(binary.BigEndian.Uint64(b))
+	case KindIntent:
+		if len(b) < 10 {
+			return ferr("intent payload length")
+		}
+		r.TxID = binary.BigEndian.Uint64(b)
+		count := int(binary.BigEndian.Uint16(b[8:]))
+		if count == 0 {
+			return ferr("intent without effects")
+		}
+		b = b[10:]
+		for i := 0; i < count; i++ {
+			if len(b) < 11 {
+				return ferr("effect truncated")
+			}
+			var e Effect
+			op := b[0]
+			e.Shard = int(binary.BigEndian.Uint16(b[1:]))
+			e.Key = int64(binary.BigEndian.Uint64(b[3:]))
+			switch op {
+			case effPut:
+				if len(b) < 19 {
+					return ferr("put effect truncated")
+				}
+				e.Val = int64(binary.BigEndian.Uint64(b[11:]))
+				b = b[19:]
+			case effRemove:
+				e.Remove = true
+				b = b[11:]
+			default:
+				return ferr("unknown effect op")
+			}
+			r.Effects = append(r.Effects, e)
+		}
+		if len(b) != 0 {
+			return ferr("intent trailing bytes")
+		}
+	case KindCommit:
+		if len(b) != 8 {
+			return ferr("commit payload length")
+		}
+		r.TxID = binary.BigEndian.Uint64(b)
+	default:
+		return ferr("unknown record kind")
+	}
+	return nil
+}
+
+// appendFrame appends the framed encoding of r (length, CRC, payload).
+func appendFrame(dst []byte, r *Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = AppendPayload(dst, r)
+	payload := dst[start+frameHeaderSize:]
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[start+4:], checksum(payload))
+	return dst
+}
+
+// CorruptError describes where and why a shard's log stopped being
+// trustworthy: scanning keeps everything before Off and discards the
+// rest. Seq is the last sequence number that survived.
+type CorruptError struct {
+	Shard  int
+	Off    int64
+	Seq    uint64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: shard %d corrupt at offset %d (last valid seq %d): %s",
+		e.Shard, e.Off, e.Seq, e.Reason)
+}

@@ -1,0 +1,386 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ShardState is one shard's recovered contents: the snapshot (if any),
+// the decoded log records, and how much of each survives.
+type ShardState struct {
+	// Snapshot holds the shard's snap-file entries (nil without one);
+	// SnapSeq is the log sequence the snapshot covers — records with
+	// Seq <= SnapSeq are already folded in and are skipped by Apply.
+	Snapshot []Entry
+	SnapSeq  uint64
+	// SnapCorrupt records a snap file that failed validation; the
+	// snapshot is then ignored and the full log replayed instead (logs
+	// are never truncated by snapshotting, so this loses nothing).
+	SnapCorrupt error
+
+	// Records are the log's decoded records, in file order. Only the
+	// first Keep of them survive: the rest were rolled back because a
+	// composition they belong to (or one they causally follow) did not
+	// fully commit before the crash.
+	Records []Record
+	Keep    int
+
+	// Torn describes why scanning the file stopped early (nil for a
+	// clean end); it is the typed cut-point error of the torn-tail
+	// contract.
+	Torn *CorruptError
+
+	// LastSeq is the sequence appends resume after; TruncateTo the file
+	// size Open keeps.
+	LastSeq    uint64
+	TruncateTo int64
+
+	offs []int64 // frame-start offset of each record
+	end  int64   // offset after the last parsed record
+}
+
+// Replay is the recovered state of a log directory, produced by Open or
+// Scan and applied to a store via Apply.
+type Replay struct {
+	Shards []ShardState
+	// Aborted lists the composition transaction ids rolled back at
+	// recovery (incomplete intent/commit evidence).
+	Aborted []uint64
+	// MaxTxID is the highest composition id seen anywhere in the log.
+	MaxTxID uint64
+}
+
+// scanOpts tunes scan for the recovery-equivalence tests.
+type scanOpts struct {
+	ignoreSnapshots bool
+}
+
+// Scan reads the log directory without opening it for appends: the same
+// recovery Open performs, reusable any number of times (recovery is
+// read-only, hence idempotent). The shard count comes from the meta
+// file.
+func Scan(dir string) (*Replay, error) {
+	shards, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	return scan(dir, shards, scanOpts{})
+}
+
+// ScanNoSnapshots is Scan with snap files ignored — the full-log replay
+// the snapshot-equivalence test compares against.
+func ScanNoSnapshots(dir string) (*Replay, error) {
+	shards, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	return scan(dir, shards, scanOpts{ignoreSnapshots: true})
+}
+
+// scan parses every shard file, decides which compositions committed,
+// and rolls incomplete ones back to a consistent cut.
+func scan(dir string, shards int, o scanOpts) (*Replay, error) {
+	rp := &Replay{Shards: make([]ShardState, shards)}
+	for i := range rp.Shards {
+		sh := &rp.Shards[i]
+		if !o.ignoreSnapshots {
+			entries, seq, err := readSnapshot(filepath.Join(dir, snapFileName(i)), i)
+			switch {
+			case err == nil:
+				sh.Snapshot, sh.SnapSeq = entries, seq
+			case os.IsNotExist(err):
+			default:
+				sh.SnapCorrupt = err
+			}
+		}
+		if err := scanShardFile(dir, i, shards, sh); err != nil {
+			return nil, err
+		}
+	}
+	resolveCompositions(rp)
+	for i := range rp.Shards {
+		finishShard(&rp.Shards[i])
+	}
+	return rp, nil
+}
+
+// scanShardFile parses shard i's log into sh, stopping at the first
+// invalid record (truncated frame, CRC mismatch, malformed payload,
+// non-increasing sequence, or an effect routed to a nonexistent shard).
+func scanShardFile(dir string, i, shards int, sh *ShardState) error {
+	data, err := os.ReadFile(filepath.Join(dir, shardFileName(i)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var (
+		off     int64
+		prevSeq uint64
+	)
+	cut := func(reason string) {
+		sh.Torn = &CorruptError{Shard: i, Off: off, Seq: prevSeq, Reason: reason}
+	}
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			cut("truncated frame header")
+			break
+		}
+		n := binary.BigEndian.Uint32(rest)
+		if n == 0 || n > MaxRecordSize {
+			cut("frame length out of range")
+			break
+		}
+		if len(rest) < frameHeaderSize+int(n) {
+			cut("truncated frame body")
+			break
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+int(n)]
+		if checksum(payload) != binary.BigEndian.Uint32(rest[4:]) {
+			cut("crc mismatch")
+			break
+		}
+		var r Record
+		if err := DecodePayload(payload, &r); err != nil {
+			cut(err.(*FormatError).Reason)
+			break
+		}
+		if r.Seq <= prevSeq {
+			cut("sequence not increasing")
+			break
+		}
+		if bad := badEffectShard(&r, shards); bad >= 0 {
+			cut(fmt.Sprintf("effect shard %d out of range", bad))
+			break
+		}
+		sh.Records = append(sh.Records, r)
+		sh.offs = append(sh.offs, off)
+		prevSeq = r.Seq
+		off += int64(frameHeaderSize) + int64(n)
+	}
+	sh.end = off
+	sh.Keep = len(sh.Records)
+	return nil
+}
+
+// badEffectShard returns the first out-of-range effect shard of an
+// intent, or -1.
+func badEffectShard(r *Record, shards int) int {
+	if r.Kind != KindIntent {
+		return -1
+	}
+	for i := range r.Effects {
+		if s := r.Effects[i].Shard; s < 0 || s >= shards {
+			return s
+		}
+	}
+	return -1
+}
+
+// compo gathers one composition's evidence across the shards.
+type compo struct {
+	txid     uint64
+	effects  []Effect
+	intentAt map[int]int // shard -> record index of its intent
+	commitAt int         // record index of the marker, -1 if unseen
+	commitSh int
+	cut      bool
+}
+
+// participants returns the unique effect shards (the coordinator is the
+// minimum).
+func (c *compo) participants() []int {
+	var out []int
+	for i := range c.effects {
+		s := c.effects[i].Shard
+		found := false
+		for _, p := range out {
+			if p == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// resolveCompositions decides which compositions committed and rolls
+// the rest back to a consistent cut. A composition counts as committed
+// only when its commit marker and the intent of every participant shard
+// are all within the surviving prefixes; anything less is rolled back
+// by cutting each participant's log at its intent. Cutting can strand
+// evidence of other compositions, so the rule iterates to a fixpoint —
+// prefixes only shrink, so it terminates. The fixpoint is what makes
+// the cut causally consistent: a record that survives never depends
+// (through log order on its shard) on one that was discarded.
+//
+// Intents at or below a shard's snapshot sequence are history — their
+// effects are inside the snapshot on every participant (snapshots are
+// taken under all commit locks at once, so a composition is entirely
+// inside or entirely outside one) — and take no part in the decision.
+func resolveCompositions(rp *Replay) {
+	compos := map[uint64]*compo{}
+	track := func(txid uint64) *compo {
+		c, ok := compos[txid]
+		if !ok {
+			c = &compo{txid: txid, intentAt: map[int]int{}, commitAt: -1}
+			compos[txid] = c
+		}
+		return c
+	}
+	for i := range rp.Shards {
+		sh := &rp.Shards[i]
+		for j := range sh.Records {
+			r := &sh.Records[j]
+			switch r.Kind {
+			case KindIntent:
+				if r.TxID > rp.MaxTxID {
+					rp.MaxTxID = r.TxID
+				}
+				if r.Seq <= sh.SnapSeq {
+					continue
+				}
+				c := track(r.TxID)
+				c.effects = r.Effects
+				c.intentAt[i] = j
+			case KindCommit:
+				if r.TxID > rp.MaxTxID {
+					rp.MaxTxID = r.TxID
+				}
+				if r.Seq <= sh.SnapSeq {
+					continue
+				}
+				c := track(r.TxID)
+				c.commitAt, c.commitSh = j, i
+			}
+		}
+	}
+
+	keep := make([]int, len(rp.Shards))
+	for i := range rp.Shards {
+		keep[i] = rp.Shards[i].Keep
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range compos {
+			if c.cut {
+				continue
+			}
+			complete := len(c.effects) > 0 && c.commitAt >= 0 && c.commitAt < keep[c.commitSh]
+			if complete {
+				for _, p := range c.participants() {
+					idx, ok := c.intentAt[p]
+					if !ok || idx >= keep[p] {
+						complete = false
+						break
+					}
+				}
+			}
+			if complete {
+				continue
+			}
+			c.cut = true
+			rp.Aborted = append(rp.Aborted, c.txid)
+			for sh, idx := range c.intentAt {
+				if idx < keep[sh] {
+					keep[sh] = idx
+					changed = true
+				}
+			}
+		}
+	}
+	for i := range rp.Shards {
+		rp.Shards[i].Keep = keep[i]
+	}
+}
+
+// finishShard derives the append-resume point and file cut from the
+// final surviving prefix.
+func finishShard(sh *ShardState) {
+	if sh.Keep < len(sh.Records) {
+		sh.TruncateTo = sh.offs[sh.Keep]
+	} else {
+		sh.TruncateTo = sh.end
+	}
+	sh.LastSeq = sh.SnapSeq
+	if sh.Keep > 0 {
+		if s := sh.Records[sh.Keep-1].Seq; s > sh.LastSeq {
+			sh.LastSeq = s
+		}
+	}
+}
+
+// Apply replays the recovered state: per shard, the snapshot entries,
+// then every surviving record past the snapshot — puts and removes
+// directly, a committed intent's effects routed to the shard they were
+// tagged with. Every intent inside a surviving prefix belongs to a
+// committed composition (resolveCompositions cut the others), so replay
+// never materializes a torn composition. Apply is read-only on the
+// Replay and can run any number of times (recovery idempotence).
+func (rp *Replay) Apply(put func(key, val int64), remove func(key int64)) {
+	for i := range rp.Shards {
+		sh := &rp.Shards[i]
+		for _, e := range sh.Snapshot {
+			put(e.Key, e.Val)
+		}
+		for j := 0; j < sh.Keep; j++ {
+			r := &sh.Records[j]
+			if r.Seq <= sh.SnapSeq {
+				continue
+			}
+			switch r.Kind {
+			case KindPut:
+				put(r.Key, r.Val)
+			case KindRemove:
+				remove(r.Key)
+			case KindIntent:
+				for k := range r.Effects {
+					e := &r.Effects[k]
+					if e.Shard != i {
+						continue
+					}
+					if e.Remove {
+						remove(e.Key)
+					} else {
+						put(e.Key, e.Val)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Summary renders a one-line human description of the recovery (for
+// compose-server startup logs and CI greps).
+func (rp *Replay) Summary() string {
+	var records, snaps, torn int
+	var firstTorn *CorruptError
+	for i := range rp.Shards {
+		sh := &rp.Shards[i]
+		records += sh.Keep
+		if sh.Snapshot != nil {
+			snaps++
+		}
+		if sh.Torn != nil {
+			torn++
+			if firstTorn == nil {
+				firstTorn = sh.Torn
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "wal: recovered %d shards: %d records, %d snapshots, %d compositions rolled back",
+		len(rp.Shards), records, snaps, len(rp.Aborted))
+	if torn > 0 {
+		fmt.Fprintf(&b, ", %d torn tails (first: %v)", torn, firstTorn)
+	}
+	return b.String()
+}

@@ -1,0 +1,441 @@
+// Recovery contracts: scanning is idempotent (replay twice = once), a
+// snapshot plus the log suffix replays to the same state as the full
+// log, torn tails and corrupt records cut to the last valid commit with
+// a typed error, and incomplete compositions roll back to a consistent
+// cut that never materializes half a composed operation.
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeWorkload populates a fresh 4-shard log with elementary and
+// composed operations, returning the directory and the expected final
+// contents.
+func writeWorkload(t *testing.T) (string, map[int64]int64) {
+	t.Helper()
+	const shards = 4
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, shards)
+	want := map[int64]int64{}
+	for i := int64(0); i < 120; i++ {
+		sh := int(i % shards)
+		if err := logPut(l, sh, i, i*2); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = i * 2
+		if i%9 == 0 {
+			if err := logRemove(l, sh, i); err != nil {
+				t.Fatal(err)
+			}
+			delete(want, i)
+		}
+		if i%13 == 0 {
+			from, to := 1000+i, 2000+i+1 // adjacent residues: distinct shards
+			shA, shB := int(from%shards), int(to%shards)
+			parts := []int{shA, shB}
+			if shA > shB {
+				parts[0], parts[1] = shB, shA
+			}
+			err := logComposed(l, parts, []Effect{
+				{Shard: shA, Key: from, Val: 5},
+				{Remove: true, Shard: shB, Key: to},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[from] = 5
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, want
+}
+
+func assertState(t *testing.T, got, want map[int64]int64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d keys, want %d", what, len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("%s: key %d = %d, want %d", what, k, got[k], v)
+		}
+	}
+}
+
+// TestRecoveryIdempotence: scanning the same directory any number of
+// times — and applying one Replay any number of times — yields the same
+// state; Open's truncation pass changes nothing a Scan can see.
+func TestRecoveryIdempotence(t *testing.T) {
+	dir, want := writeWorkload(t)
+	rp1, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertState(t, applied(rp1), want, "first scan")
+	assertState(t, applied(rp1), want, "same replay applied twice")
+	rp2, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertState(t, applied(rp2), want, "second scan")
+
+	// Open truncates torn/rolled-back tails; a clean directory must come
+	// through untouched and still scan identically after.
+	l, rp3 := openLog(t, dir, 4)
+	assertState(t, applied(rp3), want, "open after scans")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rp4, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertState(t, applied(rp4), want, "scan after open")
+}
+
+// TestSnapshotPlusSuffix: a snapshot generation plus the records logged
+// after it replays to exactly the state the full log replays to —
+// snapshots accelerate, never alter.
+func TestSnapshotPlusSuffix(t *testing.T) {
+	const shards = 4
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, shards)
+	want := map[int64]int64{}
+	put := func(key, val int64) {
+		if err := logPut(l, int(key%shards), key, val); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = val
+	}
+	for i := int64(0); i < 80; i++ {
+		put(i, i)
+	}
+
+	// Snapshot the current state the way Store.Snapshot does: all commit
+	// locks at once, capture seq and contents per shard, release, write.
+	seqs := make([]uint64, shards)
+	entries := make([][]Entry, shards)
+	for i := 0; i < shards; i++ {
+		l.Lock(i)
+	}
+	for i := 0; i < shards; i++ {
+		seqs[i] = l.SeqOf(i)
+	}
+	for k, v := range want {
+		i := int(k % shards)
+		entries[i] = append(entries[i], Entry{Key: k, Val: v})
+	}
+	for i := shards - 1; i >= 0; i-- {
+		l.Unlock(i)
+	}
+	if err := l.WriteSnapshots(seqs, entries); err != nil {
+		t.Fatal(err)
+	}
+
+	// The suffix: more elementary ops and a composition.
+	for i := int64(80); i < 120; i++ {
+		put(i, i*3)
+	}
+	if err := logComposed(l, []int{0, 1}, []Effect{
+		{Shard: 0, Key: 5000, Val: 1}, {Shard: 1, Key: 5001, Val: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want[5000], want[5001] = 1, 2
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	withSnap, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullLog, err := ScanNoSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range withSnap.Shards {
+		if withSnap.Shards[i].Snapshot == nil {
+			t.Fatalf("shard %d: snapshot not picked up", i)
+		}
+		if fullLog.Shards[i].Snapshot != nil {
+			t.Fatalf("shard %d: ScanNoSnapshots read a snapshot", i)
+		}
+	}
+	assertState(t, applied(withSnap), want, "snapshot+suffix")
+	assertState(t, applied(fullLog), want, "full log")
+}
+
+// TestTornTailTruncated: a frame cut mid-record replays cleanly to the
+// last valid commit, reporting a typed *CorruptError with the cut
+// point, and Open resumes appending from there.
+func TestTornTailTruncated(t *testing.T) {
+	const shards = 1
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, shards)
+	for i := int64(0); i < 20; i++ {
+		if err := logPut(l, 0, i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, shardFileName(0))
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slice off the last 5 bytes: the final record loses its tail.
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &rp.Shards[0]
+	if sh.Torn == nil {
+		t.Fatal("torn tail not reported")
+	}
+	var ce *CorruptError
+	if !errors.As(error(sh.Torn), &ce) || ce.Shard != 0 || ce.Seq != 19 || ce.Reason != "truncated frame body" {
+		t.Fatalf("torn = %+v, want shard 0, seq 19, truncated frame body", sh.Torn)
+	}
+	if sh.Keep != 19 {
+		t.Fatalf("kept %d records, want 19", sh.Keep)
+	}
+	got := applied(rp)
+	if len(got) != 19 || got[18] != 18 {
+		t.Fatalf("replay after torn tail wrong: %d keys", len(got))
+	}
+
+	// Open truncates the tail and appends resume at seq 20.
+	l2, _ := openLog(t, dir, shards)
+	if err := logPut(l2, 0, 99, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rp2, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp2.Shards[0].Torn != nil {
+		t.Fatalf("still torn after Open: %v", rp2.Shards[0].Torn)
+	}
+	if got := applied(rp2); len(got) != 20 || got[99] != 99 {
+		t.Fatalf("replay after repair wrong: %v keys", len(got))
+	}
+}
+
+// TestTornTailBitFlip: a corrupted byte inside a record body fails the
+// CRC and cuts there, keeping everything before it.
+func TestTornTailBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 1)
+	for i := int64(0); i < 10; i++ {
+		if err := logPut(l, 0, i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, shardFileName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the last record's payload (its final byte).
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &rp.Shards[0]
+	if sh.Torn == nil || sh.Torn.Reason != "crc mismatch" || sh.Torn.Seq != 9 {
+		t.Fatalf("torn = %+v, want crc mismatch at seq 9", sh.Torn)
+	}
+	if got := applied(rp); len(got) != 9 {
+		t.Fatalf("kept %d keys, want 9", len(got))
+	}
+}
+
+// TestIncompleteCompositionRollsBack: a composition whose evidence is
+// incomplete (a participant's intent lost to a torn tail) rolls back on
+// every participant — replay materializes all of it or none of it — and
+// everything logged after the lost intent on the cut shards goes too
+// (the causal-consistency fixpoint).
+func TestIncompleteCompositionRollsBack(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, shards)
+	if err := logPut(l, 0, 0, 1); err != nil { // survives: before the composition
+		t.Fatal(err)
+	}
+	if err := logComposed(l, []int{0, 1}, []Effect{
+		{Shard: 0, Key: 10, Val: 7}, {Shard: 1, Key: 11, Val: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := logPut(l, 1, 21, 2); err != nil { // after shard 1's intent: cut with it
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose shard 1's whole file: its intent vanishes, as after a crash
+	// where shard 1's batch never reached the disk.
+	if err := os.Truncate(filepath.Join(dir, shardFileName(1)), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Aborted) != 1 {
+		t.Fatalf("aborted = %v, want exactly the torn composition", rp.Aborted)
+	}
+	got := applied(rp)
+	want := map[int64]int64{0: 1}
+	assertState(t, got, want, "rollback")
+	// Shard 0's file keeps only the pre-composition record; Open
+	// truncates the stranded intent+commit.
+	if k := rp.Shards[0].Keep; k != 1 {
+		t.Fatalf("shard 0 keeps %d records, want 1", k)
+	}
+
+	l2, rp2 := openLog(t, dir, shards)
+	assertState(t, applied(rp2), want, "rollback after open")
+	// The truncated shard accepts new appends from scratch.
+	if err := logPut(l2, 1, 31, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rp3, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want[31] = 3
+	assertState(t, applied(rp3), want, "appends after rollback")
+}
+
+// TestCommitMarkerAlone: a commit marker with no surviving intent
+// anywhere must not count as a committed composition (nothing to apply,
+// nothing to trust).
+func TestCommitMarkerAlone(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 1)
+	l.Lock(0)
+	seq := l.AppendCommit(0, 42)
+	l.Unlock(0)
+	if err := l.Sync(0, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Aborted) != 1 || rp.Aborted[0] != 42 {
+		t.Fatalf("orphan commit marker not rolled back: %v", rp.Aborted)
+	}
+	if got := applied(rp); len(got) != 0 {
+		t.Fatalf("orphan marker materialized state: %v", got)
+	}
+	if rp.MaxTxID != 42 {
+		t.Fatalf("MaxTxID = %d, want 42 (ids must not be reused)", rp.MaxTxID)
+	}
+}
+
+// TestCorruptSnapshotIgnored: a snap file that fails validation is
+// reported and ignored — the full log replays instead, losing nothing
+// (logs are never truncated by snapshotting).
+func TestCorruptSnapshotIgnored(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, shards)
+	want := map[int64]int64{}
+	for i := int64(0); i < 40; i++ {
+		if err := logPut(l, int(i%shards), i, i); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = i
+	}
+	seqs := make([]uint64, shards)
+	entries := make([][]Entry, shards)
+	for i := 0; i < shards; i++ {
+		l.Lock(i)
+		seqs[i] = l.SeqOf(i)
+		l.Unlock(i)
+	}
+	for k, v := range want {
+		i := int(k % shards)
+		entries[i] = append(entries[i], Entry{Key: k, Val: v})
+	}
+	if err := l.WriteSnapshots(seqs, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt shard 0's snap file body.
+	path := filepath.Join(dir, snapFileName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se *SnapshotError
+	if rp.Shards[0].SnapCorrupt == nil || !errors.As(rp.Shards[0].SnapCorrupt, &se) {
+		t.Fatalf("SnapCorrupt = %v, want typed *SnapshotError", rp.Shards[0].SnapCorrupt)
+	}
+	if rp.Shards[0].Snapshot != nil {
+		t.Fatal("corrupt snapshot still used")
+	}
+	if rp.Shards[1].Snapshot == nil {
+		t.Fatal("intact snapshot dropped")
+	}
+	assertState(t, applied(rp), want, "corrupt snapshot fallback")
+}
+
+// TestSummaryMentionsRecovery pins the startup log line CI greps for.
+func TestSummaryMentionsRecovery(t *testing.T) {
+	dir, _ := writeWorkload(t)
+	rp, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rp.Summary()
+	if len(s) == 0 || s[:14] != "wal: recovered" {
+		t.Fatalf("summary = %q", s)
+	}
+}

@@ -1,0 +1,339 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Options parameterises Open.
+type Options struct {
+	// Shards is the shard count; it must match the store's (and, for an
+	// existing directory, the meta file's).
+	Shards int
+	// Fsync makes every flush fsync before acknowledging. Off, a batch
+	// is durable against process death (SIGKILL included: written bytes
+	// live in the page cache) but not against power loss.
+	Fsync bool
+}
+
+// Stats is a snapshot of the log's cumulative counters, exported
+// through the server's stats endpoint into the wal_* CSV columns.
+type Stats struct {
+	Appends uint64 // records appended
+	Syncs   uint64 // flush batches written (fsync syscalls when enabled)
+	Bytes   uint64 // bytes written to log files
+}
+
+// shardLog is one shard's log: a commit lock ordering appends with the
+// shard's transactions, and a flush side implementing group commit.
+type shardLog struct {
+	// mu is the commit lock. The store holds it across the shard's
+	// transaction, the sequence assignment and the buffer append, so log
+	// order equals commit order. Sync must not be called with mu held.
+	mu  sync.Mutex
+	seq uint64 // last assigned sequence, guarded by mu
+	buf []byte // pending batch, guarded by mu
+
+	fmu      sync.Mutex // flush state below
+	cond     *sync.Cond // signalled when durable advances or flushing ends
+	flushing bool
+	durable  uint64 // highest sequence flushed to the file
+	spare    []byte // the off-duty swap buffer
+	f        *os.File
+	err      error // sticky first I/O error
+}
+
+// Log is an open write-ahead log: one file per shard plus a meta file,
+// all inside one directory. Create with Open.
+type Log struct {
+	dir    string
+	fsync  bool
+	shards []shardLog
+	txid   atomic.Uint64
+
+	appends atomic.Uint64
+	syncs   atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// Shards returns the shard count the log was opened with.
+func (l *Log) Shards() int { return len(l.shards) }
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Enabled reports whether l is a live log; it is false on a nil
+// receiver so callers can keep one unconditional expression.
+func (l *Log) Enabled() bool { return l != nil }
+
+// Stats snapshots the cumulative counters (zero on a nil receiver).
+func (l *Log) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	return Stats{
+		Appends: l.appends.Load(),
+		Syncs:   l.syncs.Load(),
+		Bytes:   l.bytes.Load(),
+	}
+}
+
+// metaName is the directory's identity file: magic+version, shard
+// count, CRC. A shard-count mismatch is a hard error — records route
+// effects by shard index, so replaying into a different layout would
+// scatter keys.
+const metaName = "wal.meta"
+
+var metaMagic = [8]byte{'o', 'e', 'w', 'a', 'l', '0', '0', '1'}
+
+// shardFileName names shard i's log file.
+func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.wal", i) }
+
+// writeMeta creates the meta file.
+func writeMeta(dir string, shards int) error {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, metaMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(shards))
+	buf = binary.BigEndian.AppendUint32(buf, checksum(buf))
+	tmp := filepath.Join(dir, metaName+".tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, metaName))
+}
+
+// readMeta parses the meta file, returning the shard count.
+func readMeta(dir string) (int, error) {
+	b, err := os.ReadFile(filepath.Join(dir, metaName))
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 16 || [8]byte(b[:8]) != metaMagic {
+		return 0, fmt.Errorf("wal: %s: not a wal meta file", metaName)
+	}
+	if checksum(b[:12]) != binary.BigEndian.Uint32(b[12:]) {
+		return 0, fmt.Errorf("wal: %s: checksum mismatch", metaName)
+	}
+	return int(binary.BigEndian.Uint32(b[8:])), nil
+}
+
+// Open opens (creating if necessary) the log in dir, recovers the
+// existing contents, truncates any torn or rolled-back tails, and
+// returns the log positioned for appends together with the recovered
+// state to replay. A fresh directory yields an empty Replay.
+func Open(dir string, o Options) (*Log, *Replay, error) {
+	if o.Shards < 1 || o.Shards > maxShard {
+		return nil, nil, fmt.Errorf("wal: shard count %d out of range [1, %d]", o.Shards, maxShard)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	switch n, err := readMeta(dir); {
+	case err == nil:
+		if n != o.Shards {
+			return nil, nil, fmt.Errorf("wal: %s has %d shards, store wants %d", dir, n, o.Shards)
+		}
+	case os.IsNotExist(err):
+		if err := writeMeta(dir, o.Shards); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, err
+	}
+
+	rp, err := scan(dir, o.Shards, scanOpts{})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{dir: dir, fsync: o.Fsync, shards: make([]shardLog, o.Shards)}
+	l.txid.Store(rp.MaxTxID)
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.cond = sync.NewCond(&s.fmu)
+		path := filepath.Join(dir, shardFileName(i))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			l.closeFiles()
+			return nil, nil, err
+		}
+		sh := &rp.Shards[i]
+		if err := f.Truncate(sh.TruncateTo); err != nil {
+			f.Close()
+			l.closeFiles()
+			return nil, nil, err
+		}
+		if _, err := f.Seek(sh.TruncateTo, 0); err != nil {
+			f.Close()
+			l.closeFiles()
+			return nil, nil, err
+		}
+		s.f = f
+		s.seq = sh.LastSeq
+		s.durable = sh.LastSeq
+	}
+	if o.Fsync {
+		if err := syncDir(dir); err != nil {
+			l.closeFiles()
+			return nil, nil, err
+		}
+	}
+	return l, rp, nil
+}
+
+// closeFiles releases whatever files Open managed to open.
+func (l *Log) closeFiles() {
+	for i := range l.shards {
+		if f := l.shards[i].f; f != nil {
+			f.Close()
+		}
+	}
+}
+
+// syncDir fsyncs a directory so created/renamed entries survive power
+// loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// NextTxID allocates a composition transaction id (unique for the life
+// of the directory: Open resumes past every id seen in the log).
+func (l *Log) NextTxID() uint64 { return l.txid.Add(1) }
+
+// Lock acquires shard's commit lock. The caller runs the shard's
+// transaction, appends the records it commits, and releases with
+// Unlock before calling Sync.
+func (l *Log) Lock(shard int) { l.shards[shard].mu.Lock() }
+
+// Unlock releases shard's commit lock.
+func (l *Log) Unlock(shard int) { l.shards[shard].mu.Unlock() }
+
+// SeqOf returns shard's last assigned sequence. Callers must hold the
+// shard's commit lock.
+func (l *Log) SeqOf(shard int) uint64 { return l.shards[shard].seq }
+
+// append assigns the next sequence and buffers r's frame. Callers must
+// hold the shard's commit lock.
+func (l *Log) append(shard int, r *Record) uint64 {
+	s := &l.shards[shard]
+	s.seq++
+	r.Seq = s.seq
+	s.buf = appendFrame(s.buf, r)
+	l.appends.Add(1)
+	return s.seq
+}
+
+// AppendPut buffers a put record. Callers must hold the shard's commit
+// lock.
+func (l *Log) AppendPut(shard int, key, val int64) uint64 {
+	r := Record{Kind: KindPut, Key: key, Val: val}
+	return l.append(shard, &r)
+}
+
+// AppendRemove buffers a remove record. Callers must hold the shard's
+// commit lock.
+func (l *Log) AppendRemove(shard int, key int64) uint64 {
+	r := Record{Kind: KindRemove, Key: key}
+	return l.append(shard, &r)
+}
+
+// AppendIntent buffers a composition's intent record (its full effect
+// list) on shard. Callers must hold the commit lock of every effect's
+// shard — the two-phase protocol appends the same intent to each
+// participant.
+func (l *Log) AppendIntent(shard int, txid uint64, effects []Effect) uint64 {
+	r := Record{Kind: KindIntent, TxID: txid, Effects: effects}
+	return l.append(shard, &r)
+}
+
+// AppendCommit buffers a composition's commit marker on its coordinator
+// shard (the lowest participant index). Callers must hold the same
+// locks as for AppendIntent.
+func (l *Log) AppendCommit(shard int, txid uint64) uint64 {
+	r := Record{Kind: KindCommit, TxID: txid}
+	return l.append(shard, &r)
+}
+
+// Sync blocks until shard's records through seq are durable (written;
+// fsynced when the log was opened with Fsync), grouping concurrent
+// committers into shared flushes: the first waiter becomes the leader,
+// swaps the shard's buffer for the spare, writes the whole batch in one
+// write(2), and broadcasts; later committers ride the next batch. Must
+// not be called while holding the shard's commit lock. The first I/O
+// error is sticky: every subsequent Sync on the shard reports it.
+func (l *Log) Sync(shard int, seq uint64) error {
+	s := &l.shards[shard]
+	s.fmu.Lock()
+	for s.durable < seq && s.err == nil {
+		if s.flushing {
+			s.cond.Wait()
+			continue
+		}
+		s.flushing = true
+		spare := s.spare
+		s.spare = nil
+		s.fmu.Unlock()
+
+		s.mu.Lock()
+		batch := s.buf
+		top := s.seq
+		s.buf = spare[:0]
+		s.mu.Unlock()
+
+		var err error
+		if len(batch) > 0 {
+			_, err = s.f.Write(batch)
+			if err == nil && l.fsync {
+				err = s.f.Sync()
+			}
+			l.syncs.Add(1)
+			l.bytes.Add(uint64(len(batch)))
+		}
+
+		s.fmu.Lock()
+		s.spare = batch[:0]
+		s.flushing = false
+		if err != nil {
+			s.err = err
+		} else if top > s.durable {
+			s.durable = top
+		}
+		s.cond.Broadcast()
+	}
+	err := s.err
+	s.fmu.Unlock()
+	return err
+}
+
+// Close flushes every shard's pending records and closes the files.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	var first error
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		seq := s.seq
+		s.mu.Unlock()
+		if err := l.Sync(i, seq); err != nil && first == nil {
+			first = err
+		}
+		if err := s.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

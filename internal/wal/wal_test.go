@@ -1,0 +1,382 @@
+// Group-commit property tests: whatever interleaving N concurrent
+// committers produce, replaying the log equals the sequential
+// application of exactly the acknowledged operations in commit order —
+// no reorder, no loss, no invention. The commit-lock protocol (append
+// under the shard's lock, Sync after releasing it) is exercised the way
+// the store drives it.
+package wal
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func init() {
+	// Oversubscribe a 1-CPU CI box so the concurrency tests get real
+	// interleavings (same rationale as the engine conformance suites).
+	if runtime.GOMAXPROCS(0) < 8 {
+		runtime.GOMAXPROCS(8)
+	}
+}
+
+// openLog opens a fresh (or existing) log in dir, failing the test on
+// error.
+func openLog(t *testing.T, dir string, shards int) (*Log, *Replay) {
+	t.Helper()
+	l, rp, err := Open(dir, Options{Shards: shards})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, rp
+}
+
+// applied replays rp into one flat map (keys are globally unique in
+// these tests, so shard routing cannot collide).
+func applied(rp *Replay) map[int64]int64 {
+	m := map[int64]int64{}
+	rp.Apply(
+		func(key, val int64) { m[key] = val },
+		func(key int64) { delete(m, key) })
+	return m
+}
+
+// logPut runs the full single-shard commit protocol for one put.
+func logPut(l *Log, shard int, key, val int64) error {
+	l.Lock(shard)
+	seq := l.AppendPut(shard, key, val)
+	l.Unlock(shard)
+	return l.Sync(shard, seq)
+}
+
+// logRemove is logPut's remove twin.
+func logRemove(l *Log, shard int, key int64) error {
+	l.Lock(shard)
+	seq := l.AppendRemove(shard, key)
+	l.Unlock(shard)
+	return l.Sync(shard, seq)
+}
+
+// logComposed runs the two-phase cross-shard protocol: intent on every
+// participant, commit marker on the coordinator, all under the
+// participants' commit locks in ascending order, then Sync each.
+// shards must be sorted ascending and unique.
+func logComposed(l *Log, shards []int, effects []Effect) error {
+	for _, sh := range shards {
+		l.Lock(sh)
+	}
+	txid := l.NextTxID()
+	seqs := make([]uint64, len(shards))
+	for i, sh := range shards {
+		seqs[i] = l.AppendIntent(sh, txid, effects)
+	}
+	seqs[0] = l.AppendCommit(shards[0], txid)
+	for i := len(shards) - 1; i >= 0; i-- {
+		l.Unlock(shards[i])
+	}
+	for i, sh := range shards {
+		if err := l.Sync(sh, seqs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestGroupCommitConcurrent is the core property: 8 committers hammer a
+// 4-shard log with puts, removes and cross-shard compositions, each
+// mirroring its operation into a per-shard model map under the same
+// commit lock that orders the log. Replay must equal the model exactly.
+func TestGroupCommitConcurrent(t *testing.T) {
+	const (
+		shards  = 4
+		workers = 8
+		opsEach = 400
+	)
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, shards)
+
+	// model[s] is shard s's expected contents, guarded by commit lock s.
+	model := make([]map[int64]int64, shards)
+	for i := range model {
+		model[i] = map[int64]int64{}
+	}
+	shardOf := func(key int64) int { return int(key % shards) }
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < opsEach; i++ {
+				key := int64(w*opsEach+i) * 7 // globally unique
+				sh := shardOf(key)
+				switch rng.Intn(4) {
+				case 0, 1: // put
+					l.Lock(sh)
+					model[sh][key] = key + 1
+					seq := l.AppendPut(sh, key, key+1)
+					l.Unlock(sh)
+					if err := l.Sync(sh, seq); err != nil {
+						errs[w] = err
+						return
+					}
+				case 2: // put then remove (so removes hit live keys)
+					l.Lock(sh)
+					seq := l.AppendPut(sh, key, 1)
+					l.Unlock(sh)
+					if err := l.Sync(sh, seq); err != nil {
+						errs[w] = err
+						return
+					}
+					l.Lock(sh)
+					delete(model[sh], key)
+					seq = l.AppendRemove(sh, key)
+					l.Unlock(sh)
+					if err := l.Sync(sh, seq); err != nil {
+						errs[w] = err
+						return
+					}
+				case 3: // cross-shard composition: two puts, distinct shards
+					key2 := key + 1 // adjacent keys land on adjacent shards
+					sh2 := shardOf(key2)
+					a, b := sh, sh2
+					if a > b {
+						a, b = b, a
+					}
+					effects := []Effect{
+						{Shard: sh, Key: key, Val: 10},
+						{Shard: sh2, Key: key2, Val: 20},
+					}
+					parts := []int{a}
+					if b != a {
+						parts = append(parts, b)
+					}
+					for _, p := range parts {
+						l.Lock(p)
+					}
+					model[sh][key] = 10
+					model[sh2][key2] = 20
+					txid := l.NextTxID()
+					seqs := make([]uint64, len(parts))
+					for pi, p := range parts {
+						seqs[pi] = l.AppendIntent(p, txid, effects)
+					}
+					seqs[0] = l.AppendCommit(parts[0], txid)
+					for pi := len(parts) - 1; pi >= 0; pi-- {
+						l.Unlock(parts[pi])
+					}
+					for pi, p := range parts {
+						if err := l.Sync(p, seqs[pi]); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	rp, err := Scan(dir)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	// No reorder, no torn tail: every shard's file parses whole, with
+	// strictly increasing sequences (Scan cuts on any violation).
+	for i := range rp.Shards {
+		sh := &rp.Shards[i]
+		if sh.Torn != nil {
+			t.Fatalf("shard %d torn after clean close: %v", i, sh.Torn)
+		}
+		if sh.Keep != len(sh.Records) {
+			t.Fatalf("shard %d rolled back %d records after clean run", i, len(sh.Records)-sh.Keep)
+		}
+	}
+	if len(rp.Aborted) != 0 {
+		t.Fatalf("clean run aborted compositions: %v", rp.Aborted)
+	}
+
+	want := map[int64]int64{}
+	for _, m := range model {
+		for k, v := range m {
+			want[k] = v
+		}
+	}
+	got := applied(rp)
+	if len(got) != len(want) {
+		t.Fatalf("replay has %d keys, model %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: replayed %d, model %d", k, got[k], v)
+		}
+	}
+}
+
+// TestDeterministicBytes pins physical determinism: the same
+// single-threaded operation sequence writes byte-identical shard files
+// (group commit must not inject batching artifacts into the encoding).
+func TestDeterministicBytes(t *testing.T) {
+	const shards = 4
+	run := func(dir string) {
+		l, _ := openLog(t, dir, shards)
+		for i := 0; i < 200; i++ {
+			key := int64(i)
+			sh := int(key % shards)
+			if err := logPut(l, sh, key, key*3); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			if i%5 == 0 {
+				if err := logRemove(l, sh, key); err != nil {
+					t.Fatalf("remove: %v", err)
+				}
+			}
+			if i%7 == 0 {
+				err := logComposed(l, []int{0, 1}, []Effect{
+					{Shard: 0, Key: 10_000 + key, Val: key},
+					{Shard: 1, Key: 20_001 + key, Val: key},
+				})
+				if err != nil {
+					t.Fatalf("composed: %v", err)
+				}
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	run(dirA)
+	run(dirB)
+	for i := 0; i < shards; i++ {
+		a, err := os.ReadFile(filepath.Join(dirA, shardFileName(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, shardFileName(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("shard %d files differ between identical runs (%d vs %d bytes)", i, len(a), len(b))
+		}
+	}
+}
+
+// TestReopenContinues pins the append-resume contract: reopening a
+// directory recovers its contents, continues the per-shard sequences
+// and composition ids past everything recovered, and the final log
+// replays both generations.
+func TestReopenContinues(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	l, rp := openLog(t, dir, shards)
+	if len(applied(rp)) != 0 {
+		t.Fatal("fresh directory replayed entries")
+	}
+	for i := int64(0); i < 50; i++ {
+		if err := logPut(l, int(i%shards), i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := logComposed(l, []int{0, 1}, []Effect{
+		{Shard: 0, Key: 100, Val: 1}, {Shard: 1, Key: 101, Val: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rp2 := openLog(t, dir, shards)
+	got := applied(rp2)
+	if len(got) != 52 {
+		t.Fatalf("reopen replayed %d keys, want 52", len(got))
+	}
+	// New appends must continue, not collide: a second composition's id
+	// must exceed the first's, sequences must keep increasing.
+	if id := l2.NextTxID(); id < 2 {
+		t.Fatalf("txid restarted at %d after a logged composition", id)
+	}
+	for i := int64(50); i < 60; i++ {
+		if err := logPut(l2, int(i%shards), i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rp3, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rp3.Shards {
+		sh := &rp3.Shards[i]
+		if sh.Torn != nil || sh.Keep != len(sh.Records) {
+			t.Fatalf("shard %d not clean after reopen-append: torn=%v keep=%d/%d", i, sh.Torn, sh.Keep, len(sh.Records))
+		}
+		prev := uint64(0)
+		for _, r := range sh.Records {
+			if r.Seq <= prev {
+				t.Fatalf("shard %d sequence regressed: %d after %d", i, r.Seq, prev)
+			}
+			prev = r.Seq
+		}
+	}
+	if got := applied(rp3); len(got) != 62 {
+		t.Fatalf("final replay has %d keys, want 62", len(got))
+	}
+}
+
+// TestShardCountMismatch pins the layout guard: a directory created for
+// N shards refuses to open as M — replaying shard-routed effects into a
+// different layout would scatter keys.
+func TestShardCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 4)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{Shards: 8}); err == nil {
+		t.Fatal("Open with mismatched shard count succeeded")
+	}
+}
+
+// TestStatsCount pins the counters the CSV columns come from.
+func TestStatsCount(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 1)
+	for i := int64(0); i < 10; i++ {
+		if err := logPut(l, 0, i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := l.Stats()
+	if s.Appends != 10 {
+		t.Fatalf("Appends = %d, want 10", s.Appends)
+	}
+	if s.Syncs == 0 || s.Bytes == 0 {
+		t.Fatalf("Syncs/Bytes not counted: %+v", s)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilLog *Log
+	if nilLog.Enabled() || nilLog.Stats() != (Stats{}) {
+		t.Fatal("nil log not inert")
+	}
+}

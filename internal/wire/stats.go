@@ -10,7 +10,9 @@ import (
 
 // statsVersion guards the stats payload layout; bump it when the layout
 // changes so stale clients fail loudly instead of misparsing.
-const statsVersion = 1
+// Version history: 1 = initial; 2 = WAL fields (enabled flag and the
+// wal_* counters).
+const statsVersion = 2
 
 // OpTelemetry is one opcode's server-side measurements: how many requests
 // ran and the latency histogram of their service time — measured from
@@ -38,6 +40,15 @@ type StatsPayload struct {
 	Commits       uint64
 	Aborts        uint64
 	AbortsByCause [stm.NumCauses]uint64
+
+	// WAL durability telemetry: whether the server runs a write-ahead
+	// log, and its cumulative append/flush/byte counters (all zero when
+	// disabled). The harness diffs the counters across the measured
+	// window into the wal_* CSV columns.
+	WALEnabled bool
+	WALAppends uint64
+	WALSyncs   uint64
+	WALBytes   uint64
 }
 
 // AppendStats appends the encoded payload to dst.
@@ -57,6 +68,14 @@ func AppendStats(dst []byte, p *StatsPayload) []byte {
 	for _, n := range p.AbortsByCause {
 		dst = binary.AppendUvarint(dst, n)
 	}
+	var walFlag byte
+	if p.WALEnabled {
+		walFlag = 1
+	}
+	dst = append(dst, walFlag)
+	dst = binary.AppendUvarint(dst, p.WALAppends)
+	dst = binary.AppendUvarint(dst, p.WALSyncs)
+	dst = binary.AppendUvarint(dst, p.WALBytes)
 	return dst
 }
 
@@ -108,6 +127,26 @@ func (p *StatsPayload) Decode(body []byte) error {
 		if p.AbortsByCause[i], b, err = readUvarint(b); err != nil {
 			return err
 		}
+	}
+	if len(b) == 0 {
+		return perr(ErrBadBody, "stats payload missing wal flag")
+	}
+	switch b[0] {
+	case 0:
+	case 1:
+		p.WALEnabled = true
+	default:
+		return perr(ErrBadBody, "stats payload bad wal flag")
+	}
+	b = b[1:]
+	if p.WALAppends, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if p.WALSyncs, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if p.WALBytes, b, err = readUvarint(b); err != nil {
+		return err
 	}
 	if len(b) != 0 {
 		return perr(ErrBadBody, "stats payload trailing bytes")

@@ -99,13 +99,17 @@ const (
 	ErrRetryExhausted
 	// ErrShuttingDown: the server is draining and rejected new work.
 	ErrShuttingDown
+	// ErrDurability: the server's write-ahead log failed; mutations are
+	// no longer durable and are refused (the sticky condition persists
+	// until the server restarts against a healthy log).
+	ErrDurability
 )
 
 // errNames indexes display names by code.
 var errNames = []string{
 	"unknown", "frame-too-large", "truncated", "bad-opcode",
 	"bad-body", "too-many-keys", "key-range", "retry-exhausted",
-	"shutting-down",
+	"shutting-down", "durability",
 }
 
 // String names the code.
