@@ -48,12 +48,24 @@
 // appended to the coordinator (the lowest participant shard index) —
 // all while the store holds every participant's commit lock, so the
 // composition occupies one contiguous position in each participant's
-// log. Replay applies an intent's effects only when the commit marker
-// and every participant's intent survived; otherwise the composition is
-// rolled back by cutting each participant's log at its intent, and the
-// cut is propagated to a fixpoint so that no surviving record depends
-// on a discarded one. Replay therefore never materializes a torn
-// composition.
+// log. At replay a composition counts as committed when its commit
+// marker survived, or when any of its evidence is covered by a
+// snapshot (the snapshot barrier proves the rest was durable — see
+// below). A committed composition whose intent never reached some
+// participant's disk is healed rather than rolled back: the marker sits
+// right after the coordinator's intent on the same shard, so a
+// surviving marker always comes with the full effect list, and the
+// missing shard's effects replay at its log tail — exactly where the
+// lost intent would have sat, since nothing logged after an unflushed
+// record survives on its shard. Open then re-appends the healed
+// evidence to the shard's file so the repair is durable, not
+// re-derived. Only a composition whose commit marker is lost (and that
+// no snapshot covers) is rolled back, by cutting each participant's log
+// at its intent, propagated to a fixpoint so that no surviving record
+// depends on a discarded one. Replay therefore never materializes a
+// torn composition. The rollback path carries one power-loss caveat:
+// when the marker is lost, records acknowledged after a participant's
+// intent fall with the cut.
 //
 // # Snapshots
 //
@@ -63,8 +75,13 @@
 // snapshot sequences, and each shard's entries land in a snap file via
 // tmp+rename. Logs are never truncated by snapshotting — recovery from
 // snapshot plus log suffix must equal full-log replay, and the
-// recovery tests assert exactly that. Compaction (dropping the prefix a
-// snapshot covers) is future work.
+// recovery tests assert exactly that. Because every log is synced
+// through the covered sequences before the first snap file lands, a
+// snap file is also a commit barrier: evidence covered by one shard's
+// snapshot proves the whole composition was durable, even when another
+// shard's snap file is corrupt or from an older generation (a crash
+// between renames). Compaction (dropping the prefix a snapshot covers)
+// is future work.
 //
 // # Corruption
 //

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 )
 
@@ -40,6 +41,15 @@ type ShardState struct {
 
 	offs []int64 // frame-start offset of each record
 	end  int64   // offset after the last parsed record
+
+	// repair holds the evidence records of committed compositions that
+	// this shard's surviving prefix is missing — the intent a crash kept
+	// off this shard's disk (and, for a snapshot-covered composition, a
+	// lost commit marker), rebuilt from the evidence that did survive.
+	// Apply replays them after the shard's records; Open re-appends them
+	// to the file with fresh sequences so the healed composition is
+	// ordinary log state on the next recovery.
+	repair []Record
 }
 
 // Replay is the recovered state of a log directory, produced by Open or
@@ -47,8 +57,13 @@ type ShardState struct {
 type Replay struct {
 	Shards []ShardState
 	// Aborted lists the composition transaction ids rolled back at
-	// recovery (incomplete intent/commit evidence).
+	// recovery (commit marker lost, no snapshot coverage).
 	Aborted []uint64
+	// Healed lists committed compositions replayed despite evidence
+	// missing from some participant's surviving prefix — the effects
+	// came from the intent copies that did survive (every intent carries
+	// the full effect list).
+	Healed []uint64
 	// MaxTxID is the highest composition id seen anywhere in the log.
 	MaxTxID uint64
 }
@@ -189,7 +204,29 @@ type compo struct {
 	intentAt map[int]int // shard -> record index of its intent
 	commitAt int         // record index of the marker, -1 if unseen
 	commitSh int
-	cut      bool
+	// covered is set when any evidence record sits at or below its
+	// shard's snapshot sequence. WriteSnapshots syncs every shard's log
+	// through the covered sequences before the first snap file lands,
+	// and snapshots are taken under all commit locks at once, so
+	// coverage on one shard proves the whole composition's evidence was
+	// durable — whatever the other shards' snap files look like now
+	// (corrupt, or an older generation after a crash mid-write).
+	covered bool
+	cut     bool
+}
+
+// committed reports whether c's surviving evidence proves the
+// composition committed: snapshot coverage anywhere, or its commit
+// marker inside the surviving prefix. The marker is appended after
+// every intent under the same commit locks, on the coordinator shard
+// right after the coordinator's intent — so a surviving marker always
+// comes with the full effect list, even when a participant's intent
+// never reached its own disk.
+func (c *compo) committed(keep []int) bool {
+	if len(c.effects) == 0 {
+		return false
+	}
+	return c.covered || (c.commitAt >= 0 && c.commitAt < keep[c.commitSh])
 }
 
 // participants returns the unique effect shards (the coordinator is the
@@ -212,20 +249,34 @@ func (c *compo) participants() []int {
 	return out
 }
 
-// resolveCompositions decides which compositions committed and rolls
-// the rest back to a consistent cut. A composition counts as committed
-// only when its commit marker and the intent of every participant shard
-// are all within the surviving prefixes; anything less is rolled back
-// by cutting each participant's log at its intent. Cutting can strand
-// evidence of other compositions, so the rule iterates to a fixpoint —
-// prefixes only shrink, so it terminates. The fixpoint is what makes
-// the cut causally consistent: a record that survives never depends
-// (through log order on its shard) on one that was discarded.
+// resolveCompositions decides which compositions committed, heals
+// committed ones whose evidence is partially missing, and rolls the
+// rest back to a consistent cut.
 //
-// Intents at or below a shard's snapshot sequence are history — their
-// effects are inside the snapshot on every participant (snapshots are
-// taken under all commit locks at once, so a composition is entirely
-// inside or entirely outside one) — and take no part in the decision.
+// A composition counts as committed when compo.committed holds: any of
+// its evidence is snapshot-covered, or its commit marker is inside the
+// surviving prefix. A committed composition missing a participant's
+// intent (the batch never reached that shard's disk, or a rollback cut
+// stranded it) is healed: the full effect list from a surviving intent
+// is queued as repair records that Apply replays after the shard's
+// surviving records — which is exactly where the lost intent would have
+// sat, since nothing after an unflushed (or cut) record ever survives
+// on its shard.
+//
+// Anything else — commit marker lost, no snapshot coverage — is rolled
+// back by cutting each participant's log at its intent. Cutting can
+// strand the marker of a later composition on the same shard, so the
+// rule iterates to a fixpoint — prefixes only shrink, so it
+// terminates. The fixpoint keeps the cut causally consistent: a record
+// that survives never depends (through log order on its shard) on one
+// that was discarded. This rollback path carries the documented
+// power-loss caveat: records acknowledged after a participant's intent
+// fall with the cut when the marker is lost.
+//
+// Repair records are ordered by transaction id, which matches log
+// order on any shard two compositions share: ids are allocated while
+// holding every participant's commit lock, so overlapping compositions
+// allocate in their serialization order.
 func resolveCompositions(rp *Replay) {
 	compos := map[uint64]*compo{}
 	track := func(txid uint64) *compo {
@@ -245,21 +296,21 @@ func resolveCompositions(rp *Replay) {
 				if r.TxID > rp.MaxTxID {
 					rp.MaxTxID = r.TxID
 				}
-				if r.Seq <= sh.SnapSeq {
-					continue
-				}
 				c := track(r.TxID)
 				c.effects = r.Effects
 				c.intentAt[i] = j
+				if r.Seq <= sh.SnapSeq {
+					c.covered = true
+				}
 			case KindCommit:
 				if r.TxID > rp.MaxTxID {
 					rp.MaxTxID = r.TxID
 				}
-				if r.Seq <= sh.SnapSeq {
-					continue
-				}
 				c := track(r.TxID)
 				c.commitAt, c.commitSh = j, i
+				if r.Seq <= sh.SnapSeq {
+					c.covered = true
+				}
 			}
 		}
 	}
@@ -271,20 +322,7 @@ func resolveCompositions(rp *Replay) {
 	for changed := true; changed; {
 		changed = false
 		for _, c := range compos {
-			if c.cut {
-				continue
-			}
-			complete := len(c.effects) > 0 && c.commitAt >= 0 && c.commitAt < keep[c.commitSh]
-			if complete {
-				for _, p := range c.participants() {
-					idx, ok := c.intentAt[p]
-					if !ok || idx >= keep[p] {
-						complete = false
-						break
-					}
-				}
-			}
-			if complete {
+			if c.cut || c.committed(keep) {
 				continue
 			}
 			c.cut = true
@@ -299,6 +337,39 @@ func resolveCompositions(rp *Replay) {
 	}
 	for i := range rp.Shards {
 		rp.Shards[i].Keep = keep[i]
+	}
+
+	// Heal committed compositions with missing evidence, in id order.
+	ids := make([]uint64, 0, len(compos))
+	for id, c := range compos {
+		if !c.cut {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		c := compos[id]
+		healed := false
+		for _, p := range c.participants() {
+			if idx, ok := c.intentAt[p]; ok && idx < keep[p] {
+				continue
+			}
+			healed = true
+			rp.Shards[p].repair = append(rp.Shards[p].repair,
+				Record{Kind: KindIntent, TxID: c.txid, Effects: c.effects})
+		}
+		// A covered composition can survive its marker (the snapshot is
+		// the proof); restore the marker too so the healed state stands
+		// on its own if the snap file is later lost.
+		if c.commitAt < 0 || c.commitAt >= keep[c.commitSh] {
+			coord := slices.Min(c.participants())
+			rp.Shards[coord].repair = append(rp.Shards[coord].repair,
+				Record{Kind: KindCommit, TxID: c.txid})
+			healed = true
+		}
+		if healed {
+			rp.Healed = append(rp.Healed, id)
+		}
 	}
 }
 
@@ -321,10 +392,13 @@ func finishShard(sh *ShardState) {
 // Apply replays the recovered state: per shard, the snapshot entries,
 // then every surviving record past the snapshot — puts and removes
 // directly, a committed intent's effects routed to the shard they were
-// tagged with. Every intent inside a surviving prefix belongs to a
-// committed composition (resolveCompositions cut the others), so replay
-// never materializes a torn composition. Apply is read-only on the
-// Replay and can run any number of times (recovery idempotence).
+// tagged with — then the shard's repair records (healed compositions
+// whose intent this shard's prefix is missing; nothing logged after a
+// lost record ever survives on its shard, so the tail is the lost
+// intent's position). Every intent inside a surviving prefix belongs to
+// a committed composition (resolveCompositions cut the others), so
+// replay never materializes a torn composition. Apply is read-only on
+// the Replay and can run any number of times (recovery idempotence).
 func (rp *Replay) Apply(put func(key, val int64), remove func(key int64)) {
 	for i := range rp.Shards {
 		sh := &rp.Shards[i]
@@ -336,23 +410,31 @@ func (rp *Replay) Apply(put func(key, val int64), remove func(key int64)) {
 			if r.Seq <= sh.SnapSeq {
 				continue
 			}
-			switch r.Kind {
-			case KindPut:
-				put(r.Key, r.Val)
-			case KindRemove:
-				remove(r.Key)
-			case KindIntent:
-				for k := range r.Effects {
-					e := &r.Effects[k]
-					if e.Shard != i {
-						continue
-					}
-					if e.Remove {
-						remove(e.Key)
-					} else {
-						put(e.Key, e.Val)
-					}
-				}
+			applyRecord(r, i, put, remove)
+		}
+		for j := range sh.repair {
+			applyRecord(&sh.repair[j], i, put, remove)
+		}
+	}
+}
+
+// applyRecord replays one record's effect on shard i.
+func applyRecord(r *Record, i int, put func(key, val int64), remove func(key int64)) {
+	switch r.Kind {
+	case KindPut:
+		put(r.Key, r.Val)
+	case KindRemove:
+		remove(r.Key)
+	case KindIntent:
+		for k := range r.Effects {
+			e := &r.Effects[k]
+			if e.Shard != i {
+				continue
+			}
+			if e.Remove {
+				remove(e.Key)
+			} else {
+				put(e.Key, e.Val)
 			}
 		}
 	}
@@ -379,6 +461,9 @@ func (rp *Replay) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "wal: recovered %d shards: %d records, %d snapshots, %d compositions rolled back",
 		len(rp.Shards), records, snaps, len(rp.Aborted))
+	if len(rp.Healed) > 0 {
+		fmt.Fprintf(&b, ", %d healed from surviving intents", len(rp.Healed))
+	}
 	if torn > 0 {
 		fmt.Fprintf(&b, ", %d torn tails (first: %v)", torn, firstTorn)
 	}

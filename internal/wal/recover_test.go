@@ -274,16 +274,19 @@ func TestTornTailBitFlip(t *testing.T) {
 	}
 }
 
-// TestIncompleteCompositionRollsBack: a composition whose evidence is
-// incomplete (a participant's intent lost to a torn tail) rolls back on
-// every participant — replay materializes all of it or none of it — and
-// everything logged after the lost intent on the cut shards goes too
-// (the causal-consistency fixpoint).
-func TestIncompleteCompositionRollsBack(t *testing.T) {
+// TestMissingIntentHealsFromMarker: a committed composition whose
+// intent never reached one participant's disk is healed from the
+// coordinator's surviving evidence (the marker sits right after the
+// coordinator's intent, which carries the full effect list) — not
+// rolled back. Records acknowledged after the composition on the
+// surviving shards must come through untouched, and Open must
+// materialize the heal so later appends order correctly across another
+// crash.
+func TestMissingIntentHealsFromMarker(t *testing.T) {
 	const shards = 2
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, shards)
-	if err := logPut(l, 0, 0, 1); err != nil { // survives: before the composition
+	if err := logPut(l, 0, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := logComposed(l, []int{0, 1}, []Effect{
@@ -291,7 +294,10 @@ func TestIncompleteCompositionRollsBack(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := logPut(l, 1, 21, 2); err != nil { // after shard 1's intent: cut with it
+	if err := logPut(l, 0, 20, 9); err != nil { // acked after the composition: must survive
+		t.Fatal(err)
+	}
+	if err := logPut(l, 1, 21, 2); err != nil { // lost with shard 1's file below
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -308,16 +314,92 @@ func TestIncompleteCompositionRollsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rp.Aborted) != 1 {
-		t.Fatalf("aborted = %v, want exactly the torn composition", rp.Aborted)
+	if len(rp.Aborted) != 0 {
+		t.Fatalf("aborted = %v, want none: the commit marker survived", rp.Aborted)
 	}
-	got := applied(rp)
+	if len(rp.Healed) != 1 || rp.Healed[0] != 1 {
+		t.Fatalf("healed = %v, want the composition's id", rp.Healed)
+	}
+	want := map[int64]int64{0: 1, 10: 7, 11: 7, 20: 9}
+	assertState(t, applied(rp), want, "heal")
+	if k := rp.Shards[0].Keep; k != 4 {
+		t.Fatalf("shard 0 keeps %d records, want all 4", k)
+	}
+
+	// Open re-appends the healed intent to shard 1's file; a later write
+	// to the healed key must then land after it, even across another
+	// scan.
+	l2, rp2 := openLog(t, dir, shards)
+	assertState(t, applied(rp2), want, "heal after open")
+	if err := logPut(l2, 1, 11, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rp3, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp3.Healed) != 0 {
+		t.Fatalf("healed = %v after Open materialized the repair, want none", rp3.Healed)
+	}
+	want[11] = 99
+	assertState(t, applied(rp3), want, "write after heal")
+}
+
+// TestLostMarkerRollsBack: with the commit marker lost (and no snapshot
+// coverage), the composition's fate is unknowable and it rolls back on
+// every participant by cutting at the intents — including, per the
+// documented power-loss caveat, records acknowledged after a
+// participant's intent.
+func TestLostMarkerRollsBack(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, shards)
+	if err := logPut(l, 0, 0, 1); err != nil { // survives: before the composition
+		t.Fatal(err)
+	}
+	// The two-phase protocol minus the marker: as after a crash where
+	// the coordinator's batch (intent+marker are appended back-to-back
+	// under the locks, so they share a flush) died between the
+	// participants' flushes. Here the coordinator's intent survives too,
+	// modeling a torn tail that cut exactly the marker.
+	effects := []Effect{{Shard: 0, Key: 10, Val: 7}, {Shard: 1, Key: 11, Val: 7}}
+	l.Lock(0)
+	l.Lock(1)
+	txid := l.NextTxID()
+	s0 := l.AppendIntent(0, txid, effects)
+	s1 := l.AppendIntent(1, txid, effects)
+	l.Unlock(1)
+	l.Unlock(0)
+	if err := l.Sync(0, s0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(1, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := logPut(l, 1, 21, 2); err != nil { // after shard 1's intent: cut with it
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Aborted) != 1 || rp.Aborted[0] != txid {
+		t.Fatalf("aborted = %v, want exactly the markerless composition", rp.Aborted)
+	}
+	if len(rp.Healed) != 0 {
+		t.Fatalf("healed = %v, want none without a marker", rp.Healed)
+	}
 	want := map[int64]int64{0: 1}
-	assertState(t, got, want, "rollback")
-	// Shard 0's file keeps only the pre-composition record; Open
-	// truncates the stranded intent+commit.
-	if k := rp.Shards[0].Keep; k != 1 {
-		t.Fatalf("shard 0 keeps %d records, want 1", k)
+	assertState(t, applied(rp), want, "rollback")
+	if k0, k1 := rp.Shards[0].Keep, rp.Shards[1].Keep; k0 != 1 || k1 != 0 {
+		t.Fatalf("keep = %d/%d, want 1/0 (cut at the intents)", k0, k1)
 	}
 
 	l2, rp2 := openLog(t, dir, shards)
@@ -425,6 +507,158 @@ func TestCorruptSnapshotIgnored(t *testing.T) {
 		t.Fatal("intact snapshot dropped")
 	}
 	assertState(t, applied(rp), want, "corrupt snapshot fallback")
+}
+
+// snapshotNow writes one snapshot generation the way Store.Snapshot
+// does: all commit locks at once, per-shard seq and contents, release,
+// write. perShard[i] is shard i's expected contents.
+func snapshotNow(t *testing.T, l *Log, perShard []map[int64]int64) {
+	t.Helper()
+	n := len(perShard)
+	seqs := make([]uint64, n)
+	entries := make([][]Entry, n)
+	for i := 0; i < n; i++ {
+		l.Lock(i)
+	}
+	for i := 0; i < n; i++ {
+		seqs[i] = l.SeqOf(i)
+		for k, v := range perShard[i] {
+			entries[i] = append(entries[i], Entry{Key: k, Val: v})
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		l.Unlock(i)
+	}
+	if err := l.WriteSnapshots(seqs, entries); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptSnapshotPreSnapshotComposition: a composition committed
+// and snapshotted, followed by an acknowledged put, then one shard's
+// snap file corrupts. Snapshot coverage is per shard, but the
+// composition's commit decision must not be: the corrupt shard falls
+// back to its full log (whose evidence is all there — logs are never
+// truncated by snapshotting), the composition stays committed, and
+// nothing is rolled back or torn.
+func TestCorruptSnapshotPreSnapshotComposition(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, shards)
+	if err := logComposed(l, []int{0, 1}, []Effect{
+		{Shard: 0, Key: 100, Val: 1}, {Shard: 1, Key: 101, Val: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := logPut(l, 0, 200, 5); err != nil { // acked: must survive
+		t.Fatal(err)
+	}
+	snapshotNow(t, l, []map[int64]int64{{100: 1, 200: 5}, {101: 2}})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, snapFileName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Shards[0].SnapCorrupt == nil {
+		t.Fatal("corrupt snap file not reported")
+	}
+	if len(rp.Aborted) != 0 {
+		t.Fatalf("aborted = %v: a snapshotted composition was rolled back", rp.Aborted)
+	}
+	want := map[int64]int64{100: 1, 101: 2, 200: 5}
+	assertState(t, applied(rp), want, "corrupt snap, pre-snapshot composition")
+	if k, n := rp.Shards[0].Keep, len(rp.Shards[0].Records); k != n {
+		t.Fatalf("shard 0 keeps %d of %d records; its log was cut", k, n)
+	}
+
+	l2, rp2 := openLog(t, dir, shards)
+	assertState(t, applied(rp2), want, "after open")
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rp3, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertState(t, applied(rp3), want, "after open, rescanned")
+}
+
+// TestMixedSnapshotGenerations: a crash between WriteSnapshots' renames
+// leaves shard 0 with the new generation and shard 1 with the old one.
+// A composition inside the gap is covered by shard 0's snapshot but not
+// shard 1's; coverage anywhere proves the whole composition durable
+// (the barrier synced every log first), so recovery must equal the
+// full-log replay — nothing aborted, nothing torn.
+func TestMixedSnapshotGenerations(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, shards)
+	perShard := []map[int64]int64{{}, {}}
+	for i := int64(0); i < 10; i++ {
+		sh := int(i % shards)
+		if err := logPut(l, sh, i, i); err != nil {
+			t.Fatal(err)
+		}
+		perShard[sh][i] = i
+	}
+	snapshotNow(t, l, perShard)
+	gen1, err := os.ReadFile(filepath.Join(dir, snapFileName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := logComposed(l, []int{0, 1}, []Effect{
+		{Shard: 0, Key: 300, Val: 7}, {Shard: 1, Key: 301, Val: 8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	perShard[0][300], perShard[1][301] = 7, 8
+	if err := logPut(l, 1, 400, 9); err != nil { // acked: must survive
+		t.Fatal(err)
+	}
+	perShard[1][400] = 9
+	snapshotNow(t, l, perShard)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash: shard 1's gen-2 rename never happened.
+	if err := os.WriteFile(filepath.Join(dir, snapFileName(1)), gen1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[int64]int64{}
+	for _, m := range perShard {
+		for k, v := range m {
+			want[k] = v
+		}
+	}
+	rp, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Aborted) != 0 {
+		t.Fatalf("aborted = %v: mixed snapshot generations rolled back a committed composition", rp.Aborted)
+	}
+	assertState(t, applied(rp), want, "mixed generations")
+	full, err := ScanNoSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertState(t, applied(full), want, "full log")
 }
 
 // TestSummaryMentionsRecovery pins the startup log line CI greps for.

@@ -24,8 +24,8 @@ type Options struct {
 // through the server's stats endpoint into the wal_* CSV columns.
 type Stats struct {
 	Appends uint64 // records appended
-	Syncs   uint64 // flush batches written (fsync syscalls when enabled)
-	Bytes   uint64 // bytes written to log files
+	Syncs   uint64 // flush batches fully written (fsync syscalls when enabled)
+	Bytes   uint64 // bytes the OS accepted into log files
 }
 
 // shardLog is one shard's log: a commit lock ordering appends with the
@@ -175,6 +175,33 @@ func Open(dir string, o Options) (*Log, *Replay, error) {
 		s.f = f
 		s.seq = sh.LastSeq
 		s.durable = sh.LastSeq
+		// Materialize the shard's healed compositions (see
+		// ShardState.repair): re-append the evidence a crash kept off
+		// this shard's disk, with fresh sequences, so the heal is
+		// ordinary log state — without this, a later append followed by
+		// another crash would replay the healed effects after it, out of
+		// order.
+		if len(sh.repair) > 0 {
+			var buf []byte
+			for j := range sh.repair {
+				s.seq++
+				sh.repair[j].Seq = s.seq
+				buf = appendFrame(buf, &sh.repair[j])
+			}
+			_, err := f.Write(buf)
+			if err == nil && o.Fsync {
+				err = f.Sync()
+			}
+			if err != nil {
+				l.closeFiles()
+				return nil, nil, err
+			}
+			s.durable = s.seq
+			sh.LastSeq = s.seq
+			l.appends.Add(uint64(len(sh.repair)))
+			l.syncs.Add(1)
+			l.bytes.Add(uint64(len(buf)))
+		}
 	}
 	if o.Fsync {
 		if err := syncDir(dir); err != nil {
@@ -210,6 +237,10 @@ func syncDir(dir string) error {
 
 // NextTxID allocates a composition transaction id (unique for the life
 // of the directory: Open resumes past every id seen in the log).
+// Composed committers must allocate it while holding every
+// participant's commit lock (as the store does), so that id order
+// matches log order on any shard two compositions share — recovery
+// orders healed evidence by id (see resolveCompositions).
 func (l *Log) NextTxID() uint64 { return l.txid.Add(1) }
 
 // Lock acquires shard's commit lock. The caller runs the shard's
@@ -294,12 +325,18 @@ func (l *Log) Sync(shard int, seq uint64) error {
 
 		var err error
 		if len(batch) > 0 {
-			_, err = s.f.Write(batch)
+			var n int
+			n, err = s.f.Write(batch)
 			if err == nil && l.fsync {
 				err = s.f.Sync()
 			}
-			l.syncs.Add(1)
-			l.bytes.Add(uint64(len(batch)))
+			// Count only durable work: the bytes Write reported written,
+			// and the flush only when it fully succeeded — a failed
+			// flush must not inflate the wal_* CSV columns.
+			l.bytes.Add(uint64(n))
+			if err == nil {
+				l.syncs.Add(1)
+			}
 		}
 
 		s.fmu.Lock()

@@ -380,3 +380,37 @@ func TestStatsCount(t *testing.T) {
 		t.Fatal("nil log not inert")
 	}
 }
+
+// TestStatsNotCountedOnError: a failed flush must not advance the
+// wal_syncs/wal_bytes counters — the CSV columns report durable work,
+// not attempts.
+func TestStatsNotCountedOnError(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 1)
+	if err := logPut(l, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Stats()
+
+	// Kill the file descriptor under the log: the next flush's Write
+	// fails, and the error goes sticky.
+	if err := l.shards[0].f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := logPut(l, 0, 2, 2); err == nil {
+		t.Fatal("Sync on a dead file reported success")
+	}
+	after := l.Stats()
+	if after.Syncs != before.Syncs {
+		t.Fatalf("Syncs advanced %d -> %d across a failed flush", before.Syncs, after.Syncs)
+	}
+	if after.Bytes != before.Bytes {
+		t.Fatalf("Bytes advanced %d -> %d across a failed flush", before.Bytes, after.Bytes)
+	}
+	if after.Appends != before.Appends+1 {
+		t.Fatalf("Appends = %d, want %d (the record was buffered)", after.Appends, before.Appends+1)
+	}
+	if err := l.Sync(0, l.shards[0].seq); err == nil {
+		t.Fatal("sticky error cleared itself")
+	}
+}
