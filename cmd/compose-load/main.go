@@ -40,6 +40,7 @@ func main() {
 		theta    = flag.Float64("theta", workload.DefaultTheta, "zipfian skew in (0,1)")
 		hot      = flag.String("hot", fmt.Sprintf("%d/%d", workload.DefaultHotOpsPct, workload.DefaultHotKeysPct), "hotspot shape opsPct/keysPct")
 		shift    = flag.Int("shift-every", workload.DefaultShiftEvery, "shifting-hotspot rotation period (draws)")
+		pipeline = flag.Int("pipeline", 1, "requests per round trip (pipelining depth; a batch-mode server executes each burst as one speculation batch)")
 		seed     = flag.Uint64("seed", 0, "worker seed (0 = default)")
 		noFill   = flag.Bool("no-fill", false, "skip pre-filling the keyspace")
 		csvPath  = flag.String("csv", "", "also write the result as CSV (schema: "+harness.CSVHeader+")")
@@ -79,6 +80,7 @@ func main() {
 		Dist:     distCfg,
 		Seed:     *seed,
 		SkipFill: *noFill,
+		Pipeline: *pipeline,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "compose-load:", err)

@@ -56,6 +56,9 @@ func main() {
 		walDir  = flag.String("wal-dir", "", "write-ahead-log directory: makes the store durable, recovering its contents on start (empty = in-memory only)")
 		fsync   = flag.Bool("fsync", true, "fsync every WAL group commit (with -wal-dir; off, acknowledged writes survive crashes but not power loss)")
 		snap    = flag.Duration("snapshot-every", 0, "periodic WAL snapshot interval (with -wal-dir; 0 = none)")
+		exec    = flag.String("exec", server.ExecConn, "execution model: conn (goroutine per connection) or batch (speculative batch executor; pipelined bursts run as optimistic parallel batches committed in arrival order)")
+		workers = flag.Int("batch-workers", 0, "batch executor worker-pool size (with -exec=batch; 0 = GOMAXPROCS)")
+		maxBat  = flag.Int("max-batch", 0, "max requests per speculation batch (with -exec=batch; 0 = library default)")
 	)
 	flag.Parse()
 
@@ -75,6 +78,9 @@ func main() {
 		WALDir:        *walDir,
 		Fsync:         *fsync,
 		SnapshotEvery: *snap,
+		Exec:          *exec,
+		BatchWorkers:  *workers,
+		MaxBatch:      *maxBat,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "compose-server:", err)
@@ -91,8 +97,8 @@ func main() {
 	if *unsound {
 		mode = " (UNSOUND: composed atomicity deliberately broken)"
 	}
-	fmt.Printf("compose-server: engine=%s cm=%s shards=%d listening on %s%s\n",
-		eng.Name, *cmName, *shards, srv.Addr(), mode)
+	fmt.Printf("compose-server: engine=%s cm=%s shards=%d exec=%s listening on %s%s\n",
+		eng.Name, *cmName, *shards, *exec, srv.Addr(), mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -175,6 +175,16 @@ type Result struct {
 	WALAppends uint64
 	WALSyncs   uint64
 	WALBytes   uint64
+	// Exec is the execution-model axis of networked load results: the
+	// server's mode ("conn" or "batch"), "-" (rendered for the empty
+	// string) for in-process runs. The spec_* counters are the
+	// speculative executor's deltas over the measured window — Speculate
+	// attempts, attempts beyond a transaction's first, and completed
+	// attempts whose read set failed validation; all zero in conn mode.
+	Exec                string
+	SpecExecs           uint64
+	SpecReexecs         uint64
+	SpecValidationFails uint64
 }
 
 // setLatency installs a measured histogram and its headline percentiles.

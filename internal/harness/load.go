@@ -123,6 +123,13 @@ type LoadConfig struct {
 	// key (fill happens before the warmup and is excluded from stats
 	// deltas).
 	SkipFill bool
+	// Pipeline is the pipelining depth: each worker issues this many
+	// requests per round trip (0 or 1 = classic one-at-a-time). Against
+	// a batch-mode server a pipelined burst becomes one speculation
+	// batch, so this is the knob that feeds the speculative executor
+	// parallel work; against a conn-mode server it just amortizes
+	// network round trips.
+	Pipeline int
 }
 
 // normalize applies defaults.
@@ -151,6 +158,9 @@ func (cfg LoadConfig) normalize() LoadConfig {
 	if cfg.Seed == 0 {
 		cfg.Seed = 0x10ad
 	}
+	if cfg.Pipeline == 0 {
+		cfg.Pipeline = 1
+	}
 	return cfg
 }
 
@@ -172,9 +182,9 @@ func RunLoad(cfg LoadConfig) (Result, error) {
 	// normalize only defaults zero values; explicit negatives (or a
 	// negative duration) must fail loudly, not panic in a worker or
 	// silently measure nothing.
-	if cfg.Conns < 1 || cfg.Keys < 1 || cfg.Span < 1 || cfg.Duration < 0 || cfg.Warmup < 0 || cfg.MaxVal < 1 {
-		return Result{}, fmt.Errorf("harness: invalid load shape: conns=%d keys=%d span=%d duration=%v warmup=%v maxval=%d",
-			cfg.Conns, cfg.Keys, cfg.Span, cfg.Duration, cfg.Warmup, cfg.MaxVal)
+	if cfg.Conns < 1 || cfg.Keys < 1 || cfg.Span < 1 || cfg.Duration < 0 || cfg.Warmup < 0 || cfg.MaxVal < 1 || cfg.Pipeline < 1 {
+		return Result{}, fmt.Errorf("harness: invalid load shape: conns=%d keys=%d span=%d duration=%v warmup=%v maxval=%d pipeline=%d",
+			cfg.Conns, cfg.Keys, cfg.Span, cfg.Duration, cfg.Warmup, cfg.MaxVal, cfg.Pipeline)
 	}
 
 	statsClient, err := server.DialTimeout(cfg.Addr, 5*time.Second)
@@ -230,7 +240,8 @@ func RunLoad(cfg LoadConfig) (Result, error) {
 					counting = true
 					prev = time.Now()
 				}
-				if err := w.step(); err != nil {
+				n, err := w.step()
+				if err != nil {
 					fail(fmt.Errorf("worker %d: %w", idx, err))
 					return
 				}
@@ -238,7 +249,10 @@ func RunLoad(cfg LoadConfig) (Result, error) {
 				// the measuring transition (one long stalled round trip)
 				// must not fold its warmup ops into the measured total.
 				if counting {
-					ops++
+					ops += uint64(n)
+					// One histogram sample per round trip: with
+					// pipelining the sample is the burst's latency —
+					// what a pipelined client actually waits.
 					now := time.Now()
 					hist.Record(now.Sub(prev))
 					prev = now
@@ -280,26 +294,34 @@ func RunLoad(cfg LoadConfig) (Result, error) {
 	if ident.WALEnabled {
 		walLabel = "on"
 	}
+	execLabel := ident.Exec
+	if execLabel == "" {
+		execLabel = server.ExecConn // pre-exec servers are conn-mode
+	}
 	r := Result{
-		Engine:        ident.Engine,
-		Scenario:      LoadScenario,
-		Structure:     fmt.Sprintf("store/%dshards", ident.Shards),
-		CM:            ident.CM,
-		WAL:           walLabel,
-		WALAppends:    satSub(s1.WALAppends, s0.WALAppends),
-		WALSyncs:      satSub(s1.WALSyncs, s0.WALSyncs),
-		WALBytes:      satSub(s1.WALBytes, s0.WALBytes),
-		Dist:          cfg.Dist.Label(),
-		Theta:         cfg.Dist.ZipfTheta(),
-		Threads:       cfg.Conns,
-		OpsPerMs:      float64(totalOps) / float64(elapsed.Milliseconds()+1),
-		AbortRate:     delta.AbortRate(),
-		AllocsPerOp:   allocsPerOp(m1-m0, totalOps),
-		Ops:           totalOps,
-		Commits:       delta.Commits,
-		Aborts:        delta.Aborts,
-		AbortsByCause: delta.AbortsByCause,
-		Elapsed:       elapsed,
+		Engine:              ident.Engine,
+		Scenario:            LoadScenario,
+		Structure:           fmt.Sprintf("store/%dshards", ident.Shards),
+		CM:                  ident.CM,
+		WAL:                 walLabel,
+		WALAppends:          satSub(s1.WALAppends, s0.WALAppends),
+		WALSyncs:            satSub(s1.WALSyncs, s0.WALSyncs),
+		WALBytes:            satSub(s1.WALBytes, s0.WALBytes),
+		Exec:                execLabel,
+		SpecExecs:           satSub(s1.SpecExecs, s0.SpecExecs),
+		SpecReexecs:         satSub(s1.SpecReexecs, s0.SpecReexecs),
+		SpecValidationFails: satSub(s1.SpecValidationFails, s0.SpecValidationFails),
+		Dist:                cfg.Dist.Label(),
+		Theta:               cfg.Dist.ZipfTheta(),
+		Threads:             cfg.Conns,
+		OpsPerMs:            float64(totalOps) / float64(elapsed.Milliseconds()+1),
+		AbortRate:           delta.AbortRate(),
+		AllocsPerOp:         allocsPerOp(m1-m0, totalOps),
+		Ops:                 totalOps,
+		Commits:             delta.Commits,
+		Aborts:              delta.Aborts,
+		AbortsByCause:       delta.AbortsByCause,
+		Elapsed:             elapsed,
 	}
 	r.setLatency(totalHist)
 	return r, nil
@@ -372,6 +394,10 @@ type loadWorker struct {
 	thresholds [5]int
 	batchK     []int64
 	batchV     []int64
+	// reqs/resps are the pipelined burst buffers (len Pipeline; nil when
+	// the depth is 1).
+	reqs  []wire.Request
+	resps []wire.Response
 }
 
 func newLoadWorker(cfg LoadConfig, idx int) (*loadWorker, error) {
@@ -393,6 +419,10 @@ func newLoadWorker(cfg LoadConfig, idx int) (*loadWorker, error) {
 	w.thresholds[2] = w.thresholds[1] + m.RemovePct
 	w.thresholds[3] = w.thresholds[2] + m.MGetPct
 	w.thresholds[4] = w.thresholds[3] + m.MPutPct
+	if cfg.Pipeline > 1 {
+		w.reqs = make([]wire.Request, cfg.Pipeline)
+		w.resps = make([]wire.Response, cfg.Pipeline)
+	}
 	return w, nil
 }
 
@@ -414,31 +444,74 @@ func (w *loadWorker) batch(withVals bool) {
 	}
 }
 
-// step issues one request.
-func (w *loadWorker) step() error {
+// step issues one round trip — a single request, or a pipelined burst of
+// Pipeline requests — and returns how many requests completed.
+func (w *loadWorker) step() (int, error) {
+	if w.cfg.Pipeline > 1 {
+		return w.stepPipeline()
+	}
 	r := w.rng.IntN(100)
 	switch {
 	case r < w.thresholds[0]:
 		_, _, err := w.cl.Get(w.key())
-		return err
+		return 1, err
 	case r < w.thresholds[1]:
 		_, err := w.cl.Put(w.key(), w.val())
-		return err
+		return 1, err
 	case r < w.thresholds[2]:
 		_, _, err := w.cl.Remove(w.key())
-		return err
+		return 1, err
 	case r < w.thresholds[3]:
 		w.batch(false)
 		_, _, err := w.cl.MGet(w.batchK)
-		return ignoreExhausted(err)
+		return 1, ignoreExhausted(err)
 	case r < w.thresholds[4]:
 		w.batch(true)
-		return ignoreExhausted(w.cl.MPut(w.batchK, w.batchV))
+		return 1, ignoreExhausted(w.cl.MPut(w.batchK, w.batchV))
 	default:
 		from, to := w.key(), w.key()
 		_, err := w.cl.CompareAndMove(from, to, w.val())
-		return ignoreExhausted(err)
+		return 1, ignoreExhausted(err)
 	}
+}
+
+// stepPipeline draws Pipeline requests from the mix and issues them as
+// one burst. Responses are checked for typed errors (retry exhaustion
+// tolerated, like the one-at-a-time path).
+func (w *loadWorker) stepPipeline() (int, error) {
+	for i := range w.reqs {
+		q := &w.reqs[i]
+		q.Keys, q.Vals = q.Keys[:0], q.Vals[:0]
+		r := w.rng.IntN(100)
+		switch {
+		case r < w.thresholds[0]:
+			q.Op, q.Key = wire.OpGet, w.key()
+		case r < w.thresholds[1]:
+			q.Op, q.Key, q.Val = wire.OpPut, w.key(), w.val()
+		case r < w.thresholds[2]:
+			q.Op, q.Key = wire.OpRemove, w.key()
+		case r < w.thresholds[3]:
+			w.batch(false)
+			q.Op = wire.OpMGet
+			q.Keys = append(q.Keys, w.batchK...)
+		case r < w.thresholds[4]:
+			w.batch(true)
+			q.Op = wire.OpMPut
+			q.Keys = append(q.Keys, w.batchK...)
+			q.Vals = append(q.Vals, w.batchV...)
+		default:
+			q.Op, q.Key, q.To, q.Val = wire.OpCompareAndMove, w.key(), w.key(), w.val()
+		}
+	}
+	if err := w.cl.Pipeline(w.reqs, w.resps); err != nil {
+		return 0, err
+	}
+	for i := range w.resps {
+		if w.resps[i].Status == wire.StatusErr && w.resps[i].Err != wire.ErrRetryExhausted {
+			return 0, fmt.Errorf("pipelined %s: %s: %s", w.reqs[i].Op, w.resps[i].Err, w.resps[i].Msg)
+		}
+	}
+	return len(w.reqs), nil
 }
 
 // ignoreExhausted tolerates ErrRetryExhausted on composed requests:

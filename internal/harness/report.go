@@ -130,6 +130,9 @@ func average(rs []Result) Result {
 			out.WALAppends += r.WALAppends
 			out.WALSyncs += r.WALSyncs
 			out.WALBytes += r.WALBytes
+			out.SpecExecs += r.SpecExecs
+			out.SpecReexecs += r.SpecReexecs
+			out.SpecValidationFails += r.SpecValidationFails
 		}
 	}
 	out.OpsPerMs = stats.Mean(tp)
@@ -366,15 +369,21 @@ func FormatCauses(results []Result) string {
 // results, "-" for in-process runs) with
 // wal_appends/wal_syncs/wal_bytes, the server's write-ahead-log deltas
 // over the measured window (records appended, group-commit flush
-// batches, bytes written). The wal columns sit at the end so pre-WAL
-// consumers' positional indexes keep working.
+// batches, bytes written), and the execution-model axis: exec ("conn" or
+// "batch" for server load results, "-" for in-process runs) with
+// spec_execs/spec_reexecs/spec_validation_fails, the speculative
+// executor's deltas over the measured window (Speculate attempts,
+// attempts beyond a transaction's first, completed attempts whose read
+// set failed validation; all zero in conn mode). The wal and exec
+// columns sit at the end, newest last, so earlier consumers' positional
+// indexes keep working.
 var CSVHeader = func() string {
 	cols := "scenario,structure,bulk_pct,engine,cm,dist,theta,threads,ops_per_ms,abort_rate,allocs_per_op," +
 		"lat_p50_us,lat_p95_us,lat_p99_us,lat_max_us,violations,ops,commits,aborts"
 	for _, c := range displayCauses() {
 		cols += ",aborts_" + c.Slug()
 	}
-	return cols + ",wal,wal_appends,wal_syncs,wal_bytes"
+	return cols + ",wal,wal_appends,wal_syncs,wal_bytes,exec,spec_execs,spec_reexecs,spec_validation_fails"
 }()
 
 // CSV renders results as comma-separated rows with a header, for
@@ -397,6 +406,11 @@ func CSV(results []Result) string {
 			walLabel = "-"
 		}
 		fmt.Fprintf(&b, ",%s,%d,%d,%d", walLabel, r.WALAppends, r.WALSyncs, r.WALBytes)
+		execLabel := r.Exec
+		if execLabel == "" {
+			execLabel = "-"
+		}
+		fmt.Fprintf(&b, ",%s,%d,%d,%d", execLabel, r.SpecExecs, r.SpecReexecs, r.SpecValidationFails)
 		b.WriteByte('\n')
 	}
 	return b.String()

@@ -92,3 +92,49 @@ func TestEndToEndAllocsWAL(t *testing.T) {
 		}
 	}
 }
+
+// TestEndToEndAllocsBatch re-pins the budgets under the speculative
+// batch executor. Unpipelined clients send one-request bursts, which
+// the executor runs on its solo fast path — no multi-version map, no
+// worker handoff, a reused View on the dispatcher slot — so batch mode
+// must hold the conn-mode budgets exactly: the only per-request
+// allocation is the AnyVar box of a stored value. A regression here
+// means the fast path fell off (every unpipelined client would pay the
+// full speculation machinery per request).
+func TestEndToEndAllocsBatch(t *testing.T) {
+	s := startServer(t, Config{
+		Engine: "oestm", NewTM: func() stm.TM { return core.New() },
+		Shards: 8, Exec: ExecBatch, BatchWorkers: 4,
+	})
+	c := dial(t, s)
+	keys := []int64{1, 2, 3, 4}
+	if err := c.MPut(keys, []int64{10, 20, 30, 40}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		want float64
+		op   func() error
+	}{
+		{"ping", 0, func() error { return c.Ping() }},
+		{"get-hit", 0, func() error { _, _, err := c.Get(1); return err }},
+		{"get-miss", 0, func() error { _, _, err := c.Get(999); return err }},
+		{"put-overwrite", 1, func() error { _, err := c.Put(1, 99); return err }}, // the AnyVar value box
+		{"remove-miss", 0, func() error { _, _, err := c.Remove(999); return err }},
+		{"cam-refused", 0, func() error { _, err := c.CompareAndMove(1, 2, 12345); return err }},
+		{"mget", 0, func() error { _, _, err := c.MGet(keys); return err }},
+	}
+	for _, tc := range cases {
+		if err := tc.op(); err != nil { // warm buffers, frames and the task pool
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := testing.AllocsPerRun(200, func() {
+			if err := tc.op(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got != tc.want {
+			t.Errorf("%s: %v allocs per round trip in batch mode, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"math"
+	"math/rand/v2"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oestm/internal/wire"
+)
+
+// rawDial opens a bare framed connection to s for byte-level tests.
+func rawDial(t *testing.T, s *Server) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc, bufio.NewReader(nc)
+}
+
+// sendBurst writes bodies as one pipelined burst of frames and returns
+// the response bodies, copied.
+func sendBurst(t *testing.T, nc net.Conn, br *bufio.Reader, bodies [][]byte) [][]byte {
+	t.Helper()
+	var out []byte
+	for _, b := range bodies {
+		var hdr [wire.HeaderSize]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+		out = append(out, hdr[:]...)
+		out = append(out, b...)
+	}
+	if _, err := nc.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	resps := make([][]byte, len(bodies))
+	var buf []byte
+	for i := range bodies {
+		body, err := wire.ReadFrame(br, buf[:0], 0)
+		buf = body[:cap(body)]
+		if err != nil {
+			t.Fatalf("response %d/%d: %v", i, len(bodies), err)
+		}
+		resps[i] = append([]byte(nil), body...)
+	}
+	return resps
+}
+
+// randomBody draws one request body: the full op surface, including
+// reserved-key errors, from==to moves, and undecodable frames — every
+// path both execution models must answer identically.
+func randomBody(rng *rand.Rand, keys int64) []byte {
+	key := func() int64 { return rng.Int64N(keys) }
+	val := func() int64 { return rng.Int64N(100) }
+	var r wire.Request
+	switch n := rng.IntN(100); {
+	case n < 22:
+		r = wire.Request{Op: wire.OpGet, Key: key()}
+	case n < 44:
+		r = wire.Request{Op: wire.OpPut, Key: key(), Val: val()}
+	case n < 54:
+		r = wire.Request{Op: wire.OpRemove, Key: key()}
+	case n < 64:
+		r.Op = wire.OpMGet
+		for i := rng.IntN(6) + 1; i > 0; i-- {
+			r.Keys = append(r.Keys, key())
+		}
+	case n < 74:
+		r.Op = wire.OpMPut
+		for i := rng.IntN(6) + 1; i > 0; i-- {
+			r.Keys = append(r.Keys, key())
+			r.Vals = append(r.Vals, val())
+		}
+	case n < 90:
+		r = wire.Request{Op: wire.OpCompareAndMove, Key: key(), To: key(), Val: val()}
+	case n < 93:
+		r = wire.Request{Op: wire.OpPing}
+	case n < 96:
+		// Reserved key: a typed key-range error either way.
+		r = wire.Request{Op: wire.OpPut, Key: math.MinInt64, Val: val()}
+	default:
+		// Undecodable: unknown opcode. Framing stays intact, both modes
+		// answer the typed decode error and keep serving.
+		return []byte{0xee, 1, 2, 3}
+	}
+	return wire.AppendRequest(nil, &r)
+}
+
+// TestBatchEquivalenceEveryEngine pins the tentpole contract: for every
+// engine, a batch-mode server answers seeded pipelined bursts with
+// byte-identical responses to a conn-mode server given the same request
+// stream, and both end in the same store state. Conflict pressure is
+// real — a tiny key universe keeps transactions colliding so the
+// speculative path validates and re-executes rather than trivially
+// passing. Runs under -race in CI with the pool oversubscribed.
+func TestBatchEquivalenceEveryEngine(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const keys = 24
+	for _, eng := range engines() {
+		t.Run(eng.name, func(t *testing.T) {
+			serial := startServer(t, Config{Engine: eng.name, NewTM: eng.newi, Shards: 8})
+			batch := startServer(t, Config{Engine: eng.name, NewTM: eng.newi, Shards: 8, Exec: ExecBatch, BatchWorkers: 4})
+			ncS, brS := rawDial(t, serial)
+			ncB, brB := rawDial(t, batch)
+
+			rng := rand.New(rand.NewPCG(0x57ec, uint64(len(eng.name))))
+			for burst := 0; burst < 25; burst++ {
+				n := rng.IntN(40) + 1
+				bodies := make([][]byte, n)
+				for i := range bodies {
+					bodies[i] = randomBody(rng, keys)
+				}
+				rs := sendBurst(t, ncS, brS, bodies)
+				rb := sendBurst(t, ncB, brB, bodies)
+				for i := range rs {
+					if !bytes.Equal(rs[i], rb[i]) {
+						t.Fatalf("burst %d response %d diverges:\nconn:  %x\nbatch: %x\nrequest: %x",
+							burst, i, rs[i], rb[i], bodies[i])
+					}
+				}
+			}
+
+			// End-state audit: one MGet snapshot over the universe.
+			all := make([]int64, keys)
+			for k := range all {
+				all[k] = int64(k)
+			}
+			req := wire.AppendRequest(nil, &wire.Request{Op: wire.OpMGet, Keys: all})
+			es := sendBurst(t, ncS, brS, [][]byte{req})
+			eb := sendBurst(t, ncB, brB, [][]byte{req})
+			if !bytes.Equal(es[0], eb[0]) {
+				t.Fatalf("end states diverge:\nconn:  %x\nbatch: %x", es[0], eb[0])
+			}
+		})
+	}
+}
+
+// TestBatchCrossShardConservation drives concurrent pipelined
+// CompareAndMove traffic against a batch-mode server and audits token
+// conservation through MGet snapshots, for every engine — including
+// estm: in batch mode the executor itself serializes cross-shard
+// composition (reads see only committed batch boundaries or complete
+// published write sets), so even the engine without composition support
+// cannot tear a move. Conn mode's estm-violates test shows the same
+// engine tearing when the engine is the only guard.
+func TestBatchCrossShardConservation(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const keys = 64
+	const tokenVal = 7
+	for _, eng := range engines() {
+		t.Run(eng.name, func(t *testing.T) {
+			s := startServer(t, Config{Engine: eng.name, NewTM: eng.newi, Shards: 8, Exec: ExecBatch, BatchWorkers: 4})
+			want := 0
+			fill := dial(t, s)
+			for k := 0; k < keys; k += 2 {
+				if _, err := fill.Put(int64(k), tokenVal); err != nil {
+					t.Fatal(err)
+				}
+				want++
+			}
+			all := make([]int64, keys)
+			for k := range all {
+				all[k] = int64(k)
+			}
+			var stop atomic.Bool
+			var violations atomic.Uint64
+			var failed atomic.Value
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func(idx int) {
+					defer wg.Done()
+					cl, err := Dial(s.Addr().String())
+					if err != nil {
+						failed.Store(err)
+						return
+					}
+					defer cl.Close()
+					rng := rand.New(rand.NewPCG(0xbeef, uint64(idx)))
+					const depth = 8
+					reqs := make([]wire.Request, depth)
+					resps := make([]wire.Response, depth)
+					for !stop.Load() {
+						for j := range reqs {
+							q := &reqs[j]
+							q.Keys, q.Vals = q.Keys[:0], q.Vals[:0]
+							if rng.IntN(100) < 10 {
+								q.Op = wire.OpMGet
+								q.Keys = append(q.Keys, all...)
+							} else {
+								q.Op = wire.OpCompareAndMove
+								q.Key = int64(rng.IntN(keys))
+								q.To = int64(rng.IntN(keys))
+								q.Val = tokenVal
+							}
+						}
+						if err := cl.Pipeline(reqs, resps); err != nil {
+							failed.Store(err)
+							return
+						}
+						for j := range resps {
+							if reqs[j].Op != wire.OpMGet || resps[j].Status != wire.StatusOK {
+								continue
+							}
+							count := 0
+							for k := range all {
+								if resps[j].Present[k] {
+									count++
+									if resps[j].Vals[k] != tokenVal {
+										violations.Add(1)
+									}
+								}
+							}
+							if count != want {
+								violations.Add(1)
+							}
+						}
+					}
+				}(i)
+			}
+			time.Sleep(150 * time.Millisecond)
+			stop.Store(true)
+			wg.Wait()
+			if err := failed.Load(); err != nil {
+				t.Fatalf("worker failed: %v", err)
+			}
+			_, present, err := fill.MGet(all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := 0
+			for k := range all {
+				if present[k] {
+					count++
+				}
+			}
+			if count != want {
+				t.Errorf("end state holds %d tokens, want %d", count, want)
+			}
+			if v := violations.Load(); v != 0 {
+				t.Errorf("%d torn snapshots observed under batch execution", v)
+			}
+		})
+	}
+}
+
+// TestBatchSpecCountersAndStats pins the stats surface: a batch server
+// reports Exec "batch", counts batches and attempts, and exposes the
+// worker threads' transaction commits through the merged payload.
+func TestBatchSpecCountersAndStats(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	eng := engines()[0]
+	s := startServer(t, Config{Engine: eng.name, NewTM: eng.newi, Shards: 8, Exec: ExecBatch, BatchWorkers: 4, MaxBatch: 64})
+	cl := dial(t, s)
+
+	const depth = 32
+	reqs := make([]wire.Request, depth)
+	resps := make([]wire.Response, depth)
+	for round := 0; round < 20; round++ {
+		for i := range reqs {
+			// RMW-shaped conflict pressure on a handful of keys.
+			reqs[i] = wire.Request{Op: wire.OpPut, Key: int64(i % 3), Val: int64(round*depth + i)}
+		}
+		if err := cl.Pipeline(reqs, resps); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var p wire.StatsPayload
+	if err := cl.Stats(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Exec != ExecBatch {
+		t.Errorf("stats exec = %q, want %q", p.Exec, ExecBatch)
+	}
+	if p.SpecBatches == 0 {
+		t.Error("no batches counted")
+	}
+	if p.SpecExecs < 20*depth {
+		t.Errorf("spec execs = %d, want >= %d", p.SpecExecs, 20*depth)
+	}
+	if p.Commits == 0 {
+		t.Error("batch worker commits not merged into stats payload")
+	}
+	if p.SpecReexecs > 0 && p.SpecExecs <= p.SpecReexecs {
+		t.Errorf("execs %d must exceed reexecs %d", p.SpecExecs, p.SpecReexecs)
+	}
+
+	// Conn-mode servers report their mode with zero speculation counters.
+	s2 := startServer(t, Config{Engine: eng.name, NewTM: eng.newi})
+	cl2 := dial(t, s2)
+	if _, err := cl2.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	var p2 wire.StatsPayload
+	if err := cl2.Stats(&p2); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Exec != ExecConn {
+		t.Errorf("conn stats exec = %q, want %q", p2.Exec, ExecConn)
+	}
+	if p2.SpecBatches != 0 || p2.SpecExecs != 0 {
+		t.Errorf("conn server reports speculation counters: %d batches, %d execs", p2.SpecBatches, p2.SpecExecs)
+	}
+}
+
+// TestBatchDrain pins the drain contract in batch mode: a burst already
+// received is answered in full, Shutdown completes cleanly, and the
+// executor is drained before the log closes.
+func TestBatchDrain(t *testing.T) {
+	eng := engines()[0]
+	s := startServer(t, Config{Engine: eng.name, NewTM: eng.newi, Shards: 8, Exec: ExecBatch, BatchWorkers: 4})
+	nc, br := rawDial(t, s)
+
+	const n = 64
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		bodies[i] = wire.AppendRequest(nil, &wire.Request{Op: wire.OpPut, Key: int64(i), Val: int64(i)})
+	}
+	resps := sendBurst(t, nc, br, bodies)
+	for i, r := range resps {
+		if len(r) == 0 || wire.Status(r[0]) != wire.StatusOK {
+			t.Fatalf("response %d not OK: %x", i, r)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung")
+	}
+}
+
+// TestBatchWALRestartAcrossModes pins that batch-mode commits are
+// recovered identically by a conn-mode restart (and vice versa): the two
+// execution models share one log format and one commit-order contract.
+func TestBatchWALRestartAcrossModes(t *testing.T) {
+	eng := engines()[0]
+	dir := t.TempDir()
+	s := startServer(t, Config{Engine: eng.name, NewTM: eng.newi, Shards: 8, Exec: ExecBatch, BatchWorkers: 4, WALDir: dir, Fsync: false})
+	cl := dial(t, s)
+
+	const depth = 24
+	reqs := make([]wire.Request, depth)
+	resps := make([]wire.Response, depth)
+	for i := range reqs {
+		switch i % 4 {
+		case 0, 1:
+			reqs[i] = wire.Request{Op: wire.OpPut, Key: int64(i), Val: int64(100 + i)}
+		case 2:
+			reqs[i] = wire.Request{Op: wire.OpMPut, Keys: []int64{int64(200 + i), int64(300 + i)}, Vals: []int64{int64(i), int64(i)}}
+		default:
+			reqs[i] = wire.Request{Op: wire.OpCompareAndMove, Key: int64(i - 3), To: int64(400 + i), Val: int64(97 + i)}
+		}
+	}
+	if err := cl.Pipeline(reqs, resps); err != nil {
+		t.Fatal(err)
+	}
+	var keys []int64
+	for k := int64(0); k < 500; k++ {
+		keys = append(keys, k)
+	}
+	wantVals, wantOK, err := cl.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals = append([]int64(nil), wantVals...)
+	wantOK = append([]bool(nil), wantOK...)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	s2 := startServer(t, Config{Engine: eng.name, NewTM: eng.newi, Shards: 8, WALDir: dir, Fsync: false})
+	cl2 := dial(t, s2)
+	gotVals, gotOK, err := cl2.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if wantOK[i] != gotOK[i] || (wantOK[i] && wantVals[i] != gotVals[i]) {
+			t.Fatalf("key %d: conn-mode recovery sees (%d,%v), batch wrote (%d,%v)",
+				keys[i], gotVals[i], gotOK[i], wantVals[i], wantOK[i])
+		}
+	}
+}

@@ -77,6 +77,43 @@ func (c *Client) roundTrip() error {
 	return c.resp.Decode(c.req.Op, body)
 }
 
+// Pipeline issues reqs as one pipelined burst: every request is written
+// and flushed before any response is read, and the i'th response is
+// decoded into resps[i] (len(resps) must equal len(reqs); each Response
+// value's slices are reused across calls). A batch-mode server receives
+// the burst whole and executes it as one speculative batch; a conn-mode
+// server serves it sequentially — either way responses come back in
+// request order, so the two modes are indistinguishable here. Returns
+// the first transport or decode error.
+func (c *Client) Pipeline(reqs []wire.Request, resps []wire.Response) error {
+	if len(reqs) != len(resps) {
+		panic("server: Pipeline reqs/resps length mismatch")
+	}
+	for i := range reqs {
+		c.out = wire.AppendRequest(wire.BeginFrame(c.out[:0]), &reqs[i])
+		if err := wire.FinishFrame(c.out); err != nil {
+			return err
+		}
+		if _, err := c.bw.Write(c.out); err != nil {
+			return err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	for i := range reqs {
+		body, err := wire.ReadFrame(c.br, c.in[:0], wire.MaxBody)
+		c.in = body[:cap(body)]
+		if err != nil {
+			return err
+		}
+		if err := resps[i].Decode(reqs[i].Op, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Get returns the value under key and whether it is present.
 func (c *Client) Get(key int64) (int64, bool, error) {
 	c.req = wire.Request{Op: wire.OpGet, Key: key, Keys: c.req.Keys[:0], Vals: c.req.Vals[:0]}

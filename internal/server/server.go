@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"oestm/internal/cm"
+	"oestm/internal/specexec"
 	"oestm/internal/stats"
 	"oestm/internal/stm"
 	"oestm/internal/store"
@@ -56,6 +58,18 @@ type Config struct {
 	// SnapshotEvery, when positive, writes a snapshot generation at that
 	// period (WALDir only) — a replay accelerator; logs are kept whole.
 	SnapshotEvery time.Duration
+	// Exec selects the execution model: ExecConn (default, also "")
+	// serves each connection on its own goroutine; ExecBatch runs the
+	// speculative batch executor — pipelined bursts become batches
+	// executed optimistically in parallel and committed in arrival
+	// order (see batch.go and internal/specexec).
+	Exec string
+	// BatchWorkers is the batch executor's worker-pool size
+	// (Exec == ExecBatch; 0 = GOMAXPROCS).
+	BatchWorkers int
+	// MaxBatch caps how many queued requests one batch drains
+	// (Exec == ExecBatch; 0 = specexec.DefaultMaxBatch).
+	MaxBatch int
 }
 
 // Server is a running instance. Create with New, start with Start.
@@ -74,6 +88,11 @@ type Server struct {
 	snapDone chan struct{}
 	walClose sync.Once
 	walErr   error
+
+	batchClose sync.Once
+
+	// batch is the speculative execution backend (nil in conn mode).
+	batch *batchEngine
 
 	mu       sync.Mutex
 	conns    map[*conn]struct{}
@@ -100,6 +119,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBody == 0 {
 		cfg.MaxBody = wire.MaxBody
+	}
+	switch cfg.Exec {
+	case "":
+		cfg.Exec = ExecConn
+	case ExecConn, ExecBatch:
+	default:
+		return nil, fmt.Errorf("server: unknown exec mode %q", cfg.Exec)
 	}
 	shards := cfg.Shards
 	if shards == 0 {
@@ -130,6 +156,18 @@ func New(cfg Config) (*Server, error) {
 		// frame is live, and the one recovery thread sees them alone.
 		s.st.Recover(stm.NewThread(s.tm), recovery)
 	}
+	if cfg.Exec == ExecBatch {
+		workers := cfg.BatchWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		b, err := newBatchEngine(s, workers, cfg.MaxBatch)
+		if err != nil {
+			s.closeWAL()
+			return nil, err
+		}
+		s.batch = b
+	}
 	return s, nil
 }
 
@@ -148,6 +186,9 @@ func (s *Server) Start() error {
 		return err
 	}
 	s.ln = ln
+	if s.batch != nil {
+		s.batch.exec.Start()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if s.wlog != nil && s.cfg.SnapshotEvery > 0 {
@@ -241,6 +282,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		// Every handler has returned, so no appends are in flight: the
 		// final flush drains whatever the last group commits buffered.
+		// The batch executor closes first — Close drains every batch
+		// already submitted, and its commits append to the log.
+		s.closeBatch()
 		return s.closeWAL()
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -256,14 +300,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// than hang past the caller's deadline forever.
 		select {
 		case <-done:
+			s.closeBatch()
 			_ = s.closeWAL()
 		case <-time.After(time.Second):
-			// Handlers may still be live; closing the log under them
-			// would turn in-flight appends into spurious I/O errors, so
-			// the log is left to the process exit (its contents are
-			// already written by each acknowledged request's Sync).
+			// Handlers may still be live; closing the log (or the batch
+			// executor) under them would turn in-flight work into
+			// spurious errors, so both are left to the process exit
+			// (the log's contents are already written by each
+			// acknowledged request's Sync).
 		}
 		return ctx.Err()
+	}
+}
+
+// closeBatch drains and stops the batch executor, once. Callers must
+// know every handler has returned — nothing may submit afterwards.
+func (s *Server) closeBatch() {
+	if s.batch != nil {
+		s.batchClose.Do(s.batch.exec.Close)
 	}
 }
 
@@ -314,10 +368,19 @@ func (s *Server) statsPayload(p *wire.StatsPayload) {
 		Engine:     s.cfg.Engine,
 		CM:         s.cmName,
 		Shards:     s.st.Shards(),
+		Exec:       s.cfg.Exec,
 		WALEnabled: s.wlog.Enabled(),
 		WALAppends: ws.Appends,
 		WALSyncs:   ws.Syncs,
 		WALBytes:   ws.Bytes,
+	}
+	if s.batch != nil {
+		ss := s.batch.exec.Stats()
+		p.SpecBatches = ss.Batches
+		p.SpecExecs = ss.Execs
+		p.SpecReexecs = ss.Reexecs
+		p.SpecValidationFails = ss.ValidationFails
+		s.batch.mergeInto(p)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -369,6 +432,14 @@ type conn struct {
 	vals []int64
 	oks  []bool
 
+	// Batch-mode state (srv.batch != nil): the pooled tasks of the
+	// current burst, the submission scratch, and the completion signal
+	// the executor's Done callback drives (see batch.go).
+	tasks   []*task
+	burst   []specexec.Txn
+	pending atomic.Int32
+	doneCh  chan struct{}
+
 	stats connStats
 }
 
@@ -378,7 +449,7 @@ func newConn(s *Server, nc net.Conn) *conn {
 	th.CM = cm.MustNew(s.cmName)
 	fr := s.st.NewFrame(th)
 	fr.SetBudget(s.cfg.MaxRetries)
-	return &conn{
+	c := &conn{
 		srv: s,
 		nc:  nc,
 		br:  bufio.NewReaderSize(nc, 32<<10),
@@ -386,10 +457,18 @@ func newConn(s *Server, nc net.Conn) *conn {
 		th:  th,
 		fr:  fr,
 	}
+	if s.batch != nil {
+		c.doneCh = make(chan struct{}, 1)
+	}
+	return c
 }
 
 // handle is the connection's request loop.
 func (c *conn) handle() {
+	if c.srv.batch != nil {
+		c.handleBatch()
+		return
+	}
 	defer func() {
 		c.bw.Flush()
 		c.nc.Close()

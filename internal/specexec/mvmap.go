@@ -1,0 +1,201 @@
+package specexec
+
+import "sync"
+
+// BaseTxn is the Version.Txn sentinel of a base read: the value came
+// from the committed store, below every transaction in the batch.
+const BaseTxn = int32(-1)
+
+// Version identifies one speculative write: the batch index of the
+// transaction that produced it and the incarnation (attempt number)
+// it was produced in. Validation compares versions exactly — a
+// re-execution bumps the incarnation, so stale readers fail even when
+// the re-executed transaction wrote the same key again.
+type Version struct {
+	Txn int32
+	Inc int32
+}
+
+// ReadDesc is one recorded read: the key and the version observed
+// (Txn == BaseTxn for a committed-state read).
+type ReadDesc struct {
+	Key int64
+	Ver Version
+}
+
+// WriteDesc is one write of a transaction's write set: a put of Val
+// under Key, or a removal when Remove is set.
+type WriteDesc struct {
+	Key    int64
+	Val    int64
+	Remove bool
+}
+
+// read outcomes of the multi-version map.
+const (
+	mvMiss     = iota // no write below the reader: fall through to base
+	mvHit             // a committed-attempt write; entry returned
+	mvEstimate        // the write below is an ESTIMATE marker: dependency miss
+)
+
+// verEntry is one transaction's current write of a key: its value (or
+// removal), the incarnation that produced it, and the estimate flag a
+// failed validation sets so higher readers block on the re-execution
+// instead of consuming a doomed value.
+type verEntry struct {
+	txn      int32
+	inc      int32
+	val      int64
+	remove   bool
+	estimate bool
+}
+
+// verList is one key's per-batch version list, sorted by txn ascending.
+// Lists are pooled per stripe and reused across batches.
+type verList struct {
+	entries []verEntry
+}
+
+// stripe is one lock stripe of the map: the key buckets plus the
+// stripe's verList free pool (reset moves every list there, so the
+// steady state allocates nothing).
+type stripe struct {
+	mu   sync.Mutex
+	m    map[int64]*verList
+	free []*verList
+}
+
+// mvStripes is the stripe count (power of two). Sized well above any
+// plausible worker count so stripe collisions stay rare.
+const mvStripes = 128
+
+// stripeMix is the Fibonacci hashing multiplier (2^64/φ), the same
+// spreader the store uses for shards.
+const stripeMix = 0x9e3779b97f4a7c15
+
+// mvMap is the batch's multi-version value map: per-key version lists
+// behind striped locks. It lives for one batch at a time; reset clears
+// it without releasing the buckets or the lists.
+type mvMap struct {
+	stripes [mvStripes]stripe
+}
+
+func (m *mvMap) init() {
+	for i := range m.stripes {
+		m.stripes[i].m = make(map[int64]*verList)
+	}
+}
+
+//compose:noalloc
+func (m *mvMap) stripeOf(key int64) *stripe {
+	return &m.stripes[(uint64(key)*stripeMix)>>(64-7)]
+}
+
+// read returns the highest write of key by a transaction below before:
+// the entry and mvHit, mvEstimate when that write is a marker, or
+// mvMiss when no lower transaction wrote the key.
+//
+//compose:noalloc
+func (m *mvMap) read(key int64, before int32) (e verEntry, status int) {
+	s := m.stripeOf(key)
+	s.mu.Lock()
+	l := s.m[key]
+	if l != nil {
+		for i := len(l.entries) - 1; i >= 0; i-- {
+			if l.entries[i].txn < before {
+				e = l.entries[i]
+				s.mu.Unlock()
+				if e.estimate {
+					return e, mvEstimate
+				}
+				return e, mvHit
+			}
+		}
+	}
+	s.mu.Unlock()
+	return verEntry{}, mvMiss
+}
+
+// write publishes txn's write of key (replacing the transaction's
+// previous entry, clearing any estimate marker on it).
+func (m *mvMap) write(key int64, txn, inc int32, val int64, remove bool) {
+	s := m.stripeOf(key)
+	s.mu.Lock()
+	l := s.m[key]
+	if l == nil {
+		if n := len(s.free); n > 0 {
+			l = s.free[n-1]
+			s.free = s.free[:n-1]
+		} else {
+			l = &verList{}
+		}
+		s.m[key] = l
+	}
+	at := len(l.entries)
+	for i := range l.entries {
+		if l.entries[i].txn == txn {
+			l.entries[i] = verEntry{txn: txn, inc: inc, val: val, remove: remove}
+			s.mu.Unlock()
+			return
+		}
+		if l.entries[i].txn > txn {
+			at = i
+			break
+		}
+	}
+	l.entries = append(l.entries, verEntry{})
+	copy(l.entries[at+1:], l.entries[at:])
+	l.entries[at] = verEntry{txn: txn, inc: inc, val: val, remove: remove}
+	s.mu.Unlock()
+}
+
+// markEstimate flags txn's write of key as an ESTIMATE: readers above
+// dependency-miss on it until the re-execution republishes.
+//
+//compose:noalloc
+func (m *mvMap) markEstimate(key int64, txn int32) {
+	s := m.stripeOf(key)
+	s.mu.Lock()
+	if l := s.m[key]; l != nil {
+		for i := range l.entries {
+			if l.entries[i].txn == txn {
+				l.entries[i].estimate = true
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// drop removes txn's entry for key entirely — a re-execution that no
+// longer writes the key retracts the stale version.
+//
+//compose:noalloc
+func (m *mvMap) drop(key int64, txn int32) {
+	s := m.stripeOf(key)
+	s.mu.Lock()
+	if l := s.m[key]; l != nil {
+		for i := range l.entries {
+			if l.entries[i].txn == txn {
+				l.entries = append(l.entries[:i], l.entries[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// reset clears the map for the next batch, keeping the buckets and
+// pooling the version lists so the steady state allocates nothing.
+func (m *mvMap) reset() {
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		for k, l := range s.m {
+			l.entries = l.entries[:0]
+			s.free = append(s.free, l)
+			delete(s.m, k)
+		}
+		s.mu.Unlock()
+	}
+}

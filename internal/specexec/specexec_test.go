@@ -1,0 +1,438 @@
+package specexec
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// top is one step of a test transaction's op program.
+type top struct {
+	kind int // 0 read, 1 write, 2 delete, 3 read-modify-write (write key = read+val)
+	key  int64
+	val  int64
+}
+
+const (
+	opRead = iota
+	opWrite
+	opDelete
+	opRMW
+)
+
+// testTxn replays an op program against the view, recording what the
+// last (validated) attempt observed.
+type testTxn struct {
+	ops   []top
+	got   []int64
+	gotOK []bool
+}
+
+func (t *testTxn) Speculate(v *View) {
+	t.got = t.got[:0]
+	t.gotOK = t.gotOK[:0]
+	for _, op := range t.ops {
+		switch op.kind {
+		case opRead:
+			val, ok := v.Read(op.key)
+			t.got = append(t.got, val)
+			t.gotOK = append(t.gotOK, ok)
+		case opWrite:
+			v.Write(op.key, op.val)
+		case opDelete:
+			v.Delete(op.key)
+		case opRMW:
+			val, ok := v.Read(op.key)
+			t.got = append(t.got, val)
+			t.gotOK = append(t.gotOK, ok)
+			v.Write(op.key, val+op.val)
+		}
+		if v.Aborted() {
+			return
+		}
+	}
+}
+
+// applySerial runs t's program against model, recording the expected
+// observations — the serial reference the speculative run must match.
+func (t *testTxn) applySerial(model map[int64]int64) (got []int64, gotOK []bool) {
+	for _, op := range t.ops {
+		switch op.kind {
+		case opRead:
+			val, ok := model[op.key]
+			got = append(got, val)
+			gotOK = append(gotOK, ok)
+		case opWrite:
+			model[op.key] = op.val
+		case opDelete:
+			delete(model, op.key)
+		case opRMW:
+			val, ok := model[op.key]
+			got = append(got, val)
+			gotOK = append(gotOK, ok)
+			model[op.key] = val + op.val
+		}
+	}
+	return got, gotOK
+}
+
+// shardedState is the test harness's committed state: per-shard maps so
+// commit jobs genuinely run in parallel, plus committer bookkeeping.
+type shardedState struct {
+	shards []map[int64]int64
+	staged [][]WriteDesc
+	n      int
+	mu     sync.Mutex
+	begins int
+	finis  int
+}
+
+func newShardedState(shards int) *shardedState {
+	s := &shardedState{shards: make([]map[int64]int64, shards)}
+	for i := range s.shards {
+		s.shards[i] = make(map[int64]int64)
+	}
+	return s
+}
+
+func (s *shardedState) shardOf(key int64) int { return int(uint64(key) % uint64(len(s.shards))) }
+
+func (s *shardedState) ReadBase(key int64) (int64, bool) {
+	v, ok := s.shards[s.shardOf(key)][key]
+	return v, ok
+}
+
+func (s *shardedState) Begin(n int) {
+	s.n = n
+	if cap(s.staged) < n {
+		s.staged = make([][]WriteDesc, n)
+	}
+	s.staged = s.staged[:n]
+	s.mu.Lock()
+	s.begins++
+	s.mu.Unlock()
+}
+
+func (s *shardedState) Stage(i int, writes []WriteDesc) { s.staged[i] = writes }
+
+func (s *shardedState) Jobs() int { return len(s.shards) }
+
+func (s *shardedState) RunJob(worker, job int) {
+	m := s.shards[job]
+	for _, ws := range s.staged[:s.n] {
+		for _, w := range ws {
+			if s.shardOf(w.Key) != job {
+				continue
+			}
+			if w.Remove {
+				delete(m, w.Key)
+			} else {
+				m[w.Key] = w.Val
+			}
+		}
+	}
+}
+
+func (s *shardedState) Finish() {
+	s.mu.Lock()
+	s.finis++
+	s.mu.Unlock()
+}
+
+// runBatches drives batches through an executor built over st and waits
+// for every transaction to complete, returning the Done order.
+func runBatches(t *testing.T, st *shardedState, workers, maxBatch int, batches [][]Txn) []Txn {
+	t.Helper()
+	var (
+		mu   sync.Mutex
+		done []Txn
+		wg   sync.WaitGroup
+	)
+	ex, err := New(Config{
+		Workers:   workers,
+		MaxBatch:  maxBatch,
+		NewBase:   func(int) Base { return st },
+		Committer: st,
+		Done: func(tx Txn) {
+			mu.Lock()
+			done = append(done, tx)
+			mu.Unlock()
+			wg.Done()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	for _, b := range batches {
+		wg.Add(len(b))
+		ex.SubmitAll(b)
+	}
+	wg.Wait()
+	ex.Close()
+	return done
+}
+
+func TestDependencyChain(t *testing.T) {
+	// n transactions each incrementing the same key: a full dependency
+	// chain, the worst case for speculation. Serial equivalence demands
+	// transaction i observes exactly i.
+	const n = 48
+	st := newShardedState(4)
+	txns := make([]Txn, n)
+	for i := range txns {
+		txns[i] = &testTxn{ops: []top{{kind: opRMW, key: 7, val: 1}}}
+	}
+	runBatches(t, st, 4, n, [][]Txn{txns})
+	for i, tx := range txns {
+		tt := tx.(*testTxn)
+		if len(tt.got) != 1 || tt.got[0] != int64(i) {
+			t.Fatalf("txn %d observed %v, want [%d]", i, tt.got, i)
+		}
+		if (i == 0) == tt.gotOK[0] {
+			t.Fatalf("txn %d presence = %v", i, tt.gotOK[0])
+		}
+	}
+	if v, _ := st.ReadBase(7); v != n {
+		t.Fatalf("final value %d, want %d", v, n)
+	}
+}
+
+func TestSoloBatchAndCounters(t *testing.T) {
+	st := newShardedState(2)
+	tx := &testTxn{ops: []top{{kind: opWrite, key: 3, val: 42}, {kind: opRead, key: 3}}}
+	ex, err := New(Config{
+		Workers:   2,
+		NewBase:   func(int) Base { return st },
+		Committer: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	ex.Submit(tx)
+	ex.Close()
+	if v, ok := st.ReadBase(3); !ok || v != 42 {
+		t.Fatalf("committed %d,%v want 42,true", v, ok)
+	}
+	if tx.got[0] != 42 || !tx.gotOK[0] {
+		t.Fatalf("own-write read %d,%v", tx.got[0], tx.gotOK[0])
+	}
+	s := ex.Stats()
+	if s.Batches != 1 || s.Execs != 1 || s.Reexecs != 0 || s.ValidationFails != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// orderedWriter's first attempt waits until the reader has performed
+// its base read, so the reader's first attempt is guaranteed stale.
+type orderedWriter struct {
+	readDone chan struct{}
+	attempts int
+}
+
+func (w *orderedWriter) Speculate(v *View) {
+	w.attempts++
+	if w.attempts == 1 {
+		<-w.readDone
+	}
+	v.Write(5, 99)
+}
+
+// orderedReader reads key 5 and signals after its first (stale) read.
+type orderedReader struct {
+	readDone chan struct{}
+	attempts int
+	got      int64
+	gotOK    bool
+}
+
+func (r *orderedReader) Speculate(v *View) {
+	r.attempts++
+	r.got, r.gotOK = v.Read(5)
+	if r.attempts == 1 {
+		close(r.readDone)
+	}
+}
+
+// TestValidationFailureReexecutes forces the classic speculation miss
+// deterministically: the reader (index 1) base-reads key 5 before the
+// writer (index 0) publishes, so round-0 validation must fail the
+// reader and re-execute it against the published write.
+func TestValidationFailureReexecutes(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	st := newShardedState(2)
+	ch := make(chan struct{})
+	w := &orderedWriter{readDone: ch}
+	r := &orderedReader{readDone: ch}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	ex, err := New(Config{
+		Workers:   2,
+		MaxBatch:  2,
+		NewBase:   func(int) Base { return st },
+		Committer: st,
+		Done:      func(Txn) { wg.Done() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	ex.SubmitAll([]Txn{w, r})
+	wg.Wait()
+	ex.Close()
+	if r.got != 99 || !r.gotOK {
+		t.Fatalf("reader's validated attempt observed %d,%v want 99,true", r.got, r.gotOK)
+	}
+	if r.attempts < 2 {
+		t.Fatalf("reader ran %d attempts, want ≥ 2", r.attempts)
+	}
+	s := ex.Stats()
+	if s.ValidationFails == 0 {
+		t.Fatalf("no validation failures recorded: %+v", s)
+	}
+	if s.Reexecs == 0 {
+		t.Fatalf("no re-executions recorded: %+v", s)
+	}
+	if s.Execs != 2+s.Reexecs {
+		t.Fatalf("execs %d != first-runs 2 + reexecs %d", s.Execs, s.Reexecs)
+	}
+	if v, ok := st.ReadBase(5); !ok || v != 99 {
+		t.Fatalf("committed %d,%v want 99,true", v, ok)
+	}
+}
+
+func TestDoneOrderMatchesSubmitOrder(t *testing.T) {
+	const n = 200
+	st := newShardedState(4)
+	txns := make([]Txn, n)
+	for i := range txns {
+		txns[i] = &testTxn{ops: []top{{kind: opRMW, key: int64(i % 8), val: 1}}}
+	}
+	done := runBatches(t, st, 4, 16, [][]Txn{txns})
+	if len(done) != n {
+		t.Fatalf("done %d txns, want %d", len(done), n)
+	}
+	for i := range done {
+		if done[i] != txns[i] {
+			t.Fatalf("done order diverges from submit order at %d", i)
+		}
+	}
+}
+
+// TestSeededRandomEquivalence is the core equivalence check: seeded
+// random batches over a small key space (heavy conflicts), speculative
+// observations and committed end state must match the serial reference
+// exactly.
+func TestSeededRandomEquivalence(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	for _, seed := range []int64{1, 0x5eed, 0xdecaf, 31337} {
+		rng := rand.New(rand.NewSource(seed))
+		st := newShardedState(4)
+		model := make(map[int64]int64)
+		var batches [][]Txn
+		var all []*testTxn
+		for b := 0; b < 20; b++ {
+			n := 1 + rng.Intn(64)
+			batch := make([]Txn, n)
+			for i := range batch {
+				nops := 1 + rng.Intn(5)
+				ops := make([]top, nops)
+				for j := range ops {
+					ops[j] = top{
+						kind: rng.Intn(4),
+						key:  int64(rng.Intn(16)),
+						val:  int64(rng.Intn(100)),
+					}
+				}
+				tt := &testTxn{ops: ops}
+				batch[i] = tt
+				all = append(all, tt)
+			}
+			batches = append(batches, batch)
+		}
+		// Expected observations, in submit order (= batch order).
+		wantGot := make([][]int64, len(all))
+		wantOK := make([][]bool, len(all))
+		for i, tt := range all {
+			wantGot[i], wantOK[i] = tt.applySerial(model)
+		}
+
+		runBatches(t, st, 6, 64, batches)
+
+		for i, tt := range all {
+			if len(tt.got) != len(wantGot[i]) {
+				t.Fatalf("seed %#x txn %d: %d observations, want %d", seed, i, len(tt.got), len(wantGot[i]))
+			}
+			for j := range tt.got {
+				if tt.got[j] != wantGot[i][j] || tt.gotOK[j] != wantOK[i][j] {
+					t.Fatalf("seed %#x txn %d read %d: got %d,%v want %d,%v",
+						seed, i, j, tt.got[j], tt.gotOK[j], wantGot[i][j], wantOK[i][j])
+				}
+			}
+		}
+		// Committed end state == model.
+		for k, want := range model {
+			if got, ok := st.ReadBase(k); !ok || got != want {
+				t.Fatalf("seed %#x key %d: committed %d,%v want %d,true", seed, k, got, ok, want)
+			}
+		}
+		for _, m := range st.shards {
+			for k, got := range m {
+				if want, ok := model[k]; !ok || want != got {
+					t.Fatalf("seed %#x key %d: committed %d, model has %d,%v", seed, k, got, want, ok)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentSubmitStress hammers Submit from many goroutines while
+// batches run — the -race target for the queue and phase machinery.
+func TestConcurrentSubmitStress(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	st := newShardedState(8)
+	var wg sync.WaitGroup
+	ex, err := New(Config{
+		Workers:   4,
+		MaxBatch:  32,
+		NewBase:   func(int) Base { return st },
+		Committer: st,
+		Done:      func(Txn) { wg.Done() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	const producers = 8
+	const perProducer = 300
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			for i := 0; i < perProducer; i++ {
+				tx := &testTxn{ops: []top{{kind: opRMW, key: int64(rng.Intn(32)), val: 1}}}
+				wg.Add(1)
+				ex.Submit(tx)
+			}
+		}(p)
+	}
+	pwg.Wait()
+	wg.Wait()
+	ex.Close()
+	var total int64
+	for _, m := range st.shards {
+		for _, v := range m {
+			total += v
+		}
+	}
+	if total != producers*perProducer {
+		t.Fatalf("increment conservation: sum %d, want %d", total, producers*perProducer)
+	}
+	if s := ex.Stats(); s.Execs < producers*perProducer {
+		t.Fatalf("stats undercount: %+v", s)
+	}
+}

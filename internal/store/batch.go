@@ -1,0 +1,327 @@
+package store
+
+import (
+	"oestm/internal/eec"
+	"oestm/internal/specexec"
+	"oestm/internal/stm"
+	"oestm/internal/wal"
+)
+
+// applyChunk bounds how many staged operations one apply transaction
+// covers — the same amortization MPut gets from flat nesting, without
+// letting a 256-transaction batch become one giant read/write set.
+const applyChunk = 64
+
+// batchOp is one shard-local unit of a staged batch: a plain put/remove
+// record, or a reference to a cross-shard composition (comp >= 0).
+type batchOp struct {
+	key    int64
+	val    int64
+	remove bool
+	comp   int32 // -1 = plain; else index into Applier.comps
+}
+
+// comp is one cross-shard composition of a batch: its effect list
+// (an [lo:hi) window of the Applier's effects arena — indices, not
+// pointers, so arena growth cannot dangle), the coordinator shard, and
+// the transaction id allocated under the participants' commit locks.
+type comp struct {
+	txid   uint64
+	lo, hi int32
+	coord  int32
+}
+
+// shardBatch is one store shard's staged slice of the current batch.
+type shardBatch struct {
+	ops []batchOp
+}
+
+// applyRun is one worker slot's pre-bound apply context: the thread,
+// the enclosing-transaction kind, and the chunk window the pre-built
+// closure reads — no per-batch closures on the commit path.
+type applyRun struct {
+	a      *Applier
+	th     *stm.Thread
+	kind   stm.Kind
+	fn     func(stm.Tx) error
+	sh     int
+	ops    []batchOp
+	lo, hi int
+}
+
+// BaseReader is a committed-state point reader bound to one worker
+// slot's thread (specexec.Base).
+type BaseReader struct {
+	st *Store
+	th *stm.Thread
+}
+
+// ReadBase returns the committed value under key — one single-shard
+// elastic transaction on the slot's own thread. The scheduler
+// guarantees it never runs concurrently with commit application.
+//
+//compose:noalloc
+func (b *BaseReader) ReadBase(key int64) (int64, bool) {
+	v, ok := b.st.shard(key).Get(b.th, int(key))
+	if !ok {
+		return 0, false
+	}
+	n, _ := v.(int64)
+	return n, true
+}
+
+// Applier commits validated specexec batches into the store and its
+// WAL: specexec.Committer over per-shard parallel jobs. Per batch it
+// takes every touched shard's commit lock at once (ascending — the one
+// global order every multi-shard lock site uses), allocates composition
+// transaction ids in batch order under those locks, lets the shard jobs
+// apply state and append records independently, then releases the locks
+// and group-commits each shard. Holding all the locks across the whole
+// commit phase gives batch mode the exact invariants PR'd recovery
+// relies on: per-shard log order equals commit order equals batch
+// order, id order matches log order on shards two compositions share,
+// and a snapshot (which also takes all locks) can never cut through
+// half a composition's evidence.
+//
+// Methods must be called in the specexec.Committer sequence; Begin,
+// Stage, Jobs and Finish run on the dispatcher, RunJob on the worker
+// pool (disjoint shards, so jobs never contend).
+type Applier struct {
+	st      *Store
+	threads []*stm.Thread
+	runs    []applyRun
+	bases   []BaseReader
+
+	shards  []shardBatch
+	touched []int // ascending — the lock acquisition order
+	comps   []comp
+	effects []wal.Effect // arena the comps' windows index into
+	seqs    []uint64     // per-touched-shard sync targets
+	n       int
+	walErr  error // sticky first log I/O error (see WALErr)
+}
+
+// NewApplier builds an applier for workers+1 worker slots (slot
+// `workers` is the dispatcher's); newThread supplies each slot's
+// engine thread, configured like a connection's (contention manager
+// included).
+func NewApplier(s *Store, workers int, newThread func() *stm.Thread) *Applier {
+	a := &Applier{
+		st:      s,
+		threads: make([]*stm.Thread, workers+1),
+		runs:    make([]applyRun, workers+1),
+		bases:   make([]BaseReader, workers+1),
+		shards:  make([]shardBatch, len(s.shards)),
+	}
+	for w := range a.threads {
+		th := newThread()
+		a.threads[w] = th
+		a.bases[w] = BaseReader{st: s, th: th}
+		r := &a.runs[w]
+		r.a = a
+		r.th = th
+		r.kind = eec.OpKind(th)
+		r.fn = func(stm.Tx) error { r.applyBody(); return nil }
+	}
+	return a
+}
+
+// Base returns worker slot w's committed-state reader.
+func (a *Applier) Base(w int) *BaseReader { return &a.bases[w] }
+
+// Threads returns the worker slots' engine threads, for telemetry
+// merges (read them only between batches — e.g. from the executor's
+// AfterBatch hook).
+func (a *Applier) Threads() []*stm.Thread { return a.threads }
+
+// WALErr returns the applier's sticky first log I/O error (nil while
+// every acknowledged batch reached the log). Read it after a batch's
+// Finish — the executor's Done callbacks run after Finish, so response
+// routing sees it in time.
+func (a *Applier) WALErr() error { return a.walErr }
+
+// Begin resets the staging state for a batch of n transactions.
+func (a *Applier) Begin(n int) {
+	a.n = n
+	for _, sh := range a.touched {
+		a.shards[sh].ops = a.shards[sh].ops[:0]
+	}
+	a.touched = a.touched[:0]
+	a.comps = a.comps[:0]
+	a.effects = a.effects[:0]
+}
+
+// touch adds sh to the ascending touched set.
+func (a *Applier) touch(sh int) {
+	for i, s := range a.touched {
+		if s == sh {
+			return
+		}
+		if s > sh {
+			a.touched = append(a.touched, 0)
+			copy(a.touched[i+1:], a.touched[i:])
+			a.touched[i] = sh
+			return
+		}
+	}
+	a.touched = append(a.touched, sh)
+}
+
+// Stage buckets transaction i's validated write set onto its shards, in
+// batch order. A write set on one shard becomes plain records; one that
+// spans shards becomes a composition (intent on every participant plus
+// a commit marker on the coordinator — the lowest participant — exactly
+// the two-phase evidence conn-mode MPut/CompareAndMove log). In unsound
+// mode every write set is split into plain records, preserving the
+// crash-tearing ablation on disk.
+func (a *Applier) Stage(i int, writes []specexec.WriteDesc) {
+	if len(writes) == 0 {
+		return
+	}
+	single := true
+	sh0 := a.st.ShardOf(writes[0].Key)
+	for j := 1; j < len(writes); j++ {
+		if a.st.ShardOf(writes[j].Key) != sh0 {
+			single = false
+			break
+		}
+	}
+	if single || a.st.unsound {
+		for _, w := range writes {
+			sh := a.st.ShardOf(w.Key)
+			a.shards[sh].ops = append(a.shards[sh].ops, batchOp{key: w.Key, val: w.Val, remove: w.Remove, comp: -1})
+			a.touch(sh)
+		}
+		return
+	}
+	lo := int32(len(a.effects))
+	coord := a.st.Shards()
+	for _, w := range writes {
+		sh := a.st.ShardOf(w.Key)
+		a.effects = append(a.effects, wal.Effect{Remove: w.Remove, Shard: sh, Key: w.Key, Val: w.Val})
+		if sh < coord {
+			coord = sh
+		}
+	}
+	c := int32(len(a.comps))
+	a.comps = append(a.comps, comp{lo: lo, hi: int32(len(a.effects)), coord: int32(coord)})
+	// One marker op per participant shard, first occurrence only.
+	for _, w := range writes {
+		sh := a.st.ShardOf(w.Key)
+		ops := a.shards[sh].ops
+		if len(ops) > 0 && ops[len(ops)-1].comp == c {
+			continue
+		}
+		a.shards[sh].ops = append(ops, batchOp{comp: c})
+		a.touch(sh)
+	}
+}
+
+// Jobs locks every touched shard (ascending) and allocates the batch's
+// composition transaction ids in batch order under those locks, then
+// reports the job count — one job per touched shard.
+func (a *Applier) Jobs() int {
+	w := a.st.wal
+	if w != nil {
+		for _, sh := range a.touched {
+			w.Lock(sh)
+		}
+		for ci := range a.comps {
+			a.comps[ci].txid = w.NextTxID()
+		}
+	}
+	for len(a.seqs) < len(a.touched) {
+		a.seqs = append(a.seqs, 0)
+	}
+	a.seqs = a.seqs[:len(a.touched)]
+	for i := range a.seqs {
+		a.seqs[i] = 0
+	}
+	return len(a.touched)
+}
+
+// RunJob applies job's shard: state mutations in staged (= batch)
+// order through chunked flat-nested transactions on the worker slot's
+// thread, then the shard's log records in the same order under the
+// already-held commit lock.
+func (a *Applier) RunJob(worker, job int) {
+	sh := a.touched[job]
+	ops := a.shards[sh].ops
+	r := &a.runs[worker]
+	r.sh = sh
+	r.ops = ops
+	for lo := 0; lo < len(ops); lo += applyChunk {
+		r.lo, r.hi = lo, min(lo+applyChunk, len(ops))
+		_ = r.th.Atomic(r.kind, r.fn)
+	}
+	r.ops = nil
+	if w := a.st.wal; w != nil {
+		var seq uint64
+		for _, op := range ops {
+			if op.comp < 0 {
+				if op.remove {
+					seq = w.AppendRemove(sh, op.key)
+				} else {
+					seq = w.AppendPut(sh, op.key, op.val)
+				}
+				continue
+			}
+			c := &a.comps[op.comp]
+			seq = w.AppendIntent(sh, c.txid, a.effects[c.lo:c.hi])
+			if int(c.coord) == sh {
+				seq = w.AppendCommit(sh, c.txid)
+			}
+		}
+		a.seqs[job] = seq
+	}
+}
+
+// applyBody applies one chunk of the current shard job — plain ops
+// directly, compositions by their shard-local effects — inside the
+// enclosing transaction (flat nesting, like MPut's body).
+func (r *applyRun) applyBody() {
+	m := r.a.st.shards[r.sh]
+	for _, op := range r.ops[r.lo:r.hi] {
+		if op.comp < 0 {
+			if op.remove {
+				m.Remove(r.th, int(op.key))
+			} else {
+				m.Put(r.th, int(op.key), op.val)
+			}
+			continue
+		}
+		c := &r.a.comps[op.comp]
+		for _, ef := range r.a.effects[c.lo:c.hi] {
+			if ef.Shard != r.sh {
+				continue
+			}
+			if ef.Remove {
+				m.Remove(r.th, int(ef.Key))
+			} else {
+				m.Put(r.th, int(ef.Key), ef.Val)
+			}
+		}
+	}
+}
+
+// Finish releases the commit locks (descending) and group-commits
+// every touched shard through its sync target. It runs on the
+// dispatcher, so the sticky error is visible to the Done callbacks
+// that follow it.
+func (a *Applier) Finish() {
+	w := a.st.wal
+	if w == nil {
+		return
+	}
+	for i := len(a.touched) - 1; i >= 0; i-- {
+		w.Unlock(a.touched[i])
+	}
+	for j, sh := range a.touched {
+		if a.seqs[j] == 0 {
+			continue
+		}
+		if err := w.Sync(sh, a.seqs[j]); err != nil && a.walErr == nil {
+			a.walErr = err
+		}
+	}
+}

@@ -47,6 +47,7 @@ const (
 	envUnsound = "CRASHTEST_UNSOUND"
 	envRetries = "CRASHTEST_RETRIES"
 	envSnapMS  = "CRASHTEST_SNAP_MS"
+	envExec    = "CRASHTEST_EXEC"
 )
 
 // addrPrefix is the line the child prints once it is serving; the
@@ -103,6 +104,11 @@ func ChildMain() bool {
 		// exercise — and the suite stays fast.
 		Fsync:         false,
 		SnapshotEvery: time.Duration(snapMS) * time.Millisecond,
+		// The execution model under crash: conn when unset, batch for the
+		// speculative-executor cases. Four workers regardless of the box so
+		// batches genuinely interleave commit jobs with the kill.
+		Exec:         os.Getenv(envExec),
+		BatchWorkers: 4,
 	})
 	if err != nil {
 		fail(err)

@@ -41,6 +41,13 @@ type child struct {
 // for its address line.
 func spawn(t *testing.T, engine string, shards int, unsound bool, dir string) *child {
 	t.Helper()
+	return spawnExec(t, engine, shards, unsound, dir, "")
+}
+
+// spawnExec is spawn with an explicit execution model ("" = the server
+// default, conn; "batch" = the speculative batch executor).
+func spawnExec(t *testing.T, engine string, shards int, unsound bool, dir, execMode string) *child {
+	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(),
 		envChild+"=1",
@@ -50,6 +57,7 @@ func spawn(t *testing.T, engine string, shards int, unsound bool, dir string) *c
 		fmt.Sprintf("%s=%d", envRetries, 500),
 		fmt.Sprintf("%s=%d", envUnsound, b2i(unsound)),
 		envSnapMS+"=0",
+		envExec+"="+execMode,
 	)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {

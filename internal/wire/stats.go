@@ -11,8 +11,9 @@ import (
 // statsVersion guards the stats payload layout; bump it when the layout
 // changes so stale clients fail loudly instead of misparsing.
 // Version history: 1 = initial; 2 = WAL fields (enabled flag and the
-// wal_* counters).
-const statsVersion = 2
+// wal_* counters); 3 = execution-model fields (exec name and the spec_*
+// speculation counters).
+const statsVersion = 3
 
 // OpTelemetry is one opcode's server-side measurements: how many requests
 // ran and the latency histogram of their service time — measured from
@@ -49,6 +50,18 @@ type StatsPayload struct {
 	WALAppends uint64
 	WALSyncs   uint64
 	WALBytes   uint64
+
+	// Execution-model telemetry: the server's execution mode ("conn" or
+	// "batch") and the speculative executor's cumulative counters (all
+	// zero in conn mode) — batches committed, Speculate attempts,
+	// attempts beyond a transaction's first, and completed attempts
+	// whose read set failed validation. The harness diffs them across
+	// the measured window into the spec_* CSV columns.
+	Exec                string
+	SpecBatches         uint64
+	SpecExecs           uint64
+	SpecReexecs         uint64
+	SpecValidationFails uint64
 }
 
 // AppendStats appends the encoded payload to dst.
@@ -76,6 +89,11 @@ func AppendStats(dst []byte, p *StatsPayload) []byte {
 	dst = binary.AppendUvarint(dst, p.WALAppends)
 	dst = binary.AppendUvarint(dst, p.WALSyncs)
 	dst = binary.AppendUvarint(dst, p.WALBytes)
+	dst = appendString(dst, p.Exec)
+	dst = binary.AppendUvarint(dst, p.SpecBatches)
+	dst = binary.AppendUvarint(dst, p.SpecExecs)
+	dst = binary.AppendUvarint(dst, p.SpecReexecs)
+	dst = binary.AppendUvarint(dst, p.SpecValidationFails)
 	return dst
 }
 
@@ -146,6 +164,21 @@ func (p *StatsPayload) Decode(body []byte) error {
 		return err
 	}
 	if p.WALBytes, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if p.Exec, b, err = readString(b); err != nil {
+		return err
+	}
+	if p.SpecBatches, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if p.SpecExecs, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if p.SpecReexecs, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if p.SpecValidationFails, b, err = readUvarint(b); err != nil {
 		return err
 	}
 	if len(b) != 0 {

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# bench_specexec.sh — conn-vs-batch A/B benchmark for the speculative
+# batch executor. Starts compose-server twice (identical engine, shards
+# and workload; only -exec differs), drives each with compose-load at
+# the given pipelining depth, and writes BENCH_specexec.json with both
+# sides' throughput, latency and speculation counters plus the machine
+# context (core count) needed to interpret them — batch needs real
+# parallelism to win, so a single-core result is expected to favor conn
+# and is recorded as such, not hidden.
+#
+# Usage: scripts/bench_specexec.sh [out.json]
+# Env:   DURATION=5s CONNS=4 PIPELINE=16 ENGINE=oestm SHARDS=16
+#        KEYS=8192 DIST=uniform WARMUP=500ms
+set -euo pipefail
+
+OUT=${1:-BENCH_specexec.json}
+DURATION=${DURATION:-5s}
+WARMUP=${WARMUP:-500ms}
+CONNS=${CONNS:-4}
+PIPELINE=${PIPELINE:-16}
+ENGINE=${ENGINE:-oestm}
+SHARDS=${SHARDS:-16}
+KEYS=${KEYS:-8192}
+DIST=${DIST:-uniform}
+ADDR=${ADDR:-127.0.0.1:7465}
+
+TMP=$(mktemp -d)
+SRV=""
+trap '[ -n "$SRV" ] && kill "$SRV" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/compose-server" ./cmd/compose-server
+go build -o "$TMP/compose-load" ./cmd/compose-load
+
+run_side() { # $1 = conn|batch; leaves the CSV data row in $TMP/$1.row
+    local exec_mode=$1 csv="$TMP/$1.csv"
+    "$TMP/compose-server" -addr "$ADDR" -engine "$ENGINE" -shards "$SHARDS" \
+        -exec "$exec_mode" >"$TMP/$1.log" 2>&1 &
+    SRV=$!
+    sleep 1
+    "$TMP/compose-load" -addr "$ADDR" -conns "$CONNS" -pipeline "$PIPELINE" \
+        -keys "$KEYS" -dist "$DIST" -duration "$DURATION" -warmup "$WARMUP" \
+        -csv "$csv" >"$TMP/$1.load.log" 2>&1
+    kill -TERM "$SRV"
+    wait "$SRV"
+    SRV=""
+    grep -q drained "$TMP/$1.log" # the A/B is only valid if the drain stayed clean
+    sed -n 2p "$csv" >"$TMP/$1.row"
+}
+
+run_side conn
+run_side batch
+CONN_ROW=$(cat "$TMP/conn.row")
+BATCH_ROW=$(cat "$TMP/batch.row")
+
+# Column positions come from harness.CSVHeader: ops_per_ms=9,
+# lat_p50_us=12, lat_p99_us=14; the trailing block is
+# wal,wal_appends,wal_syncs,wal_bytes,exec,spec_execs,spec_reexecs,
+# spec_validation_fails.
+emit_side() {
+    echo "$1" | awk -F, '{ printf "{\"ops_per_ms\": %s, \"lat_p50_us\": %s, \"lat_p99_us\": %s, \"exec\": \"%s\", \"spec_execs\": %s, \"spec_reexecs\": %s, \"spec_validation_fails\": %s}", $9, $12, $14, $(NF-3), $(NF-2), $(NF-1), $NF }'
+}
+
+CORES=$(nproc)
+SPEEDUP=$(awk -F, -v conn="$(echo "$CONN_ROW" | cut -d, -f9)" \
+    -v batch="$(echo "$BATCH_ROW" | cut -d, -f9)" \
+    'BEGIN { printf "%.3f", batch / conn }')
+
+{
+    echo "{"
+    echo "  \"bench\": \"specexec-ab\","
+    echo "  \"engine\": \"$ENGINE\","
+    echo "  \"cores\": $CORES,"
+    echo "  \"conns\": $CONNS,"
+    echo "  \"pipeline\": $PIPELINE,"
+    echo "  \"shards\": $SHARDS,"
+    echo "  \"keys\": $KEYS,"
+    echo "  \"dist\": \"$DIST\","
+    echo "  \"duration\": \"$DURATION\","
+    echo "  \"conn\": $(emit_side "$CONN_ROW"),"
+    echo "  \"batch\": $(emit_side "$BATCH_ROW"),"
+    echo "  \"batch_over_conn_speedup\": $SPEEDUP,"
+    echo "  \"note\": \"batch wins only with real parallelism (>= 4 cores) and pipeline depth >= 16; on fewer cores workers time-slice and conn mode's lower coordination cost is expected to win — compare against cores above\""
+    echo "}"
+} >"$OUT"
+echo "wrote $OUT (cores=$CORES, batch/conn = ${SPEEDUP}x)"
