@@ -44,6 +44,8 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "worker seed (0 = default)")
 		noFill   = flag.Bool("no-fill", false, "skip pre-filling the keyspace")
 		csvPath  = flag.String("csv", "", "also write the result as CSV (schema: "+harness.CSVHeader+")")
+		scenario = flag.String("scenario", harness.LoadScenario, "load shape: server (the -mix closed loop) or counter-fanin (conservation checker: zero-sum madd transfers + tracked fan-in adds + snapshot audits; exits 3 on violations)")
+		expViol  = flag.Bool("expect-violation", false, "with -scenario counter-fanin: require violations > 0 (for checking an -unsound server) instead of requiring 0")
 	)
 	flag.Parse()
 
@@ -69,7 +71,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	result, err := harness.RunLoad(harness.LoadConfig{
+	loadCfg := harness.LoadConfig{
 		Addr:     *addr,
 		Conns:    *conns,
 		Duration: *duration,
@@ -81,19 +83,40 @@ func main() {
 		Seed:     *seed,
 		SkipFill: *noFill,
 		Pipeline: *pipeline,
-	})
+	}
+	var result harness.Result
+	switch *scenario {
+	case harness.LoadScenario:
+		result, err = harness.RunLoad(loadCfg)
+	case harness.CounterFaninScenario:
+		result, err = harness.RunCounterFanin(loadCfg)
+	default:
+		fmt.Fprintf(os.Stderr, "compose-load: unknown -scenario %q (want %s or %s)\n",
+			*scenario, harness.LoadScenario, harness.CounterFaninScenario)
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "compose-load:", err)
 		os.Exit(1)
 	}
 
 	results := []harness.Result{result}
-	fmt.Println(harness.FormatScenario(results, harness.LoadScenario))
+	fmt.Println(harness.FormatScenario(results, *scenario))
 	if *csvPath != "" {
 		if err := os.WriteFile(*csvPath, []byte(harness.CSV(results)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "compose-load: write csv:", err)
 			os.Exit(1)
 		}
 		fmt.Println("csv written to", *csvPath)
+	}
+	if *scenario == harness.CounterFaninScenario {
+		if *expViol && result.Violations == 0 {
+			fmt.Fprintln(os.Stderr, "compose-load: counter-fanin expected violations (unsound server) but saw none")
+			os.Exit(3)
+		}
+		if !*expViol && result.Violations > 0 {
+			fmt.Fprintf(os.Stderr, "compose-load: counter-fanin conservation broken: %d violations\n", result.Violations)
+			os.Exit(3)
+		}
 	}
 }

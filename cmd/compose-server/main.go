@@ -52,6 +52,7 @@ func main() {
 		cmName  = flag.String("cm", cm.DefaultName, "contention-management policy per connection: "+strings.Join(cm.Names(), "|"))
 		retries = flag.Int("max-retries", 0, "bound composed-request transaction retries (0 = unlimited; exhaustion returns a typed error)")
 		unsound = flag.Bool("unsound", false, "split composed operations into separate transactions (atomicity deliberately broken)")
+		boost   = flag.String("boost", "auto", "commutative hot-key path for add/madd: off (read-modify-write control), auto (promote keys whose add stream aborts), on (boost every add)")
 		drain   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget before connections are closed hard")
 		walDir  = flag.String("wal-dir", "", "write-ahead-log directory: makes the store durable, recovering its contents on start (empty = in-memory only)")
 		fsync   = flag.Bool("fsync", true, "fsync every WAL group commit (with -wal-dir; off, acknowledged writes survive crashes but not power loss)")
@@ -67,6 +68,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "compose-server: unknown engine %q\n", *engine)
 		os.Exit(2)
 	}
+	boostMode, err := store.ParseBoostMode(*boost)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compose-server:", err)
+		os.Exit(2)
+	}
 	srv, err := server.New(server.Config{
 		Addr:          *addr,
 		Engine:        eng.Name,
@@ -75,6 +81,7 @@ func main() {
 		CM:            *cmName,
 		MaxRetries:    *retries,
 		Unsound:       *unsound,
+		Boost:         boostMode,
 		WALDir:        *walDir,
 		Fsync:         *fsync,
 		SnapshotEvery: *snap,
@@ -97,8 +104,8 @@ func main() {
 	if *unsound {
 		mode = " (UNSOUND: composed atomicity deliberately broken)"
 	}
-	fmt.Printf("compose-server: engine=%s cm=%s shards=%d exec=%s listening on %s%s\n",
-		eng.Name, *cmName, *shards, *exec, srv.Addr(), mode)
+	fmt.Printf("compose-server: engine=%s cm=%s shards=%d exec=%s boost=%s listening on %s%s\n",
+		eng.Name, *cmName, *shards, *exec, boostMode, srv.Addr(), mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

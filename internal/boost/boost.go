@@ -90,8 +90,9 @@ type Thread struct {
 	// MaxRetries, when non-zero, bounds attempts per Atomic call.
 	MaxRetries int
 
-	tm  *TM
-	cur *Tx
+	tm   *TM
+	cur  *Tx
+	pool []*Tx // recycled Tx frames: Atomic allocates nothing in steady state
 }
 
 // NewThread creates a thread context.
@@ -145,6 +146,7 @@ func (th *Thread) Atomic(fn func(tx *Tx) error) error {
 		tx := th.begin(nil)
 		err, retry := th.runTop(tx, fn)
 		th.cur = nil
+		th.recycle(tx)
 		if !retry {
 			return err
 		}
@@ -158,7 +160,15 @@ func (th *Thread) Atomic(fn func(tx *Tx) error) error {
 }
 
 func (th *Thread) begin(parent *Tx) *Tx {
-	tx := &Tx{tm: th.tm, th: th, id: th.tm.txIDs.Add(1), parent: parent}
+	var tx *Tx
+	if n := len(th.pool); n > 0 {
+		tx = th.pool[n-1]
+		th.pool = th.pool[:n-1]
+	} else {
+		tx = new(Tx)
+	}
+	*tx = Tx{tm: th.tm, th: th, id: th.tm.txIDs.Add(1), parent: parent,
+		locks: tx.locks[:0], undo: tx.undo[:0]}
 	if parent == nil {
 		tx.top = tx
 	} else {
@@ -202,10 +212,21 @@ func (th *Thread) runTop(tx *Tx, fn func(tx *Tx) error) (err error, retry bool) 
 	return nil, false
 }
 
+// recycle returns a finished Tx frame to the thread's pool. Safe by the
+// time a transaction ends: commitTop/abortFrom release every abstract
+// lock first, so no Lock.owner can still point at the recycled frame,
+// and lock entries attribute by numeric id, not pointer.
+func (th *Thread) recycle(tx *Tx) {
+	th.pool = append(th.pool, tx)
+}
+
 func (th *Thread) runNested(fn func(tx *Tx) error) error {
 	parent := th.cur
 	child := th.begin(parent)
-	defer func() { th.cur = parent }()
+	defer func() {
+		th.cur = parent
+		th.recycle(child)
+	}()
 	if err := fn(child); err != nil {
 		// Abort the child only; the userAbort panic lets the outer
 		// levels unwind (and compensate their own segments).

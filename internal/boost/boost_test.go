@@ -318,3 +318,30 @@ func TestInsertIfAbsentSemantics(t *testing.T) {
 		t.Fatal("insert with y present happened")
 	}
 }
+
+// TestAtomicNoAlloc pins the pooled-Tx contract the serving layer's
+// boosted hot path relies on: a steady-state Atomic (top-level and with
+// one nested child) allocates nothing — Tx frames recycle through the
+// thread's pool and lock/undo segments reuse their capacity.
+func TestAtomicNoAlloc(t *testing.T) {
+	tm := boost.New(true)
+	th := tm.NewThread()
+	var l1, l2 boost.Lock
+	body := func(tx *boost.Tx) error {
+		tx.Acquire(&l1)
+		return th.Atomic(func(tx *boost.Tx) error {
+			tx.Acquire(&l2)
+			return nil
+		})
+	}
+	if err := th.Atomic(body); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if err := th.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("steady-state Atomic allocates %.1f times, want 0", got)
+	}
+}

@@ -1,0 +1,277 @@
+// counterfanin.go is the serving-layer conservation checker for the
+// commutative hot-key path: many connections fan deltas into a small set
+// of counters while concurrent snapshot audits assert that money never
+// appears or disappears. Two invariants are checked:
+//
+//   - transfer conservation: half the counters receive only zero-sum
+//     cross-shard MAdd transfers (+d on one key, -d on another), so every
+//     atomic MGet snapshot of them must sum to the initial total — during
+//     the run (the audits) and at the end. An -unsound server tears both
+//     the transfers and the snapshots, so audits MUST observe broken sums
+//     there; every composing engine must show zero violations.
+//   - fan-in exactness: the other counters receive only single-key adds
+//     with client-tracked acked deltas; after quiescing, each sum must
+//     equal exactly what was acknowledged — lost updates (the unsound
+//     read-then-write tear) show up as a shortfall.
+//
+// Violations are counted over the whole run (not just the measured
+// window): a conservation break anywhere is a correctness bug, and the
+// unsound ablation must not be able to hide one in the warmup.
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oestm/internal/server"
+	"oestm/internal/stats"
+	"oestm/internal/wire"
+)
+
+// CounterFaninScenario is the Scenario label of counter-fanin results.
+const CounterFaninScenario = "counter-fanin"
+
+// counterFaninInitial is each transfer counter's starting balance.
+const counterFaninInitial = 1 << 20
+
+// RunCounterFanin drives the counter-fanin checker against a running
+// compose-server, reusing LoadConfig's connection/window/distribution
+// shape. cfg.Keys is the counter count, clamped to [4, 64] — fan-in
+// wants few, hot counters — and split in half: transfer keys [0, n/2),
+// fan-in keys [n/2, n). The returned Result carries the violation count
+// beside the usual throughput/abort/latency axes.
+func RunCounterFanin(cfg LoadConfig) (Result, error) {
+	cfg = cfg.normalize()
+	if err := cfg.Dist.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Conns < 1 || cfg.Duration < 0 || cfg.Warmup < 0 {
+		return Result{}, fmt.Errorf("harness: invalid counter-fanin shape: conns=%d duration=%v warmup=%v",
+			cfg.Conns, cfg.Duration, cfg.Warmup)
+	}
+	nKeys := cfg.Keys
+	if nKeys < 4 {
+		nKeys = 4
+	}
+	if nKeys > 64 {
+		nKeys = 64
+	}
+	transfer := make([]int64, nKeys/2)
+	for i := range transfer {
+		transfer[i] = int64(i)
+	}
+	fanin := make([]int64, nKeys-len(transfer))
+	for i := range fanin {
+		fanin[i] = int64(len(transfer) + i)
+	}
+	wantTransfer := int64(len(transfer)) * counterFaninInitial
+
+	statsClient, err := server.DialTimeout(cfg.Addr, 5*time.Second)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: dial %s: %w", cfg.Addr, err)
+	}
+	defer statsClient.Close()
+	var ident wire.StatsPayload
+	if err := statsClient.Stats(&ident); err != nil {
+		return Result{}, fmt.Errorf("harness: stats: %w", err)
+	}
+
+	// Seed the transfer counters (quiescent, so the absolute puts are
+	// safe even against an unsound server) and clear any fan-in residue.
+	initVals := make([]int64, len(transfer))
+	for i := range initVals {
+		initVals[i] = counterFaninInitial
+	}
+	if err := statsClient.MPut(transfer, initVals); err != nil {
+		return Result{}, fmt.Errorf("harness: seed transfer counters: %w", err)
+	}
+	for _, k := range fanin {
+		if _, _, err := statsClient.Remove(k); err != nil {
+			return Result{}, fmt.Errorf("harness: clear fan-in counter %d: %w", k, err)
+		}
+	}
+
+	var (
+		stop       atomic.Bool
+		measuring  atomic.Bool
+		violations atomic.Uint64
+		acked      atomic.Int64 // fan-in deltas acknowledged across workers
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		totalOps   uint64
+		totalHist  = new(stats.Histogram)
+		firstErr   error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			cl, err := server.DialTimeout(cfg.Addr, 5*time.Second)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(idx)+1))
+			madd := [2]int64{}
+			deltas := [2]int64{}
+			hist := new(stats.Histogram)
+			var ops uint64
+			var prev time.Time
+			counting := false
+			for !stop.Load() {
+				if !counting && measuring.Load() {
+					ops = 0
+					counting = true
+					prev = time.Now()
+				}
+				d := rng.Int64N(100) + 1
+				switch r := rng.IntN(100); {
+				case r < 40: // fan-in add, acked delta tracked exactly
+					k := fanin[rng.IntN(len(fanin))]
+					if err := cl.Add(k, d); err == nil {
+						acked.Add(d)
+					} else if err := ignoreExhausted(err); err != nil {
+						fail(fmt.Errorf("worker %d: add: %w", idx, err))
+						return
+					}
+				case r < 70: // zero-sum transfer between two counters
+					a := rng.IntN(len(transfer))
+					b := (a + 1 + rng.IntN(len(transfer)-1)) % len(transfer)
+					madd[0], madd[1] = transfer[a], transfer[b]
+					deltas[0], deltas[1] = d, -d
+					if err := ignoreExhausted(cl.MAdd(madd[:], deltas[:])); err != nil {
+						fail(fmt.Errorf("worker %d: madd: %w", idx, err))
+						return
+					}
+				default: // audit: one atomic snapshot must conserve the total
+					vals, _, err := cl.MGet(transfer)
+					if err := ignoreExhausted(err); err != nil {
+						fail(fmt.Errorf("worker %d: audit mget: %w", idx, err))
+						return
+					}
+					if err == nil {
+						var sum int64
+						for _, v := range vals {
+							sum += v
+						}
+						if sum != wantTransfer {
+							violations.Add(1)
+						}
+					}
+				}
+				ops++
+				if counting {
+					now := time.Now()
+					hist.Record(now.Sub(prev))
+					prev = now
+				}
+			}
+			if !counting {
+				ops = 0
+			}
+			mu.Lock()
+			totalOps += ops
+			totalHist.Merge(hist)
+			mu.Unlock()
+		}(i)
+	}
+
+	time.Sleep(cfg.Warmup)
+	var s0 wire.StatsPayload
+	err0 := statsClient.Stats(&s0)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	elapsed := time.Since(start)
+	wg.Wait()
+	var s1 wire.StatsPayload
+	err1 := statsClient.Stats(&s1)
+
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	if err0 != nil {
+		return Result{}, fmt.Errorf("harness: stats at window open: %w", err0)
+	}
+	if err1 != nil {
+		return Result{}, fmt.Errorf("harness: stats at window close: %w", err1)
+	}
+
+	// End-state checks, quiesced: conservation again, and fan-in
+	// exactness against the acknowledged deltas.
+	vals, _, err := statsClient.MGet(transfer)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: final transfer check: %w", err)
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != wantTransfer {
+		violations.Add(1)
+	}
+	vals, _, err = statsClient.MGet(fanin)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: final fan-in check: %w", err)
+	}
+	sum = 0
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != acked.Load() {
+		violations.Add(1)
+	}
+
+	delta := statsDelta(&s1, &s0)
+	walLabel := "off"
+	if ident.WALEnabled {
+		walLabel = "on"
+	}
+	execLabel := ident.Exec
+	if execLabel == "" {
+		execLabel = server.ExecConn
+	}
+	r := Result{
+		Engine:              ident.Engine,
+		Scenario:            CounterFaninScenario,
+		Structure:           fmt.Sprintf("store/%dshards", ident.Shards),
+		CM:                  ident.CM,
+		WAL:                 walLabel,
+		WALAppends:          satSub(s1.WALAppends, s0.WALAppends),
+		WALSyncs:            satSub(s1.WALSyncs, s0.WALSyncs),
+		WALBytes:            satSub(s1.WALBytes, s0.WALBytes),
+		Exec:                execLabel,
+		SpecExecs:           satSub(s1.SpecExecs, s0.SpecExecs),
+		SpecReexecs:         satSub(s1.SpecReexecs, s0.SpecReexecs),
+		SpecValidationFails: satSub(s1.SpecValidationFails, s0.SpecValidationFails),
+		Adds:                satSub(s1.Adds, s0.Adds),
+		BoostedOps:          satSub(s1.BoostedOps, s0.BoostedOps),
+		HotPromotions:       satSub(s1.HotPromotions, s0.HotPromotions),
+		Dist:                cfg.Dist.Label(),
+		Theta:               cfg.Dist.ZipfTheta(),
+		Threads:             cfg.Conns,
+		OpsPerMs:            float64(totalOps) / float64(elapsed.Milliseconds()+1),
+		AbortRate:           delta.AbortRate(),
+		Violations:          violations.Load(),
+		Ops:                 totalOps,
+		Commits:             delta.Commits,
+		Aborts:              delta.Aborts,
+		AbortsByCause:       delta.AbortsByCause,
+		Elapsed:             elapsed,
+	}
+	r.setLatency(totalHist)
+	return r, nil
+}

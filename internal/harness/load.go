@@ -33,6 +33,10 @@ import (
 type LoadMix struct {
 	GetPct, PutPct, RemovePct int
 	MGetPct, MPutPct, CamPct  int
+	// AddPct/MAddPct weight the integer-delta operations: single-key adds
+	// and cross-shard delta batches (the commutative hot-key path when the
+	// server boosts them).
+	AddPct, MAddPct int
 }
 
 // DefaultLoadMix is a read-heavy service mix with a steady composed
@@ -43,7 +47,7 @@ func DefaultLoadMix() LoadMix {
 
 // Validate checks ranges and the sum.
 func (m LoadMix) Validate() error {
-	parts := []int{m.GetPct, m.PutPct, m.RemovePct, m.MGetPct, m.MPutPct, m.CamPct}
+	parts := []int{m.GetPct, m.PutPct, m.RemovePct, m.MGetPct, m.MPutPct, m.CamPct, m.AddPct, m.MAddPct}
 	sum := 0
 	for _, p := range parts {
 		if p < 0 {
@@ -59,17 +63,22 @@ func (m LoadMix) Validate() error {
 
 // String renders the mix in the form ParseLoadMix accepts.
 func (m LoadMix) String() string {
-	return fmt.Sprintf("get:%d,put:%d,remove:%d,mget:%d,mput:%d,cam:%d",
+	s := fmt.Sprintf("get:%d,put:%d,remove:%d,mget:%d,mput:%d,cam:%d",
 		m.GetPct, m.PutPct, m.RemovePct, m.MGetPct, m.MPutPct, m.CamPct)
+	if m.AddPct != 0 || m.MAddPct != 0 {
+		s += fmt.Sprintf(",add:%d,madd:%d", m.AddPct, m.MAddPct)
+	}
+	return s
 }
 
 // ParseLoadMix parses "op:pct,..." (ops: get, put, remove, mget, mput,
-// cam; omitted ops are 0) and validates the result.
+// cam, add, madd; omitted ops are 0) and validates the result.
 func ParseLoadMix(s string) (LoadMix, error) {
 	var m LoadMix
 	fields := map[string]*int{
 		"get": &m.GetPct, "put": &m.PutPct, "remove": &m.RemovePct,
 		"mget": &m.MGetPct, "mput": &m.MPutPct, "cam": &m.CamPct,
+		"add": &m.AddPct, "madd": &m.MAddPct,
 	}
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -311,6 +320,9 @@ func RunLoad(cfg LoadConfig) (Result, error) {
 		SpecExecs:           satSub(s1.SpecExecs, s0.SpecExecs),
 		SpecReexecs:         satSub(s1.SpecReexecs, s0.SpecReexecs),
 		SpecValidationFails: satSub(s1.SpecValidationFails, s0.SpecValidationFails),
+		Adds:                satSub(s1.Adds, s0.Adds),
+		BoostedOps:          satSub(s1.BoostedOps, s0.BoostedOps),
+		HotPromotions:       satSub(s1.HotPromotions, s0.HotPromotions),
 		Dist:                cfg.Dist.Label(),
 		Theta:               cfg.Dist.ZipfTheta(),
 		Threads:             cfg.Conns,
@@ -390,8 +402,8 @@ type loadWorker struct {
 	rng  *rand.Rand
 	keys workload.Sampler
 	// thresholds are the cumulative mix buckets in order: get, put,
-	// remove, mget, mput (cam is the remainder).
-	thresholds [5]int
+	// remove, mget, mput, add, madd (cam is the remainder).
+	thresholds [7]int
 	batchK     []int64
 	batchV     []int64
 	// reqs/resps are the pipelined burst buffers (len Pipeline; nil when
@@ -419,6 +431,8 @@ func newLoadWorker(cfg LoadConfig, idx int) (*loadWorker, error) {
 	w.thresholds[2] = w.thresholds[1] + m.RemovePct
 	w.thresholds[3] = w.thresholds[2] + m.MGetPct
 	w.thresholds[4] = w.thresholds[3] + m.MPutPct
+	w.thresholds[5] = w.thresholds[4] + m.AddPct
+	w.thresholds[6] = w.thresholds[5] + m.MAddPct
 	if cfg.Pipeline > 1 {
 		w.reqs = make([]wire.Request, cfg.Pipeline)
 		w.resps = make([]wire.Response, cfg.Pipeline)
@@ -431,6 +445,21 @@ func (w *loadWorker) key() int64 { return int64(w.keys.Next(w.rng)) }
 
 // val draws one value.
 func (w *loadWorker) val() int64 { return w.rng.Int64N(w.cfg.MaxVal) }
+
+// delta draws one signed add delta in [-100, 100]: counter-sized steps,
+// so add-heavy runs exercise the hot path without values drifting to the
+// magnitudes absolute writes use.
+func (w *loadWorker) delta() int64 { return w.rng.Int64N(201) - 100 }
+
+// batchDeltas fills the batch buffers with distribution-drawn keys and
+// delta values (the MAdd shape of batch).
+func (w *loadWorker) batchDeltas() {
+	base := w.key()
+	for i := range w.batchK {
+		w.batchK[i] = (base + int64(i)) % int64(w.cfg.Keys)
+		w.batchV[i] = w.delta()
+	}
+}
 
 // batch fills the worker's batch buffers: a distribution-drawn base key
 // and its Span successors (wrapping), so batches inherit the skew.
@@ -468,6 +497,11 @@ func (w *loadWorker) step() (int, error) {
 	case r < w.thresholds[4]:
 		w.batch(true)
 		return 1, ignoreExhausted(w.cl.MPut(w.batchK, w.batchV))
+	case r < w.thresholds[5]:
+		return 1, ignoreExhausted(w.cl.Add(w.key(), w.delta()))
+	case r < w.thresholds[6]:
+		w.batchDeltas()
+		return 1, ignoreExhausted(w.cl.MAdd(w.batchK, w.batchV))
 	default:
 		from, to := w.key(), w.key()
 		_, err := w.cl.CompareAndMove(from, to, w.val())
@@ -497,6 +531,13 @@ func (w *loadWorker) stepPipeline() (int, error) {
 		case r < w.thresholds[4]:
 			w.batch(true)
 			q.Op = wire.OpMPut
+			q.Keys = append(q.Keys, w.batchK...)
+			q.Vals = append(q.Vals, w.batchV...)
+		case r < w.thresholds[5]:
+			q.Op, q.Key, q.Val = wire.OpAdd, w.key(), w.delta()
+		case r < w.thresholds[6]:
+			w.batchDeltas()
+			q.Op = wire.OpMAdd
 			q.Keys = append(q.Keys, w.batchK...)
 			q.Vals = append(q.Vals, w.batchV...)
 		default:

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"oestm/internal/server"
+	"oestm/internal/store"
 	"oestm/internal/workload"
 )
 
@@ -25,10 +26,60 @@ func TestLoadMixParseAndValidate(t *testing.T) {
 	if err != nil || round != DefaultLoadMix() {
 		t.Fatalf("String/Parse round trip: %+v, %v", round, err)
 	}
-	for _, bad := range []string{"get:50", "get:blah,put:100", "nope:100", "get"} {
+	adds, err := ParseLoadMix("get:20,add:60,madd:20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adds.AddPct != 60 || adds.MAddPct != 20 {
+		t.Fatalf("parsed add mix %+v", adds)
+	}
+	round, err = ParseLoadMix(adds.String())
+	if err != nil || round != adds {
+		t.Fatalf("add mix String/Parse round trip: %+v, %v", round, err)
+	}
+	for _, bad := range []string{"get:50", "get:blah,put:100", "nope:100", "get", "add:50,madd:60"} {
 		if _, err := ParseLoadMix(bad); err == nil {
 			t.Errorf("ParseLoadMix(%q) accepted", bad)
 		}
+	}
+}
+
+// TestRunLoadAddMix drives the add/madd mix against a boosted server and
+// checks the hot-key columns come back attributed.
+func TestRunLoadAddMix(t *testing.T) {
+	eng, _ := EngineByName("oestm")
+	srv := startFaninServer(t, server.Config{
+		Engine:     eng.Name,
+		NewTM:      eng.New,
+		Shards:     8,
+		MaxRetries: 2000,
+		Boost:      store.BoostOn,
+	})
+	r, err := RunLoad(LoadConfig{
+		Addr:     srv.Addr().String(),
+		Conns:    2,
+		Duration: 60 * time.Millisecond,
+		Warmup:   20 * time.Millisecond,
+		Keys:     64,
+		Span:     4,
+		Mix:      LoadMix{GetPct: 20, AddPct: 50, MAddPct: 25, MGetPct: 5},
+		Dist:     workload.DistConfig{Name: workload.DistZipfian, Theta: 0.99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 {
+		t.Fatalf("no throughput: %+v", r)
+	}
+	if r.Adds == 0 || r.BoostedOps == 0 {
+		t.Fatalf("hot-key columns not attributed: adds=%d boosted=%d", r.Adds, r.BoostedOps)
+	}
+	csv := CSV([]Result{r})
+	if !strings.Contains(CSVHeader, "adds,boosted_ops,hot_promotions") {
+		t.Fatalf("csv header missing hot-key columns: %s", CSVHeader)
+	}
+	if !strings.HasPrefix(csv, CSVHeader+"\n") {
+		t.Fatal("csv header wrong")
 	}
 }
 

@@ -133,6 +133,9 @@ func average(rs []Result) Result {
 			out.SpecExecs += r.SpecExecs
 			out.SpecReexecs += r.SpecReexecs
 			out.SpecValidationFails += r.SpecValidationFails
+			out.Adds += r.Adds
+			out.BoostedOps += r.BoostedOps
+			out.HotPromotions += r.HotPromotions
 		}
 	}
 	out.OpsPerMs = stats.Mean(tp)
@@ -374,16 +377,21 @@ func FormatCauses(results []Result) string {
 // spec_execs/spec_reexecs/spec_validation_fails, the speculative
 // executor's deltas over the measured window (Speculate attempts,
 // attempts beyond a transaction's first, completed attempts whose read
-// set failed validation; all zero in conn mode). The wal and exec
-// columns sit at the end, newest last, so earlier consumers' positional
-// indexes keep working.
+// set failed validation; all zero in conn mode), and the commutative
+// hot-key axis: adds/boosted_ops/hot_promotions, the server's
+// delta-operation counters over the measured window (delta operations
+// accepted, how many ran boosted under abstract per-key locks, keys the
+// adaptive tracker promoted; all zero for in-process runs and non-add
+// mixes). The wal, exec and hot-key columns sit at the end, newest
+// last, so earlier consumers' positional indexes keep working.
 var CSVHeader = func() string {
 	cols := "scenario,structure,bulk_pct,engine,cm,dist,theta,threads,ops_per_ms,abort_rate,allocs_per_op," +
 		"lat_p50_us,lat_p95_us,lat_p99_us,lat_max_us,violations,ops,commits,aborts"
 	for _, c := range displayCauses() {
 		cols += ",aborts_" + c.Slug()
 	}
-	return cols + ",wal,wal_appends,wal_syncs,wal_bytes,exec,spec_execs,spec_reexecs,spec_validation_fails"
+	return cols + ",wal,wal_appends,wal_syncs,wal_bytes,exec,spec_execs,spec_reexecs,spec_validation_fails" +
+		",adds,boosted_ops,hot_promotions"
 }()
 
 // CSV renders results as comma-separated rows with a header, for
@@ -411,6 +419,7 @@ func CSV(results []Result) string {
 			execLabel = "-"
 		}
 		fmt.Fprintf(&b, ",%s,%d,%d,%d", execLabel, r.SpecExecs, r.SpecReexecs, r.SpecValidationFails)
+		fmt.Fprintf(&b, ",%d,%d,%d", r.Adds, r.BoostedOps, r.HotPromotions)
 		b.WriteByte('\n')
 	}
 	return b.String()

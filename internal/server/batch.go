@@ -174,6 +174,15 @@ func (t *task) Speculate(v *specexec.View) {
 		for i, k := range t.keys {
 			v.Write(k, t.vals[i])
 		}
+	case wire.OpAdd:
+		// Blind delta: no read, so same-key adds across the batch can
+		// never invalidate each other — the commutativity win the hot-key
+		// path buys conn mode shows up here as zero validation fails.
+		v.Add(t.key, t.val)
+	case wire.OpMAdd:
+		for i, k := range t.keys {
+			v.Add(k, t.vals[i])
+		}
 	}
 }
 
@@ -195,7 +204,7 @@ func (t *task) decode(c *conn, body []byte) {
 	t.keys = append(t.keys[:0], c.req.Keys...)
 	t.vals = append(t.vals[:0], c.req.Vals...)
 	switch t.op {
-	case wire.OpGet, wire.OpPut, wire.OpRemove:
+	case wire.OpGet, wire.OpPut, wire.OpRemove, wire.OpAdd:
 		if !store.ValidKey(t.key) {
 			t.errCode, t.errMsg = wire.ErrKeyRange, "reserved key"
 			return
@@ -207,7 +216,7 @@ func (t *task) decode(c *conn, body []byte) {
 			return
 		}
 		t.submitted = true
-	case wire.OpMGet, wire.OpMPut:
+	case wire.OpMGet, wire.OpMPut, wire.OpMAdd:
 		for _, k := range t.keys {
 			if !store.ValidKey(k) {
 				t.errCode, t.errMsg = wire.ErrKeyRange, "reserved key"
@@ -245,8 +254,8 @@ func (t *task) appendResponse(dst []byte, c *conn, werr error) []byte {
 	case wire.OpMGet:
 		r.Vals = append(r.Vals, t.rvals...)
 		r.Present = append(r.Present, t.present...)
-	case wire.OpMPut:
-		// Status-only response.
+	case wire.OpMPut, wire.OpAdd, wire.OpMAdd:
+		// Status-only responses.
 	case wire.OpStats:
 		var p wire.StatsPayload
 		c.srv.statsPayload(&p)
@@ -258,7 +267,7 @@ func (t *task) appendResponse(dst []byte, c *conn, werr error) []byte {
 	}
 	if werr != nil {
 		switch t.op {
-		case wire.OpPut, wire.OpRemove, wire.OpCompareAndMove, wire.OpMPut:
+		case wire.OpPut, wire.OpRemove, wire.OpCompareAndMove, wire.OpMPut, wire.OpAdd, wire.OpMAdd:
 			return wire.AppendError(dst, wire.ErrDurability, werr.Error())
 		}
 	}

@@ -172,6 +172,22 @@ func (c *Client) MPut(keys, vals []int64) error {
 	return c.roundTrip()
 }
 
+// Add applies one integer delta to key's value, creating the key from
+// zero when absent.
+func (c *Client) Add(key, delta int64) error {
+	c.req = wire.Request{Op: wire.OpAdd, Key: key, Val: delta, Keys: c.req.Keys[:0], Vals: c.req.Vals[:0]}
+	return c.roundTrip()
+}
+
+// MAdd applies deltas[i] to keys[i] as one atomic cross-shard
+// composition.
+func (c *Client) MAdd(keys, deltas []int64) error {
+	c.req.Op = wire.OpMAdd
+	c.req.Keys = append(c.req.Keys[:0], keys...)
+	c.req.Vals = append(c.req.Vals[:0], deltas...)
+	return c.roundTrip()
+}
+
 // Stats fetches the server's merged telemetry into p.
 func (c *Client) Stats(p *wire.StatsPayload) error {
 	c.req = wire.Request{Op: wire.OpStats, Keys: c.req.Keys[:0], Vals: c.req.Vals[:0]}

@@ -1,0 +1,282 @@
+// Serving-layer tests for the commutative hot-key path: the Add/MAdd
+// opcodes over a real socket, in both execution models, against every
+// boost mode — plus the allocation pins of the boosted fast path.
+package server
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"oestm/internal/core"
+	"oestm/internal/stm"
+	"oestm/internal/store"
+	"oestm/internal/wire"
+)
+
+// TestAddRoundTripModes exercises Add/MAdd over the wire for every
+// engine in every boost mode and in batch mode: sums must land exactly,
+// reads must see them, and the stats payload must count the adds.
+func TestAddRoundTripModes(t *testing.T) {
+	type mode struct {
+		name string
+		cfg  func(Config) Config
+	}
+	modes := []mode{
+		{"conn-off", func(c Config) Config { c.Boost = store.BoostOff; return c }},
+		{"conn-auto", func(c Config) Config { c.Boost = store.BoostAuto; return c }},
+		{"conn-on", func(c Config) Config { c.Boost = store.BoostOn; return c }},
+		{"batch", func(c Config) Config { c.Exec = ExecBatch; c.BatchWorkers = 4; return c }},
+	}
+	for _, eng := range engines() {
+		for _, m := range modes {
+			t.Run(eng.name+"/"+m.name, func(t *testing.T) {
+				s := startServer(t, m.cfg(Config{Engine: eng.name, NewTM: eng.newi, Shards: 8}))
+				c := dial(t, s)
+
+				// Create-from-zero, accumulate, go negative.
+				for i := 0; i < 10; i++ {
+					if err := c.Add(7, 3); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := c.Add(7, -5); err != nil {
+					t.Fatal(err)
+				}
+				if v, ok, err := c.Get(7); err != nil || !ok || v != 25 {
+					t.Fatalf("Get(7) = %d,%v,%v want 25,true,nil", v, ok, err)
+				}
+
+				// Cross-shard MAdd composes atomically with existing state.
+				if _, err := c.Put(100, 1000); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.MAdd([]int64{7, 100, 200}, []int64{5, -10, 2}); err != nil {
+					t.Fatal(err)
+				}
+				vals, present, err := c.MGet([]int64{7, 100, 200})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := []int64{30, 990, 2}
+				for i := range want {
+					if !present[i] || vals[i] != want[i] {
+						t.Fatalf("MGet[%d] = %d,%v want %d,true", i, vals[i], present[i], want[i])
+					}
+				}
+
+				// Absolute ops override the counter state entirely.
+				if _, err := c.Put(7, 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Add(7, 1); err != nil {
+					t.Fatal(err)
+				}
+				if v, ok, err := c.Get(7); err != nil || !ok || v != 2 {
+					t.Fatalf("after Put+Add: Get(7) = %d,%v,%v want 2,true,nil", v, ok, err)
+				}
+				if _, _, err := c.Remove(7); err != nil {
+					t.Fatal(err)
+				}
+				if _, ok, err := c.Get(7); err != nil || ok {
+					t.Fatalf("after Remove: Get(7) present, want absent (err %v)", err)
+				}
+
+				var p wire.StatsPayload
+				if err := c.Stats(&p); err != nil {
+					t.Fatal(err)
+				}
+				if p.Adds != 15 { // 11 Add round trips, 1 MAdd of 3 deltas, 1 post-Put Add
+					t.Errorf("stats adds = %d, want 15", p.Adds)
+				}
+				if m.name == "conn-on" && p.BoostedOps == 0 {
+					t.Error("boost on: no boosted ops counted")
+				}
+				if m.name == "conn-off" && p.BoostedOps != 0 {
+					t.Errorf("boost off: %d boosted ops counted", p.BoostedOps)
+				}
+			})
+		}
+	}
+}
+
+// addHeavyBody draws one request from an add-heavy hot-key mix. Deltas
+// are strictly positive: a boosted overlay whose deltas sum to zero on a
+// never-written key reads as absent (value and presence are base +
+// overlay), while the read-modify-write path materializes a zero — the
+// one deliberate semantic divergence of the split representation, so
+// the equivalence stream stays off it.
+func addHeavyBody(rng *rand.Rand, keys int64) []byte {
+	key := func() int64 { return rng.Int64N(keys) }
+	delta := func() int64 { return rng.Int64N(99) + 1 }
+	var r wire.Request
+	switch n := rng.IntN(100); {
+	case n < 40:
+		r = wire.Request{Op: wire.OpAdd, Key: key(), Val: delta()}
+	case n < 55:
+		r.Op = wire.OpMAdd
+		for i := rng.IntN(3) + 2; i > 0; i-- {
+			r.Keys = append(r.Keys, key())
+			r.Vals = append(r.Vals, delta())
+		}
+	case n < 70:
+		r = wire.Request{Op: wire.OpGet, Key: key()}
+	case n < 78:
+		r = wire.Request{Op: wire.OpPut, Key: key(), Val: delta()}
+	case n < 85:
+		r = wire.Request{Op: wire.OpRemove, Key: key()}
+	case n < 95:
+		r.Op = wire.OpMGet
+		for i := rng.IntN(6) + 1; i > 0; i-- {
+			r.Keys = append(r.Keys, key())
+		}
+	default:
+		r = wire.Request{Op: wire.OpCompareAndMove, Key: key(), To: key(), Val: delta()}
+	}
+	return wire.AppendRequest(nil, &r)
+}
+
+// TestAddEquivalenceAcrossModes pins that the three executions of an
+// add — boosted overlay, read-modify-write transaction, speculative
+// blind delta — are observationally identical: seeded add-heavy bursts
+// (with absolute ops interleaved, so promotion and demotion both churn)
+// answered byte-identically by conn-off, conn-on and batch servers,
+// ending in identical store state.
+func TestAddEquivalenceAcrossModes(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const keys = 16
+	eng := engines()[0]
+	servers := []*Server{
+		startServer(t, Config{Engine: eng.name, NewTM: eng.newi, Shards: 8, Boost: store.BoostOff}),
+		startServer(t, Config{Engine: eng.name, NewTM: eng.newi, Shards: 8, Boost: store.BoostOn}),
+		startServer(t, Config{Engine: eng.name, NewTM: eng.newi, Shards: 8, Exec: ExecBatch, BatchWorkers: 4}),
+	}
+	names := []string{"conn-off", "conn-on", "batch"}
+	rng := rand.New(rand.NewPCG(0xadd, 0xb0057))
+	ncA, brA := rawDial(t, servers[0])
+	ncB, brB := rawDial(t, servers[1])
+	ncC, brC := rawDial(t, servers[2])
+	for burst := 0; burst < 30; burst++ {
+		n := rng.IntN(32) + 1
+		bodies := make([][]byte, n)
+		for i := range bodies {
+			bodies[i] = addHeavyBody(rng, keys)
+		}
+		ra := sendBurst(t, ncA, brA, bodies)
+		rb := sendBurst(t, ncB, brB, bodies)
+		rc := sendBurst(t, ncC, brC, bodies)
+		for i := range ra {
+			if !bytes.Equal(ra[i], rb[i]) {
+				t.Fatalf("burst %d response %d: %s diverges from %s:\n%x\n%x\nrequest %x",
+					burst, i, names[1], names[0], rb[i], ra[i], bodies[i])
+			}
+			if !bytes.Equal(ra[i], rc[i]) {
+				t.Fatalf("burst %d response %d: %s diverges from %s:\n%x\n%x\nrequest %x",
+					burst, i, names[2], names[0], rc[i], ra[i], bodies[i])
+			}
+		}
+	}
+	all := make([]int64, keys)
+	for k := range all {
+		all[k] = int64(k)
+	}
+	req := wire.AppendRequest(nil, &wire.Request{Op: wire.OpMGet, Keys: all})
+	ea := sendBurst(t, ncA, brA, [][]byte{req})
+	eb := sendBurst(t, ncB, brB, [][]byte{req})
+	ec := sendBurst(t, ncC, brC, [][]byte{req})
+	if !bytes.Equal(ea[0], eb[0]) || !bytes.Equal(ea[0], ec[0]) {
+		t.Fatalf("end states diverge:\nconn-off: %x\nconn-on:  %x\nbatch:    %x", ea[0], eb[0], ec[0])
+	}
+}
+
+// TestBatchSingleHotKeyNoValidationFails is the batch-mode acceptance
+// pin: pipelined bursts of adds all hammering ONE key — the workload
+// that turns RMW puts into full dependency chains — must speculate with
+// ZERO validation failures and zero re-executions, because blind deltas
+// record no reads and never invalidate each other.
+func TestBatchSingleHotKeyNoValidationFails(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	s := startServer(t, Config{
+		Engine: "oestm", NewTM: func() stm.TM { return core.New() },
+		Shards: 8, Exec: ExecBatch, BatchWorkers: 4, MaxBatch: 64,
+	})
+	nc, br := rawDial(t, s)
+	const rounds, depth = 20, 32
+	body := wire.AppendRequest(nil, &wire.Request{Op: wire.OpAdd, Key: 7, Val: 1})
+	bodies := make([][]byte, depth)
+	for i := range bodies {
+		bodies[i] = body
+	}
+	for r := 0; r < rounds; r++ {
+		for i, resp := range sendBurst(t, nc, br, bodies) {
+			if len(resp) == 0 || wire.Status(resp[0]) != wire.StatusOK {
+				t.Fatalf("round %d response %d not OK: %x", r, i, resp)
+			}
+		}
+	}
+	c := dial(t, s)
+	if v, ok, err := c.Get(7); err != nil || !ok || v != rounds*depth {
+		t.Fatalf("Get(7) = %d,%v,%v want %d,true,nil", v, ok, err, rounds*depth)
+	}
+	var p wire.StatsPayload
+	if err := c.Stats(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.SpecValidationFails != 0 {
+		t.Errorf("single-hot-key adds caused %d validation fails, want 0", p.SpecValidationFails)
+	}
+	if p.SpecReexecs != 0 {
+		t.Errorf("single-hot-key adds caused %d re-executions, want 0", p.SpecReexecs)
+	}
+	if p.SpecBatches == 0 || p.Adds != rounds*depth {
+		t.Errorf("batches %d, adds %d (want adds %d)", p.SpecBatches, p.Adds, rounds*depth)
+	}
+}
+
+// TestEndToEndAllocsAdd pins the allocation budgets of the add path
+// end-to-end, per execution: the boosted overlay mutates an int64 in
+// place — a whole client round trip allocates NOTHING — while the RMW
+// control and the batch commit pay exactly the AnyVar box of the value
+// they store.
+func TestEndToEndAllocsAdd(t *testing.T) {
+	newTM := func() stm.TM { return core.New() }
+	madd := []int64{1, 2, 3, 4}
+	deltas := []int64{1, 1, 1, 1}
+
+	run := func(t *testing.T, s *Server, name string, want float64, op func() error) {
+		t.Helper()
+		if err := op(); err != nil { // warm buffers, promotion, staging
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := testing.AllocsPerRun(200, func() {
+			if err := op(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got != want {
+			t.Errorf("%s: %v allocs per round trip, want %v", name, got, want)
+		}
+	}
+
+	t.Run("conn-boosted", func(t *testing.T) {
+		s := startServer(t, Config{Engine: "oestm", NewTM: newTM, Shards: 8, Boost: store.BoostOn})
+		c := dial(t, s)
+		run(t, s, "add-hot", 0, func() error { return c.Add(7, 1) })
+		run(t, s, "get-hot", 0, func() error { _, _, err := c.Get(7); return err })
+		run(t, s, "madd-hot", 0, func() error { return c.MAdd(madd, deltas) })
+		run(t, s, "mget-hot", 0, func() error { _, _, err := c.MGet(madd); return err })
+	})
+	t.Run("conn-rmw", func(t *testing.T) {
+		s := startServer(t, Config{Engine: "oestm", NewTM: newTM, Shards: 8, Boost: store.BoostOff})
+		c := dial(t, s)
+		run(t, s, "add-rmw", 1, func() error { return c.Add(7, 1) }) // the AnyVar value box
+		run(t, s, "madd-rmw", 4, func() error { return c.MAdd(madd, deltas) })
+	})
+	t.Run("batch-solo", func(t *testing.T) {
+		s := startServer(t, Config{Engine: "oestm", NewTM: newTM, Shards: 8, Exec: ExecBatch, BatchWorkers: 4})
+		c := dial(t, s)
+		run(t, s, "add-solo", 1, func() error { return c.Add(7, 1) }) // the AnyVar value box
+		run(t, s, "madd-solo", 4, func() error { return c.MAdd(madd, deltas) })
+	})
+}

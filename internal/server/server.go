@@ -45,6 +45,12 @@ type Config struct {
 	// Unsound builds the store in unsound mode (composed operations split
 	// into separate transactions — the checker-validation baseline).
 	Unsound bool
+	// Boost selects the store's commutative hot-key mode for the
+	// integer-delta requests (Add/MAdd) in conn mode: BoostOff (zero
+	// value) runs them as read-modify-write transactions, BoostAuto
+	// promotes keys adaptively, BoostOn promotes every add's key
+	// (store.BoostMode; unsound mode forces off).
+	Boost store.BoostMode
 	// MaxBody caps accepted frame bodies (0 = wire.MaxBody).
 	MaxBody int
 	// WALDir, when non-empty, makes the store durable: a per-shard
@@ -146,7 +152,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		cmName:   cmName,
 		tm:       cfg.NewTM(),
-		st:       store.New(store.Config{Shards: shards, Unsound: cfg.Unsound, WAL: wlog}),
+		st:       store.New(store.Config{Shards: shards, Unsound: cfg.Unsound, WAL: wlog, Boost: cfg.Boost}),
 		wlog:     wlog,
 		recovery: recovery,
 		conns:    map[*conn]struct{}{},
@@ -374,6 +380,11 @@ func (s *Server) statsPayload(p *wire.StatsPayload) {
 		WALSyncs:   ws.Syncs,
 		WALBytes:   ws.Bytes,
 	}
+	bs := s.st.BoostStats()
+	p.Adds = bs.Adds
+	p.BoostedOps = bs.BoostedOps
+	p.HotPromotions = bs.Promotions
+	p.HotDemotions = bs.Demotions
 	if s.batch != nil {
 		ss := s.batch.exec.Stats()
 		p.SpecBatches = ss.Batches
@@ -583,6 +594,22 @@ func (c *conn) serve(dst []byte) []byte {
 		if !c.fr.MPut(c.req.Keys, c.req.Vals) {
 			return wire.AppendError(dst, wire.ErrRetryExhausted, "mput retry budget exhausted")
 		}
+	case wire.OpAdd:
+		if !store.ValidKey(c.req.Key) {
+			return wire.AppendError(dst, wire.ErrKeyRange, "reserved key")
+		}
+		if !c.fr.Add(c.req.Key, c.req.Val) {
+			return wire.AppendError(dst, wire.ErrRetryExhausted, "add retry budget exhausted")
+		}
+	case wire.OpMAdd:
+		for _, k := range c.req.Keys {
+			if !store.ValidKey(k) {
+				return wire.AppendError(dst, wire.ErrKeyRange, "reserved key")
+			}
+		}
+		if !c.fr.MAdd(c.req.Keys, c.req.Vals) {
+			return wire.AppendError(dst, wire.ErrRetryExhausted, "madd retry budget exhausted")
+		}
 	case wire.OpStats:
 		var p wire.StatsPayload
 		c.srv.statsPayload(&p)
@@ -598,7 +625,7 @@ func (c *conn) serve(dst []byte) []byte {
 	// Reads keep serving — the in-memory state is intact.
 	if err := c.fr.WALErr(); err != nil {
 		switch c.req.Op {
-		case wire.OpPut, wire.OpRemove, wire.OpCompareAndMove, wire.OpMPut:
+		case wire.OpPut, wire.OpRemove, wire.OpCompareAndMove, wire.OpMPut, wire.OpAdd, wire.OpMAdd:
 			return wire.AppendError(dst, wire.ErrDurability, err.Error())
 		}
 	}

@@ -131,41 +131,56 @@ type View struct {
 
 // Read returns the value under key and whether it is present, layering
 // own writes over lower transactions' published writes over the
-// committed base. After an unresolved dependency (Aborted) it returns
-// zeros.
+// committed base, with blind deltas at every layer combining into the
+// first absolute value below them (a delta chain with no absolute below
+// creates the key from zero). After an unresolved dependency (Aborted)
+// it returns zeros.
 //
 //compose:noalloc
 func (v *View) Read(key int64) (int64, bool) {
 	if v.dep {
 		return 0, false
 	}
+	// Own writes: trailing deltas sum onto the own absolute write below
+	// them, or fall through to the layers beneath.
+	var ownSum int64
+	var ownCnt int32
 	w := v.s.writes
 	for i := len(w) - 1; i >= 0; i-- {
-		if w[i].Key == key {
-			if w[i].Remove {
-				return 0, false
-			}
-			return w[i].Val, true
+		if w[i].Key != key {
+			continue
 		}
+		if w[i].Delta {
+			ownSum += w[i].Val
+			ownCnt++
+			continue
+		}
+		if w[i].Remove {
+			return ownSum, ownCnt > 0
+		}
+		return w[i].Val + ownSum, true
 	}
 	if !v.solo {
-		e, status := v.ex.mv.read(key, v.idx)
+		e, dsum, dcnt, status := v.ex.mv.read(key, v.idx)
 		switch status {
 		case mvEstimate:
 			v.dep = true
 			return 0, false
 		case mvHit:
-			v.s.reads = append(v.s.reads, ReadDesc{Key: key, Ver: Version{Txn: e.txn, Inc: e.inc}})
+			v.s.reads = append(v.s.reads, ReadDesc{Key: key,
+				Ver: Version{Txn: e.txn, Inc: e.inc}, DeltaSum: dsum, DeltaCnt: dcnt})
 			if e.remove {
-				return 0, false
+				return dsum + ownSum, dcnt+ownCnt > 0
 			}
-			return e.val, true
+			return e.val + dsum + ownSum, true
 		}
 		val, ok := v.base.ReadBase(key)
-		v.s.reads = append(v.s.reads, ReadDesc{Key: key, Ver: Version{Txn: BaseTxn}})
-		return val, ok
+		v.s.reads = append(v.s.reads, ReadDesc{Key: key,
+			Ver: Version{Txn: BaseTxn}, DeltaSum: dsum, DeltaCnt: dcnt})
+		return val + dsum + ownSum, ok || dcnt+ownCnt > 0
 	}
-	return v.base.ReadBase(key)
+	val, ok := v.base.ReadBase(key)
+	return val + ownSum, ok || ownCnt > 0
 }
 
 // Write records a put of val under key in the attempt's write set.
@@ -173,6 +188,15 @@ func (v *View) Read(key int64) (int64, bool) {
 //compose:noalloc
 func (v *View) Write(key, val int64) {
 	v.s.writes = append(v.s.writes, WriteDesc{Key: key, Val: val})
+}
+
+// Add records a blind commutative delta in the attempt's write set: no
+// read, no version observed, so concurrent adds to the same key can
+// never invalidate each other.
+//
+//compose:noalloc
+func (v *View) Add(key, delta int64) {
+	v.s.writes = append(v.s.writes, WriteDesc{Key: key, Val: delta, Delta: true})
 }
 
 // Delete records a removal of key in the attempt's write set.
@@ -536,17 +560,48 @@ func (e *Executor) execOne(w int, idx int32) {
 		s.dep = true
 		return
 	}
-	// Publish each key's FINAL value only. An attempt that writes a key
-	// twice must never expose the intermediate value: it would carry the
-	// same (txn, incarnation) version as the final one, so a reader that
-	// caught it would pass validation with a value serial execution can
-	// never observe.
+	// Publish each key's FINAL portrait only. An attempt that writes a
+	// key twice must never expose an intermediate value: it would carry
+	// the same (txn, incarnation) version as the final one, so a reader
+	// that caught it would pass validation with a value serial execution
+	// can never observe. With deltas in the mix the portrait is the
+	// composition of the key's write sequence: trailing deltas fold onto
+	// the last absolute write (an absolute entry), deltas over a removal
+	// re-create the key absolutely, and an all-delta sequence publishes
+	// one summed delta entry — keeping the entry blind, so readers above
+	// still combine it with whatever lower transactions decide.
 	for i := len(s.writes) - 1; i >= 0; i-- {
 		wr := s.writes[i]
 		if containsKey(s.writes[i+1:], wr.Key) {
 			continue
 		}
-		e.mv.write(wr.Key, idx, s.inc, wr.Val, wr.Remove)
+		var sum int64
+		var cnt int32
+		published := false
+		for j := i; j >= 0; j-- {
+			ww := s.writes[j]
+			if ww.Key != wr.Key {
+				continue
+			}
+			if ww.Delta {
+				sum += ww.Val
+				cnt++
+				continue
+			}
+			switch {
+			case !ww.Remove:
+				e.mv.write(wr.Key, idx, s.inc, ww.Val+sum, false, false)
+			case cnt > 0:
+				e.mv.write(wr.Key, idx, s.inc, sum, false, false)
+			default:
+				e.mv.write(wr.Key, idx, s.inc, 0, true, false)
+			}
+			published = true
+			break
+		}
+		if !published {
+			e.mv.write(wr.Key, idx, s.inc, sum, false, true)
+		}
 	}
 	if s.hasPub {
 		// Retract stale versions the new attempt no longer writes.
@@ -571,9 +626,15 @@ func containsKey(ws []WriteDesc, key int64) bool {
 }
 
 // validateOne re-reads slot idx's read descriptors at its index: valid
-// iff every descriptor observes the identical version — same
+// iff every descriptor observes the identical anchoring version — same
 // (txn, incarnation) for map hits, still a base read for base reads,
-// never an ESTIMATE. Dependency-missed attempts are invalid outright.
+// never an ESTIMATE — and the identical delta chain above it, compared
+// by sum and count rather than by version. Delta incarnations are
+// deliberately invisible here: a re-executed add republishes the same
+// blind delta, the sums match, and the reader stays valid — delta
+// traffic on a hot key can never fail a reader's validation unless the
+// observable value actually changed. Dependency-missed attempts are
+// invalid outright.
 //
 //compose:noalloc
 func (e *Executor) validateOne(idx int32) {
@@ -584,7 +645,11 @@ func (e *Executor) validateOne(idx int32) {
 	}
 	for i := range s.reads {
 		r := &s.reads[i]
-		cur, status := e.mv.read(r.Key, idx)
+		cur, dsum, dcnt, status := e.mv.read(r.Key, idx)
+		if dsum != r.DeltaSum || dcnt != r.DeltaCnt {
+			s.valid = false
+			return
+		}
 		switch status {
 		case mvMiss:
 			if r.Ver.Txn != BaseTxn {

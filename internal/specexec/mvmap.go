@@ -16,19 +16,30 @@ type Version struct {
 	Inc int32
 }
 
-// ReadDesc is one recorded read: the key and the version observed
-// (Txn == BaseTxn for a committed-state read).
+// ReadDesc is one recorded read: the key, the anchoring version
+// observed (the first absolute write below the reader, Txn == BaseTxn
+// for a committed-state read), and the summed delta writes layered
+// between that anchor and the reader. Deltas are validated by sum and
+// count, not by version: a delta transaction's re-execution republishes
+// the same blind delta under a new incarnation, and a reader that only
+// ever saw the sum has observed nothing that changed — which is exactly
+// why same-key adds never invalidate each other or their readers.
 type ReadDesc struct {
-	Key int64
-	Ver Version
+	Key      int64
+	Ver      Version
+	DeltaSum int64
+	DeltaCnt int32
 }
 
 // WriteDesc is one write of a transaction's write set: a put of Val
-// under Key, or a removal when Remove is set.
+// under Key, a removal when Remove is set, or — when Delta is set — a
+// blind commutative add of Val to whatever lies below (creating the key
+// from zero when nothing does).
 type WriteDesc struct {
 	Key    int64
 	Val    int64
 	Remove bool
+	Delta  bool
 }
 
 // read outcomes of the multi-version map.
@@ -39,14 +50,15 @@ const (
 )
 
 // verEntry is one transaction's current write of a key: its value (or
-// removal), the incarnation that produced it, and the estimate flag a
-// failed validation sets so higher readers block on the re-execution
-// instead of consuming a doomed value.
+// removal, or blind delta), the incarnation that produced it, and the
+// estimate flag a failed validation sets so higher readers block on the
+// re-execution instead of consuming a doomed value.
 type verEntry struct {
 	txn      int32
 	inc      int32
 	val      int64
 	remove   bool
+	delta    bool
 	estimate bool
 }
 
@@ -91,34 +103,45 @@ func (m *mvMap) stripeOf(key int64) *stripe {
 	return &m.stripes[(uint64(key)*stripeMix)>>(64-7)]
 }
 
-// read returns the highest write of key by a transaction below before:
-// the entry and mvHit, mvEstimate when that write is a marker, or
-// mvMiss when no lower transaction wrote the key.
+// read walks key's versions below before, from the highest down,
+// combining blind delta entries until the first absolute write: it
+// returns that anchoring entry (mvHit) or mvMiss when only deltas (or
+// nothing) lie below, together with the sum and count of the deltas
+// crossed. Any estimate on the way — delta or anchor — is a dependency
+// miss: the chain's value is not yet decided.
 //
 //compose:noalloc
-func (m *mvMap) read(key int64, before int32) (e verEntry, status int) {
+func (m *mvMap) read(key int64, before int32) (e verEntry, dsum int64, dcnt int32, status int) {
 	s := m.stripeOf(key)
 	s.mu.Lock()
 	l := s.m[key]
 	if l != nil {
 		for i := len(l.entries) - 1; i >= 0; i-- {
-			if l.entries[i].txn < before {
-				e = l.entries[i]
-				s.mu.Unlock()
-				if e.estimate {
-					return e, mvEstimate
-				}
-				return e, mvHit
+			cur := &l.entries[i]
+			if cur.txn >= before {
+				continue
 			}
+			if cur.estimate {
+				s.mu.Unlock()
+				return verEntry{}, 0, 0, mvEstimate
+			}
+			if cur.delta {
+				dsum += cur.val
+				dcnt++
+				continue
+			}
+			e = *cur
+			s.mu.Unlock()
+			return e, dsum, dcnt, mvHit
 		}
 	}
 	s.mu.Unlock()
-	return verEntry{}, mvMiss
+	return verEntry{}, dsum, dcnt, mvMiss
 }
 
 // write publishes txn's write of key (replacing the transaction's
 // previous entry, clearing any estimate marker on it).
-func (m *mvMap) write(key int64, txn, inc int32, val int64, remove bool) {
+func (m *mvMap) write(key int64, txn, inc int32, val int64, remove, delta bool) {
 	s := m.stripeOf(key)
 	s.mu.Lock()
 	l := s.m[key]
@@ -134,7 +157,7 @@ func (m *mvMap) write(key int64, txn, inc int32, val int64, remove bool) {
 	at := len(l.entries)
 	for i := range l.entries {
 		if l.entries[i].txn == txn {
-			l.entries[i] = verEntry{txn: txn, inc: inc, val: val, remove: remove}
+			l.entries[i] = verEntry{txn: txn, inc: inc, val: val, remove: remove, delta: delta}
 			s.mu.Unlock()
 			return
 		}
@@ -145,7 +168,7 @@ func (m *mvMap) write(key int64, txn, inc int32, val int64, remove bool) {
 	}
 	l.entries = append(l.entries, verEntry{})
 	copy(l.entries[at+1:], l.entries[at:])
-	l.entries[at] = verEntry{txn: txn, inc: inc, val: val, remove: remove}
+	l.entries[at] = verEntry{txn: txn, inc: inc, val: val, remove: remove, delta: delta}
 	s.mu.Unlock()
 }
 

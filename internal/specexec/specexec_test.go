@@ -19,6 +19,7 @@ const (
 	opWrite
 	opDelete
 	opRMW
+	opAdd // blind commutative delta: View.Add, no read
 )
 
 // testTxn replays an op program against the view, recording what the
@@ -47,6 +48,8 @@ func (t *testTxn) Speculate(v *View) {
 			t.got = append(t.got, val)
 			t.gotOK = append(t.gotOK, ok)
 			v.Write(op.key, val+op.val)
+		case opAdd:
+			v.Add(op.key, op.val)
 		}
 		if v.Aborted() {
 			return
@@ -72,6 +75,8 @@ func (t *testTxn) applySerial(model map[int64]int64) (got []int64, gotOK []bool)
 			got = append(got, val)
 			gotOK = append(gotOK, ok)
 			model[op.key] = val + op.val
+		case opAdd:
+			model[op.key] += op.val
 		}
 	}
 	return got, gotOK
@@ -125,9 +130,12 @@ func (s *shardedState) RunJob(worker, job int) {
 			if s.shardOf(w.Key) != job {
 				continue
 			}
-			if w.Remove {
+			switch {
+			case w.Delta:
+				m[w.Key] += w.Val
+			case w.Remove:
 				delete(m, w.Key)
-			} else {
+			default:
 				m[w.Key] = w.Val
 			}
 		}
@@ -434,5 +442,331 @@ func TestConcurrentSubmitStress(t *testing.T) {
 	}
 	if s := ex.Stats(); s.Execs < producers*perProducer {
 		t.Fatalf("stats undercount: %+v", s)
+	}
+}
+
+// TestBlindAddsNeverConflict is the commutativity pin: a whole batch of
+// blind adds to ONE key — the workload that makes the RMW dependency
+// chain of TestDependencyChain degenerate to n rounds — must commit in
+// a single round with zero validation failures and zero re-executions,
+// because blind deltas record no reads and their publications are
+// invisible to validation.
+func TestBlindAddsNeverConflict(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	const n = 64
+	st := newShardedState(4)
+	txns := make([]Txn, n)
+	for i := range txns {
+		txns[i] = &testTxn{ops: []top{{kind: opAdd, key: 7, val: 1}}}
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	ex, err := New(Config{
+		Workers:   4,
+		MaxBatch:  n,
+		NewBase:   func(int) Base { return st },
+		Committer: st,
+		Done:      func(Txn) { wg.Done() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	ex.SubmitAll(txns)
+	wg.Wait()
+	ex.Close()
+	if v, _ := st.ReadBase(7); v != n {
+		t.Fatalf("final value %d, want %d", v, n)
+	}
+	s := ex.Stats()
+	if s.ValidationFails != 0 || s.Reexecs != 0 {
+		t.Fatalf("blind adds caused speculation misses: %+v", s)
+	}
+	if s.Execs != n {
+		t.Fatalf("execs %d, want exactly %d (one attempt each)", s.Execs, n)
+	}
+}
+
+// TestDeltaChainObservation pins the read-combining semantics with
+// deterministic single-key batches: a reader above a delta chain
+// observes the first absolute anchor below it plus the summed deltas,
+// deltas over a removal re-create the key, and an all-delta chain
+// creates it from zero — including the zero-sum case, where presence
+// comes from the delta count, not the value.
+func TestDeltaChainObservation(t *testing.T) {
+	cases := []struct {
+		name   string
+		seed   map[int64]int64 // committed state before the batch
+		ops    [][]top         // one txn per entry, reader last
+		want   int64
+		wantOK bool
+	}{
+		{
+			name: "adds over absolute write",
+			ops: [][]top{
+				{{kind: opWrite, key: 7, val: 10}},
+				{{kind: opAdd, key: 7, val: 5}},
+				{{kind: opAdd, key: 7, val: -2}},
+				{{kind: opRead, key: 7}},
+			},
+			want: 13, wantOK: true,
+		},
+		{
+			name: "adds over removal re-create",
+			seed: map[int64]int64{7: 100},
+			ops: [][]top{
+				{{kind: opDelete, key: 7}},
+				{{kind: opAdd, key: 7, val: 5}},
+				{{kind: opRead, key: 7}},
+			},
+			want: 5, wantOK: true,
+		},
+		{
+			name: "all-delta chain creates from zero",
+			ops: [][]top{
+				{{kind: opAdd, key: 7, val: 3}},
+				{{kind: opRead, key: 7}},
+			},
+			want: 3, wantOK: true,
+		},
+		{
+			name: "zero-sum chain is still present",
+			ops: [][]top{
+				{{kind: opAdd, key: 7, val: 5}},
+				{{kind: opAdd, key: 7, val: -5}},
+				{{kind: opRead, key: 7}},
+			},
+			want: 0, wantOK: true,
+		},
+		{
+			name: "adds over committed base",
+			seed: map[int64]int64{7: 40},
+			ops: [][]top{
+				{{kind: opAdd, key: 7, val: 2}},
+				{{kind: opRead, key: 7}},
+			},
+			want: 42, wantOK: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := newShardedState(2)
+			for k, v := range tc.seed {
+				st.shards[st.shardOf(k)][k] = v
+			}
+			txns := make([]Txn, len(tc.ops))
+			for i, ops := range tc.ops {
+				txns[i] = &testTxn{ops: ops}
+			}
+			runBatches(t, st, 2, len(txns), [][]Txn{txns})
+			rd := txns[len(txns)-1].(*testTxn)
+			if len(rd.got) != 1 || rd.got[0] != tc.want || rd.gotOK[0] != tc.wantOK {
+				t.Fatalf("reader observed %v,%v want [%d],[%v]", rd.got, rd.gotOK, tc.want, tc.wantOK)
+			}
+			// Committed end state must match the serial model too.
+			model := make(map[int64]int64)
+			for k, v := range tc.seed {
+				model[k] = v
+			}
+			for _, ops := range tc.ops {
+				(&testTxn{ops: ops}).applySerial(model)
+			}
+			if got, ok := st.ReadBase(7); got != model[7] {
+				t.Fatalf("committed %d,%v want %d", got, ok, model[7])
+			}
+		})
+	}
+}
+
+// TestOwnWriteDeltaLayering checks the own-write walk inside one
+// transaction: trailing own deltas fold onto the own absolute below,
+// fall through a removal, or layer over lower transactions and base —
+// in both solo and speculative batches.
+func TestOwnWriteDeltaLayering(t *testing.T) {
+	ops := []top{
+		{kind: opWrite, key: 1, val: 10},
+		{kind: opAdd, key: 1, val: 5},
+		{kind: opRead, key: 1}, // 15
+		{kind: opDelete, key: 1},
+		{kind: opAdd, key: 1, val: 2},
+		{kind: opRead, key: 1}, // 2, present (delta over own removal)
+		{kind: opAdd, key: 2, val: 7},
+		{kind: opRead, key: 2}, // 37: own delta over committed base 30
+	}
+	wantGot := []int64{15, 2, 37}
+	wantOK := []bool{true, true, true}
+	run := func(t *testing.T, pad int) *shardedState {
+		st := newShardedState(2)
+		st.shards[st.shardOf(2)][2] = 30
+		txns := []Txn{&testTxn{ops: ops}}
+		for i := 0; i < pad; i++ {
+			txns = append(txns, &testTxn{ops: []top{{kind: opAdd, key: 9, val: 1}}})
+		}
+		runBatches(t, st, 2, len(txns), [][]Txn{txns})
+		tt := txns[0].(*testTxn)
+		for i := range wantGot {
+			if tt.got[i] != wantGot[i] || tt.gotOK[i] != wantOK[i] {
+				t.Fatalf("read %d: got %d,%v want %d,%v", i, tt.got[i], tt.gotOK[i], wantGot[i], wantOK[i])
+			}
+		}
+		return st
+	}
+	t.Run("solo", func(t *testing.T) {
+		st := run(t, 0)
+		if v, ok := st.ReadBase(1); !ok || v != 2 {
+			t.Fatalf("committed key 1 = %d,%v want 2,true", v, ok)
+		}
+	})
+	t.Run("speculative", func(t *testing.T) {
+		st := run(t, 3)
+		if v, ok := st.ReadBase(1); !ok || v != 2 {
+			t.Fatalf("committed key 1 = %d,%v want 2,true", v, ok)
+		}
+		if v, _ := st.ReadBase(9); v != 3 {
+			t.Fatalf("committed key 9 = %d want 3", v)
+		}
+	})
+}
+
+// dependentAdder reads key 5 and blind-adds what it read to key 7; it
+// signals after its first (stale) read so the test can hold the writer
+// of key 5 back until the stale read has happened.
+type dependentAdder struct {
+	readDone chan struct{}
+	attempts int
+}
+
+func (d *dependentAdder) Speculate(v *View) {
+	d.attempts++
+	val, _ := v.Read(5)
+	v.Add(7, val)
+	if d.attempts == 1 {
+		close(d.readDone)
+	}
+}
+
+// keyReader reads one key, remembering the last validated observation.
+type keyReader struct {
+	key      int64
+	attempts int
+	got      int64
+	gotOK    bool
+}
+
+func (r *keyReader) Speculate(v *View) {
+	r.attempts++
+	r.got, r.gotOK = v.Read(r.key)
+}
+
+// TestDeltaSumChangeInvalidatesReader pins that delta validation is by
+// VALUE, not version: the adder's first attempt publishes a stale delta
+// of 0 onto key 7 (it read key 5 before the writer published), its
+// re-execution republishes a delta of 99 — and the reader of key 7,
+// whose recorded chain can never match (sum 99, count 1) on its early
+// attempts, must fail the sum/count comparison and re-run until it
+// observes 99.
+func TestDeltaSumChangeInvalidatesReader(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	st := newShardedState(2)
+	ch := make(chan struct{})
+	w := &orderedWriter{readDone: ch} // writes key 5 = 99 after the signal
+	d := &dependentAdder{readDone: ch}
+	r := &keyReader{key: 7}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	ex, err := New(Config{
+		Workers:   2,
+		MaxBatch:  3,
+		NewBase:   func(int) Base { return st },
+		Committer: st,
+		Done:      func(Txn) { wg.Done() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Start()
+	ex.SubmitAll([]Txn{w, d, r})
+	wg.Wait()
+	ex.Close()
+	if v, ok := st.ReadBase(7); !ok || v != 99 {
+		t.Fatalf("key 7 committed %d,%v want 99,true (the re-published delta)", v, ok)
+	}
+	if r.got != 99 || !r.gotOK {
+		t.Fatalf("reader's validated attempt observed %d,%v want 99,true", r.got, r.gotOK)
+	}
+	if d.attempts < 2 {
+		t.Fatalf("adder ran %d attempts, want ≥ 2 (stale read must re-execute)", d.attempts)
+	}
+	if s := ex.Stats(); s.ValidationFails == 0 {
+		t.Fatalf("no validation failures recorded: %+v", s)
+	}
+}
+
+// TestSeededRandomEquivalenceWithAdds repeats the core equivalence
+// check with blind adds in the op mix, so delta chains, re-published
+// deltas, portrait composition and delta validation all get exercised
+// against the serial reference.
+func TestSeededRandomEquivalenceWithAdds(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	for _, seed := range []int64{2, 0xadd5, 0xdadd, 424242} {
+		rng := rand.New(rand.NewSource(seed))
+		st := newShardedState(4)
+		model := make(map[int64]int64)
+		var batches [][]Txn
+		var all []*testTxn
+		for b := 0; b < 20; b++ {
+			n := 1 + rng.Intn(64)
+			batch := make([]Txn, n)
+			for i := range batch {
+				nops := 1 + rng.Intn(5)
+				ops := make([]top, nops)
+				for j := range ops {
+					kind := rng.Intn(8)
+					if kind > opAdd {
+						kind = opAdd // weight adds at 50%: hot-counter shape
+					}
+					ops[j] = top{
+						kind: kind,
+						key:  int64(rng.Intn(16)),
+						val:  int64(rng.Intn(100)) - 50,
+					}
+				}
+				tt := &testTxn{ops: ops}
+				batch[i] = tt
+				all = append(all, tt)
+			}
+			batches = append(batches, batch)
+		}
+		wantGot := make([][]int64, len(all))
+		wantOK := make([][]bool, len(all))
+		for i, tt := range all {
+			wantGot[i], wantOK[i] = tt.applySerial(model)
+		}
+
+		runBatches(t, st, 6, 64, batches)
+
+		for i, tt := range all {
+			if len(tt.got) != len(wantGot[i]) {
+				t.Fatalf("seed %#x txn %d: %d observations, want %d", seed, i, len(tt.got), len(wantGot[i]))
+			}
+			for j := range tt.got {
+				if tt.got[j] != wantGot[i][j] || tt.gotOK[j] != wantOK[i][j] {
+					t.Fatalf("seed %#x txn %d read %d: got %d,%v want %d,%v",
+						seed, i, j, tt.got[j], tt.gotOK[j], wantGot[i][j], wantOK[i][j])
+				}
+			}
+		}
+		for k, want := range model {
+			if got, ok := st.ReadBase(k); !ok || got != want {
+				t.Fatalf("seed %#x key %d: committed %d,%v want %d,true", seed, k, got, ok, want)
+			}
+		}
+		for _, m := range st.shards {
+			for k, got := range m {
+				if want, ok := model[k]; !ok || want != got {
+					t.Fatalf("seed %#x key %d: committed %d, model has %d,%v", seed, k, got, want, ok)
+				}
+			}
+		}
 	}
 }

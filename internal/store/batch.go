@@ -12,12 +12,15 @@ import (
 // letting a 256-transaction batch become one giant read/write set.
 const applyChunk = 64
 
-// batchOp is one shard-local unit of a staged batch: a plain put/remove
-// record, or a reference to a cross-shard composition (comp >= 0).
+// batchOp is one shard-local unit of a staged batch: a plain
+// put/remove/delta record, or a reference to a cross-shard composition
+// (comp >= 0). A delta op adds val to whatever the key holds (creating
+// it from zero) — the committed form of a speculative blind add.
 type batchOp struct {
 	key    int64
 	val    int64
 	remove bool
+	delta  bool
 	comp   int32 // -1 = plain; else index into Applier.comps
 }
 
@@ -168,28 +171,35 @@ func (a *Applier) touch(sh int) {
 }
 
 // Stage buckets transaction i's validated write set onto its shards, in
-// batch order. A write set on one shard becomes plain records; one that
-// spans shards becomes a composition (intent on every participant plus
-// a commit marker on the coordinator — the lowest participant — exactly
-// the two-phase evidence conn-mode MPut/CompareAndMove log). In unsound
-// mode every write set is split into plain records, preserving the
-// crash-tearing ablation on disk.
+// batch order. A write set on one shard becomes plain records (blind
+// deltas as add records); one that spans shards becomes a composition
+// (intent on every participant plus a commit marker on the coordinator
+// — the lowest participant — exactly the two-phase evidence conn-mode
+// MPut/CompareAndMove log), with delta writes carried as delta effects.
+// In unsound mode every write set is split into plain records,
+// preserving the crash-tearing ablation on disk.
 func (a *Applier) Stage(i int, writes []specexec.WriteDesc) {
 	if len(writes) == 0 {
 		return
 	}
 	single := true
+	deltas := 0
 	sh0 := a.st.ShardOf(writes[0].Key)
-	for j := 1; j < len(writes); j++ {
+	for j := range writes {
+		if writes[j].Delta {
+			deltas++
+		}
 		if a.st.ShardOf(writes[j].Key) != sh0 {
 			single = false
-			break
 		}
+	}
+	if deltas > 0 {
+		a.st.CountAdds(deltas)
 	}
 	if single || a.st.unsound {
 		for _, w := range writes {
 			sh := a.st.ShardOf(w.Key)
-			a.shards[sh].ops = append(a.shards[sh].ops, batchOp{key: w.Key, val: w.Val, remove: w.Remove, comp: -1})
+			a.shards[sh].ops = append(a.shards[sh].ops, batchOp{key: w.Key, val: w.Val, remove: w.Remove, delta: w.Delta, comp: -1})
 			a.touch(sh)
 		}
 		return
@@ -198,7 +208,7 @@ func (a *Applier) Stage(i int, writes []specexec.WriteDesc) {
 	coord := a.st.Shards()
 	for _, w := range writes {
 		sh := a.st.ShardOf(w.Key)
-		a.effects = append(a.effects, wal.Effect{Remove: w.Remove, Shard: sh, Key: w.Key, Val: w.Val})
+		a.effects = append(a.effects, wal.Effect{Remove: w.Remove, Delta: w.Delta, Shard: sh, Key: w.Key, Val: w.Val})
 		if sh < coord {
 			coord = sh
 		}
@@ -259,9 +269,12 @@ func (a *Applier) RunJob(worker, job int) {
 		var seq uint64
 		for _, op := range ops {
 			if op.comp < 0 {
-				if op.remove {
+				switch {
+				case op.delta:
+					seq = w.AppendAdd(sh, op.key, op.val)
+				case op.remove:
 					seq = w.AppendRemove(sh, op.key)
-				} else {
+				default:
 					seq = w.AppendPut(sh, op.key, op.val)
 				}
 				continue
@@ -278,14 +291,20 @@ func (a *Applier) RunJob(worker, job int) {
 
 // applyBody applies one chunk of the current shard job — plain ops
 // directly, compositions by their shard-local effects — inside the
-// enclosing transaction (flat nesting, like MPut's body).
+// enclosing transaction (flat nesting, like MPut's body). Deltas fold
+// into the committed value here: the commutativity already paid off in
+// the speculation rounds (blind adds never invalidate), so the commit
+// path applies them as ordinary read-modify-writes in batch order.
 func (r *applyRun) applyBody() {
 	m := r.a.st.shards[r.sh]
 	for _, op := range r.ops[r.lo:r.hi] {
 		if op.comp < 0 {
-			if op.remove {
+			switch {
+			case op.delta:
+				r.applyDelta(m, op.key, op.val)
+			case op.remove:
 				m.Remove(r.th, int(op.key))
-			} else {
+			default:
 				m.Put(r.th, int(op.key), op.val)
 			}
 			continue
@@ -295,13 +314,26 @@ func (r *applyRun) applyBody() {
 			if ef.Shard != r.sh {
 				continue
 			}
-			if ef.Remove {
+			switch {
+			case ef.Delta:
+				r.applyDelta(m, ef.Key, ef.Val)
+			case ef.Remove:
 				m.Remove(r.th, int(ef.Key))
-			} else {
+			default:
 				m.Put(r.th, int(ef.Key), ef.Val)
 			}
 		}
 	}
+}
+
+// applyDelta adds delta to key's committed value, creating the key from
+// zero when absent — the same semantics WAL replay gives add records.
+func (r *applyRun) applyDelta(m *eec.SkipListMap, key, delta int64) {
+	var old int64
+	if v, ok := m.Get(r.th, int(key)); ok {
+		old, _ = v.(int64)
+	}
+	m.Put(r.th, int(key), old+delta)
 }
 
 // Finish releases the commit locks (descending) and group-commits

@@ -48,6 +48,7 @@ const (
 	envRetries = "CRASHTEST_RETRIES"
 	envSnapMS  = "CRASHTEST_SNAP_MS"
 	envExec    = "CRASHTEST_EXEC"
+	envBoost   = "CRASHTEST_BOOST"
 )
 
 // addrPrefix is the line the child prints once it is serving; the
@@ -87,6 +88,16 @@ func ChildMain() bool {
 	if err != nil {
 		fail(err)
 	}
+	// Boost defaults off in the crash children (matching the server
+	// Config zero value) so the established cases keep their exact
+	// behavior; the add-burst case opts in explicitly.
+	boost := store.BoostOff
+	if b := os.Getenv(envBoost); b != "" {
+		boost, err = store.ParseBoostMode(b)
+		if err != nil {
+			fail(err)
+		}
+	}
 	srv, err := server.New(server.Config{
 		Addr:    "127.0.0.1:0",
 		Engine:  eng.Name,
@@ -109,6 +120,7 @@ func ChildMain() bool {
 		// batches genuinely interleave commit jobs with the kill.
 		Exec:         os.Getenv(envExec),
 		BatchWorkers: 4,
+		Boost:        boost,
 	})
 	if err != nil {
 		fail(err)

@@ -48,6 +48,13 @@ func spawn(t *testing.T, engine string, shards int, unsound bool, dir string) *c
 // default, conn; "batch" = the speculative batch executor).
 func spawnExec(t *testing.T, engine string, shards int, unsound bool, dir, execMode string) *child {
 	t.Helper()
+	return spawnBoost(t, engine, shards, unsound, dir, execMode, "")
+}
+
+// spawnBoost is spawnExec with an explicit boost mode for the
+// commutative hot-key path ("" = off, the crash children's default).
+func spawnBoost(t *testing.T, engine string, shards int, unsound bool, dir, execMode, boost string) *child {
+	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(),
 		envChild+"=1",
@@ -58,6 +65,7 @@ func spawnExec(t *testing.T, engine string, shards int, unsound bool, dir, execM
 		fmt.Sprintf("%s=%d", envUnsound, b2i(unsound)),
 		envSnapMS+"=0",
 		envExec+"="+execMode,
+		envBoost+"="+boost,
 	)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -392,6 +400,140 @@ func TestShuttleCleanOnComposingEngine(t *testing.T) {
 	if v := shuttleViolations(t, "oestm", 4000); v != 0 {
 		t.Errorf("%d torn observations on a composing engine", v)
 	}
+}
+
+// addBurst is the SIGKILL-mid-add-burst scenario: workers blast
+// positive integer deltas at a small hot-key set — 70% single-key Add,
+// 30% cross-shard MAdd over three keys — tracking per-key acknowledged
+// sums and each worker's in-flight deltas. Once killAfter operations
+// are acknowledged the child is SIGKILLed and the WAL recovered; every
+// key must then hold at least its acknowledged sum (deltas are
+// positive, so a lost acknowledged add shows as a shortfall) and at
+// most that plus the deltas in flight at the kill (logged but
+// unacknowledged is allowed, lost or duplicated is not).
+func addBurst(t *testing.T, engine, execMode, boost string, killAfter int, seed uint64) {
+	t.Helper()
+	const nkeys = 8
+	const workers = 4
+	dir := t.TempDir()
+	ch := spawnBoost(t, engine, 8, false, dir, execMode, boost)
+
+	var (
+		acked   [nkeys]atomic.Int64
+		pending [workers][nkeys]int64 // owned by each worker until wg.Wait
+		ops     atomic.Int64
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := dialChild(t, ch)
+			defer cl.Close()
+			rng := rand.New(rand.NewPCG(seed, uint64(w)))
+			keys := make([]int64, 3)
+			deltas := make([]int64, 3)
+			pend := &pending[w]
+			for {
+				if rng.IntN(100) < 70 {
+					k := rng.IntN(nkeys)
+					d := int64(rng.IntN(50) + 1)
+					pend[k] = d
+					err := cl.Add(int64(k), d)
+					if err == nil {
+						acked[k].Add(d)
+						ops.Add(1)
+					} else if !ignorable(err) {
+						return // the kill: pend[k] stays in flight
+					}
+					pend[k] = 0 // retry exhaustion: not committed, not logged
+					continue
+				}
+				base := rng.IntN(nkeys)
+				for i := range keys {
+					k := (base + i*3) % nkeys
+					keys[i] = int64(k)
+					deltas[i] = int64(rng.IntN(50) + 1)
+					pend[k] += deltas[i]
+				}
+				err := cl.MAdd(keys, deltas)
+				if err == nil {
+					for i := range keys {
+						acked[keys[i]].Add(deltas[i])
+					}
+					ops.Add(1)
+				} else if !ignorable(err) {
+					return // the kill: the madd's deltas stay in flight
+				}
+				for i := range keys {
+					pend[keys[i]] = 0
+				}
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for ops.Load() < int64(killAfter) {
+		if time.Now().After(deadline) {
+			ch.kill()
+			wg.Wait()
+			t.Fatalf("only %d add ops acknowledged before deadline", ops.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Non-vacuity: with boosting requested, the burst must actually have
+	// run boosted before the crash lands.
+	if boost == "on" {
+		cl := dialChild(t, ch)
+		var p wire.StatsPayload
+		if err := cl.Stats(&p); err == nil && p.BoostedOps == 0 {
+			t.Errorf("boost=on child served %d adds with zero boosted ops", p.Adds)
+		}
+		cl.Close()
+	}
+	ch.kill()
+	wg.Wait()
+
+	f, rp, err := Recovered(engine, dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if kept := KeptRecords(rp); kept == 0 {
+		t.Fatal("vacuous crash: no records survived")
+	}
+	for k := 0; k < nkeys; k++ {
+		lower := acked[k].Load()
+		upper := lower
+		for w := 0; w < workers; w++ {
+			upper += pending[w][k]
+		}
+		got, ok := f.Get(int64(k))
+		if !ok {
+			got = 0
+		}
+		if got < lower || got > upper {
+			t.Errorf("key %d: recovered sum %d outside [acked %d, acked+inflight %d]", k, got, lower, upper)
+		}
+	}
+}
+
+// TestCrashRecoveryAddBurst: on every composing engine, a SIGKILL mid
+// add-burst with the boosted hot-key path on must lose no acknowledged
+// delta — the recovered sums are exact up to the in-flight window.
+func TestCrashRecoveryAddBurst(t *testing.T) {
+	for _, eng := range []string{"oestm", "lsa", "tl2", "swisstm"} {
+		t.Run(eng, func(t *testing.T) {
+			addBurst(t, eng, "", "on", 400, 0xadd0)
+		})
+	}
+}
+
+// TestCrashRecoveryAddBurstBatch runs the add burst through the
+// speculative batch executor: blind delta entries commit through the
+// applier and log as add records (plain) or delta effects (composed),
+// and replay must reproduce the acknowledged sums just the same.
+func TestCrashRecoveryAddBurstBatch(t *testing.T) {
+	addBurst(t, "oestm", "batch", "", 400, 0xadd1)
 }
 
 // pairSum is the bank-account invariant of the MPut scenario.

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"oestm/internal/boost"
 	"oestm/internal/eec"
 	"oestm/internal/stm"
 	"oestm/internal/wal"
@@ -43,6 +44,26 @@ type Frame struct {
 
 	mgetFn, mputFn, camFn func(stm.Tx) error
 
+	// Commutative hot-key path state (see frame_add.go): the frame's
+	// boosted-transaction thread, the pre-bound boosted and STM bodies
+	// of Add/MAdd and of hot-aware reads, and their parameter fields.
+	bth         *boost.Thread
+	hotHC       *hotCounter
+	hotKey      int64
+	hotDelta    int64
+	hotVal      int64
+	hotOk       bool
+	hotSh       int
+	hotSeq      uint64
+	maddHCs     []*hotCounter
+	mgetHCs     []*hotCounter
+	maddApplied int
+
+	addFn, maddFn                                 func(stm.Tx) error
+	boostAddFn, boostMAddFn, boostGetFn, demoteFn func(*boost.Tx) error
+	boostMGetFn                                   func(*boost.Tx) error
+	maddUndoFn                                    func()
+
 	// WAL scratch (reused across operations so the logging path stays
 	// allocation-free once grown): the sorted unique participant shards
 	// of the composed operation in flight, the per-participant sync
@@ -60,10 +81,18 @@ type Frame struct {
 // creates it next to the connection's thread and reuses it for every
 // request.
 func (s *Store) NewFrame(th *stm.Thread) *Frame {
-	f := &Frame{st: s, th: th, kind: eec.OpKind(th)}
+	f := &Frame{st: s, th: th, kind: eec.OpKind(th), bth: s.bt.NewThread()}
 	f.mgetFn = func(tx stm.Tx) error { f.mgetBody(tx); return nil }
 	f.mputFn = func(stm.Tx) error { f.mputBody(); return nil }
 	f.camFn = func(stm.Tx) error { f.camBody(); return nil }
+	f.addFn = func(stm.Tx) error { f.addBody(); return nil }
+	f.maddFn = func(stm.Tx) error { f.maddBody(); return nil }
+	f.boostAddFn = f.boostAddBody
+	f.boostMAddFn = f.boostMAddBody
+	f.boostGetFn = f.boostGetBody
+	f.boostMGetFn = f.boostMGetBody
+	f.demoteFn = f.demoteBody
+	f.maddUndoFn = f.maddUndo
 	return f
 }
 
@@ -114,9 +143,30 @@ func (f *Frame) unsound(body func()) {
 	body()
 }
 
-// Get returns the value under key and whether it is present — one
-// single-shard elastic transaction.
+// Get returns the value under key and whether it is present. For a
+// plain key this is one single-shard elastic transaction; a promoted
+// counter's read additionally acquires its abstract lock, so the value
+// returned is base + overlay at one instant (an overlay makes an absent
+// base present: the counter logically exists once a delta created it).
 func (f *Frame) Get(key int64) (int64, bool) {
+	for {
+		hc := f.st.hotOf(key)
+		if hc == nil {
+			return f.getRaw(key)
+		}
+		f.hotHC, f.hotKey = hc, key
+		if f.bth.Atomic(f.boostGetFn) == nil {
+			return f.hotVal, f.hotOk
+		}
+		// The counter died under us (an absolute operation demoted it);
+		// its overlay is folded into the base now — look again.
+	}
+}
+
+// getRaw reads key's base entry — the bare single-shard transaction,
+// blind to hot-key overlays. Composed bodies and the fold paths read
+// through it; the public Get adds a promoted key's overlay on top.
+func (f *Frame) getRaw(key int64) (int64, bool) {
 	v, ok := f.st.shard(key).Get(f.th, int(key))
 	if !ok {
 		return 0, false
@@ -131,6 +181,7 @@ func (f *Frame) Get(key int64) (int64, bool) {
 // log order equals commit order), and Put returns only after group
 // commit made the record durable.
 func (f *Frame) Put(key, val int64) bool {
+	f.absolute(key)
 	w := f.st.wal
 	if w == nil {
 		return f.putRaw(key, val)
@@ -160,6 +211,7 @@ func (f *Frame) putRaw(key, val int64) bool {
 // durable like Put when it removed something (a miss mutates nothing
 // and writes no record).
 func (f *Frame) Remove(key int64) (int64, bool) {
+	f.absolute(key)
 	w := f.st.wal
 	if w == nil {
 		return f.removeRaw(key)
@@ -218,7 +270,7 @@ func (f *Frame) MGet(keys []int64, vals []int64, oks []bool) bool {
 			}
 		})
 	} else {
-		err = f.atomic(stm.Regular, f.mgetFn)
+		err = f.mgetSound()
 	}
 	f.keys, f.vals, f.oks = nil, nil, nil
 	return err == nil
@@ -247,6 +299,9 @@ func (f *Frame) mgetBody(tx stm.Tx) {
 // applies the effects only when that evidence is complete, so a crash
 // can never surface half an MPut.
 func (f *Frame) MPut(keys, vals []int64) bool {
+	for _, k := range keys {
+		f.absolute(k)
+	}
 	f.keys, f.vals = keys, vals
 	var err error
 	if f.st.unsound {
@@ -308,6 +363,8 @@ func (f *Frame) CompareAndMove(from, to, expect int64) bool {
 	if from == to {
 		return false
 	}
+	f.absolute(from)
+	f.absolute(to)
 	f.from, f.to, f.expect = from, to, expect
 	if f.st.unsound {
 		f.unsound(f.camUnsound)
@@ -351,11 +408,11 @@ func (f *Frame) CompareAndMove(from, to, expect int64) bool {
 // self-deadlock here).
 func (f *Frame) camBody() {
 	f.moved = false
-	v, ok := f.Get(f.from)
+	v, ok := f.getRaw(f.from)
 	if !ok || v != f.expect {
 		return
 	}
-	if _, occupied := f.Get(f.to); occupied {
+	if _, occupied := f.getRaw(f.to); occupied {
 		return
 	}
 	f.removeRaw(f.from)

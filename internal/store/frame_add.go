@@ -1,0 +1,499 @@
+package store
+
+import (
+	"errors"
+
+	"oestm/internal/boost"
+	"oestm/internal/stm"
+	"oestm/internal/wal"
+)
+
+// This file is the frame half of the commutative hot-key path (see
+// hot.go for the data structures and the invariants): Add and MAdd, the
+// integer-delta operations the serving layer exposes, with three
+// executions each —
+//
+//   - boosted: the key (every key, for MAdd) is promoted; the delta is
+//     applied to the overlay under the key's abstract lock, composed
+//     across keys through outheritance, with compensating subtractions
+//     on abort. No transactional read, so no conflict to validate: two
+//     adds to the same key never abort each other.
+//   - read-modify-write: the classic composed transaction (get + put of
+//     base state), used for unpromoted keys and as the -boost=off
+//     control. Correct alongside a live overlay: it only moves the base
+//     addend.
+//   - unsound: the read and the write run as separate top-level
+//     transactions, losing concurrent updates — the tear the
+//     counter-fanin checker exists to catch.
+//
+// Durability reuses the established shapes verbatim: a single add logs
+// one KindAdd record under its shard's commit lock (Put's shape), a
+// composed MAdd logs a two-phase intent/commit set whose effects carry
+// Delta (MPut's shape), and replay re-applies deltas in per-shard
+// commit order.
+
+// errHotDead aborts a boosted body that found its counter demoted
+// between lookup and lock acquisition; the caller re-looks the key up.
+var errHotDead = errors.New("store: hot counter demoted")
+
+// boostAtomic runs one boosted body under the frame's composed-operation
+// budget (Add and MAdd are composed operations: bounding them degrades
+// to "not committed", never to a wrong answer).
+func (f *Frame) boostAtomic(fn func(*boost.Tx) error) error {
+	if f.budget > 0 {
+		prev := f.bth.MaxRetries
+		f.bth.MaxRetries = f.budget
+		err := f.bth.Atomic(fn)
+		f.bth.MaxRetries = prev
+		return err
+	}
+	return f.bth.Atomic(fn)
+}
+
+// absolute prepares key for an absolute operation (Put, Remove,
+// CompareAndMove, MPut): demote it off the boosted path, so no stale
+// overlay can survive the write, and tell the escalation tracker the
+// key's stream is not add-only. Free when the hot path is idle (one
+// atomic load).
+func (f *Frame) absolute(key int64) {
+	s := f.st
+	if s.boostMode == BoostOff {
+		return
+	}
+	f.demote(key)
+	if s.boostMode == BoostAuto {
+		s.trackAbsolute(key)
+	}
+}
+
+// demote retires key's hot counter, if any: under the abstract lock (and
+// the shard's commit lock, with a WAL) the overlay folds into the base
+// entry and the counter is marked dead, then it leaves the hot table.
+// The fold writes no log record — the add records already on disk
+// reproduce the overlay at replay — and demote retries until the counter
+// observed is the one it killed, so an absolute operation never runs
+// while its key still has a live overlay.
+func (f *Frame) demote(key int64) {
+	s := f.st
+	for {
+		hc := s.hotOf(key)
+		if hc == nil {
+			return
+		}
+		f.hotHC, f.hotKey = hc, key
+		f.hotSh = s.ShardOf(key)
+		if f.bth.Atomic(f.demoteFn) == nil {
+			s.unpromote(key, hc)
+			return
+		}
+		// errHotDead: another frame demoted this counter first; the key
+		// may have been re-promoted since — look again.
+	}
+}
+
+// demoteBody is the boosted body of demote.
+func (f *Frame) demoteBody(tx *boost.Tx) error {
+	hc := f.hotHC
+	tx.Acquire(&hc.lock)
+	if hc.dead {
+		return errHotDead
+	}
+	w := f.st.wal
+	if w != nil {
+		w.Lock(f.hotSh)
+	}
+	if hc.overlay != 0 {
+		v, _ := f.getRaw(f.hotKey)
+		f.putRaw(f.hotKey, v+hc.overlay)
+		hc.overlay = 0
+	}
+	hc.dead = true
+	if w != nil {
+		w.Unlock(f.hotSh)
+	}
+	return nil
+}
+
+// Add atomically adds delta to the counter under key, creating it (from
+// zero) if absent. It reports whether it committed (see MGet); with a
+// WAL it returns only after the add record is durable.
+func (f *Frame) Add(key, delta int64) bool {
+	s := f.st
+	s.adds.Add(1)
+	if s.unsound {
+		f.hotKey, f.hotDelta = key, delta
+		f.unsound(f.addUnsound)
+		return true
+	}
+	for {
+		hc := s.hotOf(key)
+		if hc == nil {
+			if s.boostMode == BoostOn {
+				s.promote(key)
+				continue
+			}
+			return f.addRMW(key, delta)
+		}
+		err := f.addBoosted(hc, key, delta)
+		if err == nil {
+			return true
+		}
+		if err != errHotDead {
+			return false // retry budget exhausted
+		}
+	}
+}
+
+// addBoosted applies one delta on the boosted path: overlay += delta
+// under the key's abstract lock, the add record appended under the
+// shard's commit lock, group commit after release.
+//
+//compose:noalloc
+func (f *Frame) addBoosted(hc *hotCounter, key, delta int64) error {
+	s := f.st
+	f.hotHC, f.hotKey, f.hotDelta = hc, key, delta
+	f.hotSh = s.ShardOf(key)
+	err := f.boostAtomic(f.boostAddFn)
+	if err == nil {
+		s.boostedOps.Add(1)
+		if s.wal != nil {
+			if serr := s.wal.Sync(f.hotSh, f.hotSeq); serr != nil && f.walErr == nil {
+				f.walErr = serr
+			}
+		}
+	}
+	return err
+}
+
+// boostAddBody is the boosted body of a single add. Once the abstract
+// lock is held and the counter is live, nothing can abort before the
+// overlay mutation commits, so no compensation is registered (MAdd's
+// multi-lock body is where the compensation log earns its keep).
+//
+//compose:noalloc
+func (f *Frame) boostAddBody(tx *boost.Tx) error {
+	hc := f.hotHC
+	tx.Acquire(&hc.lock)
+	if hc.dead {
+		return errHotDead
+	}
+	w := f.st.wal
+	if w == nil {
+		hc.overlay += f.hotDelta
+		return nil
+	}
+	w.Lock(f.hotSh)
+	hc.overlay += f.hotDelta
+	f.hotSeq = w.AppendAdd(f.hotSh, f.hotKey, f.hotDelta)
+	w.Unlock(f.hotSh)
+	return nil
+}
+
+// boostGetBody is the boosted body of a hot key's Get: base + overlay
+// at one instant, under the abstract lock.
+//
+//compose:noalloc
+func (f *Frame) boostGetBody(tx *boost.Tx) error {
+	hc := f.hotHC
+	tx.Acquire(&hc.lock)
+	if hc.dead {
+		return errHotDead
+	}
+	v, ok := f.getRaw(f.hotKey)
+	f.hotVal = v + hc.overlay
+	f.hotOk = ok || hc.overlay != 0
+	return nil
+}
+
+// addRMW is the read-modify-write execution of Add: one composed
+// transaction (get + put of the base entry), logged as one add record
+// under the shard's commit lock so replay re-applies the delta rather
+// than a stale absolute value. In auto mode the transaction's abort
+// count feeds the escalation tracker, and crossing the threshold
+// promotes the key — the next add takes the boosted path.
+func (f *Frame) addRMW(key, delta int64) bool {
+	s := f.st
+	f.hotKey, f.hotDelta = key, delta
+	track := s.boostMode == BoostAuto
+	var abortsBefore uint64
+	if track {
+		abortsBefore = f.th.Stats.Aborts
+	}
+	var err error
+	if w := s.wal; w == nil {
+		err = f.atomic(f.kind, f.addFn)
+	} else {
+		sh := s.ShardOf(key)
+		w.Lock(sh)
+		err = f.atomic(f.kind, f.addFn)
+		var seq uint64
+		if err == nil {
+			seq = w.AppendAdd(sh, key, delta)
+		}
+		w.Unlock(sh)
+		if err == nil {
+			if serr := w.Sync(sh, seq); serr != nil && f.walErr == nil {
+				f.walErr = serr
+			}
+		}
+	}
+	if err != nil {
+		return false
+	}
+	if track && s.trackAdd(key, f.th.Stats.Aborts-abortsBefore) {
+		s.promote(key)
+	}
+	return true
+}
+
+// addBody is the transactional body of the read-modify-write add.
+func (f *Frame) addBody() {
+	v, _ := f.getRaw(f.hotKey)
+	f.putRaw(f.hotKey, v+f.hotDelta)
+}
+
+// addUnsound is the split body of unsound Add: the read and the write
+// run as separate top-level transactions, so a concurrent add between
+// them is lost — the update tear the counter-fanin checker catches.
+// Each piece goes through the logging wrappers, so the tear reaches the
+// log too (an absolute put record overwrites concurrent deltas).
+func (f *Frame) addUnsound() {
+	v, _ := f.Get(f.hotKey)
+	f.Put(f.hotKey, v+f.hotDelta)
+}
+
+// MAdd atomically adds deltas[i] to the counter under keys[i] for every
+// entry, as one composition across shards. With every key promoted the
+// deltas apply to the overlays under their abstract locks — composed
+// through outheritance, compensated on abort — and the whole batch logs
+// as one two-phase intent/commit set with delta effects; otherwise it
+// runs as one composed read-modify-write transaction with the same log
+// shape. In unsound mode every entry splits like unsound Add. deltas
+// must be at least len(keys) long. It reports whether it committed (see
+// MGet).
+func (f *Frame) MAdd(keys, deltas []int64) bool {
+	s := f.st
+	s.adds.Add(uint64(len(keys)))
+	if len(keys) == 0 {
+		return true
+	}
+	f.keys, f.vals = keys, deltas
+	var committed bool
+	if s.unsound {
+		f.unsound(f.maddUnsound)
+		committed = true
+	} else {
+		committed = f.maddSound()
+	}
+	f.keys, f.vals = nil, nil
+	return committed
+}
+
+// maddSound routes a sound MAdd: boosted when every key is hot (on mode
+// promotes the stragglers), composed read-modify-write otherwise.
+func (f *Frame) maddSound() bool {
+	s := f.st
+	for {
+		allHot := true
+		f.maddHCs = f.maddHCs[:0]
+		for _, k := range f.keys {
+			hc := s.hotOf(k)
+			if hc == nil {
+				if s.boostMode != BoostOn {
+					allHot = false
+					break
+				}
+				hc = s.promote(k)
+			}
+			f.maddHCs = append(f.maddHCs, hc)
+		}
+		if !allHot {
+			return f.maddRMW()
+		}
+		if s.wal != nil {
+			f.wShards = f.wShards[:0]
+			for _, k := range f.keys {
+				f.insertShard(s.ShardOf(k))
+			}
+		}
+		err := f.boostAtomic(f.boostMAddFn)
+		if err == nil {
+			s.boostedOps.Add(uint64(len(f.keys)))
+			if s.wal != nil {
+				f.syncShards()
+			}
+			return true
+		}
+		if err != errHotDead {
+			return false // retry budget exhausted
+		}
+	}
+}
+
+// boostMAddBody is the boosted body of an all-hot MAdd.
+//
+// Without a WAL it is textbook boosting: each delta applies eagerly
+// under its key's abstract lock as soon as that lock is acquired, with
+// the compensating subtractions registered up front — a conflict (or a
+// demoted counter) later in the batch unwinds the applied prefix before
+// the locks release, so a concurrent locked reader never sees half the
+// batch.
+//
+// With a WAL the deltas instead apply after every abstract lock is held,
+// under the participants' commit locks, together with the two-phase
+// intent/commit append — the overlay-only-under-commit-lock invariant
+// snapshots rely on. No abortable step follows the first mutation there,
+// which is exactly why compensation can be (and must be) skipped: an
+// undo would run after the commit locks were released.
+func (f *Frame) boostMAddBody(tx *boost.Tx) error {
+	w := f.st.wal
+	if w == nil {
+		f.maddApplied = 0
+		tx.Defer(f.maddUndoFn)
+		for i, hc := range f.maddHCs {
+			tx.Acquire(&hc.lock)
+			if hc.dead {
+				return errHotDead
+			}
+			hc.overlay += f.vals[i]
+			f.maddApplied++
+		}
+		return nil
+	}
+	for _, hc := range f.maddHCs {
+		tx.Acquire(&hc.lock)
+		if hc.dead {
+			return errHotDead
+		}
+	}
+	f.lockShards()
+	for i, hc := range f.maddHCs {
+		hc.overlay += f.vals[i]
+	}
+	f.effects = f.effects[:0]
+	for i, k := range f.keys {
+		f.effects = append(f.effects, wal.Effect{Delta: true, Shard: f.st.ShardOf(k), Key: k, Val: f.vals[i]})
+	}
+	f.logComposed()
+	f.unlockShards()
+	return nil
+}
+
+// maddUndo compensates the applied prefix of an aborted in-memory
+// boosted MAdd (runs before the abstract locks release).
+func (f *Frame) maddUndo() {
+	for i := f.maddApplied - 1; i >= 0; i-- {
+		f.maddHCs[i].overlay -= f.vals[i]
+	}
+	f.maddApplied = 0
+}
+
+// maddRMW is the composed read-modify-write execution of MAdd — MPut's
+// shape with get+put pieces and delta effects. Correct even when some
+// keys are hot: it moves only base addends, and the logged deltas
+// commute with the boosted ones at replay.
+func (f *Frame) maddRMW() bool {
+	s := f.st
+	var err error
+	if s.wal == nil {
+		err = f.atomic(f.kind, f.maddFn)
+	} else {
+		f.wShards = f.wShards[:0]
+		for _, k := range f.keys {
+			f.insertShard(s.ShardOf(k))
+		}
+		f.lockShards()
+		err = f.atomic(f.kind, f.maddFn)
+		if err == nil {
+			f.effects = f.effects[:0]
+			for i, k := range f.keys {
+				f.effects = append(f.effects, wal.Effect{Delta: true, Shard: s.ShardOf(k), Key: k, Val: f.vals[i]})
+			}
+			f.logComposed()
+		}
+		f.unlockShards()
+		if err == nil {
+			f.syncShards()
+		}
+	}
+	return err == nil
+}
+
+// maddBody is the transactional body of the read-modify-write MAdd.
+func (f *Frame) maddBody() {
+	for i, k := range f.keys {
+		v, _ := f.getRaw(k)
+		f.putRaw(k, v+f.vals[i])
+	}
+}
+
+// maddUnsound is the split body of unsound MAdd: every entry tears like
+// unsound Add, and the batch itself is torn across entries.
+func (f *Frame) maddUnsound() {
+	for i := range f.keys {
+		v, _ := f.Get(f.keys[i])
+		f.Put(f.keys[i], v+f.vals[i])
+	}
+}
+
+// mgetSound runs the sound MGet. When none of the requested keys is
+// promoted it is the plain one-transaction snapshot. Otherwise the frame
+// first acquires the abstract lock of every requested hot counter — with
+// a dead recheck, restarting if a demotion raced the lookup — then takes
+// the STM snapshot of the bases and folds the locked overlays in.
+// Holding the locks is what makes the result a consistent cut: a
+// composed MAdd over any of these keys is either entirely before (its
+// overlays all visible) or entirely after (blocked on the locks). Keys
+// promoted after the lookup contribute no overlay, which is sound — such
+// overlays hold only deltas from adds concurrent with this MGet, and the
+// MGet linearizes before them.
+func (f *Frame) mgetSound() error {
+	s := f.st
+	if s.boostMode == BoostOff {
+		return f.atomic(stm.Regular, f.mgetFn)
+	}
+	for {
+		anyHot := false
+		f.mgetHCs = f.mgetHCs[:0]
+		for _, k := range f.keys {
+			hc := s.hotOf(k)
+			f.mgetHCs = append(f.mgetHCs, hc)
+			if hc != nil {
+				anyHot = true
+			}
+		}
+		if !anyHot {
+			return f.atomic(stm.Regular, f.mgetFn)
+		}
+		err := f.boostAtomic(f.boostMGetFn)
+		if err != errHotDead {
+			return err
+		}
+	}
+}
+
+// boostMGetBody is the boosted body of a hot-key MGet.
+func (f *Frame) boostMGetBody(tx *boost.Tx) error {
+	for _, hc := range f.mgetHCs {
+		if hc == nil {
+			continue
+		}
+		tx.Acquire(&hc.lock)
+		if hc.dead {
+			return errHotDead
+		}
+	}
+	if err := f.atomic(stm.Regular, f.mgetFn); err != nil {
+		return err
+	}
+	for i, hc := range f.mgetHCs {
+		if hc == nil {
+			continue
+		}
+		f.vals[i] += hc.overlay
+		if hc.overlay != 0 {
+			f.oks[i] = true
+		}
+	}
+	return nil
+}

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
+	"sync/atomic"
 
+	"oestm/internal/boost"
 	"oestm/internal/eec"
 	"oestm/internal/stm"
 	"oestm/internal/wal"
@@ -30,6 +33,10 @@ type Config struct {
 	// only after group commit (see internal/wal). The log's shard count
 	// must equal the store's.
 	WAL *wal.Log
+	// Boost selects the commutative hot-key path's mode for Add/MAdd
+	// (see BoostMode; the zero value is BoostOff). Unsound mode forces
+	// it off — split transactions are the point there.
+	Boost BoostMode
 }
 
 // Store is a sharded transactional key-value map: int64 keys hashed onto
@@ -40,6 +47,18 @@ type Store struct {
 	shift   uint // key hash >> shift = shard index
 	unsound bool
 	wal     *wal.Log // nil = in-memory only
+
+	// Commutative hot-key path (see hot.go): the boosting domain whose
+	// abstract locks guard promoted counters, the per-shard hot tables,
+	// and the exported counters behind BoostStats.
+	boostMode  BoostMode
+	bt         *boost.TM
+	hot        []shardHot
+	adds       atomic.Uint64
+	boostedOps atomic.Uint64
+
+	hotPromotions atomic.Uint64
+	hotDemotions  atomic.Uint64
 }
 
 // shardMix is the Fibonacci hashing multiplier (2^64/φ): sequential keys
@@ -60,10 +79,16 @@ func New(cfg Config) *Store {
 		panic(fmt.Sprintf("store: wal has %d shards, store has %d", cfg.WAL.Shards(), n))
 	}
 	s := &Store{
-		shards:  make([]*eec.SkipListMap, n),
-		shift:   uint(64 - bits.Len(uint(n-1))),
-		unsound: cfg.Unsound,
-		wal:     cfg.WAL,
+		shards:    make([]*eec.SkipListMap, n),
+		shift:     uint(64 - bits.Len(uint(n-1))),
+		unsound:   cfg.Unsound,
+		wal:       cfg.WAL,
+		boostMode: cfg.Boost,
+		bt:        boost.New(true),
+		hot:       make([]shardHot, n),
+	}
+	if cfg.Unsound {
+		s.boostMode = BoostOff
 	}
 	for i := range s.shards {
 		s.shards[i] = eec.NewSkipListMap()
@@ -112,6 +137,14 @@ func (s *Store) Recover(th *stm.Thread, rp *wal.Replay) {
 	rp.Apply(
 		func(key, val int64) { s.shard(key).Put(th, int(key), val) },
 		func(key int64) { s.shard(key).Remove(th, int(key)) },
+		func(key, delta int64) {
+			m := s.shard(key)
+			var cur int64
+			if v, ok := m.Get(th, int(key)); ok {
+				cur, _ = v.(int64)
+			}
+			m.Put(th, int(key), cur+delta)
+		},
 	)
 }
 
@@ -137,7 +170,7 @@ func (s *Store) Snapshot(th *stm.Thread) error {
 	}
 	for i := 0; i < n; i++ {
 		seqs[i] = w.SeqOf(i)
-		entries[i] = dumpShard(th, s.shards[i])
+		entries[i] = s.dumpShard(th, i)
 	}
 	for i := n - 1; i >= 0; i-- {
 		w.Unlock(i)
@@ -145,13 +178,47 @@ func (s *Store) Snapshot(th *stm.Thread) error {
 	return w.WriteSnapshots(seqs, entries)
 }
 
-// dumpShard reads one shard's full contents in one atomic snapshot.
-func dumpShard(th *stm.Thread, m *eec.SkipListMap) []wal.Entry {
+// dumpShard reads one shard's full contents in one atomic snapshot,
+// folding the pending overlay of every promoted counter into its entry.
+// The caller holds every shard's commit lock, and overlays are only
+// mutated under their shard's commit lock, so the overlay values belong
+// to exactly the log cut the snapshot records: an add logged before the
+// cut is in its overlay (or folded base) here, one logged after is not.
+func (s *Store) dumpShard(th *stm.Thread, i int) []wal.Entry {
+	h := &s.hot[i]
+	var overlays map[int64]int64
+	if h.count.Load() != 0 {
+		h.mu.RLock()
+		for k, hc := range h.keys {
+			if hc.overlay != 0 {
+				if overlays == nil {
+					overlays = make(map[int64]int64)
+				}
+				overlays[k] = hc.overlay
+			}
+		}
+		h.mu.RUnlock()
+	}
 	var out []wal.Entry
-	m.Range(th, func(key int, val any) bool {
+	s.shards[i].Range(th, func(key int, val any) bool {
 		n, _ := val.(int64)
+		if d, ok := overlays[int64(key)]; ok {
+			n += d
+			delete(overlays, int64(key))
+		}
 		out = append(out, wal.Entry{Key: int64(key), Val: n})
 		return true
 	})
+	// Promoted counters with no base entry yet: their overlay is the
+	// whole value. Sorted so the snapshot bytes stay deterministic for a
+	// given state.
+	if len(overlays) > 0 {
+		start := len(out)
+		for k, d := range overlays {
+			out = append(out, wal.Entry{Key: k, Val: d})
+		}
+		tail := out[start:]
+		sort.Slice(tail, func(a, b int) bool { return tail[a].Key < tail[b].Key })
+	}
 	return out
 }

@@ -20,8 +20,10 @@ func fuzzSeeds() [][]byte {
 		{Kind: KindIntent, Seq: 3, TxID: 9, Effects: []Effect{
 			{Shard: 0, Key: 1, Val: 2},
 			{Remove: true, Shard: 3, Key: 4},
+			{Delta: true, Shard: 1, Key: 5, Val: -6},
 		}},
 		{Kind: KindCommit, Seq: 4, TxID: 9},
+		{Kind: KindAdd, Seq: 5, Key: 42, Val: -7},
 	}
 	var seeds [][]byte
 	for i := range records {
@@ -72,6 +74,8 @@ func TestDecodeRejects(t *testing.T) {
 		{"put short", AppendPayload(nil, &Record{Kind: KindPut, Seq: 1, Key: 1})[:20]},
 		{"put trailing", append(AppendPayload(nil, &Record{Kind: KindPut, Seq: 1, Key: 1}), 0)},
 		{"intent no effects", AppendPayload(nil, &Record{Kind: KindIntent, Seq: 1, TxID: 1})},
+		{"add short", AppendPayload(nil, &Record{Kind: KindAdd, Seq: 1, Key: 1, Val: 2})[:20]},
+		{"add trailing", append(AppendPayload(nil, &Record{Kind: KindAdd, Seq: 1, Key: 1, Val: 2}), 0)},
 	}
 	for _, c := range cases {
 		err := DecodePayload(c.payload, &r)
@@ -93,7 +97,9 @@ func TestRoundTripAllKinds(t *testing.T) {
 			{Shard: maxShard - 1, Key: -9, Val: 9},
 			{Remove: true, Shard: 0, Key: 0},
 			{Shard: 1, Key: 1, Val: -1},
+			{Delta: true, Shard: 2, Key: 8, Val: -(1 << 40)},
 		}},
+		{Kind: KindAdd, Seq: 3, Key: 1 << 50, Val: -3},
 	}
 	var got Record
 	for i := range records {

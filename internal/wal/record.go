@@ -17,6 +17,7 @@ const (
 	KindRemove Kind = 2 // single-shard remove
 	KindIntent Kind = 3 // composed-op intent (full effect list)
 	KindCommit Kind = 4 // composed-op commit marker (coordinator only)
+	KindAdd    Kind = 5 // single-shard commutative delta
 )
 
 // String names the kind for errors and summaries.
@@ -30,6 +31,8 @@ func (k Kind) String() string {
 		return "intent"
 	case KindCommit:
 		return "commit"
+	case KindAdd:
+		return "add"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -38,15 +41,16 @@ func (k Kind) String() string {
 // shard it lands on so replay can route it without knowing the store's
 // hash function.
 type Effect struct {
-	Remove bool // false = put
+	Remove bool // true = remove (Delta must be false)
+	Delta  bool // true = commutative add: Val is a delta, not an absolute value
 	Shard  int
 	Key    int64
-	Val    int64 // puts only; 0 for removes
+	Val    int64 // put value or add delta; 0 for removes
 }
 
-// Record is one decoded log record. Key/Val carry KindPut and
-// KindRemove, TxID carries KindIntent and KindCommit, Effects carries
-// KindIntent.
+// Record is one decoded log record. Key/Val carry KindPut, KindRemove
+// and KindAdd (Val is the delta), TxID carries KindIntent and
+// KindCommit, Effects carries KindIntent.
 type Record struct {
 	Kind    Kind
 	Seq     uint64
@@ -88,6 +92,7 @@ func ferr(reason string) error { return &FormatError{Reason: reason} }
 const (
 	effPut    = 0
 	effRemove = 1
+	effAdd    = 2
 )
 
 // AppendPayload appends the canonical encoding of r (frame excluded) to
@@ -96,7 +101,7 @@ func AppendPayload(dst []byte, r *Record) []byte {
 	dst = append(dst, byte(r.Kind))
 	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
 	switch r.Kind {
-	case KindPut:
+	case KindPut, KindAdd:
 		dst = binary.BigEndian.AppendUint64(dst, uint64(r.Key))
 		dst = binary.BigEndian.AppendUint64(dst, uint64(r.Val))
 	case KindRemove:
@@ -106,11 +111,17 @@ func AppendPayload(dst []byte, r *Record) []byte {
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Effects)))
 		for i := range r.Effects {
 			e := &r.Effects[i]
-			if e.Remove {
+			switch {
+			case e.Remove:
 				dst = append(dst, effRemove)
 				dst = binary.BigEndian.AppendUint16(dst, uint16(e.Shard))
 				dst = binary.BigEndian.AppendUint64(dst, uint64(e.Key))
-			} else {
+			case e.Delta:
+				dst = append(dst, effAdd)
+				dst = binary.BigEndian.AppendUint16(dst, uint16(e.Shard))
+				dst = binary.BigEndian.AppendUint64(dst, uint64(e.Key))
+				dst = binary.BigEndian.AppendUint64(dst, uint64(e.Val))
+			default:
 				dst = append(dst, effPut)
 				dst = binary.BigEndian.AppendUint16(dst, uint16(e.Shard))
 				dst = binary.BigEndian.AppendUint64(dst, uint64(e.Key))
@@ -139,7 +150,7 @@ func DecodePayload(b []byte, r *Record) error {
 	}
 	b = b[9:]
 	switch r.Kind {
-	case KindPut:
+	case KindPut, KindAdd:
 		if len(b) != 16 {
 			return ferr("put payload length")
 		}
@@ -169,10 +180,11 @@ func DecodePayload(b []byte, r *Record) error {
 			e.Shard = int(binary.BigEndian.Uint16(b[1:]))
 			e.Key = int64(binary.BigEndian.Uint64(b[3:]))
 			switch op {
-			case effPut:
+			case effPut, effAdd:
 				if len(b) < 19 {
 					return ferr("put effect truncated")
 				}
+				e.Delta = op == effAdd
 				e.Val = int64(binary.BigEndian.Uint64(b[11:]))
 				b = b[19:]
 			case effRemove:

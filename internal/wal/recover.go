@@ -391,15 +391,16 @@ func finishShard(sh *ShardState) {
 
 // Apply replays the recovered state: per shard, the snapshot entries,
 // then every surviving record past the snapshot — puts and removes
-// directly, a committed intent's effects routed to the shard they were
-// tagged with — then the shard's repair records (healed compositions
-// whose intent this shard's prefix is missing; nothing logged after a
-// lost record ever survives on its shard, so the tail is the lost
-// intent's position). Every intent inside a surviving prefix belongs to
-// a committed composition (resolveCompositions cut the others), so
-// replay never materializes a torn composition. Apply is read-only on
-// the Replay and can run any number of times (recovery idempotence).
-func (rp *Replay) Apply(put func(key, val int64), remove func(key int64)) {
+// directly, adds by re-applying the delta, a committed intent's effects
+// routed to the shard they were tagged with — then the shard's repair
+// records (healed compositions whose intent this shard's prefix is
+// missing; nothing logged after a lost record ever survives on its
+// shard, so the tail is the lost intent's position). Every intent
+// inside a surviving prefix belongs to a committed composition
+// (resolveCompositions cut the others), so replay never materializes a
+// torn composition. Apply is read-only on the Replay and can run any
+// number of times (recovery idempotence).
+func (rp *Replay) Apply(put func(key, val int64), remove func(key int64), add func(key, delta int64)) {
 	for i := range rp.Shards {
 		sh := &rp.Shards[i]
 		for _, e := range sh.Snapshot {
@@ -410,30 +411,35 @@ func (rp *Replay) Apply(put func(key, val int64), remove func(key int64)) {
 			if r.Seq <= sh.SnapSeq {
 				continue
 			}
-			applyRecord(r, i, put, remove)
+			applyRecord(r, i, put, remove, add)
 		}
 		for j := range sh.repair {
-			applyRecord(&sh.repair[j], i, put, remove)
+			applyRecord(&sh.repair[j], i, put, remove, add)
 		}
 	}
 }
 
 // applyRecord replays one record's effect on shard i.
-func applyRecord(r *Record, i int, put func(key, val int64), remove func(key int64)) {
+func applyRecord(r *Record, i int, put func(key, val int64), remove func(key int64), add func(key, delta int64)) {
 	switch r.Kind {
 	case KindPut:
 		put(r.Key, r.Val)
 	case KindRemove:
 		remove(r.Key)
+	case KindAdd:
+		add(r.Key, r.Val)
 	case KindIntent:
 		for k := range r.Effects {
 			e := &r.Effects[k]
 			if e.Shard != i {
 				continue
 			}
-			if e.Remove {
+			switch {
+			case e.Remove:
 				remove(e.Key)
-			} else {
+			case e.Delta:
+				add(e.Key, e.Val)
+			default:
 				put(e.Key, e.Val)
 			}
 		}

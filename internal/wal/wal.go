@@ -280,6 +280,14 @@ func (l *Log) AppendRemove(shard int, key int64) uint64 {
 	return l.append(shard, &r)
 }
 
+// AppendAdd buffers a commutative delta record (replay re-applies the
+// delta to whatever the key holds). Callers must hold the shard's
+// commit lock.
+func (l *Log) AppendAdd(shard int, key, delta int64) uint64 {
+	r := Record{Kind: KindAdd, Key: key, Val: delta}
+	return l.append(shard, &r)
+}
+
 // AppendIntent buffers a composition's intent record (its full effect
 // list) on shard. Callers must hold the commit lock of every effect's
 // shard — the two-phase protocol appends the same intent to each

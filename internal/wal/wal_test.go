@@ -41,7 +41,8 @@ func applied(rp *Replay) map[int64]int64 {
 	m := map[int64]int64{}
 	rp.Apply(
 		func(key, val int64) { m[key] = val },
-		func(key int64) { delete(m, key) })
+		func(key int64) { delete(m, key) },
+		func(key, delta int64) { m[key] += delta })
 	return m
 }
 
@@ -223,6 +224,53 @@ func TestGroupCommitConcurrent(t *testing.T) {
 	for k, v := range want {
 		if got[k] != v {
 			t.Fatalf("key %d: replayed %d, model %d", k, got[k], v)
+		}
+	}
+}
+
+// logAdd runs the full single-shard commit protocol for one delta.
+func logAdd(l *Log, shard int, key, delta int64) error {
+	l.Lock(shard)
+	seq := l.AppendAdd(shard, key, delta)
+	l.Unlock(shard)
+	return l.Sync(shard, seq)
+}
+
+// TestAddRecordsReplay pins the delta record's replay semantics: adds
+// re-apply their delta over whatever earlier records left behind — in
+// log order, interleaved with puts, removes and composed add-effects.
+func TestAddRecordsReplay(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, shards)
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(logAdd(l, 0, 1, 5))   // absent key: counter starts at the delta
+	check(logPut(l, 0, 1, 100)) // absolute write overrides the sum
+	check(logAdd(l, 0, 1, -1))  // delta over the put
+	check(logAdd(l, 1, 2, 7))   //
+	check(logRemove(l, 1, 2))   // remove clears the counter
+	check(logAdd(l, 1, 2, 3))   // and a later add restarts from zero
+	check(logComposed(l, []int{0, 1}, []Effect{
+		{Delta: true, Shard: 0, Key: 1, Val: 10},
+		{Delta: true, Shard: 1, Key: 2, Val: -2},
+	}))
+	check(l.Close())
+
+	rp, err := Scan(dir)
+	check(err)
+	got := applied(rp)
+	want := map[int64]int64{1: 109, 2: 1}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: replayed %d, want %d (full: %v)", k, got[k], v, got)
 		}
 	}
 }

@@ -21,6 +21,8 @@ func FuzzDecodeRequest(f *testing.F) {
 		{Op: OpMPut, Keys: []int64{4}, Vals: []int64{5}},
 		{Op: OpStats},
 		{Op: OpPing},
+		{Op: OpAdd, Key: 5, Val: 3},
+		{Op: OpMAdd, Keys: []int64{6, 7}, Vals: []int64{-1, 1}},
 	}
 	for _, r := range seeds {
 		f.Add(AppendRequest(nil, &r))
@@ -53,6 +55,8 @@ func FuzzDecodeResponse(f *testing.F) {
 		{OpRemove, Response{Status: StatusOK, Flag: true, Val: 1}},
 		{OpMGet, Response{Status: StatusOK, Present: []bool{true}, Vals: []int64{2}}},
 		{OpPing, Response{Status: StatusOK}},
+		{OpAdd, Response{Status: StatusOK}},
+		{OpMAdd, Response{Status: StatusOK}},
 	}
 	for _, s := range seedResponses {
 		f.Add(uint8(s.op), AppendResponse(nil, s.op, &s.r))

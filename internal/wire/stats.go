@@ -12,8 +12,9 @@ import (
 // changes so stale clients fail loudly instead of misparsing.
 // Version history: 1 = initial; 2 = WAL fields (enabled flag and the
 // wal_* counters); 3 = execution-model fields (exec name and the spec_*
-// speculation counters).
-const statsVersion = 3
+// speculation counters); 4 = commutative hot-key fields (adds applied,
+// boosted executions, hot-key promotions/demotions).
+const statsVersion = 4
 
 // OpTelemetry is one opcode's server-side measurements: how many requests
 // ran and the latency histogram of their service time — measured from
@@ -62,6 +63,17 @@ type StatsPayload struct {
 	SpecExecs           uint64
 	SpecReexecs         uint64
 	SpecValidationFails uint64
+
+	// Commutative hot-key telemetry: total deltas applied (Add ops plus
+	// MAdd entries), how many of those ran on the boosted commutative
+	// path (per-key abstract locks, no STM transaction), and how many
+	// keys the adaptive tracker promoted to / demoted from that path.
+	// The harness diffs them into the adds/boosted_ops/hot_promotions
+	// CSV columns.
+	Adds          uint64
+	BoostedOps    uint64
+	HotPromotions uint64
+	HotDemotions  uint64
 }
 
 // AppendStats appends the encoded payload to dst.
@@ -94,6 +106,10 @@ func AppendStats(dst []byte, p *StatsPayload) []byte {
 	dst = binary.AppendUvarint(dst, p.SpecExecs)
 	dst = binary.AppendUvarint(dst, p.SpecReexecs)
 	dst = binary.AppendUvarint(dst, p.SpecValidationFails)
+	dst = binary.AppendUvarint(dst, p.Adds)
+	dst = binary.AppendUvarint(dst, p.BoostedOps)
+	dst = binary.AppendUvarint(dst, p.HotPromotions)
+	dst = binary.AppendUvarint(dst, p.HotDemotions)
 	return dst
 }
 
@@ -179,6 +195,18 @@ func (p *StatsPayload) Decode(body []byte) error {
 		return err
 	}
 	if p.SpecValidationFails, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if p.Adds, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if p.BoostedOps, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if p.HotPromotions, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if p.HotDemotions, b, err = readUvarint(b); err != nil {
 		return err
 	}
 	if len(b) != 0 {

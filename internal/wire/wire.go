@@ -47,13 +47,21 @@ const (
 	OpStats
 	// OpPing is a no-op round trip (liveness, drain barriers).
 	OpPing
+	// OpAdd applies one integer delta: key u64, delta u64 → status only.
+	// A blind commutative write — no read, no returned value — so the
+	// server may execute it on the boosted hot-key path or as a pure
+	// delta entry in the speculative executor.
+	OpAdd
+	// OpMAdd applies n deltas as one atomic cross-shard composition:
+	// n u16, n×(key, delta) → status only.
+	OpMAdd
 
 	// NumOps is the number of opcodes; per-op arrays are sized by it.
-	NumOps = int(OpPing) + 1
+	NumOps = int(OpMAdd) + 1
 )
 
 // opNames indexes display names by opcode.
-var opNames = [NumOps]string{"get", "put", "remove", "mget", "mput", "cam", "stats", "ping"}
+var opNames = [NumOps]string{"get", "put", "remove", "mget", "mput", "cam", "stats", "ping", "add", "madd"}
 
 // String names the opcode.
 func (o Op) String() string {
@@ -265,7 +273,7 @@ func AppendRequest(dst []byte, r *Request) []byte {
 	switch r.Op {
 	case OpGet, OpRemove:
 		dst = be64(dst, uint64(r.Key))
-	case OpPut:
+	case OpPut, OpAdd:
 		dst = be64(dst, uint64(r.Key))
 		dst = be64(dst, uint64(r.Val))
 	case OpCompareAndMove:
@@ -277,9 +285,9 @@ func AppendRequest(dst []byte, r *Request) []byte {
 		for _, k := range r.Keys {
 			dst = be64(dst, uint64(k))
 		}
-	case OpMPut:
+	case OpMPut, OpMAdd:
 		if len(r.Keys) != len(r.Vals) {
-			panic("wire: MPut keys/vals length mismatch")
+			panic("wire: " + r.Op.String() + " keys/vals length mismatch")
 		}
 		dst = be16(dst, uint16(len(r.Keys)))
 		for i, k := range r.Keys {
@@ -307,7 +315,7 @@ func (r *Request) Decode(body []byte) error {
 	switch r.Op {
 	case OpGet, OpRemove:
 		return r.fixed(b, &r.Key)
-	case OpPut:
+	case OpPut, OpAdd:
 		return r.fixed(b, &r.Key, &r.Val)
 	case OpCompareAndMove:
 		return r.fixed(b, &r.Key, &r.To, &r.Val)
@@ -323,13 +331,13 @@ func (r *Request) Decode(body []byte) error {
 			r.Keys = append(r.Keys, int64(binary.BigEndian.Uint64(b[8*i:])))
 		}
 		return nil
-	case OpMPut:
+	case OpMPut, OpMAdd:
 		n, b, err := keyCount(b)
 		if err != nil {
 			return err
 		}
 		if len(b) != 16*n {
-			return perr(ErrBadBody, "mput body length mismatch")
+			return perr(ErrBadBody, "multi-key body length mismatch")
 		}
 		for i := 0; i < n; i++ {
 			r.Keys = append(r.Keys, int64(binary.BigEndian.Uint64(b[16*i:])))
@@ -419,7 +427,7 @@ func AppendResponse(dst []byte, op Op, r *Response) []byte {
 			dst = appendBool(dst, r.Present[i])
 			dst = be64(dst, uint64(v))
 		}
-	case OpMPut, OpPing:
+	case OpMPut, OpPing, OpAdd, OpMAdd:
 		// status only
 	case OpStats:
 		dst = append(dst, r.Stats...)
@@ -494,7 +502,7 @@ func (r *Response) Decode(op Op, body []byte) error {
 			r.Present = append(r.Present, rest[9*i] == 1)
 			r.Vals = append(r.Vals, int64(binary.BigEndian.Uint64(rest[9*i+1:])))
 		}
-	case OpMPut, OpPing:
+	case OpMPut, OpPing, OpAdd, OpMAdd:
 		if len(b) != 0 {
 			return perr(ErrBadBody, "trailing bytes")
 		}

@@ -104,6 +104,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpMGet, Keys: []int64{}},
 		{Op: OpStats},
 		{Op: OpPing},
+		{Op: OpAdd, Key: 11, Val: -4},
+		{Op: OpMAdd, Keys: []int64{12, 13}, Vals: []int64{30, -30}},
 	}
 	var body []byte
 	var got Request
@@ -145,6 +147,8 @@ func TestResponseRoundTrip(t *testing.T) {
 		{OpMGet, Response{Status: StatusOK, Present: []bool{true, false}, Vals: []int64{5, 0}}},
 		{OpMPut, Response{Status: StatusOK}},
 		{OpPing, Response{Status: StatusOK}},
+		{OpAdd, Response{Status: StatusOK}},
+		{OpMAdd, Response{Status: StatusOK}},
 	}
 	var body []byte
 	var got Response
@@ -193,6 +197,8 @@ func TestDecodeRejections(t *testing.T) {
 		{[]byte{byte(OpMGet), 0xff, 0xff}, ErrTooManyKeys},
 		{append([]byte{byte(OpMGet), 0x00, 0x02}, make([]byte, 8)...), ErrBadBody}, // count 2, one key
 		{append([]byte{byte(OpMPut), 0x00, 0x01}, make([]byte, 8)...), ErrBadBody}, // entry missing val
+		{[]byte{byte(OpAdd), 1, 2, 3}, ErrBadBody},                                 // short add body
+		{append([]byte{byte(OpMAdd), 0x00, 0x01}, make([]byte, 8)...), ErrBadBody}, // entry missing delta
 	}
 	for i, c := range cases {
 		err := r.Decode(c.body)

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# bench_hotkey.sh — boosted-vs-RMW A/B benchmark for the commutative
+# hot-key path. Starts compose-server twice (identical engine, shards
+# and seeded workload; only -boost differs: on vs off), drives each
+# with the same zipfian add-heavy compose-load mix, and writes
+# BENCH_hotkey.json with both sides' throughput, abort and hot-key
+# counters plus the machine context needed to interpret them. The
+# server runs oversubscribed (GOMAXPROCS, default 8) so the hot key
+# genuinely contends even on small boxes; the recorded core count is
+# runtime.NumCPU — on one core the absolute throughputs mean little,
+# but the abort asymmetry (boosted adds never conflict, RMW adds
+# serialize through version conflicts) is the measured claim.
+#
+# Usage: scripts/bench_hotkey.sh [out.json]
+# Env:   DURATION=5s CONNS=4 ENGINE=oestm SHARDS=16 KEYS=1024
+#        THETA=0.99 MIX="add:70,madd:15,get:10,mget:5" SEED=7
+#        WARMUP=500ms SRV_PROCS=8
+set -euo pipefail
+
+OUT=${1:-BENCH_hotkey.json}
+DURATION=${DURATION:-5s}
+WARMUP=${WARMUP:-500ms}
+CONNS=${CONNS:-4}
+ENGINE=${ENGINE:-oestm}
+SHARDS=${SHARDS:-16}
+KEYS=${KEYS:-1024}
+THETA=${THETA:-0.99}
+MIX=${MIX:-add:70,madd:15,get:10,mget:5}
+SEED=${SEED:-7}
+SRV_PROCS=${SRV_PROCS:-8}
+ADDR=${ADDR:-127.0.0.1:7466}
+
+TMP=$(mktemp -d)
+SRV=""
+trap '[ -n "$SRV" ] && kill "$SRV" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/compose-server" ./cmd/compose-server
+go build -o "$TMP/compose-load" ./cmd/compose-load
+
+run_side() { # $1 = on|off; leaves the CSV data row in $TMP/$1.row
+    local boost=$1 csv="$TMP/$1.csv"
+    GOMAXPROCS=$SRV_PROCS "$TMP/compose-server" -addr "$ADDR" -engine "$ENGINE" \
+        -shards "$SHARDS" -boost "$boost" >"$TMP/$1.log" 2>&1 &
+    SRV=$!
+    sleep 1
+    "$TMP/compose-load" -addr "$ADDR" -conns "$CONNS" -keys "$KEYS" \
+        -mix "$MIX" -dist zipfian -theta "$THETA" -seed "$SEED" \
+        -duration "$DURATION" -warmup "$WARMUP" -csv "$csv" >"$TMP/$1.load.log" 2>&1
+    kill -TERM "$SRV"
+    wait "$SRV"
+    SRV=""
+    grep -q drained "$TMP/$1.log" # the A/B is only valid if the drain stayed clean
+    sed -n 2p "$csv" >"$TMP/$1.row"
+}
+
+run_side on
+run_side off
+ON_ROW=$(cat "$TMP/on.row")
+OFF_ROW=$(cat "$TMP/off.row")
+
+# Column positions come from harness.CSVHeader: ops_per_ms=9,
+# abort_rate=10, aborts=19; the hot-key block is the trailing
+# adds,boosted_ops,hot_promotions.
+emit_side() {
+    echo "$1" | awk -F, '{ printf "{\"ops_per_ms\": %s, \"abort_rate\": %s, \"aborts\": %s, \"adds\": %s, \"boosted_ops\": %s, \"hot_promotions\": %s}", $9, $10, $19, $(NF-2), $(NF-1), $NF }'
+}
+
+# runtime.NumCPU, not nproc: the Go runtime's affinity/cgroup-aware
+# count is what the servers actually scheduled on.
+CORES=$(go run ./scripts/numcpu)
+SPEEDUP=$(awk -F, -v off="$(echo "$OFF_ROW" | cut -d, -f9)" \
+    -v on="$(echo "$ON_ROW" | cut -d, -f9)" \
+    'BEGIN { printf "%.3f", on / off }')
+
+{
+    echo "{"
+    echo "  \"bench\": \"hotkey-ab\","
+    echo "  \"engine\": \"$ENGINE\","
+    echo "  \"cores\": $CORES,"
+    echo "  \"gomaxprocs_server\": $SRV_PROCS,"
+    echo "  \"conns\": $CONNS,"
+    echo "  \"shards\": $SHARDS,"
+    echo "  \"keys\": $KEYS,"
+    echo "  \"dist\": \"zipfian:$THETA\","
+    echo "  \"mix\": \"$MIX\","
+    echo "  \"seed\": $SEED,"
+    echo "  \"duration\": \"$DURATION\","
+    echo "  \"boosted\": $(emit_side "$ON_ROW"),"
+    echo "  \"rmw\": $(emit_side "$OFF_ROW"),"
+    echo "  \"boosted_over_rmw_speedup\": $SPEEDUP,"
+    echo "  \"note\": \"same-seed A/B; boosted adds take abstract per-key locks and cannot conflict, so the claim under test is strictly fewer aborts at equal-or-better throughput. The server is oversubscribed (gomaxprocs_server) so the hot key contends even when cores is small; compare throughputs only against the recorded core count\""
+    echo "}"
+} >"$OUT"
+echo "wrote $OUT (cores=$CORES, boosted/rmw throughput = ${SPEEDUP}x)"

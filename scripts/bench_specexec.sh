@@ -55,12 +55,15 @@ BATCH_ROW=$(cat "$TMP/batch.row")
 # Column positions come from harness.CSVHeader: ops_per_ms=9,
 # lat_p50_us=12, lat_p99_us=14; the trailing block is
 # wal,wal_appends,wal_syncs,wal_bytes,exec,spec_execs,spec_reexecs,
-# spec_validation_fails.
+# spec_validation_fails,adds,boosted_ops,hot_promotions.
 emit_side() {
-    echo "$1" | awk -F, '{ printf "{\"ops_per_ms\": %s, \"lat_p50_us\": %s, \"lat_p99_us\": %s, \"exec\": \"%s\", \"spec_execs\": %s, \"spec_reexecs\": %s, \"spec_validation_fails\": %s}", $9, $12, $14, $(NF-3), $(NF-2), $(NF-1), $NF }'
+    echo "$1" | awk -F, '{ printf "{\"ops_per_ms\": %s, \"lat_p50_us\": %s, \"lat_p99_us\": %s, \"exec\": \"%s\", \"spec_execs\": %s, \"spec_reexecs\": %s, \"spec_validation_fails\": %s}", $9, $12, $14, $(NF-6), $(NF-5), $(NF-4), $(NF-3) }'
 }
 
-CORES=$(nproc)
+# runtime.NumCPU, not nproc: the Go runtime's affinity/cgroup-aware
+# count is what the servers actually scheduled on, so re-records from
+# bigger machines stay comparable.
+CORES=$(go run ./scripts/numcpu)
 SPEEDUP=$(awk -F, -v conn="$(echo "$CONN_ROW" | cut -d, -f9)" \
     -v batch="$(echo "$BATCH_ROW" | cut -d, -f9)" \
     'BEGIN { printf "%.3f", batch / conn }')

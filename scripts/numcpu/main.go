@@ -1,0 +1,14 @@
+// Command numcpu prints runtime.NumCPU() — the CPU count the Go
+// runtime will actually schedule on (affinity- and cgroup-aware where
+// the OS exposes it), which is what the bench scripts record as
+// "cores" so A/B results from different machines stay comparable.
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() {
+	fmt.Println(runtime.NumCPU())
+}
