@@ -57,12 +57,14 @@ type Frame struct {
 	hotSeq      uint64
 	maddHCs     []*hotCounter
 	mgetHCs     []*hotCounter
+	maddExists  []bool
 	maddApplied int
 
 	addFn, maddFn                                 func(stm.Tx) error
 	boostAddFn, boostMAddFn, boostGetFn, demoteFn func(*boost.Tx) error
-	boostMGetFn                                   func(*boost.Tx) error
+	boostMGetFn, putHotFn, removeHotFn            func(*boost.Tx) error
 	maddUndoFn                                    func()
+	camKeys                                       [2]int64
 
 	// WAL scratch (reused across operations so the logging path stays
 	// allocation-free once grown): the sorted unique participant shards
@@ -91,6 +93,8 @@ func (s *Store) NewFrame(th *stm.Thread) *Frame {
 	f.boostMAddFn = f.boostMAddBody
 	f.boostGetFn = f.boostGetBody
 	f.boostMGetFn = f.boostMGetBody
+	f.putHotFn = f.putHotBody
+	f.removeHotFn = f.removeHotBody
 	f.demoteFn = f.demoteBody
 	f.maddUndoFn = f.maddUndo
 	return f
@@ -146,8 +150,9 @@ func (f *Frame) unsound(body func()) {
 // Get returns the value under key and whether it is present. For a
 // plain key this is one single-shard elastic transaction; a promoted
 // counter's read additionally acquires its abstract lock, so the value
-// returned is base + overlay at one instant (an overlay makes an absent
-// base present: the counter logically exists once a delta created it).
+// returned is base + overlay at one instant (a counter logically exists
+// once a committed delta created it — even while later deltas cancel
+// the sum back to zero, matching the RMW and batch executions).
 func (f *Frame) Get(key int64) (int64, bool) {
 	for {
 		hc := f.st.hotOf(key)
@@ -179,12 +184,17 @@ func (f *Frame) getRaw(key int64) (int64, bool) {
 // one single-shard elastic transaction. With a WAL the transaction runs
 // under the shard's commit lock, the put record is appended there (so
 // log order equals commit order), and Put returns only after group
-// commit made the record durable.
+// commit made the record durable. A promoted key is demoted first; with
+// a WAL the demote and the write are one atomic step (putLogged), so no
+// concurrent add record can land between the fold and the put record.
 func (f *Frame) Put(key, val int64) bool {
-	f.absolute(key)
 	w := f.st.wal
 	if w == nil {
+		f.absolute(key)
 		return f.putRaw(key, val)
+	}
+	if f.st.boostMode != BoostOff {
+		return f.putLogged(key, val)
 	}
 	sh := f.st.ShardOf(key)
 	w.Lock(sh)
@@ -209,12 +219,16 @@ func (f *Frame) putRaw(key, val int64) bool {
 // Remove deletes key, returning the removed value and whether the key
 // was present — one single-shard elastic transaction, logged and made
 // durable like Put when it removed something (a miss mutates nothing
-// and writes no record).
+// and writes no record). Promoted keys demote like Put's (removeLogged
+// with a WAL — one atomic demote-and-remove step).
 func (f *Frame) Remove(key int64) (int64, bool) {
-	f.absolute(key)
 	w := f.st.wal
 	if w == nil {
+		f.absolute(key)
 		return f.removeRaw(key)
+	}
+	if f.st.boostMode != BoostOff {
+		return f.removeLogged(key)
 	}
 	sh := f.st.ShardOf(key)
 	w.Lock(sh)
@@ -313,7 +327,7 @@ func (f *Frame) MPut(keys, vals []int64) bool {
 		for _, k := range keys {
 			f.insertShard(f.st.ShardOf(k))
 		}
-		f.lockShards()
+		f.lockShardsAbsolute(keys)
 		err = f.atomic(f.kind, f.mputFn)
 		if err == nil {
 			f.effects = f.effects[:0]
@@ -379,7 +393,8 @@ func (f *Frame) CompareAndMove(from, to, expect int64) bool {
 		f.wShards = f.wShards[:0]
 		f.insertShard(f.st.ShardOf(from))
 		f.insertShard(f.st.ShardOf(to))
-		f.lockShards()
+		f.camKeys[0], f.camKeys[1] = from, to
+		f.lockShardsAbsolute(f.camKeys[:])
 		err := f.atomic(f.kind, f.camFn)
 		if err == nil && f.moved {
 			// The moved value is expect by construction (the move only

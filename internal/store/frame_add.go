@@ -54,7 +54,13 @@ func (f *Frame) boostAtomic(fn func(*boost.Tx) error) error {
 // CompareAndMove, MPut): demote it off the boosted path, so no stale
 // overlay can survive the write, and tell the escalation tracker the
 // key's stream is not add-only. Free when the hot path is idle (one
-// atomic load).
+// atomic load). With a WAL this pre-pass alone is not enough — a
+// boosted add can re-promote the key and land its add record between
+// the demote and the absolute record, which replay would then apply in
+// the wrong order — so the logged writers close that window themselves:
+// Put/Remove via putLogged/removeLogged (the write runs inside the
+// demote transaction), MPut/CompareAndMove via lockShardsAbsolute (a
+// re-check under the commit locks).
 func (f *Frame) absolute(key int64) {
 	s := f.st
 	if s.boostMode == BoostOff {
@@ -102,16 +108,199 @@ func (f *Frame) demoteBody(tx *boost.Tx) error {
 	if w != nil {
 		w.Lock(f.hotSh)
 	}
-	if hc.overlay != 0 {
-		v, _ := f.getRaw(f.hotKey)
-		f.putRaw(f.hotKey, v+hc.overlay)
-		hc.overlay = 0
-	}
+	f.fold(hc)
 	hc.dead = true
 	if w != nil {
 		w.Unlock(f.hotSh)
 	}
 	return nil
+}
+
+// fold moves hc's pending state into the base entry: the overlay delta
+// is added to the base value, and a counter created purely by deltas
+// that netted to zero materializes a base entry of 0 — presence must
+// survive the demotion exactly as it read while hot. The caller holds
+// the abstract lock (and the commit lock, with a WAL); no log record is
+// written — the add records already on disk reproduce the overlay at
+// replay, presence included (replaying a delta creates the entry).
+func (f *Frame) fold(hc *hotCounter) {
+	if hc.overlay != 0 {
+		v, _ := f.getRaw(f.hotKey)
+		f.putRaw(f.hotKey, v+hc.overlay)
+		hc.overlay = 0
+	} else if hc.exists {
+		if _, ok := f.getRaw(f.hotKey); !ok {
+			f.putRaw(f.hotKey, 0)
+		}
+	}
+}
+
+// putLogged is Put's execution when a WAL and the boosted path are both
+// live. The demote and the absolute write must be one atomic step: with
+// them separate, a boosted add could re-promote the key and append its
+// add record between the fold and the put record — live state would
+// carry the add in a fresh overlay while replay, applying add-then-put,
+// would lose the acked delta. While the key is hot the whole write runs
+// inside the demote transaction (putHotBody); while it is cold the
+// commit lock is taken first and the hot table re-checked under it —
+// overlay mutations and add records both require the commit lock, so a
+// key seen unpromoted there cannot get an add record before the put
+// record lands.
+func (f *Frame) putLogged(key, val int64) bool {
+	s := f.st
+	if s.boostMode == BoostAuto {
+		s.trackAbsolute(key)
+	}
+	w := s.wal
+	sh := s.ShardOf(key)
+	for {
+		hc := s.hotOf(key)
+		if hc == nil {
+			w.Lock(sh)
+			if s.hotOf(key) == nil {
+				existed := f.putRaw(key, val)
+				seq := w.AppendPut(sh, key, val)
+				w.Unlock(sh)
+				if err := w.Sync(sh, seq); err != nil && f.walErr == nil {
+					f.walErr = err
+				}
+				return existed
+			}
+			w.Unlock(sh) // promoted in the window — take the hot path
+			continue
+		}
+		f.hotHC, f.hotKey, f.hotVal, f.hotSh = hc, key, val, sh
+		if f.bth.Atomic(f.putHotFn) == nil {
+			s.unpromote(key, hc)
+			if err := w.Sync(sh, f.hotSeq); err != nil && f.walErr == nil {
+				f.walErr = err
+			}
+			return f.hotOk
+		}
+		// errHotDead: another frame demoted this counter first — look
+		// again (the key may have been re-promoted since).
+	}
+}
+
+// putHotBody writes a promoted key's absolute value inside its demote
+// transaction: under the abstract lock and the shard's commit lock the
+// overlay dies with the base overwrite and the put record is appended,
+// so no add record for this key can separate the two.
+func (f *Frame) putHotBody(tx *boost.Tx) error {
+	hc := f.hotHC
+	tx.Acquire(&hc.lock)
+	if hc.dead {
+		return errHotDead
+	}
+	w := f.st.wal
+	w.Lock(f.hotSh)
+	_, ok := f.getRaw(f.hotKey)
+	f.hotOk = ok || hc.exists // logical presence: base or committed deltas
+	f.putRaw(f.hotKey, f.hotVal)
+	hc.overlay = 0
+	hc.dead = true
+	f.hotSeq = w.AppendPut(f.hotSh, f.hotKey, f.hotVal)
+	w.Unlock(f.hotSh)
+	return nil
+}
+
+// removeLogged is Remove's execution when a WAL and the boosted path are
+// both live — putLogged's shape (see there for the window it closes),
+// with the miss-writes-no-record rule of the plain logged Remove.
+func (f *Frame) removeLogged(key int64) (int64, bool) {
+	s := f.st
+	if s.boostMode == BoostAuto {
+		s.trackAbsolute(key)
+	}
+	w := s.wal
+	sh := s.ShardOf(key)
+	for {
+		hc := s.hotOf(key)
+		if hc == nil {
+			w.Lock(sh)
+			if s.hotOf(key) == nil {
+				v, ok := f.removeRaw(key)
+				var seq uint64
+				if ok {
+					seq = w.AppendRemove(sh, key)
+				}
+				w.Unlock(sh)
+				if ok {
+					if err := w.Sync(sh, seq); err != nil && f.walErr == nil {
+						f.walErr = err
+					}
+				}
+				return v, ok
+			}
+			w.Unlock(sh) // promoted in the window — take the hot path
+			continue
+		}
+		f.hotHC, f.hotKey, f.hotSh = hc, key, sh
+		if f.bth.Atomic(f.removeHotFn) == nil {
+			s.unpromote(key, hc)
+			if f.hotOk {
+				if err := w.Sync(sh, f.hotSeq); err != nil && f.walErr == nil {
+					f.walErr = err
+				}
+			}
+			return f.hotVal, f.hotOk
+		}
+	}
+}
+
+// removeHotBody removes a promoted key inside its demote transaction:
+// fold the overlay into the base (no record — the add records on disk
+// reproduce it), remove the folded entry, append the remove record if
+// anything was removed, kill the counter. All under the abstract lock
+// and the shard's commit lock, so no add record can separate fold and
+// remove record.
+func (f *Frame) removeHotBody(tx *boost.Tx) error {
+	hc := f.hotHC
+	tx.Acquire(&hc.lock)
+	if hc.dead {
+		return errHotDead
+	}
+	w := f.st.wal
+	w.Lock(f.hotSh)
+	f.fold(hc)
+	f.hotVal, f.hotOk = f.removeRaw(f.hotKey)
+	hc.dead = true
+	if f.hotOk {
+		f.hotSeq = w.AppendRemove(f.hotSh, f.hotKey)
+	}
+	w.Unlock(f.hotSh)
+	return nil
+}
+
+// lockShardsAbsolute takes the participants' commit locks for a composed
+// absolute operation (MPut, CompareAndMove) whose keys the caller has
+// already demoted, and re-checks the hot table under them: a boosted add
+// may have re-promoted a key between the demote pass and the lock
+// acquisition and already appended its add record, and logging the
+// composition's intent after that record would make replay apply
+// add-then-overwrite while live state keeps the fresh overlay on top of
+// the overwrite. Finding a straggler it releases, demotes again and
+// retries; once every key is cold under the locks no add record can
+// precede the intent (overlay mutations and add records require the
+// commit lock), and the locks are returned held with the window closed.
+func (f *Frame) lockShardsAbsolute(keys []int64) {
+	for {
+		f.lockShards()
+		rehot := false
+		for _, k := range keys {
+			if f.st.hotOf(k) != nil {
+				rehot = true
+				break
+			}
+		}
+		if !rehot {
+			return
+		}
+		f.unlockShards()
+		for _, k := range keys {
+			f.demote(k)
+		}
+	}
 }
 
 // Add atomically adds delta to the counter under key, creating it (from
@@ -180,10 +369,12 @@ func (f *Frame) boostAddBody(tx *boost.Tx) error {
 	w := f.st.wal
 	if w == nil {
 		hc.overlay += f.hotDelta
+		hc.exists = true
 		return nil
 	}
 	w.Lock(f.hotSh)
 	hc.overlay += f.hotDelta
+	hc.exists = true
 	f.hotSeq = w.AppendAdd(f.hotSh, f.hotKey, f.hotDelta)
 	w.Unlock(f.hotSh)
 	return nil
@@ -201,7 +392,7 @@ func (f *Frame) boostGetBody(tx *boost.Tx) error {
 	}
 	v, ok := f.getRaw(f.hotKey)
 	f.hotVal = v + hc.overlay
-	f.hotOk = ok || hc.overlay != 0
+	f.hotOk = ok || hc.exists
 	return nil
 }
 
@@ -349,13 +540,16 @@ func (f *Frame) boostMAddBody(tx *boost.Tx) error {
 	w := f.st.wal
 	if w == nil {
 		f.maddApplied = 0
+		f.maddExists = f.maddExists[:0]
 		tx.Defer(f.maddUndoFn)
 		for i, hc := range f.maddHCs {
 			tx.Acquire(&hc.lock)
 			if hc.dead {
 				return errHotDead
 			}
+			f.maddExists = append(f.maddExists, hc.exists)
 			hc.overlay += f.vals[i]
+			hc.exists = true
 			f.maddApplied++
 		}
 		return nil
@@ -369,6 +563,7 @@ func (f *Frame) boostMAddBody(tx *boost.Tx) error {
 	f.lockShards()
 	for i, hc := range f.maddHCs {
 		hc.overlay += f.vals[i]
+		hc.exists = true
 	}
 	f.effects = f.effects[:0]
 	for i, k := range f.keys {
@@ -380,10 +575,13 @@ func (f *Frame) boostMAddBody(tx *boost.Tx) error {
 }
 
 // maddUndo compensates the applied prefix of an aborted in-memory
-// boosted MAdd (runs before the abstract locks release).
+// boosted MAdd (runs before the abstract locks release). The reverse
+// order restores each counter's pre-batch exists bit even when one key
+// appears twice in the batch — the earliest entry's saved value wins.
 func (f *Frame) maddUndo() {
 	for i := f.maddApplied - 1; i >= 0; i-- {
 		f.maddHCs[i].overlay -= f.vals[i]
+		f.maddHCs[i].exists = f.maddExists[i]
 	}
 	f.maddApplied = 0
 }
@@ -439,14 +637,13 @@ func (f *Frame) maddUnsound() {
 // mgetSound runs the sound MGet. When none of the requested keys is
 // promoted it is the plain one-transaction snapshot. Otherwise the frame
 // first acquires the abstract lock of every requested hot counter — with
-// a dead recheck, restarting if a demotion raced the lookup — then takes
-// the STM snapshot of the bases and folds the locked overlays in.
-// Holding the locks is what makes the result a consistent cut: a
-// composed MAdd over any of these keys is either entirely before (its
-// overlays all visible) or entirely after (blocked on the locks). Keys
-// promoted after the lookup contribute no overlay, which is sound — such
-// overlays hold only deltas from adds concurrent with this MGet, and the
-// MGet linearizes before them.
+// a dead recheck, restarting if a demotion raced the lookup, and a
+// promotion recheck, restarting if a key it saw cold turned hot before
+// the locks were held (see boostMGetBody) — then takes the STM snapshot
+// of the bases and folds the locked overlays in. Holding the locks of
+// every hot key in the request is what makes the result a consistent
+// cut: a composed MAdd over any of these keys is either entirely before
+// (its overlays all visible) or entirely after (blocked on the locks).
 func (f *Frame) mgetSound() error {
 	s := f.st
 	if s.boostMode == BoostOff {
@@ -472,7 +669,16 @@ func (f *Frame) mgetSound() error {
 	}
 }
 
-// boostMGetBody is the boosted body of a hot-key MGet.
+// boostMGetBody is the boosted body of a hot-key MGet. Once the locks
+// are held it re-checks the keys that looked unpromoted at lookup: one
+// promoted in between may already hold half of a completed composed
+// MAdd whose other half sits in a locked sibling's overlay, so folding
+// only the lookup-time lock set would tear the batch — restarting
+// re-scans with the promotion included. A key that turns hot after this
+// recheck is harmless: a composed MAdd pairing it with any locked key
+// blocks on that lock until this MGet commits, and one touching none of
+// the locked keys leaves every folded overlay and snapshotted base
+// untouched — the MGet linearizes before it.
 func (f *Frame) boostMGetBody(tx *boost.Tx) error {
 	for _, hc := range f.mgetHCs {
 		if hc == nil {
@@ -480,6 +686,11 @@ func (f *Frame) boostMGetBody(tx *boost.Tx) error {
 		}
 		tx.Acquire(&hc.lock)
 		if hc.dead {
+			return errHotDead
+		}
+	}
+	for i, k := range f.keys {
+		if f.mgetHCs[i] == nil && f.st.hotOf(k) != nil {
 			return errHotDead
 		}
 	}
@@ -491,7 +702,7 @@ func (f *Frame) boostMGetBody(tx *boost.Tx) error {
 			continue
 		}
 		f.vals[i] += hc.overlay
-		if hc.overlay != 0 {
+		if hc.exists {
 			f.oks[i] = true
 		}
 	}

@@ -21,9 +21,14 @@ import (
 // base + overlay. Absolute operations (Put, Remove, CompareAndMove,
 // MPut) demote the key first: fold the overlay into the base under the
 // abstract lock, kill the counter, and proceed on plain state — so a
-// stale overlay can never survive an absolute write. Reads acquire the
-// abstract lock too, which is what makes a zero-sum boosted MAdd
-// all-or-nothing to a concurrent MGet auditor.
+// stale overlay can never survive an absolute write. With a WAL the
+// demote and the absolute write are one atomic step (the write and its
+// record land inside the demote transaction, or behind a re-check under
+// the commit locks for the composed forms), so a concurrent add's
+// record can never precede an absolute record whose live effect it
+// survives — replay stays order-faithful. Reads acquire the abstract
+// lock too, which is what makes a zero-sum boosted MAdd all-or-nothing
+// to a concurrent MGet auditor.
 //
 // With a WAL, overlays are only ever mutated while additionally holding
 // the shard's commit lock, so the established cut invariants survive:
@@ -71,14 +76,19 @@ func ParseBoostMode(s string) (BoostMode, error) {
 	return BoostOff, fmt.Errorf("store: unknown boost mode %q (want off, auto or on)", s)
 }
 
-// hotCounter is one promoted key's boosted state. overlay is guarded by
-// ownership of lock (and, with a WAL, mutated only under the shard's
-// commit lock as well — see the file comment); dead marks a demoted
-// counter whose overlay has been folded into the base, telling lock
-// holders that looked it up before the demotion to retry.
+// hotCounter is one promoted key's boosted state. overlay and exists are
+// guarded by ownership of lock (and, with a WAL, mutated only under the
+// shard's commit lock as well — see the file comment); exists records
+// that a committed delta landed on this counter, so a counter whose
+// deltas net to exactly zero still reads as present (the RMW and batch
+// executions materialize presence on every add — a key "created from
+// zero" must not flicker absent when its sums cancel); dead marks a
+// demoted counter whose overlay has been folded into the base, telling
+// lock holders that looked it up before the demotion to retry.
 type hotCounter struct {
 	lock    boost.Lock
 	overlay int64
+	exists  bool
 	dead    bool
 }
 
@@ -188,6 +198,11 @@ func (s *Store) trackAdd(key int64, aborts uint64) bool {
 		}
 	}
 	sl.adds++
+	if aborts > promoteAbortThreshold {
+		// Clamp: one pathological transaction must not wrap the uint32
+		// accumulator, and past the threshold extra aborts carry no signal.
+		aborts = promoteAbortThreshold
+	}
 	sl.aborts += uint32(aborts)
 	if sl.adds >= trackDecayAt {
 		sl.adds >>= 1

@@ -192,6 +192,12 @@ func TestTrackerEscalation(t *testing.T) {
 			t.Fatal("promoted an abort-free key")
 		}
 	}
+	// A pathological abort count is clamped, not truncated: 2^32 aborts
+	// would wrap the uint32 accumulator to zero and mask the promotion.
+	s2 := New(Config{Shards: 2, Boost: BoostAuto})
+	if !s2.trackAdd(key, 1<<32) {
+		t.Fatal("2^32 aborts wrapped the accumulator instead of promoting")
+	}
 }
 
 // TestAutoPromotionRoutesBoosted checks the promotion hand-off: once the
@@ -240,6 +246,64 @@ func TestUnsoundForcesBoostOff(t *testing.T) {
 	}
 	if bs := s.BoostStats(); bs.BoostedOps != 0 || bs.Promotions != 0 {
 		t.Fatalf("unsound store boosted: %+v", bs)
+	}
+}
+
+// TestNetZeroCounterPresence pins the presence semantics of counters
+// whose deltas cancel: an add "creates from zero", so a counter must
+// read as present (value 0) even when its sums net to zero — on every
+// boost mode identically (the RMW execution materializes a base entry;
+// the boosted overlay and the folds must agree), through Get, MGet,
+// demotion, Remove and CompareAndMove alike.
+func TestNetZeroCounterPresence(t *testing.T) {
+	for _, eng := range engines() {
+		for _, mode := range boostModes() {
+			t.Run(eng.name+"/"+mode.String(), func(t *testing.T) {
+				s := New(Config{Shards: 4, Boost: mode})
+				f := s.NewFrame(stm.NewThread(eng.newi()))
+
+				f.Add(1, 5)
+				f.Add(1, -5)
+				if v, ok := f.Get(1); !ok || v != 0 {
+					t.Fatalf("net-zero counter Get = %d,%v want 0,true", v, ok)
+				}
+				vals := make([]int64, 1)
+				oks := make([]bool, 1)
+				f.MGet([]int64{1}, vals, oks)
+				if !oks[0] || vals[0] != 0 {
+					t.Fatalf("net-zero counter MGet = %d,%v want 0,true", vals[0], oks[0])
+				}
+				if v, ok := f.Remove(1); !ok || v != 0 {
+					t.Fatalf("net-zero counter Remove = %d,%v want 0,true", v, ok)
+				}
+				if _, ok := f.Get(1); ok {
+					t.Fatal("counter present after Remove")
+				}
+
+				// A zero-sum MAdd pair cancelled back to zero stays present.
+				f.MAdd([]int64{2, 3}, []int64{4, -4})
+				f.MAdd([]int64{2, 3}, []int64{-4, 4})
+				for _, k := range []int64{2, 3} {
+					if v, ok := f.Get(k); !ok || v != 0 {
+						t.Fatalf("cancelled MAdd key %d = %d,%v want 0,true", k, v, ok)
+					}
+				}
+
+				// Demotion folds presence into the base: CompareAndMove
+				// demotes first, then must see the counter's value 0.
+				f.Add(4, 9)
+				f.Add(4, -9)
+				if !f.CompareAndMove(4, 5, 0) {
+					t.Fatal("CompareAndMove refused a net-zero counter at expect 0")
+				}
+				if _, ok := f.Get(4); ok {
+					t.Fatal("moved-from counter still present")
+				}
+				if v, ok := f.Get(5); !ok || v != 0 {
+					t.Fatalf("moved-to = %d,%v want 0,true", v, ok)
+				}
+			})
+		}
 	}
 }
 
@@ -417,6 +481,136 @@ func TestMAddZeroSumInvariant(t *testing.T) {
 	}
 }
 
+// TestMGetPromotionRaceConsistentCut drives the window between MGet's
+// hot-table scan and its lock acquisition: each round uses fresh keys
+// that turn hot only when the writer's first MAdd promotes them, so the
+// auditor keeps catching keys mid-promotion. A scan that saw one key of
+// a zero-sum pair cold and the other hot must restart rather than fold
+// only the hot side — otherwise it reads half of a completed transfer.
+func TestMGetPromotionRaceConsistentCut(t *testing.T) {
+	for _, eng := range composingEngines() {
+		t.Run(eng.name, func(t *testing.T) {
+			tm := eng.newi()
+			s := New(Config{Shards: 4, Boost: BoostOn})
+			setup := s.NewFrame(stm.NewThread(tm))
+			audit := s.NewFrame(stm.NewThread(tm))
+			vals := make([]int64, 2)
+			oks := make([]bool, 2)
+			const rounds, transfers = 150, 25
+			for r := 0; r < rounds; r++ {
+				a, b := int64(1000+2*r), int64(1001+2*r)
+				setup.Put(a, 500)
+				setup.Put(b, 500)
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					f := s.NewFrame(stm.NewThread(tm))
+					pair := []int64{a, b}
+					delta := []int64{7, -7}
+					for i := 0; i < transfers; i++ {
+						if !f.MAdd(pair, delta) {
+							t.Error("MAdd did not commit")
+							return
+						}
+					}
+				}()
+				for stop := false; !stop; {
+					select {
+					case <-done:
+						stop = true
+					default:
+					}
+					if !audit.MGet([]int64{a, b}, vals, oks) {
+						t.Fatal("MGet did not commit")
+					}
+					if sum := vals[0] + vals[1]; sum != 1000 {
+						t.Fatalf("round %d: audit sum = %d, want 1000 (torn MAdd through a mid-promotion key)", r, sum)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAbsoluteWriteReplayEquivalence races boosted adds against one
+// absolute overwrite per key with a WAL attached: the Put demotes while
+// the adder keeps re-promoting, so the demote→overwrite window is hit
+// mid-stream, and each key sees no later Put that could paper over a
+// mis-ordered record. Whatever state each key settles into, replaying
+// the log must reproduce it exactly — an add record slipping in front
+// of the put record whose live effect it survived would make the
+// replayed value diverge from the acked live one.
+func TestAbsoluteWriteReplayEquivalence(t *testing.T) {
+	for _, eng := range composingEngines() {
+		t.Run(eng.name, func(t *testing.T) {
+			dir := t.TempDir()
+			log, _, err := wal.Open(dir, wal.Options{Shards: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tm := eng.newi()
+			s := New(Config{Shards: 4, WAL: log, Boost: BoostOn})
+			putter := s.NewFrame(stm.NewThread(tm))
+			const iters = 150
+			keys := make([]int64, 0, iters)
+			for i := 0; i < iters; i++ {
+				k := int64(10000 + i)
+				keys = append(keys, k)
+				done := make(chan struct{})
+				var wg sync.WaitGroup
+				for a := 0; a < 3; a++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						f := s.NewFrame(stm.NewThread(tm))
+						for {
+							select {
+							case <-done:
+								return
+							default:
+							}
+							if !f.Add(k, 1) {
+								t.Error("Add did not commit")
+								return
+							}
+						}
+					}()
+				}
+				runtime.Gosched()
+				putter.Put(k, 1<<20)
+				close(done)
+				wg.Wait()
+			}
+			f := s.NewFrame(stm.NewThread(tm))
+			live := map[int64]int64{}
+			for _, k := range keys {
+				v, ok := f.Get(k)
+				if !ok {
+					t.Fatalf("live Get(%d) absent", k)
+				}
+				live[k] = v
+			}
+			if err := log.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rp, err := wal.Scan(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2 := New(Config{Shards: 4})
+			th2 := stm.NewThread(eng.newi())
+			s2.Recover(th2, rp)
+			f2 := s2.NewFrame(th2)
+			for _, k := range keys {
+				if got, ok := f2.Get(k); !ok || got != live[k] {
+					t.Fatalf("replayed Get(%d) = %d,%v; live state was %d (acked add lost or duplicated by replay order)",
+						k, got, ok, live[k])
+				}
+			}
+		})
+	}
+}
+
 // TestAddWALReplay writes through every delta shape — boosted overlay
 // adds, read-modify-write adds, composed MAdd intents, a demotion fold,
 // an absolute overwrite and a remove — then replays the log into a
@@ -440,6 +634,10 @@ func TestAddWALReplay(t *testing.T) {
 				f.Add(i%5, i)
 			}
 			f.MAdd([]int64{100, 200}, []int64{7, -7})
+			// A net-zero counter: created by deltas that cancel, it must
+			// stay present (at 0) through the snapshot cut and the replay.
+			f.Add(4000, 6)
+			f.Add(4000, -6)
 			// Snapshot with overlays pending (boosted mode) or not (off).
 			if err := s.Snapshot(th); err != nil {
 				t.Fatal(err)
@@ -452,8 +650,11 @@ func TestAddWALReplay(t *testing.T) {
 				t.Fatal(err)
 			}
 
+			if v, ok := f.Get(4000); !ok || v != 0 {
+				t.Fatalf("live net-zero counter = %d,%v want 0,true", v, ok)
+			}
 			want := map[int64]int64{}
-			for _, k := range []int64{0, 1, 2, 3, 100, 200, 300} {
+			for _, k := range []int64{0, 1, 2, 3, 100, 200, 300, 4000} {
 				if v, ok := f.Get(k); ok {
 					want[k] = v
 				}

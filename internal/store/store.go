@@ -190,7 +190,10 @@ func (s *Store) dumpShard(th *stm.Thread, i int) []wal.Entry {
 	if h.count.Load() != 0 {
 		h.mu.RLock()
 		for k, hc := range h.keys {
-			if hc.overlay != 0 {
+			// exists with a zero overlay still matters: a counter created
+			// by deltas that netted to zero is present at 0, and the
+			// snapshot must record that presence if the base is absent.
+			if hc.overlay != 0 || hc.exists {
 				if overlays == nil {
 					overlays = make(map[int64]int64)
 				}
