@@ -43,6 +43,7 @@ func main() {
 		pipeline = flag.Int("pipeline", 1, "requests per round trip (pipelining depth; a batch-mode server executes each burst as one speculation batch)")
 		seed     = flag.Uint64("seed", 0, "worker seed (0 = default)")
 		noFill   = flag.Bool("no-fill", false, "skip pre-filling the keyspace")
+		report   = flag.Duration("report-every", 0, "print live windowed progress (ops/s, p50/p99, abort rate) to stderr at this period while measuring (0 = off)")
 		csvPath  = flag.String("csv", "", "also write the result as CSV (schema: "+harness.CSVHeader+")")
 		scenario = flag.String("scenario", harness.LoadScenario, "load shape: server (the -mix closed loop) or counter-fanin (conservation checker: zero-sum madd transfers + tracked fan-in adds + snapshot audits; exits 3 on violations)")
 		expViol  = flag.Bool("expect-violation", false, "with -scenario counter-fanin: require violations > 0 (for checking an -unsound server) instead of requiring 0")
@@ -83,6 +84,8 @@ func main() {
 		Seed:     *seed,
 		SkipFill: *noFill,
 		Pipeline: *pipeline,
+
+		ReportEvery: *report,
 	}
 	var result harness.Result
 	switch *scenario {

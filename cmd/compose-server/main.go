@@ -26,6 +26,13 @@
 // into the shards before accepting connections. -fsync=false trades
 // power-loss durability for throughput while remaining crash-safe
 // against SIGKILL.
+//
+// -admin-addr starts the observability plane (internal/obs) on a second
+// listener: /metrics (Prometheus text exposition of the same merged
+// telemetry the stats opcode serves, plus per-shard series), /stats
+// (the binary stats payload over HTTP), /debug/aborts (the abort
+// flight recorder, drained on read) and /debug/pprof/. Off by default;
+// bind it to localhost or an internal interface — it is unauthenticated.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 
 	"oestm/internal/cm"
 	"oestm/internal/harness"
+	"oestm/internal/obs"
 	"oestm/internal/server"
 	"oestm/internal/store"
 )
@@ -60,6 +68,7 @@ func main() {
 		exec    = flag.String("exec", server.ExecConn, "execution model: conn (goroutine per connection) or batch (speculative batch executor; pipelined bursts run as optimistic parallel batches committed in arrival order)")
 		workers = flag.Int("batch-workers", 0, "batch executor worker-pool size (with -exec=batch; 0 = GOMAXPROCS)")
 		maxBat  = flag.Int("max-batch", 0, "max requests per speculation batch (with -exec=batch; 0 = library default)")
+		admin   = flag.String("admin-addr", "", "admin HTTP listen address for /metrics, /stats, /debug/aborts and /debug/pprof/ (empty = off)")
 	)
 	flag.Parse()
 
@@ -100,6 +109,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "compose-server:", err)
 		os.Exit(1)
 	}
+	var adm *obs.Admin
+	if *admin != "" {
+		adm = obs.NewAdmin(obs.AdminConfig{
+			Addr:     *admin,
+			Stats:    srv.Telemetry,
+			Recorder: srv.Flight(),
+		})
+		if err := adm.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "compose-server: admin:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compose-server: admin plane on http://%s (/metrics /stats /debug/aborts /debug/pprof/)\n", adm.Addr())
+	}
 	mode := ""
 	if *unsound {
 		mode = " (UNSOUND: composed atomicity deliberately broken)"
@@ -116,6 +138,12 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "compose-server: drain incomplete:", err)
 		os.Exit(1)
+	}
+	if adm != nil {
+		// After the data plane: a scrape racing the drain still answers.
+		if err := adm.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "compose-server: admin drain incomplete:", err)
+		}
 	}
 	fmt.Println("compose-server: drained")
 }

@@ -260,6 +260,7 @@ func RunCounterFanin(cfg LoadConfig) (Result, error) {
 		Adds:                satSub(s1.Adds, s0.Adds),
 		BoostedOps:          satSub(s1.BoostedOps, s0.BoostedOps),
 		HotPromotions:       satSub(s1.HotPromotions, s0.HotPromotions),
+		HotDemotions:        satSub(s1.HotDemotions, s0.HotDemotions),
 		Dist:                cfg.Dist.Label(),
 		Theta:               cfg.Dist.ZipfTheta(),
 		Threads:             cfg.Conns,

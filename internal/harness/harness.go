@@ -185,13 +185,16 @@ type Result struct {
 	SpecExecs           uint64
 	SpecReexecs         uint64
 	SpecValidationFails uint64
-	// Adds/BoostedOps/HotPromotions are the commutative hot-key path's
-	// deltas over the measured window: delta operations accepted, how many
-	// ran boosted (abstract per-key locks, no STM conflict), and how many
-	// keys the adaptive tracker promoted; zero for in-process runs.
+	// Adds/BoostedOps/HotPromotions/HotDemotions are the commutative
+	// hot-key path's deltas over the measured window: delta operations
+	// accepted, how many ran boosted (abstract per-key locks, no STM
+	// conflict), how many keys the adaptive tracker promoted, and how
+	// many promoted keys were demoted (folded back) by absolute
+	// operations; zero for in-process runs.
 	Adds          uint64
 	BoostedOps    uint64
 	HotPromotions uint64
+	HotDemotions  uint64
 }
 
 // setLatency installs a measured histogram and its headline percentiles.

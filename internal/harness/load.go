@@ -15,7 +15,9 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"math/rand/v2"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -139,6 +141,16 @@ type LoadConfig struct {
 	// parallel work; against a conn-mode server it just amortizes
 	// network round trips.
 	Pipeline int
+	// ReportEvery, when positive, prints a live progress line to
+	// ReportTo at that period while the window runs: the window's ops/s,
+	// p50/p99 round-trip latency (exact, from the server's merged
+	// per-opcode histograms via Histogram.Sub) and abort rate — all
+	// deltas between consecutive stats scrapes, so each line describes
+	// only its own interval. Zero (the default) measures silently.
+	ReportEvery time.Duration
+	// ReportTo receives the progress lines (nil = os.Stderr, keeping
+	// stdout's table and CSV output machine-clean).
+	ReportTo io.Writer
 }
 
 // normalize applies defaults.
@@ -280,7 +292,11 @@ func RunLoad(cfg LoadConfig) (Result, error) {
 	m0 := mallocs()
 	measuring.Store(true)
 	start := time.Now()
-	time.Sleep(cfg.Duration)
+	if cfg.ReportEvery > 0 && err0 == nil {
+		reportLoop(statsClient, cfg, &s0, start)
+	} else {
+		time.Sleep(cfg.Duration)
+	}
 	stop.Store(true)
 	elapsed := time.Since(start)
 	m1 := mallocs()
@@ -323,6 +339,7 @@ func RunLoad(cfg LoadConfig) (Result, error) {
 		Adds:                satSub(s1.Adds, s0.Adds),
 		BoostedOps:          satSub(s1.BoostedOps, s0.BoostedOps),
 		HotPromotions:       satSub(s1.HotPromotions, s0.HotPromotions),
+		HotDemotions:        satSub(s1.HotDemotions, s0.HotDemotions),
 		Dist:                cfg.Dist.Label(),
 		Theta:               cfg.Dist.ZipfTheta(),
 		Threads:             cfg.Conns,
@@ -337,6 +354,57 @@ func RunLoad(cfg LoadConfig) (Result, error) {
 	}
 	r.setLatency(totalHist)
 	return r, nil
+}
+
+// reportLoop sleeps out the measured window, emitting one progress line
+// per ReportEvery tick. Each line is windowed: its ops/s, latency
+// percentiles and abort rate are the deltas between that tick's stats
+// scrape and the previous one (histogram windows via Histogram.Sub), so
+// a line describes only its own interval — drift, warm caches, or a
+// building convoy show up as line-to-line movement, not as a diluted
+// running average. Scrape failures skip the line; the measurement
+// itself never depends on the reporter.
+func reportLoop(cl *server.Client, cfg LoadConfig, s0 *wire.StatsPayload, start time.Time) {
+	w := cfg.ReportTo
+	if w == nil {
+		w = io.Writer(os.Stderr)
+	}
+	last := *s0
+	lastT := start
+	ticker := time.NewTicker(cfg.ReportEvery)
+	defer ticker.Stop()
+	timer := time.NewTimer(cfg.Duration)
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+			return
+		case now := <-ticker.C:
+			var cur wire.StatsPayload
+			if err := cl.Stats(&cur); err != nil {
+				fmt.Fprintf(w, "compose-load: progress scrape failed: %v\n", err)
+				continue
+			}
+			window := now.Sub(lastT)
+			if window <= 0 {
+				continue
+			}
+			var ops uint64
+			var h, hPrev stats.Histogram
+			for i := range cur.Ops {
+				ops += satSub(cur.Ops[i].Count, last.Ops[i].Count)
+				h.Merge(&cur.Ops[i].Hist)
+				hPrev.Merge(&last.Ops[i].Hist)
+			}
+			h.Sub(&hPrev)
+			d := statsDelta(&cur, &last)
+			fmt.Fprintf(w, "compose-load: t=%-6s ops/s=%-9.0f p50=%.1fµs p99=%.1fµs abort%%=%.2f\n",
+				now.Sub(start).Truncate(100*time.Millisecond),
+				float64(ops)/window.Seconds(),
+				usec(h.Quantile(0.50)), usec(h.Quantile(0.99)), d.AbortRate())
+			last, lastT = cur, now
+		}
+	}
 }
 
 // allocsPerOp guards the zero-op case.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"context"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"oestm/internal/server"
 	"oestm/internal/store"
+	"oestm/internal/wire"
 	"oestm/internal/workload"
 )
 
@@ -55,15 +57,19 @@ func TestRunLoadAddMix(t *testing.T) {
 		MaxRetries: 2000,
 		Boost:      store.BoostOn,
 	})
+	var progress bytes.Buffer
 	r, err := RunLoad(LoadConfig{
 		Addr:     srv.Addr().String(),
 		Conns:    2,
-		Duration: 60 * time.Millisecond,
+		Duration: 90 * time.Millisecond,
 		Warmup:   20 * time.Millisecond,
 		Keys:     64,
 		Span:     4,
 		Mix:      LoadMix{GetPct: 20, AddPct: 50, MAddPct: 25, MGetPct: 5},
 		Dist:     workload.DistConfig{Name: workload.DistZipfian, Theta: 0.99},
+
+		ReportEvery: 25 * time.Millisecond,
+		ReportTo:    &progress,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -75,11 +81,39 @@ func TestRunLoadAddMix(t *testing.T) {
 		t.Fatalf("hot-key columns not attributed: adds=%d boosted=%d", r.Adds, r.BoostedOps)
 	}
 	csv := CSV([]Result{r})
-	if !strings.Contains(CSVHeader, "adds,boosted_ops,hot_promotions") {
+	if !strings.Contains(CSVHeader, "adds,boosted_ops,hot_promotions,hot_demotions") {
 		t.Fatalf("csv header missing hot-key columns: %s", CSVHeader)
 	}
 	if !strings.HasPrefix(csv, CSVHeader+"\n") {
 		t.Fatal("csv header wrong")
+	}
+	if !strings.Contains(progress.String(), "ops/s=") || !strings.Contains(progress.String(), "abort%=") {
+		t.Fatalf("report-every produced no progress lines: %q", progress.String())
+	}
+	if table := FormatScenario([]Result{r}, LoadScenario); !strings.Contains(table, "hot-key path") {
+		t.Fatalf("scenario table missing hot-key block:\n%s", table)
+	}
+
+	// The same run must have populated the per-shard telemetry block, and
+	// the shard ops must account for (at least) the keyed requests.
+	cl, err := server.DialTimeout(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var p wire.StatsPayload
+	if err := cl.Stats(&p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ShardStats) != 8 {
+		t.Fatalf("ShardStats has %d entries, want 8", len(p.ShardStats))
+	}
+	var shardOps uint64
+	for _, s := range p.ShardStats {
+		shardOps += s.Ops
+	}
+	if shardOps == 0 {
+		t.Fatal("per-shard ops all zero after a keyed load")
 	}
 }
 

@@ -136,6 +136,7 @@ func average(rs []Result) Result {
 			out.Adds += r.Adds
 			out.BoostedOps += r.BoostedOps
 			out.HotPromotions += r.HotPromotions
+			out.HotDemotions += r.HotDemotions
 		}
 	}
 	out.OpsPerMs = stats.Mean(tp)
@@ -347,6 +348,50 @@ func FormatCauses(results []Result) string {
 	return b.String()
 }
 
+// FormatHotKeys renders the commutative hot-key path's counters: one
+// row per engine (or engine/policy pair), deltas summed over the sweep.
+// Omitted entirely when no delta operations ran (non-add mixes,
+// in-process runs).
+func FormatHotKeys(results []Result) string {
+	multiCM := sweepsCMs(results)
+	multiDist := sweepsDists(results)
+	var labels []string
+	totals := map[string]*[4]uint64{}
+	for _, r := range results {
+		if r.Engine == "sequential" {
+			continue
+		}
+		l := columnLabel(r, multiCM, multiDist)
+		t, ok := totals[l]
+		if !ok {
+			t = new([4]uint64)
+			totals[l] = t
+			labels = append(labels, l)
+		}
+		t[0] += r.Adds
+		t[1] += r.BoostedOps
+		t[2] += r.HotPromotions
+		t[3] += r.HotDemotions
+	}
+	any := false
+	for _, t := range totals {
+		if t[0] > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("hot-key path (summed over sweep)\n")
+	fmt.Fprintf(&b, "%-24s %18s %18s %18s %18s\n", "", "adds", "boosted_ops", "promotions", "demotions")
+	for _, l := range labels {
+		t := totals[l]
+		fmt.Fprintf(&b, "%-24s %18d %18d %18d %18d\n", l, t[0], t[1], t[2], t[3])
+	}
+	return b.String()
+}
+
 // CSVHeader is the column line of the harness CSV output. It is the
 // single source of truth for the schema: CSV writes it, compose-bench
 // quotes it in its -csv flag help, and the README documents each column
@@ -378,10 +423,11 @@ func FormatCauses(results []Result) string {
 // executor's deltas over the measured window (Speculate attempts,
 // attempts beyond a transaction's first, completed attempts whose read
 // set failed validation; all zero in conn mode), and the commutative
-// hot-key axis: adds/boosted_ops/hot_promotions, the server's
-// delta-operation counters over the measured window (delta operations
-// accepted, how many ran boosted under abstract per-key locks, keys the
-// adaptive tracker promoted; all zero for in-process runs and non-add
+// hot-key axis: adds/boosted_ops/hot_promotions/hot_demotions, the
+// server's delta-operation counters over the measured window (delta
+// operations accepted, how many ran boosted under abstract per-key
+// locks, keys the adaptive tracker promoted, promoted keys folded back
+// by absolute operations; all zero for in-process runs and non-add
 // mixes). The wal, exec and hot-key columns sit at the end, newest
 // last, so earlier consumers' positional indexes keep working.
 var CSVHeader = func() string {
@@ -391,7 +437,7 @@ var CSVHeader = func() string {
 		cols += ",aborts_" + c.Slug()
 	}
 	return cols + ",wal,wal_appends,wal_syncs,wal_bytes,exec,spec_execs,spec_reexecs,spec_validation_fails" +
-		",adds,boosted_ops,hot_promotions"
+		",adds,boosted_ops,hot_promotions,hot_demotions"
 }()
 
 // CSV renders results as comma-separated rows with a header, for
@@ -419,7 +465,7 @@ func CSV(results []Result) string {
 			execLabel = "-"
 		}
 		fmt.Fprintf(&b, ",%s,%d,%d,%d", execLabel, r.SpecExecs, r.SpecReexecs, r.SpecValidationFails)
-		fmt.Fprintf(&b, ",%d,%d,%d", r.Adds, r.BoostedOps, r.HotPromotions)
+		fmt.Fprintf(&b, ",%d,%d,%d,%d", r.Adds, r.BoostedOps, r.HotPromotions, r.HotDemotions)
 		b.WriteByte('\n')
 	}
 	return b.String()

@@ -199,5 +199,6 @@ func FormatScenario(results []Result, scenario string) string {
 		b.WriteByte('\n')
 	}
 	b.WriteString(FormatCauses(results))
+	b.WriteString(FormatHotKeys(results))
 	return b.String()
 }

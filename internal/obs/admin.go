@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"oestm/internal/wire"
+)
+
+// AdminConfig parameterises the admin server.
+type AdminConfig struct {
+	// Addr is the HTTP listen address (e.g. ":9100", "127.0.0.1:0").
+	Addr string
+	// Stats fills p with the serving system's merged telemetry —
+	// server.Server.Telemetry, the same snapshot the OpStats wire opcode
+	// encodes (the scrape-vs-wire consistency contract in the package
+	// comment rests on this being the one source).
+	Stats func(p *wire.StatsPayload)
+	// Recorder, when non-nil, backs /debug/aborts and the
+	// compose_abort_events_* series.
+	Recorder *FlightRecorder
+}
+
+// Admin is the admin HTTP server. Create with NewAdmin, start with
+// Start; it owns its own mux — nothing is registered on
+// http.DefaultServeMux.
+type Admin struct {
+	cfg AdminConfig
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewAdmin builds the admin server (not listening yet).
+func NewAdmin(cfg AdminConfig) *Admin {
+	a := &Admin{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.metrics)
+	mux.HandleFunc("/stats", a.stats)
+	mux.HandleFunc("/debug/aborts", a.aborts)
+	// pprof is wired explicitly: importing net/http/pprof registers on
+	// the default mux only, which this server deliberately never serves.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", a.index)
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return a
+}
+
+// Start binds the listener and serves in the background.
+func (a *Admin) Start() error {
+	ln, err := net.Listen("tcp", a.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	a.ln = ln
+	go a.srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *Admin) Addr() net.Addr { return a.ln.Addr() }
+
+// Shutdown stops the server, waiting for in-flight requests up to ctx.
+func (a *Admin) Shutdown(ctx context.Context) error { return a.srv.Shutdown(ctx) }
+
+// metrics serves the Prometheus text exposition.
+func (a *Admin) metrics(w http.ResponseWriter, _ *http.Request) {
+	var p wire.StatsPayload
+	a.cfg.Stats(&p)
+	var b bytes.Buffer
+	WriteMetrics(&b, &p, a.cfg.Recorder)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b.Bytes())
+}
+
+// stats serves the binary wire.StatsPayload — byte-identical semantics
+// to the OpStats wire opcode's response body, without a wire client.
+func (a *Admin) stats(w http.ResponseWriter, _ *http.Request) {
+	var p wire.StatsPayload
+	a.cfg.Stats(&p)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(wire.AppendStats(nil, &p))
+}
+
+// abortsPayload is /debug/aborts' JSON shape.
+type abortsPayload struct {
+	Engine   string       `json:"engine"`
+	Recorded uint64       `json:"recorded"`
+	Dropped  uint64       `json:"dropped"`
+	Events   []abortEvent `json:"events"`
+}
+
+type abortEvent struct {
+	Seq       uint64 `json:"seq"`
+	Op        string `json:"op"`
+	Cause     string `json:"cause"`
+	Shard     int32  `json:"shard"`
+	Attempts  uint32 `json:"attempts"`
+	LatencyNS int64  `json:"latency_ns"`
+}
+
+// aborts drains the flight recorder and serves the events as JSON. A
+// scrape consumes what it reads: consecutive scrapes see disjoint
+// windows of abort activity.
+func (a *Admin) aborts(w http.ResponseWriter, _ *http.Request) {
+	out := abortsPayload{Events: []abortEvent{}}
+	if a.cfg.Stats != nil {
+		var p wire.StatsPayload
+		a.cfg.Stats(&p)
+		out.Engine = p.Engine
+	}
+	if a.cfg.Recorder != nil {
+		out.Recorded, out.Dropped = a.cfg.Recorder.Counters()
+		for _, ev := range a.cfg.Recorder.Drain() {
+			out.Events = append(out.Events, abortEvent{
+				Seq:       ev.Seq,
+				Op:        ev.Op.String(),
+				Cause:     ev.Cause.Slug(),
+				Shard:     ev.Shard,
+				Attempts:  ev.Attempts,
+				LatencyNS: int64(ev.Latency),
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// index lists the endpoints.
+func (a *Admin) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("compose-server admin\n\n" +
+		"/metrics       Prometheus exposition\n" +
+		"/stats         binary stats payload\n" +
+		"/debug/aborts  abort flight recorder (JSON, drained on read)\n" +
+		"/debug/pprof/  Go profiles\n"))
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"oestm/internal/stm"
+	"oestm/internal/wire"
+)
+
+// TestAdminEndpoints exercises the admin server end to end over a real
+// listener: /metrics serves the exposition of the Stats callback's
+// payload, /stats round-trips the binary payload, /debug/aborts drains
+// the recorder, and pprof's index answers.
+func TestAdminEndpoints(t *testing.T) {
+	rec := NewFlightRecorder()
+	a := NewAdmin(AdminConfig{
+		Addr:     "127.0.0.1:0",
+		Stats:    func(p *wire.StatsPayload) { *p = *goldenPayload() },
+		Recorder: rec,
+	})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown(context.Background())
+	base := "http://" + a.Addr().String()
+
+	get := func(path string) (string, []byte) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return resp.Header.Get("Content-Type"), body
+	}
+
+	ct, body := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(string(body), "compose_commits_total 10001") {
+		t.Fatalf("/metrics missing payload series:\n%s", body)
+	}
+
+	_, body = get("/stats")
+	var p wire.StatsPayload
+	if err := p.Decode(body); err != nil {
+		t.Fatalf("/stats body does not decode: %v", err)
+	}
+	if p.Commits != 10001 || len(p.ShardStats) != 4 {
+		t.Fatalf("/stats decoded commits=%d shards=%d", p.Commits, len(p.ShardStats))
+	}
+
+	rec.Ring().Record(wire.OpCompareAndMove, stm.CauseLockBusy, 3, 2, 5*time.Millisecond)
+	ct, body = get("/debug/aborts")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/debug/aborts content type %q", ct)
+	}
+	var ab abortsPayload
+	if err := json.Unmarshal(body, &ab); err != nil {
+		t.Fatalf("/debug/aborts not JSON: %v\n%s", err, body)
+	}
+	if ab.Engine != "oestm" || ab.Recorded != 1 || len(ab.Events) != 1 {
+		t.Fatalf("/debug/aborts = %+v", ab)
+	}
+	ev := ab.Events[0]
+	if ev.Op != wire.OpCompareAndMove.String() || ev.Cause != stm.CauseLockBusy.Slug() ||
+		ev.Shard != 3 || ev.Attempts != 2 || ev.LatencyNS != int64(5*time.Millisecond) {
+		t.Fatalf("/debug/aborts event = %+v", ev)
+	}
+	_, body = get("/debug/aborts")
+	if err := json.Unmarshal(body, &ab); err != nil || len(ab.Events) != 0 {
+		t.Fatalf("second scrape should be drained, got %s", body)
+	}
+
+	_, body = get("/debug/pprof/")
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index unexpected:\n%s", body)
+	}
+
+	_, body = get("/")
+	if !strings.Contains(string(body), "/metrics") {
+		t.Fatalf("index unexpected:\n%s", body)
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oestm/internal/stm"
+	"oestm/internal/wire"
+)
+
+// The abort flight recorder: a fixed-size, lock-cheap ring of recent
+// abort events, the live diagnostic behind /debug/aborts. Writers are
+// request-path goroutines, so the write side is built to cost almost
+// nothing: each connection records through its own Ring handle (handles
+// spread round-robin over a small set of rings), a write is one
+// uncontended mutex acquisition and a fixed-size struct store — no
+// allocation, ever — and a full ring overwrites its oldest event rather
+// than blocking or growing. The sampling policy is therefore "every
+// abort-suffering request, keep the most recent ringEvents per ring":
+// drains see the freshest window of abort activity, and the dropped
+// counter says how much history the window lost.
+
+// flightRings is how many independent rings spread writer contention.
+const flightRings = 8
+
+// ringEvents is each ring's capacity; the recorder retains at most
+// flightRings*ringEvents events between drains.
+const ringEvents = 64
+
+// AbortEvent is one sampled abort-suffering request. Attempts is how
+// many aborted transaction attempts the request suffered before its
+// outcome; Latency is the request's full service time (the same
+// measurement the per-opcode histograms record); Shard is where the
+// request's first key routes, matching the per-shard abort attribution.
+type AbortEvent struct {
+	Seq      uint64
+	Op       wire.Op
+	Cause    stm.ConflictCause
+	Shard    int32
+	Attempts uint32
+	Latency  time.Duration
+}
+
+// flightRing is one ring: a mutex, a fixed event array, and a write
+// cursor. n is how many slots hold undrained events.
+type flightRing struct {
+	mu  sync.Mutex
+	n   int
+	w   int
+	buf [ringEvents]AbortEvent
+}
+
+// FlightRecorder owns the rings and the global sequence. One per
+// server; hand each writer goroutine a Ring.
+type FlightRecorder struct {
+	seq      atomic.Uint64
+	recorded atomic.Uint64
+	dropped  atomic.Uint64
+	next     atomic.Uint32
+	rings    [flightRings]flightRing
+}
+
+// NewFlightRecorder builds an empty recorder.
+func NewFlightRecorder() *FlightRecorder { return &FlightRecorder{} }
+
+// Ring hands out a write handle. Handles spread round-robin over the
+// rings, so a server with more connections than rings shares each ring
+// between a few writers — still effectively uncontended, since writes
+// only happen on aborts and hold the mutex for a struct store.
+func (r *FlightRecorder) Ring() *Ring {
+	i := r.next.Add(1) - 1
+	return &Ring{rec: r, ring: &r.rings[i%flightRings]}
+}
+
+// Ring is one writer's handle (nil-safe: a nil Ring drops the event).
+type Ring struct {
+	rec  *FlightRecorder
+	ring *flightRing
+}
+
+// Record appends one abort event, overwriting the ring's oldest if no
+// drain has made room. Counter-increment-and-store only — the request
+// path's allocation pins include it.
+func (w *Ring) Record(op wire.Op, cause stm.ConflictCause, shard int, attempts uint32, latency time.Duration) {
+	if w == nil {
+		return
+	}
+	seq := w.rec.seq.Add(1)
+	w.rec.recorded.Add(1)
+	r := w.ring
+	r.mu.Lock()
+	if r.n == ringEvents {
+		w.rec.dropped.Add(1)
+	} else {
+		r.n++
+	}
+	r.buf[r.w] = AbortEvent{Seq: seq, Op: op, Cause: cause, Shard: int32(shard), Attempts: attempts, Latency: latency}
+	if r.w++; r.w == ringEvents {
+		r.w = 0
+	}
+	r.mu.Unlock()
+}
+
+// Drain copies out and clears every ring's undrained events, ordered by
+// recording sequence. Each scrape of /debug/aborts sees only events
+// recorded since the previous scrape.
+func (r *FlightRecorder) Drain() []AbortEvent {
+	var out []AbortEvent
+	for i := range r.rings {
+		g := &r.rings[i]
+		g.mu.Lock()
+		for j := 0; j < g.n; j++ {
+			out = append(out, g.buf[(g.w-g.n+j+ringEvents)%ringEvents])
+		}
+		g.n, g.w = 0, 0
+		g.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Counters returns how many events were ever recorded and how many were
+// overwritten before a drain could read them.
+func (r *FlightRecorder) Counters() (recorded, dropped uint64) {
+	return r.recorded.Load(), r.dropped.Load()
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"oestm/internal/stm"
+	"oestm/internal/wire"
+)
+
+// TestFlightRecorderDrainOrder: single writer, drains are ordered,
+// disjoint, and complete while under capacity.
+func TestFlightRecorderDrainOrder(t *testing.T) {
+	rec := NewFlightRecorder()
+	w := rec.Ring()
+	for i := 0; i < 40; i++ {
+		w.Record(wire.OpAdd, stm.CauseLockBusy, i%4, 1, time.Duration(i))
+	}
+	ev := rec.Drain()
+	if len(ev) != 40 {
+		t.Fatalf("drained %d events, want 40", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Latency != time.Duration(i) {
+			t.Fatalf("event %d has latency %v, want %v", i, e.Latency, time.Duration(i))
+		}
+	}
+	if again := rec.Drain(); len(again) != 0 {
+		t.Fatalf("second drain returned %d events, want 0 (drain clears)", len(again))
+	}
+	if recd, drop := rec.Counters(); recd != 40 || drop != 0 {
+		t.Fatalf("counters = (%d, %d), want (40, 0)", recd, drop)
+	}
+}
+
+// TestFlightRecorderOverwrite: a full ring overwrites oldest and counts
+// the loss; the drain returns the freshest window.
+func TestFlightRecorderOverwrite(t *testing.T) {
+	rec := NewFlightRecorder()
+	w := rec.Ring()
+	const n = ringEvents + 17
+	for i := 0; i < n; i++ {
+		w.Record(wire.OpPut, stm.CauseCommitValidation, 0, 2, 0)
+	}
+	ev := rec.Drain()
+	if len(ev) != ringEvents {
+		t.Fatalf("drained %d events, want ring capacity %d", len(ev), ringEvents)
+	}
+	// Freshest window: the surviving events are the n-ringEvents+1 .. n
+	// suffix of the sequence.
+	if first, last := ev[0].Seq, ev[len(ev)-1].Seq; first != n-ringEvents+1 || last != n {
+		t.Fatalf("drained seq window [%d, %d], want [%d, %d]", first, last, n-ringEvents+1, n)
+	}
+	if recd, drop := rec.Counters(); recd != n || drop != n-ringEvents {
+		t.Fatalf("counters = (%d, %d), want (%d, %d)", recd, drop, n, n-ringEvents)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers the recorder from many writers
+// with concurrent drains (run under -race): every drained event must be
+// internally consistent, sequences must never duplicate, and the final
+// accounting must satisfy drained + dropped + retained == recorded.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	rec := NewFlightRecorder()
+	const writers = 16
+	const perWriter = 500
+
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	var drained uint64
+	collect := func(evs []AbortEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, e := range evs {
+			if seen[e.Seq] {
+				t.Errorf("sequence %d drained twice", e.Seq)
+			}
+			seen[e.Seq] = true
+			// Writer w stamps op w%NumOps and latency = its loop index;
+			// a torn read under contention would mismatch them.
+			w := int(e.Shard)
+			if e.Op != wire.Op(w%wire.NumOps) || e.Attempts != uint32(w) {
+				t.Errorf("torn event: shard %d, op %v, attempts %d", e.Shard, e.Op, e.Attempts)
+			}
+		}
+		drained += uint64(len(evs))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				collect(rec.Drain())
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ring := rec.Ring()
+			for i := 0; i < perWriter; i++ {
+				ring.Record(wire.Op(w%wire.NumOps), stm.CauseLockBusy, w, uint32(w), time.Duration(i))
+			}
+		}(w)
+	}
+	// Writers finish, then the drainer stops, then one final drain.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	<-time.After(1 * time.Millisecond)
+	close(stop)
+	<-done
+	collect(rec.Drain())
+
+	recorded, dropped := rec.Counters()
+	if recorded != writers*perWriter {
+		t.Fatalf("recorded %d, want %d", recorded, writers*perWriter)
+	}
+	if drained+dropped != recorded {
+		t.Fatalf("drained %d + dropped %d != recorded %d", drained, dropped, recorded)
+	}
+}
+
+// TestRingNilSafe: a nil handle drops the event instead of panicking
+// (connections on a server without an admin plane have no recorder).
+func TestRingNilSafe(t *testing.T) {
+	var w *Ring
+	w.Record(wire.OpGet, stm.CauseLockBusy, 0, 1, time.Millisecond)
+}

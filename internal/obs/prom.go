@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"oestm/internal/stats"
+	"oestm/internal/stm"
+	"oestm/internal/wire"
+)
+
+// Prometheus text-format exposition of the stats payload. Series names
+// and label sets are a stable API (the golden test pins them); every
+// series maps to one source counter in the payload — see the metric map
+// in ARCHITECTURE.md's observability section.
+//
+// Latency histograms re-bucket the log-bucketed stats.Histogram onto
+// power-of-two le boundaries, 2^8ns (256ns) through 2^30ns (~1.07s).
+// The conversion is exact, not approximate: the source buckets subdivide
+// octaves and never straddle a power of two, so the cumulative count at
+// boundary 2^k is exactly the number of samples <= 2^k-1 ns (the
+// boundary's nominal value overshoots that edge by a single nanosecond —
+// below any latency resolution that matters). _sum and _count are exact
+// too: the histogram carries an unbucketed sum.
+
+// promExpLo/promExpHi are the exponents of the first and last finite le
+// boundary (nanoseconds).
+const (
+	promExpLo = 8
+	promExpHi = 30
+)
+
+// promLE is the precomputed le label value of each boundary, in seconds
+// (powers of two have exact finite decimal forms, so the labels are
+// exact).
+var promLE = func() []string {
+	out := make([]string, 0, promExpHi-promExpLo+1)
+	for e := promExpLo; e <= promExpHi; e++ {
+		out = append(out, strconv.FormatFloat(float64(uint64(1)<<e)/1e9, 'g', -1, 64))
+	}
+	return out
+}()
+
+// seconds renders a nanosecond total as an exact decimal seconds value.
+func seconds(ns uint64) string {
+	return fmt.Sprintf("%d.%09d", ns/1e9, ns%1e9)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// head writes one metric family's HELP/TYPE preamble.
+func head(b *bytes.Buffer, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteMetrics renders the full /metrics exposition into b: the
+// payload-derived series, the flight recorder's counters (rec may be
+// nil), and Go runtime/build gauges.
+func WriteMetrics(b *bytes.Buffer, p *wire.StatsPayload, rec *FlightRecorder) {
+	renderPayload(b, p)
+	if rec != nil {
+		recorded, dropped := rec.Counters()
+		head(b, "compose_abort_events_recorded_total", "counter", "Abort events written to the flight recorder.")
+		fmt.Fprintf(b, "compose_abort_events_recorded_total %d\n", recorded)
+		head(b, "compose_abort_events_dropped_total", "counter", "Abort events overwritten before a /debug/aborts drain read them.")
+		fmt.Fprintf(b, "compose_abort_events_dropped_total %d\n", dropped)
+	}
+	renderRuntime(b)
+}
+
+// renderPayload writes the payload-derived series — a deterministic
+// function of p, which is what the golden test renders.
+func renderPayload(b *bytes.Buffer, p *wire.StatsPayload) {
+	head(b, "compose_server_info", "gauge", "Server identity; constant 1.")
+	fmt.Fprintf(b, "compose_server_info{cm=%q,engine=%q,exec=%q} 1\n",
+		escapeLabel(p.CM), escapeLabel(p.Engine), escapeLabel(p.Exec))
+	head(b, "compose_shards", "gauge", "Store shard count.")
+	fmt.Fprintf(b, "compose_shards %d\n", p.Shards)
+	head(b, "compose_connections", "gauge", "Currently open client connections.")
+	fmt.Fprintf(b, "compose_connections %d\n", p.Conns)
+
+	head(b, "compose_requests_total", "counter", "Requests served, by opcode.")
+	for i := range p.Ops {
+		fmt.Fprintf(b, "compose_requests_total{op=%q} %d\n", wire.Op(i).String(), p.Ops[i].Count)
+	}
+
+	head(b, "compose_request_duration_seconds", "histogram", "Server-side request service time, by opcode.")
+	for i := range p.Ops {
+		opHist(b, wire.Op(i).String(), &p.Ops[i].Hist)
+	}
+
+	head(b, "compose_commits_total", "counter", "Committed transactions.")
+	fmt.Fprintf(b, "compose_commits_total %d\n", p.Commits)
+	head(b, "compose_aborts_total", "counter", "Aborted transaction attempts, by conflict cause.")
+	engine := escapeLabel(p.Engine)
+	for i := range p.AbortsByCause {
+		fmt.Fprintf(b, "compose_aborts_total{cause=%q,engine=%q} %d\n",
+			stm.ConflictCause(i).Slug(), engine, p.AbortsByCause[i])
+	}
+
+	head(b, "compose_wal_enabled", "gauge", "Whether a write-ahead log is attached (1) or not (0).")
+	enabled := 0
+	if p.WALEnabled {
+		enabled = 1
+	}
+	fmt.Fprintf(b, "compose_wal_enabled %d\n", enabled)
+	head(b, "compose_wal_appends_total", "counter", "WAL records appended.")
+	fmt.Fprintf(b, "compose_wal_appends_total %d\n", p.WALAppends)
+	head(b, "compose_wal_syncs_total", "counter", "WAL flush batches fully written.")
+	fmt.Fprintf(b, "compose_wal_syncs_total %d\n", p.WALSyncs)
+	head(b, "compose_wal_bytes_total", "counter", "Bytes the OS accepted into WAL files.")
+	fmt.Fprintf(b, "compose_wal_bytes_total %d\n", p.WALBytes)
+
+	head(b, "compose_spec_batches_total", "counter", "Speculative batches committed.")
+	fmt.Fprintf(b, "compose_spec_batches_total %d\n", p.SpecBatches)
+	head(b, "compose_spec_execs_total", "counter", "Speculative execution attempts.")
+	fmt.Fprintf(b, "compose_spec_execs_total %d\n", p.SpecExecs)
+	head(b, "compose_spec_reexecs_total", "counter", "Speculative attempts beyond a transaction's first.")
+	fmt.Fprintf(b, "compose_spec_reexecs_total %d\n", p.SpecReexecs)
+	head(b, "compose_spec_validation_fails_total", "counter", "Speculative attempts whose read set failed validation.")
+	fmt.Fprintf(b, "compose_spec_validation_fails_total %d\n", p.SpecValidationFails)
+
+	head(b, "compose_adds_total", "counter", "Integer deltas applied (Add ops plus MAdd entries), any path.")
+	fmt.Fprintf(b, "compose_adds_total %d\n", p.Adds)
+	head(b, "compose_boosted_ops_total", "counter", "Deltas that ran on the boosted commutative path.")
+	fmt.Fprintf(b, "compose_boosted_ops_total %d\n", p.BoostedOps)
+	head(b, "compose_hot_promotions_total", "counter", "Keys promoted to the boosted path.")
+	fmt.Fprintf(b, "compose_hot_promotions_total %d\n", p.HotPromotions)
+	head(b, "compose_hot_demotions_total", "counter", "Keys demoted (folded back) by absolute operations.")
+	fmt.Fprintf(b, "compose_hot_demotions_total %d\n", p.HotDemotions)
+
+	if len(p.ShardStats) > 0 {
+		head(b, "compose_shard_ops_total", "counter", "Key-operations routed to the shard.")
+		for i := range p.ShardStats {
+			fmt.Fprintf(b, "compose_shard_ops_total{shard=\"%d\"} %d\n", i, p.ShardStats[i].Ops)
+		}
+		head(b, "compose_shard_aborts_total", "counter", "Aborted attempts attributed to the shard.")
+		for i := range p.ShardStats {
+			fmt.Fprintf(b, "compose_shard_aborts_total{shard=\"%d\"} %d\n", i, p.ShardStats[i].Aborts)
+		}
+		head(b, "compose_shard_hot_keys", "gauge", "Counters currently promoted to the boosted path, by shard.")
+		for i := range p.ShardStats {
+			fmt.Fprintf(b, "compose_shard_hot_keys{shard=\"%d\"} %d\n", i, p.ShardStats[i].HotKeys)
+		}
+		head(b, "compose_shard_wal_bytes_total", "counter", "Bytes the OS accepted into the shard's WAL file.")
+		for i := range p.ShardStats {
+			fmt.Fprintf(b, "compose_shard_wal_bytes_total{shard=\"%d\"} %d\n", i, p.ShardStats[i].WALBytes)
+		}
+	}
+}
+
+// opHist writes one opcode's bucket/sum/count triple. Each source
+// bucket folds into the first boundary at or above its upper edge;
+// samples past the last finite boundary appear only in +Inf.
+func opHist(b *bytes.Buffer, op string, h *stats.Histogram) {
+	var bins [promExpHi - promExpLo + 2]uint64 // +1: past the last boundary
+	h.EachBucket(func(maxNS, n uint64) {
+		for i := 0; i < len(bins)-1; i++ {
+			if maxNS < uint64(1)<<(promExpLo+i) {
+				bins[i] += n
+				return
+			}
+		}
+		bins[len(bins)-1] += n
+	})
+	var cum uint64
+	for i, le := range promLE {
+		cum += bins[i]
+		fmt.Fprintf(b, "compose_request_duration_seconds_bucket{le=%q,op=%q} %d\n", le, op, cum)
+	}
+	fmt.Fprintf(b, "compose_request_duration_seconds_bucket{le=\"+Inf\",op=%q} %d\n", op, h.Count())
+	fmt.Fprintf(b, "compose_request_duration_seconds_sum{op=%q} %s\n", op, seconds(h.SumNS()))
+	fmt.Fprintf(b, "compose_request_duration_seconds_count{op=%q} %d\n", op, h.Count())
+}
+
+// renderRuntime writes Go runtime and build-info gauges (point-in-time,
+// not payload-derived — kept out of the golden surface).
+func renderRuntime(b *bytes.Buffer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	head(b, "compose_build_info", "gauge", "Build identity; constant 1.")
+	fmt.Fprintf(b, "compose_build_info{go_version=%q} 1\n", escapeLabel(runtime.Version()))
+	head(b, "go_goroutines", "gauge", "Live goroutines.")
+	fmt.Fprintf(b, "go_goroutines %d\n", runtime.NumGoroutine())
+	head(b, "go_gomaxprocs", "gauge", "GOMAXPROCS.")
+	fmt.Fprintf(b, "go_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+	head(b, "go_memstats_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.")
+	fmt.Fprintf(b, "go_memstats_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	head(b, "go_memstats_heap_objects", "gauge", "Allocated heap objects.")
+	fmt.Fprintf(b, "go_memstats_heap_objects %d\n", ms.HeapObjects)
+	head(b, "go_memstats_alloc_bytes_total", "counter", "Cumulative bytes allocated for heap objects.")
+	fmt.Fprintf(b, "go_memstats_alloc_bytes_total %d\n", ms.TotalAlloc)
+	head(b, "go_gc_cycles_total", "counter", "Completed GC cycles.")
+	fmt.Fprintf(b, "go_gc_cycles_total %d\n", uint64(ms.NumGC))
+	head(b, "go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.")
+	fmt.Fprintf(b, "go_gc_pause_seconds_total %s\n", seconds(ms.PauseTotalNs))
+}

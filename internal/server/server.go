@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"oestm/internal/cm"
+	"oestm/internal/obs"
 	"oestm/internal/specexec"
 	"oestm/internal/stats"
 	"oestm/internal/stm"
@@ -107,6 +108,9 @@ type Server struct {
 	// retired accumulates the telemetry of closed connections.
 	retired connStats
 
+	// flight samples abort-suffering requests for /debug/aborts.
+	flight *obs.FlightRecorder
+
 	wg sync.WaitGroup // accept loop + connection handlers
 }
 
@@ -156,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 		wlog:     wlog,
 		recovery: recovery,
 		conns:    map[*conn]struct{}{},
+		flight:   obs.NewFlightRecorder(),
 	}
 	if recovery != nil {
 		// Replay before the listener opens: the shards are fresh, no
@@ -184,6 +189,16 @@ func (s *Server) Recovery() *wal.Replay { return s.recovery }
 
 // Store exposes the server's store (in-process harnesses and tests).
 func (s *Server) Store() *store.Store { return s.st }
+
+// Telemetry fills p with the server's merged stats snapshot — the same
+// merge the OpStats wire opcode serves. The admin plane's /metrics and
+// /stats endpoints scrape through this, which is what makes HTTP and
+// wire observations consistent with each other.
+func (s *Server) Telemetry(p *wire.StatsPayload) { s.statsPayload(p) }
+
+// Flight exposes the abort flight recorder (the admin plane drains it
+// at /debug/aborts).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
 // Start begins listening on cfg.Addr and serving connections.
 func (s *Server) Start() error {
@@ -393,6 +408,19 @@ func (s *Server) statsPayload(p *wire.StatsPayload) {
 		p.SpecValidationFails = ss.ValidationFails
 		s.batch.mergeInto(p)
 	}
+	// Per-shard telemetry: the store's padded per-shard counters plus the
+	// WAL's per-shard byte counters (zero without a log).
+	shards := s.st.Shards()
+	p.ShardStats = make([]wire.ShardTelemetry, shards)
+	for i := 0; i < shards; i++ {
+		ops, aborts, hot := s.st.ShardCounters(i)
+		p.ShardStats[i] = wire.ShardTelemetry{
+			Ops:      ops,
+			Aborts:   aborts,
+			HotKeys:  hot,
+			WALBytes: s.wlog.ShardBytes(i), // zero on nil receiver
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p.Conns = len(s.conns)
@@ -452,6 +480,12 @@ type conn struct {
 	doneCh  chan struct{}
 
 	stats connStats
+
+	// Flight-recorder state (conn mode): the connection's write handle
+	// and its last-seen per-cause abort counters, diffed to name the
+	// dominant cause of each abort-suffering request.
+	ring   *obs.Ring
+	causes [stm.NumCauses]uint64
 }
 
 // newConn builds the per-connection context.
@@ -470,6 +504,10 @@ func newConn(s *Server, nc net.Conn) *conn {
 	}
 	if s.batch != nil {
 		c.doneCh = make(chan struct{}, 1)
+	} else {
+		// Batch-mode aborts happen on applier workers without request
+		// context; only conn mode records flight events.
+		c.ring = s.flight.Ring()
 	}
 	return c
 }
@@ -506,6 +544,7 @@ func (c *conn) handle() {
 			return
 		}
 		start := time.Now()
+		ab0 := c.th.Stats.Aborts
 		decoded := true
 		if derr := c.req.Decode(body); derr != nil {
 			// The frame was consumed whole; framing is intact, so report
@@ -538,9 +577,38 @@ func (c *conn) handle() {
 			}
 		}
 		if decoded {
-			c.stats.publish(c.req.Op, time.Since(start), c.th)
+			elapsed := time.Since(start)
+			c.stats.publish(c.req.Op, elapsed, c.th)
+			if aborts := c.th.Stats.Aborts - ab0; aborts != 0 {
+				c.recordAbort(aborts, elapsed)
+			}
 		}
 	}
+}
+
+// recordAbort samples one abort-suffering request into the flight
+// recorder. The dominant cause is the per-cause counter that grew most
+// since this connection's last sample; the shard is where the request's
+// first key routes, matching the per-shard abort attribution. Off the
+// happy path by construction (aborts != 0), and allocation-free like
+// the rest of the instrumentation.
+func (c *conn) recordAbort(aborts uint64, elapsed time.Duration) {
+	cause, best := stm.CauseUnknown, uint64(0)
+	for i := range c.th.Stats.AbortsByCause {
+		if d := c.th.Stats.AbortsByCause[i] - c.causes[i]; d > best {
+			cause, best = stm.ConflictCause(i), d
+		}
+		c.causes[i] = c.th.Stats.AbortsByCause[i]
+	}
+	key := c.req.Key
+	if len(c.req.Keys) > 0 {
+		key = c.req.Keys[0]
+	}
+	attempts := uint32(aborts)
+	if aborts > uint64(^uint32(0)) {
+		attempts = ^uint32(0)
+	}
+	c.ring.Record(c.req.Op, cause, c.srv.st.ShardOf(key), attempts, elapsed)
 }
 
 // serve runs one decoded request against the store and appends the

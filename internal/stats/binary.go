@@ -9,12 +9,14 @@ package stats
 import (
 	"encoding/binary"
 	"errors"
+	"math/bits"
 	"time"
 )
 
 // Histogram binary format (all integers are uvarints):
 //
 //	max        exact maximum sample (nanoseconds)
+//	sum        exact sum of all samples (nanoseconds)
 //	nonzero    number of non-empty buckets
 //	nonzero × (index delta, count)
 //
@@ -31,6 +33,7 @@ var errHistogramEncoding = errors.New("stats: malformed histogram encoding")
 // grow.
 func (h *Histogram) AppendBinary(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, h.max)
+	dst = binary.AppendUvarint(dst, h.sum)
 	nonzero := 0
 	for _, n := range h.counts {
 		if n != 0 {
@@ -61,6 +64,10 @@ func (h *Histogram) AppendBinary(dst []byte) []byte {
 func (h *Histogram) DecodeBinary(data []byte) ([]byte, error) {
 	h.Reset()
 	max, data, err := uvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	sum, data, err := uvarint(data)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +116,23 @@ func (h *Histogram) DecodeBinary(data []byte) ([]byte, error) {
 		h.Reset()
 		return nil, errHistogramEncoding
 	}
+	// The sum is the total of real samples, so it is bracketed by the max
+	// sample below and count·max above — but Record's sum is wrapping
+	// uint64 arithmetic, so the bracket only holds when count·max fits in
+	// 64 bits (then no legal sum can wrap either). Reject out-of-bracket
+	// sums there: they cannot come from Record, and a forged sum would
+	// skew every mean derived from it.
+	if h.count == 0 {
+		if sum != 0 {
+			h.Reset()
+			return nil, errHistogramEncoding
+		}
+	} else if hi, lo := bits.Mul64(h.count, max); hi == 0 && (sum < max || sum > lo) {
+		h.Reset()
+		return nil, errHistogramEncoding
+	}
 	h.max = max
+	h.sum = sum
 	return data, nil
 }
 

@@ -76,15 +76,19 @@ func TestHistogramBinaryRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		{},
-		{0xff},                   // truncated uvarint
-		{0x00},                   // max only, missing bucket count
-		{0x00, 0x01},             // one bucket promised, none present
-		{0x00, 0x01, 0x05, 0x02}, // count 2 at bucket 5 but max 0 < bucket floor
-		{0x05, 0x01, 0x05, 0x00}, // zero-count bucket entry
-		{0x00, 0xff, 0xff, 0x7f}, // bucket count beyond HistBuckets
+		{0xff},                         // truncated uvarint
+		{0x00},                         // max only, missing sum
+		{0x00, 0x00},                   // max+sum, missing bucket count
+		{0x00, 0x00, 0x01},             // one bucket promised, none present
+		{0x00, 0x0a, 0x01, 0x05, 0x02}, // count 2 at bucket 5 but max 0 < bucket floor
+		{0x05, 0x0a, 0x01, 0x05, 0x00}, // zero-count bucket entry
+		{0x00, 0x00, 0xff, 0xff, 0x7f}, // bucket count beyond HistBuckets
 		// delta 1<<63 (would overflow int64 index arithmetic), count 5
-		{0x00, 0x01, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01, 0x05},
-		{0x09, 0x01, 0x00, 0x02}, // max 9 above bucket 0's ceiling (0)
+		{0x00, 0x00, 0x01, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01, 0x05},
+		{0x09, 0x09, 0x01, 0x00, 0x02}, // max 9 above bucket 0's ceiling (0)
+		{0x00, 0x05, 0x00},             // sum 5 with no samples
+		{0x05, 0x04, 0x01, 0x05, 0x01}, // sum 4 below the max sample (5)
+		{0x05, 0x0b, 0x01, 0x05, 0x02}, // sum 11 above count*max (2*5)
 	}
 	for i, data := range cases {
 		var h Histogram

@@ -32,6 +32,7 @@ const HistBuckets = (64 - histSubBits + 1) << histSubBits
 type Histogram struct {
 	counts [HistBuckets]uint64
 	count  uint64
+	sum    uint64
 	max    uint64
 }
 
@@ -62,6 +63,7 @@ func histBucketMax(i int) uint64 {
 func (h *Histogram) RecordNS(ns uint64) {
 	h.counts[histBucket(ns)]++
 	h.count++
+	h.sum += ns
 	if ns > h.max {
 		h.max = ns
 	}
@@ -78,6 +80,11 @@ func (h *Histogram) Record(d time.Duration) {
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// SumNS returns the exact sum of all recorded samples in nanoseconds —
+// unlike the quantiles it carries no bucketing error, so mean latency
+// and Prometheus histogram _sum series are exact.
+func (h *Histogram) SumNS() uint64 { return h.sum }
+
 // Max returns the largest recorded sample exactly (0 when empty).
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
 
@@ -88,8 +95,59 @@ func (h *Histogram) Merge(o *Histogram) {
 		h.counts[i] += n
 	}
 	h.count += o.count
+	h.sum += o.sum
 	if o.max > h.max {
 		h.max = o.max
+	}
+}
+
+// Sub subtracts an earlier snapshot of the same cumulative stream,
+// leaving the window recorded between the two snapshots (the load
+// generator's live progress reporting diffs stats scrapes this way).
+// Counts and sum subtract saturating per bucket, so a prev that is not a
+// true prefix degrades to a clamped window instead of wrapping. The
+// window's exact maximum is unrecoverable from cumulative buckets; max
+// becomes the smaller of the cumulative max and the ceiling of the
+// highest surviving bucket, which keeps Quantile's never-under-report
+// contract intact for the window.
+func (h *Histogram) Sub(prev *Histogram) {
+	h.count = 0
+	top := -1
+	for i := range h.counts {
+		n := prev.counts[i]
+		if n > h.counts[i] {
+			n = h.counts[i]
+		}
+		h.counts[i] -= n
+		if h.counts[i] != 0 {
+			top = i
+		}
+		h.count += h.counts[i]
+	}
+	if top < 0 {
+		h.sum, h.max = 0, 0
+		return
+	}
+	if h.sum >= prev.sum {
+		h.sum -= prev.sum
+	} else {
+		h.sum = 0
+	}
+	if m := histBucketMax(top); m < h.max {
+		h.max = m
+	}
+}
+
+// EachBucket calls f for every non-empty bucket in ascending order with
+// the bucket's inclusive upper bound (nanoseconds) and its count. Bucket
+// ranges never straddle a power of two, so callers can re-bucket onto
+// any power-of-two boundary grid exactly (the Prometheus exposition
+// does).
+func (h *Histogram) EachBucket(f func(maxNS, count uint64)) {
+	for i, n := range h.counts {
+		if n != 0 {
+			f(histBucketMax(i), n)
+		}
 	}
 }
 

@@ -204,6 +204,85 @@ func TestHistogramNegativeClamp(t *testing.T) {
 	}
 }
 
+// TestHistogramSum pins that the sum is exact (no bucketing error) and
+// flows through Record, Merge and Reset.
+func TestHistogramSum(t *testing.T) {
+	h := histOf(3, 1000, 1<<20)
+	want := uint64(3 + 1000 + 1<<20)
+	if h.SumNS() != want {
+		t.Fatalf("sum = %d, want %d", h.SumNS(), want)
+	}
+	o := histOf(7)
+	h.Merge(o)
+	if h.SumNS() != want+7 {
+		t.Fatalf("merged sum = %d, want %d", h.SumNS(), want+7)
+	}
+	h.Reset()
+	if h.SumNS() != 0 {
+		t.Fatalf("reset sum = %d", h.SumNS())
+	}
+}
+
+// TestHistogramSub pins the window-diff semantics: subtracting an earlier
+// snapshot of the same stream leaves exactly the later samples' counts
+// and sum, quantiles stay within bucket resolution of the window, and
+// subtracting a snapshot from itself leaves an empty histogram.
+func TestHistogramSub(t *testing.T) {
+	earlier := histOf(10, 500, 1<<16)
+	later := *earlier
+	for _, v := range []uint64{20, 900, 1 << 10} {
+		later.RecordNS(v)
+	}
+	win := later // copy; Sub mutates the receiver
+	win.Sub(earlier)
+	if win.Count() != 3 {
+		t.Fatalf("window count = %d, want 3", win.Count())
+	}
+	if want := uint64(20 + 900 + 1<<10); win.SumNS() != want {
+		t.Fatalf("window sum = %d, want %d", win.SumNS(), want)
+	}
+	// The window's true max is 1<<10; the reported max may only round up
+	// to its bucket ceiling, never past the cumulative max.
+	if got := uint64(win.Max()); got < 1<<10 || got > (1<<10)+(1<<10)/8 {
+		t.Fatalf("window max = %d, want ~%d", got, 1<<10)
+	}
+	self := *earlier
+	self.Sub(earlier)
+	if self != (Histogram{}) {
+		t.Fatal("h.Sub(h) must leave an empty histogram")
+	}
+	// A mismatched prev (not a prefix) clamps instead of wrapping.
+	big := histOf(5, 5, 5)
+	small := histOf(5)
+	got := *small
+	got.Sub(big)
+	if got.Count() != 0 || got.SumNS() != 0 || got.Max() != 0 {
+		t.Fatalf("clamped Sub left count=%d sum=%d max=%v", got.Count(), got.SumNS(), got.Max())
+	}
+}
+
+// TestHistogramEachBucket pins the iterator: ascending upper bounds, one
+// call per non-empty bucket, counts totalling Count.
+func TestHistogramEachBucket(t *testing.T) {
+	h := histOf(0, 0, 3, 100, 100, 100, 1<<30)
+	var total, prev uint64
+	calls := 0
+	h.EachBucket(func(maxNS, n uint64) {
+		if calls > 0 && maxNS <= prev {
+			t.Fatalf("bucket bounds not ascending: %d after %d", maxNS, prev)
+		}
+		if n == 0 {
+			t.Fatal("iterator visited an empty bucket")
+		}
+		prev = maxNS
+		total += n
+		calls++
+	})
+	if total != h.Count() || calls != 4 {
+		t.Fatalf("iterated %d samples over %d buckets, want %d over 4", total, calls, h.Count())
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{15, 20, 35, 40, 50}
 	cases := map[float64]float64{0: 15, 30: 20, 40: 20, 50: 35, 100: 50}

@@ -189,7 +189,12 @@ func (a *Applier) Stage(i int, writes []specexec.WriteDesc) {
 		if writes[j].Delta {
 			deltas++
 		}
-		if a.st.ShardOf(writes[j].Key) != sh0 {
+		sh := a.st.ShardOf(writes[j].Key)
+		// Per-shard telemetry: batch mode counts the committed write set
+		// (speculative reads and re-executions don't route to shards in
+		// any attributable way; conn mode counts every key-operation).
+		a.st.sc[sh].ops.Add(1)
+		if sh != sh0 {
 			single = false
 		}
 	}

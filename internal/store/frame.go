@@ -147,6 +147,41 @@ func (f *Frame) unsound(body func()) {
 	body()
 }
 
+// noteOp credits one key-operation to key's shard and attributes the
+// aborts the thread suffered since a0 (a snapshot of f.th.Stats.Aborts
+// taken at operation start, on this same goroutine) to that shard. The
+// telemetry is counter-increment-only: the request path's allocation
+// pins include it.
+//
+//compose:noalloc
+func (f *Frame) noteOp(key int64, a0 uint64) {
+	c := &f.st.sc[f.st.ShardOf(key)]
+	c.ops.Add(1)
+	if ab := f.th.Stats.Aborts - a0; ab != 0 {
+		c.aborts.Add(ab)
+	}
+}
+
+// noteComposed credits one key-operation per key and attributes the
+// composition's aborts to its first key's shard: the conflict may span
+// shards, but a single deterministic owner keeps the per-shard abort
+// totals exact (summing to the merged abort counter) and the hot path
+// one atomic per key.
+//
+//compose:noalloc
+func (f *Frame) noteComposed(keys []int64, a0 uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	st := f.st
+	for _, k := range keys {
+		st.sc[st.ShardOf(k)].ops.Add(1)
+	}
+	if ab := f.th.Stats.Aborts - a0; ab != 0 {
+		st.sc[st.ShardOf(keys[0])].aborts.Add(ab)
+	}
+}
+
 // Get returns the value under key and whether it is present. For a
 // plain key this is one single-shard elastic transaction; a promoted
 // counter's read additionally acquires its abstract lock, so the value
@@ -154,13 +189,17 @@ func (f *Frame) unsound(body func()) {
 // once a committed delta created it — even while later deltas cancel
 // the sum back to zero, matching the RMW and batch executions).
 func (f *Frame) Get(key int64) (int64, bool) {
+	a0 := f.th.Stats.Aborts
 	for {
 		hc := f.st.hotOf(key)
 		if hc == nil {
-			return f.getRaw(key)
+			v, ok := f.getRaw(key)
+			f.noteOp(key, a0)
+			return v, ok
 		}
 		f.hotHC, f.hotKey = hc, key
 		if f.bth.Atomic(f.boostGetFn) == nil {
+			f.noteOp(key, a0)
 			return f.hotVal, f.hotOk
 		}
 		// The counter died under us (an absolute operation demoted it);
@@ -188,13 +227,18 @@ func (f *Frame) getRaw(key int64) (int64, bool) {
 // a WAL the demote and the write are one atomic step (putLogged), so no
 // concurrent add record can land between the fold and the put record.
 func (f *Frame) Put(key, val int64) bool {
+	a0 := f.th.Stats.Aborts
 	w := f.st.wal
 	if w == nil {
 		f.absolute(key)
-		return f.putRaw(key, val)
+		existed := f.putRaw(key, val)
+		f.noteOp(key, a0)
+		return existed
 	}
 	if f.st.boostMode != BoostOff {
-		return f.putLogged(key, val)
+		existed := f.putLogged(key, val)
+		f.noteOp(key, a0)
+		return existed
 	}
 	sh := f.st.ShardOf(key)
 	w.Lock(sh)
@@ -204,6 +248,7 @@ func (f *Frame) Put(key, val int64) bool {
 	if err := w.Sync(sh, seq); err != nil && f.walErr == nil {
 		f.walErr = err
 	}
+	f.noteOp(key, a0)
 	return existed
 }
 
@@ -222,13 +267,18 @@ func (f *Frame) putRaw(key, val int64) bool {
 // and writes no record). Promoted keys demote like Put's (removeLogged
 // with a WAL — one atomic demote-and-remove step).
 func (f *Frame) Remove(key int64) (int64, bool) {
+	a0 := f.th.Stats.Aborts
 	w := f.st.wal
 	if w == nil {
 		f.absolute(key)
-		return f.removeRaw(key)
+		v, ok := f.removeRaw(key)
+		f.noteOp(key, a0)
+		return v, ok
 	}
 	if f.st.boostMode != BoostOff {
-		return f.removeLogged(key)
+		v, ok := f.removeLogged(key)
+		f.noteOp(key, a0)
+		return v, ok
 	}
 	sh := f.st.ShardOf(key)
 	w.Lock(sh)
@@ -243,6 +293,7 @@ func (f *Frame) Remove(key int64) (int64, bool) {
 			f.walErr = err
 		}
 	}
+	f.noteOp(key, a0)
 	return v, ok
 }
 
@@ -278,13 +329,18 @@ func (f *Frame) MGet(keys []int64, vals []int64, oks []bool) bool {
 	f.keys, f.vals, f.oks = keys, vals, oks
 	var err error
 	if f.st.unsound {
+		// The split pieces go through the public Get, which counts each
+		// key-operation itself — no outer noteComposed, or the shards
+		// would double-count.
 		f.unsound(func() {
 			for i, k := range keys {
 				vals[i], oks[i] = f.Get(k)
 			}
 		})
 	} else {
+		a0 := f.th.Stats.Aborts
 		err = f.mgetSound()
+		f.noteComposed(keys, a0)
 	}
 	f.keys, f.vals, f.oks = nil, nil, nil
 	return err == nil
@@ -317,11 +373,13 @@ func (f *Frame) MPut(keys, vals []int64) bool {
 		f.absolute(k)
 	}
 	f.keys, f.vals = keys, vals
+	a0 := f.th.Stats.Aborts
 	var err error
 	if f.st.unsound {
-		f.unsound(f.mputUnsound)
+		f.unsound(f.mputUnsound) // pieces count themselves (see MGet)
 	} else if f.st.wal == nil {
 		err = f.atomic(f.kind, f.mputFn)
+		f.noteComposed(keys, a0)
 	} else {
 		f.wShards = f.wShards[:0]
 		for _, k := range keys {
@@ -340,6 +398,7 @@ func (f *Frame) MPut(keys, vals []int64) bool {
 		if err == nil {
 			f.syncShards()
 		}
+		f.noteComposed(keys, a0)
 	}
 	f.keys, f.vals = nil, nil
 	return err == nil
@@ -380,10 +439,14 @@ func (f *Frame) CompareAndMove(from, to, expect int64) bool {
 	f.absolute(from)
 	f.absolute(to)
 	f.from, f.to, f.expect = from, to, expect
+	f.camKeys[0], f.camKeys[1] = from, to
+	a0 := f.th.Stats.Aborts
 	if f.st.unsound {
-		f.unsound(f.camUnsound)
+		f.unsound(f.camUnsound) // pieces count themselves (see MGet)
 	} else if f.st.wal == nil {
-		if err := f.atomic(f.kind, f.camFn); err != nil {
+		err := f.atomic(f.kind, f.camFn)
+		f.noteComposed(f.camKeys[:], a0)
+		if err != nil {
 			return false
 		}
 	} else {
@@ -393,7 +456,6 @@ func (f *Frame) CompareAndMove(from, to, expect int64) bool {
 		f.wShards = f.wShards[:0]
 		f.insertShard(f.st.ShardOf(from))
 		f.insertShard(f.st.ShardOf(to))
-		f.camKeys[0], f.camKeys[1] = from, to
 		f.lockShardsAbsolute(f.camKeys[:])
 		err := f.atomic(f.kind, f.camFn)
 		if err == nil && f.moved {
@@ -410,6 +472,7 @@ func (f *Frame) CompareAndMove(from, to, expect int64) bool {
 		if err == nil && f.moved {
 			f.syncShards()
 		}
+		f.noteComposed(f.camKeys[:], a0)
 		if err != nil {
 			return false
 		}

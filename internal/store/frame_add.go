@@ -311,9 +311,19 @@ func (f *Frame) Add(key, delta int64) bool {
 	s.adds.Add(1)
 	if s.unsound {
 		f.hotKey, f.hotDelta = key, delta
-		f.unsound(f.addUnsound)
+		f.unsound(f.addUnsound) // pieces count themselves (see Frame.MGet)
 		return true
 	}
+	a0 := f.th.Stats.Aborts
+	ok := f.addSound(key, delta)
+	f.noteOp(key, a0)
+	return ok
+}
+
+// addSound routes a sound Add: boosted when the key is promoted (on
+// mode promotes it first), read-modify-write otherwise.
+func (f *Frame) addSound(key, delta int64) bool {
+	s := f.st
 	for {
 		hc := s.hotOf(key)
 		if hc == nil {
@@ -471,10 +481,12 @@ func (f *Frame) MAdd(keys, deltas []int64) bool {
 	f.keys, f.vals = keys, deltas
 	var committed bool
 	if s.unsound {
-		f.unsound(f.maddUnsound)
+		f.unsound(f.maddUnsound) // pieces count themselves (see Frame.MGet)
 		committed = true
 	} else {
+		a0 := f.th.Stats.Aborts
 		committed = f.maddSound()
+		f.noteComposed(keys, a0)
 	}
 	f.keys, f.vals = nil, nil
 	return committed

@@ -59,6 +59,21 @@ type Store struct {
 
 	hotPromotions atomic.Uint64
 	hotDemotions  atomic.Uint64
+
+	// sc is the per-shard request-path telemetry (see shardCounters),
+	// surfaced through the stats payload's per-shard block.
+	sc []shardCounters
+}
+
+// shardCounters is one shard's request-path telemetry: key-operations
+// routed to the shard, and aborted transaction attempts attributed to
+// it (a composed operation's aborts land on its first key's shard — see
+// Frame.noteComposed). Padded out to a cache line of its own so shards
+// hammering their counters don't false-share with their neighbours.
+type shardCounters struct {
+	ops    atomic.Uint64
+	aborts atomic.Uint64
+	_      [48]byte
 }
 
 // shardMix is the Fibonacci hashing multiplier (2^64/φ): sequential keys
@@ -86,6 +101,7 @@ func New(cfg Config) *Store {
 		boostMode: cfg.Boost,
 		bt:        boost.New(true),
 		hot:       make([]shardHot, n),
+		sc:        make([]shardCounters, n),
 	}
 	if cfg.Unsound {
 		s.boostMode = BoostOff
@@ -125,6 +141,16 @@ func ValidKey(key int64) bool {
 
 // WAL returns the store's log (nil for an in-memory store).
 func (s *Store) WAL() *wal.Log { return s.wal }
+
+// ShardCounters snapshots shard i's telemetry: key-operations routed to
+// the shard, aborted attempts attributed to it, and the number of
+// currently promoted hot counters (a gauge, not a cumulative count).
+func (s *Store) ShardCounters(i int) (ops, aborts, hotKeys uint64) {
+	if n := s.hot[i].count.Load(); n > 0 {
+		hotKeys = uint64(n)
+	}
+	return s.sc[i].ops.Load(), s.sc[i].aborts.Load(), hotKeys
+}
 
 // Recover replays a recovered log into the store's shards — fresh maps
 // only, before any frame serves requests. Replay order preserves each

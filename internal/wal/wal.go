@@ -45,6 +45,10 @@ type shardLog struct {
 	spare    []byte // the off-duty swap buffer
 	f        *os.File
 	err      error // sticky first I/O error
+
+	// bytes is this shard's slice of Log.bytes (the per-shard telemetry
+	// the stats endpoint exposes as shard-labeled series).
+	bytes atomic.Uint64
 }
 
 // Log is an open write-ahead log: one file per shard plus a meta file,
@@ -80,6 +84,16 @@ func (l *Log) Stats() Stats {
 		Syncs:   l.syncs.Load(),
 		Bytes:   l.bytes.Load(),
 	}
+}
+
+// ShardBytes returns the bytes the OS accepted into shard i's log file
+// (zero on a nil receiver): the per-shard split of Stats.Bytes, summed
+// over every shard it equals the aggregate at any quiescent point.
+func (l *Log) ShardBytes(i int) uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.shards[i].bytes.Load()
 }
 
 // metaName is the directory's identity file: magic+version, shard
@@ -201,6 +215,7 @@ func Open(dir string, o Options) (*Log, *Replay, error) {
 			l.appends.Add(uint64(len(sh.repair)))
 			l.syncs.Add(1)
 			l.bytes.Add(uint64(len(buf)))
+			s.bytes.Add(uint64(len(buf)))
 		}
 	}
 	if o.Fsync {
@@ -342,6 +357,7 @@ func (l *Log) Sync(shard int, seq uint64) error {
 			// and the flush only when it fully succeeded — a failed
 			// flush must not inflate the wal_* CSV columns.
 			l.bytes.Add(uint64(n))
+			s.bytes.Add(uint64(n))
 			if err == nil {
 				l.syncs.Add(1)
 			}

@@ -13,8 +13,15 @@ import (
 // Version history: 1 = initial; 2 = WAL fields (enabled flag and the
 // wal_* counters); 3 = execution-model fields (exec name and the spec_*
 // speculation counters); 4 = commutative hot-key fields (adds applied,
-// boosted executions, hot-key promotions/demotions).
-const statsVersion = 4
+// boosted executions, hot-key promotions/demotions); 5 = an exact sum
+// inside every histogram and the trailing per-shard telemetry block
+// (ShardStats).
+const statsVersion = 5
+
+// maxShardStats bounds the per-shard block a decoder will allocate for —
+// far above any real shard count, low enough that a hostile length
+// prefix cannot balloon memory.
+const maxShardStats = 1 << 16
 
 // OpTelemetry is one opcode's server-side measurements: how many requests
 // ran and the latency histogram of their service time — measured from
@@ -74,6 +81,27 @@ type StatsPayload struct {
 	BoostedOps    uint64
 	HotPromotions uint64
 	HotDemotions  uint64
+
+	// ShardStats is the per-shard telemetry block (one entry per store
+	// shard, indexed by shard; the trailing field of statsVersion 5). It
+	// splits the merged counters by shard so an operator can see skew —
+	// a hot shard's ops/aborts dominating — that the aggregates hide.
+	ShardStats []ShardTelemetry
+}
+
+// ShardTelemetry is one shard's counters inside StatsPayload.ShardStats.
+// Ops counts key-operations routed to the shard (each key of a composed
+// operation counts once; batch mode counts the committed write set).
+// Aborts counts aborted transaction attempts attributed to the shard —
+// a composed operation's aborts land on its first key's shard, so the
+// per-shard sum matches the merged abort counter's growth. HotKeys is a
+// gauge: counters currently promoted to the commutative hot-key path.
+// WALBytes is the shard's slice of the wal_bytes aggregate.
+type ShardTelemetry struct {
+	Ops      uint64
+	Aborts   uint64
+	HotKeys  uint64
+	WALBytes uint64
 }
 
 // AppendStats appends the encoded payload to dst.
@@ -110,6 +138,14 @@ func AppendStats(dst []byte, p *StatsPayload) []byte {
 	dst = binary.AppendUvarint(dst, p.BoostedOps)
 	dst = binary.AppendUvarint(dst, p.HotPromotions)
 	dst = binary.AppendUvarint(dst, p.HotDemotions)
+	dst = binary.AppendUvarint(dst, uint64(len(p.ShardStats)))
+	for i := range p.ShardStats {
+		st := &p.ShardStats[i]
+		dst = binary.AppendUvarint(dst, st.Ops)
+		dst = binary.AppendUvarint(dst, st.Aborts)
+		dst = binary.AppendUvarint(dst, st.HotKeys)
+		dst = binary.AppendUvarint(dst, st.WALBytes)
+	}
 	return dst
 }
 
@@ -208,6 +244,30 @@ func (p *StatsPayload) Decode(body []byte) error {
 	}
 	if p.HotDemotions, b, err = readUvarint(b); err != nil {
 		return err
+	}
+	if u, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if u > maxShardStats {
+		return perr(ErrBadBody, "stats payload shard block too large")
+	}
+	if u > 0 {
+		p.ShardStats = make([]ShardTelemetry, u)
+		for i := range p.ShardStats {
+			st := &p.ShardStats[i]
+			if st.Ops, b, err = readUvarint(b); err != nil {
+				return err
+			}
+			if st.Aborts, b, err = readUvarint(b); err != nil {
+				return err
+			}
+			if st.HotKeys, b, err = readUvarint(b); err != nil {
+				return err
+			}
+			if st.WALBytes, b, err = readUvarint(b); err != nil {
+				return err
+			}
+		}
 	}
 	if len(b) != 0 {
 		return perr(ErrBadBody, "stats payload trailing bytes")

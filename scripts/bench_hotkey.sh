@@ -11,6 +11,12 @@
 # but the abort asymmetry (boosted adds never conflict, RMW adds
 # serialize through version conflicts) is the measured claim.
 #
+# Each side also runs with the admin plane up (-admin-addr) and the
+# JSON records a /metrics scrape taken right after the measured load:
+# the per-cause abort composition straight from the Prometheus series,
+# so the artifact explains *why* one side aborted more, not just how
+# much.
+#
 # Usage: scripts/bench_hotkey.sh [out.json]
 # Env:   DURATION=5s CONNS=4 ENGINE=oestm SHARDS=16 KEYS=1024
 #        THETA=0.99 MIX="add:70,madd:15,get:10,mget:5" SEED=7
@@ -29,6 +35,7 @@ MIX=${MIX:-add:70,madd:15,get:10,mget:5}
 SEED=${SEED:-7}
 SRV_PROCS=${SRV_PROCS:-8}
 ADDR=${ADDR:-127.0.0.1:7466}
+ADMIN=${ADMIN:-127.0.0.1:9466}
 
 TMP=$(mktemp -d)
 SRV=""
@@ -36,21 +43,32 @@ trap '[ -n "$SRV" ] && kill "$SRV" 2>/dev/null; rm -rf "$TMP"' EXIT
 
 go build -o "$TMP/compose-server" ./cmd/compose-server
 go build -o "$TMP/compose-load" ./cmd/compose-load
+go build -o "$TMP/httpget" ./scripts/httpget
 
 run_side() { # $1 = on|off; leaves the CSV data row in $TMP/$1.row
     local boost=$1 csv="$TMP/$1.csv"
-    GOMAXPROCS=$SRV_PROCS "$TMP/compose-server" -addr "$ADDR" -engine "$ENGINE" \
-        -shards "$SHARDS" -boost "$boost" >"$TMP/$1.log" 2>&1 &
+    GOMAXPROCS=$SRV_PROCS "$TMP/compose-server" -addr "$ADDR" -admin-addr "$ADMIN" \
+        -engine "$ENGINE" -shards "$SHARDS" -boost "$boost" >"$TMP/$1.log" 2>&1 &
     SRV=$!
     sleep 1
     "$TMP/compose-load" -addr "$ADDR" -conns "$CONNS" -keys "$KEYS" \
         -mix "$MIX" -dist zipfian -theta "$THETA" -seed "$SEED" \
         -duration "$DURATION" -warmup "$WARMUP" -csv "$csv" >"$TMP/$1.load.log" 2>&1
+    # Snapshot the admin plane's exposition before the server goes away:
+    # the JSON's abort-cause composition comes from this scrape.
+    "$TMP/httpget" "http://$ADMIN/metrics" >"$TMP/$1.metrics"
     kill -TERM "$SRV"
     wait "$SRV"
     SRV=""
     grep -q drained "$TMP/$1.log" # the A/B is only valid if the drain stayed clean
     sed -n 2p "$csv" >"$TMP/$1.row"
+}
+
+# abort_causes renders one side's compose_aborts_total series as a JSON
+# object: {"read_validation": N, "lock_busy": N, ...}.
+abort_causes() { # $1 = on|off
+    awk '/^compose_aborts_total\{cause="/ { split($1, a, "\""); printf "%s\"%s\": %s", sep, a[2], $2; sep=", " }' \
+        "$TMP/$1.metrics"
 }
 
 run_side on
@@ -60,9 +78,9 @@ OFF_ROW=$(cat "$TMP/off.row")
 
 # Column positions come from harness.CSVHeader: ops_per_ms=9,
 # abort_rate=10, aborts=19; the hot-key block is the trailing
-# adds,boosted_ops,hot_promotions.
+# adds,boosted_ops,hot_promotions,hot_demotions.
 emit_side() {
-    echo "$1" | awk -F, '{ printf "{\"ops_per_ms\": %s, \"abort_rate\": %s, \"aborts\": %s, \"adds\": %s, \"boosted_ops\": %s, \"hot_promotions\": %s}", $9, $10, $19, $(NF-2), $(NF-1), $NF }'
+    echo "$1" | awk -F, '{ printf "{\"ops_per_ms\": %s, \"abort_rate\": %s, \"aborts\": %s, \"adds\": %s, \"boosted_ops\": %s, \"hot_promotions\": %s, \"hot_demotions\": %s}", $9, $10, $19, $(NF-3), $(NF-2), $(NF-1), $NF }'
 }
 
 # runtime.NumCPU, not nproc: the Go runtime's affinity/cgroup-aware
@@ -87,6 +105,8 @@ SPEEDUP=$(awk -F, -v off="$(echo "$OFF_ROW" | cut -d, -f9)" \
     echo "  \"duration\": \"$DURATION\","
     echo "  \"boosted\": $(emit_side "$ON_ROW"),"
     echo "  \"rmw\": $(emit_side "$OFF_ROW"),"
+    echo "  \"boosted_abort_causes\": {$(abort_causes on)},"
+    echo "  \"rmw_abort_causes\": {$(abort_causes off)},"
     echo "  \"boosted_over_rmw_speedup\": $SPEEDUP,"
     echo "  \"note\": \"same-seed A/B; boosted adds take abstract per-key locks and cannot conflict, so the claim under test is strictly fewer aborts at equal-or-better throughput. The server is oversubscribed (gomaxprocs_server) so the hot key contends even when cores is small; compare throughputs only against the recorded core count\""
     echo "}"

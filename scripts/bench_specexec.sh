@@ -8,6 +8,10 @@
 # parallelism to win, so a single-core result is expected to favor conn
 # and is recorded as such, not hidden.
 #
+# Each side also runs with the admin plane up (-admin-addr) and the
+# JSON records a /metrics scrape taken right after the measured load:
+# the per-cause abort composition straight from the Prometheus series.
+#
 # Usage: scripts/bench_specexec.sh [out.json]
 # Env:   DURATION=5s CONNS=4 PIPELINE=16 ENGINE=oestm SHARDS=16
 #        KEYS=8192 DIST=uniform WARMUP=500ms
@@ -23,6 +27,7 @@ SHARDS=${SHARDS:-16}
 KEYS=${KEYS:-8192}
 DIST=${DIST:-uniform}
 ADDR=${ADDR:-127.0.0.1:7465}
+ADMIN=${ADMIN:-127.0.0.1:9465}
 
 TMP=$(mktemp -d)
 SRV=""
@@ -30,21 +35,31 @@ trap '[ -n "$SRV" ] && kill "$SRV" 2>/dev/null; rm -rf "$TMP"' EXIT
 
 go build -o "$TMP/compose-server" ./cmd/compose-server
 go build -o "$TMP/compose-load" ./cmd/compose-load
+go build -o "$TMP/httpget" ./scripts/httpget
 
 run_side() { # $1 = conn|batch; leaves the CSV data row in $TMP/$1.row
     local exec_mode=$1 csv="$TMP/$1.csv"
-    "$TMP/compose-server" -addr "$ADDR" -engine "$ENGINE" -shards "$SHARDS" \
-        -exec "$exec_mode" >"$TMP/$1.log" 2>&1 &
+    "$TMP/compose-server" -addr "$ADDR" -admin-addr "$ADMIN" -engine "$ENGINE" \
+        -shards "$SHARDS" -exec "$exec_mode" >"$TMP/$1.log" 2>&1 &
     SRV=$!
     sleep 1
     "$TMP/compose-load" -addr "$ADDR" -conns "$CONNS" -pipeline "$PIPELINE" \
         -keys "$KEYS" -dist "$DIST" -duration "$DURATION" -warmup "$WARMUP" \
         -csv "$csv" >"$TMP/$1.load.log" 2>&1
+    # Snapshot the admin plane's exposition before the server goes away.
+    "$TMP/httpget" "http://$ADMIN/metrics" >"$TMP/$1.metrics"
     kill -TERM "$SRV"
     wait "$SRV"
     SRV=""
     grep -q drained "$TMP/$1.log" # the A/B is only valid if the drain stayed clean
     sed -n 2p "$csv" >"$TMP/$1.row"
+}
+
+# abort_causes renders one side's compose_aborts_total series as a JSON
+# object: {"read_validation": N, "lock_busy": N, ...}.
+abort_causes() { # $1 = conn|batch
+    awk '/^compose_aborts_total\{cause="/ { split($1, a, "\""); printf "%s\"%s\": %s", sep, a[2], $2; sep=", " }' \
+        "$TMP/$1.metrics"
 }
 
 run_side conn
@@ -55,9 +70,9 @@ BATCH_ROW=$(cat "$TMP/batch.row")
 # Column positions come from harness.CSVHeader: ops_per_ms=9,
 # lat_p50_us=12, lat_p99_us=14; the trailing block is
 # wal,wal_appends,wal_syncs,wal_bytes,exec,spec_execs,spec_reexecs,
-# spec_validation_fails,adds,boosted_ops,hot_promotions.
+# spec_validation_fails,adds,boosted_ops,hot_promotions,hot_demotions.
 emit_side() {
-    echo "$1" | awk -F, '{ printf "{\"ops_per_ms\": %s, \"lat_p50_us\": %s, \"lat_p99_us\": %s, \"exec\": \"%s\", \"spec_execs\": %s, \"spec_reexecs\": %s, \"spec_validation_fails\": %s}", $9, $12, $14, $(NF-6), $(NF-5), $(NF-4), $(NF-3) }'
+    echo "$1" | awk -F, '{ printf "{\"ops_per_ms\": %s, \"lat_p50_us\": %s, \"lat_p99_us\": %s, \"exec\": \"%s\", \"spec_execs\": %s, \"spec_reexecs\": %s, \"spec_validation_fails\": %s}", $9, $12, $14, $(NF-7), $(NF-6), $(NF-5), $(NF-4) }'
 }
 
 # runtime.NumCPU, not nproc: the Go runtime's affinity/cgroup-aware
@@ -81,6 +96,8 @@ SPEEDUP=$(awk -F, -v conn="$(echo "$CONN_ROW" | cut -d, -f9)" \
     echo "  \"duration\": \"$DURATION\","
     echo "  \"conn\": $(emit_side "$CONN_ROW"),"
     echo "  \"batch\": $(emit_side "$BATCH_ROW"),"
+    echo "  \"conn_abort_causes\": {$(abort_causes conn)},"
+    echo "  \"batch_abort_causes\": {$(abort_causes batch)},"
     echo "  \"batch_over_conn_speedup\": $SPEEDUP,"
     echo "  \"note\": \"batch wins only with real parallelism (>= 4 cores) and pipeline depth >= 16; on fewer cores workers time-slice and conn mode's lower coordination cost is expected to win — compare against cores above\""
     echo "}"

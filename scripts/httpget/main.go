@@ -1,0 +1,36 @@
+// Command httpget fetches one URL and writes the response body to
+// stdout — a stdlib-only curl stand-in so the bench scripts can scrape
+// a compose-server admin plane (/metrics snapshots into the BENCH
+// artifacts) without depending on curl being installed. Non-2xx
+// responses and transport errors exit non-zero.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: httpget <url>")
+		os.Exit(2)
+	}
+	cl := &http.Client{Timeout: 30 * time.Second}
+	resp, err := cl.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		fmt.Fprintf(os.Stderr, "httpget: %s: %s\n", os.Args[1], resp.Status)
+		os.Exit(1)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+}
